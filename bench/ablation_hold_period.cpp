@@ -1,0 +1,106 @@
+// Ablation: the hold-period design choice (DESIGN.md §5.3).
+// The paper's core power trick is sampling for 39 ms every 69 s instead
+// of continuously (pilot cell [5]) or every 100 ms [4]. This bench sweeps
+// the hold period and shows the trade: sampling cost and disconnection
+// loss fall dramatically with the period, while the Eq. (2) staleness
+// error stays harmless well past 60 s.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/sampling_error.hpp"
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "core/focv_system.hpp"
+#include "env/profiles.hpp"
+#include "mppt/focv_sample_hold.hpp"
+#include "node/harvester_node.hpp"
+#include "pv/cell_library.hpp"
+
+namespace {
+
+using namespace focv;
+
+void reproduce_hold_period_ablation() {
+  bench::print_header("Ablation -- hold period of the sample-and-hold",
+                      "a >60 s hold costs <1% staleness while slashing sampling power "
+                      "(Section II-B's design conclusion)");
+
+  const auto& cell = pv::schott_asi_1116929();
+  const env::LightTrace desk = env::desk_sunday_blinds_closed();
+  const env::LightTrace mobile = env::semi_mobile_day();
+  const auto voc_desk = desk.voc_series(cell, 300.15);
+  const auto voc_mobile = mobile.voc_series(cell, 300.15);
+
+  pv::Conditions c;
+  c.illuminance_lux = 1000.0;
+  const double k = cell.k_factor(c);
+
+  ConsoleTable table({"hold period", "E mobile [mV]", "staleness loss [%]",
+                      "disconnect loss [%]", "divider duty [%]", "total penalty [%]"});
+  for (const double period : {0.1, 1.0, 10.0, 60.0, 69.0, 300.0, 1800.0}) {
+    const std::size_t samples =
+        std::max<std::size_t>(1, static_cast<std::size_t>(period));
+    const double e = analysis::worst_case_mean_error(voc_mobile, samples);
+    const double staleness =
+        analysis::efficiency_loss_at_offset(cell, c, analysis::mpp_voltage_error(e, k));
+    const double t_on = 0.039;
+    const double disconnect = t_on / (t_on + period);
+    const double duty = disconnect;  // divider conducts while sampling
+    table.add_row({ConsoleTable::num(period, 1) + " s", ConsoleTable::num(e * 1e3, 1),
+                   ConsoleTable::num(staleness * 100.0, 3),
+                   ConsoleTable::num(disconnect * 100.0, 3),
+                   ConsoleTable::num(duty * 100.0, 3),
+                   ConsoleTable::num((staleness + disconnect) * 100.0, 3)});
+  }
+  table.print(std::cout);
+  bench::print_note(
+      "Below ~1 s the disconnection loss dominates (the [4] regime); beyond ~10 min "
+      "staleness starts to matter on mobile traces. The paper's 69 s sits on the flat "
+      "floor of the total-penalty curve.");
+
+  // End-to-end check: run the full node across the semi-mobile day with
+  // different astable periods.
+  ConsoleTable node_table({"hold period", "net energy [J]", "tracking eff [%]"});
+  for (const double period : {1.0, 69.0, 600.0}) {
+    core::SystemSpec spec;
+    spec.astable_off_period = period;
+    auto ctl = core::make_paper_controller(spec);
+    node::NodeConfig cfg;
+    cfg.cell = &pv::sanyo_am1815();
+    cfg.controller = &ctl;
+    cfg.storage.initial_voltage = 3.0;
+    const node::NodeReport r = node::simulate_node(mobile, cfg);
+    node_table.add_row({ConsoleTable::num(period, 0) + " s",
+                        ConsoleTable::num(r.net_energy(), 3),
+                        ConsoleTable::num(r.tracking_efficiency() * 100.0, 2)});
+  }
+  node_table.print(std::cout);
+
+  // Staleness on the quiet desk trace for reference.
+  const double e_desk60 = analysis::worst_case_mean_error(voc_desk, 60);
+  std::printf("desk trace at 60 s: E = %.1f mV -> loss %.3f%% (paper: 12.7 mV, <1%%)\n",
+              e_desk60 * 1e3,
+              analysis::efficiency_loss_at_offset(cell, c,
+                                                  analysis::mpp_voltage_error(e_desk60, k)) *
+                  100.0);
+}
+
+void bm_hold_period_sweep(benchmark::State& state) {
+  const env::LightTrace mobile = env::semi_mobile_day();
+  const auto voc = mobile.voc_series(pv::schott_asi_1116929(), 300.15);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::error_vs_period(voc, 1.0, {1, 10, 60, 300, 1800}));
+  }
+}
+BENCHMARK(bm_hold_period_sweep);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  reproduce_hold_period_ablation();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,162 @@
+// Ablation: circuit non-idealities and model choices (DESIGN.md §5.2/5.4/5.5).
+//  - hold-capacitor leakage (why the paper uses a low-leakage polyester cap),
+//  - switch charge injection and buffer offsets,
+//  - divider trim error (the R2 potentiometer),
+//  - alpha representation divider,
+//  - single-diode vs Merten/photo-shunt cell model calibration residual.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "core/focv_system.hpp"
+#include "env/profiles.hpp"
+#include "mppt/focv_sample_hold.hpp"
+#include "node/harvester_node.hpp"
+#include "pv/calibration.hpp"
+#include "pv/cell_library.hpp"
+
+namespace {
+
+using namespace focv;
+
+double day_tracking_eff(const core::SystemSpec& spec) {
+  auto ctl = core::make_paper_controller(spec);
+  node::NodeConfig cfg;
+  cfg.cell = &pv::sanyo_am1815();
+  cfg.controller = &ctl;
+  cfg.storage.initial_voltage = 3.0;
+  const env::LightTrace day = env::office_desk_mixed();
+  return node::simulate_node(day, cfg).tracking_efficiency();
+}
+
+void ablate_sample_hold() {
+  bench::print_header("Ablation -- sample-and-hold non-idealities",
+                      "why a low-leakage cap, a trimmed divider and short acquisition "
+                      "matter (Sections III-B / IV-A)");
+
+  ConsoleTable table({"variant", "tracking eff (24 h office) [%]", "delta [pp]"});
+  const double nominal = day_tracking_eff(core::SystemSpec{});
+  auto add = [&](const std::string& name, const core::SystemSpec& spec) {
+    const double eff = day_tracking_eff(spec);
+    table.add_row({name, ConsoleTable::num(eff * 100.0, 2),
+                   ConsoleTable::num((eff - nominal) * 100.0, 2)});
+  };
+  table.add_row({"nominal prototype", ConsoleTable::num(nominal * 100.0, 2), "0.00"});
+
+  core::SystemSpec leaky;
+  leaky.hold_leakage = 5e-9;  // ceramic-grade leakage: 100x the polyester cap
+  add("leaky hold cap (5 nA vs 50 pA)", leaky);
+
+  core::SystemSpec very_leaky;
+  very_leaky.hold_leakage = 50e-9;
+  add("very leaky hold cap (50 nA)", very_leaky);
+
+  core::SystemSpec injected;
+  injected.charge_injection = 100e-12;  // large unbuffered switch
+  add("20x switch charge injection", injected);
+
+  core::SystemSpec offset;
+  offset.buffer_offset = 10e-3;  // cheap op-amps
+  add("10 mV buffer offsets", offset);
+
+  core::SystemSpec trim_low;
+  trim_low.divider_ratio = 0.26;  // mis-trimmed pot: k ~ 0.52
+  add("divider mis-trimmed low (k=0.52)", trim_low);
+
+  core::SystemSpec trim_high;
+  trim_high.divider_ratio = 0.37;  // k ~ 0.74
+  add("divider mis-trimmed high (k=0.74)", trim_high);
+
+  table.print(std::cout);
+  bench::print_note(
+      "Leakage on the hold node and trim error dominate; charge injection and mV-level "
+      "offsets are second-order -- matching the paper's emphasis on the low-leakage "
+      "polyester capacitor and the R2 trim pot.");
+}
+
+void ablate_alpha() {
+  bench::print_header("Ablation -- the alpha = 1/2 representation divider (Eq. 3)",
+                      "Voc up to 5.9 V must be represented under the 3.3 V rail");
+  ConsoleTable table({"alpha", "HELD at 5000 lux [V]", "fits under 3.3 V rail?"});
+  pv::Conditions c;
+  c.illuminance_lux = 5000.0;
+  const double voc = pv::sanyo_am1815().open_circuit_voltage(c);
+  for (const double alpha : {1.0, 0.75, 0.5, 0.25}) {
+    const double held = voc * 0.596 * alpha;
+    table.add_row({ConsoleTable::num(alpha, 2), ConsoleTable::num(held, 3),
+                   held < 3.0 ? "yes (with margin)" : "NO"});
+  }
+  table.print(std::cout);
+  bench::print_note(
+      "alpha = 1 would need the hold/buffer chain to carry 3.5 V+ signals on a 3.3 V "
+      "rail; alpha = 1/2 keeps every analog node below ~1.8 V. Smaller alpha wastes "
+      "resolution against the ACTIVE threshold.");
+}
+
+void ablate_cell_model() {
+  bench::print_header("Ablation -- single-diode vs photo-shunt a-Si cell model",
+                      "a constant-Rsh single-diode model cannot hit the paper's anchors "
+                      "(DESIGN.md §5.2)");
+
+  // Best-effort single-diode fit: same pipeline with the a-Si loss terms
+  // forced to zero (constant shunt only).
+  const auto anchors = pv::table1_voc_anchors();
+  const pv::MppAnchor mpp = pv::am1815_mpp_anchor();
+
+  const pv::MertenAsiModel::AsiParams full = pv::sanyo_am1815().asi_params();
+  pv::MertenAsiModel::AsiParams plain = full;
+  plain.recombination_chi = 0.0;
+  plain.photo_shunt_per_volt = 0.0;
+  // Give the plain model its best chance: re-balance the shunt to pull
+  // the MPP down as far as a constant resistor can.
+  ConsoleTable table({"model", "objective (weighted SSE)", "worst Voc err [mV]",
+                      "Vmpp err [mV]"});
+  auto eval = [&](const std::string& name, const pv::MertenAsiModel::AsiParams& p) {
+    const double sse = pv::calibration_objective(p, anchors, mpp);
+    const pv::MertenAsiModel model(p);
+    double worst = 0.0;
+    pv::Conditions c;
+    for (const auto& a : anchors) {
+      c.illuminance_lux = a.lux;
+      worst = std::max(worst, std::abs(model.open_circuit_voltage(c) - a.voc));
+    }
+    c.illuminance_lux = mpp.lux;
+    const double vmpp_err = std::abs(model.maximum_power_point(c).voltage - mpp.vmpp);
+    table.add_row({name, ConsoleTable::num(sse, 0), ConsoleTable::num(worst * 1e3, 1),
+                   ConsoleTable::num(vmpp_err * 1e3, 0)});
+  };
+  eval("calibrated photo-shunt model", full);
+  eval("same params, losses removed", plain);
+  for (const double rsh : {1e6, 300e3, 100e3}) {
+    pv::MertenAsiModel::AsiParams p = plain;
+    p.base.shunt_resistance = rsh;
+    eval("single-diode, Rsh = " + ConsoleTable::num(rsh / 1e3, 0) + " kOhm", p);
+  }
+  table.print(std::cout);
+  bench::print_note(
+      "A constant shunt either barely moves the MPP (large Rsh) or collapses Voc at "
+      "low lux (small Rsh): the photocurrent-proportional loss of the a-Si model is "
+      "what lets one parameter set match the log-linear Voc column AND the 42 uA / "
+      "~3 V MPP anchor simultaneously.");
+}
+
+void bm_ablation_day_run(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(day_tracking_eff(core::SystemSpec{}));
+  }
+}
+BENCHMARK(bm_ablation_day_run)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ablate_sample_hold();
+  ablate_alpha();
+  ablate_cell_model();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Shared helpers for the reproduction benches.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace focv::bench {
+
+/// Banner printed before each reproduction block.
+inline void print_header(const std::string& experiment, const std::string& paper_result) {
+  std::printf("\n");
+  std::printf("================================================================================\n");
+  std::printf("REPRODUCTION  %s\n", experiment.c_str());
+  std::printf("Paper result: %s\n", paper_result.c_str());
+  std::printf("================================================================================\n");
+}
+
+inline void print_note(const std::string& note) { std::printf("NOTE: %s\n", note.c_str()); }
+
+}  // namespace focv::bench

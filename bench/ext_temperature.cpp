@@ -1,0 +1,106 @@
+// Extension bench: temperature robustness.
+//
+// A PV cell's Voc falls with temperature (the a-Si module loses tens of
+// millivolts per kelvin). FOCV tracks that automatically — the setpoint
+// is derived from the live Voc — while a fixed-voltage design [8] holds
+// the operating point it was trimmed at. This bench sweeps cell
+// temperature and compares the two, plus the effect on the paper's
+// Table I quantities.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "core/focv_system.hpp"
+#include "mppt/baselines.hpp"
+#include "mppt/focv_sample_hold.hpp"
+#include "pv/cell_library.hpp"
+
+namespace {
+
+using namespace focv;
+
+void reproduce_temperature() {
+  bench::print_header(
+      "Extension -- temperature sweep",
+      "FOCV derives its setpoint from the live Voc, so the circuit ratio (Table I's "
+      "k) holds at any cell temperature");
+
+  const pv::MertenAsiModel& cell = pv::sanyo_am1815();
+  auto focv_ctl = core::make_paper_controller();
+  mppt::FixedVoltageController fixed;  // trimmed at the nominal 27 degC point
+
+  ConsoleTable table({"cell temp [degC]", "Voc [V]", "Vmpp [V]", "FOCV setpoint [V]",
+                      "eff FOCV [%]", "eff fixed 3.0 V [%]"});
+  for (const double temp_c : {-10.0, 5.0, 27.0, 45.0, 60.0}) {
+    pv::Conditions c;
+    c.illuminance_lux = 1000.0;
+    c.temperature_k = temp_c + 273.15;
+    const double voc = cell.open_circuit_voltage(c);
+    const pv::MppResult mpp = cell.maximum_power_point(c);
+    focv_ctl.reset();
+    mppt::SensedInputs s;
+    s.time = 0.0;
+    s.dt = 1.0;
+    s.voc = voc;
+    const double v_focv = focv_ctl.step(s).pv_voltage;
+    const double v_fixed = fixed.step(s).pv_voltage;
+    table.add_row({ConsoleTable::num(temp_c, 0), ConsoleTable::num(voc, 3),
+                   ConsoleTable::num(mpp.voltage, 3), ConsoleTable::num(v_focv, 3),
+                   ConsoleTable::num(cell.tracking_efficiency(v_focv, c) * 100.0, 2),
+                   ConsoleTable::num(cell.tracking_efficiency(v_fixed, c) * 100.0, 2)});
+  }
+  table.print(std::cout);
+
+  // Table I quantities vs temperature: the circuit ratio is temperature
+  // independent (resistor ratios), so HELD follows Voc exactly.
+  ConsoleTable t1({"cell temp [degC]", "Voc @1000 lux [V]", "HELD [V]", "k [%]"});
+  for (const double temp_c : {0.0, 27.0, 50.0}) {
+    pv::Conditions c;
+    c.illuminance_lux = 1000.0;
+    c.temperature_k = temp_c + 273.15;
+    const double voc = cell.open_circuit_voltage(c);
+    auto ctl = core::make_paper_controller();
+    mppt::SensedInputs s;
+    s.time = 0.0;
+    s.dt = 1.0;
+    s.voc = voc;
+    (void)ctl.step(s);
+    const double held = ctl.held_sample(1.0);
+    t1.add_row({ConsoleTable::num(temp_c, 0), ConsoleTable::num(voc, 3),
+                ConsoleTable::num(held, 3), ConsoleTable::num(2.0 * held / voc * 100.0, 1)});
+  }
+  t1.print(std::cout);
+
+  bench::print_note(
+      "Between -10 and +60 degC the Voc moves by more than a volt while the FOCV "
+      "ratio stays pinned at 59.6% (it is set by resistors): HELD simply follows "
+      "the cell, reproducing Table I's constancy at any temperature. On this "
+      "calibrated cell the P-V maximum is broad enough that a well-trimmed fixed "
+      "voltage also survives the sweep (both stay above 98.5%) -- the honest "
+      "comparison notes of EXPERIMENTS.md apply here too.");
+}
+
+void bm_temperature_sweep(benchmark::State& state) {
+  const pv::MertenAsiModel& cell = pv::sanyo_am1815();
+  pv::Conditions c;
+  c.illuminance_lux = 1000.0;
+  double t = 280.0;
+  for (auto _ : state) {
+    c.temperature_k = t;
+    t = (t > 330.0) ? 280.0 : t + 1.0;
+    benchmark::DoNotOptimize(cell.maximum_power_point(c));
+  }
+}
+BENCHMARK(bm_temperature_sweep);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  reproduce_temperature();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Extension bench: Monte-Carlo production spread of the metrology
+// circuit — why the paper's R2 is a potentiometer, and how the 7.6 uA /
+// 39 ms / 69 s figures vary with real component tolerances.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "core/tolerance.hpp"
+
+namespace {
+
+using namespace focv;
+
+void print_stats_row(ConsoleTable& table, const std::string& name,
+                     const core::ToleranceReport::Stats& s, double scale,
+                     const std::string& unit) {
+  table.add_row({name, ConsoleTable::num(s.mean * scale, 3) + unit,
+                 ConsoleTable::num(s.stddev * scale, 3) + unit,
+                 ConsoleTable::num(s.min * scale, 3) + unit,
+                 ConsoleTable::num(s.max * scale, 3) + unit});
+}
+
+void reproduce_tolerance_mc() {
+  bench::print_header(
+      "Extension -- Monte-Carlo component tolerances (2000 production units)",
+      "Section IV-A: the k setting 'may easily be trimmed by means of a variable "
+      "potentiometer in place of R2'");
+
+  core::ToleranceSpec untrimmed;
+  const auto report = core::run_tolerance_monte_carlo(core::SystemSpec{}, untrimmed, 2000);
+
+  ConsoleTable table({"quantity (untrimmed units)", "mean", "stddev", "min", "max"});
+  print_stats_row(table, "effective k", report.k_stats(), 100.0, " %");
+  print_stats_row(table, "astable on period", report.on_period_stats(), 1e3, " ms");
+  print_stats_row(table, "astable off period", report.off_period_stats(), 1.0, " s");
+  print_stats_row(table, "metrology current", report.current_stats(), 1e6, " uA");
+  table.print(std::cout);
+
+  core::ToleranceSpec trimmed = untrimmed;
+  trimmed.trimmed = true;
+  const auto trimmed_report =
+      core::run_tolerance_monte_carlo(core::SystemSpec{}, trimmed, 2000);
+
+  ConsoleTable yield({"k window", "yield untrimmed", "yield after R2 trim"});
+  for (const auto& [lo, hi] : {std::pair{0.592, 0.601}, std::pair{0.58, 0.61},
+                               std::pair{0.55, 0.65}}) {
+    yield.add_row({ConsoleTable::num(lo * 100, 1) + "-" + ConsoleTable::num(hi * 100, 1) + " %",
+                   ConsoleTable::num(report.k_yield(lo, hi) * 100.0, 1) + " %",
+                   ConsoleTable::num(trimmed_report.k_yield(lo, hi) * 100.0, 1) + " %"});
+  }
+  yield.print(std::cout);
+
+  bench::print_note(
+      "With 1% resistors the untrimmed divider already scatters k beyond the paper's "
+      "measured 59.2-60.1% band; the trim step recovers it. Timing spread is dominated "
+      "by the 10% timing capacitor -- harmless, since Section II-B shows any hold "
+      "period above ~60 s works.");
+}
+
+void bm_tolerance_mc(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::run_tolerance_monte_carlo(
+        core::SystemSpec{}, core::ToleranceSpec{}, static_cast<int>(state.range(0))));
+  }
+}
+BENCHMARK(bm_tolerance_mc)->Arg(100)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  reproduce_tolerance_mc();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Fig. 2: 24-hour log of the PV cell's open-circuit voltage on an office
+// desk lit by a mix of artificial and natural light ("Sunrise, and
+// lights-off at the end of the day, can easily be identified").
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/ascii_plot.hpp"
+#include "common/table.hpp"
+#include "env/profiles.hpp"
+#include "env/solar.hpp"
+#include "pv/cell_library.hpp"
+
+namespace {
+
+using namespace focv;
+
+void plot_voc_day(const std::string& title, const env::LightTrace& trace) {
+  const auto& cell = pv::schott_asi_1116929();
+  const std::vector<double> voc = trace.voc_series(cell, 300.15);
+  // Thin to ~2-minute points for the plot.
+  std::vector<double> hours, volts;
+  for (std::size_t i = 0; i < voc.size(); i += 120) {
+    hours.push_back(trace.time()[i] / 3600.0);
+    volts.push_back(voc[i]);
+  }
+  AsciiPlotOptions opt;
+  opt.title = title;
+  opt.x_label = "time of day [h]";
+  opt.y_label = "cell Voc [V]";
+  ascii_plot(std::cout, {{hours, volts, '*', "Voc"}}, opt);
+}
+
+void reproduce_fig2() {
+  bench::print_header("Fig. 2 -- 24 h log of PV open-circuit voltage on an office desk",
+                      "Voc trace where sunrise and end-of-day lights-off are visible");
+
+  const env::LightTrace office = env::office_desk_mixed();
+  plot_voc_day("Fig. 2: office desk, mixed artificial + natural light", office);
+
+  // The identifiable events called out in the caption.
+  env::SolarConfig solar;
+  const double sunrise_h = env::sunrise_time(solar) / 3600.0;
+  const auto voc = office.voc_series(pv::schott_asi_1116929(), 300.15);
+  // Lights-off: last time artificial drops to zero while it was lit.
+  double lights_off_h = 0.0;
+  for (std::size_t i = 1; i < office.size(); ++i) {
+    if (office.artificial_lux()[i - 1] > 10.0 && office.artificial_lux()[i] <= 1.0) {
+      lights_off_h = office.time()[i] / 3600.0;
+    }
+  }
+  ConsoleTable events({"event", "time of day", "visibility in the trace"});
+  events.add_row({"sunrise", ConsoleTable::num(sunrise_h, 2) + " h",
+                  "Voc rises from 0 as daylight reaches the desk"});
+  events.add_row({"lights on", "7.75 h", "step up to the office level"});
+  events.add_row({"lights off", ConsoleTable::num(lights_off_h, 2) + " h",
+                  "step down; Voc then follows remaining daylight"});
+  events.print(std::cout);
+
+  bench::print_note(
+      "The companion measurement campaigns of Section II-B "
+      "(the Sunday blinds-closed desk test and the semi-mobile Friday) "
+      "are plotted below; the Eq. (2) numbers they feed are reproduced "
+      "by bench/sampling_error.");
+
+  plot_voc_day("Section II-B test 1: desk on a Sunday, blinds closed",
+               env::desk_sunday_blinds_closed());
+  plot_voc_day("Section II-B test 2: semi-mobile day with outdoor lunch",
+               env::semi_mobile_day());
+}
+
+void bm_trace_generation(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(env::office_desk_mixed());
+  }
+}
+BENCHMARK(bm_trace_generation);
+
+void bm_voc_series_24h(benchmark::State& state) {
+  const env::LightTrace trace = env::office_desk_mixed();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trace.voc_series(pv::schott_asi_1116929(), 300.15));
+  }
+}
+BENCHMARK(bm_voc_series_24h);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  reproduce_fig2();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

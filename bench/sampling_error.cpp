@@ -1,0 +1,91 @@
+// Section II-B: Eq. (2) worst-case mean sampling error analysis.
+// Paper numbers: at a 1-minute hold period the desk-mounted 24 h test
+// gives E = 12.7 mV and the semi-mobile test 24.1 mV; these map to MPP
+// voltage errors of ~7.7 mV and ~14.7 mV, i.e. an efficiency loss below
+// 1% -- justifying hold periods > 60 s.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <iostream>
+
+#include "analysis/sampling_error.hpp"
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "env/profiles.hpp"
+#include "pv/cell_library.hpp"
+
+namespace {
+
+using namespace focv;
+
+void reproduce_sampling_error() {
+  bench::print_header(
+      "Section II-B -- Eq. (2) sampling-error analysis",
+      "60 s hold: E = 12.7 mV (desk) / 24.1 mV (semi-mobile); MPP error 7.7 / 14.7 mV; "
+      "efficiency loss < 1%");
+
+  const auto& cell = pv::schott_asi_1116929();
+  const env::LightTrace desk = env::desk_sunday_blinds_closed();
+  const env::LightTrace mobile = env::semi_mobile_day();
+  const std::vector<double> voc_desk = desk.voc_series(cell, 300.15);
+  const std::vector<double> voc_mobile = mobile.voc_series(cell, 300.15);
+
+  const std::vector<double> periods = {5.0, 10.0, 30.0, 60.0, 120.0, 300.0, 600.0, 1800.0};
+  const auto sweep_desk = analysis::error_vs_period(voc_desk, 1.0, periods);
+  const auto sweep_mobile = analysis::error_vs_period(voc_mobile, 1.0, periods);
+
+  ConsoleTable table({"hold period [s]", "E desk [mV]", "E semi-mobile [mV]"});
+  for (std::size_t i = 0; i < periods.size(); ++i) {
+    table.add_row({ConsoleTable::num(periods[i], 0),
+                   ConsoleTable::num(sweep_desk[i].error * 1e3, 2),
+                   ConsoleTable::num(sweep_mobile[i].error * 1e3, 2)});
+  }
+  table.print(std::cout);
+
+  const double e_desk = analysis::worst_case_mean_error(voc_desk, 60);
+  const double e_mobile = analysis::worst_case_mean_error(voc_mobile, 60);
+  pv::Conditions c;
+  c.illuminance_lux = 1000.0;
+  const double k = cell.k_factor(c);
+  const double mpp_err_desk = analysis::mpp_voltage_error(e_desk, k);
+  const double mpp_err_mobile = analysis::mpp_voltage_error(e_mobile, k);
+
+  ConsoleTable summary({"quantity", "paper", "this reproduction"});
+  summary.add_row({"E @ 60 s, desk test", "12.7 mV", ConsoleTable::num(e_desk * 1e3, 1) + " mV"});
+  summary.add_row(
+      {"E @ 60 s, semi-mobile", "24.1 mV", ConsoleTable::num(e_mobile * 1e3, 1) + " mV"});
+  summary.add_row({"MPP-voltage error, desk", "~7.7 mV",
+                   ConsoleTable::num(mpp_err_desk * 1e3, 1) + " mV"});
+  summary.add_row({"MPP-voltage error, semi-mobile", "~14.7 mV",
+                   ConsoleTable::num(mpp_err_mobile * 1e3, 1) + " mV"});
+  const double loss =
+      analysis::efficiency_loss_at_offset(cell, c, std::max(mpp_err_desk, mpp_err_mobile));
+  summary.add_row({"worst efficiency loss", "< 1%",
+                   ConsoleTable::num(loss * 100.0, 3) + " %"});
+  summary.print(std::cout);
+
+  bench::print_note(
+      "Conclusion reproduced: even the semi-mobile worst case costs well under 1% of "
+      "the harvest, so a hold period > 60 s is justified (the design choice that makes "
+      "the 8 uA sample-and-hold possible).");
+}
+
+void bm_eq2_24h_trace(benchmark::State& state) {
+  const env::LightTrace desk = env::desk_sunday_blinds_closed();
+  const auto voc = desk.voc_series(pv::schott_asi_1116929(), 300.15);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        analysis::worst_case_mean_error(voc, static_cast<std::size_t>(state.range(0))));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(voc.size()));
+}
+BENCHMARK(bm_eq2_24h_trace)->Arg(60)->Arg(600);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  reproduce_sampling_error();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

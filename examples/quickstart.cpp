@@ -1,0 +1,48 @@
+// Quickstart: the library in ~40 lines.
+//
+// Build a calibrated indoor PV cell, attach the paper's FOCV
+// sample-and-hold MPPT, and watch it pick the operating point at office
+// light levels.
+//
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/focv_system.hpp"
+#include "mppt/focv_sample_hold.hpp"
+#include "pv/cell_library.hpp"
+
+int main() {
+  using namespace focv;
+
+  // 1. The SANYO Amorton AM-1815 indoor a-Si cell, calibrated against
+  //    the paper's Table I.
+  const pv::MertenAsiModel& cell = pv::sanyo_am1815();
+  pv::Conditions office;
+  office.illuminance_lux = 1000.0;                  // desk under fluorescent light
+  office.spectrum = pv::Spectrum::kFluorescent;
+
+  const double voc = cell.open_circuit_voltage(office);
+  const pv::MppResult mpp = cell.maximum_power_point(office);
+  std::printf("AM-1815 at 1000 lux: Voc = %.3f V, MPP = %.3f V / %.1f uA (%.1f uW)\n",
+              voc, mpp.voltage, mpp.current * 1e6, mpp.power * 1e6);
+
+  // 2. The paper's controller: astable (39 ms / 69 s) + sample-and-hold.
+  mppt::FocvSampleHoldController mppt = core::make_paper_controller();
+  std::printf("controller overhead: %.2f uA at 3.3 V (paper: 7.6 uA)\n",
+              mppt.average_current() * 1e6);
+
+  // 3. One sampling operation: the controller reads Voc during the
+  //    39 ms PULSE window and holds k*alpha*Voc for the next 69 s.
+  mppt::SensedInputs sensed;
+  sensed.time = 0.0;
+  sensed.dt = 1.0;
+  sensed.voc = voc;
+  const mppt::ControlOutput out = mppt.step(sensed);
+
+  std::printf("HELD_SAMPLE = %.3f V  ->  PV operated at %.3f V\n",
+              mppt.held_sample(1.0), out.pv_voltage);
+  std::printf("harvest at that point: %.1f uW (%.1f%% of the true MPP)\n",
+              cell.power_at(out.pv_voltage, office) * 1e6,
+              cell.tracking_efficiency(out.pv_voltage, office) * 100.0);
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Example: a body-worn sensor moving between indoor and outdoor light.
+//
+// The paper's headline use case: "sensors which may be exposed to
+// different types of lighting (such as body-worn or mobile sensors)".
+// Compares the proposed controller against a fixed-voltage design and a
+// microcontroller hill climber across the semi-mobile day of Section
+// II-B (lab morning, outdoor lunch, lab afternoon, home evening).
+//
+//   ./build/examples/wearable_mixed_light
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/focv_system.hpp"
+#include "env/profiles.hpp"
+#include "mppt/baselines.hpp"
+#include "node/harvester_node.hpp"
+#include "pv/cell_library.hpp"
+
+namespace {
+
+focv::node::NodeReport run(focv::mppt::MpptController& controller,
+                           const focv::env::LightTrace& day) {
+  focv::node::NodeConfig cfg;
+  cfg.cell = &focv::pv::sanyo_am1815();
+  cfg.controller = &controller;
+  cfg.storage.initial_voltage = 2.5;
+  cfg.load.report_period = 60.0;  // a wearable reports every minute
+  return focv::node::simulate_node(day, cfg);
+}
+
+}  // namespace
+
+int main() {
+  using namespace focv;
+
+  const env::LightTrace day = env::semi_mobile_day();
+
+  auto proposed = core::make_paper_controller();
+  mppt::FixedVoltageController fixed;
+  mppt::HillClimbingController hill_climber;
+
+  const node::NodeReport r_proposed = run(proposed, day);
+  const node::NodeReport r_fixed = run(fixed, day);
+  const node::NodeReport r_hill = run(hill_climber, day);
+
+  ConsoleTable table({"controller", "overhead [uW]", "harvest [J]", "net [J]",
+                      "track eff [%]", "runs indoors?"});
+  auto row = [&](const std::string& name, const mppt::MpptController& c,
+                 const node::NodeReport& r) {
+    table.add_row({name, ConsoleTable::num(c.overhead_power() * 1e6, 1),
+                   ConsoleTable::num(r.harvested_energy, 3),
+                   ConsoleTable::num(r.net_energy(), 3),
+                   ConsoleTable::num(r.tracking_efficiency() * 100.0, 1),
+                   c.minimum_operating_lux() <= 200.0 ? "yes" : "no"});
+  };
+  row("proposed FOCV S&H", proposed, r_proposed);
+  row("fixed voltage [8]", fixed, r_fixed);
+  row("hill climbing [2]", hill_climber, r_hill);
+  table.print(std::cout);
+
+  std::printf(
+      "\nThe hill climber only wakes up during the bright outdoor spell (its 1 mW\n"
+      "microcontroller cannot run from indoor light), so it misses the whole office\n"
+      "day; the proposed controller tracks everywhere for 25 uW.\n");
+
+  // Portability: the same two fixed/FOCV controllers on a different module.
+  auto proposed2 = core::make_paper_controller();
+  mppt::FixedVoltageController fixed2;
+  node::NodeConfig cfg;
+  cfg.cell = &pv::schott_asi_1116929();
+  cfg.controller = &proposed2;
+  cfg.storage.initial_voltage = 2.5;
+  const double eff_focv = node::simulate_node(day, cfg).tracking_efficiency();
+  cfg.controller = &fixed2;
+  const double eff_fixed = node::simulate_node(day, cfg).tracking_efficiency();
+  std::printf(
+      "\nSwapping in the 8-junction Schott module without re-tuning:\n"
+      "  FOCV tracking efficiency:          %.1f %%  (adapts via the cell's own Voc)\n"
+      "  fixed 3.0 V tracking efficiency:   %.1f %%  (tuned for the other cell)\n",
+      eff_focv * 100.0, eff_fixed * 100.0);
+  return 0;
+}

@@ -1,0 +1,44 @@
+#include "analog/astable.hpp"
+
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace focv::analog {
+
+AstableMultivibrator::AstableMultivibrator(Params params) : params_(params) {
+  require(params_.on_period > 0.0, "AstableMultivibrator: on_period must be > 0");
+  require(params_.off_period > 0.0, "AstableMultivibrator: off_period must be > 0");
+  require(params_.start_delay >= 0.0, "AstableMultivibrator: start_delay must be >= 0");
+}
+
+bool AstableMultivibrator::pulse_active(double t) const {
+  if (t < params_.start_delay) return false;
+  const double local = std::fmod(t - params_.start_delay, period());
+  return local < params_.on_period;
+}
+
+double AstableMultivibrator::next_rising_edge(double t) const {
+  if (t <= params_.start_delay) return params_.start_delay;
+  const double since = t - params_.start_delay;
+  const double cycles = std::ceil(since / period());
+  return params_.start_delay + cycles * period();
+}
+
+AstableMultivibrator::Params AstableMultivibrator::timing_from_components(
+    const TimingComponents& components, double comparator_iq, double network_current) {
+  require(components.r_charge > 0.0 && components.r_discharge > 0.0,
+          "timing_from_components: resistances must be > 0");
+  require(components.capacitance > 0.0, "timing_from_components: capacitance must be > 0");
+  const double lo = components.threshold_low_fraction;
+  const double hi = components.threshold_high_fraction;
+  require(lo > 0.0 && hi < 1.0 && lo < hi, "timing_from_components: bad threshold fractions");
+  Params p;
+  p.on_period = components.r_charge * components.capacitance * std::log((1.0 - lo) / (1.0 - hi));
+  p.off_period = components.r_discharge * components.capacitance * std::log(hi / lo);
+  p.comparator_iq = comparator_iq;
+  p.network_current = network_current;
+  return p;
+}
+
+}  // namespace focv::analog

@@ -1,0 +1,71 @@
+// Behavioural model of the micropower astable multivibrator (Fig. 3).
+//
+// The hardware is an LMC7215 comparator with an RC timing network and a
+// diode-split charge/discharge path so the high ('on') and low ('off')
+// periods can be set independently (Section III-B). The prototype
+// produced a 39 ms on-period and a 69 s off-period.
+#pragma once
+
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace focv::analog {
+
+/// Behavioural astable: a rectangular PULSE train.
+class AstableMultivibrator {
+ public:
+  struct Params {
+    double on_period = 39e-3;        ///< PULSE high [s]
+    double off_period = 69.0;        ///< PULSE low [s]
+    double start_delay = 0.0;        ///< first rising edge [s]
+    double comparator_iq = 0.7e-6;   ///< LMC7215 quiescent [A]
+    double network_current = 0.25e-6;///< average timing/feedback network draw [A]
+  };
+
+  explicit AstableMultivibrator(Params params);
+  AstableMultivibrator() : AstableMultivibrator(Params{}) {}
+
+  /// Is PULSE high at time t?
+  [[nodiscard]] bool pulse_active(double t) const;
+
+  /// Time of the next rising edge at or after t.
+  [[nodiscard]] double next_rising_edge(double t) const;
+
+  /// Full period [s].
+  [[nodiscard]] double period() const { return params_.on_period + params_.off_period; }
+
+  /// Duty cycle of the PULSE line.
+  [[nodiscard]] double duty_cycle() const { return params_.on_period / period(); }
+
+  /// Average supply current [A].
+  [[nodiscard]] double average_current() const {
+    return params_.comparator_iq + params_.network_current;
+  }
+
+  [[nodiscard]] const Params& params() const { return params_; }
+
+  /// Compute the on/off periods produced by a comparator RC oscillator
+  /// with hysteresis thresholds (fractions of the supply) and a
+  /// diode-split resistor pair:
+  ///   t_on  = r_on  * c * ln((vcc - v_lo) / (vcc - v_hi))
+  ///   t_off = r_off * c * ln(v_hi / v_lo)
+  /// This ties the behavioural timing to component values; the netlist
+  /// builder in focv::core uses the same components and a test checks
+  /// the two agree.
+  struct TimingComponents {
+    double r_charge = 0.0;     ///< resistor charging the cap while PULSE is high [Ohm]
+    double r_discharge = 0.0;  ///< resistor discharging while PULSE is low [Ohm]
+    double capacitance = 0.0;  ///< timing capacitor [F]
+    double threshold_low_fraction = 1.0 / 3.0;   ///< lower hysteresis / Vcc
+    double threshold_high_fraction = 2.0 / 3.0;  ///< upper hysteresis / Vcc
+  };
+  [[nodiscard]] static Params timing_from_components(const TimingComponents& components,
+                                                     double comparator_iq = 0.7e-6,
+                                                     double network_current = 0.25e-6);
+
+ private:
+  Params params_;
+};
+
+}  // namespace focv::analog

@@ -1,0 +1,45 @@
+// Behavioural comparator with hysteresis (the ACTIVE sanity-check
+// comparator U5 of Fig. 3, and the cold-start threshold detector).
+#pragma once
+
+#include "common/require.hpp"
+
+namespace focv::analog {
+
+/// Latching threshold comparator.
+class ComparatorBlock {
+ public:
+  struct Params {
+    double threshold = 1.65;       ///< rising threshold [V]
+    double hysteresis = 0.05;      ///< falls at threshold - hysteresis [V]
+    double quiescent_current = 0.7e-6;  ///< LMC7215-class [A]
+    bool initial_state = false;
+  };
+
+  explicit ComparatorBlock(Params params) : params_(params), state_(params.initial_state) {
+    require(params_.hysteresis >= 0.0, "ComparatorBlock: hysteresis must be >= 0");
+  }
+  ComparatorBlock() : ComparatorBlock(Params{}) {}
+
+  /// Update with a new input sample; returns the (possibly new) state.
+  bool update(double input) {
+    if (!state_ && input >= params_.threshold) {
+      state_ = true;
+    } else if (state_ && input < params_.threshold - params_.hysteresis) {
+      state_ = false;
+    }
+    return state_;
+  }
+
+  [[nodiscard]] bool state() const { return state_; }
+  [[nodiscard]] double quiescent_current() const { return params_.quiescent_current; }
+  [[nodiscard]] const Params& params() const { return params_; }
+
+  void reset() { state_ = params_.initial_state; }
+
+ private:
+  Params params_;
+  bool state_;
+};
+
+}  // namespace focv::analog

@@ -1,0 +1,42 @@
+// Resistive divider with trim potentiometer (the k*alpha network of
+// Eq. (3); Section IV-A notes the ratio "may easily be trimmed by means
+// of a variable potentiometer in place of R2").
+#pragma once
+
+#include "common/require.hpp"
+
+namespace focv::analog {
+
+/// Two-resistor divider: out = in * r_bottom / (r_top + r_bottom).
+class ResistiveDivider {
+ public:
+  ResistiveDivider(double r_top, double r_bottom) : r_top_(r_top), r_bottom_(r_bottom) {
+    require(r_top > 0.0 && r_bottom > 0.0, "ResistiveDivider: resistances must be > 0");
+  }
+
+  [[nodiscard]] double ratio() const { return r_bottom_ / (r_top_ + r_bottom_); }
+  [[nodiscard]] double output(double input) const { return input * ratio(); }
+
+  /// Current drawn from the source at the given input voltage [A].
+  [[nodiscard]] double current(double input) const { return input / (r_top_ + r_bottom_); }
+
+  /// Thevenin output impedance [Ohm].
+  [[nodiscard]] double output_impedance() const {
+    return r_top_ * r_bottom_ / (r_top_ + r_bottom_);
+  }
+
+  /// Adjust the bottom resistor (trim pot) to hit `ratio` exactly.
+  void trim_to_ratio(double ratio) {
+    require(ratio > 0.0 && ratio < 1.0, "trim_to_ratio: ratio must be in (0,1)");
+    r_bottom_ = r_top_ * ratio / (1.0 - ratio);
+  }
+
+  [[nodiscard]] double r_top() const { return r_top_; }
+  [[nodiscard]] double r_bottom() const { return r_bottom_; }
+
+ private:
+  double r_top_;
+  double r_bottom_;
+};
+
+}  // namespace focv::analog

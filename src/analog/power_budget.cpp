@@ -1,0 +1,30 @@
+#include "analog/power_budget.hpp"
+
+#include "common/require.hpp"
+#include "common/table.hpp"
+
+namespace focv::analog {
+
+void PowerBudget::add(std::string component, double current_a, std::string note) {
+  require(current_a >= 0.0, "PowerBudget::add: current must be >= 0");
+  items_.push_back({std::move(component), current_a, std::move(note)});
+}
+
+double PowerBudget::total_current() const {
+  double sum = 0.0;
+  for (const auto& item : items_) sum += item.current;
+  return sum;
+}
+
+void PowerBudget::print(std::ostream& os, double supply_voltage) const {
+  focv::ConsoleTable table({"Component", "I avg [uA]", "P [uW]", "Note"});
+  for (const auto& item : items_) {
+    table.add_row({item.component, focv::ConsoleTable::num(item.current * 1e6, 3),
+                   focv::ConsoleTable::num(item.current * supply_voltage * 1e6, 3), item.note});
+  }
+  table.add_row({"TOTAL", focv::ConsoleTable::num(total_current() * 1e6, 3),
+                 focv::ConsoleTable::num(total_power(supply_voltage) * 1e6, 3), ""});
+  table.print(os);
+}
+
+}  // namespace focv::analog

@@ -1,0 +1,54 @@
+#include "analog/sample_hold.hpp"
+
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace focv::analog {
+
+SampleHold::SampleHold(Params params) : params_(params) {
+  require(params_.divider_ratio > 0.0 && params_.divider_ratio < 1.0,
+          "SampleHold: divider_ratio must be in (0, 1)");
+  require(params_.acquisition_time > 0.0, "SampleHold: acquisition_time must be > 0");
+  require(params_.hold_capacitance > 0.0, "SampleHold: hold_capacitance must be > 0");
+  require(params_.leakage_current >= 0.0, "SampleHold: leakage_current must be >= 0");
+}
+
+void SampleHold::sample(double t, double voc, double sample_duration) {
+  require(sample_duration > 0.0, "SampleHold::sample: sample_duration must be > 0");
+  // Target value: divided Voc plus the input buffer offset.
+  const double target = (voc + params_.input_buffer_offset) * params_.divider_ratio;
+  // First-order settling towards the target during the switch-on window.
+  const double tau = params_.acquisition_time / 5.0;  // 5 tau == "settled"
+  const double start = has_sample_ ? value(t) : 0.0;
+  double settled = target + (start - target) * std::exp(-sample_duration / tau);
+  // Charge injection kick when the switch opens.
+  settled -= params_.charge_injection / params_.hold_capacitance;
+  held_ = settled;
+  sample_time_ = t + sample_duration;
+  has_sample_ = true;
+}
+
+double SampleHold::value(double t) const {
+  if (!has_sample_) return 0.0;
+  const double droop = droop_rate() * std::max(0.0, t - sample_time_);
+  const double v = held_ - droop + params_.output_buffer_offset;
+  return (v > 0.0) ? v : 0.0;
+}
+
+double SampleHold::droop_rate() const {
+  return params_.leakage_current / params_.hold_capacitance;
+}
+
+double SampleHold::average_current(double duty_cycle) const {
+  require(duty_cycle >= 0.0 && duty_cycle <= 1.0, "average_current: duty in [0,1]");
+  return params_.buffer_iq + params_.divider_current_peak * duty_cycle;
+}
+
+void SampleHold::reset() {
+  held_ = 0.0;
+  sample_time_ = 0.0;
+  has_sample_ = false;
+}
+
+}  // namespace focv::analog

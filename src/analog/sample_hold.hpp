@@ -1,0 +1,61 @@
+// Behavioural model of the ultra low-power sample-and-hold (Fig. 3).
+//
+// Hardware: input unity-gain buffer (U2) -> analog switch -> low-leakage
+// polyester hold capacitor -> output unity-gain buffer (U4), preceded by
+// the resistive divider that scales Voc by k*alpha (Eq. 3). Non-ideal
+// effects modelled: finite acquisition, hold droop from leakage, switch
+// charge injection, buffer offsets, and the R3/C3 ripple filter.
+#pragma once
+
+#include "common/units.hpp"
+
+namespace focv::analog {
+
+/// Behavioural sample-and-hold with droop and offset errors.
+class SampleHold {
+ public:
+  struct Params {
+    double divider_ratio = 0.298;        ///< k * alpha of Eq. (3)
+    double acquisition_time = 10e-3;     ///< time to settle to the input [s]
+    double hold_capacitance = 100e-9;    ///< low-leakage polyester cap [F]
+    double leakage_current = 50e-12;     ///< total droop current at the hold node [A]
+    double charge_injection = 5e-12;     ///< switch charge injection [C]
+    double input_buffer_offset = 0.5e-3; ///< U2 offset [V]
+    double output_buffer_offset = 0.5e-3;///< U4 offset [V]
+    double buffer_iq = 2.6e-6;           ///< quiescent of U2 + U4 combined [A]
+    double divider_current_peak = 0.5e-6;///< divider draw while sampling [A]
+  };
+
+  explicit SampleHold(Params params);
+  SampleHold() : SampleHold(Params{}) {}
+
+  /// Perform a sampling operation at time t on the (open-circuit) input
+  /// voltage `voc`. `sample_duration` is how long PULSE keeps the switch
+  /// closed; shorter than acquisition_time leaves a settling error.
+  void sample(double t, double voc, double sample_duration);
+
+  /// Held output value at time t (droop applied since the last sample).
+  [[nodiscard]] double value(double t) const;
+
+  /// True once at least one sample was taken.
+  [[nodiscard]] bool has_sample() const { return has_sample_; }
+
+  /// Droop rate [V/s] = leakage / C_hold.
+  [[nodiscard]] double droop_rate() const;
+
+  /// Average supply current given the sampling duty cycle [A].
+  [[nodiscard]] double average_current(double duty_cycle) const;
+
+  [[nodiscard]] const Params& params() const { return params_; }
+
+  /// Reset to the power-on state (no sample held).
+  void reset();
+
+ private:
+  Params params_;
+  double held_ = 0.0;
+  double sample_time_ = 0.0;
+  bool has_sample_ = false;
+};
+
+}  // namespace focv::analog

@@ -1,0 +1,56 @@
+#include "analysis/sampling_error.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/require.hpp"
+
+namespace focv::analysis {
+
+double worst_case_mean_error(const std::vector<double>& x, std::size_t period_samples) {
+  require(period_samples >= 1, "worst_case_mean_error: period must be >= 1 sample");
+  require(period_samples <= x.size(), "worst_case_mean_error: period exceeds trace length");
+  const std::size_t q = x.size();
+  const std::size_t p = period_samples;
+
+  // Monotonic deques of indices for the sliding max and min.
+  std::deque<std::size_t> max_dq;
+  std::deque<std::size_t> min_dq;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < q; ++i) {
+    while (!max_dq.empty() && x[max_dq.back()] <= x[i]) max_dq.pop_back();
+    max_dq.push_back(i);
+    while (!min_dq.empty() && x[min_dq.back()] >= x[i]) min_dq.pop_back();
+    min_dq.push_back(i);
+    if (i + 1 >= p) {
+      const std::size_t window_start = i + 1 - p;
+      while (max_dq.front() < window_start) max_dq.pop_front();
+      while (min_dq.front() < window_start) min_dq.pop_front();
+      sum += x[max_dq.front()] - x[min_dq.front()];
+    }
+  }
+  return sum / static_cast<double>(q - p + 1);
+}
+
+std::vector<PeriodError> error_vs_period(const std::vector<double>& x, double sample_period,
+                                         const std::vector<double>& periods) {
+  require(sample_period > 0.0, "error_vs_period: sample_period must be > 0");
+  std::vector<PeriodError> out;
+  out.reserve(periods.size());
+  for (const double period : periods) {
+    const auto samples = static_cast<std::size_t>(std::max(1.0, period / sample_period + 0.5));
+    out.push_back({period, worst_case_mean_error(x, std::min(samples, x.size()))});
+  }
+  return out;
+}
+
+double efficiency_loss_at_offset(const pv::CellModel& model, const pv::Conditions& conditions,
+                                 double dv) {
+  const pv::MppResult mpp = model.maximum_power_point(conditions);
+  if (mpp.power <= 0.0) return 0.0;
+  const double p_hi = model.power_at(mpp.voltage + dv, conditions);
+  const double p_lo = model.power_at(mpp.voltage - dv, conditions);
+  return 1.0 - std::min(p_hi, p_lo) / mpp.power;
+}
+
+}  // namespace focv::analysis

@@ -1,0 +1,46 @@
+// The paper's Eq. (2) worst-case mean sampling error and its mapping to
+// MPP-voltage error and harvesting-efficiency loss (Section II-B).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "pv/cell_model.hpp"
+
+namespace focv::analysis {
+
+/// Eq. (2): the mean over all length-p windows of (max - min) within the
+/// window:
+///   E = sum_{n=0}^{q-p} [ max(x_n..x_{n+p-1}) - min(x_n..x_{n+p-1}) ] / (q - p + 1)
+/// where p is the hold period in samples and q the trace length. This is
+/// the worst-case mean error of a sample-and-hold that samples once per
+/// period: whatever phase the sampler has, the held value differs from
+/// the true signal by at most the window range.
+///
+/// O(n) via monotonic deques. Requires 1 <= period_samples <= x.size().
+[[nodiscard]] double worst_case_mean_error(const std::vector<double>& x,
+                                           std::size_t period_samples);
+
+/// Evaluate Eq. (2) for several hold periods [s] over a uniformly
+/// sampled trace with spacing sample_period [s].
+struct PeriodError {
+  double period = 0.0;  ///< hold period [s]
+  double error = 0.0;   ///< E [same units as x]
+};
+[[nodiscard]] std::vector<PeriodError> error_vs_period(const std::vector<double>& x,
+                                                       double sample_period,
+                                                       const std::vector<double>& periods);
+
+/// Map a Voc estimation error to an MPP-voltage error through the FOCV
+/// relation Vmpp = k * Voc.
+[[nodiscard]] inline double mpp_voltage_error(double voc_error, double k) {
+  return k * voc_error;
+}
+
+/// Harvesting-efficiency loss of operating `dv` volts away from the MPP
+/// (the worse of +dv / -dv), at the given conditions:
+///   loss = 1 - min(P(Vmpp+dv), P(Vmpp-dv)) / Pmpp.
+[[nodiscard]] double efficiency_loss_at_offset(const pv::CellModel& model,
+                                               const pv::Conditions& conditions, double dv);
+
+}  // namespace focv::analysis

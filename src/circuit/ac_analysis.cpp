@@ -1,0 +1,275 @@
+#include "circuit/ac_analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "circuit/devices_passive.hpp"
+#include "circuit/devices_sources.hpp"
+#include "common/require.hpp"
+
+namespace focv::circuit {
+
+// ----------------------------------------------------------------- AcSweep
+
+void AcSweep::append(double frequency_hz, std::vector<std::complex<double>> values) {
+  require(values.size() == names_.size(), "AcSweep::append: sample width mismatch");
+  frequency_.push_back(frequency_hz);
+  values_.push_back(std::move(values));
+}
+
+std::size_t AcSweep::index_of(const std::string& name) const {
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return i;
+  }
+  throw PreconditionError("AcSweep: unknown signal '" + name + "'");
+}
+
+std::vector<std::complex<double>> AcSweep::response(const std::string& name) const {
+  const std::size_t idx = index_of(name);
+  std::vector<std::complex<double>> out;
+  out.reserve(values_.size());
+  for (const auto& row : values_) out.push_back(row[idx]);
+  return out;
+}
+
+std::vector<double> AcSweep::magnitude_db(const std::string& name) const {
+  std::vector<double> out;
+  for (const auto& v : response(name)) {
+    out.push_back(20.0 * std::log10(std::max(std::abs(v), 1e-30)));
+  }
+  return out;
+}
+
+std::vector<double> AcSweep::phase_deg(const std::string& name) const {
+  std::vector<double> out;
+  for (const auto& v : response(name)) {
+    out.push_back(std::arg(v) * 180.0 / std::numbers::pi);
+  }
+  return out;
+}
+
+double AcSweep::corner_frequency(const std::string& name) const {
+  const std::vector<double> mag = magnitude_db(name);
+  if (mag.empty()) return -1.0;
+  const double reference = mag.front();
+  for (std::size_t i = 1; i < mag.size(); ++i) {
+    if (mag[i] <= reference - 3.0) {
+      // Interpolate in log frequency between i-1 and i.
+      const double f0 = std::log10(frequency_[i - 1]);
+      const double f1 = std::log10(frequency_[i]);
+      const double m0 = mag[i - 1];
+      const double m1 = mag[i];
+      const double t = (reference - 3.0 - m0) / (m1 - m0);
+      return std::pow(10.0, f0 + t * (f1 - f0));
+    }
+  }
+  return -1.0;
+}
+
+// ------------------------------------------------------------- complex LU
+
+namespace {
+
+using Complex = std::complex<double>;
+
+std::vector<Complex> complex_lu_solve(std::vector<Complex> a, std::vector<Complex> b,
+                                      std::size_t n) {
+  for (std::size_t k = 0; k < n; ++k) {
+    std::size_t pivot_row = k;
+    double pivot_mag = std::abs(a[k * n + k]);
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double mag = std::abs(a[r * n + k]);
+      if (mag > pivot_mag) {
+        pivot_mag = mag;
+        pivot_row = r;
+      }
+    }
+    if (pivot_mag < 1e-300) throw ConvergenceError("ac_analyze: singular complex matrix");
+    if (pivot_row != k) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(a[k * n + c], a[pivot_row * n + c]);
+      std::swap(b[k], b[pivot_row]);
+    }
+    const Complex pivot = a[k * n + k];
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const Complex factor = a[r * n + k] / pivot;
+      if (factor == Complex{}) continue;
+      a[r * n + k] = Complex{};
+      for (std::size_t c = k + 1; c < n; ++c) a[r * n + c] -= factor * a[k * n + c];
+      b[r] -= factor * b[k];
+    }
+  }
+  std::vector<Complex> x(n);
+  for (std::size_t ri = n; ri-- > 0;) {
+    Complex sum = b[ri];
+    for (std::size_t c = ri + 1; c < n; ++c) sum -= a[ri * n + c] * x[c];
+    x[ri] = sum / a[ri * n + ri];
+  }
+  return x;
+}
+
+std::vector<std::string> build_signal_names(const Circuit& circuit) {
+  std::vector<std::string> names;
+  for (NodeId n = 1; n < circuit.node_count(); ++n) names.push_back(circuit.node_name(n));
+  for (const auto& device : circuit.devices()) {
+    const int count = device->branch_count();
+    for (int k = 0; k < count; ++k) {
+      std::string name = "I(" + device->name() + ")";
+      if (count > 1) name += "#" + std::to_string(k);
+      names.push_back(std::move(name));
+    }
+  }
+  return names;
+}
+
+}  // namespace
+
+AcSweep ac_analyze(Circuit& circuit, const AcOptions& options) {
+  require(options.f_start > 0.0 && options.f_stop > options.f_start,
+          "ac_analyze: bad frequency range");
+  require(options.points_per_decade >= 1, "ac_analyze: points_per_decade must be >= 1");
+
+  // 1. Operating point; devices linearise around it.
+  const Vector x_op = dc_operating_point(circuit, options.dc, options.initial_guess);
+  const Solution op(x_op, circuit.node_count(), 0.0);
+  for (const auto& device : circuit.devices()) device->set_dc_state(op);
+
+  const int n = circuit.unknown_count();
+  const int node_vars = circuit.node_count() - 1;
+
+  // 2. Real (conductance) part: stamp every non-reactive device at the
+  //    operating point; the rhs it produces is discarded (small signal).
+  //    Reactive elements and the stimulus are handled per-frequency.
+  Matrix g_real(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
+  Vector scratch_rhs(static_cast<std::size_t>(n), 0.0);
+  {
+    StampContext ctx(g_real, scratch_rhs, x_op, circuit.node_count());
+    ctx.dt = 0.0;
+    ctx.gmin = options.dc.newton.gmin;
+    for (const auto& device : circuit.devices()) {
+      if (dynamic_cast<const Capacitor*>(device.get()) != nullptr) continue;
+      if (dynamic_cast<const Inductor*>(device.get()) != nullptr) continue;
+      device->begin_step(0.0, 0.0);
+      device->stamp(ctx);
+    }
+    for (int r = 0; r < node_vars; ++r) {
+      g_real.at(static_cast<std::size_t>(r), static_cast<std::size_t>(r)) +=
+          options.dc.newton.gmin;
+    }
+  }
+
+  // 3. Locate the stimulus.
+  const VoltageSource* v_stim = nullptr;
+  const CurrentSource* i_stim = nullptr;
+  for (const auto& device : circuit.devices()) {
+    if (device->name() != options.stimulus) continue;
+    v_stim = dynamic_cast<const VoltageSource*>(device.get());
+    i_stim = dynamic_cast<const CurrentSource*>(device.get());
+  }
+  require(v_stim != nullptr || i_stim != nullptr,
+          "ac_analyze: stimulus '" + options.stimulus + "' is not an independent source");
+
+  AcSweep sweep(build_signal_names(circuit));
+
+  const double decades = std::log10(options.f_stop / options.f_start);
+  const int points = std::max(2, static_cast<int>(decades * options.points_per_decade) + 1);
+
+  for (int p = 0; p < points; ++p) {
+    const double f = options.f_start * std::pow(10.0, decades * p / (points - 1));
+    const double w = 2.0 * std::numbers::pi * f;
+
+    // Assemble A = G + jwC with reactive elements as admittances.
+    std::vector<Complex> a(static_cast<std::size_t>(n) * n);
+    for (int r = 0; r < n; ++r) {
+      for (int c = 0; c < n; ++c) {
+        a[static_cast<std::size_t>(r) * n + c] =
+            g_real.at(static_cast<std::size_t>(r), static_cast<std::size_t>(c));
+      }
+    }
+    // Reactive stamps. We reach into the same stamping conventions the
+    // devices use (see devices_passive.cpp).
+    Matrix c_cap(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
+    Vector unused(static_cast<std::size_t>(n), 0.0);
+    int inductor_branch_base = 0;
+    (void)inductor_branch_base;
+    for (const auto& device : circuit.devices()) {
+      if (const auto* cap = dynamic_cast<const Capacitor*>(device.get())) {
+        // Admittance jwC between the capacitor's nodes: re-stamp through
+        // a fresh context to reuse the node bookkeeping.
+        // Capacitor doesn't expose its nodes, so stamp via a companion
+        // trick: a backward-Euler stamp with dt = 1 yields G = C, which
+        // is exactly the pattern we need scaled by jw.
+        Matrix pattern(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
+        Vector pattern_rhs(static_cast<std::size_t>(n), 0.0);
+        StampContext cctx(pattern, pattern_rhs, x_op, circuit.node_count());
+        cctx.dt = 1.0;
+        cctx.integrator = Integrator::kBackwardEuler;
+        auto* mutable_cap = const_cast<Capacitor*>(cap);
+        mutable_cap->begin_step(0.0, 1.0);
+        mutable_cap->stamp(cctx);
+        for (int r = 0; r < n; ++r) {
+          for (int c2 = 0; c2 < n; ++c2) {
+            const double cij = pattern.at(static_cast<std::size_t>(r),
+                                          static_cast<std::size_t>(c2));
+            if (cij != 0.0) a[static_cast<std::size_t>(r) * n + c2] += Complex{0.0, w * cij};
+          }
+        }
+      } else if (const auto* ind = dynamic_cast<const Inductor*>(device.get())) {
+        // Branch equation: va - vb - jwL * i = 0. The DC stamp (dt = 0)
+        // was skipped above, so stamp the full complex form here via the
+        // BE companion pattern at dt = 1 (va - vb - L*i = -L*i_prev).
+        Matrix pattern(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
+        Vector pattern_rhs(static_cast<std::size_t>(n), 0.0);
+        StampContext lctx(pattern, pattern_rhs, x_op, circuit.node_count());
+        lctx.dt = 1.0;
+        lctx.integrator = Integrator::kBackwardEuler;
+        auto* mutable_ind = const_cast<Inductor*>(ind);
+        mutable_ind->begin_step(0.0, 1.0);
+        mutable_ind->stamp(lctx);
+        const int br = circuit.node_count() - 1 + ind->branch_index();
+        for (int r = 0; r < n; ++r) {
+          for (int c2 = 0; c2 < n; ++c2) {
+            const double pij = pattern.at(static_cast<std::size_t>(r),
+                                          static_cast<std::size_t>(c2));
+            if (pij == 0.0) continue;
+            if (r == br && c2 == br) {
+              // -L on the branch diagonal becomes -jwL.
+              a[static_cast<std::size_t>(r) * n + c2] += Complex{0.0, w * pij};
+            } else {
+              a[static_cast<std::size_t>(r) * n + c2] += Complex{pij, 0.0};
+            }
+          }
+        }
+      }
+    }
+
+    // Stimulus: unit magnitude.
+    std::vector<Complex> b(static_cast<std::size_t>(n));
+    if (v_stim != nullptr) {
+      b[static_cast<std::size_t>(circuit.node_count() - 1 + v_stim->branch_index())] =
+          Complex{1.0, 0.0};
+    }
+    if (i_stim != nullptr) {
+      // CurrentSource lacks node accessors; inject through its transient
+      // stamp pattern by differencing two stamped rhs vectors.
+      Matrix dummy(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
+      Vector rhs1(static_cast<std::size_t>(n), 0.0);
+      StampContext ictx(dummy, rhs1, x_op, circuit.node_count());
+      ictx.source_scale = 1.0;
+      ictx.time = 0.0;
+      const_cast<CurrentSource*>(i_stim)->stamp(ictx);
+      // rhs1 now holds -I0 at node a and +I0 at node b (scaled by the
+      // waveform's DC value); normalise to a unit injection.
+      double scale = 0.0;
+      for (const double v : rhs1) scale = std::max(scale, std::abs(v));
+      require(scale > 0.0, "ac_analyze: current-source stimulus has zero DC value; "
+                           "give it a nonzero waveform to define the injection nodes");
+      for (int r = 0; r < n; ++r) b[static_cast<std::size_t>(r)] = rhs1[static_cast<std::size_t>(r)] / scale;
+    }
+
+    sweep.append(f, complex_lu_solve(std::move(a), std::move(b), static_cast<std::size_t>(n)));
+  }
+  return sweep;
+}
+
+}  // namespace focv::circuit

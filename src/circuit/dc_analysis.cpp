@@ -1,0 +1,74 @@
+#include "circuit/dc_analysis.hpp"
+
+#include "common/require.hpp"
+
+namespace focv::circuit {
+
+Vector dc_operating_point(Circuit& circuit, const DcOptions& options,
+                          const Vector* initial_guess) {
+  circuit.finalize();
+  const std::size_t n = static_cast<std::size_t>(circuit.unknown_count());
+  Vector x(n, 0.0);
+  if (initial_guess != nullptr) {
+    require(initial_guess->size() == n, "dc_operating_point: bad initial guess size");
+    x = *initial_guess;
+  }
+
+  // 1. Direct Newton.
+  {
+    Vector trial = x;
+    const NewtonResult res = newton_solve(circuit, trial, 0.0, 0.0,
+                                          Integrator::kBackwardEuler, options.newton);
+    if (res.converged) return trial;
+  }
+
+  // 2. Gmin stepping: start heavily shunted, relax towards the real
+  //    circuit, reusing each converged solution as the next seed.
+  if (options.allow_gmin_stepping) {
+    Vector trial = x;
+    bool track_ok = true;
+    NewtonOptions newton = options.newton;
+    for (double gmin = 1e-2; gmin >= options.newton.gmin * 0.99; gmin *= 0.1) {
+      newton.gmin = gmin;
+      const NewtonResult res = newton_solve(circuit, trial, 0.0, 0.0,
+                                            Integrator::kBackwardEuler, newton);
+      if (!res.converged) {
+        track_ok = false;
+        break;
+      }
+    }
+    if (track_ok) {
+      newton.gmin = options.newton.gmin;
+      const NewtonResult res = newton_solve(circuit, trial, 0.0, 0.0,
+                                            Integrator::kBackwardEuler, newton);
+      if (res.converged) return trial;
+    }
+  }
+
+  // 3. Source stepping: ramp all independent sources from zero.
+  if (options.allow_source_stepping) {
+    Vector trial(n, 0.0);
+    double scale = 0.0;
+    double step = 0.1;
+    bool failed = false;
+    while (scale < 1.0 && !failed) {
+      const double next = std::min(1.0, scale + step);
+      Vector candidate = trial;
+      const NewtonResult res = newton_solve(circuit, candidate, 0.0, 0.0,
+                                            Integrator::kBackwardEuler, options.newton, next);
+      if (res.converged) {
+        trial = candidate;
+        scale = next;
+        step = std::min(step * 2.0, 0.25);
+      } else {
+        step *= 0.5;
+        if (step < 1e-4) failed = true;
+      }
+    }
+    if (!failed) return trial;
+  }
+
+  throw ConvergenceError("dc_operating_point: no continuation strategy converged");
+}
+
+}  // namespace focv::circuit

@@ -1,0 +1,24 @@
+// DC operating-point analysis with gmin and source stepping fallbacks.
+#pragma once
+
+#include "circuit/solver.hpp"
+
+namespace focv::circuit {
+
+/// Controls for the operating-point search.
+struct DcOptions {
+  NewtonOptions newton;
+  bool allow_gmin_stepping = true;
+  bool allow_source_stepping = true;
+};
+
+/// Compute the DC operating point and return the MNA unknown vector
+/// (node voltages then branch currents). Throws ConvergenceError when no
+/// continuation strategy converges.
+///
+/// The circuit is finalized as a side effect. `initial_guess` (optional)
+/// seeds the Newton iteration.
+[[nodiscard]] Vector dc_operating_point(Circuit& circuit, const DcOptions& options = {},
+                                        const Vector* initial_guess = nullptr);
+
+}  // namespace focv::circuit

@@ -1,0 +1,462 @@
+#include "circuit/devices_active.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/require.hpp"
+
+namespace focv::circuit {
+
+namespace {
+
+/// exp with linear extension above `cap` to avoid overflow during the
+/// early, far-from-solution Newton iterations.
+double safe_exp(double x, double cap = 80.0) {
+  if (x <= cap) return std::exp(x);
+  return std::exp(cap) * (1.0 + (x - cap));
+}
+
+double safe_exp_deriv(double x, double cap = 80.0) {
+  if (x <= cap) return std::exp(x);
+  return std::exp(cap);
+}
+
+double logistic(double x) {
+  if (x >= 0.0) {
+    const double e = std::exp(-std::min(x, 500.0));
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(std::max(x, -500.0));
+  return e / (1.0 + e);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Diode
+
+Diode::Diode(std::string name, NodeId anode, NodeId cathode, Params params)
+    : Device(std::move(name)), anode_(anode), cathode_(cathode), params_(params) {
+  require(params_.saturation_current > 0.0, "Diode: Is must be > 0");
+  require(params_.emission_coefficient > 0.0, "Diode: n must be > 0");
+  require(params_.thermal_voltage > 0.0, "Diode: Vt must be > 0");
+  const double nvt = params_.emission_coefficient * params_.thermal_voltage;
+  v_critical_ = nvt * std::log(nvt / (std::sqrt(2.0) * params_.saturation_current));
+}
+
+double Diode::current_at(double v) const {
+  const double nvt = params_.emission_coefficient * params_.thermal_voltage;
+  return params_.saturation_current * (safe_exp(v / nvt) - 1.0) + params_.parallel_gmin * v;
+}
+
+double Diode::limit_junction_voltage(double v_new) const {
+  // SPICE pnjlim: prevent the exponential from exploding between
+  // iterations while preserving the converged solution.
+  const double nvt = params_.emission_coefficient * params_.thermal_voltage;
+  const double v_old = v_last_iterate_;
+  if (v_new <= v_critical_ || std::abs(v_new - v_old) <= 2.0 * nvt) return v_new;
+  if (v_old > 0.0) {
+    const double arg = 1.0 + (v_new - v_old) / nvt;
+    return (arg > 0.0) ? v_old + nvt * std::log(arg) : v_critical_;
+  }
+  return nvt * std::log(std::max(v_new, nvt) / nvt);
+}
+
+void Diode::begin_step(double /*time*/, double /*dt*/) {
+  v_last_iterate_ = v_accepted_;
+  first_stamp_in_step_ = true;
+}
+
+void Diode::stamp(StampContext& ctx) {
+  const double nvt = params_.emission_coefficient * params_.thermal_voltage;
+  double vd = ctx.v(anode_) - ctx.v(cathode_);
+  if (!first_stamp_in_step_ || vd != 0.0) {
+    vd = limit_junction_voltage(vd);
+  }
+  first_stamp_in_step_ = false;
+  v_last_iterate_ = vd;
+
+  const double x = vd / nvt;
+  const double i = params_.saturation_current * (safe_exp(x) - 1.0) + params_.parallel_gmin * vd;
+  const double g = params_.saturation_current * safe_exp_deriv(x) / nvt + params_.parallel_gmin +
+                   ctx.gmin;
+  // Norton companion: i(v) ~= g*v + (i_k - g*v_k).
+  ctx.add_conductance(anode_, cathode_, g);
+  const double ieq = i - g * vd;  // constant current anode -> cathode
+  ctx.add_current_into(anode_, -ieq);
+  ctx.add_current_into(cathode_, ieq);
+}
+
+void Diode::accept_step(const Solution& solution) {
+  v_accepted_ = solution.v(anode_) - solution.v(cathode_);
+}
+
+// -------------------------------------------------------------- VSwitch
+
+VSwitch::VSwitch(std::string name, NodeId a, NodeId b, NodeId control_p, NodeId control_n,
+                 Params params)
+    : Device(std::move(name)), a_(a), b_(b), cp_(control_p), cn_(control_n), params_(params) {
+  require(params_.on_resistance > 0.0, "VSwitch: on_resistance must be > 0");
+  require(params_.off_resistance > params_.on_resistance,
+          "VSwitch: off_resistance must exceed on_resistance");
+  require(params_.transition_width > 0.0, "VSwitch: transition_width must be > 0");
+  log_g_on_ = std::log(1.0 / params_.on_resistance);
+  log_g_off_ = std::log(1.0 / params_.off_resistance);
+}
+
+double VSwitch::conductance_at(double vc) const {
+  double u = (vc - (params_.threshold - 0.5 * params_.transition_width)) /
+             params_.transition_width;
+  u = std::clamp(u, 0.0, 1.0);
+  double s = u * u * (3.0 - 2.0 * u);
+  if (!params_.active_high) s = 1.0 - s;
+  return std::exp(log_g_off_ + (log_g_on_ - log_g_off_) * s);
+}
+
+void VSwitch::begin_step(double /*time*/, double /*dt*/) { vc_last_iterate_ = vc_accepted_; }
+
+void VSwitch::accept_step(const Solution& solution) {
+  vc_accepted_ = solution.v(cp_) - solution.v(cn_);
+  vc_last_iterate_ = vc_accepted_;
+}
+
+void VSwitch::stamp(StampContext& ctx) {
+  double vc = ctx.v(cp_) - ctx.v(cn_);
+  // Limit the per-iteration movement of the control voltage through the
+  // transition band so Newton walks the conductance ramp instead of
+  // leaping across it. Outside the band the limit is irrelevant (the
+  // conductance saturates), so only engage near the threshold.
+  const double band = 2.0 * params_.transition_width;
+  const double dist_new = vc - params_.threshold;
+  const double dist_old = vc_last_iterate_ - params_.threshold;
+  const double max_move = 0.25 * params_.transition_width;
+  if (dist_new * dist_old < 0.0 && std::abs(dist_old) > 0.5 * params_.transition_width) {
+    // The iterate leapt across the transition: land at the band centre,
+    // where the conductance slope (and hence the Jacobian feedback) is
+    // maximal, and let subsequent iterations settle inside the band.
+    vc = params_.threshold;
+  } else if (std::abs(dist_new) < band || std::abs(dist_old) < band) {
+    if (vc - vc_last_iterate_ > max_move) {
+      vc = vc_last_iterate_ + max_move;
+    } else if (vc_last_iterate_ - vc > max_move) {
+      vc = vc_last_iterate_ - max_move;
+    }
+  }
+  vc_last_iterate_ = vc;
+  const double vab = ctx.v(a_) - ctx.v(b_);
+
+  double u = (vc - (params_.threshold - 0.5 * params_.transition_width)) /
+             params_.transition_width;
+  double dsdu = 0.0;
+  if (u > 0.0 && u < 1.0) dsdu = 6.0 * u * (1.0 - u);
+  u = std::clamp(u, 0.0, 1.0);
+  double s = u * u * (3.0 - 2.0 * u);
+  double sign = 1.0;
+  if (!params_.active_high) {
+    s = 1.0 - s;
+    sign = -1.0;
+  }
+  const double g = std::exp(log_g_off_ + (log_g_on_ - log_g_off_) * s);
+  const double dgdvc =
+      sign * g * (log_g_on_ - log_g_off_) * dsdu / params_.transition_width;
+
+  // i = g(vc) * vab, linearised at (vab, vc).
+  ctx.add_conductance(a_, b_, g);
+  const double beta = dgdvc * vab;
+  ctx.add_transconductance(a_, b_, cp_, cn_, beta);
+  ctx.add_current_into(a_, beta * vc);
+  ctx.add_current_into(b_, -beta * vc);
+}
+
+double VSwitch::max_timestep(const Solution& solution) const {
+  if (transition_dt_limit_ <= 0.0) return std::numeric_limits<double>::infinity();
+  const double vc = solution.v(cp_) - solution.v(cn_);
+  const double margin = params_.transition_width;
+  if (std::abs(vc - params_.threshold) < margin) return transition_dt_limit_;
+  return std::numeric_limits<double>::infinity();
+}
+
+// --------------------------------------------------------------- Mosfet
+
+Mosfet::Mosfet(std::string name, NodeId drain, NodeId gate, NodeId source, Params params)
+    : Device(std::move(name)), d_(drain), g_(gate), s_(source), params_(params) {
+  require(params_.transconductance > 0.0, "Mosfet: transconductance must be > 0");
+  require(params_.threshold_voltage > 0.0, "Mosfet: threshold_voltage must be > 0");
+  require(params_.lambda >= 0.0, "Mosfet: lambda must be >= 0");
+}
+
+double Mosfet::drain_current(double vgs, double vds) const {
+  // Computed in the NMOS frame with vds >= 0.
+  double sign = 1.0;
+  if (!params_.is_nmos) {
+    vgs = -vgs;
+    vds = -vds;
+  }
+  if (vds < 0.0) {
+    // Symmetric device: swap drain/source.
+    vgs = vgs - vds;  // vgd
+    vds = -vds;
+    sign = -sign;
+  }
+  const double vov = vgs - params_.threshold_voltage;
+  if (vov <= 0.0) return 0.0;
+  const double k = params_.transconductance;
+  double id = 0.0;
+  if (vds < vov) {
+    id = k * (vov - 0.5 * vds) * vds * (1.0 + params_.lambda * vds);
+  } else {
+    id = 0.5 * k * vov * vov * (1.0 + params_.lambda * vds);
+  }
+  if (!params_.is_nmos) sign = -sign;
+  return sign * id;
+}
+
+void Mosfet::stamp(StampContext& ctx) {
+  // Work in a frame where the device looks like an NMOS with vds >= 0.
+  const double type_sign = params_.is_nmos ? 1.0 : -1.0;
+  double vd = type_sign * ctx.v(d_);
+  double vg = type_sign * ctx.v(g_);
+  double vs = type_sign * ctx.v(s_);
+  NodeId eff_d = d_, eff_s = s_;
+  if (vd < vs) {
+    std::swap(vd, vs);
+    std::swap(eff_d, eff_s);
+  }
+  const double vgs = vg - vs;
+  const double vds = vd - vs;
+  const double vov = vgs - params_.threshold_voltage;
+  const double k = params_.transconductance;
+
+  double id = 0.0, gm = 0.0, gds = 0.0;
+  if (vov <= 0.0) {
+    id = 0.0;
+    gm = 0.0;
+    gds = 0.0;
+  } else if (vds < vov) {
+    const double clm = 1.0 + params_.lambda * vds;
+    id = k * (vov - 0.5 * vds) * vds * clm;
+    gm = k * vds * clm;
+    gds = k * (vov - vds) * clm + k * (vov - 0.5 * vds) * vds * params_.lambda;
+  } else {
+    const double clm = 1.0 + params_.lambda * vds;
+    id = 0.5 * k * vov * vov * clm;
+    gm = k * vov * clm;
+    gds = 0.5 * k * vov * vov * params_.lambda;
+  }
+  gds += ctx.gmin;
+
+  // In the effective frame, current id flows eff_d -> eff_s. The frame
+  // transform (type_sign) cancels out of the conductance stamps and
+  // applies to the constant term through the node voltages already in
+  // the effective frame, so stamp in effective nodes directly.
+  const double c = id - gm * vgs - gds * vds;  // constant part, effective frame
+  // KCL row eff_d (current leaving): +id.
+  ctx.add_matrix_nodes(eff_d, eff_d, gds);
+  ctx.add_matrix_nodes(eff_d, g_, gm * 1.0);
+  ctx.add_matrix_nodes(eff_d, eff_s, -(gm + gds));
+  ctx.add_matrix_nodes(eff_s, eff_d, -gds);
+  ctx.add_matrix_nodes(eff_s, g_, -gm);
+  ctx.add_matrix_nodes(eff_s, eff_s, gm + gds);
+  // Constant current c (effective frame) leaves eff_d; map back with sign.
+  ctx.add_current_into(eff_d, -type_sign * c);
+  ctx.add_current_into(eff_s, type_sign * c);
+}
+
+// ------------------------------------------------------------ Vccs/Vcvs
+
+Vccs::Vccs(std::string name, NodeId a, NodeId b, NodeId cp, NodeId cn, double transconductance)
+    : Device(std::move(name)), a_(a), b_(b), cp_(cp), cn_(cn), gm_(transconductance) {}
+
+void Vccs::stamp(StampContext& ctx) { ctx.add_transconductance(a_, b_, cp_, cn_, gm_); }
+
+Vcvs::Vcvs(std::string name, NodeId a, NodeId b, NodeId cp, NodeId cn, double gain)
+    : Device(std::move(name)), a_(a), b_(b), cp_(cp), cn_(cn), gain_(gain) {}
+
+void Vcvs::stamp(StampContext& ctx) {
+  const int br = ctx.branch_row(branch_);
+  ctx.add_matrix(StampContext::row(a_), br, 1.0);
+  ctx.add_matrix(StampContext::row(b_), br, -1.0);
+  ctx.add_matrix(br, StampContext::row(a_), 1.0);
+  ctx.add_matrix(br, StampContext::row(b_), -1.0);
+  ctx.add_matrix(br, StampContext::row(cp_), -gain_);
+  ctx.add_matrix(br, StampContext::row(cn_), gain_);
+}
+
+// ------------------------------------------------------------------ Amp
+
+Amp::Amp(std::string name, NodeId in_p, NodeId in_n, NodeId out, Params params)
+    : Device(std::move(name)), inp_(in_p), inn_(in_n), out_(out), params_(params) {
+  require(params_.output_resistance > 0.0, "Amp: output_resistance must be > 0");
+  require(params_.gain > 0.0, "Amp: gain must be > 0");
+}
+
+Amp::Amp(std::string name, NodeId in_p, NodeId in_n, NodeId out, NodeId vdd, NodeId vss,
+         Params params)
+    : Amp(std::move(name), in_p, in_n, out, params) {
+  vdd_ = vdd;
+  vss_ = vss;
+  has_supplies_ = true;
+}
+
+Amp::TransferEval Amp::eval_transfer(double v_diff, double rail_lo, double rail_hi) const {
+  TransferEval r;
+  const double lo = rail_lo + params_.rail_headroom;
+  const double hi = rail_hi - params_.rail_headroom;
+  const double span = std::max(hi - lo, 1e-9);
+  const double vd = v_diff + params_.offset_voltage;
+
+  if (params_.mode == Mode::kComparator) {
+    // Slope at the threshold equals `gain`.
+    const double k = 4.0 * params_.gain / span;
+    const double s = logistic(k * vd);
+    r.value = lo + span * s;
+    r.d_vdiff = span * s * (1.0 - s) * k;  // == 4*gain*s*(1-s)
+    r.d_lo = 1.0 - s;
+    r.d_hi = s;
+    return r;
+  }
+
+  // Op-amp / buffer: (closed-loop) linear transfer with soft clamping.
+  const double mid = 0.5 * (lo + hi);
+  const double u = (params_.mode == Mode::kBuffer) ? vd : mid + params_.gain * vd;
+  const double u_gain = (params_.mode == Mode::kBuffer) ? 1.0 : params_.gain;
+  const double w = std::max(params_.clamp_softness, 1e-6);
+  // smax(u, lo), then smin(., hi).
+  const double du_dlo = (params_.mode == Mode::kBuffer) ? 0.0 : 0.5;  // via mid
+  const double du_dhi = du_dlo;
+  const double root1 = std::sqrt((u - lo) * (u - lo) + w * w);
+  const double x = 0.5 * (u + lo + root1);
+  const double dx_du = 0.5 * (1.0 + (u - lo) / root1);
+  const double dx_dlo = 0.5 * (1.0 - (u - lo) / root1);
+  const double root2 = std::sqrt((x - hi) * (x - hi) + w * w);
+  const double y = 0.5 * (x + hi - root2);
+  const double dy_dx = 0.5 * (1.0 - (x - hi) / root2);
+  const double dy_dhi = 0.5 * (1.0 + (x - hi) / root2);
+
+  r.value = y;
+  r.d_vdiff = dy_dx * dx_du * u_gain;
+  r.d_lo = dy_dx * (dx_dlo + dx_du * du_dlo);
+  r.d_hi = dy_dhi + dy_dx * dx_du * du_dhi;
+  return r;
+}
+
+double Amp::transfer(double v_diff, double rail_lo, double rail_hi) const {
+  return eval_transfer(v_diff, rail_lo, rail_hi).value;
+}
+
+void Amp::stamp(StampContext& ctx) {
+  const double rail_lo = has_supplies_ ? ctx.v(vss_) : params_.rail_low;
+  const double rail_hi = has_supplies_ ? ctx.v(vdd_) : params_.rail_high;
+  const bool single_ended = (params_.mode == Mode::kBuffer);
+  const double vd_k = single_ended ? ctx.v(inp_) : ctx.v(inp_) - ctx.v(inn_);
+  const TransferEval f = eval_transfer(vd_k, rail_lo, rail_hi);
+
+  const int br = ctx.branch_row(branch_);
+  // Branch current i flows out of the amp into node `out`.
+  ctx.add_matrix(StampContext::row(out_), br, -1.0);
+  if (has_supplies_) {
+    // Push-pull output stage: sourced current comes from vdd, sunk
+    // current returns to vss. Split by the output position within the
+    // rails (treated as constant within one Newton iterate).
+    const double span = std::max(rail_hi - rail_lo, 1e-9);
+    const double s = std::clamp((f.value - rail_lo) / span, 0.0, 1.0);
+    ctx.add_matrix(StampContext::row(vdd_), br, s);
+    ctx.add_matrix(StampContext::row(vss_), br, 1.0 - s);
+    // Quiescent supply draw vdd -> vss.
+    ctx.add_current_into(vdd_, -params_.quiescent_current);
+    ctx.add_current_into(vss_, params_.quiescent_current);
+  }
+  // Branch equation: v(out) + rout*i - f(vd, lo, hi) = 0, linearised.
+  ctx.add_matrix(br, StampContext::row(out_), 1.0);
+  ctx.add_matrix(br, br, params_.output_resistance);
+  ctx.add_matrix(br, StampContext::row(inp_), -f.d_vdiff);
+  if (!single_ended) ctx.add_matrix(br, StampContext::row(inn_), f.d_vdiff);
+  double rhs = f.value - f.d_vdiff * vd_k;
+  if (has_supplies_) {
+    ctx.add_matrix(br, StampContext::row(vss_), -f.d_lo);
+    ctx.add_matrix(br, StampContext::row(vdd_), -f.d_hi);
+    rhs -= f.d_lo * rail_lo + f.d_hi * rail_hi;
+  }
+  ctx.add_rhs(br, rhs);
+  // Keep the high-impedance inputs non-floating even without bias current.
+  if (params_.input_bias_current != 0.0) {
+    ctx.add_current_into(inp_, -params_.input_bias_current);
+    ctx.add_current_into(inn_, -params_.input_bias_current);
+  }
+}
+
+double Amp::post_step_dt_limit(const Solution& before, const Solution& after) const {
+  if (transition_dt_limit_ <= 0.0) return std::numeric_limits<double>::infinity();
+  const double rail_lo = has_supplies_ ? after.v(vss_) : params_.rail_low;
+  const double rail_hi = has_supplies_ ? after.v(vdd_) : params_.rail_high;
+  const double span = std::max(rail_hi - rail_lo, 1e-9);
+  const double swing = std::abs(after.v(out_) - before.v(out_));
+  if (swing > 0.1 * span) return transition_dt_limit_;
+  return std::numeric_limits<double>::infinity();
+}
+
+double Amp::max_timestep(const Solution& solution) const {
+  if (transition_dt_limit_ <= 0.0 || params_.mode != Mode::kComparator) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const double rail_lo = has_supplies_ ? solution.v(vss_) : params_.rail_low;
+  const double rail_hi = has_supplies_ ? solution.v(vdd_) : params_.rail_high;
+  const double span = std::max(rail_hi - rail_lo, 1e-9);
+  const double k = 4.0 * params_.gain / span;
+  const double vd = solution.v(inp_) - solution.v(inn_) + params_.offset_voltage;
+  if (std::abs(vd) < 20.0 / k) return transition_dt_limit_;
+  return std::numeric_limits<double>::infinity();
+}
+
+namespace {
+template <typename... Args>
+std::string card(const char* fmt, Args... args) {
+  char buf[512];
+  std::snprintf(buf, sizeof buf, fmt, args...);
+  return buf;
+}
+}  // namespace
+
+std::string Diode::netlist_card(const std::function<std::string(NodeId)>& names) const {
+  return card("%s %s %s IS=%.9g N=%.9g", name().c_str(), names(anode_).c_str(),
+              names(cathode_).c_str(), params_.saturation_current,
+              params_.emission_coefficient);
+}
+
+std::string VSwitch::netlist_card(const std::function<std::string(NodeId)>& names) const {
+  if (!params_.active_high) return "";  // no card form for inverted sense
+  return card("%s %s %s %s %s RON=%.9g ROFF=%.9g VT=%.9g VW=%.9g", name().c_str(),
+              names(a_).c_str(), names(b_).c_str(), names(cp_).c_str(), names(cn_).c_str(),
+              params_.on_resistance, params_.off_resistance, params_.threshold,
+              params_.transition_width);
+}
+
+std::string Mosfet::netlist_card(const std::function<std::string(NodeId)>& names) const {
+  return card("%s %s %s %s %s VTO=%.9g KP=%.9g LAMBDA=%.9g", name().c_str(),
+              names(d_).c_str(), names(g_).c_str(), names(s_).c_str(),
+              params_.is_nmos ? "NMOS" : "PMOS", params_.threshold_voltage,
+              params_.transconductance, params_.lambda);
+}
+
+std::string Vccs::netlist_card(const std::function<std::string(NodeId)>& names) const {
+  return card("%s %s %s %s %s %.9g", name().c_str(), names(a_).c_str(), names(b_).c_str(),
+              names(cp_).c_str(), names(cn_).c_str(), gm_);
+}
+
+std::string Vcvs::netlist_card(const std::function<std::string(NodeId)>& names) const {
+  return card("%s %s %s %s %s %.9g", name().c_str(), names(a_).c_str(), names(b_).c_str(),
+              names(cp_).c_str(), names(cn_).c_str(), gain_);
+}
+
+std::string Amp::netlist_card(const std::function<std::string(NodeId)>& names) const {
+  if (!has_supplies_) return "";  // the card format requires supply pins
+  const char* mode = (params_.mode == Mode::kComparator)
+                         ? "COMP"
+                         : (params_.mode == Mode::kBuffer ? "BUF" : "OPAMP");
+  return card("%s %s %s %s %s %s %s GAIN=%.9g ROUT=%.9g VOFF=%.9g IQ=%.9g", name().c_str(),
+              names(inp_).c_str(), names(inn_).c_str(), names(out_).c_str(),
+              names(vdd_).c_str(), names(vss_).c_str(), mode, params_.gain,
+              params_.output_resistance, params_.offset_voltage, params_.quiescent_current);
+}
+
+}  // namespace focv::circuit

@@ -1,0 +1,234 @@
+// Nonlinear and controlled devices: diode, voltage-controlled switch,
+// level-1 MOSFET, linear controlled sources, and a rail-limited
+// amplifier macromodel that covers both op-amps and comparators.
+#pragma once
+
+#include "circuit/device.hpp"
+
+namespace focv::circuit {
+
+/// Shockley diode with SPICE-style junction voltage limiting.
+class Diode : public Device {
+ public:
+  struct Params {
+    double saturation_current = 1e-14;  ///< Is [A]
+    double emission_coefficient = 1.0;  ///< n
+    double thermal_voltage = 0.02585;   ///< kT/q [V]
+    double parallel_gmin = 1e-12;       ///< junction shunt conductance [S]
+  };
+
+  Diode(std::string name, NodeId anode, NodeId cathode, Params params);
+  Diode(std::string name, NodeId anode, NodeId cathode)
+      : Diode(std::move(name), anode, cathode, Params{}) {}
+
+  void stamp(StampContext& ctx) override;
+  void begin_step(double time, double dt) override;
+  void accept_step(const Solution& solution) override;
+  void set_dc_state(const Solution& solution) override { accept_step(solution); }
+
+  /// Diode current at forward voltage v [A].
+  [[nodiscard]] double current_at(double v) const;
+
+  [[nodiscard]] std::string netlist_card(
+      const std::function<std::string(NodeId)>& names) const override;
+
+ private:
+  [[nodiscard]] double limit_junction_voltage(double v_new) const;
+
+  NodeId anode_, cathode_;
+  Params params_;
+  double v_critical_;
+  double v_last_iterate_ = 0.0;   // previous Newton iterate (for limiting)
+  double v_accepted_ = 0.0;       // last accepted solution
+  mutable bool first_stamp_in_step_ = true;
+};
+
+/// Smooth voltage-controlled switch (4-terminal).
+///
+/// Conductance ramps log-linearly from `off_conductance` to
+/// `on_conductance` as the control voltage v(cp)-v(cn) crosses
+/// [threshold - width/2, threshold + width/2], with a smoothstep easing
+/// so the Jacobian is continuous. Models MOSFETs used as analog switches
+/// without the convergence hazards of an abrupt model.
+class VSwitch : public Device {
+ public:
+  struct Params {
+    double on_resistance = 100.0;     ///< [Ohm]
+    double off_resistance = 1e12;     ///< [Ohm]
+    double threshold = 1.0;           ///< control threshold [V]
+    double transition_width = 0.2;    ///< control span of the transition [V]
+    bool active_high = true;          ///< false inverts the control sense
+  };
+
+  VSwitch(std::string name, NodeId a, NodeId b, NodeId control_p, NodeId control_n,
+          Params params);
+  VSwitch(std::string name, NodeId a, NodeId b, NodeId control_p, NodeId control_n)
+      : VSwitch(std::move(name), a, b, control_p, control_n, Params{}) {}
+
+  void stamp(StampContext& ctx) override;
+  void begin_step(double time, double dt) override;
+  void accept_step(const Solution& solution) override;
+  void set_dc_state(const Solution& solution) override { accept_step(solution); }
+  [[nodiscard]] double max_timestep(const Solution& solution) const override;
+
+  /// Conductance at control voltage vc [S].
+  [[nodiscard]] double conductance_at(double vc) const;
+
+  /// Optional cap on the step size while the control voltage is inside
+  /// the transition band (0 disables the cap).
+  void set_transition_dt_limit(double dt) { transition_dt_limit_ = dt; }
+
+  [[nodiscard]] std::string netlist_card(
+      const std::function<std::string(NodeId)>& names) const override;
+
+ private:
+  NodeId a_, b_, cp_, cn_;
+  Params params_;
+  double log_g_on_, log_g_off_;
+  double transition_dt_limit_ = 0.0;
+  // Newton control-voltage limiting (the switch analogue of the diode's
+  // pnjlim): a steep transition region otherwise makes the iteration
+  // overshoot between fully-on and fully-off states.
+  double vc_last_iterate_ = 0.0;
+  double vc_accepted_ = 0.0;
+};
+
+/// Level-1 (Shichman-Hodges) MOSFET, NMOS or PMOS, symmetric in D/S.
+class Mosfet : public Device {
+ public:
+  struct Params {
+    bool is_nmos = true;
+    double threshold_voltage = 0.6;     ///< Vth [V] (positive for both types)
+    double transconductance = 1e-3;     ///< K = mu*Cox*W/L [A/V^2]
+    double lambda = 0.0;                ///< channel-length modulation [1/V]
+  };
+
+  Mosfet(std::string name, NodeId drain, NodeId gate, NodeId source, Params params);
+  Mosfet(std::string name, NodeId drain, NodeId gate, NodeId source)
+      : Mosfet(std::move(name), drain, gate, source, Params{}) {}
+
+  void stamp(StampContext& ctx) override;
+
+  /// Drain current for the given gate-source / drain-source voltages [A].
+  [[nodiscard]] double drain_current(double vgs, double vds) const;
+
+  [[nodiscard]] std::string netlist_card(
+      const std::function<std::string(NodeId)>& names) const override;
+
+ private:
+  NodeId d_, g_, s_;
+  Params params_;
+};
+
+/// Linear voltage-controlled current source: i(a->b) = gm * (v(cp)-v(cn)).
+class Vccs : public Device {
+ public:
+  Vccs(std::string name, NodeId a, NodeId b, NodeId cp, NodeId cn, double transconductance);
+  void stamp(StampContext& ctx) override;
+  [[nodiscard]] std::string netlist_card(
+      const std::function<std::string(NodeId)>& names) const override;
+
+ private:
+  NodeId a_, b_, cp_, cn_;
+  double gm_;
+};
+
+/// Linear voltage-controlled voltage source: v(a)-v(b) = gain * (v(cp)-v(cn)).
+class Vcvs : public Device {
+ public:
+  Vcvs(std::string name, NodeId a, NodeId b, NodeId cp, NodeId cn, double gain);
+
+  [[nodiscard]] int branch_count() const override { return 1; }
+  void set_branch_offset(int offset) override { branch_ = offset; }
+  void stamp(StampContext& ctx) override;
+  [[nodiscard]] std::string netlist_card(
+      const std::function<std::string(NodeId)>& names) const override;
+
+ private:
+  NodeId a_, b_, cp_, cn_;
+  double gain_;
+  int branch_ = -1;
+};
+
+/// Behavioural rail-limited amplifier covering op-amps, comparators and
+/// closed-loop unity buffers.
+///
+/// High-impedance differential inputs; the output is a voltage source
+/// (one branch variable) with series output resistance whose open-loop
+/// value is a smooth, rail-limited function of the differential input:
+///
+///  - kOpAmp:      vout = softclamp(vmid + gain*(vp - vn + voffset))
+///  - kComparator: vout = vlo + (vhi - vlo) * logistic(slope*(vp - vn + voffset))
+///  - kBuffer:     vout = softclamp(v(inp) + voffset); the closed-loop
+///                 transfer of a unity-feedback op-amp. Use this instead
+///                 of wiring a kOpAmp with out->inn feedback: an open-loop
+///                 gain of 1e5 leaves a ~uV-wide linear window that a
+///                 damped Newton cannot land in (it ping-pongs between
+///                 the two saturated branches), whereas the closed-loop
+///                 gain-1 transfer is benign. inn is ignored.
+///
+/// Rails can be fixed parameters or follow supply nodes. A constant
+/// quiescent current is drawn from vdd to vss when supplies are wired,
+/// modelling micropower parts such as the LMC7215 comparator used by the
+/// paper's astable multivibrator.
+class Amp : public Device {
+ public:
+  enum class Mode { kOpAmp, kComparator, kBuffer };
+
+  struct Params {
+    Mode mode = Mode::kOpAmp;
+    double gain = 1e5;                ///< open-loop gain (op-amp) or comparator gain
+    double output_resistance = 100.0; ///< [Ohm]
+    double offset_voltage = 0.0;      ///< input-referred offset [V]
+    double input_bias_current = 0.0;  ///< drawn into each input [A]
+    double rail_low = 0.0;            ///< used when supply nodes are not wired [V]
+    double rail_high = 3.3;           ///< used when supply nodes are not wired [V]
+    double rail_headroom = 0.0;       ///< output swing loss to each rail [V]
+    double quiescent_current = 0.0;   ///< supply draw [A]
+    double clamp_softness = 0.01;     ///< soft-clamp knee width [V]
+  };
+
+  /// Construct without supply pins (fixed rails).
+  Amp(std::string name, NodeId in_p, NodeId in_n, NodeId out, Params params);
+
+  /// Construct with supply pins (rails follow v(vdd)/v(vss); quiescent
+  /// current flows vdd -> vss).
+  Amp(std::string name, NodeId in_p, NodeId in_n, NodeId out, NodeId vdd, NodeId vss,
+      Params params);
+
+  [[nodiscard]] int branch_count() const override { return 1; }
+  void set_branch_offset(int offset) override { branch_ = offset; }
+  void stamp(StampContext& ctx) override;
+  [[nodiscard]] double max_timestep(const Solution& solution) const override;
+  [[nodiscard]] double post_step_dt_limit(const Solution& before,
+                                          const Solution& after) const override;
+  [[nodiscard]] double quiescent_current() const override { return params_.quiescent_current; }
+
+  /// Open-loop output value for the given inputs (rails as configured).
+  [[nodiscard]] double transfer(double v_diff, double rail_lo, double rail_hi) const;
+
+  /// Optional cap on step size while the comparator input is near its
+  /// threshold (0 disables).
+  void set_transition_dt_limit(double dt) { transition_dt_limit_ = dt; }
+
+  [[nodiscard]] std::string netlist_card(
+      const std::function<std::string(NodeId)>& names) const override;
+
+ private:
+  struct TransferEval {
+    double value = 0.0;
+    double d_vdiff = 0.0;
+    double d_lo = 0.0;
+    double d_hi = 0.0;
+  };
+  [[nodiscard]] TransferEval eval_transfer(double v_diff, double rail_lo, double rail_hi) const;
+
+  NodeId inp_, inn_, out_;
+  NodeId vdd_ = kGround, vss_ = kGround;
+  bool has_supplies_ = false;
+  Params params_;
+  int branch_ = -1;
+  double transition_dt_limit_ = 0.0;
+};
+
+}  // namespace focv::circuit

@@ -1,0 +1,86 @@
+#include "circuit/devices_sources.hpp"
+
+#include <cstdio>
+
+#include "common/require.hpp"
+
+namespace focv::circuit {
+
+VoltageSource::VoltageSource(std::string name, NodeId a, NodeId b, Waveform waveform)
+    : Device(std::move(name)), a_(a), b_(b), waveform_(std::move(waveform)) {}
+
+void VoltageSource::stamp(StampContext& ctx) {
+  const int br = ctx.branch_row(branch_);
+  ctx.add_matrix(StampContext::row(a_), br, 1.0);
+  ctx.add_matrix(StampContext::row(b_), br, -1.0);
+  ctx.add_matrix(br, StampContext::row(a_), 1.0);
+  ctx.add_matrix(br, StampContext::row(b_), -1.0);
+  ctx.add_rhs(br, ctx.source_scale * waveform_.value(ctx.time));
+}
+
+void VoltageSource::collect_breakpoints(double t_now, std::vector<double>& out) const {
+  waveform_.collect_breakpoints(t_now, out);
+}
+
+CurrentSource::CurrentSource(std::string name, NodeId a, NodeId b, Waveform waveform)
+    : Device(std::move(name)), a_(a), b_(b), waveform_(std::move(waveform)) {}
+
+void CurrentSource::stamp(StampContext& ctx) {
+  const double i = ctx.source_scale * waveform_.value(ctx.time);
+  // i flows a -> b through the source: it leaves node a and enters b.
+  ctx.add_current_into(a_, -i);
+  ctx.add_current_into(b_, i);
+}
+
+void CurrentSource::collect_breakpoints(double t_now, std::vector<double>& out) const {
+  waveform_.collect_breakpoints(t_now, out);
+}
+
+std::string VoltageSource::netlist_card(
+    const std::function<std::string(NodeId)>& names) const {
+  const std::string shape = waveform_.card_text();
+  if (shape.empty()) return "";  // PWL has no card form
+  char buf[512];
+  std::snprintf(buf, sizeof buf, "%s %s %s %s", name().c_str(), names(a_).c_str(),
+                names(b_).c_str(), shape.c_str());
+  return buf;
+}
+
+std::string CurrentSource::netlist_card(
+    const std::function<std::string(NodeId)>& names) const {
+  const std::string shape = waveform_.card_text();
+  if (shape.empty()) return "";
+  char buf[512];
+  std::snprintf(buf, sizeof buf, "%s %s %s %s", name().c_str(), names(a_).c_str(),
+                names(b_).c_str(), shape.c_str());
+  return buf;
+}
+
+NonlinearCurrentSource::NonlinearCurrentSource(std::string name, NodeId a, NodeId b, EvalFn fn)
+    : Device(std::move(name)), a_(a), b_(b), fn_(std::move(fn)) {
+  require(static_cast<bool>(fn_), "NonlinearCurrentSource: null function");
+}
+
+void NonlinearCurrentSource::set_function(EvalFn fn) {
+  require(static_cast<bool>(fn), "NonlinearCurrentSource: null function");
+  fn_ = std::move(fn);
+}
+
+void NonlinearCurrentSource::stamp(StampContext& ctx) {
+  const double vk = ctx.v(a_) - ctx.v(b_);
+  const Eval e = fn_(vk);
+  // Element drives I(v) out of node a (into the circuit). Newton
+  // linearisation: I(v) ~= Ik + g*(v - vk).
+  // KCL (currents leaving the node are positive):
+  //   row a: -I(v)  -> matrix -g on (a,a), +g on (a,b); rhs gets Ik - g*vk into a.
+  const double g = e.didv;
+  ctx.add_matrix_nodes(a_, a_, -g);
+  ctx.add_matrix_nodes(a_, b_, g);
+  ctx.add_matrix_nodes(b_, a_, g);
+  ctx.add_matrix_nodes(b_, b_, -g);
+  const double i0 = e.current - g * vk;  // constant part of the injected current
+  ctx.add_current_into(a_, i0);
+  ctx.add_current_into(b_, -i0);
+}
+
+}  // namespace focv::circuit

@@ -1,0 +1,86 @@
+// Independent sources.
+#pragma once
+
+#include <functional>
+
+#include "circuit/device.hpp"
+#include "circuit/waveform.hpp"
+
+namespace focv::circuit {
+
+/// Independent voltage source (one branch variable).
+///
+/// Branch current convention matches SPICE: positive branch current
+/// flows INTO the + terminal (node a), through the source, out of b —
+/// so a source delivering power reports a negative branch current.
+class VoltageSource : public Device {
+ public:
+  VoltageSource(std::string name, NodeId a, NodeId b, Waveform waveform);
+
+  [[nodiscard]] int branch_count() const override { return 1; }
+  void set_branch_offset(int offset) override { branch_ = offset; }
+  void stamp(StampContext& ctx) override;
+  void collect_breakpoints(double t_now, std::vector<double>& out) const override;
+
+  [[nodiscard]] int branch_index() const { return branch_; }
+  void set_waveform(Waveform waveform) { waveform_ = std::move(waveform); }
+  [[nodiscard]] const Waveform& waveform() const { return waveform_; }
+
+  /// Source current at a solution [A] (positive into + terminal).
+  [[nodiscard]] double current(const Solution& s) const { return s.branch(branch_); }
+
+  [[nodiscard]] std::string netlist_card(
+      const std::function<std::string(NodeId)>& names) const override;
+
+ private:
+  NodeId a_, b_;
+  Waveform waveform_;
+  int branch_ = -1;
+};
+
+/// Independent current source: `value` amps flow from node a through the
+/// source to node b (so the source injects current into node b).
+class CurrentSource : public Device {
+ public:
+  CurrentSource(std::string name, NodeId a, NodeId b, Waveform waveform);
+
+  void stamp(StampContext& ctx) override;
+  void collect_breakpoints(double t_now, std::vector<double>& out) const override;
+  void set_waveform(Waveform waveform) { waveform_ = std::move(waveform); }
+
+  [[nodiscard]] std::string netlist_card(
+      const std::function<std::string(NodeId)>& names) const override;
+
+ private:
+  NodeId a_, b_;
+  Waveform waveform_;
+};
+
+/// Two-terminal nonlinear current source defined by a user function.
+///
+/// The function maps the terminal voltage v = v(a) - v(b) to the current
+/// the element drives out of its + terminal (a) into the external
+/// circuit, and its derivative: f(v) -> {I, dI/dv}. This is the adapter
+/// point for the PV cell models (a PV cell is exactly such an element).
+class NonlinearCurrentSource : public Device {
+ public:
+  /// Evaluation result: current out of the + terminal and its slope.
+  struct Eval {
+    double current = 0.0;
+    double didv = 0.0;
+  };
+  using EvalFn = std::function<Eval(double v)>;
+
+  NonlinearCurrentSource(std::string name, NodeId a, NodeId b, EvalFn fn);
+
+  void stamp(StampContext& ctx) override;
+
+  /// Swap the element law between analyses (e.g. illuminance change).
+  void set_function(EvalFn fn);
+
+ private:
+  NodeId a_, b_;
+  EvalFn fn_;
+};
+
+}  // namespace focv::circuit

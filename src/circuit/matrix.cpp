@@ -1,0 +1,82 @@
+#include "circuit/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace focv::circuit {
+
+void Matrix::clear() { std::fill(data_.begin(), data_.end(), 0.0); }
+
+void Matrix::resize(std::size_t rows, std::size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.assign(rows * cols, 0.0);
+}
+
+Vector Matrix::multiply(const Vector& x) const {
+  require(x.size() == cols_, "Matrix::multiply: dimension mismatch");
+  Vector y(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) sum += data_[r * cols_ + c] * x[c];
+    y[r] = sum;
+  }
+  return y;
+}
+
+Vector lu_solve(Matrix a, Vector b, double pivot_floor) {
+  const std::size_t n = a.rows();
+  require(a.cols() == n, "lu_solve: matrix must be square");
+  require(b.size() == n, "lu_solve: rhs dimension mismatch");
+
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivot.
+    std::size_t pivot_row = k;
+    double pivot_mag = std::abs(a.at(k, k));
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double mag = std::abs(a.at(r, k));
+      if (mag > pivot_mag) {
+        pivot_mag = mag;
+        pivot_row = r;
+      }
+    }
+    if (pivot_mag < pivot_floor) {
+      throw ConvergenceError("lu_solve: singular matrix (pivot " + std::to_string(pivot_mag) +
+                             " at column " + std::to_string(k) + ")");
+    }
+    if (pivot_row != k) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(a.at(k, c), a.at(pivot_row, c));
+      std::swap(b[k], b[pivot_row]);
+    }
+    // Eliminate below.
+    const double pivot = a.at(k, k);
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double factor = a.at(r, k) / pivot;
+      if (factor == 0.0) continue;
+      a.at(r, k) = 0.0;
+      for (std::size_t c = k + 1; c < n; ++c) a.at(r, c) -= factor * a.at(k, c);
+      b[r] -= factor * b[k];
+    }
+  }
+  // Back substitution.
+  Vector x(n, 0.0);
+  for (std::size_t ri = n; ri-- > 0;) {
+    double sum = b[ri];
+    for (std::size_t c = ri + 1; c < n; ++c) sum -= a.at(ri, c) * x[c];
+    x[ri] = sum / a.at(ri, ri);
+  }
+  return x;
+}
+
+double inf_norm(const Vector& v) {
+  double m = 0.0;
+  for (const double e : v) m = std::max(m, std::abs(e));
+  return m;
+}
+
+}  // namespace focv::circuit

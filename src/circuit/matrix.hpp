@@ -1,0 +1,52 @@
+// Dense linear algebra for the MNA solver.
+//
+// MNA systems in this library are small (tens of unknowns: node voltages
+// plus branch currents), so a dense LU with partial pivoting is both the
+// simplest and the fastest appropriate choice; sparse machinery would
+// not pay for itself below a few hundred unknowns.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace focv::circuit {
+
+using Vector = std::vector<double>;
+
+/// Row-major dense matrix.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols) : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  [[nodiscard]] double& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  /// Reset all entries to zero, keeping dimensions.
+  void clear();
+
+  /// Resize and zero.
+  void resize(std::size_t rows, std::size_t cols);
+
+  /// y = A * x.
+  [[nodiscard]] Vector multiply(const Vector& x) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  Vector data_;
+};
+
+/// Solve A x = b in place via LU with partial pivoting.
+///
+/// `a` is destroyed. Throws ConvergenceError when the matrix is
+/// numerically singular (pivot below `pivot_floor`).
+[[nodiscard]] Vector lu_solve(Matrix a, Vector b, double pivot_floor = 1e-300);
+
+/// Infinity norm of a vector.
+[[nodiscard]] double inf_norm(const Vector& v);
+
+}  // namespace focv::circuit

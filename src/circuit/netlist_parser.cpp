@@ -1,0 +1,289 @@
+#include "circuit/netlist_parser.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "circuit/devices_active.hpp"
+#include "circuit/devices_passive.hpp"
+#include "circuit/devices_sources.hpp"
+
+namespace focv::circuit {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char ch) { return static_cast<char>(std::tolower(ch)); });
+  return s;
+}
+
+[[noreturn]] void fail(int line, const std::string& message) {
+  throw NetlistParseError("netlist line " + std::to_string(line) + ": " + message);
+}
+
+/// Tokenise one card. Parentheses and commas act as whitespace so
+/// "PULSE(0 3.3 1m ...)" splits naturally.
+std::vector<std::string> tokenize(const std::string& raw) {
+  std::string cleaned;
+  cleaned.reserve(raw.size());
+  for (const char ch : raw) {
+    if (ch == '(' || ch == ')' || ch == ',' || ch == '=') {
+      cleaned.push_back(' ');
+      if (ch == '=') cleaned.append("= ");
+    } else {
+      cleaned.push_back(ch);
+    }
+  }
+  std::vector<std::string> tokens;
+  std::stringstream ss(cleaned);
+  std::string tok;
+  while (ss >> tok) tokens.push_back(tok);
+  return tokens;
+}
+
+/// key=value parameters from the tail of a card. The tokenizer expands
+/// "k=v" into "k", "=", "v".
+std::unordered_map<std::string, double> parse_params(const std::vector<std::string>& tokens,
+                                                     std::size_t start, int line) {
+  std::unordered_map<std::string, double> params;
+  std::size_t i = start;
+  while (i < tokens.size()) {
+    if (i + 1 >= tokens.size() || tokens[i + 1] != "=") {
+      fail(line, "unexpected token '" + tokens[i] + "' (expected key=value)");
+    }
+    if (i + 2 >= tokens.size()) fail(line, "parameter '" + tokens[i] + "' has no value");
+    params[lower(tokens[i])] = parse_engineering_value(tokens[i + 2]);
+    i += 3;
+  }
+  return params;
+}
+
+double param_or(const std::unordered_map<std::string, double>& params, const std::string& key,
+                double fallback) {
+  const auto it = params.find(key);
+  return (it == params.end()) ? fallback : it->second;
+}
+
+}  // namespace
+
+double parse_engineering_value(const std::string& token) {
+  require(!token.empty(), "parse_engineering_value: empty token");
+  const std::string t = lower(token);
+  std::size_t consumed = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(t, &consumed);
+  } catch (const std::exception&) {
+    throw NetlistParseError("not a number: '" + token + "'");
+  }
+  const std::string suffix = t.substr(consumed);
+  if (suffix.empty()) return value;
+  // "meg" must be checked before "m".
+  struct Suffix {
+    const char* text;
+    double scale;
+  };
+  static constexpr Suffix kSuffixes[] = {
+      {"meg", 1e6}, {"f", 1e-15}, {"p", 1e-12}, {"n", 1e-9}, {"u", 1e-6},
+      {"m", 1e-3},  {"k", 1e3},   {"g", 1e9},   {"t", 1e12},
+  };
+  for (const Suffix& s : kSuffixes) {
+    if (suffix.rfind(s.text, 0) == 0) return value * s.scale;
+  }
+  throw NetlistParseError("unknown unit suffix '" + suffix + "' in '" + token + "'");
+}
+
+int parse_netlist(std::istream& source, Circuit& circuit) {
+  std::string raw;
+  int line_no = 0;
+  int device_count = 0;
+  std::unordered_set<std::string> names;
+
+  auto check_name = [&](const std::string& name, int line) {
+    if (!names.insert(lower(name)).second) fail(line, "duplicate device name '" + name + "'");
+  };
+
+  while (std::getline(source, raw)) {
+    ++line_no;
+    // Strip comments.
+    std::string text = raw;
+    for (const std::string& marker : {std::string(";"), std::string("//")}) {
+      const auto pos = text.find(marker);
+      if (pos != std::string::npos) text = text.substr(0, pos);
+    }
+    // Leading '*' comments whole line (SPICE style).
+    const auto first = text.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    if (text[first] == '*') continue;
+
+    const std::vector<std::string> tok = tokenize(text);
+    if (tok.empty()) continue;
+    const std::string card = lower(tok[0]);
+
+    if (card == ".end") break;
+    if (card[0] == '.') fail(line_no, "unsupported directive '" + tok[0] + "'");
+
+    const char kind = card[0];
+    auto node = [&](std::size_t idx) -> NodeId {
+      if (idx >= tok.size()) fail(line_no, "missing node");
+      return circuit.node(tok[idx]);
+    };
+
+    switch (kind) {
+      case 'r': {
+        if (tok.size() < 4) fail(line_no, "resistor needs: Rname a b value");
+        check_name(tok[0], line_no);
+        circuit.add<Resistor>(tok[0], node(1), node(2), parse_engineering_value(tok[3]));
+        break;
+      }
+      case 'c': {
+        if (tok.size() < 4) fail(line_no, "capacitor needs: Cname a b value [IC=v]");
+        check_name(tok[0], line_no);
+        const auto params = parse_params(tok, 4, line_no);
+        circuit.add<Capacitor>(tok[0], node(1), node(2), parse_engineering_value(tok[3]),
+                               param_or(params, "ic", 0.0));
+        break;
+      }
+      case 'l': {
+        if (tok.size() < 4) fail(line_no, "inductor needs: Lname a b value [IC=i]");
+        check_name(tok[0], line_no);
+        const auto params = parse_params(tok, 4, line_no);
+        circuit.add<Inductor>(tok[0], node(1), node(2), parse_engineering_value(tok[3]),
+                              param_or(params, "ic", 0.0));
+        break;
+      }
+      case 'v':
+      case 'i': {
+        if (tok.size() < 4) fail(line_no, "source needs: name a b DC v | PULSE(...) | SIN(...)");
+        check_name(tok[0], line_no);
+        const NodeId a = node(1);
+        const NodeId b = node(2);
+        Waveform waveform = Waveform::dc(0.0);
+        const std::string shape = lower(tok[3]);
+        if (shape == "dc") {
+          if (tok.size() < 5) fail(line_no, "DC source needs a value");
+          waveform = Waveform::dc(parse_engineering_value(tok[4]));
+        } else if (shape == "pulse") {
+          if (tok.size() < 11) {
+            fail(line_no, "PULSE needs 7 values: v1 v2 delay rise fall width period");
+          }
+          waveform = Waveform::pulse(
+              parse_engineering_value(tok[4]), parse_engineering_value(tok[5]),
+              parse_engineering_value(tok[6]), parse_engineering_value(tok[7]),
+              parse_engineering_value(tok[8]), parse_engineering_value(tok[9]),
+              parse_engineering_value(tok[10]));
+        } else if (shape == "sin") {
+          if (tok.size() < 7) fail(line_no, "SIN needs: offset amplitude frequency [delay]");
+          waveform = Waveform::sine(
+              parse_engineering_value(tok[4]), parse_engineering_value(tok[5]),
+              parse_engineering_value(tok[6]),
+              tok.size() > 7 ? parse_engineering_value(tok[7]) : 0.0);
+        } else {
+          // Bare value: treat as DC.
+          waveform = Waveform::dc(parse_engineering_value(tok[3]));
+        }
+        if (kind == 'v') {
+          circuit.add<VoltageSource>(tok[0], a, b, waveform);
+        } else {
+          circuit.add<CurrentSource>(tok[0], a, b, waveform);
+        }
+        break;
+      }
+      case 'd': {
+        if (tok.size() < 3) fail(line_no, "diode needs: Dname anode cathode [IS=..] [N=..]");
+        check_name(tok[0], line_no);
+        const auto params = parse_params(tok, 3, line_no);
+        Diode::Params dp;
+        dp.saturation_current = param_or(params, "is", dp.saturation_current);
+        dp.emission_coefficient = param_or(params, "n", dp.emission_coefficient);
+        circuit.add<Diode>(tok[0], node(1), node(2), dp);
+        break;
+      }
+      case 's': {
+        if (tok.size() < 5) {
+          fail(line_no, "switch needs: Sname a b ctl+ ctl- [RON= ROFF= VT= VW=]");
+        }
+        check_name(tok[0], line_no);
+        const auto params = parse_params(tok, 5, line_no);
+        VSwitch::Params sp;
+        sp.on_resistance = param_or(params, "ron", sp.on_resistance);
+        sp.off_resistance = param_or(params, "roff", sp.off_resistance);
+        sp.threshold = param_or(params, "vt", sp.threshold);
+        sp.transition_width = param_or(params, "vw", sp.transition_width);
+        circuit.add<VSwitch>(tok[0], node(1), node(2), node(3), node(4), sp);
+        break;
+      }
+      case 'm': {
+        if (tok.size() < 5) fail(line_no, "mosfet needs: Mname d g s NMOS|PMOS [VTO= KP= LAMBDA=]");
+        check_name(tok[0], line_no);
+        const std::string type = lower(tok[4]);
+        if (type != "nmos" && type != "pmos") fail(line_no, "mosfet type must be NMOS or PMOS");
+        const auto params = parse_params(tok, 5, line_no);
+        Mosfet::Params mp;
+        mp.is_nmos = (type == "nmos");
+        mp.threshold_voltage = param_or(params, "vto", mp.threshold_voltage);
+        mp.transconductance = param_or(params, "kp", mp.transconductance);
+        mp.lambda = param_or(params, "lambda", mp.lambda);
+        circuit.add<Mosfet>(tok[0], node(1), node(2), node(3), mp);
+        break;
+      }
+      case 'e': {
+        if (tok.size() < 6) fail(line_no, "VCVS needs: Ename a b cp cn gain");
+        check_name(tok[0], line_no);
+        circuit.add<Vcvs>(tok[0], node(1), node(2), node(3), node(4),
+                          parse_engineering_value(tok[5]));
+        break;
+      }
+      case 'g': {
+        if (tok.size() < 6) fail(line_no, "VCCS needs: Gname a b cp cn gm");
+        check_name(tok[0], line_no);
+        circuit.add<Vccs>(tok[0], node(1), node(2), node(3), node(4),
+                          parse_engineering_value(tok[5]));
+        break;
+      }
+      case 'u': {
+        if (tok.size() < 7) {
+          fail(line_no, "amp needs: Uname inp inn out vdd vss COMP|OPAMP|BUF [params]");
+        }
+        check_name(tok[0], line_no);
+        const std::string mode = lower(tok[6]);
+        Amp::Params ap;
+        if (mode == "comp") {
+          ap.mode = Amp::Mode::kComparator;
+          ap.gain = 1e4;
+          ap.output_resistance = 5e3;
+        } else if (mode == "opamp") {
+          ap.mode = Amp::Mode::kOpAmp;
+        } else if (mode == "buf") {
+          ap.mode = Amp::Mode::kBuffer;
+          ap.output_resistance = 2e3;
+        } else {
+          fail(line_no, "amp mode must be COMP, OPAMP or BUF");
+        }
+        const auto params = parse_params(tok, 7, line_no);
+        ap.gain = param_or(params, "gain", ap.gain);
+        ap.output_resistance = param_or(params, "rout", ap.output_resistance);
+        ap.offset_voltage = param_or(params, "voff", ap.offset_voltage);
+        ap.quiescent_current = param_or(params, "iq", ap.quiescent_current);
+        circuit.add<Amp>(tok[0], node(1), node(2), node(3), node(4), node(5), ap);
+        break;
+      }
+      default:
+        fail(line_no, "unknown device card '" + tok[0] + "'");
+    }
+    ++device_count;
+  }
+  return device_count;
+}
+
+int parse_netlist_string(const std::string& text, Circuit& circuit) {
+  std::istringstream stream(text);
+  return parse_netlist(stream, circuit);
+}
+
+}  // namespace focv::circuit

@@ -1,0 +1,53 @@
+// SPICE-style text netlist parser.
+//
+// Lets circuits be described in the familiar card format instead of C++:
+//
+//   * comment lines start with '*' (or ';' / '//')
+//   R1 in out 10k
+//   C1 out 0 100n IC=1.2
+//   L1 a b 1m
+//   V1 in 0 DC 3.3
+//   V2 p 0 PULSE(0 3.3 1m 1u 1u 2m 10m)
+//   V3 s 0 SIN(1 0.5 50)
+//   I1 0 n DC 1m
+//   D1 a 0 IS=1e-12 N=1.6
+//   S1 a b ctl 0 RON=100 ROFF=1e9 VT=1.65 VW=0.2
+//   M1 d g s NMOS VTO=1 KP=2e-3 LAMBDA=0.01
+//   E1 o 0 cp cn 8
+//   G1 o 0 cp cn 1e-3
+//   U1 inp inn out vdd vss COMP GAIN=1e4 ROUT=5k IQ=0.7u
+//   U2 in 0 out vdd vss BUF
+//   U3 inp inn out vdd vss OPAMP GAIN=2e5
+//   .end
+//
+// Engineering suffixes: f p n u m k meg g t (case-insensitive).
+// Node "0" (or "gnd") is ground. Duplicate device names are rejected.
+// Parse errors carry the 1-based line number.
+#pragma once
+
+#include <istream>
+#include <string>
+
+#include "circuit/circuit.hpp"
+#include "common/require.hpp"
+
+namespace focv::circuit {
+
+/// Thrown on malformed netlist input; the message includes the line.
+class NetlistParseError : public focv::PreconditionError {
+ public:
+  using focv::PreconditionError::PreconditionError;
+};
+
+/// Parse `source` and add the described devices/nodes into `circuit`.
+/// Returns the number of devices created.
+int parse_netlist(std::istream& source, Circuit& circuit);
+
+/// Convenience: parse from a string.
+int parse_netlist_string(const std::string& text, Circuit& circuit);
+
+/// Parse a single engineering-notation value ("10k", "100n", "2meg",
+/// "1e-3"). Exposed for tests and tooling.
+[[nodiscard]] double parse_engineering_value(const std::string& token);
+
+}  // namespace focv::circuit

@@ -1,0 +1,30 @@
+#include "circuit/netlist_writer.hpp"
+
+#include <sstream>
+
+namespace focv::circuit {
+
+int write_netlist(std::ostream& os, const Circuit& circuit) {
+  const auto names = [&circuit](NodeId n) { return circuit.node_name(n); };
+  os << "* netlist exported by focv::circuit::write_netlist\n";
+  int omitted = 0;
+  for (const auto& device : circuit.devices()) {
+    const std::string card = device->netlist_card(names);
+    if (card.empty()) {
+      os << "* (no card form) " << device->name() << "\n";
+      ++omitted;
+    } else {
+      os << card << "\n";
+    }
+  }
+  os << ".end\n";
+  return omitted;
+}
+
+std::string write_netlist_string(const Circuit& circuit) {
+  std::ostringstream os;
+  (void)write_netlist(os, circuit);
+  return os.str();
+}
+
+}  // namespace focv::circuit

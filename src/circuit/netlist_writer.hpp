@@ -1,0 +1,27 @@
+// Serialise a Circuit back to the SPICE-style card format understood by
+// netlist_parser — the inverse operation, so programmatically built
+// circuits (including the Fig. 3 builders) can be exported, inspected,
+// diffed and re-imported.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "circuit/circuit.hpp"
+
+namespace focv::circuit {
+
+/// Write every supported device as one card. Devices with no card form
+/// (behavioural PV cells, custom Device subclasses) are emitted as
+/// comment lines noting the omission, and their count is returned so
+/// callers can tell whether the export is complete.
+///
+/// Round-trip guarantee (tested): for circuits made of the parser's
+/// device set, parse(write(circuit)) produces an electrically identical
+/// circuit (same DC solution and transient behaviour).
+int write_netlist(std::ostream& os, const Circuit& circuit);
+
+/// Convenience: netlist text as a string.
+[[nodiscard]] std::string write_netlist_string(const Circuit& circuit);
+
+}  // namespace focv::circuit

@@ -1,0 +1,90 @@
+#include "circuit/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/require.hpp"
+
+namespace focv::circuit {
+
+NewtonResult newton_solve(Circuit& circuit, Vector& x, double time, double dt,
+                          Integrator integrator, const NewtonOptions& options,
+                          double source_scale) {
+  const int n = circuit.unknown_count();
+  require(static_cast<int>(x.size()) == n, "newton_solve: iterate size mismatch");
+  const int node_vars = circuit.node_count() - 1;
+
+  Matrix g(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
+  Vector rhs(static_cast<std::size_t>(n), 0.0);
+
+  NewtonResult result;
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    g.clear();
+    std::fill(rhs.begin(), rhs.end(), 0.0);
+
+    StampContext ctx(g, rhs, x, circuit.node_count());
+    ctx.time = time;
+    ctx.dt = dt;
+    ctx.integrator = integrator;
+    ctx.gmin = options.gmin;
+    ctx.source_scale = source_scale;
+    for (const auto& device : circuit.devices()) device->stamp(ctx);
+    // Global gmin from every node to ground keeps high-impedance nodes
+    // (comparator inputs, open switches) well-conditioned.
+    for (int r = 0; r < node_vars; ++r) {
+      g.at(static_cast<std::size_t>(r), static_cast<std::size_t>(r)) += options.gmin;
+    }
+
+    Vector x_new;
+    try {
+      x_new = lu_solve(g, rhs);
+    } catch (const ConvergenceError&) {
+      return result;  // singular: not converged
+    }
+
+    double max_dv = 0.0;
+    double max_di = 0.0;
+    bool within_tol = true;
+    for (int k = 0; k < n; ++k) {
+      const double delta = x_new[static_cast<std::size_t>(k)] - x[static_cast<std::size_t>(k)];
+      if (!std::isfinite(delta)) return result;
+      const double magnitude = std::abs(x[static_cast<std::size_t>(k)]);
+      if (k < node_vars) {
+        max_dv = std::max(max_dv, std::abs(delta));
+        if (std::abs(delta) > options.v_abs_tol + options.rel_tol * magnitude) within_tol = false;
+      } else {
+        max_di = std::max(max_di, std::abs(delta));
+        if (std::abs(delta) > options.i_abs_tol + options.rel_tol * magnitude) within_tol = false;
+      }
+    }
+
+    static const bool debug = std::getenv("FOCV_NEWTON_DEBUG") != nullptr;
+    if (debug) {
+      std::fprintf(stderr, "  newton iter %d: max_dv=%.4g max_di=%.4g x=[", iter, max_dv, max_di);
+      for (int k = 0; k < std::min(n, 8); ++k) std::fprintf(stderr, "%.4g ", x_new[static_cast<std::size_t>(k)]);
+      std::fprintf(stderr, "]\n");
+    }
+
+    if (max_dv > options.max_voltage_step) {
+      // Damped update: move a bounded distance towards the Newton point.
+      const double scale = options.max_voltage_step / max_dv;
+      for (int k = 0; k < n; ++k) {
+        x[static_cast<std::size_t>(k)] +=
+            scale * (x_new[static_cast<std::size_t>(k)] - x[static_cast<std::size_t>(k)]);
+      }
+      continue;
+    }
+
+    x = std::move(x_new);
+    if (within_tol) {
+      result.converged = true;
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace focv::circuit

@@ -1,0 +1,31 @@
+// Newton-Raphson solve of the assembled MNA system at one time point.
+#pragma once
+
+#include "circuit/circuit.hpp"
+
+namespace focv::circuit {
+
+/// Convergence and damping controls for the Newton iteration.
+struct NewtonOptions {
+  int max_iterations = 150;
+  double v_abs_tol = 1e-6;        ///< node voltage tolerance [V]
+  double i_abs_tol = 1e-10;       ///< branch current tolerance [A]
+  double rel_tol = 1e-4;          ///< relative tolerance on both
+  double max_voltage_step = 1.0;  ///< damping: largest node update per iteration [V]
+  double gmin = 1e-12;            ///< node-to-ground conductance [S]
+};
+
+/// Outcome of one Newton solve.
+struct NewtonResult {
+  bool converged = false;
+  int iterations = 0;
+};
+
+/// Solve the circuit equations at (time, dt) starting from the iterate in
+/// `x` (updated in place). dt == 0 selects DC companion models.
+/// `source_scale` scales all independent sources (DC source stepping).
+[[nodiscard]] NewtonResult newton_solve(Circuit& circuit, Vector& x, double time, double dt,
+                                        Integrator integrator, const NewtonOptions& options,
+                                        double source_scale = 1.0);
+
+}  // namespace focv::circuit

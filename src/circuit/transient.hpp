@@ -1,0 +1,73 @@
+// Adaptive-timestep transient analysis and waveform traces.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "circuit/dc_analysis.hpp"
+
+namespace focv::circuit {
+
+/// Recorded waveforms of one transient run: every node voltage plus every
+/// branch current, sampled at each accepted timestep.
+class Trace {
+ public:
+  Trace() = default;
+  Trace(std::vector<std::string> signal_names);
+
+  void append(double time, const Vector& x);
+
+  [[nodiscard]] const std::vector<double>& time() const { return time_; }
+  [[nodiscard]] std::size_t size() const { return time_.size(); }
+
+  /// Full sample vector of a named signal ("node" or "I(device)").
+  [[nodiscard]] const std::vector<double>& signal(const std::string& name) const;
+  [[nodiscard]] bool has_signal(const std::string& name) const;
+  [[nodiscard]] const std::vector<std::string>& signal_names() const { return names_; }
+
+  /// Linearly interpolated signal value at time t (clamped at the ends).
+  [[nodiscard]] double at(const std::string& name, double t) const;
+
+  /// Time-weighted average of a signal over [t0, t1] (trapezoid rule).
+  [[nodiscard]] double time_average(const std::string& name, double t0, double t1) const;
+
+  /// Minimum / maximum of a signal over [t0, t1].
+  [[nodiscard]] double minimum(const std::string& name, double t0, double t1) const;
+  [[nodiscard]] double maximum(const std::string& name, double t0, double t1) const;
+
+  /// Times at which the signal crosses `level` rising (and optionally
+  /// falling). Linear interpolation between samples.
+  [[nodiscard]] std::vector<double> crossing_times(const std::string& name, double level,
+                                                   bool rising = true) const;
+
+ private:
+  [[nodiscard]] std::size_t index_of(const std::string& name) const;
+
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, std::size_t> index_;
+  std::vector<double> time_;
+  std::vector<std::vector<double>> values_;  // [signal][sample]
+};
+
+/// Controls for transient analysis.
+struct TransientOptions {
+  double t_stop = 1e-3;           ///< end time [s]
+  double dt_initial = 1e-6;       ///< first step size [s]
+  double dt_min = 1e-12;          ///< floor for step halving [s]
+  double dt_max = 0.0;            ///< 0 = t_stop / 50
+  double dv_step_max = 0.5;       ///< largest node-voltage change per step [V]
+  Integrator integrator = Integrator::kTrapezoidal;
+  bool start_from_dc = true;      ///< false: use device initial conditions (UIC)
+  int record_stride = 1;          ///< record every k-th accepted step
+  NewtonOptions newton;
+  DcOptions dc;                   ///< used when start_from_dc
+};
+
+/// Run a transient simulation and return the recorded trace.
+/// Signal names: node names for voltages, "I(<device>)" for the branch
+/// current of voltage-defined devices ("I(<device>)#k" when a device has
+/// several branches).
+[[nodiscard]] Trace transient_analyze(Circuit& circuit, const TransientOptions& options);
+
+}  // namespace focv::circuit

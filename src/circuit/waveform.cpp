@@ -1,0 +1,163 @@
+#include "circuit/waveform.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <numbers>
+
+#include "common/require.hpp"
+
+namespace focv::circuit {
+
+Waveform Waveform::dc(double value) {
+  Waveform w;
+  w.kind_ = Kind::kDc;
+  w.dc_value_ = value;
+  return w;
+}
+
+Waveform Waveform::pulse(double v_initial, double v_pulsed, double delay, double rise, double fall,
+                         double width, double period) {
+  require(rise >= 0.0 && fall >= 0.0 && width >= 0.0, "Waveform::pulse: negative timing");
+  require(period <= 0.0 || period >= rise + width + fall,
+          "Waveform::pulse: period shorter than pulse shape");
+  Waveform w;
+  w.kind_ = Kind::kPulse;
+  w.v1_ = v_initial;
+  w.v2_ = v_pulsed;
+  w.delay_ = delay;
+  // Zero rise/fall would make the MNA system discontinuous; use a sharp
+  // but finite default edge instead (SPICE uses the timestep for this).
+  w.rise_ = (rise > 0.0) ? rise : 1e-9;
+  w.fall_ = (fall > 0.0) ? fall : 1e-9;
+  w.width_ = width;
+  w.period_ = period;
+  return w;
+}
+
+Waveform Waveform::sine(double offset, double amplitude, double frequency_hz, double delay) {
+  require(frequency_hz > 0.0, "Waveform::sine: frequency must be > 0");
+  Waveform w;
+  w.kind_ = Kind::kSine;
+  w.offset_ = offset;
+  w.amplitude_ = amplitude;
+  w.frequency_ = frequency_hz;
+  w.delay_ = delay;
+  return w;
+}
+
+Waveform Waveform::pwl(std::vector<focv::TimedSample> points, double repeat_period) {
+  require(!points.empty(), "Waveform::pwl: needs at least one point");
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    require(points[i].time > points[i - 1].time, "Waveform::pwl: times must be increasing");
+  }
+  Waveform w;
+  w.kind_ = Kind::kPwl;
+  w.points_ = std::move(points);
+  w.repeat_ = repeat_period;
+  return w;
+}
+
+double Waveform::value(double t) const {
+  switch (kind_) {
+    case Kind::kDc:
+      return dc_value_;
+    case Kind::kPulse: {
+      if (t < delay_) return v1_;
+      double local = t - delay_;
+      if (period_ > 0.0) local = std::fmod(local, period_);
+      if (local < rise_) return v1_ + (v2_ - v1_) * (local / rise_);
+      local -= rise_;
+      if (local < width_) return v2_;
+      local -= width_;
+      if (local < fall_) return v2_ + (v1_ - v2_) * (local / fall_);
+      return v1_;
+    }
+    case Kind::kSine: {
+      if (t < delay_) return offset_;
+      return offset_ + amplitude_ * std::sin(2.0 * std::numbers::pi * frequency_ * (t - delay_));
+    }
+    case Kind::kPwl: {
+      double local = t;
+      if (repeat_ > 0.0 && local > points_.front().time) {
+        const double span = repeat_;
+        local = points_.front().time +
+                std::fmod(local - points_.front().time, span);
+      }
+      if (local <= points_.front().time) return points_.front().value;
+      if (local >= points_.back().time) return points_.back().value;
+      for (std::size_t i = 1; i < points_.size(); ++i) {
+        if (local <= points_[i].time) {
+          const auto& a = points_[i - 1];
+          const auto& b = points_[i];
+          const double f = (local - a.time) / (b.time - a.time);
+          return a.value + f * (b.value - a.value);
+        }
+      }
+      return points_.back().value;
+    }
+  }
+  return 0.0;
+}
+
+std::string Waveform::card_text() const {
+  char buf[256];
+  switch (kind_) {
+    case Kind::kDc:
+      std::snprintf(buf, sizeof buf, "DC %.9g", dc_value_);
+      return buf;
+    case Kind::kPulse:
+      std::snprintf(buf, sizeof buf, "PULSE(%.9g %.9g %.9g %.9g %.9g %.9g %.9g)", v1_, v2_,
+                    delay_, rise_, fall_, width_, period_);
+      return buf;
+    case Kind::kSine:
+      std::snprintf(buf, sizeof buf, "SIN(%.9g %.9g %.9g %.9g)", offset_, amplitude_,
+                    frequency_, delay_);
+      return buf;
+    case Kind::kPwl:
+      return "";
+  }
+  return "";
+}
+
+void Waveform::collect_breakpoints(double t_now, std::vector<double>& out) const {
+  auto push_if_future = [&](double t) {
+    if (t > t_now) out.push_back(t);
+  };
+  switch (kind_) {
+    case Kind::kDc:
+    case Kind::kSine:
+      return;
+    case Kind::kPulse: {
+      // Corners of the current and next period.
+      double base = delay_;
+      if (period_ > 0.0 && t_now > delay_) {
+        const double cycles = std::floor((t_now - delay_) / period_);
+        base = delay_ + cycles * period_;
+      }
+      for (int cycle = 0; cycle < 2; ++cycle) {
+        const double t0 = base + cycle * (period_ > 0.0 ? period_ : 0.0);
+        push_if_future(t0);
+        push_if_future(t0 + rise_);
+        push_if_future(t0 + rise_ + width_);
+        push_if_future(t0 + rise_ + width_ + fall_);
+        if (period_ <= 0.0) break;
+      }
+      return;
+    }
+    case Kind::kPwl: {
+      if (repeat_ <= 0.0) {
+        for (const auto& p : points_) push_if_future(p.time);
+      } else {
+        const double t0 = points_.front().time;
+        double shift = 0.0;
+        if (t_now > t0) shift = std::floor((t_now - t0) / repeat_) * repeat_;
+        for (int cycle = 0; cycle < 2; ++cycle) {
+          for (const auto& p : points_) push_if_future(p.time + shift + cycle * repeat_);
+        }
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace focv::circuit

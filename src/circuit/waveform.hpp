@@ -1,0 +1,57 @@
+// Source waveforms (DC / pulse / sine / piecewise-linear).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace focv::circuit {
+
+/// Time-dependent source value with breakpoint reporting so the
+/// transient engine never steps across an edge.
+class Waveform {
+ public:
+  /// Constant value.
+  static Waveform dc(double value);
+
+  /// SPICE-style pulse.
+  static Waveform pulse(double v_initial, double v_pulsed, double delay, double rise, double fall,
+                        double width, double period);
+
+  /// Sinusoid: offset + amplitude * sin(2*pi*freq*(t - delay)).
+  static Waveform sine(double offset, double amplitude, double frequency_hz, double delay = 0.0);
+
+  /// Piecewise linear through (t, v) points; holds the last value after
+  /// the final point (or repeats with `period` > 0).
+  static Waveform pwl(std::vector<focv::TimedSample> points, double repeat_period = 0.0);
+
+  /// Source value at time t.
+  [[nodiscard]] double value(double t) const;
+
+  /// Append future discontinuity/corner times after t_now.
+  void collect_breakpoints(double t_now, std::vector<double>& out) const;
+
+  /// DC value used for operating-point analysis (value at t = 0).
+  [[nodiscard]] double dc_value() const { return value(0.0); }
+
+  /// Netlist card fragment ("DC 3.3", "PULSE(...)", "SIN(...)");
+  /// empty for shapes the card format cannot express (PWL).
+  [[nodiscard]] std::string card_text() const;
+
+ private:
+  enum class Kind { kDc, kPulse, kSine, kPwl };
+  Kind kind_ = Kind::kDc;
+
+  // DC
+  double dc_value_ = 0.0;
+  // Pulse
+  double v1_ = 0.0, v2_ = 0.0, delay_ = 0.0, rise_ = 0.0, fall_ = 0.0, width_ = 0.0, period_ = 0.0;
+  // Sine
+  double offset_ = 0.0, amplitude_ = 0.0, frequency_ = 0.0;
+  // PWL
+  std::vector<focv::TimedSample> points_;
+  double repeat_ = 0.0;
+};
+
+}  // namespace focv::circuit

@@ -1,0 +1,118 @@
+#include "common/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "common/require.hpp"
+
+namespace focv {
+
+namespace {
+
+std::string format_tick(double v) {
+  std::ostringstream ss;
+  if (std::abs(v) >= 1e5 || (std::abs(v) < 1e-3 && v != 0.0)) {
+    ss << std::scientific << std::setprecision(2) << v;
+  } else {
+    ss << std::fixed << std::setprecision(3) << v;
+  }
+  return ss.str();
+}
+
+}  // namespace
+
+void ascii_plot(std::ostream& os, const std::vector<AsciiSeries>& series,
+                const AsciiPlotOptions& options) {
+  require(options.width >= 16 && options.height >= 4, "ascii_plot: plot area too small");
+  double x_min = std::numeric_limits<double>::infinity();
+  double x_max = -std::numeric_limits<double>::infinity();
+  double y_min = std::numeric_limits<double>::infinity();
+  double y_max = -std::numeric_limits<double>::infinity();
+  bool any = false;
+  for (const auto& s : series) {
+    require(s.x.size() == s.y.size(), "ascii_plot: series length mismatch");
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      x_min = std::min(x_min, s.x[i]);
+      x_max = std::max(x_max, s.x[i]);
+      y_min = std::min(y_min, s.y[i]);
+      y_max = std::max(y_max, s.y[i]);
+      any = true;
+    }
+  }
+  if (!any) {
+    os << "(empty plot)\n";
+    return;
+  }
+  if (x_max == x_min) x_max = x_min + 1.0;
+  if (y_max == y_min) y_max = y_min + 1.0;
+  // A little headroom so extrema are not drawn on the frame.
+  const double y_pad = 0.05 * (y_max - y_min);
+  y_min -= y_pad;
+  y_max += y_pad;
+
+  const int w = options.width;
+  const int h = options.height;
+  std::vector<std::string> grid(static_cast<std::size_t>(h), std::string(static_cast<std::size_t>(w), ' '));
+
+  auto to_col = [&](double x) {
+    return static_cast<int>(std::lround((x - x_min) / (x_max - x_min) * (w - 1)));
+  };
+  auto to_row = [&](double y) {
+    return (h - 1) - static_cast<int>(std::lround((y - y_min) / (y_max - y_min) * (h - 1)));
+  };
+  auto put = [&](int col, int row, char glyph) {
+    if (col >= 0 && col < w && row >= 0 && row < h) {
+      grid[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)] = glyph;
+    }
+  };
+
+  for (const auto& s : series) {
+    int prev_col = 0, prev_row = 0;
+    bool have_prev = false;
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      const int col = to_col(s.x[i]);
+      const int row = to_row(s.y[i]);
+      if (options.connect && have_prev) {
+        // Bresenham-ish interpolation between consecutive samples.
+        const int steps = std::max(std::abs(col - prev_col), std::abs(row - prev_row));
+        for (int k = 1; k < steps; ++k) {
+          const int c = prev_col + (col - prev_col) * k / steps;
+          const int r = prev_row + (row - prev_row) * k / steps;
+          put(c, r, s.glyph == '*' ? '.' : s.glyph);
+        }
+      }
+      put(col, row, s.glyph);
+      prev_col = col;
+      prev_row = row;
+      have_prev = true;
+    }
+  }
+
+  if (!options.title.empty()) os << options.title << '\n';
+  if (!options.y_label.empty()) os << options.y_label << '\n';
+  const std::string top_tick = format_tick(y_max);
+  const std::string bot_tick = format_tick(y_min);
+  for (int r = 0; r < h; ++r) {
+    std::string margin(10, ' ');
+    if (r == 0) {
+      margin = top_tick + std::string(top_tick.size() < 10 ? 10 - top_tick.size() : 0, ' ');
+    } else if (r == h - 1) {
+      margin = bot_tick + std::string(bot_tick.size() < 10 ? 10 - bot_tick.size() : 0, ' ');
+    }
+    os << margin << '|' << grid[static_cast<std::size_t>(r)] << '\n';
+  }
+  os << std::string(10, ' ') << '+' << std::string(static_cast<std::size_t>(w), '-') << '\n';
+  os << std::string(10, ' ') << format_tick(x_min);
+  const std::string xmax = format_tick(x_max);
+  const int gap = w - static_cast<int>(format_tick(x_min).size() + xmax.size());
+  os << std::string(static_cast<std::size_t>(std::max(1, gap)), ' ') << xmax << '\n';
+  if (!options.x_label.empty()) os << std::string(10, ' ') << options.x_label << '\n';
+  for (const auto& s : series) {
+    if (!s.name.empty()) os << "  [" << s.glyph << "] " << s.name << '\n';
+  }
+}
+
+}  // namespace focv

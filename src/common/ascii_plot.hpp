@@ -1,0 +1,35 @@
+// Terminal line plots, used by benches to render the paper's figures
+// (Fig. 1 I-V curve, Fig. 2 24-hour Voc log, Fig. 4 sampling transient)
+// directly in the benchmark output.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace focv {
+
+/// Configuration for an ASCII plot.
+struct AsciiPlotOptions {
+  int width = 96;           ///< plot area width in characters
+  int height = 20;          ///< plot area height in characters
+  std::string title;        ///< printed above the plot
+  std::string x_label;      ///< printed below the x axis
+  std::string y_label;      ///< printed beside the y axis
+  bool connect = true;      ///< draw connecting segments between samples
+};
+
+/// A named data series.
+struct AsciiSeries {
+  std::vector<double> x;
+  std::vector<double> y;
+  char glyph = '*';
+  std::string name;
+};
+
+/// Render one or more series into a character grid and stream it out.
+/// Axes are auto-scaled to the union of all series ranges.
+void ascii_plot(std::ostream& os, const std::vector<AsciiSeries>& series,
+                const AsciiPlotOptions& options = {});
+
+}  // namespace focv

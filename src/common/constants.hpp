@@ -1,0 +1,32 @@
+// Physical constants used by the device and PV models.
+#pragma once
+
+namespace focv::constants {
+
+/// Boltzmann constant [J/K].
+inline constexpr double kBoltzmann = 1.380649e-23;
+
+/// Elementary charge [C].
+inline constexpr double kElementaryCharge = 1.602176634e-19;
+
+/// Standard reference temperature for device models [K] (27 degC, SPICE default).
+inline constexpr double kNominalTemperature = 300.15;
+
+/// Absolute zero offset [K].
+inline constexpr double kZeroCelsius = 273.15;
+
+/// Thermal voltage kT/q at temperature `temperature_k` [V].
+[[nodiscard]] constexpr double thermal_voltage(double temperature_k = kNominalTemperature) {
+  return kBoltzmann * temperature_k / kElementaryCharge;
+}
+
+/// Luminous efficacy used to convert daylight illuminance to irradiance
+/// [lux per W/m^2]. ~110 lm/W for the standard AM1.5 solar spectrum.
+inline constexpr double kDaylightLuxPerWm2 = 110.0;
+
+/// Luminous efficacy for tri-phosphor fluorescent office lighting
+/// [lux per W/m^2]. Artificial sources concentrate power in the visible
+/// band, so one W/m^2 of lamp light carries more lux than sunlight.
+inline constexpr double kFluorescentLuxPerWm2 = 340.0;
+
+}  // namespace focv::constants

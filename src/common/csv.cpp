@@ -1,0 +1,75 @@
+#include "common/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/require.hpp"
+
+namespace focv {
+
+std::size_t CsvTable::column_index(const std::string& name) const {
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i] == name) return i;
+  }
+  throw PreconditionError("CsvTable: no column named '" + name + "'");
+}
+
+std::vector<double> CsvTable::column(const std::string& name) const {
+  const std::size_t idx = column_index(name);
+  std::vector<double> out;
+  out.reserve(rows.size());
+  for (const auto& row : rows) {
+    require(idx < row.size(), "CsvTable: ragged row");
+    out.push_back(row[idx]);
+  }
+  return out;
+}
+
+void write_csv(const std::string& path, const CsvTable& table) {
+  std::ofstream file(path);
+  require(file.good(), "write_csv: cannot open '" + path + "'");
+  for (std::size_t i = 0; i < table.columns.size(); ++i) {
+    file << (i ? "," : "") << table.columns[i];
+  }
+  file << '\n';
+  file.precision(12);
+  for (const auto& row : table.rows) {
+    require(row.size() == table.columns.size(), "write_csv: ragged row");
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      file << (i ? "," : "") << row[i];
+    }
+    file << '\n';
+  }
+  require(file.good(), "write_csv: write failure on '" + path + "'");
+}
+
+CsvTable read_csv(const std::string& path) {
+  std::ifstream file(path);
+  require(file.good(), "read_csv: cannot open '" + path + "'");
+  CsvTable table;
+  std::string line;
+  require(static_cast<bool>(std::getline(file, line)), "read_csv: empty file '" + path + "'");
+  {
+    std::stringstream header(line);
+    std::string cell;
+    while (std::getline(header, cell, ',')) table.columns.push_back(cell);
+  }
+  while (std::getline(file, line)) {
+    if (line.empty()) continue;
+    std::stringstream ss(line);
+    std::string cell;
+    std::vector<double> row;
+    while (std::getline(ss, cell, ',')) {
+      try {
+        row.push_back(std::stod(cell));
+      } catch (const std::exception&) {
+        throw PreconditionError("read_csv: non-numeric cell '" + cell + "' in '" + path + "'");
+      }
+    }
+    require(row.size() == table.columns.size(), "read_csv: ragged row in '" + path + "'");
+    table.rows.push_back(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace focv

@@ -1,0 +1,27 @@
+// Minimal CSV reading/writing for traces and benchmark outputs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace focv {
+
+/// An in-memory rectangular table of doubles with named columns.
+struct CsvTable {
+  std::vector<std::string> columns;
+  std::vector<std::vector<double>> rows;  ///< each row has columns.size() entries
+
+  /// Index of a named column; throws PreconditionError when absent.
+  [[nodiscard]] std::size_t column_index(const std::string& name) const;
+
+  /// Extract one column as a vector.
+  [[nodiscard]] std::vector<double> column(const std::string& name) const;
+};
+
+/// Write a table to `path` with a header row. Throws on I/O failure.
+void write_csv(const std::string& path, const CsvTable& table);
+
+/// Read a CSV of doubles with a header row. Throws on I/O or parse failure.
+[[nodiscard]] CsvTable read_csv(const std::string& path);
+
+}  // namespace focv

@@ -1,0 +1,188 @@
+#include "common/math.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/require.hpp"
+
+namespace focv {
+
+double brent_root(const std::function<double(double)>& f, double lo, double hi,
+                  const SolverOptions& options) {
+  require(lo < hi, "brent_root: lo must be < hi");
+  double a = lo, b = hi;
+  double fa = f(a), fb = f(b);
+  if (std::abs(fa) <= options.f_tolerance) return a;
+  if (std::abs(fb) <= options.f_tolerance) return b;
+  require(fa * fb < 0.0, "brent_root: root not bracketed by [lo, hi]");
+
+  double c = a, fc = fa;
+  double d = b - a, e = d;
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    if (std::abs(fc) < std::abs(fb)) {
+      a = b;
+      b = c;
+      c = a;
+      fa = fb;
+      fb = fc;
+      fc = fa;
+    }
+    const double tol = 2.0 * std::numeric_limits<double>::epsilon() * std::abs(b) +
+                       0.5 * options.x_tolerance;
+    const double m = 0.5 * (c - b);
+    if (std::abs(m) <= tol || std::abs(fb) <= options.f_tolerance) return b;
+
+    if (std::abs(e) >= tol && std::abs(fa) > std::abs(fb)) {
+      // Attempt inverse quadratic interpolation / secant.
+      const double s = fb / fa;
+      double p = 0.0, q = 0.0;
+      if (a == c) {
+        p = 2.0 * m * s;
+        q = 1.0 - s;
+      } else {
+        const double qa = fa / fc;
+        const double r = fb / fc;
+        p = s * (2.0 * m * qa * (qa - r) - (b - a) * (r - 1.0));
+        q = (qa - 1.0) * (r - 1.0) * (s - 1.0);
+      }
+      if (p > 0.0) {
+        q = -q;
+      } else {
+        p = -p;
+      }
+      if (2.0 * p < std::min(3.0 * m * q - std::abs(tol * q), std::abs(e * q))) {
+        e = d;
+        d = p / q;
+      } else {
+        d = m;
+        e = m;
+      }
+    } else {
+      d = m;
+      e = m;
+    }
+    a = b;
+    fa = fb;
+    b += (std::abs(d) > tol) ? d : (m > 0.0 ? tol : -tol);
+    fb = f(b);
+    if ((fb > 0.0) == (fc > 0.0)) {
+      c = a;
+      fc = fa;
+      d = b - a;
+      e = d;
+    }
+  }
+  throw ConvergenceError("brent_root: iteration cap reached");
+}
+
+double newton_root(const std::function<double(double)>& f, const std::function<double(double)>& df,
+                   double x0, double lo, double hi, const SolverOptions& options) {
+  require(lo < hi, "newton_root: lo must be < hi");
+  require(x0 >= lo && x0 <= hi, "newton_root: x0 must lie in [lo, hi]");
+
+  double a = lo, b = hi;
+  double fa = f(a);
+  double fb = f(b);
+  if (std::abs(fa) <= options.f_tolerance) return a;
+  if (std::abs(fb) <= options.f_tolerance) return b;
+  require(fa * fb < 0.0, "newton_root: root not bracketed by [lo, hi]");
+
+  double x = x0;
+  double fx = f(x);
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    if (std::abs(fx) <= options.f_tolerance) return x;
+    // Maintain the bracket.
+    if ((fx > 0.0) == (fa > 0.0)) {
+      a = x;
+      fa = fx;
+    } else {
+      b = x;
+      fb = fx;
+    }
+    const double dfx = df(x);
+    double x_next = 0.0;
+    if (dfx != 0.0) {
+      x_next = x - fx / dfx;
+    }
+    if (dfx == 0.0 || x_next <= a || x_next >= b) {
+      x_next = 0.5 * (a + b);  // bisection safeguard
+    }
+    if (std::abs(x_next - x) <= options.x_tolerance) return x_next;
+    x = x_next;
+    fx = f(x);
+  }
+  throw ConvergenceError("newton_root: iteration cap reached");
+}
+
+double golden_section_maximize(const std::function<double(double)>& f, double lo, double hi,
+                               const SolverOptions& options) {
+  require(lo < hi, "golden_section_maximize: lo must be < hi");
+  constexpr double kInvPhi = 0.6180339887498949;
+  double a = lo, b = hi;
+  double x1 = b - kInvPhi * (b - a);
+  double x2 = a + kInvPhi * (b - a);
+  double f1 = f(x1), f2 = f(x2);
+  for (int iter = 0; iter < options.max_iterations && (b - a) > options.x_tolerance; ++iter) {
+    if (f1 < f2) {
+      a = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = a + kInvPhi * (b - a);
+      f2 = f(x2);
+    } else {
+      b = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = b - kInvPhi * (b - a);
+      f1 = f(x1);
+    }
+  }
+  return 0.5 * (a + b);
+}
+
+LinearInterpolator::LinearInterpolator(std::vector<double> x, std::vector<double> y)
+    : x_(std::move(x)), y_(std::move(y)) {
+  require(x_.size() == y_.size(), "LinearInterpolator: x and y must have equal length");
+  require(!x_.empty(), "LinearInterpolator: needs at least one sample");
+  for (std::size_t i = 1; i < x_.size(); ++i) {
+    require(x_[i] > x_[i - 1], "LinearInterpolator: x must be strictly increasing");
+  }
+}
+
+double LinearInterpolator::operator()(double x) const {
+  require(!x_.empty(), "LinearInterpolator: empty interpolator");
+  if (x <= x_.front()) return y_.front();
+  if (x >= x_.back()) return y_.back();
+  const auto it = std::upper_bound(x_.begin(), x_.end(), x);
+  const std::size_t i = static_cast<std::size_t>(it - x_.begin());
+  const double t = (x - x_[i - 1]) / (x_[i] - x_[i - 1]);
+  return y_[i - 1] + t * (y_[i] - y_[i - 1]);
+}
+
+double LinearInterpolator::min_x() const {
+  require(!x_.empty(), "LinearInterpolator: empty interpolator");
+  return x_.front();
+}
+
+double LinearInterpolator::max_x() const {
+  require(!x_.empty(), "LinearInterpolator: empty interpolator");
+  return x_.back();
+}
+
+double trapezoid_integral(const std::vector<double>& t, const std::vector<double>& v) {
+  require(t.size() == v.size(), "trapezoid_integral: mismatched lengths");
+  double sum = 0.0;
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    sum += 0.5 * (v[i] + v[i - 1]) * (t[i] - t[i - 1]);
+  }
+  return sum;
+}
+
+double clamp_sorted(double x, double a, double b) {
+  const double lo = std::min(a, b);
+  const double hi = std::max(a, b);
+  return std::clamp(x, lo, hi);
+}
+
+}  // namespace focv

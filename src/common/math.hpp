@@ -1,0 +1,66 @@
+// Scalar numerical routines: root finding, 1-D maximisation, interpolation.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace focv {
+
+/// Options controlling the scalar solvers.
+struct SolverOptions {
+  double x_tolerance = 1e-12;   ///< absolute tolerance on the argument
+  double f_tolerance = 1e-14;   ///< absolute tolerance on the residual
+  int max_iterations = 200;     ///< iteration cap before ConvergenceError
+};
+
+/// Find a root of `f` in [lo, hi] using Brent's method.
+///
+/// Preconditions: lo < hi and f(lo), f(hi) bracket a root (opposite signs
+/// or one endpoint already within f_tolerance of zero).
+/// Throws ConvergenceError if the iteration cap is reached and
+/// PreconditionError if the root is not bracketed.
+[[nodiscard]] double brent_root(const std::function<double(double)>& f, double lo, double hi,
+                                const SolverOptions& options = {});
+
+/// Find a root of `f` using Newton's method with numeric fallback.
+///
+/// `df` is the analytic derivative. Falls back to bisection safeguarding
+/// within [lo, hi] whenever a Newton step leaves the bracket, so it is as
+/// robust as bisection but converges quadratically near the root.
+[[nodiscard]] double newton_root(const std::function<double(double)>& f,
+                                 const std::function<double(double)>& df, double x0, double lo,
+                                 double hi, const SolverOptions& options = {});
+
+/// Maximise a unimodal function on [lo, hi] by golden-section search.
+/// Returns the argmax; the maximum value is f(result).
+[[nodiscard]] double golden_section_maximize(const std::function<double(double)>& f, double lo,
+                                             double hi, const SolverOptions& options = {});
+
+/// Piecewise-linear interpolation over sorted sample points.
+///
+/// Outside the sample range the boundary value is held (clamped
+/// extrapolation), matching how datasheet curves are normally read.
+class LinearInterpolator {
+ public:
+  LinearInterpolator() = default;
+
+  /// Build from x (strictly increasing) and y samples of equal length >= 1.
+  LinearInterpolator(std::vector<double> x, std::vector<double> y);
+
+  [[nodiscard]] double operator()(double x) const;
+  [[nodiscard]] bool empty() const { return x_.empty(); }
+  [[nodiscard]] double min_x() const;
+  [[nodiscard]] double max_x() const;
+
+ private:
+  std::vector<double> x_;
+  std::vector<double> y_;
+};
+
+/// Numerical integration of samples (t, v) by the trapezoid rule.
+[[nodiscard]] double trapezoid_integral(const std::vector<double>& t, const std::vector<double>& v);
+
+/// Clamp helper mirroring std::clamp but tolerant of lo > hi by swapping.
+[[nodiscard]] double clamp_sorted(double x, double a, double b);
+
+}  // namespace focv

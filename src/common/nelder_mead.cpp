@@ -1,0 +1,133 @@
+#include "common/nelder_mead.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/require.hpp"
+
+namespace focv {
+
+namespace {
+
+struct Vertex {
+  std::vector<double> x;
+  double f = 0.0;
+};
+
+double simplex_diameter(const std::vector<Vertex>& simplex) {
+  double diameter = 0.0;
+  for (std::size_t i = 1; i < simplex.size(); ++i) {
+    double dist = 0.0;
+    for (std::size_t k = 0; k < simplex[0].x.size(); ++k) {
+      dist = std::max(dist, std::abs(simplex[i].x[k] - simplex[0].x[k]));
+    }
+    diameter = std::max(diameter, dist);
+  }
+  return diameter;
+}
+
+NelderMeadResult run_once(const std::function<double(const std::vector<double>&)>& objective,
+                          const std::vector<double>& x0, const NelderMeadOptions& options,
+                          int iteration_budget) {
+  const std::size_t n = x0.size();
+  std::vector<Vertex> simplex(n + 1);
+  simplex[0] = {x0, objective(x0)};
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> x = x0;
+    const double step = (x[i] != 0.0) ? options.initial_step * std::abs(x[i])
+                                      : options.initial_step;
+    x[i] += step;
+    simplex[i + 1] = {x, objective(x)};
+  }
+
+  constexpr double kAlpha = 1.0;   // reflection
+  constexpr double kGamma = 2.0;   // expansion
+  constexpr double kRho = 0.5;     // contraction
+  constexpr double kSigma = 0.5;   // shrink
+
+  NelderMeadResult result;
+  int iter = 0;
+  for (; iter < iteration_budget; ++iter) {
+    std::sort(simplex.begin(), simplex.end(),
+              [](const Vertex& a, const Vertex& b) { return a.f < b.f; });
+
+    if (simplex_diameter(simplex) < options.x_tolerance ||
+        std::abs(simplex.back().f - simplex.front().f) < options.f_tolerance) {
+      result.converged = true;
+      break;
+    }
+
+    // Centroid of all but the worst vertex.
+    std::vector<double> centroid(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t k = 0; k < n; ++k) centroid[k] += simplex[i].x[k];
+    }
+    for (double& c : centroid) c /= static_cast<double>(n);
+
+    const Vertex& worst = simplex.back();
+    auto blend = [&](double coeff) {
+      std::vector<double> x(n);
+      for (std::size_t k = 0; k < n; ++k) x[k] = centroid[k] + coeff * (centroid[k] - worst.x[k]);
+      return x;
+    };
+
+    const std::vector<double> xr = blend(kAlpha);
+    const double fr = objective(xr);
+
+    if (fr < simplex[0].f) {
+      const std::vector<double> xe = blend(kGamma);
+      const double fe = objective(xe);
+      simplex.back() = (fe < fr) ? Vertex{xe, fe} : Vertex{xr, fr};
+    } else if (fr < simplex[n - 1].f) {
+      simplex.back() = {xr, fr};
+    } else {
+      const std::vector<double> xc = blend(-kRho);
+      const double fc = objective(xc);
+      if (fc < worst.f) {
+        simplex.back() = {xc, fc};
+      } else {
+        // Shrink towards the best vertex.
+        for (std::size_t i = 1; i <= n; ++i) {
+          for (std::size_t k = 0; k < n; ++k) {
+            simplex[i].x[k] = simplex[0].x[k] + kSigma * (simplex[i].x[k] - simplex[0].x[k]);
+          }
+          simplex[i].f = objective(simplex[i].x);
+        }
+      }
+    }
+  }
+
+  std::sort(simplex.begin(), simplex.end(),
+            [](const Vertex& a, const Vertex& b) { return a.f < b.f; });
+  result.x = simplex[0].x;
+  result.value = simplex[0].f;
+  result.iterations = iter;
+  return result;
+}
+
+}  // namespace
+
+NelderMeadResult nelder_mead_minimize(
+    const std::function<double(const std::vector<double>&)>& objective,
+    const std::vector<double>& x0, const NelderMeadOptions& options) {
+  require(!x0.empty(), "nelder_mead_minimize: x0 must be non-empty");
+  require(options.max_iterations > 0, "nelder_mead_minimize: max_iterations must be > 0");
+
+  NelderMeadResult best = run_once(objective, x0, options, options.max_iterations);
+  // Restarting around the incumbent escapes degenerate simplices, which
+  // matters for the poorly-scaled PV parameter space (pA .. MOhm).
+  for (int r = 0; r < options.restarts; ++r) {
+    NelderMeadResult next = run_once(objective, best.x, options, options.max_iterations);
+    next.iterations += best.iterations;
+    if (next.value < best.value) {
+      best = next;
+    } else {
+      best.iterations = next.iterations;
+      break;
+    }
+  }
+  return best;
+}
+
+}  // namespace focv

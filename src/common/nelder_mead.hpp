@@ -1,0 +1,38 @@
+// Derivative-free multidimensional minimisation (Nelder-Mead simplex).
+//
+// Used by the PV calibration fitter to match model parameters to the
+// anchor points published in the paper (Table I Voc column, AM-1815
+// datasheet operating point). Deliberately simple and deterministic.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace focv {
+
+/// Result of a Nelder-Mead run.
+struct NelderMeadResult {
+  std::vector<double> x;      ///< best parameter vector found
+  double value = 0.0;         ///< objective at x
+  int iterations = 0;         ///< iterations performed
+  bool converged = false;     ///< simplex size fell below tolerance
+};
+
+/// Options for nelder_mead_minimize.
+struct NelderMeadOptions {
+  int max_iterations = 2000;
+  double x_tolerance = 1e-10;      ///< simplex diameter tolerance
+  double f_tolerance = 1e-14;      ///< objective spread tolerance
+  double initial_step = 0.1;       ///< relative perturbation building the simplex
+  int restarts = 2;                ///< re-initialise the simplex around the best point
+};
+
+/// Minimise `objective` starting from `x0`.
+///
+/// The objective must be defined for every vector the simplex can reach;
+/// return a large finite penalty (not NaN/inf) for infeasible regions.
+[[nodiscard]] NelderMeadResult nelder_mead_minimize(
+    const std::function<double(const std::vector<double>&)>& objective,
+    const std::vector<double>& x0, const NelderMeadOptions& options = {});
+
+}  // namespace focv

@@ -1,0 +1,38 @@
+// Precondition / invariant checking helpers (Core Guidelines I.6 / E.12).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace focv {
+
+/// Thrown when a caller violates a documented precondition.
+class PreconditionError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when an internal invariant fails (a library bug or a numerical
+/// breakdown the caller cannot fix by changing arguments).
+class InvariantError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown when an iterative numerical method fails to converge.
+class ConvergenceError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Check a documented precondition on function arguments.
+inline void require(bool condition, const std::string& message) {
+  if (!condition) throw PreconditionError(message);
+}
+
+/// Check an internal invariant.
+inline void ensure(bool condition, const std::string& message) {
+  if (!condition) throw InvariantError(message);
+}
+
+}  // namespace focv

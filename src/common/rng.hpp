@@ -1,0 +1,106 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic element of the library (illuminance noise, occupancy
+// events, component tolerance sampling) draws from an explicitly seeded
+// Rng so that traces, tests and benchmarks are reproducible bit-for-bit
+// across runs and platforms. The core generator is xoshiro256**, seeded
+// via splitmix64 as its authors recommend.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/require.hpp"
+
+namespace focv {
+
+/// Deterministic random number generator (xoshiro256**).
+class Rng {
+ public:
+  /// Seed the generator; identical seeds yield identical streams.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    // splitmix64 expansion of the seed into the 256-bit state.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9E3779B97F4A7C15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      word = z ^ (z >> 31);
+    }
+    has_cached_gaussian_ = false;
+  }
+
+  /// Uniform 64-bit integer.
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    require(lo <= hi, "Rng::uniform: lo must be <= hi");
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Standard normal deviate (Marsaglia polar method).
+  double gaussian() {
+    if (has_cached_gaussian_) {
+      has_cached_gaussian_ = false;
+      return cached_gaussian_;
+    }
+    double u = 0.0, v = 0.0, s = 0.0;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double factor = std::sqrt(-2.0 * std::log(s) / s);
+    cached_gaussian_ = v * factor;
+    has_cached_gaussian_ = true;
+    return u * factor;
+  }
+
+  /// Normal deviate with the given mean and standard deviation.
+  double gaussian(double mean, double stddev) {
+    require(stddev >= 0.0, "Rng::gaussian: stddev must be >= 0");
+    return mean + stddev * gaussian();
+  }
+
+  /// Bernoulli trial with probability `p` of returning true.
+  bool bernoulli(double p) {
+    require(p >= 0.0 && p <= 1.0, "Rng::bernoulli: p must be in [0,1]");
+    return uniform() < p;
+  }
+
+  /// Uniform integer in [0, n).
+  std::uint64_t below(std::uint64_t n) {
+    require(n > 0, "Rng::below: n must be > 0");
+    return next_u64() % n;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace focv

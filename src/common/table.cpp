@@ -1,0 +1,52 @@
+#include "common/table.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "common/require.hpp"
+
+namespace focv {
+
+ConsoleTable::ConsoleTable(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  require(!headers_.empty(), "ConsoleTable: needs at least one column");
+}
+
+void ConsoleTable::add_row(std::vector<std::string> cells) {
+  require(cells.size() == headers_.size(), "ConsoleTable: row width mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+std::string ConsoleTable::num(double value, int precision) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(precision) << value;
+  return ss.str();
+}
+
+void ConsoleTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto rule = [&] {
+    os << '+';
+    for (const std::size_t w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << '|';
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << ' ' << std::setw(static_cast<int>(widths[c])) << row[c] << " |";
+    }
+    os << '\n';
+  };
+  rule();
+  print_row(headers_);
+  rule();
+  for (const auto& row : rows_) print_row(row);
+  rule();
+}
+
+}  // namespace focv

@@ -1,0 +1,30 @@
+// Console table rendering for benchmark / example output.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace focv {
+
+/// Builds and prints an aligned, boxed text table similar to the tables
+/// in the paper, e.g. Table I "Test of tracking accuracy".
+class ConsoleTable {
+ public:
+  explicit ConsoleTable(std::vector<std::string> headers);
+
+  /// Append a row of already-formatted cells (must match header count).
+  void add_row(std::vector<std::string> cells);
+
+  /// Format a double with `precision` digits after the decimal point.
+  [[nodiscard]] static std::string num(double value, int precision = 3);
+
+  /// Render with Unicode-free ASCII box drawing.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace focv

@@ -1,0 +1,114 @@
+// SI unit literals and small value types shared across the library.
+//
+// The library represents all physical quantities as double in base SI
+// units (volts, amperes, ohms, farads, seconds, watts, joules, lux).
+// The user-defined literals below make magnitudes self-documenting at
+// call sites, e.g. `astable.set_on_period(39.0_ms)`.
+#pragma once
+
+namespace focv {
+inline namespace literals {
+
+// --- time ---
+constexpr double operator""_s(long double v) { return static_cast<double>(v); }
+constexpr double operator""_s(unsigned long long v) { return static_cast<double>(v); }
+constexpr double operator""_ms(long double v) { return static_cast<double>(v) * 1e-3; }
+constexpr double operator""_ms(unsigned long long v) { return static_cast<double>(v) * 1e-3; }
+constexpr double operator""_us(long double v) { return static_cast<double>(v) * 1e-6; }
+constexpr double operator""_us(unsigned long long v) { return static_cast<double>(v) * 1e-6; }
+constexpr double operator""_ns(long double v) { return static_cast<double>(v) * 1e-9; }
+constexpr double operator""_ns(unsigned long long v) { return static_cast<double>(v) * 1e-9; }
+constexpr double operator""_min(long double v) { return static_cast<double>(v) * 60.0; }
+constexpr double operator""_min(unsigned long long v) { return static_cast<double>(v) * 60.0; }
+constexpr double operator""_hours(long double v) { return static_cast<double>(v) * 3600.0; }
+constexpr double operator""_hours(unsigned long long v) { return static_cast<double>(v) * 3600.0; }
+
+// --- voltage ---
+constexpr double operator""_V(long double v) { return static_cast<double>(v); }
+constexpr double operator""_V(unsigned long long v) { return static_cast<double>(v); }
+constexpr double operator""_mV(long double v) { return static_cast<double>(v) * 1e-3; }
+constexpr double operator""_mV(unsigned long long v) { return static_cast<double>(v) * 1e-3; }
+constexpr double operator""_uV(long double v) { return static_cast<double>(v) * 1e-6; }
+constexpr double operator""_uV(unsigned long long v) { return static_cast<double>(v) * 1e-6; }
+
+// --- current ---
+constexpr double operator""_A(long double v) { return static_cast<double>(v); }
+constexpr double operator""_A(unsigned long long v) { return static_cast<double>(v); }
+constexpr double operator""_mA(long double v) { return static_cast<double>(v) * 1e-3; }
+constexpr double operator""_mA(unsigned long long v) { return static_cast<double>(v) * 1e-3; }
+constexpr double operator""_uA(long double v) { return static_cast<double>(v) * 1e-6; }
+constexpr double operator""_uA(unsigned long long v) { return static_cast<double>(v) * 1e-6; }
+constexpr double operator""_nA(long double v) { return static_cast<double>(v) * 1e-9; }
+constexpr double operator""_nA(unsigned long long v) { return static_cast<double>(v) * 1e-9; }
+constexpr double operator""_pA(long double v) { return static_cast<double>(v) * 1e-12; }
+constexpr double operator""_pA(unsigned long long v) { return static_cast<double>(v) * 1e-12; }
+
+// --- resistance ---
+constexpr double operator""_Ohm(long double v) { return static_cast<double>(v); }
+constexpr double operator""_Ohm(unsigned long long v) { return static_cast<double>(v); }
+constexpr double operator""_kOhm(long double v) { return static_cast<double>(v) * 1e3; }
+constexpr double operator""_kOhm(unsigned long long v) { return static_cast<double>(v) * 1e3; }
+constexpr double operator""_MOhm(long double v) { return static_cast<double>(v) * 1e6; }
+constexpr double operator""_MOhm(unsigned long long v) { return static_cast<double>(v) * 1e6; }
+constexpr double operator""_GOhm(long double v) { return static_cast<double>(v) * 1e9; }
+constexpr double operator""_GOhm(unsigned long long v) { return static_cast<double>(v) * 1e9; }
+
+// --- capacitance / inductance ---
+constexpr double operator""_F(long double v) { return static_cast<double>(v); }
+constexpr double operator""_F(unsigned long long v) { return static_cast<double>(v); }
+constexpr double operator""_mF(long double v) { return static_cast<double>(v) * 1e-3; }
+constexpr double operator""_mF(unsigned long long v) { return static_cast<double>(v) * 1e-3; }
+constexpr double operator""_uF(long double v) { return static_cast<double>(v) * 1e-6; }
+constexpr double operator""_uF(unsigned long long v) { return static_cast<double>(v) * 1e-6; }
+constexpr double operator""_nF(long double v) { return static_cast<double>(v) * 1e-9; }
+constexpr double operator""_nF(unsigned long long v) { return static_cast<double>(v) * 1e-9; }
+constexpr double operator""_pF(long double v) { return static_cast<double>(v) * 1e-12; }
+constexpr double operator""_pF(unsigned long long v) { return static_cast<double>(v) * 1e-12; }
+constexpr double operator""_uH(long double v) { return static_cast<double>(v) * 1e-6; }
+constexpr double operator""_uH(unsigned long long v) { return static_cast<double>(v) * 1e-6; }
+constexpr double operator""_mH(long double v) { return static_cast<double>(v) * 1e-3; }
+constexpr double operator""_mH(unsigned long long v) { return static_cast<double>(v) * 1e-3; }
+
+// --- power / energy ---
+constexpr double operator""_W(long double v) { return static_cast<double>(v); }
+constexpr double operator""_W(unsigned long long v) { return static_cast<double>(v); }
+constexpr double operator""_mW(long double v) { return static_cast<double>(v) * 1e-3; }
+constexpr double operator""_mW(unsigned long long v) { return static_cast<double>(v) * 1e-3; }
+constexpr double operator""_uW(long double v) { return static_cast<double>(v) * 1e-6; }
+constexpr double operator""_uW(unsigned long long v) { return static_cast<double>(v) * 1e-6; }
+constexpr double operator""_J(long double v) { return static_cast<double>(v); }
+constexpr double operator""_J(unsigned long long v) { return static_cast<double>(v); }
+constexpr double operator""_mJ(long double v) { return static_cast<double>(v) * 1e-3; }
+constexpr double operator""_mJ(unsigned long long v) { return static_cast<double>(v) * 1e-3; }
+constexpr double operator""_uJ(long double v) { return static_cast<double>(v) * 1e-6; }
+constexpr double operator""_uJ(unsigned long long v) { return static_cast<double>(v) * 1e-6; }
+
+// --- illuminance / temperature ---
+constexpr double operator""_lux(long double v) { return static_cast<double>(v); }
+constexpr double operator""_lux(unsigned long long v) { return static_cast<double>(v); }
+constexpr double operator""_degC(long double v) { return static_cast<double>(v) + 273.15; }
+constexpr double operator""_degC(unsigned long long v) { return static_cast<double>(v) + 273.15; }
+constexpr double operator""_K(long double v) { return static_cast<double>(v); }
+constexpr double operator""_K(unsigned long long v) { return static_cast<double>(v); }
+
+// --- percentages ---
+constexpr double operator""_pct(long double v) { return static_cast<double>(v) * 1e-2; }
+constexpr double operator""_pct(unsigned long long v) { return static_cast<double>(v) * 1e-2; }
+
+}  // namespace literals
+
+/// A single current/voltage operating point of a two-terminal device.
+struct IVPoint {
+  double voltage = 0.0;  ///< terminal voltage [V]
+  double current = 0.0;  ///< terminal current [A], source convention (out of + terminal)
+
+  [[nodiscard]] constexpr double power() const { return voltage * current; }
+};
+
+/// One time-stamped sample of a scalar signal.
+struct TimedSample {
+  double time = 0.0;   ///< [s]
+  double value = 0.0;  ///< signal units
+};
+
+}  // namespace focv

@@ -1,0 +1,62 @@
+#include "core/focv_system.hpp"
+
+namespace focv::core {
+
+analog::AstableMultivibrator::Params astable_params_from_spec(const SystemSpec& spec) {
+  analog::AstableMultivibrator::Params p;
+  // The behavioural tier uses the measured timing directly; the netlist
+  // tier reproduces it from the tuned RC components (cross-checked by a
+  // test, so the two cannot drift apart).
+  p.on_period = spec.astable_on_period;
+  p.off_period = spec.astable_off_period;
+  p.comparator_iq = spec.comparator_iq;
+  // Average network draw: the three-resistor hysteresis network sits
+  // across the rail permanently; the timing RC's average drain is the
+  // discharge-phase current through r_discharge.
+  const double feedback_current = spec.supply_voltage / (1.5 * spec.astable_feedback_r);
+  const double timing_current = 0.5 * spec.supply_voltage / spec.astable_r_discharge;
+  p.network_current = feedback_current + timing_current;
+  return p;
+}
+
+mppt::FocvSampleHoldController make_paper_controller(const SystemSpec& spec) {
+  mppt::FocvSampleHoldController::Params p;
+  p.astable = astable_params_from_spec(spec);
+  p.sample_hold.divider_ratio = spec.divider_ratio;
+  p.sample_hold.hold_capacitance = spec.hold_capacitance;
+  p.sample_hold.leakage_current = spec.hold_leakage;
+  p.sample_hold.charge_injection = spec.charge_injection;
+  p.sample_hold.input_buffer_offset = spec.buffer_offset;
+  p.sample_hold.output_buffer_offset = spec.buffer_offset;
+  p.sample_hold.buffer_iq = 2.0 * spec.buffer_iq_each;
+  // Divider draw while sampling: Voc across the full divider string.
+  const double divider_total = spec.divider_r_top / (1.0 - spec.divider_ratio);
+  p.sample_hold.divider_current_peak = 5.4 / divider_total;  // ~Voc at 1 klux
+  // The switch must settle the hold cap within the 39 ms window.
+  p.sample_hold.acquisition_time = 5.0 * spec.switch_on_resistance * spec.hold_capacitance +
+                                   2e-3;
+  p.supply_voltage = spec.supply_voltage;
+  p.alpha = spec.alpha;
+  p.active_threshold = spec.active_threshold;
+  p.comparator_iq = spec.comparator_iq;
+  p.misc_leakage = spec.misc_leakage;
+  return mppt::FocvSampleHoldController(p);
+}
+
+analog::PowerBudget paper_power_budget(const SystemSpec& spec) {
+  const analog::AstableMultivibrator astable(astable_params_from_spec(spec));
+  analog::PowerBudget budget;
+  budget.add("U1 astable comparator (LMC7215)", spec.comparator_iq, "datasheet typ.");
+  budget.add("astable timing + hysteresis network",
+             astable.params().network_current, "3x10M feedback + RC mean");
+  budget.add("U2 input unity-gain buffer", spec.buffer_iq_each, "micropower op-amp");
+  budget.add("U4 output unity-gain buffer", spec.buffer_iq_each, "micropower op-amp");
+  budget.add("U5 ACTIVE comparator (LMC7215)", spec.comparator_iq, "datasheet typ.");
+  const double divider_total = spec.divider_r_top / (1.0 - spec.divider_ratio);
+  budget.add("Voc divider (duty-cycled)", (5.4 / divider_total) * astable.duty_cycle(),
+             "conducts only while PULSE is high");
+  budget.add("switches, M8 gate network, leakage", spec.misc_leakage, "aggregate");
+  return budget;
+}
+
+}  // namespace focv::core

@@ -1,0 +1,287 @@
+#include "core/netlists.hpp"
+
+#include "circuit/devices_passive.hpp"
+#include "circuit/devices_sources.hpp"
+
+namespace focv::core {
+
+using circuit::Amp;
+using circuit::Capacitor;
+using circuit::Circuit;
+using circuit::Diode;
+using circuit::kGround;
+using circuit::NodeId;
+using circuit::Resistor;
+using circuit::Inductor;
+using circuit::VoltageSource;
+using circuit::VSwitch;
+using circuit::Waveform;
+
+AstableNodes build_astable(Circuit& ckt, NodeId vdd, const SystemSpec& spec,
+                           const std::string& prefix) {
+  AstableNodes nodes;
+  nodes.pulse = ckt.node(prefix + "_pulse");
+  nodes.cap = ckt.node(prefix + "_cap");
+  nodes.ref = ckt.node(prefix + "_ref");
+
+  // Hysteresis network: equal resistors give Vcc/3 and 2*Vcc/3.
+  ckt.add<Resistor>(prefix + "_Ra", vdd, nodes.ref, spec.astable_feedback_r);
+  ckt.add<Resistor>(prefix + "_Rb", nodes.ref, kGround, spec.astable_feedback_r);
+  ckt.add<Resistor>(prefix + "_Rf", nodes.pulse, nodes.ref, spec.astable_feedback_r);
+
+  // Diode-split timing path: fast charge (on-period), slow discharge
+  // (off-period).
+  const NodeId mid = ckt.node(prefix + "_chg");
+  ckt.add<Resistor>(prefix + "_Rchg", nodes.pulse, mid, spec.astable_r_charge);
+  Diode::Params dp;
+  dp.saturation_current = 1e-9;  // small-signal Schottky: low forward drop
+  ckt.add<Diode>(prefix + "_Dchg", mid, nodes.cap, dp);
+  ckt.add<Resistor>(prefix + "_Rdis", nodes.pulse, nodes.cap, spec.astable_r_discharge);
+  ckt.add<Capacitor>(prefix + "_Ct", nodes.cap, kGround, spec.astable_capacitance);
+
+  Amp::Params cp;
+  cp.mode = Amp::Mode::kComparator;
+  cp.gain = 1e4;
+  cp.output_resistance = 5e3;
+  cp.quiescent_current = spec.comparator_iq;
+  auto& comp = ckt.add<Amp>(prefix + "_U1", nodes.ref, nodes.cap, nodes.pulse, vdd, kGround, cp);
+  comp.set_transition_dt_limit(0.5e-3);  // localise PULSE edges to 0.5 ms
+  // Parasitic capacitances. These matter beyond realism: the hysteresis
+  // loop (output -> Rf -> ref -> + input) is regenerative, so without
+  // dynamics on these nodes the flip instant has no stable solution for
+  // Newton to converge to; the parasitics turn the flip into a fast but
+  // continuous slew the integrator can follow.
+  ckt.add<Capacitor>(prefix + "_Cref", nodes.ref, kGround, 10e-12);
+  ckt.add<Capacitor>(prefix + "_Cout", nodes.pulse, kGround, 22e-12);
+  return nodes;
+}
+
+SampleHoldNodes build_sample_hold(Circuit& ckt, NodeId pv, NodeId pulse, NodeId vdd,
+                                  const SystemSpec& spec, const std::string& prefix) {
+  SampleHoldNodes nodes;
+  nodes.divider = ckt.node(prefix + "_div");
+  nodes.hold = ckt.node(prefix + "_hold");
+  nodes.held = ckt.node(prefix + "_held");
+  nodes.active = ckt.node(prefix + "_active");
+
+  // Voc divider (R1 / R2-trim): ratio = k * alpha.
+  const double r2 = spec.divider_r_top * spec.divider_ratio / (1.0 - spec.divider_ratio);
+  ckt.add<Resistor>(prefix + "_R1", pv, nodes.divider, spec.divider_r_top);
+  ckt.add<Resistor>(prefix + "_R2", nodes.divider, kGround, r2);
+
+  // U2: input unity-gain buffer (closed-loop transfer; see Amp::kBuffer).
+  const NodeId buf1 = ckt.node(prefix + "_buf1");
+  Amp::Params op;
+  op.mode = Amp::Mode::kBuffer;
+  op.output_resistance = 2e3;
+  op.offset_voltage = spec.buffer_offset;
+  op.quiescent_current = spec.buffer_iq_each;
+  ckt.add<Amp>(prefix + "_U2", nodes.divider, kGround, buf1, vdd, kGround, op);
+
+  // Analog sampling switch driven by PULSE.
+  VSwitch::Params swp;
+  swp.on_resistance = spec.switch_on_resistance;
+  swp.off_resistance = 1e12;
+  swp.threshold = 1.65;
+  swp.transition_width = 0.4;
+  ckt.add<VSwitch>(prefix + "_S1", buf1, nodes.hold, pulse, kGround, swp);
+
+  // Low-leakage hold capacitor (leakage as an explicit shunt).
+  ckt.add<Capacitor>(prefix + "_Ch", nodes.hold, kGround, spec.hold_capacitance);
+  if (spec.hold_leakage > 0.0) {
+    // Equivalent leakage resistance at the nominal ~1.6 V held level.
+    ckt.add<Resistor>(prefix + "_Rleak", nodes.hold, kGround, 1.6 / spec.hold_leakage);
+  }
+
+  // U4: output unity-gain buffer, then the R3/C3 ripple filter.
+  const NodeId buf2 = ckt.node(prefix + "_buf2");
+  ckt.add<Amp>(prefix + "_U4", nodes.hold, kGround, buf2, vdd, kGround, op);
+  ckt.add<Resistor>(prefix + "_R3", buf2, nodes.held, spec.r3);
+  ckt.add<Capacitor>(prefix + "_C3", nodes.held, kGround, spec.c3);
+
+  // U5: ACTIVE sanity comparator against a fixed fraction of the rail.
+  const NodeId thr = ckt.node(prefix + "_thr");
+  const double thr_fraction = spec.active_threshold / spec.supply_voltage;
+  ckt.add<Resistor>(prefix + "_Rt1", vdd, thr, 15e6 * (1.0 - thr_fraction) / thr_fraction);
+  ckt.add<Resistor>(prefix + "_Rt2", thr, kGround, 15e6);
+  Amp::Params cp;
+  cp.mode = Amp::Mode::kComparator;
+  cp.gain = 1e4;
+  cp.output_resistance = 5e3;
+  cp.quiescent_current = spec.comparator_iq;
+  ckt.add<Amp>(prefix + "_U5", nodes.held, thr, nodes.active, vdd, kGround, cp);
+  return nodes;
+}
+
+Fig3Nodes build_fig3_system(Circuit& ckt, const pv::CellModel& cell,
+                            const pv::Conditions& conditions, const SystemSpec& spec,
+                            const std::string& prefix) {
+  Fig3Nodes nodes;
+  nodes.pv = ckt.node(prefix + "_pv");
+  nodes.sw_in = ckt.node(prefix + "_swin");
+  nodes.pv_sense = ckt.node(prefix + "_inp");
+
+  // Metrology rail.
+  const NodeId vdd = ckt.node(prefix + "_vddn");
+  ckt.add<VoltageSource>(prefix + "_vdd", vdd, kGround, Waveform::dc(spec.supply_voltage));
+
+  // PV module.
+  nodes.cell = &ckt.add<pv::PvCellDevice>(prefix + "_PV", nodes.pv, kGround, cell, conditions);
+  // Small terminal capacitance keeps the PV node well-behaved when every
+  // load is switched off mid-sample.
+  ckt.add<Capacitor>(prefix + "_Cpv", nodes.pv, kGround, 10e-9);
+
+  // Astable + S&H.
+  const AstableNodes ast = build_astable(ckt, vdd, spec, prefix + "_ast");
+  nodes.pulse = ast.pulse;
+  const SampleHoldNodes sh = build_sample_hold(ckt, nodes.pv, ast.pulse, vdd, spec,
+                                               prefix + "_sh");
+  nodes.held = sh.held;
+  nodes.active = sh.active;
+
+  // M1: low-Ron series switch disconnecting every load during sampling
+  // (open while PULSE is high).
+  VSwitch::Params m1;
+  m1.on_resistance = 2.0;
+  m1.off_resistance = 1e12;
+  m1.threshold = 1.65;
+  m1.transition_width = 0.4;
+  m1.active_high = false;
+  ckt.add<VSwitch>(prefix + "_M1", nodes.pv, nodes.sw_in, nodes.pulse, kGround, m1);
+
+  // Converter input-voltage sense divider (alpha = 1/2).
+  ckt.add<Resistor>(prefix + "_Rs1", nodes.sw_in, nodes.pv_sense, 10e6);
+  ckt.add<Resistor>(prefix + "_Rs2", nodes.pv_sense, kGround, 10e6);
+
+  // M8 pulls the sense input down while sampling, so the converter is
+  // disabled too (Section III-B).
+  VSwitch::Params m8;
+  m8.on_resistance = 1e3;
+  m8.off_resistance = 1e12;
+  m8.threshold = 1.65;
+  m8.transition_width = 0.4;
+  ckt.add<VSwitch>(prefix + "_M8", nodes.pv_sense, kGround, nodes.pulse, kGround, m8);
+
+  // Converter input stage: the modified buck-boost holds its input at
+  // HELD/alpha. Model: a controlled shunt element whose conductance
+  // rises steeply as the sensed input (pv/2) exceeds HELD — a
+  // first-order regulation loop (single pole at the PV node), which is
+  // both how hysteretic converter input stages behave on average and
+  // numerically robust (no second loop pole to destabilise). Gated by
+  // ACTIVE through a series switch so it cannot start on an empty hold
+  // capacitor.
+  VSwitch::Params reg;
+  reg.on_resistance = 50.0;
+  reg.off_resistance = 1e12;
+  reg.threshold = 0.01;          // conducts once pv_sense exceeds held
+  reg.transition_width = 0.04;
+  const NodeId drain = ckt.node(prefix + "_drain");
+  ckt.add<VSwitch>(prefix + "_Sconv", drain, kGround, nodes.pv_sense, nodes.held, reg);
+  VSwitch::Params gatesw;
+  gatesw.on_resistance = 100.0;
+  gatesw.off_resistance = 1e12;
+  gatesw.threshold = 1.65;
+  gatesw.transition_width = 0.4;
+  ckt.add<VSwitch>(prefix + "_Sen", nodes.sw_in, drain, nodes.active, kGround, gatesw);
+  return nodes;
+}
+
+SwitchingConverterNodes build_switching_converter(Circuit& ckt, const pv::CellModel& cell,
+                                                  const pv::Conditions& conditions,
+                                                  double held_reference,
+                                                  double initial_output_voltage,
+                                                  const std::string& prefix) {
+  SwitchingConverterNodes nodes;
+  nodes.pv = ckt.node(prefix + "_pv");
+  nodes.sw = ckt.node(prefix + "_sw");
+  nodes.out = ckt.node(prefix + "_out");
+  nodes.gate = ckt.node(prefix + "_gate");
+
+  nodes.cell = &ckt.add<pv::PvCellDevice>(prefix + "_PV", nodes.pv, kGround, cell, conditions);
+  // Input capacitor: carries the PV through the switch-on intervals.
+  ckt.add<Capacitor>(prefix + "_Cin", nodes.pv, kGround, 4.7e-6,
+                     held_reference * 2.0);  // start near the regulation point
+
+  // Rail for the control comparator.
+  const NodeId vdd = ckt.node(prefix + "_vddn");
+  ckt.add<VoltageSource>(prefix + "_vdd", vdd, kGround, Waveform::dc(3.3));
+
+  // Input sense divider (alpha = 1/2) and the hysteretic comparator.
+  const NodeId sense = ckt.node(prefix + "_sense");
+  ckt.add<Resistor>(prefix + "_Rs1", nodes.pv, sense, 10e6);
+  ckt.add<Resistor>(prefix + "_Rs2", sense, kGround, 10e6);
+  const NodeId ref = ckt.node(prefix + "_ref");
+  ckt.add<VoltageSource>(prefix + "_Vref", ref, kGround, Waveform::dc(held_reference));
+  Amp::Params cp;
+  cp.mode = Amp::Mode::kComparator;
+  cp.gain = 5e3;
+  cp.output_resistance = 2e3;
+  auto& comp = ckt.add<Amp>(prefix + "_Uc", sense, ref, nodes.gate, vdd, kGround, cp);
+  comp.set_transition_dt_limit(2e-6);
+  // Positive feedback for ~30 mV hysteresis at the sense node, so the
+  // loop self-oscillates at a well-defined ripple instead of chattering.
+  ckt.add<Resistor>(prefix + "_Rh", nodes.gate, sense, 1e9);
+  ckt.add<Capacitor>(prefix + "_Csn", sense, kGround, 20e-12);
+  ckt.add<Capacitor>(prefix + "_Cg", nodes.gate, kGround, 47e-12);
+
+  // Power path: series switch, inductor, freewheel diode, output cap.
+  VSwitch::Params swp;
+  swp.on_resistance = 2.0;
+  swp.off_resistance = 1e10;
+  swp.threshold = 1.65;
+  swp.transition_width = 0.4;
+  ckt.add<VSwitch>(prefix + "_M", nodes.pv, nodes.sw, nodes.gate, kGround, swp);
+  ckt.add<Inductor>(prefix + "_L", nodes.sw, nodes.out, 2.2e-3);
+  Diode::Params dp;
+  dp.saturation_current = 1e-8;  // Schottky freewheel
+  ckt.add<Diode>(prefix + "_Dfw", kGround, nodes.sw, dp);
+  ckt.add<Capacitor>(prefix + "_Cout", nodes.out, kGround, 47e-6, initial_output_voltage);
+  // A bleed load representing the store's downstream draw keeps the
+  // output from running away during short validation transients.
+  ckt.add<Resistor>(prefix + "_Rbleed", nodes.out, kGround,
+                    initial_output_voltage > 0.0 ? initial_output_voltage / 150e-6 : 20e3);
+  return nodes;
+}
+
+ColdStartNodes build_coldstart(Circuit& ckt, const pv::CellModel& cell,
+                               const pv::Conditions& conditions, const SystemSpec& spec,
+                               const std::string& prefix) {
+  ColdStartNodes nodes;
+  nodes.pv = ckt.node(prefix + "_pv");
+  nodes.c1 = ckt.node(prefix + "_c1");
+  nodes.mppt_vdd = ckt.node(prefix + "_vdd");
+
+  nodes.cell = &ckt.add<pv::PvCellDevice>(prefix + "_PV", nodes.pv, kGround, cell, conditions);
+  ckt.add<Capacitor>(prefix + "_Cpv", nodes.pv, kGround, 10e-9);
+
+  // D1 and C1: the cold-start reservoir charged directly from the PV.
+  Diode::Params dp;
+  dp.saturation_current = 1e-8;  // Schottky, ~0.25 V at these currents
+  ckt.add<Diode>(prefix + "_D1", nodes.pv, nodes.c1, dp);
+  ckt.add<Capacitor>(prefix + "_C1", nodes.c1, kGround, spec.coldstart_capacitance);
+  // Standby leakage of the threshold detector.
+  ckt.add<Resistor>(prefix + "_Rlk", nodes.c1, kGround, 12e6);
+
+  // Threshold switch: powers the MPPT rail once C1 reaches the enable
+  // voltage (behaviourally an under-voltage lockout).
+  VSwitch::Params uvlo;
+  uvlo.on_resistance = 50.0;
+  uvlo.off_resistance = 1e12;
+  uvlo.threshold = spec.coldstart_threshold;
+  uvlo.transition_width = 0.15;
+  auto& sw = ckt.add<VSwitch>(prefix + "_Suvlo", nodes.c1, nodes.mppt_vdd, nodes.c1, kGround,
+                              uvlo);
+  sw.set_transition_dt_limit(5e-3);
+
+  // The MPPT circuitry fed from the switched rail: the astable plus a
+  // resistor standing in for the S&H quiescent draw.
+  const AstableNodes ast = build_astable(ckt, nodes.mppt_vdd, spec, prefix + "_ast");
+  nodes.pulse = ast.pulse;
+  ckt.add<Resistor>(prefix + "_Rsh", nodes.mppt_vdd, kGround,
+                    spec.supply_voltage / (2.0 * spec.buffer_iq_each + spec.comparator_iq));
+  // Rail decoupling.
+  ckt.add<Capacitor>(prefix + "_Cvdd", nodes.mppt_vdd, kGround, 1e-6);
+  return nodes;
+}
+
+}  // namespace focv::core

@@ -1,0 +1,112 @@
+// Circuit-level (SPICE-tier) netlists of the Fig. 3 system.
+//
+// These builders place real components — comparators, op-amp buffers,
+// analog switches, the diode-split RC timing network, the PV cell — into
+// the focv::circuit MNA engine, so waveform-level behaviour (Fig. 4,
+// astable timing, cold start) is *simulated*, not scripted. A test
+// cross-checks these netlists against the behavioural tier.
+#pragma once
+
+#include "circuit/circuit.hpp"
+#include "circuit/devices_active.hpp"
+#include "core/focv_system.hpp"
+#include "pv/pv_device.hpp"
+
+namespace focv::core {
+
+/// Node handles of a built astable multivibrator.
+struct AstableNodes {
+  circuit::NodeId pulse;  ///< comparator output (the PULSE line)
+  circuit::NodeId cap;    ///< timing capacitor
+  circuit::NodeId ref;    ///< hysteresis reference
+};
+
+/// Comparator relaxation oscillator with a diode-split charge path
+/// (independent on/off periods, Section III-B). `vdd` is the supply
+/// node the comparator and the hysteresis network run from.
+AstableNodes build_astable(circuit::Circuit& ckt, circuit::NodeId vdd, const SystemSpec& spec,
+                           const std::string& prefix = "ast");
+
+/// Node handles of the sample-and-hold chain.
+struct SampleHoldNodes {
+  circuit::NodeId divider;   ///< R1/R2 tap (k*alpha * Vpv while sampling)
+  circuit::NodeId hold;      ///< hold capacitor
+  circuit::NodeId held;      ///< HELD_SAMPLE after the R3/C3 filter
+  circuit::NodeId active;    ///< ACTIVE comparator output
+};
+
+/// Divider -> U2 buffer -> analog switch -> C_hold -> U4 buffer -> R3/C3,
+/// plus the U5 ACTIVE comparator. `pv` is the PV terminal sampled,
+/// `pulse` closes the sampling switch, `vdd` powers the buffers.
+SampleHoldNodes build_sample_hold(circuit::Circuit& ckt, circuit::NodeId pv,
+                                  circuit::NodeId pulse, circuit::NodeId vdd,
+                                  const SystemSpec& spec, const std::string& prefix = "sh");
+
+/// Node handles of the complete Fig. 3 system.
+struct Fig3Nodes {
+  circuit::NodeId pv;       ///< PV module terminal (PV_IN)
+  circuit::NodeId sw_in;    ///< converter side of the M1 disconnect switch (SW_IN)
+  circuit::NodeId pulse;    ///< PULSE
+  circuit::NodeId held;     ///< HELD_SAMPLE
+  circuit::NodeId active;   ///< ACTIVE
+  circuit::NodeId pv_sense; ///< converter input-voltage sense (IN+, pulled by M8)
+  pv::PvCellDevice* cell;   ///< to change illuminance mid-run
+};
+
+/// The full metrology + converter-regulation loop:
+///  - PV cell device,
+///  - M1 disconnect switch (opens while PULSE samples),
+///  - astable + sample-and-hold + ACTIVE,
+///  - converter input stage emulated as an error amplifier driving a
+///    MOSFET current sink that regulates the PV at HELD/alpha (the
+///    paper's modified buck-boost holds its input voltage the same way),
+///  - M8 pulling the sense input down during sampling.
+/// The 3.3 V metrology rail is an ideal source named `prefix + "_vdd"`
+/// (branch current "I(<prefix>_vdd)" gives the circuit's supply draw).
+Fig3Nodes build_fig3_system(circuit::Circuit& ckt, const pv::CellModel& cell,
+                            const pv::Conditions& conditions, const SystemSpec& spec,
+                            const std::string& prefix = "sys");
+
+/// Node handles of the switch-level converter.
+struct SwitchingConverterNodes {
+  circuit::NodeId pv;      ///< input (PV) terminal
+  circuit::NodeId sw;      ///< switch/inductor node
+  circuit::NodeId out;     ///< output (store) terminal
+  circuit::NodeId gate;    ///< hysteretic comparator output
+  pv::PvCellDevice* cell;
+};
+
+/// Switch-level buck converter with hysteretic *input-voltage* control —
+/// the operating principle of the paper's modified buck-boost ("during
+/// normal operation, this circuit acts to maintain a constant voltage
+/// across its input terminals", Section III-A):
+///  - input capacitor on the PV node,
+///  - series switch -> inductor -> output capacitor,
+///  - freewheel diode,
+///  - comparator: closes the switch while the divided input exceeds the
+///    `held` reference, so the loop self-oscillates and the PV input
+///    ripples tightly around held/alpha... * 1/alpha.
+/// `held_reference` is driven by an ideal source here (the S&H output
+/// impedance is low); bench/ext_converter_switching uses this netlist to
+/// validate the averaged BuckBoostConverter model.
+SwitchingConverterNodes build_switching_converter(circuit::Circuit& ckt,
+                                                  const pv::CellModel& cell,
+                                                  const pv::Conditions& conditions,
+                                                  double held_reference,
+                                                  double initial_output_voltage,
+                                                  const std::string& prefix = "conv");
+
+/// Cold-start netlist: PV -> D1 -> C1, threshold switch powering the
+/// astable from C1 (Fig. 3 INIT path).
+struct ColdStartNodes {
+  circuit::NodeId pv;
+  circuit::NodeId c1;        ///< cold-start capacitor
+  circuit::NodeId mppt_vdd;  ///< switched rail feeding the MPPT circuitry
+  circuit::NodeId pulse;     ///< astable output once powered
+  pv::PvCellDevice* cell;
+};
+ColdStartNodes build_coldstart(circuit::Circuit& ckt, const pv::CellModel& cell,
+                               const pv::Conditions& conditions, const SystemSpec& spec,
+                               const std::string& prefix = "cs");
+
+}  // namespace focv::core

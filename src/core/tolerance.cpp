@@ -1,0 +1,126 @@
+#include "core/tolerance.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.hpp"
+#include "common/rng.hpp"
+#include "mppt/focv_sample_hold.hpp"
+#include "pv/cell_library.hpp"
+
+namespace focv::core {
+
+namespace {
+
+ToleranceReport::Stats stats_of(const std::vector<ToleranceSample>& samples,
+                                double ToleranceSample::* field) {
+  ToleranceReport::Stats s;
+  if (samples.empty()) return s;
+  s.min = 1e300;
+  s.max = -1e300;
+  double sum = 0.0, sum_sq = 0.0;
+  for (const auto& sample : samples) {
+    const double v = sample.*field;
+    sum += v;
+    sum_sq += v * v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  const double n = static_cast<double>(samples.size());
+  s.mean = sum / n;
+  s.stddev = std::sqrt(std::max(0.0, sum_sq / n - s.mean * s.mean));
+  return s;
+}
+
+}  // namespace
+
+ToleranceReport::ToleranceReport(std::vector<ToleranceSample> samples)
+    : samples_(std::move(samples)) {}
+
+ToleranceReport::Stats ToleranceReport::k_stats() const {
+  return stats_of(samples_, &ToleranceSample::effective_k);
+}
+ToleranceReport::Stats ToleranceReport::on_period_stats() const {
+  return stats_of(samples_, &ToleranceSample::on_period);
+}
+ToleranceReport::Stats ToleranceReport::off_period_stats() const {
+  return stats_of(samples_, &ToleranceSample::off_period);
+}
+ToleranceReport::Stats ToleranceReport::current_stats() const {
+  return stats_of(samples_, &ToleranceSample::average_current);
+}
+
+double ToleranceReport::k_yield(double lo, double hi) const {
+  require(lo < hi, "k_yield: lo must be < hi");
+  if (samples_.empty()) return 0.0;
+  int hits = 0;
+  for (const auto& s : samples_) {
+    if (s.effective_k >= lo && s.effective_k <= hi) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(samples_.size());
+}
+
+ToleranceReport run_tolerance_monte_carlo(const SystemSpec& nominal,
+                                          const ToleranceSpec& tol, int n,
+                                          std::uint64_t seed) {
+  require(n > 0, "run_tolerance_monte_carlo: n must be > 0");
+  Rng rng(seed);
+
+  pv::Conditions c;
+  c.illuminance_lux = 1000.0;
+  const double voc = pv::sanyo_am1815().open_circuit_voltage(c);
+
+  std::vector<ToleranceSample> samples;
+  samples.reserve(static_cast<std::size_t>(n));
+  for (int unit = 0; unit < n; ++unit) {
+    SystemSpec spec = nominal;
+
+    // Resistors: the divider ratio r2/(r1+r2) moves with both parts.
+    const double r1 = spec.divider_r_top * (1.0 + tol.resistor_tolerance * rng.gaussian());
+    const double r2_nominal =
+        spec.divider_r_top * spec.divider_ratio / (1.0 - spec.divider_ratio);
+    const double r2 = r2_nominal * (1.0 + tol.resistor_tolerance * rng.gaussian());
+    spec.divider_r_top = r1;
+    spec.divider_ratio = r2 / (r1 + r2);
+    if (tol.trimmed) {
+      // The production trim step measures the unit and adjusts R2 until
+      // the ratio is nominal (Section IV-A).
+      spec.divider_ratio = nominal.divider_ratio;
+    }
+
+    // Astable timing scales with its RC parts.
+    const double rc_charge = (1.0 + tol.resistor_tolerance * rng.gaussian()) *
+                             (1.0 + tol.capacitor_tolerance * rng.gaussian());
+    const double rc_discharge = (1.0 + tol.resistor_tolerance * rng.gaussian()) *
+                                (1.0 + tol.capacitor_tolerance * rng.gaussian());
+    spec.astable_on_period = nominal.astable_on_period * std::max(0.1, rc_charge);
+    spec.astable_off_period = nominal.astable_off_period * std::max(0.1, rc_discharge);
+
+    // Active parts.
+    spec.comparator_iq =
+        nominal.comparator_iq * std::max(0.2, 1.0 + tol.comparator_iq_spread * rng.gaussian());
+    spec.buffer_iq_each =
+        nominal.buffer_iq_each * std::max(0.2, 1.0 + tol.comparator_iq_spread * rng.gaussian());
+    spec.buffer_offset = tol.buffer_offset_sigma * rng.gaussian();
+    spec.charge_injection = nominal.charge_injection *
+                            std::max(0.0, 1.0 + tol.charge_injection_spread * rng.gaussian());
+    spec.hold_leakage = nominal.hold_leakage * std::exp(tol.leakage_spread * rng.gaussian());
+
+    mppt::FocvSampleHoldController controller = make_paper_controller(spec);
+    mppt::SensedInputs sensed;
+    sensed.time = 0.0;
+    sensed.dt = 1.0;
+    sensed.voc = voc;
+    (void)controller.step(sensed);
+
+    ToleranceSample sample;
+    sample.effective_k = 2.0 * controller.held_sample(1.0) / voc;
+    sample.on_period = spec.astable_on_period;
+    sample.off_period = spec.astable_off_period;
+    sample.average_current = controller.average_current();
+    samples.push_back(sample);
+  }
+  return ToleranceReport(std::move(samples));
+}
+
+}  // namespace focv::core

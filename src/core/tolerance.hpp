@@ -1,0 +1,66 @@
+// Monte-Carlo component-tolerance analysis of the metrology circuit.
+//
+// The paper trims R2 with a potentiometer because fixed resistors would
+// scatter the k setting from unit to unit. This module quantifies that:
+// it draws production units with realistic component tolerances,
+// evaluates each unit's effective k, astable timing and supply current,
+// and reports the distributions — with and without the trim step.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/focv_system.hpp"
+
+namespace focv::core {
+
+/// Component tolerance assumptions (1-sigma unless noted).
+struct ToleranceSpec {
+  double resistor_tolerance = 0.01 / 3.0;       ///< 1% parts, 3-sigma
+  double capacitor_tolerance = 0.10 / 3.0;      ///< 10% parts, 3-sigma
+  double comparator_iq_spread = 0.25;           ///< quiescent spread
+  double buffer_offset_sigma = 1.5e-3;          ///< absolute [V]
+  double charge_injection_spread = 0.4;
+  double leakage_spread = 0.8;                  ///< log-normal-ish sigma
+  bool trimmed = false;                         ///< simulate the R2 trim step
+};
+
+/// One production unit.
+struct ToleranceSample {
+  double effective_k = 0.0;       ///< 2*HELD/Voc at 1000 lux
+  double on_period = 0.0;         ///< astable on [s]
+  double off_period = 0.0;        ///< astable off [s]
+  double average_current = 0.0;   ///< metrology draw [A]
+};
+
+/// Monte-Carlo result with summary statistics.
+class ToleranceReport {
+ public:
+  explicit ToleranceReport(std::vector<ToleranceSample> samples);
+
+  [[nodiscard]] const std::vector<ToleranceSample>& samples() const { return samples_; }
+
+  struct Stats {
+    double mean = 0.0;
+    double stddev = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+  [[nodiscard]] Stats k_stats() const;
+  [[nodiscard]] Stats on_period_stats() const;
+  [[nodiscard]] Stats off_period_stats() const;
+  [[nodiscard]] Stats current_stats() const;
+
+  /// Fraction of units whose effective k lies within [lo, hi].
+  [[nodiscard]] double k_yield(double lo, double hi) const;
+
+ private:
+  std::vector<ToleranceSample> samples_;
+};
+
+/// Draw `n` units around the nominal spec and evaluate each.
+[[nodiscard]] ToleranceReport run_tolerance_monte_carlo(const SystemSpec& nominal,
+                                                        const ToleranceSpec& tolerances,
+                                                        int n, std::uint64_t seed = 2024);
+
+}  // namespace focv::core

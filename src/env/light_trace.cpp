@@ -1,0 +1,89 @@
+#include "env/light_trace.hpp"
+
+#include <algorithm>
+
+#include "common/csv.hpp"
+#include "common/require.hpp"
+
+namespace focv::env {
+
+void LightTrace::append(double time, double artificial_lux, double daylight_lux) {
+  require(time_.empty() || time > time_.back(), "LightTrace::append: time must increase");
+  require(artificial_lux >= 0.0 && daylight_lux >= 0.0,
+          "LightTrace::append: illuminance must be >= 0");
+  time_.push_back(time);
+  artificial_.push_back(artificial_lux);
+  daylight_.push_back(daylight_lux);
+}
+
+void LightTrace::reserve(std::size_t n) {
+  time_.reserve(n);
+  artificial_.reserve(n);
+  daylight_.reserve(n);
+}
+
+double LightTrace::duration() const { return time_.empty() ? 0.0 : time_.back() - time_.front(); }
+
+LightSample LightTrace::at(double t) const {
+  require(!time_.empty(), "LightTrace::at: empty trace");
+  LightSample s;
+  s.time = t;
+  if (t <= time_.front()) {
+    s.artificial_lux = artificial_.front();
+    s.daylight_lux = daylight_.front();
+    return s;
+  }
+  if (t >= time_.back()) {
+    s.artificial_lux = artificial_.back();
+    s.daylight_lux = daylight_.back();
+    return s;
+  }
+  const auto it = std::upper_bound(time_.begin(), time_.end(), t);
+  const std::size_t i = static_cast<std::size_t>(it - time_.begin());
+  const double f = (t - time_[i - 1]) / (time_[i] - time_[i - 1]);
+  s.artificial_lux = artificial_[i - 1] + f * (artificial_[i] - artificial_[i - 1]);
+  s.daylight_lux = daylight_[i - 1] + f * (daylight_[i] - daylight_[i - 1]);
+  return s;
+}
+
+std::vector<double> LightTrace::total_lux() const {
+  std::vector<double> out(time_.size());
+  for (std::size_t i = 0; i < time_.size(); ++i) out[i] = artificial_[i] + daylight_[i];
+  return out;
+}
+
+std::vector<double> LightTrace::equivalent_lux(const pv::SingleDiodeModel& model) const {
+  const double ratio = model.params().daylight_ratio;
+  std::vector<double> out(time_.size());
+  for (std::size_t i = 0; i < time_.size(); ++i) {
+    out[i] = artificial_[i] + ratio * daylight_[i];
+  }
+  return out;
+}
+
+std::vector<double> LightTrace::voc_series(const pv::SingleDiodeModel& model,
+                                           double temperature_k) const {
+  const std::vector<double> lux = equivalent_lux(model);
+  std::vector<double> out(lux.size(), 0.0);
+  pv::Conditions c;
+  c.spectrum = pv::Spectrum::kFluorescent;
+  c.temperature_k = temperature_k;
+  for (std::size_t i = 0; i < lux.size(); ++i) {
+    if (lux[i] < 0.05) continue;  // effectively dark: Voc ~ 0
+    c.illuminance_lux = lux[i];
+    out[i] = model.open_circuit_voltage(c);
+  }
+  return out;
+}
+
+void LightTrace::write_csv(const std::string& path) const {
+  CsvTable table;
+  table.columns = {"time", "artificial_lux", "daylight_lux"};
+  table.rows.reserve(time_.size());
+  for (std::size_t i = 0; i < time_.size(); ++i) {
+    table.rows.push_back({time_[i], artificial_[i], daylight_[i]});
+  }
+  focv::write_csv(path, table);
+}
+
+}  // namespace focv::env

@@ -1,0 +1,65 @@
+// Time series of illuminance with separate artificial/daylight channels.
+//
+// The two channels are kept apart because a-Si photocurrent per lux
+// differs between spectra; focv::pv models fold a mixed sample into an
+// equivalent fluorescent illuminance via the cell's daylight_ratio.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pv/cell_model.hpp"
+#include "pv/diode_models.hpp"
+
+namespace focv::env {
+
+/// One illuminance sample.
+struct LightSample {
+  double time = 0.0;            ///< [s] from scenario start
+  double artificial_lux = 0.0;  ///< fluorescent-spectrum component
+  double daylight_lux = 0.0;    ///< daylight-spectrum component
+
+  [[nodiscard]] double total_lux() const { return artificial_lux + daylight_lux; }
+};
+
+/// Uniformly or non-uniformly sampled illuminance trace.
+class LightTrace {
+ public:
+  LightTrace() = default;
+
+  void append(double time, double artificial_lux, double daylight_lux);
+  void reserve(std::size_t n);
+
+  [[nodiscard]] std::size_t size() const { return time_.size(); }
+  [[nodiscard]] bool empty() const { return time_.empty(); }
+  [[nodiscard]] double duration() const;
+
+  [[nodiscard]] const std::vector<double>& time() const { return time_; }
+  [[nodiscard]] const std::vector<double>& artificial_lux() const { return artificial_; }
+  [[nodiscard]] const std::vector<double>& daylight_lux() const { return daylight_; }
+
+  /// Sample (linear interpolation, clamped ends).
+  [[nodiscard]] LightSample at(double t) const;
+
+  /// Total illuminance series (artificial + daylight per sample).
+  [[nodiscard]] std::vector<double> total_lux() const;
+
+  /// Equivalent fluorescent illuminance for the given cell model:
+  /// artificial + daylight_ratio * daylight, per sample.
+  [[nodiscard]] std::vector<double> equivalent_lux(const pv::SingleDiodeModel& model) const;
+
+  /// Cell Voc series for the given model across the trace [V].
+  /// Zero-light samples yield 0 V.
+  [[nodiscard]] std::vector<double> voc_series(const pv::SingleDiodeModel& model,
+                                               double temperature_k) const;
+
+  /// Write to CSV with columns time,artificial_lux,daylight_lux.
+  void write_csv(const std::string& path) const;
+
+ private:
+  std::vector<double> time_;
+  std::vector<double> artificial_;
+  std::vector<double> daylight_;
+};
+
+}  // namespace focv::env

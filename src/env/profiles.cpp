@@ -1,0 +1,193 @@
+#include "env/profiles.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.hpp"
+#include "common/rng.hpp"
+
+namespace focv::env {
+
+namespace {
+
+/// Ornstein-Uhlenbeck process in log domain, clamped to a range.
+class LogOuProcess {
+ public:
+  LogOuProcess(double mean, double sigma, double tau, double lo, double hi, Rng& rng)
+      : log_mean_(std::log(mean)), sigma_(sigma), tau_(tau), lo_(lo), hi_(hi), rng_(rng),
+        state_(log_mean_) {}
+
+  double advance(double dt) {
+    const double theta = dt / tau_;
+    state_ += theta * (log_mean_ - state_) + sigma_ * std::sqrt(2.0 * std::min(theta, 1.0)) *
+                                                  rng_.gaussian();
+    return std::clamp(std::exp(state_), lo_, hi_);
+  }
+
+ private:
+  double log_mean_, sigma_, tau_, lo_, hi_;
+  Rng& rng_;
+  double state_;
+};
+
+/// Shadow (occupancy) event generator: multiplies artificial light by a
+/// dip factor during Poisson-arriving events.
+class ShadowEvents {
+ public:
+  ShadowEvents(const IndoorNoise& noise, Rng& rng) : noise_(noise), rng_(rng) {}
+
+  double factor(double t, double dt) {
+    if (t >= event_end_) {
+      // Poisson arrival check for this step.
+      const double rate_per_s = noise_.shadow_events_per_hour / 3600.0;
+      if (rng_.bernoulli(std::min(1.0, rate_per_s * dt))) {
+        event_end_ = t + rng_.uniform(noise_.shadow_duration_min, noise_.shadow_duration_max);
+        depth_ = rng_.uniform(noise_.shadow_depth_min, noise_.shadow_depth_max);
+      } else {
+        return 1.0;
+      }
+    }
+    return 1.0 - depth_;
+  }
+
+ private:
+  IndoorNoise noise_;
+  Rng& rng_;
+  double event_end_ = -1.0;
+  double depth_ = 0.0;
+};
+
+}  // namespace
+
+LightTrace office_desk_mixed(const OfficeDayParams& params) {
+  require(params.sample_period > 0.0, "office_desk_mixed: sample_period must be > 0");
+  Rng rng(params.seed);
+  LogOuProcess clouds(params.clouds.mean_transmission, params.clouds.sigma,
+                      params.clouds.correlation_time, params.clouds.min_transmission,
+                      params.clouds.max_transmission, rng);
+  LogOuProcess lamp(1.0, params.noise.lamp_noise_fraction, 120.0, 0.8, 1.2, rng);
+  ShadowEvents shadows(params.noise, rng);
+
+  LightTrace trace;
+  const std::size_t n = static_cast<std::size_t>(params.duration / params.sample_period) + 1;
+  trace.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) * params.sample_period;
+    const double cloud_factor = clouds.advance(params.sample_period);
+    const double lamp_factor = lamp.advance(params.sample_period);
+    const double shadow_factor = shadows.factor(t, params.sample_period);
+
+    double artificial = 0.0;
+    if (t >= params.lights_on_time && t < params.lights_off_time) {
+      artificial = params.artificial_level_lux * lamp_factor * shadow_factor;
+    }
+    const double outdoor = clear_sky_illuminance(params.solar, t) * cloud_factor;
+    const double daylight =
+        outdoor * params.window_gain * params.blinds_transmission * shadow_factor;
+    trace.append(t, artificial, daylight);
+  }
+  return trace;
+}
+
+LightTrace desk_sunday_blinds_closed(std::uint64_t seed) {
+  OfficeDayParams p;
+  p.seed = seed;
+  // Sunday: blinds closed, lab lights only briefly (cleaning/short visit),
+  // so the trace is dominated by the dim daylight leaking past the blinds.
+  // The quiet-day noise parameters are calibrated so that Eq. (2) at a
+  // 60 s hold period lands near the paper's 12.7 mV.
+  p.blinds_transmission = 0.035;
+  p.lights_on_time = 9.0 * 3600;
+  p.lights_off_time = 11.5 * 3600;
+  p.artificial_level_lux = 430.0;
+  p.noise.shadow_events_per_hour = 2.0;
+  p.noise.shadow_depth_max = 0.25;
+  p.clouds.sigma = 0.062;
+  p.clouds.correlation_time = 2400.0;
+  p.noise.lamp_noise_fraction = 0.006;
+  return office_desk_mixed(p);
+}
+
+LightTrace semi_mobile_day(const SemiMobileParams& params) {
+  require(params.sample_period > 0.0, "semi_mobile_day: sample_period must be > 0");
+  Rng rng(params.seed);
+  LogOuProcess clouds(params.clouds.mean_transmission, params.clouds.sigma,
+                      params.clouds.correlation_time, params.clouds.min_transmission,
+                      params.clouds.max_transmission, rng);
+  LogOuProcess lamp(1.0, params.noise.lamp_noise_fraction, 120.0, 0.8, 1.2, rng);
+  LogOuProcess shade(params.outdoor_shade_mean, params.outdoor_shade_sigma,
+                     params.outdoor_correlation_time, 0.01, 1.0, rng);
+  ShadowEvents shadows(params.noise, rng);
+
+  LightTrace trace;
+  const std::size_t n = static_cast<std::size_t>(params.duration / params.sample_period) + 1;
+  trace.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) * params.sample_period;
+    const double cloud_factor = clouds.advance(params.sample_period);
+    const double lamp_factor = lamp.advance(params.sample_period);
+    const double shade_factor = shade.advance(params.sample_period);
+    const double shadow_factor = shadows.factor(t, params.sample_period);
+    const double outdoor = clear_sky_illuminance(params.solar, t) * cloud_factor;
+
+    double artificial = 0.0;
+    double daylight = 0.0;
+    const bool in_lab = (t >= params.lab_start && t < params.lunch_out_start) ||
+                        (t >= params.lunch_out_end && t < params.lab_end);
+    if (in_lab) {
+      artificial = params.lab_level_lux * lamp_factor * shadow_factor;
+      daylight = outdoor * params.lab_window_gain * shadow_factor;
+    } else if (t >= params.lunch_out_start && t < params.lunch_out_end) {
+      // Walking outdoors: full daylight through variable shading.
+      daylight = outdoor * shade_factor;
+    } else if (t >= params.lab_end && t < params.evening_end) {
+      artificial = params.evening_level_lux * lamp_factor * shadow_factor;
+    }
+    trace.append(t, artificial, daylight);
+  }
+  return trace;
+}
+
+LightTrace outdoor_day(const OutdoorDayParams& params) {
+  require(params.sample_period > 0.0, "outdoor_day: sample_period must be > 0");
+  Rng rng(params.seed);
+  LogOuProcess clouds(params.clouds.mean_transmission, params.clouds.sigma,
+                      params.clouds.correlation_time, params.clouds.min_transmission,
+                      params.clouds.max_transmission, rng);
+  LightTrace trace;
+  const std::size_t n = static_cast<std::size_t>(params.duration / params.sample_period) + 1;
+  trace.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) * params.sample_period;
+    const double outdoor = clear_sky_illuminance(params.solar, t) * clouds.advance(params.sample_period);
+    trace.append(t, 0.0, outdoor);
+  }
+  return trace;
+}
+
+LightTrace constant_light(double artificial_lux, double daylight_lux, double duration,
+                          double sample_period) {
+  require(sample_period > 0.0 && duration > 0.0, "constant_light: bad timing");
+  LightTrace trace;
+  const std::size_t n = static_cast<std::size_t>(duration / sample_period) + 1;
+  trace.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    trace.append(static_cast<double>(i) * sample_period, artificial_lux, daylight_lux);
+  }
+  return trace;
+}
+
+LightTrace step_light(double lux_before, double lux_after, double step_time, double duration,
+                      double sample_period) {
+  require(sample_period > 0.0 && duration > 0.0, "step_light: bad timing");
+  LightTrace trace;
+  const std::size_t n = static_cast<std::size_t>(duration / sample_period) + 1;
+  trace.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) * sample_period;
+    trace.append(t, t < step_time ? lux_before : lux_after, 0.0);
+  }
+  return trace;
+}
+
+}  // namespace focv::env

@@ -1,0 +1,71 @@
+#include "env/solar.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/require.hpp"
+
+namespace focv::env {
+
+namespace {
+constexpr double kDegToRad = std::numbers::pi / 180.0;
+constexpr double kDaySeconds = 86400.0;
+
+/// Solar declination [rad] via the Cooper approximation.
+double declination(int day_of_year) {
+  return 23.45 * kDegToRad *
+         std::sin(2.0 * std::numbers::pi * (284.0 + day_of_year) / 365.0);
+}
+}  // namespace
+
+double solar_elevation_sin(const SolarConfig& config, double seconds_since_midnight) {
+  require(config.day_of_year >= 1 && config.day_of_year <= 365,
+          "solar_elevation_sin: day_of_year out of range");
+  const double lat = config.latitude_deg * kDegToRad;
+  const double dec = declination(config.day_of_year);
+  // Hour angle: 0 at solar noon, 15 deg per hour.
+  const double hour_angle =
+      (seconds_since_midnight / kDaySeconds - 0.5) * 2.0 * std::numbers::pi;
+  return std::sin(lat) * std::sin(dec) + std::cos(lat) * std::cos(dec) * std::cos(hour_angle);
+}
+
+double clear_sky_illuminance(const SolarConfig& config, double seconds_since_midnight) {
+  const double sin_el = solar_elevation_sin(config, seconds_since_midnight);
+  if (sin_el <= 0.0) return 0.0;
+  // Direct+diffuse horizontal illuminance with a crude air-mass factor:
+  // ~112 klux overhead sun, smoothly decaying towards the horizon.
+  const double air_mass_attenuation = std::exp(-0.14 / std::max(sin_el, 0.02));
+  return 133000.0 * sin_el * air_mass_attenuation;
+}
+
+namespace {
+double horizon_crossing(const SolarConfig& config, bool rising) {
+  // Scan at 1-minute resolution then refine by bisection.
+  double prev = solar_elevation_sin(config, 0.0);
+  for (double t = 60.0; t <= kDaySeconds; t += 60.0) {
+    const double cur = solar_elevation_sin(config, t);
+    const bool crossed = rising ? (prev < 0.0 && cur >= 0.0) : (prev > 0.0 && cur <= 0.0);
+    if (crossed) {
+      double lo = t - 60.0, hi = t;
+      for (int i = 0; i < 40; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        const double v = solar_elevation_sin(config, mid);
+        if ((v < 0.0) == rising) {
+          lo = mid;
+        } else {
+          hi = mid;
+        }
+      }
+      return 0.5 * (lo + hi);
+    }
+    prev = cur;
+  }
+  return -1.0;
+}
+}  // namespace
+
+double sunrise_time(const SolarConfig& config) { return horizon_crossing(config, true); }
+
+double sunset_time(const SolarConfig& config) { return horizon_crossing(config, false); }
+
+}  // namespace focv::env

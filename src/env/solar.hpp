@@ -1,0 +1,29 @@
+// Simplified solar geometry and clear-sky illuminance.
+#pragma once
+
+namespace focv::env {
+
+/// Location/date inputs for the daylight model.
+struct SolarConfig {
+  double latitude_deg = 50.9;    ///< Southampton, UK (the paper's lab)
+  int day_of_year = 80;          ///< 1..365 (80 ~ spring equinox)
+};
+
+/// Sine of the solar elevation angle at `seconds_since_midnight` (local
+/// solar time). Negative below the horizon.
+[[nodiscard]] double solar_elevation_sin(const SolarConfig& config,
+                                         double seconds_since_midnight);
+
+/// Clear-sky horizontal illuminance [lux] at the given time. Includes a
+/// simple air-mass attenuation; ~100 klux at high sun, a few hundred lux
+/// in twilight, 0 at night.
+[[nodiscard]] double clear_sky_illuminance(const SolarConfig& config,
+                                           double seconds_since_midnight);
+
+/// Time of sunrise [s since midnight], or -1 when the sun never rises.
+[[nodiscard]] double sunrise_time(const SolarConfig& config);
+
+/// Time of sunset [s since midnight], or -1 when the sun never sets.
+[[nodiscard]] double sunset_time(const SolarConfig& config);
+
+}  // namespace focv::env

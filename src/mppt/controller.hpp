@@ -1,0 +1,53 @@
+// Common interface of all MPPT controllers (the paper's technique and
+// the state-of-the-art baselines it compares against).
+#pragma once
+
+#include <memory>
+#include <string>
+
+namespace focv::mppt {
+
+/// Everything a controller may sense in one simulation step. Which
+/// fields a controller reads defines what hardware it needs (pilot cell,
+/// photodiode, microcontroller ADC, ...) — see each controller's note.
+struct SensedInputs {
+  double time = 0.0;              ///< [s]
+  double dt = 1.0;                ///< step length [s]
+  double voc = 0.0;               ///< main-cell Voc, valid only while sampling [V]
+  double pilot_voc = 0.0;         ///< pilot-cell Voc (continuously available) [V]
+  double illuminance_estimate = 0.0;  ///< photodetector reading [lux]
+  double prev_power = 0.0;        ///< power harvested during the previous step [W]
+  double prev_voltage = 0.0;      ///< PV voltage commanded in the previous step [V]
+  double store_voltage = 0.0;     ///< energy-store voltage [V]
+};
+
+/// One step's command.
+struct ControlOutput {
+  double pv_voltage = 0.0;          ///< commanded PV operating voltage [V]
+  double disconnect_fraction = 0.0; ///< fraction of dt the PV is disconnected (sampling)
+};
+
+/// Abstract MPPT controller.
+class MpptController {
+ public:
+  virtual ~MpptController() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Advance one step and command the operating point.
+  [[nodiscard]] virtual ControlOutput step(const SensedInputs& inputs) = 0;
+
+  /// Average electrical overhead of the tracking circuitry [W]. Drawn
+  /// from the harvested energy by the node simulator.
+  [[nodiscard]] virtual double overhead_power() const = 0;
+
+  /// Lowest illuminance at which the controller's circuitry can operate
+  /// (cold-start and sustain itself) [lux]. The node simulator freezes
+  /// the controller below this level.
+  [[nodiscard]] virtual double minimum_operating_lux() const { return 0.0; }
+
+  /// Restore the power-on state.
+  virtual void reset() = 0;
+};
+
+}  // namespace focv::mppt

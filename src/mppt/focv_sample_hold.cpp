@@ -1,0 +1,55 @@
+#include "mppt/focv_sample_hold.hpp"
+
+#include <algorithm>
+
+#include "common/require.hpp"
+
+namespace focv::mppt {
+
+FocvSampleHoldController::FocvSampleHoldController(Params params)
+    : params_(params), astable_(params.astable), sample_hold_(params.sample_hold) {
+  require(params_.alpha > 0.0 && params_.alpha <= 1.0,
+          "FocvSampleHoldController: alpha must be in (0, 1]");
+  require(params_.supply_voltage > 0.0,
+          "FocvSampleHoldController: supply_voltage must be > 0");
+  next_sample_time_ = astable_.next_rising_edge(0.0);
+}
+
+ControlOutput FocvSampleHoldController::step(const SensedInputs& inputs) {
+  ControlOutput out;
+  const double t_end = inputs.time + inputs.dt;
+  // Fire every PULSE rising edge inside this step (dt can exceed the
+  // astable period in coarse simulations).
+  while (next_sample_time_ < t_end) {
+    const double sample_duration =
+        std::min(astable_.params().on_period, t_end - next_sample_time_);
+    sample_hold_.sample(next_sample_time_, inputs.voc, astable_.params().on_period);
+    out.disconnect_fraction += sample_duration / inputs.dt;
+    next_sample_time_ += astable_.period();
+  }
+  out.disconnect_fraction = std::min(out.disconnect_fraction, 1.0);
+  // The converter regulates the PV input at HELD / alpha once ACTIVE
+  // asserts (the U5 sanity check of Section III-B).
+  out.pv_voltage = active(t_end) ? sample_hold_.value(t_end) / params_.alpha : 0.0;
+  return out;
+}
+
+bool FocvSampleHoldController::active(double t) const {
+  return sample_hold_.has_sample() && sample_hold_.value(t) >= params_.active_threshold;
+}
+
+double FocvSampleHoldController::average_current() const {
+  return astable_.average_current() + sample_hold_.average_current(astable_.duty_cycle()) +
+         params_.comparator_iq + params_.misc_leakage;
+}
+
+double FocvSampleHoldController::overhead_power() const {
+  return average_current() * params_.supply_voltage;
+}
+
+void FocvSampleHoldController::reset() {
+  sample_hold_.reset();
+  next_sample_time_ = astable_.next_rising_edge(0.0);
+}
+
+}  // namespace focv::mppt

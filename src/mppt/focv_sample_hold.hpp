@@ -1,0 +1,61 @@
+// The paper's controller: FOCV via the ultra low-power sample-and-hold.
+#pragma once
+
+#include "analog/astable.hpp"
+#include "analog/sample_hold.hpp"
+#include "mppt/controller.hpp"
+
+namespace focv::mppt {
+
+/// Fractional-open-circuit-voltage MPPT driven by the astable + S&H of
+/// Fig. 3. Senses: the main cell's own Voc, only during the brief PULSE
+/// windows (no pilot cell, no photodiode, no microcontroller).
+///
+/// The commanded operating voltage is 2 x HELD_SAMPLE (alpha = 1/2 in
+/// Eq. (3): the held value is half of k*Voc so it fits under the 3.3 V
+/// rail; the switching converter's input comparator works on the divided
+/// PV voltage).
+class FocvSampleHoldController : public MpptController {
+ public:
+  struct Params {
+    analog::AstableMultivibrator::Params astable;
+    analog::SampleHold::Params sample_hold;
+    double supply_voltage = 3.3;     ///< [V]
+    double alpha = 0.5;              ///< representation divider of Eq. (3)
+    double active_threshold = 0.9;   ///< ACTIVE asserts above this HELD level [V]
+    double comparator_iq = 0.7e-6;   ///< ACTIVE comparator (U5) [A]
+    double misc_leakage = 0.9e-6;    ///< switches, M8 gate network, board leakage [A]
+    double min_lux = 180.0;          ///< sustains itself down to ~200 lux
+  };
+
+  explicit FocvSampleHoldController(Params params);
+  FocvSampleHoldController() : FocvSampleHoldController(Params{}) {}
+
+  [[nodiscard]] std::string name() const override { return "FOCV sample-and-hold (proposed)"; }
+  [[nodiscard]] ControlOutput step(const SensedInputs& inputs) override;
+  [[nodiscard]] double overhead_power() const override;
+  [[nodiscard]] double minimum_operating_lux() const override { return params_.min_lux; }
+  void reset() override;
+
+  /// The HELD_SAMPLE line value at time t [V].
+  [[nodiscard]] double held_sample(double t) const { return sample_hold_.value(t); }
+
+  /// ACTIVE line: true once a valid sample is held.
+  [[nodiscard]] bool active(double t) const;
+
+  /// Average current of the complete metrology circuit [A]
+  /// (reproduces the 7.6 uA measurement of Section IV-A).
+  [[nodiscard]] double average_current() const;
+
+  [[nodiscard]] const Params& params() const { return params_; }
+  [[nodiscard]] const analog::AstableMultivibrator& astable() const { return astable_; }
+  [[nodiscard]] const analog::SampleHold& sample_hold() const { return sample_hold_; }
+
+ private:
+  Params params_;
+  analog::AstableMultivibrator astable_;
+  analog::SampleHold sample_hold_;
+  double next_sample_time_ = 0.0;
+};
+
+}  // namespace focv::mppt

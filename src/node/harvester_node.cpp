@@ -1,0 +1,170 @@
+#include "node/harvester_node.hpp"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "common/require.hpp"
+
+namespace focv::node {
+
+namespace {
+
+/// Memoises Voc and MPP lookups on a fine log-illuminance grid: a 24 h
+/// trace triggers ~100k curve solves otherwise. Quantisation at 0.1% in
+/// lux is far below every other model uncertainty.
+class CurveCache {
+ public:
+  CurveCache(const pv::SingleDiodeModel& cell, double temperature_k)
+      : cell_(cell) {
+    conditions_.spectrum = pv::Spectrum::kFluorescent;
+    conditions_.temperature_k = temperature_k;
+  }
+
+  struct Entry {
+    double voc = 0.0;
+    double pmpp = 0.0;
+    double vmpp = 0.0;
+  };
+
+  const Entry& at(double equivalent_lux) {
+    const long key = std::lround(1000.0 * std::log(std::max(equivalent_lux, 1e-3)));
+    auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+    conditions_.illuminance_lux = equivalent_lux;
+    Entry e;
+    if (equivalent_lux >= 0.05) {
+      e.voc = cell_.open_circuit_voltage(conditions_);
+      const pv::MppResult mpp = cell_.maximum_power_point(conditions_);
+      e.pmpp = mpp.power;
+      e.vmpp = mpp.voltage;
+    }
+    return cache_.emplace(key, e).first->second;
+  }
+
+  /// Cell power when held at voltage v [W].
+  double power_at(double v, double equivalent_lux) {
+    if (equivalent_lux < 0.05 || v <= 0.0) return 0.0;
+    conditions_.illuminance_lux = equivalent_lux;
+    return cell_.power_at(v, conditions_);
+  }
+
+  pv::Conditions conditions_at(double equivalent_lux) {
+    pv::Conditions c = conditions_;
+    c.illuminance_lux = equivalent_lux;
+    return c;
+  }
+
+ private:
+  const pv::SingleDiodeModel& cell_;
+  pv::Conditions conditions_;
+  std::unordered_map<long, Entry> cache_;
+};
+
+}  // namespace
+
+NodeReport simulate_node(const env::LightTrace& trace, const NodeConfig& config) {
+  require(config.cell != nullptr, "simulate_node: cell is required");
+  require(config.controller != nullptr, "simulate_node: controller is required");
+  require(trace.size() >= 2, "simulate_node: trace needs at least 2 samples");
+
+  const pv::SingleDiodeModel& cell = *config.cell;
+  mppt::MpptController& controller = *config.controller;
+  controller.reset();
+
+  power::Supercapacitor supercap(config.storage);
+  std::optional<power::Battery> battery;
+  if (config.battery) battery.emplace(*config.battery);
+  // Uniform view over whichever store is configured.
+  const auto store_voltage = [&] {
+    return battery ? battery->open_circuit_voltage() : supercap.voltage();
+  };
+  const auto store_usable = [&] { return battery ? battery->usable() : supercap.usable(); };
+  const auto store_apply = [&](double power, double dt) {
+    return battery ? battery->apply_power(power, dt) : supercap.apply_power(power, dt);
+  };
+  power::WsnLoad load(config.load);
+  std::optional<power::ColdStartCircuit> coldstart;
+  if (config.coldstart) coldstart.emplace(*config.coldstart);
+
+  CurveCache curves(cell, config.temperature_k);
+  const std::vector<double> eq_lux = trace.equivalent_lux(cell);
+  const std::vector<double>& t = trace.time();
+
+  NodeReport report;
+  report.duration = trace.duration();
+
+  mppt::SensedInputs sensed;
+  double prev_power = 0.0;
+  double prev_voltage = 0.0;
+  const double controller_current =
+      controller.overhead_power() / 3.3;  // for the cold-start load model
+  int steps_since_record = config.record_stride;  // record the first step
+
+  for (std::size_t i = 0; i + 1 < trace.size(); ++i) {
+    const double dt = t[i + 1] - t[i];
+    const double lux = eq_lux[i];
+    const CurveCache::Entry& curve = curves.at(lux);
+    report.ideal_mpp_energy += curve.pmpp * dt;
+
+    // Cold-start gate: while the supervisor has not fired, the MPPT is
+    // unpowered and the PV charges C1 instead of harvesting.
+    bool running = true;
+    if (coldstart) {
+      const pv::Conditions c = curves.conditions_at(lux);
+      coldstart->advance(cell, c, dt, controller_current);
+      running = coldstart->started();
+    }
+    // Supply floor: below its minimum illuminance the tracking circuitry
+    // cannot run at all.
+    if (lux < controller.minimum_operating_lux()) running = false;
+
+    double pv_power = 0.0;
+    double pv_voltage = 0.0;
+    if (running) {
+      if (report.coldstart_time < 0.0) report.coldstart_time = t[i];
+      sensed.time = t[i];
+      sensed.dt = dt;
+      sensed.voc = curve.voc;
+      sensed.pilot_voc = curve.voc;  // matched pilot; controller applies its own mismatch
+      sensed.illuminance_estimate = trace.at(t[i]).total_lux();
+      sensed.prev_power = prev_power;
+      sensed.prev_voltage = prev_voltage;
+      sensed.store_voltage = store_voltage();
+      const mppt::ControlOutput out = controller.step(sensed);
+      pv_voltage = out.pv_voltage;
+      pv_power = curves.power_at(out.pv_voltage, lux) *
+                 (1.0 - std::min(1.0, out.disconnect_fraction));
+      report.overhead_energy += controller.overhead_power() * dt;
+    }
+    prev_power = pv_power;
+    prev_voltage = pv_voltage;
+    report.harvested_energy += pv_power * dt;
+
+    const double delivered = config.converter.output_power(pv_power, pv_voltage);
+    report.delivered_energy += delivered * dt;
+
+    // Store bookkeeping: harvest in, overhead and load out.
+    const double load_power = load.average_power();
+    double drain = running ? controller.overhead_power() : 0.0;
+    const bool load_runs = store_usable();
+    if (load_runs) {
+      drain += load_power;
+      report.load_energy_served += load_power * dt;
+    } else {
+      ++report.brownout_steps;
+    }
+    store_apply(delivered - drain, dt);
+
+    if (config.record_traces && ++steps_since_record >= config.record_stride) {
+      steps_since_record = 0;
+      report.time.push_back(t[i]);
+      report.pv_voltage.push_back(pv_voltage);
+      report.pv_power.push_back(pv_power);
+      report.store_voltage.push_back(store_voltage());
+    }
+  }
+  report.final_store_voltage = store_voltage();
+  return report;
+}
+
+}  // namespace focv::node

@@ -1,0 +1,68 @@
+// End-to-end energy-harvesting node simulation:
+//   light trace -> PV cell -> MPPT controller -> converter -> store -> load.
+//
+// This is the fast behavioural tier used for 24-hour scenarios and the
+// state-of-the-art comparison bench; waveform-level behaviour is covered
+// by the circuit netlists in focv::core.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "env/light_trace.hpp"
+#include "mppt/controller.hpp"
+#include "power/battery.hpp"
+#include "power/coldstart.hpp"
+#include "power/converter.hpp"
+#include "power/load.hpp"
+#include "power/storage.hpp"
+#include "pv/diode_models.hpp"
+
+namespace focv::node {
+
+/// Static configuration of a simulated node.
+struct NodeConfig {
+  const pv::SingleDiodeModel* cell = nullptr;       ///< required
+  mppt::MpptController* controller = nullptr;       ///< required
+  power::BuckBoostConverter converter;
+  power::Supercapacitor::Params storage;
+  /// When set, a battery replaces the supercapacitor as the store.
+  std::optional<power::Battery::Params> battery;
+  power::WsnLoad::Params load;
+  std::optional<power::ColdStartCircuit::Params> coldstart;  ///< engaged when set
+  double temperature_k = 300.15;
+  bool record_traces = false;   ///< keep per-step waveforms in the report
+  int record_stride = 60;       ///< record every k-th step
+};
+
+/// Results of one simulation run.
+struct NodeReport {
+  double duration = 0.0;             ///< [s]
+  double harvested_energy = 0.0;     ///< PV output energy (after disconnects) [J]
+  double delivered_energy = 0.0;     ///< converter output into the store [J]
+  double overhead_energy = 0.0;      ///< tracking-circuitry consumption [J]
+  double load_energy_served = 0.0;   ///< load demand met from the store [J]
+  double ideal_mpp_energy = 0.0;     ///< energy of a perfect tracker [J]
+  double coldstart_time = -1.0;      ///< first time the controller ran [s]; -1 = never
+  int brownout_steps = 0;            ///< steps where the store could not feed the load
+  double final_store_voltage = 0.0;  ///< [V]
+
+  /// harvested / ideal over lit periods (1.0 = perfect tracking).
+  [[nodiscard]] double tracking_efficiency() const {
+    return (ideal_mpp_energy > 0.0) ? harvested_energy / ideal_mpp_energy : 0.0;
+  }
+  /// delivered minus overhead: what actually accumulates [J].
+  [[nodiscard]] double net_energy() const { return delivered_energy - overhead_energy; }
+
+  // Optional recorded traces (when NodeConfig::record_traces).
+  std::vector<double> time;
+  std::vector<double> pv_voltage;
+  std::vector<double> pv_power;
+  std::vector<double> store_voltage;
+};
+
+/// Run the node across a light trace. The step size is the trace's
+/// sample spacing. Throws PreconditionError on null cell/controller.
+[[nodiscard]] NodeReport simulate_node(const env::LightTrace& trace, const NodeConfig& config);
+
+}  // namespace focv::node

@@ -1,0 +1,152 @@
+#include "node/sizing.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace focv::node {
+
+namespace {
+
+/// Exact area scaling of a cell: every areal current (photo, diode,
+/// shunt) scales together while series resistance scales inversely, so
+/// I_scaled(V) = factor * I_reference(V) at every voltage.
+class ScaledCell : public pv::CellModel {
+ public:
+  ScaledCell(const pv::SingleDiodeModel& inner, double factor)
+      : inner_(inner), factor_(factor) {}
+
+  [[nodiscard]] std::string name() const override {
+    return inner_.name() + " x" + std::to_string(factor_);
+  }
+  [[nodiscard]] double area_cm2() const override { return inner_.area_cm2() * factor_; }
+  [[nodiscard]] double current(double v, const pv::Conditions& c) const override {
+    return factor_ * inner_.current(v, c);
+  }
+  [[nodiscard]] double current_derivative(double v, const pv::Conditions& c) const override {
+    return factor_ * inner_.current_derivative(v, c);
+  }
+  [[nodiscard]] double voltage_bound(const pv::Conditions& c) const override {
+    return inner_.voltage_bound(c);
+  }
+
+ private:
+  const pv::SingleDiodeModel& inner_;
+  double factor_;
+};
+
+struct DayRun {
+  double harvest_j = 0.0;       ///< delivered minus overhead [J]
+  double load_j = 0.0;
+  double worst_deficit_j = 0.0; ///< deepest cumulative (load+overhead-delivered) dip [J]
+};
+
+DayRun run_day(const SizingQuery& query, double factor) {
+  const ScaledCell cell(*query.cell, factor);
+  mppt::MpptController& controller = *query.controller;
+  controller.reset();
+  const power::WsnLoad load(query.load);
+  const double load_power = load.average_power();
+
+  const auto& trace = *query.scenario;
+  const std::vector<double> eq_lux = trace.equivalent_lux(*query.cell);
+  const std::vector<double>& t = trace.time();
+
+  DayRun result;
+  double balance = 0.0;
+  double prev_power = 0.0, prev_voltage = 0.0;
+  mppt::SensedInputs sensed;
+  pv::Conditions c;
+  c.temperature_k = query.temperature_k;
+
+  // Memoised Voc on a coarse lux grid (Voc is area-invariant).
+  std::vector<std::pair<long, double>> voc_cache;
+  auto voc_at = [&](double lux) {
+    const long key = std::lround(200.0 * std::log(std::max(lux, 1e-3)));
+    for (const auto& [k, v] : voc_cache) {
+      if (k == key) return v;
+    }
+    c.illuminance_lux = lux;
+    const double v = (lux >= 0.05) ? cell.open_circuit_voltage(c) : 0.0;
+    voc_cache.emplace_back(key, v);
+    return v;
+  };
+
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    const double dt = t[i + 1] - t[i];
+    const double lux = eq_lux[i];
+    c.illuminance_lux = lux;
+
+    double delivered = 0.0;
+    double overhead = 0.0;
+    if (lux >= controller.minimum_operating_lux() && lux >= 0.05) {
+      sensed.time = t[i];
+      sensed.dt = dt;
+      sensed.voc = voc_at(lux);
+      sensed.pilot_voc = sensed.voc;
+      sensed.illuminance_estimate = lux;
+      sensed.prev_power = prev_power;
+      sensed.prev_voltage = prev_voltage;
+      const mppt::ControlOutput out = controller.step(sensed);
+      const double pv_power = cell.power_at(out.pv_voltage, c) *
+                              (1.0 - std::min(1.0, out.disconnect_fraction));
+      prev_power = pv_power;
+      prev_voltage = out.pv_voltage;
+      delivered = query.converter.output_power(pv_power, out.pv_voltage);
+      overhead = controller.overhead_power();
+    }
+    result.harvest_j += (delivered - overhead) * dt;
+    result.load_j += load_power * dt;
+    balance += (delivered - overhead - load_power) * dt;
+    result.worst_deficit_j = std::min(result.worst_deficit_j, balance);
+  }
+  return result;
+}
+
+}  // namespace
+
+SizingResult size_for_energy_neutrality(const SizingQuery& query, double min_factor,
+                                        double max_factor) {
+  require(query.cell != nullptr, "size_for_energy_neutrality: cell is required");
+  require(query.scenario != nullptr, "size_for_energy_neutrality: scenario is required");
+  require(query.controller != nullptr, "size_for_energy_neutrality: controller is required");
+  require(min_factor > 0.0 && max_factor > min_factor,
+          "size_for_energy_neutrality: bad factor range");
+
+  SizingResult result;
+  const DayRun at_max = run_day(query, max_factor);
+  result.daily_load_j = at_max.load_j;
+  if (at_max.harvest_j < at_max.load_j) {
+    // Even the largest allowed cell cannot reach neutrality.
+    result.area_factor = max_factor;
+    result.daily_harvest_j = at_max.harvest_j;
+    result.feasible = false;
+    return result;
+  }
+
+  double lo = min_factor, hi = max_factor;
+  const DayRun at_min = run_day(query, min_factor);
+  if (at_min.harvest_j >= at_min.load_j) {
+    hi = min_factor;  // already neutral at the smallest size
+  }
+  for (int iter = 0; iter < 24 && hi > lo * 1.02; ++iter) {
+    const double mid = std::sqrt(lo * hi);
+    const DayRun run = run_day(query, mid);
+    if (run.harvest_j >= run.load_j) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  result.area_factor = hi;
+  const DayRun final_run = run_day(query, hi);
+  result.daily_harvest_j = final_run.harvest_j;
+  result.storage_j = -final_run.worst_deficit_j * 1.25;  // 25% engineering margin
+  // Supercap sized for full energy swing at a 3 V working voltage.
+  result.storage_f_at_3v = 2.0 * result.storage_j / (3.0 * 3.0);
+  result.feasible = true;
+  return result;
+}
+
+}  // namespace focv::node

@@ -1,0 +1,44 @@
+// Energy-neutral design sizing.
+//
+// The question a deployment engineer asks of this system: given a light
+// scenario and a duty-cycled load, how large must the cell and the store
+// be for the node to run forever? This utility answers it with the same
+// models the simulator uses.
+#pragma once
+
+#include "env/light_trace.hpp"
+#include "mppt/controller.hpp"
+#include "power/converter.hpp"
+#include "power/load.hpp"
+#include "pv/diode_models.hpp"
+
+namespace focv::node {
+
+/// Inputs to the sizing query.
+struct SizingQuery {
+  const pv::SingleDiodeModel* cell = nullptr;       ///< reference cell (scaled by area factor)
+  const env::LightTrace* scenario = nullptr;        ///< representative day
+  mppt::MpptController* controller = nullptr;       ///< tracking technique
+  power::BuckBoostConverter converter;
+  power::WsnLoad::Params load;
+  double temperature_k = 300.15;
+};
+
+/// Result of a sizing run.
+struct SizingResult {
+  double area_factor = 0.0;        ///< multiple of the reference cell's area
+  double daily_harvest_j = 0.0;    ///< net harvest with that area over the scenario [J]
+  double daily_load_j = 0.0;       ///< load demand over the scenario [J]
+  double storage_j = 0.0;          ///< store energy needed to ride through deficits [J]
+  double storage_f_at_3v = 0.0;    ///< equivalent supercap size at 3 V swing-to-empty [F]
+  bool feasible = false;           ///< a finite area achieves energy neutrality
+};
+
+/// Find the smallest cell-area multiple (within [min_factor, max_factor])
+/// for which net daily harvest covers the load, then compute the storage
+/// needed to cover the worst cumulative deficit across the scenario.
+[[nodiscard]] SizingResult size_for_energy_neutrality(const SizingQuery& query,
+                                                      double min_factor = 0.1,
+                                                      double max_factor = 64.0);
+
+}  // namespace focv::node

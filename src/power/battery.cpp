@@ -1,0 +1,27 @@
+#include "power/battery.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace focv::power {
+
+double Battery::apply_power(double power, double dt) {
+  require(dt > 0.0, "Battery::apply_power: dt must be > 0");
+  // Self discharge first.
+  const double leak = params_.self_discharge_per_day * dt / 86400.0;
+  soc_ = std::max(0.0, soc_ - leak);
+
+  const double e_before = soc_ * params_.capacity_j;
+  double delta = 0.0;
+  if (power >= 0.0) {
+    const double accepted = std::min(power, params_.max_charge_power);
+    delta = accepted * params_.coulombic_efficiency * dt;
+  } else {
+    delta = power * dt;  // discharge is counted at full value
+  }
+  const double e_after = std::clamp(e_before + delta, 0.0, params_.capacity_j);
+  soc_ = e_after / params_.capacity_j;
+  return e_after - e_before;
+}
+
+}  // namespace focv::power

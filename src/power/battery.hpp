@@ -1,0 +1,66 @@
+// Rechargeable battery model (the alternative energy store to the
+// supercapacitor; thin-film / LiPo class cells are the usual choice for
+// indoor harvesters when day-scale autonomy is needed).
+#pragma once
+
+#include "common/require.hpp"
+
+namespace focv::power {
+
+/// Simple open-circuit-voltage + internal-resistance battery with
+/// charge-acceptance limits and coulombic efficiency.
+class Battery {
+ public:
+  struct Params {
+    double capacity_j = 1500.0;         ///< usable energy capacity [J] (~0.1 mAh class)
+    double nominal_voltage = 3.0;       ///< [V]
+    double voltage_swing = 0.4;         ///< OCV rises this much from empty to full [V]
+    double internal_resistance = 40.0;  ///< [Ohm]
+    double coulombic_efficiency = 0.95; ///< charge accepted / charge delivered
+    double max_charge_power = 20e-3;    ///< acceptance limit [W]
+    double self_discharge_per_day = 0.002;  ///< fraction of capacity per day
+    double initial_soc = 0.5;           ///< state of charge 0..1
+  };
+
+  explicit Battery(Params params) : params_(params), soc_(params.initial_soc) {
+    require(params_.capacity_j > 0.0, "Battery: capacity must be > 0");
+    require(params_.coulombic_efficiency > 0.0 && params_.coulombic_efficiency <= 1.0,
+            "Battery: coulombic_efficiency in (0, 1]");
+    require(params_.initial_soc >= 0.0 && params_.initial_soc <= 1.0,
+            "Battery: initial_soc in [0, 1]");
+  }
+  Battery() : Battery(Params{}) {}
+
+  /// Apply `power` for `dt` seconds (positive charges). Returns the
+  /// energy change actually realised in the cell [J].
+  double apply_power(double power, double dt);
+
+  /// State of charge in [0, 1].
+  [[nodiscard]] double soc() const { return soc_; }
+
+  /// Open-circuit voltage at the current state of charge [V].
+  [[nodiscard]] double open_circuit_voltage() const {
+    return params_.nominal_voltage + params_.voltage_swing * (soc_ - 0.5);
+  }
+
+  /// Terminal voltage while sourcing/sinking `current` [V].
+  [[nodiscard]] double terminal_voltage(double current) const {
+    return open_circuit_voltage() - current * params_.internal_resistance;
+  }
+
+  [[nodiscard]] double stored_energy() const { return soc_ * params_.capacity_j; }
+  [[nodiscard]] bool usable() const { return soc_ > 0.02; }
+  [[nodiscard]] bool full() const { return soc_ >= 1.0 - 1e-12; }
+  [[nodiscard]] const Params& params() const { return params_; }
+
+  void set_soc(double soc) {
+    require(soc >= 0.0 && soc <= 1.0, "Battery: soc in [0, 1]");
+    soc_ = soc;
+  }
+
+ private:
+  Params params_;
+  double soc_;
+};
+
+}  // namespace focv::power

@@ -1,0 +1,57 @@
+#include "power/coldstart.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/require.hpp"
+
+namespace focv::power {
+
+ColdStartCircuit::ColdStartCircuit(Params params) : params_(params) {
+  require(params_.capacitance > 0.0, "ColdStartCircuit: capacitance must be > 0");
+  require(params_.threshold > 0.0, "ColdStartCircuit: threshold must be > 0");
+  require(params_.hysteresis >= 0.0 && params_.hysteresis < params_.threshold,
+          "ColdStartCircuit: bad hysteresis");
+}
+
+void ColdStartCircuit::advance(const pv::CellModel& cell, const pv::Conditions& conditions,
+                               double dt, double mppt_load) {
+  require(dt > 0.0, "ColdStartCircuit::advance: dt must be > 0");
+  // Sub-step so a coarse dt cannot overshoot the exponential-ish charge.
+  const int substeps = std::max(1, static_cast<int>(dt / 0.5));
+  const double h = dt / substeps;
+  for (int s = 0; s < substeps; ++s) {
+    const double v_pv = v_c1_ + params_.diode_drop;
+    double i_pv = cell.current(v_pv, conditions);
+    if (i_pv < 0.0) i_pv = 0.0;  // D1 blocks reverse flow
+    const double i_net = i_pv - params_.standby_leakage - (started_ ? mppt_load : 0.0);
+    v_c1_ += i_net * h / params_.capacitance;
+    if (v_c1_ < 0.0) v_c1_ = 0.0;
+    if (!started_ && v_c1_ >= params_.threshold) started_ = true;
+    if (started_ && v_c1_ < params_.threshold - params_.hysteresis) started_ = false;
+  }
+}
+
+double ColdStartCircuit::time_to_start(const pv::CellModel& cell,
+                                       const pv::Conditions& conditions) const {
+  // t = C * integral_0^Vth dv / i_net(v), trapezoid over a fine grid.
+  const int n = 400;
+  double t = 0.0;
+  double prev_inv = 0.0;
+  for (int k = 0; k <= n; ++k) {
+    const double v = params_.threshold * static_cast<double>(k) / n;
+    double i = cell.current(v + params_.diode_drop, conditions) - params_.standby_leakage;
+    if (i <= 0.0) return std::numeric_limits<double>::infinity();
+    const double inv = 1.0 / i;
+    if (k > 0) t += 0.5 * (inv + prev_inv) * (params_.threshold / n);
+    prev_inv = inv;
+  }
+  return params_.capacitance * t;
+}
+
+void ColdStartCircuit::reset() {
+  v_c1_ = 0.0;
+  started_ = false;
+}
+
+}  // namespace focv::power

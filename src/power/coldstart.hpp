@@ -1,0 +1,49 @@
+// Cold-start supervisor (Fig. 3: C1 charged from the PV module through
+// D1; once a threshold voltage is reached the MPPT circuit switches on).
+#pragma once
+
+#include "pv/cell_model.hpp"
+
+namespace focv::power {
+
+/// Behavioural model of the cold-start path.
+class ColdStartCircuit {
+ public:
+  struct Params {
+    double capacitance = 10e-6;       ///< C1 [F]
+    double diode_drop = 0.25;         ///< Schottky D1 [V]
+    double threshold = 2.2;           ///< MPPT enable threshold [V]
+    double hysteresis = 0.3;          ///< disable below threshold - hysteresis [V]
+    double standby_leakage = 0.2e-6;  ///< leakage across C1 while charging [A]
+  };
+
+  explicit ColdStartCircuit(Params params);
+  ColdStartCircuit() : ColdStartCircuit(Params{}) {}
+
+  /// Advance the supervisor by dt with the cell at the given conditions.
+  /// While the MPPT is off, the PV cell charges C1 (operating at
+  /// v_c1 + diode_drop); once the threshold is crossed `started()`
+  /// becomes true. `mppt_load` is the current the running MPPT circuitry
+  /// draws from C1 [A].
+  void advance(const pv::CellModel& cell, const pv::Conditions& conditions, double dt,
+               double mppt_load = 0.0);
+
+  [[nodiscard]] bool started() const { return started_; }
+  [[nodiscard]] double capacitor_voltage() const { return v_c1_; }
+
+  /// Closed-form estimate of the time from empty to threshold at
+  /// constant conditions (integrates C dv/i(v)). Returns infinity when
+  /// the cell cannot reach the threshold at these conditions.
+  [[nodiscard]] double time_to_start(const pv::CellModel& cell,
+                                     const pv::Conditions& conditions) const;
+
+  [[nodiscard]] const Params& params() const { return params_; }
+  void reset();
+
+ private:
+  Params params_;
+  double v_c1_ = 0.0;
+  bool started_ = false;
+};
+
+}  // namespace focv::power

@@ -1,0 +1,16 @@
+#include "power/load.hpp"
+
+#include <cmath>
+
+namespace focv::power {
+
+double WsnLoad::power_at(double t) const {
+  const double local = std::fmod(t, params_.report_period);
+  if (local < params_.sense_duration) return params_.sense_power + params_.sleep_power;
+  if (local < params_.sense_duration + params_.tx_duration) {
+    return params_.tx_power + params_.sleep_power;
+  }
+  return params_.sleep_power;
+}
+
+}  // namespace focv::power

@@ -1,0 +1,46 @@
+// Wireless sensor node load profiles.
+#pragma once
+
+#include <string>
+
+#include "common/require.hpp"
+
+namespace focv::power {
+
+/// Duty-cycled WSN load: deep sleep with periodic sense+transmit bursts.
+class WsnLoad {
+ public:
+  struct Params {
+    double sleep_power = 6.6e-6;      ///< ~2 uA at 3.3 V [W]
+    double sense_power = 3.3e-3;      ///< sensor + ADC burst [W]
+    double sense_duration = 10e-3;    ///< [s]
+    double tx_power = 66e-3;          ///< radio burst [W]
+    double tx_duration = 4e-3;        ///< [s]
+    double report_period = 60.0;      ///< one sense+tx per period [s]
+  };
+
+  explicit WsnLoad(Params params) : params_(params) {
+    require(params_.report_period > 0.0, "WsnLoad: report_period must be > 0");
+    require(params_.sense_duration + params_.tx_duration < params_.report_period,
+            "WsnLoad: burst longer than the period");
+  }
+  WsnLoad() : WsnLoad(Params{}) {}
+
+  /// Average power over a report period [W].
+  [[nodiscard]] double average_power() const {
+    const double burst_energy = params_.sense_power * params_.sense_duration +
+                                params_.tx_power * params_.tx_duration;
+    return params_.sleep_power + burst_energy / params_.report_period;
+  }
+
+  /// Instantaneous power at time t [W] (burst placed at the start of
+  /// each period).
+  [[nodiscard]] double power_at(double t) const;
+
+  [[nodiscard]] const Params& params() const { return params_; }
+
+ private:
+  Params params_;
+};
+
+}  // namespace focv::power

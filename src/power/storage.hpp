@@ -1,0 +1,49 @@
+// Energy storage models: supercapacitor and a simple battery.
+#pragma once
+
+#include "common/require.hpp"
+
+namespace focv::power {
+
+/// Ideal supercapacitor with voltage limits and self-discharge.
+class Supercapacitor {
+ public:
+  struct Params {
+    double capacitance = 0.4;       ///< [F]
+    double max_voltage = 5.0;       ///< [V]
+    double min_useful_voltage = 1.8;///< below this the load browns out [V]
+    double initial_voltage = 0.0;   ///< cold start: empty [V]
+    double self_discharge_resistance = 5e6;  ///< [Ohm]
+  };
+
+  explicit Supercapacitor(Params params) : params_(params), voltage_(params.initial_voltage) {
+    require(params_.capacitance > 0.0, "Supercapacitor: capacitance must be > 0");
+    require(params_.max_voltage > params_.min_useful_voltage,
+            "Supercapacitor: max_voltage must exceed min_useful_voltage");
+  }
+  Supercapacitor() : Supercapacitor(Params{}) {}
+
+  /// Apply a net power for dt seconds (positive charges, negative
+  /// discharges). Returns the energy actually absorbed/delivered [J]
+  /// (clipped at the voltage limits and at empty).
+  double apply_power(double power, double dt);
+
+  [[nodiscard]] double voltage() const { return voltage_; }
+  [[nodiscard]] double stored_energy() const {
+    return 0.5 * params_.capacitance * voltage_ * voltage_;
+  }
+  [[nodiscard]] bool usable() const { return voltage_ >= params_.min_useful_voltage; }
+  [[nodiscard]] bool full() const { return voltage_ >= params_.max_voltage - 1e-9; }
+  [[nodiscard]] const Params& params() const { return params_; }
+
+  void set_voltage(double v) {
+    require(v >= 0.0 && v <= params_.max_voltage, "Supercapacitor: voltage out of range");
+    voltage_ = v;
+  }
+
+ private:
+  Params params_;
+  double voltage_;
+};
+
+}  // namespace focv::power

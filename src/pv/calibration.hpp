@@ -1,0 +1,73 @@
+// Calibration of cell-model parameters against published anchor points.
+//
+// The paper gives no cell model, but it publishes enough anchors to pin
+// one down:
+//  - Table I: mean Voc of the SANYO Amorton AM-1815 at 12 illuminance
+//    levels, 200..5000 lux, under the test lamp;
+//  - Section IV-A: the AM-1815 MPP at 200 lux (42 uA at 3.0 V);
+//  - Section II-A: Vmpp ~ k * Voc with k in 0.6..0.8 for a-Si.
+// calibrate_am1815() fits the MertenAsiModel free parameters to these
+// anchors with Nelder-Mead. The fitted values are baked into
+// cell_library.cpp; a unit test re-runs the fit and checks agreement, so
+// the baked constants can never silently drift from the procedure.
+#pragma once
+
+#include <vector>
+
+#include "pv/diode_models.hpp"
+
+namespace focv::pv {
+
+/// One (illuminance -> Voc) anchor.
+struct VocAnchor {
+  double lux = 0.0;
+  double voc = 0.0;   ///< [V]
+  double weight = 1.0;
+};
+
+/// One full MPP anchor.
+struct MppAnchor {
+  double lux = 0.0;
+  double vmpp = 0.0;  ///< [V]
+  double impp = 0.0;  ///< [A]
+  double weight = 1.0;
+};
+
+/// The paper's Table I Voc column (fluorescent light, AM-1815).
+[[nodiscard]] std::vector<VocAnchor> table1_voc_anchors();
+
+/// The paper's Section IV-A MPP anchor (42 uA / 3.0 V at 200 lux).
+[[nodiscard]] MppAnchor am1815_mpp_anchor();
+
+/// Result of a calibration run.
+struct CalibrationReport {
+  MertenAsiModel::AsiParams params;   ///< fitted parameters
+  double objective = 0.0;             ///< final weighted SSE
+  double max_voc_error = 0.0;         ///< worst |Voc model - anchor| [V]
+  double vmpp_error = 0.0;            ///< |Vmpp - anchor| at the MPP anchor [V]
+  double impp_error = 0.0;            ///< |Impp - anchor| at the MPP anchor [A]
+  int iterations = 0;
+};
+
+/// Free parameters of the AM-1815 fit (the rest are fixed by physics or
+/// the datasheet; see implementation).
+struct Am1815FitSeed {
+  double photocurrent_per_lux = 0.30e-6;  ///< [A/lux]
+  double saturation_current = 2.8e-13;    ///< [A]
+  double ideality = 1.60;
+  double recombination_chi = 1.2;         ///< [V]
+  double photo_shunt_per_volt = 0.03;     ///< [1/V]
+  double builtin_voltage = 7.5;           ///< [V]
+};
+
+/// Fit the AM-1815 model to the paper anchors.
+[[nodiscard]] CalibrationReport calibrate_am1815(const Am1815FitSeed& seed = {});
+
+/// Evaluate the calibration residuals of arbitrary a-Si parameters
+/// against the paper anchors (used by tests and by the ablation bench
+/// that contrasts single-diode vs Merten fits).
+[[nodiscard]] double calibration_objective(const MertenAsiModel::AsiParams& params,
+                                           const std::vector<VocAnchor>& voc_anchors,
+                                           const MppAnchor& mpp_anchor);
+
+}  // namespace focv::pv

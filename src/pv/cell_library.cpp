@@ -1,0 +1,98 @@
+#include "pv/cell_library.hpp"
+
+namespace focv::pv {
+
+namespace {
+
+MertenAsiModel::AsiParams am1815_params() {
+  // Baked output of calibrate_am1815(); tests/pv/calibration_test.cpp
+  // re-runs the fit and asserts agreement with these constants.
+  MertenAsiModel::AsiParams p;
+  p.base.name = "SANYO Amorton AM-1815 (a-Si)";
+  p.base.area_cm2 = 25.0;
+  p.base.series_cells = 7;
+  p.base.shunt_resistance = 50e6;
+  p.base.series_resistance = 100.0;
+  p.base.bandgap_ev = 1.7;
+  p.base.iph_tempco = 0.0009;
+  p.base.daylight_ratio = 0.55;
+  p.builtin_voltage = 6.3;
+  // --- fitted free parameters (baked from calibrate_am1815()) ---
+  // Fit residuals: worst Table-I Voc error 32 mV, Impp error < 0.01 uA,
+  // Vmpp 3.14 V vs the paper's 3.0 V (see EXPERIMENTS.md for why the
+  // anchor set forces this compromise).
+  p.base.photocurrent_per_lux = 4.1294450455e-07;
+  p.base.saturation_current = 1.0223448722e-10;
+  p.base.ideality = 2.2565380351;
+  p.recombination_chi = 0.0;  // fit selects the photo-shunt basin
+  p.photo_shunt_per_volt = 0.1551794549;
+  return p;
+}
+
+}  // namespace
+
+const MertenAsiModel& sanyo_am1815() {
+  static const MertenAsiModel model(am1815_params());
+  return model;
+}
+
+const MertenAsiModel& schott_asi_1116929() {
+  static const MertenAsiModel model([] {
+    MertenAsiModel::AsiParams p = am1815_params();
+    p.base.name = "Schott Solar 1116929 (a-Si)";
+    p.base.area_cm2 = 58.0;
+    p.base.photocurrent_per_lux *= 58.0 / 25.0;  // scale with area
+    // One more series junction than the AM-1815, same per-junction
+    // physics: the module thermal slope and built-in potential grow by
+    // 8/7 while the photo-shunt per volt (a per-junction loss expressed
+    // against the module voltage) shrinks by 7/8.
+    p.base.series_cells = 8;
+    p.base.ideality *= 8.0 / 7.0;
+    p.builtin_voltage = 7.2;
+    p.photo_shunt_per_volt *= 7.0 / 8.0;
+    return p;
+  }());
+  return model;
+}
+
+const SingleDiodeModel& crystalline_reference() {
+  static const SingleDiodeModel model([] {
+    SingleDiodeModel::Params p;
+    p.name = "crystalline-Si reference";
+    p.area_cm2 = 25.0;
+    // Crystalline silicon: low ideality, much larger saturation current
+    // per junction, and a weak response per lux under fluorescent light
+    // (its spectral response peaks in the near infrared, which
+    // tri-phosphor lamps barely emit).
+    p.photocurrent_per_lux = 0.11e-6;
+    p.daylight_ratio = 2.4;  // relative to its own fluorescent response
+    p.saturation_current = 4e-9;
+    p.series_cells = 8;
+    p.ideality = 1.15;
+    p.shunt_resistance = 2e6;
+    p.series_resistance = 20.0;
+    p.bandgap_ev = 1.12;
+    p.iph_tempco = 0.0005;
+    return p;
+  }());
+  return model;
+}
+
+const MertenAsiModel& pilot_cell() {
+  static const MertenAsiModel model([] {
+    MertenAsiModel::AsiParams p = am1815_params();
+    p.base.name = "pilot cell (a-Si, 2 cm^2)";
+    // Same technology at reduced area: every areal quantity scales, so
+    // the current scales down while the voltage curve (and Voc) match
+    // the main cell -- which is precisely why a pilot cell works.
+    const double area_ratio = 2.0 / 25.0;
+    p.base.area_cm2 = 2.0;
+    p.base.photocurrent_per_lux *= area_ratio;
+    p.base.saturation_current *= area_ratio;
+    p.base.shunt_resistance /= area_ratio;
+    return p;
+  }());
+  return model;
+}
+
+}  // namespace focv::pv

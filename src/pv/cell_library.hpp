@@ -1,0 +1,29 @@
+// Calibrated cell instances used throughout the reproduction.
+#pragma once
+
+#include "pv/diode_models.hpp"
+
+namespace focv::pv {
+
+/// SANYO Amorton AM-1815 (25 cm^2 indoor a-Si): the cell the paper uses
+/// for Table I, the cold-start tests and the power-budget comparison.
+/// Parameters were produced by calibrate_am1815() (see calibration.hpp)
+/// and are verified against that fit by a unit test.
+[[nodiscard]] const MertenAsiModel& sanyo_am1815();
+
+/// Schott Solar 1116929 a-Si module: the cell of Fig. 1 and Fig. 2.
+/// No anchors are published beyond the figures, so this reuses the
+/// AM-1815 junction parameters with a larger active area and one more
+/// junction (documented substitution, DESIGN.md §2).
+[[nodiscard]] const MertenAsiModel& schott_asi_1116929();
+
+/// Crystalline-silicon reference module of comparable size. Included as
+/// the contrast case (Section II-A: a-Si retains efficiency at low light
+/// where crystalline cells do not).
+[[nodiscard]] const SingleDiodeModel& crystalline_reference();
+
+/// Small pilot cell of the kind used by the pilot-cell FOCV baseline [5]
+/// (a scaled-down AM-1815).
+[[nodiscard]] const MertenAsiModel& pilot_cell();
+
+}  // namespace focv::pv

@@ -1,0 +1,78 @@
+#include "pv/cell_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math.hpp"
+#include "common/require.hpp"
+
+namespace focv::pv {
+
+double CellModel::current_derivative(double v, const Conditions& c) const {
+  const double h = std::max(1e-6, 1e-7 * std::abs(v));
+  return (current(v + h, c) - current(v - h, c)) / (2.0 * h);
+}
+
+double CellModel::open_circuit_voltage(const Conditions& c) const {
+  const double hi = voltage_bound(c);
+  const double i0 = current(0.0, c);
+  require(i0 > 0.0, "open_circuit_voltage: cell produces no current at these conditions");
+  return brent_root([&](double v) { return current(v, c); }, 0.0, hi,
+                    SolverOptions{.x_tolerance = 1e-9, .f_tolerance = 1e-15});
+}
+
+double CellModel::short_circuit_current(const Conditions& c) const { return current(0.0, c); }
+
+MppResult CellModel::maximum_power_point(const Conditions& c) const {
+  const double voc = open_circuit_voltage(c);
+  const double vmpp = golden_section_maximize(
+      [&](double v) { return v * current(v, c); }, 0.0, voc,
+      SolverOptions{.x_tolerance = 1e-8});
+  MppResult r;
+  r.voltage = vmpp;
+  r.current = current(vmpp, c);
+  r.power = r.voltage * r.current;
+  return r;
+}
+
+double CellModel::k_factor(const Conditions& c) const {
+  return maximum_power_point(c).voltage / open_circuit_voltage(c);
+}
+
+double CellModel::fill_factor(const Conditions& c) const {
+  const double voc = open_circuit_voltage(c);
+  const double isc = short_circuit_current(c);
+  require(voc > 0.0 && isc > 0.0, "fill_factor: degenerate curve");
+  return maximum_power_point(c).power / (voc * isc);
+}
+
+IVCurve CellModel::curve(const Conditions& c, int points) const {
+  require(points >= 2, "curve: needs at least 2 points");
+  const double voc = open_circuit_voltage(c);
+  IVCurve out;
+  out.voltage.reserve(static_cast<std::size_t>(points));
+  out.current.reserve(static_cast<std::size_t>(points));
+  out.power.reserve(static_cast<std::size_t>(points));
+  for (int k = 0; k < points; ++k) {
+    const double v = voc * static_cast<double>(k) / static_cast<double>(points - 1);
+    const double i = current(v, c);
+    out.voltage.push_back(v);
+    out.current.push_back(i);
+    out.power.push_back(v * i);
+  }
+  return out;
+}
+
+double CellModel::power_at(double v, const Conditions& c) const {
+  if (v <= 0.0) return 0.0;
+  const double i = current(v, c);
+  return (i > 0.0) ? v * i : 0.0;
+}
+
+double CellModel::tracking_efficiency(double v, const Conditions& c) const {
+  const double pmpp = maximum_power_point(c).power;
+  if (pmpp <= 0.0) return 0.0;
+  return std::clamp(power_at(v, c) / pmpp, 0.0, 1.0);
+}
+
+}  // namespace focv::pv

@@ -1,0 +1,75 @@
+// Abstract photovoltaic cell model and derived curve quantities.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pv/conditions.hpp"
+
+namespace focv::pv {
+
+/// Maximum power point of a cell at given conditions.
+struct MppResult {
+  double voltage = 0.0;  ///< Vmpp [V]
+  double current = 0.0;  ///< Impp [A]
+  double power = 0.0;    ///< Pmpp [W]
+};
+
+/// Sampled I-V (and P-V) curve.
+struct IVCurve {
+  std::vector<double> voltage;
+  std::vector<double> current;
+  std::vector<double> power;
+};
+
+/// Interface of all PV cell models.
+///
+/// Convention: `current(v, c)` is the current the cell drives out of its
+/// positive terminal when held at terminal voltage v >= 0; it is positive
+/// below Voc and crosses zero at Voc.
+class CellModel {
+ public:
+  virtual ~CellModel() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Active cell area [cm^2] (informational; current scales are absolute).
+  [[nodiscard]] virtual double area_cm2() const = 0;
+
+  /// Terminal current at terminal voltage v [A].
+  [[nodiscard]] virtual double current(double v, const Conditions& c) const = 0;
+
+  /// dI/dV at terminal voltage v [A/V]. Default: central difference.
+  [[nodiscard]] virtual double current_derivative(double v, const Conditions& c) const;
+
+  /// Upper bracket for voltage searches (e.g. built-in potential) [V].
+  [[nodiscard]] virtual double voltage_bound(const Conditions& c) const = 0;
+
+  /// Open-circuit voltage [V] (root of current()).
+  [[nodiscard]] double open_circuit_voltage(const Conditions& c) const;
+
+  /// Short-circuit current [A].
+  [[nodiscard]] double short_circuit_current(const Conditions& c) const;
+
+  /// Maximum power point via golden-section search over [0, Voc].
+  [[nodiscard]] MppResult maximum_power_point(const Conditions& c) const;
+
+  /// Fractional open-circuit-voltage factor k = Vmpp / Voc.
+  [[nodiscard]] double k_factor(const Conditions& c) const;
+
+  /// Fill factor Pmpp / (Voc * Isc).
+  [[nodiscard]] double fill_factor(const Conditions& c) const;
+
+  /// Sampled curve from 0 to Voc (inclusive).
+  [[nodiscard]] IVCurve curve(const Conditions& c, int points = 101) const;
+
+  /// Power delivered when the cell is held at voltage v (0 outside the
+  /// generating quadrant) [W].
+  [[nodiscard]] double power_at(double v, const Conditions& c) const;
+
+  /// Tracking efficiency of operating at voltage v instead of the MPP:
+  /// power_at(v) / Pmpp, clamped to [0, 1].
+  [[nodiscard]] double tracking_efficiency(double v, const Conditions& c) const;
+};
+
+}  // namespace focv::pv

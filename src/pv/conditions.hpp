@@ -1,0 +1,23 @@
+// Operating conditions for photovoltaic cells.
+#pragma once
+
+#include "common/constants.hpp"
+
+namespace focv::pv {
+
+/// Light source spectrum. Amorphous silicon's spectral response peaks in
+/// the visible band, so its photocurrent per lux is higher under
+/// tri-phosphor fluorescent light than under broadband daylight.
+enum class Spectrum {
+  kFluorescent,  ///< office artificial lighting
+  kDaylight,     ///< natural light through air/window
+};
+
+/// Environmental operating point of a PV cell.
+struct Conditions {
+  double illuminance_lux = 1000.0;
+  Spectrum spectrum = Spectrum::kFluorescent;
+  double temperature_k = focv::constants::kNominalTemperature;
+};
+
+}  // namespace focv::pv

@@ -1,0 +1,157 @@
+#include "pv/diode_models.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/constants.hpp"
+#include "common/require.hpp"
+
+namespace focv::pv {
+
+namespace {
+
+constexpr double kTRef = focv::constants::kNominalTemperature;
+
+double safe_exp(double x, double cap = 120.0) {
+  if (x <= cap) return std::exp(x);
+  return std::exp(cap) * (1.0 + (x - cap));
+}
+
+double safe_exp_deriv(double x, double cap = 120.0) {
+  return (x <= cap) ? std::exp(x) : std::exp(cap);
+}
+
+}  // namespace
+
+SingleDiodeModel::SingleDiodeModel(Params params) : params_(std::move(params)) {
+  require(params_.photocurrent_per_lux > 0.0, "SingleDiodeModel: photocurrent_per_lux must be > 0");
+  require(params_.daylight_ratio > 0.0, "SingleDiodeModel: daylight_ratio must be > 0");
+  require(params_.saturation_current > 0.0, "SingleDiodeModel: saturation_current must be > 0");
+  require(params_.series_cells >= 1, "SingleDiodeModel: series_cells must be >= 1");
+  require(params_.ideality > 0.0, "SingleDiodeModel: ideality must be > 0");
+  require(params_.shunt_resistance > 0.0, "SingleDiodeModel: shunt_resistance must be > 0");
+  require(params_.series_resistance >= 0.0, "SingleDiodeModel: series_resistance must be >= 0");
+}
+
+double SingleDiodeModel::photocurrent(const Conditions& c) const {
+  require(c.illuminance_lux >= 0.0, "photocurrent: illuminance must be >= 0");
+  const double per_lux = (c.spectrum == Spectrum::kFluorescent)
+                             ? params_.photocurrent_per_lux
+                             : params_.photocurrent_per_lux * params_.daylight_ratio;
+  const double temp_factor = 1.0 + params_.iph_tempco * (c.temperature_k - kTRef);
+  return per_lux * c.illuminance_lux * std::max(temp_factor, 0.0);
+}
+
+double SingleDiodeModel::thermal_slope(const Conditions& c) const {
+  return static_cast<double>(params_.series_cells) * params_.ideality *
+         focv::constants::thermal_voltage(c.temperature_k);
+}
+
+double SingleDiodeModel::saturation_current(const Conditions& c) const {
+  const double t = c.temperature_k;
+  const double ratio = t / kTRef;
+  const double eg_term = params_.bandgap_ev * focv::constants::kElementaryCharge /
+                         (params_.ideality * focv::constants::kBoltzmann);
+  return params_.saturation_current * ratio * ratio * ratio *
+         std::exp(eg_term * (1.0 / kTRef - 1.0 / t));
+}
+
+double SingleDiodeModel::junction_current(double vj, const Conditions& c) const {
+  const double iph = photocurrent(c);
+  const double a = thermal_slope(c);
+  const double i0 = saturation_current(c);
+  return iph - i0 * (safe_exp(vj / a) - 1.0) - vj / params_.shunt_resistance;
+}
+
+double SingleDiodeModel::junction_derivative(double vj, const Conditions& c) const {
+  const double a = thermal_slope(c);
+  const double i0 = saturation_current(c);
+  return -i0 * safe_exp_deriv(vj / a) / a - 1.0 / params_.shunt_resistance;
+}
+
+double SingleDiodeModel::solve_terminal_current(double v, const Conditions& c) const {
+  if (params_.series_resistance == 0.0) return junction_current(v, c);
+  double i = junction_current(v, c);  // Rs = 0 seed
+  for (int iter = 0; iter < 60; ++iter) {
+    const double vj = v + i * params_.series_resistance;
+    const double f = junction_current(vj, c) - i;
+    const double df = junction_derivative(vj, c) * params_.series_resistance - 1.0;
+    const double i_next = i - f / df;
+    if (std::abs(i_next - i) < 1e-15 + 1e-10 * std::abs(i)) return i_next;
+    i = i_next;
+  }
+  throw ConvergenceError("SingleDiodeModel: series-resistance iteration did not converge");
+}
+
+double SingleDiodeModel::current(double v, const Conditions& c) const {
+  return solve_terminal_current(v, c);
+}
+
+double SingleDiodeModel::current_derivative(double v, const Conditions& c) const {
+  const double i = solve_terminal_current(v, c);
+  const double vj = v + i * params_.series_resistance;
+  const double fp = junction_derivative(vj, c);
+  return fp / (1.0 - fp * params_.series_resistance);
+}
+
+double SingleDiodeModel::voltage_bound(const Conditions& c) const {
+  const double iph = std::max(photocurrent(c), 1e-15);
+  const double a = thermal_slope(c);
+  const double i0 = saturation_current(c);
+  // Ideal-diode Voc plus headroom; the actual Voc is always below this.
+  return a * std::log(iph / i0 + 1.0) + 1.0;
+}
+
+// -------------------------------------------------------- MertenAsiModel
+
+MertenAsiModel::MertenAsiModel(AsiParams params)
+    : SingleDiodeModel(params.base), asi_(std::move(params)) {
+  require(asi_.builtin_voltage > 0.0, "MertenAsiModel: builtin_voltage must be > 0");
+  require(asi_.recombination_chi >= 0.0, "MertenAsiModel: recombination_chi must be >= 0");
+  require(asi_.recombination_chi < asi_.builtin_voltage,
+          "MertenAsiModel: recombination_chi must be < builtin_voltage (else Isc <= 0)");
+  require(asi_.photo_shunt_per_volt >= 0.0, "MertenAsiModel: photo_shunt_per_volt must be >= 0");
+}
+
+double MertenAsiModel::junction_current(double vj, const Conditions& c) const {
+  const double iph = photocurrent(c);
+  double base = SingleDiodeModel::junction_current(vj, c);
+  // Recombination: Irec = Iph * chi / (Vbi - Vj), with a linear guard as
+  // Vj approaches Vbi so the model stays smooth for the solvers.
+  const double margin = 0.05 * asi_.builtin_voltage;
+  const double vbi = asi_.builtin_voltage;
+  double denom = vbi - vj;
+  if (denom < margin) {
+    // Linear extension of 1/(Vbi - Vj) beyond the guard point.
+    const double f0 = 1.0 / margin;
+    const double df = 1.0 / (margin * margin);
+    base -= iph * asi_.recombination_chi * (f0 + df * (margin - denom));
+  } else {
+    base -= iph * asi_.recombination_chi / denom;
+  }
+  base -= iph * asi_.photo_shunt_per_volt * vj;
+  return base;
+}
+
+double MertenAsiModel::junction_derivative(double vj, const Conditions& c) const {
+  const double iph = photocurrent(c);
+  double d = SingleDiodeModel::junction_derivative(vj, c);
+  const double margin = 0.05 * asi_.builtin_voltage;
+  const double vbi = asi_.builtin_voltage;
+  const double denom = vbi - vj;
+  if (denom < margin) {
+    d -= iph * asi_.recombination_chi / (margin * margin);
+  } else {
+    d -= iph * asi_.recombination_chi / (denom * denom);
+  }
+  d -= iph * asi_.photo_shunt_per_volt;
+  return d;
+}
+
+// Note: MertenAsiModel inherits SingleDiodeModel::voltage_bound. The
+// recombination term is linearly extended past Vbi (see the guard in
+// junction_current), so the junction current stays monotone decreasing
+// for all voltages and the ideal-diode bound — where the diode term
+// alone exceeds the photocurrent — always brackets Voc.
+
+}  // namespace focv::pv

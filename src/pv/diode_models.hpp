@@ -1,0 +1,93 @@
+// Concrete PV cell models.
+//
+// SingleDiodeModel: the classic five-parameter model (photocurrent,
+// diode, shunt, series resistance). Good for crystalline cells, but it
+// cannot simultaneously match an a-Si module's log-linear Voc(lux)
+// characteristic and its low fill factor (k ~ 0.6): with constant Rsh,
+// matching one anchor spoils the other (see DESIGN.md §5.2 and the
+// ablation bench).
+//
+// MertenAsiModel: extends the single-diode model with the two loss terms
+// that dominate amorphous silicon:
+//  - a recombination current in the intrinsic layer,
+//      Irec = Iph * chi / (Vbi - Vj)   (Merten et al.),
+//  - a photocurrent-proportional shunt ("photo-shunt"),
+//      Ish_photo = Iph * c * Vj,
+// both of which scale with the photocurrent and therefore preserve the
+// log-linear Voc(lux) relation while depressing the fill factor to the
+// measured k ~ 0.6.
+#pragma once
+
+#include "pv/cell_model.hpp"
+
+namespace focv::pv {
+
+/// Classic 5-parameter single-diode model.
+class SingleDiodeModel : public CellModel {
+ public:
+  struct Params {
+    std::string name = "single-diode";
+    double area_cm2 = 25.0;
+    double photocurrent_per_lux = 0.4e-6;  ///< [A/lux] under fluorescent light
+    double daylight_ratio = 0.55;          ///< daylight photocurrent per lux, relative
+    double saturation_current = 1e-12;     ///< I0 at reference temperature [A]
+    int series_cells = 7;                  ///< junctions in series
+    double ideality = 1.6;                 ///< emission coefficient n
+    double shunt_resistance = 20e6;        ///< [Ohm]
+    double series_resistance = 100.0;      ///< [Ohm]
+    double bandgap_ev = 1.7;               ///< for I0(T) scaling [eV]
+    double iph_tempco = 0.0009;            ///< photocurrent tempco [1/K]
+  };
+
+  explicit SingleDiodeModel(Params params);
+
+  [[nodiscard]] std::string name() const override { return params_.name; }
+  [[nodiscard]] double area_cm2() const override { return params_.area_cm2; }
+  [[nodiscard]] double current(double v, const Conditions& c) const override;
+  [[nodiscard]] double current_derivative(double v, const Conditions& c) const override;
+  [[nodiscard]] double voltage_bound(const Conditions& c) const override;
+
+  [[nodiscard]] const Params& params() const { return params_; }
+
+  /// Photocurrent at the given conditions [A].
+  [[nodiscard]] double photocurrent(const Conditions& c) const;
+
+ protected:
+  /// Junction current (before series resistance) and its dV derivative.
+  [[nodiscard]] virtual double junction_current(double vj, const Conditions& c) const;
+  [[nodiscard]] virtual double junction_derivative(double vj, const Conditions& c) const;
+
+  /// Module thermal slope Ns * n * Vt(T) [V].
+  [[nodiscard]] double thermal_slope(const Conditions& c) const;
+  /// Temperature-scaled saturation current [A].
+  [[nodiscard]] double saturation_current(const Conditions& c) const;
+
+  /// Solve the implicit series-resistance equation I = f(V + I*Rs).
+  [[nodiscard]] double solve_terminal_current(double v, const Conditions& c) const;
+
+  Params params_;
+};
+
+/// Amorphous-silicon model with recombination and photo-shunt losses.
+class MertenAsiModel : public SingleDiodeModel {
+ public:
+  struct AsiParams {
+    Params base;
+    double builtin_voltage = 6.3;     ///< module built-in potential Vbi [V]
+    double recombination_chi = 0.0;   ///< d^2/(mu*tau_eff) [V]
+    double photo_shunt_per_volt = 0.0;///< c in Ish = Iph*c*Vj [1/V]
+  };
+
+  explicit MertenAsiModel(AsiParams params);
+
+  [[nodiscard]] const AsiParams& asi_params() const { return asi_; }
+
+ protected:
+  [[nodiscard]] double junction_current(double vj, const Conditions& c) const override;
+  [[nodiscard]] double junction_derivative(double vj, const Conditions& c) const override;
+
+ private:
+  AsiParams asi_;
+};
+
+}  // namespace focv::pv

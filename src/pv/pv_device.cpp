@@ -1,0 +1,35 @@
+#include "pv/pv_device.hpp"
+
+#include <algorithm>
+
+namespace focv::pv {
+
+using focv::circuit::StampContext;
+
+PvCellDevice::PvCellDevice(std::string name, focv::circuit::NodeId positive,
+                           focv::circuit::NodeId negative, const CellModel& model,
+                           Conditions conditions)
+    : Device(std::move(name)), positive_(positive), negative_(negative), model_(model),
+      conditions_(conditions) {}
+
+void PvCellDevice::stamp(StampContext& ctx) {
+  // The solver can wander outside the physical range early in the Newton
+  // iteration; clamp the evaluation point and keep the local slope.
+  const double v_raw = ctx.v(positive_) - ctx.v(negative_);
+  const double v_hi = model_.voltage_bound(conditions_) - 1e-6;
+  const double vk = std::clamp(v_raw, -1.0, v_hi);
+  const double i = model_.current(vk, conditions_) * ctx.source_scale;
+  const double g = model_.current_derivative(vk, conditions_) * ctx.source_scale;
+
+  // Same stamp as NonlinearCurrentSource: current I(v) driven out of the
+  // positive terminal, Newton-linearised around vk.
+  ctx.add_matrix_nodes(positive_, positive_, -g);
+  ctx.add_matrix_nodes(positive_, negative_, g);
+  ctx.add_matrix_nodes(negative_, positive_, g);
+  ctx.add_matrix_nodes(negative_, negative_, -g);
+  const double i0 = i - g * vk;
+  ctx.add_current_into(positive_, i0);
+  ctx.add_current_into(negative_, -i0);
+}
+
+}  // namespace focv::pv

@@ -1,0 +1,33 @@
+// Adapter placing a PV cell model into a circuit netlist.
+#pragma once
+
+#include "circuit/circuit.hpp"
+#include "circuit/devices_sources.hpp"
+#include "pv/cell_model.hpp"
+
+namespace focv::pv {
+
+/// Two-terminal circuit element driven by a CellModel.
+///
+/// The element injects the cell's terminal current out of its positive
+/// node. Operating conditions (illuminance, spectrum, temperature) can be
+/// changed between or during transient runs, modelling changing light.
+class PvCellDevice : public focv::circuit::Device {
+ public:
+  PvCellDevice(std::string name, focv::circuit::NodeId positive, focv::circuit::NodeId negative,
+               const CellModel& model, Conditions conditions);
+
+  void stamp(focv::circuit::StampContext& ctx) override;
+
+  /// Update the light/temperature conditions (takes effect immediately).
+  void set_conditions(const Conditions& conditions) { conditions_ = conditions; }
+  [[nodiscard]] const Conditions& conditions() const { return conditions_; }
+  [[nodiscard]] const CellModel& model() const { return model_; }
+
+ private:
+  focv::circuit::NodeId positive_, negative_;
+  const CellModel& model_;
+  Conditions conditions_;
+};
+
+}  // namespace focv::pv

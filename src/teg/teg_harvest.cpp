@@ -1,0 +1,103 @@
+#include "teg/teg_harvest.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <cmath>
+
+#include "common/require.hpp"
+#include "common/rng.hpp"
+
+namespace focv::teg {
+
+mppt::FocvSampleHoldController make_teg_controller(core::SystemSpec spec) {
+  // Trim the divider for k = 0.5: ratio = k * alpha = 0.25.
+  spec.divider_ratio = TegModel::k_factor() * spec.alpha;
+  // TEG voltages are lower than the PV module's; drop the ACTIVE sanity
+  // threshold so a valid low-dT sample still enables the converter.
+  spec.active_threshold = 0.15;
+  return core::make_paper_controller(spec);
+}
+
+namespace {
+
+ThermalTrace make_trace(double duration, double sample_period,
+                        const std::function<double(double, Rng&)>& level, std::uint64_t seed) {
+  require(sample_period > 0.0, "ThermalTrace: sample_period must be > 0");
+  Rng rng(seed);
+  ThermalTrace trace;
+  const std::size_t n = static_cast<std::size_t>(duration / sample_period) + 1;
+  trace.time.reserve(n);
+  trace.delta_t.reserve(n);
+  double smoothed = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) * sample_period;
+    const double target = level(t, rng);
+    // First-order thermal lag (mass of the harvester assembly).
+    const double tau = 120.0;
+    smoothed += (target - smoothed) * std::min(1.0, sample_period / tau);
+    trace.time.push_back(t);
+    trace.delta_t.push_back(std::max(0.0, smoothed));
+  }
+  return trace;
+}
+
+}  // namespace
+
+ThermalTrace body_worn_thermal_day(std::uint64_t seed, double sample_period) {
+  return make_trace(86400.0, sample_period,
+                    [](double t, Rng& rng) {
+                      const double hour = t / 3600.0;
+                      double base = 0.5;  // asleep under covers
+                      if (hour > 7.0 && hour < 8.5) base = 4.5;    // commute outdoors
+                      else if (hour >= 8.5 && hour < 12.0) base = 2.0;  // office
+                      else if (hour >= 12.0 && hour < 13.0) base = 5.5; // lunchtime walk
+                      else if (hour >= 13.0 && hour < 17.5) base = 2.0;
+                      else if (hour >= 17.5 && hour < 19.0) base = 4.0; // commute home
+                      else if (hour >= 19.0 && hour < 23.0) base = 1.5; // evening indoors
+                      return base * (1.0 + 0.1 * rng.gaussian());
+                    },
+                    seed);
+}
+
+ThermalTrace industrial_thermal_day(std::uint64_t seed, double sample_period) {
+  return make_trace(86400.0, sample_period,
+                    [](double t, Rng& rng) {
+                      const double hour = t / 3600.0;
+                      // Two production shifts with a maintenance gap.
+                      double base = 3.0;  // standby losses keep the pipe warm
+                      if ((hour > 6.0 && hour < 14.0) || (hour > 15.0 && hour < 22.0)) {
+                        base = 35.0;
+                      }
+                      return base * (1.0 + 0.05 * rng.gaussian());
+                    },
+                    seed);
+}
+
+TegHarvestReport harvest_teg(const TegModel& teg, const ThermalTrace& trace,
+                             mppt::FocvSampleHoldController& controller,
+                             double min_operating_voc) {
+  require(trace.time.size() == trace.delta_t.size() && trace.time.size() >= 2,
+          "harvest_teg: malformed trace");
+  controller.reset();
+  TegHarvestReport report;
+  mppt::SensedInputs sensed;
+  for (std::size_t i = 0; i + 1 < trace.time.size(); ++i) {
+    const double dt = trace.time[i + 1] - trace.time[i];
+    ThermalConditions c;
+    c.delta_t = trace.delta_t[i];
+    const double voc = teg.open_circuit_voltage(c);
+    report.ideal_energy += teg.mpp_power(c) * dt;
+    if (voc < min_operating_voc) continue;  // supply floor of the metrology
+    sensed.time = trace.time[i];
+    sensed.dt = dt;
+    sensed.voc = voc;
+    const mppt::ControlOutput out = controller.step(sensed);
+    const double p = teg.power_at(out.pv_voltage, c) *
+                     (1.0 - std::min(1.0, out.disconnect_fraction));
+    report.harvested_energy += p * dt;
+    report.overhead_energy += controller.overhead_power() * dt;
+  }
+  return report;
+}
+
+}  // namespace focv::teg

@@ -1,0 +1,31 @@
+#include "teg/teg_model.hpp"
+
+namespace focv::teg {
+
+const TegModel& body_worn_teg() {
+  static const TegModel model([] {
+    TegModel::Params p;
+    p.name = "body-worn TEG (skin-air)";
+    // Wearable harvesters see 1..5 K across the module; many series
+    // couples raise the voltage into the volts range the S&H can use.
+    p.seebeck_v_per_k = 0.5;        // high-couple-count thin-film stack
+    p.internal_resistance = 250.0;
+    p.max_delta_t = 15.0;
+    return p;
+  }());
+  return model;
+}
+
+const TegModel& industrial_teg() {
+  static const TegModel model([] {
+    TegModel::Params p;
+    p.name = "industrial TEG (pipe-mounted)";
+    p.seebeck_v_per_k = 0.11;       // Bi2Te3 module, ~200 couples
+    p.internal_resistance = 4.0;
+    p.max_delta_t = 120.0;
+    return p;
+  }());
+  return model;
+}
+
+}  // namespace focv::teg

@@ -1,0 +1,99 @@
+// Thermoelectric generator (TEG) models.
+//
+// Section I of the paper: "While the proposed technique has been
+// prototyped and tested with PV modules, it is also applicable to other
+// forms of energy harvesting (such as thermoelectric generators) which
+// feature a similar relationship between the open-circuit and MPP
+// voltage [9]". A TEG is a Thevenin source (V = S*dT with internal
+// resistance R_int), so its MPP sits at exactly half the open-circuit
+// voltage: FOCV with k = 0.5 is *optimal*, not an approximation. This
+// module provides the generator model and the adapter that lets the
+// paper's controller harvest from it.
+#pragma once
+
+#include <string>
+
+#include "common/require.hpp"
+
+namespace focv::teg {
+
+/// Operating conditions of a TEG.
+struct ThermalConditions {
+  double delta_t = 5.0;             ///< hot-cold temperature difference [K]
+  double cold_side_k = 300.15;      ///< cold-side absolute temperature [K]
+};
+
+/// Thevenin model of a thermoelectric module.
+class TegModel {
+ public:
+  struct Params {
+    std::string name = "generic TEG";
+    double seebeck_v_per_k = 25e-3;      ///< module Seebeck coefficient [V/K]
+    double internal_resistance = 10.0;   ///< R_int at reference temperature [Ohm]
+    double resistance_tempco = 0.004;    ///< R_int fractional change per K [1/K]
+    double max_delta_t = 80.0;           ///< rating [K]
+  };
+
+  explicit TegModel(Params params) : params_(params) {
+    require(params_.seebeck_v_per_k > 0.0, "TegModel: seebeck must be > 0");
+    require(params_.internal_resistance > 0.0, "TegModel: internal_resistance must be > 0");
+  }
+  TegModel() : TegModel(Params{}) {}
+
+  /// Open-circuit voltage at the given conditions [V].
+  [[nodiscard]] double open_circuit_voltage(const ThermalConditions& c) const {
+    require(c.delta_t >= 0.0, "TegModel: delta_t must be >= 0");
+    return params_.seebeck_v_per_k * c.delta_t;
+  }
+
+  /// Internal resistance at the given conditions [Ohm].
+  [[nodiscard]] double internal_resistance(const ThermalConditions& c) const {
+    const double mean_t = c.cold_side_k + 0.5 * c.delta_t;
+    return params_.internal_resistance *
+           (1.0 + params_.resistance_tempco * (mean_t - 300.15));
+  }
+
+  /// Terminal current when held at voltage v [A] (Thevenin law).
+  [[nodiscard]] double current(double v, const ThermalConditions& c) const {
+    return (open_circuit_voltage(c) - v) / internal_resistance(c);
+  }
+
+  /// Power delivered when held at voltage v (0 outside the generating
+  /// quadrant) [W].
+  [[nodiscard]] double power_at(double v, const ThermalConditions& c) const {
+    if (v <= 0.0) return 0.0;
+    const double i = current(v, c);
+    return (i > 0.0) ? v * i : 0.0;
+  }
+
+  /// Maximum power point: exactly Voc/2 into a matched load.
+  [[nodiscard]] double mpp_voltage(const ThermalConditions& c) const {
+    return 0.5 * open_circuit_voltage(c);
+  }
+  [[nodiscard]] double mpp_power(const ThermalConditions& c) const {
+    const double voc = open_circuit_voltage(c);
+    return voc * voc / (4.0 * internal_resistance(c));
+  }
+
+  /// The FOCV factor of a Thevenin source is exactly 1/2.
+  [[nodiscard]] static constexpr double k_factor() { return 0.5; }
+
+  /// Tracking efficiency of operating at voltage v.
+  [[nodiscard]] double tracking_efficiency(double v, const ThermalConditions& c) const {
+    const double pm = mpp_power(c);
+    return (pm > 0.0) ? power_at(v, c) / pm : 0.0;
+  }
+
+  [[nodiscard]] const Params& params() const { return params_; }
+
+ private:
+  Params params_;
+};
+
+/// A body-worn TEG (skin-to-air): small dT, low voltage.
+[[nodiscard]] const TegModel& body_worn_teg();
+
+/// An industrial TEG on a warm pipe: tens of K across the module.
+[[nodiscard]] const TegModel& industrial_teg();
+
+}  // namespace focv::teg

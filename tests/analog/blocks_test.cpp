@@ -1,0 +1,87 @@
+// Divider, comparator block and power budget.
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "analog/comparator_block.hpp"
+#include "analog/divider.hpp"
+#include "analog/power_budget.hpp"
+#include "common/require.hpp"
+
+namespace focv::analog {
+namespace {
+
+TEST(ResistiveDivider, RatioOutputAndCurrent) {
+  ResistiveDivider div(6.8e6, 2.887e6);
+  EXPECT_NEAR(div.ratio(), 0.298, 1e-3);
+  EXPECT_NEAR(div.output(5.44), 5.44 * div.ratio(), 1e-12);
+  EXPECT_NEAR(div.current(5.44), 5.44 / (6.8e6 + 2.887e6), 1e-15);
+}
+
+TEST(ResistiveDivider, TrimHitsExactRatio) {
+  ResistiveDivider div(6.8e6, 1e6);
+  div.trim_to_ratio(0.300);
+  EXPECT_NEAR(div.ratio(), 0.300, 1e-12);
+  // Trimming across the paper's k range (0.6..0.8 with alpha 0.5).
+  div.trim_to_ratio(0.40);
+  EXPECT_NEAR(div.ratio(), 0.40, 1e-12);
+}
+
+TEST(ResistiveDivider, OutputImpedanceIsParallel) {
+  ResistiveDivider div(10e3, 10e3);
+  EXPECT_NEAR(div.output_impedance(), 5e3, 1e-9);
+}
+
+TEST(ResistiveDivider, RejectsBadValues) {
+  EXPECT_THROW(ResistiveDivider(0.0, 1.0), PreconditionError);
+  ResistiveDivider div(1e3, 1e3);
+  EXPECT_THROW(div.trim_to_ratio(1.0), PreconditionError);
+}
+
+TEST(ComparatorBlock, HysteresisWindow) {
+  ComparatorBlock::Params p;
+  p.threshold = 2.0;
+  p.hysteresis = 0.5;
+  ComparatorBlock comp(p);
+  EXPECT_FALSE(comp.update(1.9));
+  EXPECT_TRUE(comp.update(2.1));   // rises above threshold
+  EXPECT_TRUE(comp.update(1.8));   // stays set within hysteresis
+  EXPECT_FALSE(comp.update(1.4));  // falls below threshold - hysteresis
+  EXPECT_FALSE(comp.update(1.9));  // must cross full threshold again
+  EXPECT_TRUE(comp.update(2.0));
+}
+
+TEST(ComparatorBlock, ResetRestoresInitialState) {
+  ComparatorBlock comp;
+  comp.update(10.0);
+  EXPECT_TRUE(comp.state());
+  comp.reset();
+  EXPECT_FALSE(comp.state());
+}
+
+TEST(PowerBudget, TotalsAndPower) {
+  PowerBudget budget;
+  budget.add("a", 1e-6);
+  budget.add("b", 2.5e-6, "note");
+  EXPECT_NEAR(budget.total_current(), 3.5e-6, 1e-15);
+  EXPECT_NEAR(budget.total_power(3.3), 11.55e-6, 1e-12);
+  EXPECT_EQ(budget.items().size(), 2u);
+}
+
+TEST(PowerBudget, PrintsItemisedTable) {
+  PowerBudget budget;
+  budget.add("U1 comparator", 0.7e-6, "datasheet");
+  std::ostringstream os;
+  budget.print(os, 3.3);
+  EXPECT_NE(os.str().find("U1 comparator"), std::string::npos);
+  EXPECT_NE(os.str().find("TOTAL"), std::string::npos);
+  EXPECT_NE(os.str().find("0.700"), std::string::npos);
+}
+
+TEST(PowerBudget, RejectsNegativeCurrent) {
+  PowerBudget budget;
+  EXPECT_THROW(budget.add("x", -1e-6), PreconditionError);
+}
+
+}  // namespace
+}  // namespace focv::analog

@@ -1,0 +1,269 @@
+// Device-level checks through minimal DC circuits plus direct model maths.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "circuit/dc_analysis.hpp"
+#include "circuit/devices_active.hpp"
+#include "circuit/devices_passive.hpp"
+#include "circuit/devices_sources.hpp"
+#include "common/require.hpp"
+
+namespace focv::circuit {
+namespace {
+
+double node_v(const Circuit& ckt, const Vector& x, const std::string& name) {
+  const NodeId n = ckt.find_node(name);
+  return x[static_cast<std::size_t>(n - 1)];
+}
+
+TEST(ResistorDevice, VoltageDividerDc) {
+  Circuit ckt;
+  const NodeId in = ckt.node("in");
+  const NodeId mid = ckt.node("mid");
+  ckt.add<VoltageSource>("V1", in, kGround, Waveform::dc(10.0));
+  ckt.add<Resistor>("R1", in, mid, 3e3);
+  ckt.add<Resistor>("R2", mid, kGround, 7e3);
+  const Vector x = dc_operating_point(ckt);
+  EXPECT_NEAR(node_v(ckt, x, "mid"), 7.0, 1e-6);
+}
+
+TEST(ResistorDevice, RejectsNonPositive) {
+  Circuit ckt;
+  EXPECT_THROW(ckt.add<Resistor>("R", ckt.node("a"), kGround, 0.0), PreconditionError);
+  EXPECT_THROW(ckt.add<Resistor>("R", ckt.node("a"), kGround, -5.0), PreconditionError);
+}
+
+TEST(VoltageSourceDevice, BranchCurrentConvention) {
+  // 5 V across 5 Ohm: 1 A delivered; branch current (into + terminal)
+  // must be -1 A (SPICE convention).
+  Circuit ckt;
+  const NodeId a = ckt.node("a");
+  auto& vs = ckt.add<VoltageSource>("V1", a, kGround, Waveform::dc(5.0));
+  ckt.add<Resistor>("R1", a, kGround, 5.0);
+  const Vector x = dc_operating_point(ckt);
+  const Solution s(x, ckt.node_count(), 0.0);
+  EXPECT_NEAR(vs.current(s), -1.0, 1e-9);
+}
+
+TEST(CurrentSourceDevice, DrivesExpectedNodeVoltage) {
+  // 1 mA from ground into node through the source (a=gnd, b=node),
+  // node loaded with 1 kOhm: +1 V.
+  Circuit ckt;
+  const NodeId n = ckt.node("n");
+  ckt.add<CurrentSource>("I1", kGround, n, Waveform::dc(1e-3));
+  ckt.add<Resistor>("R1", n, kGround, 1e3);
+  const Vector x = dc_operating_point(ckt);
+  EXPECT_NEAR(node_v(ckt, x, "n"), 1.0, 1e-9);
+}
+
+TEST(DiodeDevice, ForwardDropAtKnownCurrent) {
+  // 1 mA through a diode with Is = 1e-14, n = 1: V = n*Vt*ln(I/Is).
+  Circuit ckt;
+  const NodeId a = ckt.node("a");
+  ckt.add<CurrentSource>("I1", kGround, a, Waveform::dc(1e-3));
+  Diode::Params dp;
+  dp.saturation_current = 1e-14;
+  ckt.add<Diode>("D1", a, kGround, dp);
+  const Vector x = dc_operating_point(ckt);
+  const double expected = dp.thermal_voltage * std::log(1e-3 / 1e-14);
+  EXPECT_NEAR(node_v(ckt, x, "a"), expected, 1e-3);
+}
+
+TEST(DiodeDevice, BlocksReverse) {
+  Circuit ckt;
+  const NodeId a = ckt.node("a");
+  const NodeId b = ckt.node("b");
+  ckt.add<VoltageSource>("V1", a, kGround, Waveform::dc(-5.0));
+  ckt.add<Resistor>("R1", a, b, 1e3);
+  ckt.add<Diode>("D1", b, kGround);
+  const Vector x = dc_operating_point(ckt);
+  // Reverse leakage only: node b sits essentially at the source voltage.
+  EXPECT_NEAR(node_v(ckt, x, "b"), -5.0, 0.01);
+}
+
+TEST(DiodeDevice, CurrentAtMatchesShockley) {
+  Diode::Params dp;
+  dp.saturation_current = 1e-12;
+  dp.emission_coefficient = 2.0;
+  Circuit ckt;
+  auto& d = ckt.add<Diode>("D", ckt.node("a"), kGround, dp);
+  const double v = 0.5;
+  const double expected = 1e-12 * (std::exp(v / (2.0 * dp.thermal_voltage)) - 1.0) +
+                          dp.parallel_gmin * v;
+  EXPECT_NEAR(d.current_at(v), expected, expected * 1e-12);
+}
+
+TEST(VSwitchDevice, ConductanceEndsAndMidpoint) {
+  Circuit ckt;
+  VSwitch::Params p;
+  p.on_resistance = 100.0;
+  p.off_resistance = 1e9;
+  p.threshold = 1.0;
+  p.transition_width = 0.2;
+  auto& sw = ckt.add<VSwitch>("S", ckt.node("a"), ckt.node("b"), ckt.node("c"), kGround, p);
+  EXPECT_NEAR(sw.conductance_at(0.0), 1e-9, 1e-12);
+  EXPECT_NEAR(sw.conductance_at(2.0), 1e-2, 1e-9);
+  // Midpoint: geometric mean in the log-interpolated model.
+  EXPECT_NEAR(sw.conductance_at(1.0), std::sqrt(1e-9 * 1e-2), 1e-8);
+}
+
+TEST(VSwitchDevice, ActiveLowInverts) {
+  Circuit ckt;
+  VSwitch::Params p;
+  p.active_high = false;
+  p.threshold = 1.0;
+  p.transition_width = 0.2;
+  auto& sw = ckt.add<VSwitch>("S", ckt.node("a"), ckt.node("b"), ckt.node("c"), kGround, p);
+  EXPECT_GT(sw.conductance_at(0.0), sw.conductance_at(2.0));
+}
+
+TEST(VSwitchDevice, DcSeriesDrop) {
+  Circuit ckt;
+  const NodeId in = ckt.node("in");
+  const NodeId out = ckt.node("out");
+  const NodeId ctl = ckt.node("ctl");
+  ckt.add<VoltageSource>("V1", in, kGround, Waveform::dc(5.0));
+  ckt.add<VoltageSource>("Vc", ctl, kGround, Waveform::dc(3.3));
+  VSwitch::Params p;
+  p.on_resistance = 100.0;
+  p.threshold = 1.65;
+  ckt.add<VSwitch>("S", in, out, ctl, kGround, p);
+  ckt.add<Resistor>("RL", out, kGround, 900.0);
+  const Vector x = dc_operating_point(ckt);
+  EXPECT_NEAR(node_v(ckt, x, "out"), 4.5, 1e-6);
+}
+
+TEST(MosfetDevice, RegionsOfOperation) {
+  Circuit ckt;
+  Mosfet::Params p;
+  p.threshold_voltage = 1.0;
+  p.transconductance = 2e-3;
+  auto& m = ckt.add<Mosfet>("M", ckt.node("d"), ckt.node("g"), ckt.node("s"), p);
+  EXPECT_DOUBLE_EQ(m.drain_current(0.5, 5.0), 0.0);                 // cutoff
+  EXPECT_NEAR(m.drain_current(2.0, 0.5), 2e-3 * (1.0 - 0.25) * 0.5, 1e-12);  // triode
+  EXPECT_NEAR(m.drain_current(2.0, 5.0), 0.5 * 2e-3 * 1.0, 1e-12);  // saturation
+}
+
+TEST(MosfetDevice, SymmetricInDrainSource) {
+  Circuit ckt;
+  auto& m = ckt.add<Mosfet>("M", ckt.node("d"), ckt.node("g"), ckt.node("s"));
+  // Swapping drain/source negates the current. With terminals exchanged
+  // the gate-source voltage becomes gate-drain: vgs' = vgs - vds.
+  const double forward = m.drain_current(2.0, 1.5);
+  const double reverse = m.drain_current(2.0 - 1.5, -1.5);
+  EXPECT_NEAR(forward, -reverse, 1e-15);
+}
+
+TEST(MosfetDevice, PmosMirrorsNmos) {
+  Circuit ckt;
+  Mosfet::Params np;
+  np.is_nmos = true;
+  Mosfet::Params pp = np;
+  pp.is_nmos = false;
+  auto& mn = ckt.add<Mosfet>("Mn", ckt.node("d1"), ckt.node("g1"), ckt.node("s1"), np);
+  auto& mp = ckt.add<Mosfet>("Mp", ckt.node("d2"), ckt.node("g2"), ckt.node("s2"), pp);
+  EXPECT_NEAR(mn.drain_current(2.0, 3.0), -mp.drain_current(-2.0, -3.0), 1e-15);
+}
+
+TEST(MosfetDevice, DcCommonSourceAmp) {
+  // NMOS with gate at 2 V, Vth 1 V, K 2e-3 -> Id = 1 mA in saturation.
+  Circuit ckt;
+  const NodeId vdd = ckt.node("vdd");
+  const NodeId d = ckt.node("d");
+  const NodeId g = ckt.node("g");
+  ckt.add<VoltageSource>("Vdd", vdd, kGround, Waveform::dc(10.0));
+  ckt.add<VoltageSource>("Vg", g, kGround, Waveform::dc(2.0));
+  ckt.add<Resistor>("RD", vdd, d, 4e3);
+  ckt.add<Mosfet>("M", d, g, kGround, Mosfet::Params{.threshold_voltage = 1.0,
+                                                     .transconductance = 2e-3});
+  const Vector x = dc_operating_point(ckt);
+  EXPECT_NEAR(node_v(ckt, x, "d"), 10.0 - 4e3 * 1e-3, 1e-5);
+}
+
+TEST(VccsDevice, TransconductanceDc) {
+  Circuit ckt;
+  const NodeId c = ckt.node("c");
+  const NodeId o = ckt.node("o");
+  ckt.add<VoltageSource>("Vc", c, kGround, Waveform::dc(2.0));
+  // i(gnd->o) = gm * v(c): with gm 1e-3 and RL 1k, out = -? current a->b.
+  ckt.add<Vccs>("G1", o, kGround, c, kGround, 1e-3);
+  ckt.add<Resistor>("RL", o, kGround, 1e3);
+  const Vector x = dc_operating_point(ckt);
+  // Current 2 mA flows o -> gnd through the source, pulling o negative.
+  EXPECT_NEAR(node_v(ckt, x, "o"), -2.0, 1e-6);
+}
+
+TEST(VcvsDevice, GainDc) {
+  Circuit ckt;
+  const NodeId c = ckt.node("c");
+  const NodeId o = ckt.node("o");
+  ckt.add<VoltageSource>("Vc", c, kGround, Waveform::dc(0.25));
+  ckt.add<Vcvs>("E1", o, kGround, c, kGround, 8.0);
+  ckt.add<Resistor>("RL", o, kGround, 1e3);
+  const Vector x = dc_operating_point(ckt);
+  EXPECT_NEAR(node_v(ckt, x, "o"), 2.0, 1e-9);
+}
+
+TEST(AmpDevice, ComparatorSaturatesBothWays) {
+  Circuit ckt;
+  auto& amp = ckt.add<Amp>("U", ckt.node("p"), ckt.node("n"), ckt.node("o"),
+                           Amp::Params{.mode = Amp::Mode::kComparator,
+                                       .gain = 1e4,
+                                       .rail_low = 0.0,
+                                       .rail_high = 3.3});
+  EXPECT_NEAR(amp.transfer(0.1, 0.0, 3.3), 3.3, 1e-6);
+  EXPECT_NEAR(amp.transfer(-0.1, 0.0, 3.3), 0.0, 1e-6);
+  EXPECT_NEAR(amp.transfer(0.0, 0.0, 3.3), 1.65, 1e-9);
+}
+
+TEST(AmpDevice, ComparatorGainAtThreshold) {
+  Circuit ckt;
+  auto& amp = ckt.add<Amp>("U", ckt.node("p"), ckt.node("n"), ckt.node("o"),
+                           Amp::Params{.mode = Amp::Mode::kComparator, .gain = 1e4});
+  const double dv = 1e-8;
+  const double slope = (amp.transfer(dv, 0.0, 3.3) - amp.transfer(-dv, 0.0, 3.3)) / (2.0 * dv);
+  EXPECT_NEAR(slope, 1e4, 20.0);
+}
+
+TEST(AmpDevice, BufferFollowsInputWithinRails) {
+  Circuit ckt;
+  const NodeId in = ckt.node("in");
+  const NodeId out = ckt.node("out");
+  const NodeId vdd = ckt.node("vdd");
+  ckt.add<VoltageSource>("Vdd", vdd, kGround, Waveform::dc(3.3));
+  ckt.add<VoltageSource>("Vin", in, kGround, Waveform::dc(1.234));
+  ckt.add<Amp>("U", in, kGround, out, vdd, kGround,
+               Amp::Params{.mode = Amp::Mode::kBuffer, .output_resistance = 100.0});
+  ckt.add<Resistor>("RL", out, kGround, 1e6);
+  const Vector x = dc_operating_point(ckt);
+  EXPECT_NEAR(node_v(ckt, x, "out"), 1.234, 1e-3);
+}
+
+TEST(AmpDevice, BufferClampsAtRails) {
+  Circuit ckt;
+  const NodeId in = ckt.node("in");
+  const NodeId out = ckt.node("out");
+  ckt.add<VoltageSource>("Vin", in, kGround, Waveform::dc(9.0));
+  ckt.add<Amp>("U", in, kGround, out,
+               Amp::Params{.mode = Amp::Mode::kBuffer, .rail_high = 3.3});
+  ckt.add<Resistor>("RL", out, kGround, 1e6);
+  const Vector x = dc_operating_point(ckt);
+  EXPECT_NEAR(node_v(ckt, x, "out"), 3.3, 0.05);
+}
+
+TEST(AmpDevice, QuiescentCurrentFlowsVddToVss) {
+  Circuit ckt;
+  const NodeId vdd = ckt.node("vdd");
+  auto& vs = ckt.add<VoltageSource>("Vdd", vdd, kGround, Waveform::dc(3.3));
+  ckt.add<Amp>("U", ckt.node("p"), ckt.node("n"), ckt.node("o"), vdd, kGround,
+               Amp::Params{.mode = Amp::Mode::kComparator, .quiescent_current = 0.7e-6});
+  ckt.add<Resistor>("Rl", ckt.node("o"), kGround, 1e9);
+  const Vector x = dc_operating_point(ckt);
+  const Solution s(x, ckt.node_count(), 0.0);
+  // Supply delivers at least the quiescent current.
+  EXPECT_LT(vs.current(s), -0.6e-6);
+}
+
+}  // namespace
+}  // namespace focv::circuit

@@ -1,0 +1,101 @@
+#include "circuit/matrix.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/require.hpp"
+#include "common/rng.hpp"
+
+namespace focv::circuit {
+namespace {
+
+TEST(Matrix, MultiplyIdentityLike) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 1.0;
+  a.at(1, 1) = 2.0;
+  const Vector y = a.multiply({3.0, 4.0});
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 8.0);
+}
+
+TEST(Matrix, ClearZeroes) {
+  Matrix a(2, 2);
+  a.at(0, 1) = 5.0;
+  a.clear();
+  EXPECT_DOUBLE_EQ(a.at(0, 1), 0.0);
+  EXPECT_EQ(a.rows(), 2u);
+}
+
+TEST(LuSolve, Solves2x2) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 2.0;
+  a.at(0, 1) = 1.0;
+  a.at(1, 0) = 1.0;
+  a.at(1, 1) = 3.0;
+  const Vector x = lu_solve(a, {5.0, 10.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(LuSolve, RequiresPivoting) {
+  // Zero on the diagonal: fails without partial pivoting.
+  Matrix a(2, 2);
+  a.at(0, 0) = 0.0;
+  a.at(0, 1) = 1.0;
+  a.at(1, 0) = 1.0;
+  a.at(1, 1) = 0.0;
+  const Vector x = lu_solve(a, {2.0, 3.0});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(LuSolve, SingularThrows) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 1.0;
+  a.at(0, 1) = 2.0;
+  a.at(1, 0) = 2.0;
+  a.at(1, 1) = 4.0;
+  EXPECT_THROW(lu_solve(a, {1.0, 2.0}), ConvergenceError);
+}
+
+TEST(LuSolve, DimensionMismatchThrows) {
+  Matrix a(2, 3);
+  EXPECT_THROW(lu_solve(a, {1.0, 2.0}), PreconditionError);
+  Matrix b(2, 2);
+  EXPECT_THROW(lu_solve(b, {1.0}), PreconditionError);
+}
+
+// Property: random diagonally-dominant systems solve to small residual.
+class LuPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LuPropertyTest, RandomDiagonallyDominantResidual) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 7);
+  const std::size_t n = 3 + GetParam() % 12;
+  Matrix a(n, n);
+  Vector b(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    double off_sum = 0.0;
+    for (std::size_t c = 0; c < n; ++c) {
+      if (r == c) continue;
+      a.at(r, c) = rng.uniform(-1.0, 1.0);
+      off_sum += std::abs(a.at(r, c));
+    }
+    a.at(r, r) = off_sum + rng.uniform(0.5, 2.0);
+    b[r] = rng.uniform(-10.0, 10.0);
+  }
+  Matrix a_copy = a;
+  const Vector x = lu_solve(a, b);
+  const Vector res = a_copy.multiply(x);
+  for (std::size_t r = 0; r < n; ++r) EXPECT_NEAR(res[r], b[r], 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LuPropertyTest, ::testing::Range(0, 25));
+
+TEST(InfNorm, PicksLargestMagnitude) {
+  EXPECT_DOUBLE_EQ(inf_norm({1.0, -7.5, 3.0}), 7.5);
+  EXPECT_DOUBLE_EQ(inf_norm({}), 0.0);
+}
+
+}  // namespace
+}  // namespace focv::circuit

@@ -1,0 +1,108 @@
+// Netlist writer and parse/write round trips.
+#include <cmath>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "circuit/dc_analysis.hpp"
+#include "circuit/devices_active.hpp"
+#include "circuit/devices_sources.hpp"
+#include "circuit/netlist_parser.hpp"
+#include "circuit/netlist_writer.hpp"
+#include "circuit/transient.hpp"
+
+namespace focv::circuit {
+namespace {
+
+double solve_node(Circuit& ckt, const std::string& node) {
+  const Vector x = dc_operating_point(ckt);
+  return x[static_cast<std::size_t>(ckt.find_node(node) - 1)];
+}
+
+TEST(NetlistWriter, EmitsAllSupportedCards) {
+  Circuit ckt;
+  parse_netlist_string(R"(
+V1 in 0 DC 5
+I1 0 n DC 1m
+R1 in mid 3k
+C1 mid 0 1u IC=2
+L1 mid x 1m
+D1 x 0 IS=1e-12 N=1.7
+S1 in y ctl 0 RON=10 ROFF=1e9 VT=1 VW=0.2
+M1 y g 0 NMOS VTO=1 KP=2m
+E1 e 0 mid 0 4
+G1 0 go mid 0 1m
+U1 in 0 b vdd 0 BUF
+)", ckt);
+  const std::string out = write_netlist_string(ckt);
+  for (const char* token :
+       {"V1 in 0 DC 5", "R1 in mid 3000", "IC=2", "IS=", "RON=", "NMOS", "E1 ", "G1 ",
+        "BUF", ".end"}) {
+    EXPECT_NE(out.find(token), std::string::npos) << "missing: " << token << "\n" << out;
+  }
+  EXPECT_EQ(write_netlist_string(ckt).find("no card form"), std::string::npos);
+}
+
+TEST(NetlistWriter, RoundTripPreservesDcSolution) {
+  Circuit original;
+  parse_netlist_string(R"(
+V1 in 0 DC 5
+R1 in mid 3k
+R2 mid 0 7k
+D1 mid d IS=1e-13 N=1
+Rd d 0 10k
+)", original);
+  const double v_mid = solve_node(original, "mid");
+  const double v_d = solve_node(original, "d");
+
+  Circuit round_trip;
+  parse_netlist_string(write_netlist_string(original), round_trip);
+  EXPECT_NEAR(solve_node(round_trip, "mid"), v_mid, 1e-9);
+  EXPECT_NEAR(solve_node(round_trip, "d"), v_d, 1e-9);
+}
+
+TEST(NetlistWriter, RoundTripPreservesTransient) {
+  Circuit original;
+  parse_netlist_string(R"(
+V1 in 0 PULSE(0 2 1m 1u 1u 2m 0)
+R1 in out 1k
+C1 out 0 100n
+)", original);
+  Circuit round_trip;
+  parse_netlist_string(write_netlist_string(original), round_trip);
+  TransientOptions opt;
+  opt.t_stop = 4e-3;
+  const Trace a = transient_analyze(original, opt);
+  const Trace b = transient_analyze(round_trip, opt);
+  for (const double t : {0.5e-3, 1.5e-3, 2.5e-3, 3.5e-3}) {
+    EXPECT_NEAR(a.at("out", t), b.at("out", t), 1e-3) << "t=" << t;
+  }
+}
+
+TEST(NetlistWriter, FlagsDevicesWithoutCardForm) {
+  Circuit ckt;
+  ckt.add<NonlinearCurrentSource>(
+      "NL1", ckt.node("a"), kGround,
+      [](double v) { return NonlinearCurrentSource::Eval{1e-3 - 1e-4 * v, -1e-4}; });
+  std::ostringstream os;
+  const int omitted = write_netlist(os, ckt);
+  EXPECT_EQ(omitted, 1);
+  EXPECT_NE(os.str().find("no card form"), std::string::npos);
+}
+
+TEST(NetlistWriter, DiodeCardPreservesParameters) {
+  Circuit a;
+  Diode::Params dp;
+  dp.saturation_current = 3.7e-13;
+  dp.emission_coefficient = 1.83;
+  a.add<Diode>("D1", a.node("x"), kGround, dp);
+  Circuit b;
+  parse_netlist_string(write_netlist_string(a), b);
+  // Same forward drop at 1 mA.
+  auto& da = *dynamic_cast<Diode*>(a.devices()[0].get());
+  auto& db = *dynamic_cast<Diode*>(b.devices()[0].get());
+  EXPECT_NEAR(da.current_at(0.55), db.current_at(0.55), da.current_at(0.55) * 1e-9);
+}
+
+}  // namespace
+}  // namespace focv::circuit

@@ -1,0 +1,135 @@
+// Parameterized accuracy sweeps of the transient integrator.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "circuit/devices_active.hpp"
+#include "circuit/devices_passive.hpp"
+#include "circuit/devices_sources.hpp"
+#include "circuit/transient.hpp"
+
+namespace focv::circuit {
+namespace {
+
+struct RcCase {
+  double r;
+  double c;
+};
+
+class RcAccuracyTest : public ::testing::TestWithParam<RcCase> {};
+
+TEST_P(RcAccuracyTest, StepResponseWithinOnePercent) {
+  const auto [r, cap] = GetParam();
+  const double tau = r * cap;
+  Circuit ckt;
+  const NodeId in = ckt.node("in");
+  const NodeId out = ckt.node("out");
+  ckt.add<VoltageSource>("V", in, kGround, Waveform::dc(1.0));
+  ckt.add<Resistor>("R", in, out, r);
+  ckt.add<Capacitor>("C", out, kGround, cap);
+  TransientOptions opt;
+  opt.t_stop = 5.0 * tau;
+  opt.start_from_dc = false;
+  opt.dt_initial = tau * 1e-4;
+  opt.dv_step_max = 0.02;
+  const Trace tr = transient_analyze(ckt, opt);
+  for (const double frac : {0.5, 1.0, 2.0, 4.0}) {
+    const double t = frac * tau;
+    const double expected = 1.0 - std::exp(-frac);
+    EXPECT_NEAR(tr.at("out", t), expected, 0.01) << "tau=" << tau << " frac=" << frac;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TimeConstants, RcAccuracyTest,
+    ::testing::Values(RcCase{1e2, 1e-9}, RcCase{1e3, 1e-6}, RcCase{1e6, 1e-6},
+                      RcCase{1e7, 1e-4},   // the astable's 69 s class
+                      RcCase{56.3e3, 1e-6}));
+
+TEST(IntegratorComparison, TrapezoidalPreservesLcAmplitudeBetterThanBe) {
+  auto run = [](Integrator method) {
+    Circuit ckt;
+    const NodeId a = ckt.node("a");
+    ckt.add<Capacitor>("C", a, kGround, 1e-6, 1.0);
+    ckt.add<Inductor>("L", a, kGround, 1e-3);
+    TransientOptions opt;
+    opt.t_stop = 2e-3;  // ~10 cycles
+    opt.start_from_dc = false;
+    opt.dt_initial = 1e-7;
+    opt.dt_max = 1e-6;
+    opt.dv_step_max = 0.2;
+    opt.integrator = method;
+    const Trace tr = transient_analyze(ckt, opt);
+    return tr.maximum("a", 1.8e-3, 2e-3);
+  };
+  const double amp_trap = run(Integrator::kTrapezoidal);
+  const double amp_be = run(Integrator::kBackwardEuler);
+  EXPECT_GT(amp_trap, 0.97);          // near-lossless
+  EXPECT_LT(amp_be, amp_trap - 0.02); // BE numerically damps
+}
+
+TEST(StepControl, TighterDvLimitReducesError) {
+  auto error_at_tau = [](double dv_max) {
+    Circuit ckt;
+    const NodeId in = ckt.node("in");
+    const NodeId out = ckt.node("out");
+    ckt.add<VoltageSource>("V", in, kGround, Waveform::dc(1.0));
+    ckt.add<Resistor>("R", in, out, 1e3);
+    ckt.add<Capacitor>("C", out, kGround, 1e-6);
+    TransientOptions opt;
+    opt.t_stop = 2e-3;
+    opt.start_from_dc = false;
+    opt.dt_initial = 1e-7;
+    opt.dv_step_max = dv_max;
+    const Trace tr = transient_analyze(ckt, opt);
+    return std::abs(tr.at("out", 1e-3) - (1.0 - std::exp(-1.0)));
+  };
+  EXPECT_LE(error_at_tau(0.01), error_at_tau(0.3) + 1e-12);
+}
+
+TEST(Breakpoints, NarrowPulseIsNotSteppedOver) {
+  // A 10 us pulse inside a 10 ms window: without breakpoint handling an
+  // adaptive stepper in a quiet circuit would jump straight across it.
+  Circuit ckt;
+  const NodeId in = ckt.node("in");
+  const NodeId out = ckt.node("out");
+  ckt.add<VoltageSource>("V", in, kGround,
+                         Waveform::pulse(0.0, 1.0, 5e-3, 1e-7, 1e-7, 10e-6, 0.0));
+  ckt.add<Resistor>("R", in, out, 1e3);
+  ckt.add<Capacitor>("C", out, kGround, 1e-9);  // tau = 1 us << pulse
+  TransientOptions opt;
+  opt.t_stop = 10e-3;
+  opt.dt_initial = 1e-6;
+  const Trace tr = transient_analyze(ckt, opt);
+  EXPECT_GT(tr.maximum("out", 5e-3, 5.02e-3), 0.9);
+}
+
+TEST(StepControl, EventLimitLocalisesComparatorFlip) {
+  // A slow ramp through a fixed-rail comparator threshold: the output
+  // flip must land within the configured event resolution even though
+  // the ramp itself allows huge steps.
+  Circuit ckt;
+  const NodeId in = ckt.node("in");
+  const NodeId out = ckt.node("out");
+  ckt.add<VoltageSource>("V", in, kGround,
+                         Waveform::pwl({{0.0, 0.0}, {100.0, 2.0}}));
+  Amp::Params cp;
+  cp.mode = Amp::Mode::kComparator;
+  cp.gain = 1e4;
+  cp.offset_voltage = -1.0;  // flips when the ramp passes 1 V, i.e. t = 50 s
+  auto& comp = ckt.add<Amp>("U", in, kGround, out, cp);
+  comp.set_transition_dt_limit(0.01);
+  ckt.add<Resistor>("RL", out, kGround, 1e6);
+  TransientOptions opt;
+  opt.t_stop = 100.0;
+  opt.dt_initial = 1e-3;
+  opt.dt_max = 10.0;
+  opt.dv_step_max = 0.5;
+  const Trace tr = transient_analyze(ckt, opt);
+  const auto crossings = tr.crossing_times("out", 1.65, true);
+  ASSERT_EQ(crossings.size(), 1u);
+  EXPECT_NEAR(crossings[0], 50.0, 0.2);
+}
+
+}  // namespace
+}  // namespace focv::circuit

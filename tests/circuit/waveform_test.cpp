@@ -1,0 +1,96 @@
+#include "circuit/waveform.hpp"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/require.hpp"
+
+namespace focv::circuit {
+namespace {
+
+TEST(Waveform, DcIsConstant) {
+  const Waveform w = Waveform::dc(3.3);
+  EXPECT_DOUBLE_EQ(w.value(0.0), 3.3);
+  EXPECT_DOUBLE_EQ(w.value(1e6), 3.3);
+  std::vector<double> bp;
+  w.collect_breakpoints(0.0, bp);
+  EXPECT_TRUE(bp.empty());
+}
+
+TEST(Waveform, PulseShape) {
+  // 0 -> 5 V, delay 1, rise 0.1, width 2, fall 0.1, period 10.
+  const Waveform w = Waveform::pulse(0.0, 5.0, 1.0, 0.1, 0.1, 2.0, 10.0);
+  EXPECT_DOUBLE_EQ(w.value(0.5), 0.0);
+  EXPECT_NEAR(w.value(1.05), 2.5, 1e-12);  // mid-rise
+  EXPECT_DOUBLE_EQ(w.value(2.0), 5.0);     // plateau
+  EXPECT_NEAR(w.value(3.15), 2.5, 1e-12);  // mid-fall
+  EXPECT_DOUBLE_EQ(w.value(5.0), 0.0);     // low
+  EXPECT_DOUBLE_EQ(w.value(12.0), 5.0);    // next period plateau
+}
+
+TEST(Waveform, PulseZeroEdgeGetsFiniteRamp) {
+  const Waveform w = Waveform::pulse(0.0, 1.0, 0.0, 0.0, 0.0, 1.0, 0.0);
+  // Just after the (sharpened) edge the value is 1.
+  EXPECT_DOUBLE_EQ(w.value(0.5), 1.0);
+}
+
+TEST(Waveform, PulseBreakpointsCoverEdges) {
+  const Waveform w = Waveform::pulse(0.0, 5.0, 1.0, 0.1, 0.1, 2.0, 10.0);
+  std::vector<double> bp;
+  w.collect_breakpoints(0.0, bp);
+  // Must include the first rising edge corner times.
+  EXPECT_NE(std::find_if(bp.begin(), bp.end(),
+                         [](double t) { return std::abs(t - 1.0) < 1e-12; }),
+            bp.end());
+  EXPECT_NE(std::find_if(bp.begin(), bp.end(),
+                         [](double t) { return std::abs(t - 3.1) < 1e-12; }),
+            bp.end());
+  // From within a later period, breakpoints must be in the future.
+  bp.clear();
+  w.collect_breakpoints(25.0, bp);
+  for (const double t : bp) EXPECT_GT(t, 25.0);
+  EXPECT_FALSE(bp.empty());
+}
+
+TEST(Waveform, PulseRejectsBadTiming) {
+  EXPECT_THROW(Waveform::pulse(0, 1, 0, -0.1, 0, 1, 0), PreconditionError);
+  EXPECT_THROW(Waveform::pulse(0, 1, 0, 0.5, 0.5, 2.0, 1.0), PreconditionError);
+}
+
+TEST(Waveform, SineValues) {
+  const Waveform w = Waveform::sine(1.0, 2.0, 50.0);
+  EXPECT_DOUBLE_EQ(w.value(0.0), 1.0);
+  EXPECT_NEAR(w.value(0.005), 3.0, 1e-9);   // quarter period
+  EXPECT_NEAR(w.value(0.015), -1.0, 1e-9);  // three quarters
+  EXPECT_THROW(Waveform::sine(0, 1, 0.0), PreconditionError);
+}
+
+TEST(Waveform, PwlInterpolatesAndHolds) {
+  const Waveform w = Waveform::pwl({{0.0, 0.0}, {1.0, 10.0}, {3.0, 10.0}, {4.0, 0.0}});
+  EXPECT_DOUBLE_EQ(w.value(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(w.value(2.0), 10.0);
+  EXPECT_DOUBLE_EQ(w.value(100.0), 0.0);  // holds last value
+  EXPECT_DOUBLE_EQ(w.value(-5.0), 0.0);   // holds first value
+}
+
+TEST(Waveform, PwlRepeats) {
+  const Waveform w = Waveform::pwl({{0.0, 0.0}, {1.0, 1.0}}, 2.0);
+  EXPECT_NEAR(w.value(2.5), 0.5, 1e-12);
+}
+
+TEST(Waveform, PwlRejectsNonIncreasing) {
+  EXPECT_THROW(Waveform::pwl({{1.0, 0.0}, {1.0, 1.0}}), PreconditionError);
+  EXPECT_THROW(Waveform::pwl({}), PreconditionError);
+}
+
+TEST(Waveform, PwlBreakpoints) {
+  const Waveform w = Waveform::pwl({{0.0, 0.0}, {1.0, 1.0}, {2.0, 0.0}});
+  std::vector<double> bp;
+  w.collect_breakpoints(0.5, bp);
+  EXPECT_NE(std::find(bp.begin(), bp.end(), 1.0), bp.end());
+  EXPECT_NE(std::find(bp.begin(), bp.end(), 2.0), bp.end());
+}
+
+}  // namespace
+}  // namespace focv::circuit

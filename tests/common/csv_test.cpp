@@ -1,0 +1,75 @@
+#include "common/csv.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/require.hpp"
+
+namespace focv {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(Csv, RoundTrip) {
+  CsvTable table;
+  table.columns = {"t", "v", "i"};
+  table.rows = {{0.0, 1.5, -2e-6}, {1.0, 2.5, 3e-6}, {2.0, 3.75, 0.0}};
+  const std::string path = temp_path("focv_csv_roundtrip.csv");
+  write_csv(path, table);
+  const CsvTable back = read_csv(path);
+  ASSERT_EQ(back.columns, table.columns);
+  ASSERT_EQ(back.rows.size(), table.rows.size());
+  for (std::size_t r = 0; r < table.rows.size(); ++r) {
+    for (std::size_t c = 0; c < table.columns.size(); ++c) {
+      EXPECT_DOUBLE_EQ(back.rows[r][c], table.rows[r][c]);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Csv, ColumnExtraction) {
+  CsvTable table;
+  table.columns = {"a", "b"};
+  table.rows = {{1.0, 10.0}, {2.0, 20.0}};
+  EXPECT_EQ(table.column_index("b"), 1u);
+  const std::vector<double> b = table.column("b");
+  ASSERT_EQ(b.size(), 2u);
+  EXPECT_DOUBLE_EQ(b[0], 10.0);
+  EXPECT_DOUBLE_EQ(b[1], 20.0);
+}
+
+TEST(Csv, MissingColumnThrows) {
+  CsvTable table;
+  table.columns = {"a"};
+  EXPECT_THROW(table.column("nope"), PreconditionError);
+}
+
+TEST(Csv, ReadMissingFileThrows) {
+  EXPECT_THROW(read_csv("/nonexistent/path/file.csv"), PreconditionError);
+}
+
+TEST(Csv, RaggedRowThrowsOnWrite) {
+  CsvTable table;
+  table.columns = {"a", "b"};
+  table.rows = {{1.0}};
+  EXPECT_THROW(write_csv(temp_path("focv_ragged.csv"), table), PreconditionError);
+}
+
+TEST(Csv, NonNumericCellThrowsOnRead) {
+  const std::string path = temp_path("focv_bad.csv");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("a,b\n1.0,hello\n", f);
+    std::fclose(f);
+  }
+  EXPECT_THROW(read_csv(path), PreconditionError);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace focv

@@ -1,0 +1,78 @@
+#include "common/nelder_mead.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/require.hpp"
+
+namespace focv {
+namespace {
+
+TEST(NelderMead, MinimisesQuadraticBowl) {
+  const auto result = nelder_mead_minimize(
+      [](const std::vector<double>& x) {
+        return (x[0] - 3.0) * (x[0] - 3.0) + 2.0 * (x[1] + 1.0) * (x[1] + 1.0);
+      },
+      {0.0, 0.0});
+  EXPECT_NEAR(result.x[0], 3.0, 1e-4);
+  EXPECT_NEAR(result.x[1], -1.0, 1e-4);
+  EXPECT_LT(result.value, 1e-7);
+}
+
+TEST(NelderMead, MinimisesRosenbrock) {
+  const auto result = nelder_mead_minimize(
+      [](const std::vector<double>& x) {
+        const double a = 1.0 - x[0];
+        const double b = x[1] - x[0] * x[0];
+        return a * a + 100.0 * b * b;
+      },
+      {-1.2, 1.0}, NelderMeadOptions{.max_iterations = 5000, .restarts = 4});
+  EXPECT_NEAR(result.x[0], 1.0, 1e-3);
+  EXPECT_NEAR(result.x[1], 1.0, 2e-3);
+}
+
+TEST(NelderMead, HandlesPoorlyScaledParameters) {
+  // One parameter in the 1e-12 range, one in the 1e6 range (PV fit shape).
+  const auto result = nelder_mead_minimize(
+      [](const std::vector<double>& x) {
+        const double a = (x[0] - 2e-12) / 1e-12;
+        const double b = (x[1] - 5e6) / 1e6;
+        return a * a + b * b;
+      },
+      {1e-12, 1e6}, NelderMeadOptions{.max_iterations = 5000, .restarts = 4});
+  EXPECT_NEAR(result.x[0], 2e-12, 1e-13);
+  EXPECT_NEAR(result.x[1], 5e6, 1e4);
+}
+
+TEST(NelderMead, OneDimensional) {
+  const auto result = nelder_mead_minimize(
+      [](const std::vector<double>& x) { return std::cosh(x[0] - 0.5); }, {5.0});
+  EXPECT_NEAR(result.x[0], 0.5, 1e-4);
+}
+
+TEST(NelderMead, SurvivesPenaltyPlateaus) {
+  // Objective returns a large penalty outside a feasible box.
+  const auto result = nelder_mead_minimize(
+      [](const std::vector<double>& x) {
+        if (std::abs(x[0]) > 2.0) return 1e12;
+        return (x[0] - 1.0) * (x[0] - 1.0);
+      },
+      {0.0});
+  EXPECT_NEAR(result.x[0], 1.0, 1e-4);
+}
+
+TEST(NelderMead, RejectsEmptyStart) {
+  EXPECT_THROW(nelder_mead_minimize([](const std::vector<double>&) { return 0.0; }, {}),
+               PreconditionError);
+}
+
+TEST(NelderMead, ReportsConvergence) {
+  const auto result = nelder_mead_minimize(
+      [](const std::vector<double>& x) { return x[0] * x[0]; }, {1.0});
+  EXPECT_TRUE(result.converged);
+  EXPECT_GT(result.iterations, 0);
+}
+
+}  // namespace
+}  // namespace focv

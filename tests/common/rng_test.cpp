@@ -1,0 +1,114 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace focv {
+namespace {
+
+TEST(Rng, DeterministicForEqualSeeds) {
+  Rng a(1234), b(1234);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng a(77);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 10; ++i) first.push_back(a.next_u64());
+  a.reseed(77);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.next_u64(), first[static_cast<std::size_t>(i)]);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const double v = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, UniformMeanAndVariance) {
+  Rng rng(10);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    sum += u;
+    sum_sq += u * u;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.5, 0.01);
+  EXPECT_NEAR(var, 1.0 / 12.0, 0.01);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(11);
+  double sum = 0.0, sum_sq = 0.0, sum_cu = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gaussian();
+    sum += g;
+    sum_sq += g * g;
+    sum_cu += g * g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+  EXPECT_NEAR(sum_cu / n, 0.0, 0.08);  // symmetry
+}
+
+TEST(Rng, GaussianScaled) {
+  Rng rng(12);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gaussian(5.0, 2.0);
+    sum += g;
+    sum_sq += (g - 5.0) * (g - 5.0);
+  }
+  EXPECT_NEAR(sum / n, 5.0, 0.05);
+  EXPECT_NEAR(std::sqrt(sum_sq / n), 2.0, 0.05);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(13);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, BernoulliRejectsBadProbability) {
+  Rng rng(14);
+  EXPECT_THROW(rng.bernoulli(-0.1), PreconditionError);
+  EXPECT_THROW(rng.bernoulli(1.1), PreconditionError);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(15);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.below(7), 7u);
+  EXPECT_THROW(rng.below(0), PreconditionError);
+}
+
+TEST(Rng, GaussianRejectsNegativeStddev) {
+  Rng rng(16);
+  EXPECT_THROW(rng.gaussian(0.0, -1.0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace focv

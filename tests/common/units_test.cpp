@@ -1,0 +1,50 @@
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/constants.hpp"
+
+namespace focv {
+namespace {
+
+TEST(Units, TimeLiterals) {
+  EXPECT_DOUBLE_EQ(39.0_ms, 0.039);
+  EXPECT_DOUBLE_EQ(69_s, 69.0);
+  EXPECT_DOUBLE_EQ(1_min, 60.0);
+  EXPECT_DOUBLE_EQ(24_hours, 86400.0);
+  EXPECT_DOUBLE_EQ(500_us, 5e-4);
+  EXPECT_DOUBLE_EQ(10_ns, 1e-8);
+}
+
+TEST(Units, ElectricalLiterals) {
+  EXPECT_DOUBLE_EQ(3.3_V, 3.3);
+  EXPECT_DOUBLE_EQ(12.7_mV, 0.0127);
+  EXPECT_DOUBLE_EQ(8_uA, 8e-6);
+  EXPECT_DOUBLE_EQ(42_uA, 4.2e-5);
+  EXPECT_DOUBLE_EQ(10_kOhm, 1e4);
+  EXPECT_DOUBLE_EQ(99.55_MOhm, 9.955e7);
+  EXPECT_DOUBLE_EQ(100_nF, 1e-7);
+  EXPECT_DOUBLE_EQ(1_uF, 1e-6);
+  EXPECT_DOUBLE_EQ(2_mW, 2e-3);
+  EXPECT_DOUBLE_EQ(300_uW, 3e-4);
+}
+
+TEST(Units, TemperatureAndIlluminance) {
+  EXPECT_DOUBLE_EQ(27_degC, 300.15);
+  EXPECT_DOUBLE_EQ(0_degC, 273.15);
+  EXPECT_DOUBLE_EQ(1000_lux, 1000.0);
+  EXPECT_DOUBLE_EQ(50_pct, 0.5);
+}
+
+TEST(Units, IVPointPower) {
+  constexpr IVPoint p{3.0, 42e-6};
+  EXPECT_DOUBLE_EQ(p.power(), 126e-6);
+}
+
+TEST(Constants, ThermalVoltage) {
+  EXPECT_NEAR(constants::thermal_voltage(), 0.02585, 1e-4);
+  EXPECT_NEAR(constants::thermal_voltage(350.0), 0.03016, 1e-4);
+}
+
+}  // namespace
+}  // namespace focv

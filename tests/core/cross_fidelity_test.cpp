@@ -1,0 +1,92 @@
+// The behavioural tier and the circuit netlists must agree (DESIGN.md §5.1).
+#include <gtest/gtest.h>
+
+#include "circuit/transient.hpp"
+#include "core/focv_system.hpp"
+#include "core/netlists.hpp"
+#include "mppt/focv_sample_hold.hpp"
+#include "pv/cell_library.hpp"
+
+namespace focv::core {
+namespace {
+
+using namespace focv::circuit;
+
+TEST(CrossFidelity, HeldSampleAgreesWithinTolerance) {
+  const SystemSpec spec;
+  for (const double lux : {200.0, 1000.0, 5000.0}) {
+    // Netlist tier.
+    Circuit ckt;
+    pv::Conditions c;
+    c.illuminance_lux = lux;
+    build_fig3_system(ckt, pv::sanyo_am1815(), c, spec);
+    TransientOptions opt;
+    opt.t_stop = 45.0;
+    opt.start_from_dc = false;
+    opt.dt_initial = 1e-6;
+    opt.dt_max = 0.25;
+    opt.dv_step_max = 0.4;
+    const Trace tr = transient_analyze(ckt, opt);
+    const double held_netlist = tr.at("sys_sh_held", 40.0);
+
+    // Behavioural tier.
+    mppt::FocvSampleHoldController ctl = make_paper_controller(spec);
+    mppt::SensedInputs s;
+    s.time = 0.0;
+    s.dt = 1.0;
+    s.voc = pv::sanyo_am1815().open_circuit_voltage(c);
+    (void)ctl.step(s);
+    const double held_behavioural = ctl.held_sample(40.0);
+
+    EXPECT_NEAR(held_netlist, held_behavioural, 0.02 * held_behavioural + 5e-3)
+        << "lux=" << lux;
+  }
+}
+
+TEST(CrossFidelity, AstableTimingAgrees) {
+  // The behavioural astable carries the paper's measured 39 ms / 69 s;
+  // the netlist must reproduce it from components within 5%.
+  Circuit ckt;
+  const NodeId vdd = ckt.node("vdd");
+  ckt.add<VoltageSource>("Vdd", vdd, kGround, Waveform::dc(3.3));
+  const SystemSpec spec;
+  build_astable(ckt, vdd, spec);
+  TransientOptions opt;
+  opt.t_stop = 150.0;
+  opt.start_from_dc = false;
+  opt.dt_initial = 1e-5;
+  opt.dt_max = 0.5;
+  opt.dv_step_max = 0.4;
+  const Trace tr = transient_analyze(ckt, opt);
+  const auto rises = tr.crossing_times("ast_pulse", 1.65, true);
+  ASSERT_GE(rises.size(), 2u);
+  const auto behavioural = astable_params_from_spec(spec);
+  EXPECT_NEAR(rises[1] - rises[0], behavioural.on_period + behavioural.off_period,
+              0.05 * (behavioural.on_period + behavioural.off_period));
+}
+
+TEST(CrossFidelity, SupplyCurrentAgreesWithBudget) {
+  // Circuit-level average supply current of astable + S&H vs the
+  // behavioural power budget. The netlist omits the misc-leakage
+  // aggregate (board-level effects), so compare against the budget
+  // minus that line.
+  Circuit ckt;
+  pv::Conditions c;
+  c.illuminance_lux = 1000.0;
+  const SystemSpec spec;
+  build_fig3_system(ckt, pv::sanyo_am1815(), c, spec);
+  TransientOptions opt;
+  opt.t_stop = 75.0;
+  opt.start_from_dc = false;
+  opt.dt_initial = 1e-6;
+  opt.dt_max = 0.25;
+  opt.dv_step_max = 0.4;
+  const Trace tr = transient_analyze(ckt, opt);
+  const double i_netlist = -tr.time_average("I(sys_vdd)", 5.0, 74.0);
+  const analog::PowerBudget budget = paper_power_budget(spec);
+  double expected = budget.total_current() - spec.misc_leakage;
+  EXPECT_NEAR(i_netlist, expected, 0.2 * expected);
+}
+
+}  // namespace
+}  // namespace focv::core

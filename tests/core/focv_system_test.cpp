@@ -1,0 +1,49 @@
+#include "core/focv_system.hpp"
+
+#include <gtest/gtest.h>
+
+namespace focv::core {
+namespace {
+
+TEST(SystemSpec, PaperBudgetTotalsSevenPointSixMicroamps) {
+  const analog::PowerBudget budget = paper_power_budget();
+  EXPECT_NEAR(budget.total_current(), 7.6e-6, 0.1e-6);
+  // Worst-case figure quoted in the evaluation: 8 uA.
+  EXPECT_LT(budget.total_current(), 8e-6);
+  EXPECT_GE(budget.items().size(), 6u);
+}
+
+TEST(SystemSpec, BudgetDominatedByBuffersNotSampling) {
+  // The design insight: the duty-cycled divider is negligible; the
+  // static op-amp/comparator quiescents dominate.
+  const analog::PowerBudget budget = paper_power_budget();
+  double divider = 0.0, buffers = 0.0;
+  for (const auto& item : budget.items()) {
+    if (item.component.find("divider") != std::string::npos) divider += item.current;
+    if (item.component.find("buffer") != std::string::npos) buffers += item.current;
+  }
+  EXPECT_LT(divider, 0.01 * buffers);
+}
+
+TEST(SystemSpec, AstableParamsMatchMeasuredTiming) {
+  const auto params = astable_params_from_spec(SystemSpec{});
+  EXPECT_DOUBLE_EQ(params.on_period, 39e-3);
+  EXPECT_DOUBLE_EQ(params.off_period, 69.0);
+}
+
+TEST(SystemSpec, ControllerReflectsSpecChanges) {
+  SystemSpec spec;
+  spec.divider_ratio = 0.35;
+  spec.astable_off_period = 120.0;
+  const auto ctl = make_paper_controller(spec);
+  EXPECT_DOUBLE_EQ(ctl.sample_hold().params().divider_ratio, 0.35);
+  EXPECT_DOUBLE_EQ(ctl.astable().params().off_period, 120.0);
+}
+
+TEST(SystemSpec, AcquisitionFitsInsidePulse) {
+  const auto ctl = make_paper_controller();
+  EXPECT_LT(ctl.sample_hold().params().acquisition_time, ctl.astable().params().on_period);
+}
+
+}  // namespace
+}  // namespace focv::core

@@ -1,0 +1,80 @@
+// Circuit-level astable vs the paper's measured timing.
+#include <gtest/gtest.h>
+
+#include "circuit/devices_sources.hpp"
+#include "circuit/transient.hpp"
+#include "core/netlists.hpp"
+
+namespace focv::core {
+namespace {
+
+using namespace focv::circuit;
+
+struct AstableRun {
+  Trace trace;
+  std::vector<double> rises, falls;
+};
+
+AstableRun run_astable(double t_stop = 230.0) {
+  Circuit ckt;
+  const NodeId vdd = ckt.node("vdd");
+  ckt.add<VoltageSource>("Vdd", vdd, kGround, Waveform::dc(3.3));
+  build_astable(ckt, vdd, SystemSpec{});
+  TransientOptions opt;
+  opt.t_stop = t_stop;
+  opt.start_from_dc = false;
+  opt.dt_initial = 1e-5;
+  opt.dt_max = 0.5;
+  opt.dv_step_max = 0.4;
+  AstableRun run{transient_analyze(ckt, opt), {}, {}};
+  run.rises = run.trace.crossing_times("ast_pulse", 1.65, true);
+  run.falls = run.trace.crossing_times("ast_pulse", 1.65, false);
+  return run;
+}
+
+TEST(NetlistAstable, OscillatesAtPaperTiming) {
+  const AstableRun run = run_astable();
+  ASSERT_GE(run.rises.size(), 3u);
+  // Steady-state on-period (skip the longer start-up pulse).
+  double t_on = -1.0;
+  for (const double f : run.falls) {
+    if (f > run.rises[1]) {
+      t_on = f - run.rises[1];
+      break;
+    }
+  }
+  const double period = run.rises[2] - run.rises[1];
+  EXPECT_NEAR(t_on, 39e-3, 39e-3 * 0.05);       // 39 ms +- 5%
+  EXPECT_NEAR(period, 69.039, 69.039 * 0.05);   // 69 s +- 5%
+}
+
+TEST(NetlistAstable, SupplyCurrentBelowOneMicroamp) {
+  const AstableRun run = run_astable();
+  const double i_avg = -run.trace.time_average("I(Vdd)", 5.0, 225.0);
+  // Comparator 0.7 uA + feedback/timing network ~0.24 uA.
+  EXPECT_NEAR(i_avg, 0.94e-6, 0.12e-6);
+}
+
+TEST(NetlistAstable, OutputSwingsRailToRail) {
+  const AstableRun run = run_astable(100.0);
+  EXPECT_GT(run.trace.maximum("ast_pulse", 0.0, 100.0), 3.0);
+  EXPECT_LT(run.trace.minimum("ast_pulse", 1.0, 100.0), 0.3);
+}
+
+TEST(NetlistAstable, CapacitorRidesBetweenThresholds) {
+  const AstableRun run = run_astable(150.0);
+  // Vcc/3 and 2*Vcc/3 thresholds (1.1 / 2.2), small dynamic overshoot.
+  EXPECT_GT(run.trace.minimum("ast_cap", 5.0, 145.0), 0.9);
+  EXPECT_LT(run.trace.maximum("ast_cap", 5.0, 145.0), 2.4);
+}
+
+TEST(NetlistAstable, FirstPulseArrivesImmediately) {
+  // Cold start behaviour: the first PULSE must come right away (the
+  // timing cap starts empty, below the low threshold).
+  const AstableRun run = run_astable(5.0);
+  ASSERT_FALSE(run.rises.empty());
+  EXPECT_LT(run.rises[0], 0.1);
+}
+
+}  // namespace
+}  // namespace focv::core

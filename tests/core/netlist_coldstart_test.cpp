@@ -1,0 +1,53 @@
+// Circuit-level cold start (Fig. 3 C1/D1 path).
+#include <gtest/gtest.h>
+
+#include "circuit/transient.hpp"
+#include "core/netlists.hpp"
+#include "pv/cell_library.hpp"
+
+namespace focv::core {
+namespace {
+
+using namespace focv::circuit;
+
+Trace run_coldstart(double lux, double t_stop) {
+  Circuit ckt;
+  pv::Conditions c;
+  c.illuminance_lux = lux;
+  build_coldstart(ckt, pv::sanyo_am1815(), c, SystemSpec{});
+  TransientOptions opt;
+  opt.t_stop = t_stop;
+  opt.start_from_dc = false;  // everything starts discharged
+  opt.dt_initial = 1e-5;
+  opt.dt_max = 0.1;
+  opt.dv_step_max = 0.4;
+  return transient_analyze(ckt, opt);
+}
+
+TEST(NetlistColdStart, StartsAt200Lux) {
+  const Trace tr = run_coldstart(200.0, 20.0);
+  // C1 charges past the threshold and the switched rail comes up.
+  EXPECT_GT(tr.at("cs_c1", 19.0), 2.0);
+  EXPECT_GT(tr.at("cs_vdd", 19.0), 1.8);
+  // The astable then fires its first PULSE.
+  const auto rises = tr.crossing_times("cs_ast_pulse", 1.0, true);
+  EXPECT_FALSE(rises.empty());
+}
+
+TEST(NetlistColdStart, ChargeTimeScalesWithLux) {
+  const Trace dim = run_coldstart(200.0, 20.0);
+  const Trace bright = run_coldstart(1000.0, 20.0);
+  const auto t_dim = dim.crossing_times("cs_c1", 2.0, true);
+  const auto t_bright = bright.crossing_times("cs_c1", 2.0, true);
+  ASSERT_FALSE(t_dim.empty());
+  ASSERT_FALSE(t_bright.empty());
+  EXPECT_GT(t_dim[0], 2.0 * t_bright[0]);
+}
+
+TEST(NetlistColdStart, StaysDownInDarkness) {
+  const Trace tr = run_coldstart(5.0, 20.0);
+  EXPECT_LT(tr.maximum("cs_vdd", 0.0, 20.0), 0.5);
+}
+
+}  // namespace
+}  // namespace focv::core

@@ -1,0 +1,82 @@
+// The complete Fig. 3 system at circuit level.
+#include <gtest/gtest.h>
+
+#include "circuit/transient.hpp"
+#include "core/netlists.hpp"
+#include "pv/cell_library.hpp"
+
+namespace focv::core {
+namespace {
+
+using namespace focv::circuit;
+
+Trace run_fig3(double lux, double t_stop = 80.0) {
+  Circuit ckt;
+  pv::Conditions c;
+  c.illuminance_lux = lux;
+  build_fig3_system(ckt, pv::sanyo_am1815(), c, SystemSpec{});
+  TransientOptions opt;
+  opt.t_stop = t_stop;
+  opt.start_from_dc = false;
+  opt.dt_initial = 1e-6;
+  opt.dt_max = 0.25;
+  opt.dv_step_max = 0.4;
+  return transient_analyze(ckt, opt);
+}
+
+TEST(NetlistFig3, HeldSampleNearDividedVoc) {
+  const Trace tr = run_fig3(1000.0);
+  pv::Conditions c;
+  c.illuminance_lux = 1000.0;
+  const double voc = pv::sanyo_am1815().open_circuit_voltage(c);
+  // HELD = Voc * k * alpha (Eq. 3) with small circuit non-idealities.
+  EXPECT_NEAR(tr.at("sys_sh_held", 40.0), voc * 0.298, 0.03);
+}
+
+TEST(NetlistFig3, ConverterRegulatesPvAtTwiceHeld) {
+  const Trace tr = run_fig3(1000.0);
+  const double held = tr.at("sys_sh_held", 40.0);
+  EXPECT_NEAR(tr.at("sys_pv", 40.0), 2.0 * held, 0.05);
+}
+
+TEST(NetlistFig3, PvFloatsToVocDuringSampling) {
+  const Trace tr = run_fig3(1000.0);
+  pv::Conditions c;
+  c.illuminance_lux = 1000.0;
+  const double voc = pv::sanyo_am1815().open_circuit_voltage(c);
+  // First PULSE window is right at the start.
+  EXPECT_NEAR(tr.maximum("sys_pv", 0.002, 0.035), voc, 0.02);
+}
+
+TEST(NetlistFig3, ActiveAssertsAfterFirstSample) {
+  const Trace tr = run_fig3(1000.0, 10.0);
+  EXPECT_LT(tr.at("sys_sh_active", 0.0), 0.5);   // power-on: no valid sample
+  EXPECT_GT(tr.at("sys_sh_active", 5.0), 3.0);   // asserted after sampling
+}
+
+TEST(NetlistFig3, WorksAcrossIlluminanceRange) {
+  for (const double lux : {200.0, 1000.0, 5000.0}) {
+    const Trace tr = run_fig3(lux, 45.0);
+    pv::Conditions c;
+    c.illuminance_lux = lux;
+    const double voc = pv::sanyo_am1815().open_circuit_voltage(c);
+    const double held = tr.at("sys_sh_held", 40.0);
+    const double ratio = 2.0 * held / voc;
+    // Table I: effective k between 59.2% and 60.1% (modelled circuit
+    // non-idealities widen this slightly).
+    EXPECT_GT(ratio, 0.57) << "lux=" << lux;
+    EXPECT_LT(ratio, 0.61) << "lux=" << lux;
+  }
+}
+
+TEST(NetlistFig3, M1DisconnectsLoadDuringPulse) {
+  const Trace tr = run_fig3(1000.0, 10.0);
+  // While PULSE is high the converter side (sw_in) is cut from the PV:
+  // the sense divider discharges it towards ground.
+  const double sw_during = tr.at("sys_swin", 0.020);
+  const double sw_after = tr.at("sys_swin", 5.0);
+  EXPECT_LT(sw_during, sw_after);
+}
+
+}  // namespace
+}  // namespace focv::core

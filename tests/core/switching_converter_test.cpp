@@ -1,0 +1,84 @@
+// Switch-level converter netlist: input regulation and energy flow.
+#include <gtest/gtest.h>
+
+#include "circuit/transient.hpp"
+#include "core/netlists.hpp"
+#include "pv/cell_library.hpp"
+
+namespace focv::core {
+namespace {
+
+using namespace focv::circuit;
+
+Trace run(double lux, double held, double t_stop = 20e-3) {
+  Circuit ckt;
+  pv::Conditions c;
+  c.illuminance_lux = lux;
+  build_switching_converter(ckt, pv::sanyo_am1815(), c, held, 2.5);
+  TransientOptions opt;
+  opt.t_stop = t_stop;
+  opt.start_from_dc = false;
+  opt.dt_initial = 1e-7;
+  opt.dt_max = 20e-6;
+  opt.dv_step_max = 0.3;
+  return transient_analyze(ckt, opt);
+}
+
+TEST(SwitchingConverter, RegulatesInputNearSetpoint) {
+  pv::Conditions c;
+  c.illuminance_lux = 1000.0;
+  const double held = 0.298 * pv::sanyo_am1815().open_circuit_voltage(c);
+  const Trace tr = run(1000.0, held);
+  const double pv_avg = tr.time_average("conv_pv", 10e-3, 20e-3);
+  EXPECT_NEAR(pv_avg, 2.0 * held, 0.08);
+}
+
+TEST(SwitchingConverter, SelfOscillates) {
+  pv::Conditions c;
+  c.illuminance_lux = 1000.0;
+  const double held = 0.298 * pv::sanyo_am1815().open_circuit_voltage(c);
+  const Trace tr = run(1000.0, held);
+  int edges = 0;
+  for (const double e : tr.crossing_times("conv_gate", 1.65, true)) {
+    if (e > 10e-3) ++edges;
+  }
+  EXPECT_GE(edges, 2);  // sustained switching, not a latch-up
+}
+
+TEST(SwitchingConverter, DeliversEnergyToOutput) {
+  pv::Conditions c;
+  c.illuminance_lux = 1000.0;
+  const double held = 0.298 * pv::sanyo_am1815().open_circuit_voltage(c);
+  const Trace tr = run(1000.0, held);
+  const double i_l = tr.time_average("I(conv_L)", 10e-3, 20e-3);
+  EXPECT_GT(i_l, 50e-6);  // average inductor current flows towards the store
+  // Output held up against its bleed load.
+  EXPECT_GT(tr.time_average("conv_out", 10e-3, 20e-3), 2.4);
+}
+
+TEST(SwitchingConverter, EfficiencyInPlausibleRange) {
+  pv::Conditions c;
+  c.illuminance_lux = 1000.0;
+  const double held = 0.298 * pv::sanyo_am1815().open_circuit_voltage(c);
+  const Trace tr = run(1000.0, held);
+  const double pv_avg = tr.time_average("conv_pv", 10e-3, 20e-3);
+  const double p_in = pv_avg * pv::sanyo_am1815().current(pv_avg, c);
+  const double p_out = tr.time_average("I(conv_L)", 10e-3, 20e-3) *
+                       tr.time_average("conv_out", 10e-3, 20e-3);
+  const double eff = p_out / p_in;
+  EXPECT_GT(eff, 0.6);
+  EXPECT_LT(eff, 1.0);
+}
+
+TEST(SwitchingConverter, SetpointChangesOperatingPoint) {
+  pv::Conditions c;
+  c.illuminance_lux = 1000.0;
+  const double voc = pv::sanyo_am1815().open_circuit_voltage(c);
+  const Trace lo = run(1000.0, 0.25 * voc);
+  const Trace hi = run(1000.0, 0.32 * voc);
+  EXPECT_LT(lo.time_average("conv_pv", 10e-3, 20e-3),
+            hi.time_average("conv_pv", 10e-3, 20e-3) - 0.2);
+}
+
+}  // namespace
+}  // namespace focv::core

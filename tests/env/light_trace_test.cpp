@@ -1,0 +1,84 @@
+#include "env/light_trace.hpp"
+
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "common/csv.hpp"
+#include "common/require.hpp"
+#include "pv/cell_library.hpp"
+
+namespace focv::env {
+namespace {
+
+TEST(LightTrace, AppendRequiresIncreasingTime) {
+  LightTrace trace;
+  trace.append(0.0, 100.0, 0.0);
+  trace.append(1.0, 100.0, 0.0);
+  EXPECT_THROW(trace.append(1.0, 100.0, 0.0), PreconditionError);
+  EXPECT_THROW(trace.append(0.5, 100.0, 0.0), PreconditionError);
+}
+
+TEST(LightTrace, RejectsNegativeIlluminance) {
+  LightTrace trace;
+  EXPECT_THROW(trace.append(0.0, -1.0, 0.0), PreconditionError);
+  EXPECT_THROW(trace.append(0.0, 0.0, -1.0), PreconditionError);
+}
+
+TEST(LightTrace, InterpolatesBetweenSamples) {
+  LightTrace trace;
+  trace.append(0.0, 100.0, 0.0);
+  trace.append(10.0, 200.0, 50.0);
+  const LightSample s = trace.at(5.0);
+  EXPECT_DOUBLE_EQ(s.artificial_lux, 150.0);
+  EXPECT_DOUBLE_EQ(s.daylight_lux, 25.0);
+  EXPECT_DOUBLE_EQ(s.total_lux(), 175.0);
+  // Clamped ends.
+  EXPECT_DOUBLE_EQ(trace.at(-1.0).artificial_lux, 100.0);
+  EXPECT_DOUBLE_EQ(trace.at(99.0).artificial_lux, 200.0);
+}
+
+TEST(LightTrace, EquivalentLuxUsesDaylightRatio) {
+  LightTrace trace;
+  trace.append(0.0, 100.0, 200.0);
+  const auto& cell = pv::sanyo_am1815();
+  const auto eq = trace.equivalent_lux(cell);
+  ASSERT_EQ(eq.size(), 1u);
+  EXPECT_NEAR(eq[0], 100.0 + cell.params().daylight_ratio * 200.0, 1e-9);
+}
+
+TEST(LightTrace, VocSeriesZeroInDark) {
+  LightTrace trace;
+  trace.append(0.0, 0.0, 0.0);
+  trace.append(1.0, 500.0, 0.0);
+  const auto voc = trace.voc_series(pv::sanyo_am1815(), 300.15);
+  ASSERT_EQ(voc.size(), 2u);
+  EXPECT_DOUBLE_EQ(voc[0], 0.0);
+  EXPECT_GT(voc[1], 4.5);
+}
+
+TEST(LightTrace, CsvExportRoundTrips) {
+  LightTrace trace;
+  trace.append(0.0, 10.0, 20.0);
+  trace.append(1.0, 30.0, 40.0);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "focv_trace.csv").string();
+  trace.write_csv(path);
+  const CsvTable table = read_csv(path);
+  EXPECT_EQ(table.rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(table.column("artificial_lux")[1], 30.0);
+  std::remove(path.c_str());
+}
+
+TEST(LightTrace, DurationAndEmpty) {
+  LightTrace trace;
+  EXPECT_TRUE(trace.empty());
+  EXPECT_DOUBLE_EQ(trace.duration(), 0.0);
+  trace.append(5.0, 1.0, 0.0);
+  trace.append(15.0, 1.0, 0.0);
+  EXPECT_DOUBLE_EQ(trace.duration(), 10.0);
+}
+
+}  // namespace
+}  // namespace focv::env

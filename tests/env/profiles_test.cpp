@@ -1,0 +1,92 @@
+#include "env/profiles.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/require.hpp"
+
+namespace focv::env {
+namespace {
+
+TEST(Profiles, DeterministicForSameSeed) {
+  const LightTrace a = office_desk_mixed();
+  const LightTrace b = office_desk_mixed();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); i += 997) {
+    EXPECT_DOUBLE_EQ(a.artificial_lux()[i], b.artificial_lux()[i]);
+    EXPECT_DOUBLE_EQ(a.daylight_lux()[i], b.daylight_lux()[i]);
+  }
+}
+
+TEST(Profiles, SeedsChangeTheTrace) {
+  OfficeDayParams p1;
+  p1.seed = 1;
+  OfficeDayParams p2;
+  p2.seed = 2;
+  const LightTrace a = office_desk_mixed(p1);
+  const LightTrace b = office_desk_mixed(p2);
+  int differing = 0;
+  for (std::size_t i = 0; i < a.size(); i += 601) {
+    if (a.daylight_lux()[i] != b.daylight_lux()[i]) ++differing;
+  }
+  EXPECT_GT(differing, 10);
+}
+
+TEST(Profiles, OfficeDayStructure) {
+  const LightTrace trace = office_desk_mixed();
+  // Dark at 3 am.
+  EXPECT_LT(trace.at(3 * 3600.0).total_lux(), 1.0);
+  // Lit during working hours (artificial on).
+  EXPECT_GT(trace.at(10 * 3600.0).artificial_lux, 300.0);
+  // Lights off after the scheduled time.
+  EXPECT_DOUBLE_EQ(trace.at(20 * 3600.0).artificial_lux, 0.0);
+  // Daylight present around noon.
+  EXPECT_GT(trace.at(12 * 3600.0).daylight_lux, 50.0);
+}
+
+TEST(Profiles, SundayBlindsClosedIsDim) {
+  const LightTrace sunday = desk_sunday_blinds_closed();
+  const LightTrace weekday = office_desk_mixed();
+  // Noon daylight heavily attenuated by the blinds.
+  EXPECT_LT(sunday.at(13 * 3600.0).daylight_lux,
+            0.2 * weekday.at(13 * 3600.0).daylight_lux + 30.0);
+}
+
+TEST(Profiles, SemiMobileOutdoorLunchIsBright) {
+  const LightTrace trace = semi_mobile_day();
+  // Outdoor spell: orders of magnitude brighter than the lab.
+  const double lunch = trace.at(12.8 * 3600.0).total_lux();
+  const double lab = trace.at(10 * 3600.0).total_lux();
+  EXPECT_GT(lunch, 2000.0);
+  EXPECT_GT(lunch, 2.0 * lab);
+  // Evening at home: modest artificial light.
+  EXPECT_GT(trace.at(20 * 3600.0).artificial_lux, 50.0);
+  // Night: dark.
+  EXPECT_LT(trace.at(23.8 * 3600.0).total_lux(), 1.0);
+}
+
+TEST(Profiles, OutdoorDayPeaksMidday) {
+  const LightTrace trace = outdoor_day();
+  const double noon = trace.at(12.5 * 3600.0).daylight_lux;
+  const double morning = trace.at(7 * 3600.0).daylight_lux;
+  EXPECT_GT(noon, morning);
+  EXPECT_GT(noon, 5000.0);
+}
+
+TEST(Profiles, ConstantAndStepBuilders) {
+  const LightTrace c = constant_light(400.0, 100.0, 60.0, 1.0);
+  EXPECT_EQ(c.size(), 61u);
+  EXPECT_DOUBLE_EQ(c.at(30.0).artificial_lux, 400.0);
+  const LightTrace s = step_light(100.0, 1000.0, 30.0, 60.0, 1.0);
+  EXPECT_DOUBLE_EQ(s.at(10.0).artificial_lux, 100.0);
+  EXPECT_DOUBLE_EQ(s.at(45.0).artificial_lux, 1000.0);
+}
+
+TEST(Profiles, RejectBadSamplePeriod) {
+  OfficeDayParams p;
+  p.sample_period = 0.0;
+  EXPECT_THROW(office_desk_mixed(p), PreconditionError);
+  EXPECT_THROW(constant_light(1, 1, 10, 0.0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace focv::env

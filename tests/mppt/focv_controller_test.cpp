@@ -1,0 +1,99 @@
+#include "mppt/focv_sample_hold.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/focv_system.hpp"
+
+namespace focv::mppt {
+namespace {
+
+FocvSampleHoldController paper_controller() { return core::make_paper_controller(); }
+
+SensedInputs inputs_at(double t, double dt, double voc) {
+  SensedInputs s;
+  s.time = t;
+  s.dt = dt;
+  s.voc = voc;
+  return s;
+}
+
+TEST(FocvController, FirstStepSamplesAndCommandsKv) {
+  FocvSampleHoldController ctl = paper_controller();
+  const ControlOutput out = ctl.step(inputs_at(0.0, 1.0, 5.44));
+  // HELD ~ 0.298 * Voc; commanded PV voltage = HELD / alpha ~ 0.596 * Voc.
+  EXPECT_NEAR(out.pv_voltage, 0.596 * 5.44, 0.05);
+  EXPECT_GT(out.disconnect_fraction, 0.0);
+}
+
+TEST(FocvController, HoldsBetweenSamples) {
+  FocvSampleHoldController ctl = paper_controller();
+  (void)ctl.step(inputs_at(0.0, 1.0, 5.44));
+  // Light changes but no new sample for 69 s: command barely moves
+  // (droop only).
+  const ControlOutput out = ctl.step(inputs_at(1.0, 1.0, 4.0));
+  EXPECT_NEAR(out.pv_voltage, 0.596 * 5.44, 0.05);
+}
+
+TEST(FocvController, ResamplesAfterHoldPeriod) {
+  FocvSampleHoldController ctl = paper_controller();
+  (void)ctl.step(inputs_at(0.0, 1.0, 5.44));
+  double t = 1.0;
+  ControlOutput out;
+  for (; t < 75.0; t += 1.0) {
+    out = ctl.step(inputs_at(t, 1.0, 4.978));
+  }
+  EXPECT_NEAR(out.pv_voltage, 0.596 * 4.978, 0.05);
+}
+
+TEST(FocvController, CoarseStepsStillSampleEachPeriod) {
+  // dt of 10 minutes covers several astable periods.
+  FocvSampleHoldController ctl = paper_controller();
+  const ControlOutput out = ctl.step(inputs_at(0.0, 600.0, 5.0));
+  EXPECT_GT(out.pv_voltage, 0.0);
+  // ~8.7 pulses in 600 s, each 39 ms: fraction ~ 5.6e-4.
+  EXPECT_NEAR(out.disconnect_fraction, 600.0 / 69.039 * 0.039 / 600.0, 2e-4);
+}
+
+TEST(FocvController, DisconnectFractionMatchesDuty) {
+  FocvSampleHoldController ctl = paper_controller();
+  double total = 0.0;
+  for (double t = 0.0; t < 690.0; t += 1.0) {
+    total += ctl.step(inputs_at(t, 1.0, 5.0)).disconnect_fraction;
+  }
+  // 10 samples of 39 ms over 690 s.
+  EXPECT_NEAR(total * 1.0 / 690.0, 0.039 / 69.039, 2e-4);
+}
+
+TEST(FocvController, InactiveUntilValidSample) {
+  FocvSampleHoldController ctl = paper_controller();
+  EXPECT_FALSE(ctl.active(0.0));
+  // Sampling a dead cell (Voc 0) keeps ACTIVE low and the command at 0.
+  const ControlOutput out = ctl.step(inputs_at(0.0, 1.0, 0.0));
+  EXPECT_DOUBLE_EQ(out.pv_voltage, 0.0);
+  EXPECT_FALSE(ctl.active(1.0));
+}
+
+TEST(FocvController, AverageCurrentMatchesPaper) {
+  FocvSampleHoldController ctl = paper_controller();
+  // Section IV-A: 7.6 uA average at 3.3 V.
+  EXPECT_NEAR(ctl.average_current(), 7.6e-6, 0.15e-6);
+  EXPECT_NEAR(ctl.overhead_power(), 7.6e-6 * 3.3, 0.5e-6);
+}
+
+TEST(FocvController, ResetClearsHold) {
+  FocvSampleHoldController ctl = paper_controller();
+  (void)ctl.step(inputs_at(0.0, 1.0, 5.0));
+  ctl.reset();
+  EXPECT_FALSE(ctl.active(100.0));
+  const ControlOutput out = ctl.step(inputs_at(0.0, 1.0, 5.0));
+  EXPECT_GT(out.pv_voltage, 0.0);  // samples again from t = 0
+}
+
+TEST(FocvController, MinimumLuxReported) {
+  FocvSampleHoldController ctl = paper_controller();
+  EXPECT_GT(ctl.minimum_operating_lux(), 0.0);
+  EXPECT_LE(ctl.minimum_operating_lux(), 200.0);
+}
+
+}  // namespace
+}  // namespace focv::mppt

@@ -1,0 +1,177 @@
+#include "node/harvester_node.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/focv_system.hpp"
+#include "env/profiles.hpp"
+#include "mppt/baselines.hpp"
+#include "pv/cell_library.hpp"
+
+namespace focv::node {
+namespace {
+
+NodeConfig base_config(mppt::MpptController& ctl) {
+  NodeConfig cfg;
+  cfg.cell = &pv::sanyo_am1815();
+  cfg.controller = &ctl;
+  cfg.storage.initial_voltage = 3.0;  // pre-charged store
+  cfg.load.report_period = 120.0;
+  return cfg;
+}
+
+TEST(HarvesterNode, ProposedControllerTracksWellUnderConstantLight) {
+  auto ctl = core::make_paper_controller();
+  NodeConfig cfg = base_config(ctl);
+  const env::LightTrace trace = env::constant_light(1000.0, 0.0, 3600.0);
+  const NodeReport report = simulate_node(trace, cfg);
+  EXPECT_GT(report.tracking_efficiency(), 0.90);
+  EXPECT_GT(report.harvested_energy, 0.0);
+  EXPECT_LE(report.harvested_energy, report.ideal_mpp_energy * 1.0001);
+}
+
+TEST(HarvesterNode, EnergyAccountingIsConsistent) {
+  auto ctl = core::make_paper_controller();
+  NodeConfig cfg = base_config(ctl);
+  const env::LightTrace trace = env::constant_light(1000.0, 0.0, 3600.0);
+  const NodeReport report = simulate_node(trace, cfg);
+  // Converter output cannot exceed its input.
+  EXPECT_LE(report.delivered_energy, report.harvested_energy);
+  // Overhead: ~25 uW for an hour.
+  EXPECT_NEAR(report.overhead_energy, 25.1e-6 * 3600.0, 5e-3);
+}
+
+TEST(HarvesterNode, ProposedNetsMoreThanFixedVoltageIndoors) {
+  // On the AM-1815 both techniques track near-optimally (the a-Si MPP
+  // voltage is nearly flat in illuminance), so the differentiator is the
+  // one the paper claims: the S&H overhead (25 uW) undercuts the
+  // fixed-voltage reference IC (36 uW).
+  auto focv = core::make_paper_controller();
+  mppt::FixedVoltageController fixed;
+  NodeConfig cfg_a = base_config(focv);
+  NodeConfig cfg_b = base_config(fixed);
+  const env::LightTrace trace = env::constant_light(500.0, 0.0, 4.0 * 3600.0);
+  const NodeReport a = simulate_node(trace, cfg_a);
+  const NodeReport b = simulate_node(trace, cfg_b);
+  EXPECT_GT(a.net_energy(), b.net_energy());
+  EXPECT_GT(a.tracking_efficiency(), 0.95);
+  EXPECT_GT(b.tracking_efficiency(), 0.95);
+}
+
+TEST(HarvesterNode, FocvAdaptsAcrossCellsFixedVoltageDoesNot) {
+  // Deploy both controllers on the 8-junction Schott module. FOCV keys
+  // off the cell's own Voc and keeps tracking; the 3.0 V setting tuned
+  // for the AM-1815 is now far off that cell's MPP.
+  auto focv = core::make_paper_controller();
+  mppt::FixedVoltageController fixed;
+  NodeConfig cfg_a = base_config(focv);
+  NodeConfig cfg_b = base_config(fixed);
+  cfg_a.cell = &pv::schott_asi_1116929();
+  cfg_b.cell = &pv::schott_asi_1116929();
+  const env::LightTrace trace = env::constant_light(1000.0, 0.0, 3600.0);
+  const NodeReport a = simulate_node(trace, cfg_a);
+  const NodeReport b = simulate_node(trace, cfg_b);
+  EXPECT_GT(a.tracking_efficiency(), b.tracking_efficiency() + 0.015);
+}
+
+TEST(HarvesterNode, DirectConnectionWorksButTracksWorse) {
+  auto focv = core::make_paper_controller();
+  mppt::DirectConnectionController direct;
+  NodeConfig cfg_a = base_config(focv);
+  NodeConfig cfg_b = base_config(direct);
+  cfg_b.storage.initial_voltage = 2.0;  // store far from MPP voltage
+  const env::LightTrace trace = env::constant_light(1000.0, 0.0, 3600.0);
+  const NodeReport a = simulate_node(trace, cfg_a);
+  const NodeReport b = simulate_node(trace, cfg_b);
+  EXPECT_GT(b.harvested_energy, 0.0);
+  EXPECT_GT(a.tracking_efficiency(), b.tracking_efficiency());
+}
+
+TEST(HarvesterNode, HighOverheadControllerFreezesBelowMinLux) {
+  mppt::HillClimbingController po;  // min_lux 1500
+  NodeConfig cfg = base_config(po);
+  const env::LightTrace trace = env::constant_light(500.0, 0.0, 1800.0);
+  const NodeReport report = simulate_node(trace, cfg);
+  EXPECT_DOUBLE_EQ(report.harvested_energy, 0.0);
+  EXPECT_DOUBLE_EQ(report.overhead_energy, 0.0);
+  EXPECT_LT(report.coldstart_time, 0.0);  // never ran
+}
+
+TEST(HarvesterNode, ColdStartDelaysHarvesting) {
+  auto ctl = core::make_paper_controller();
+  NodeConfig cfg = base_config(ctl);
+  cfg.storage.initial_voltage = 0.0;
+  cfg.coldstart = power::ColdStartCircuit::Params{};
+  const env::LightTrace trace = env::constant_light(200.0, 0.0, 600.0);
+  const NodeReport report = simulate_node(trace, cfg);
+  // At 200 lux C1 charges within the first (1 s) simulation step, so the
+  // start time reads 0 -- matching the paper's "quickly generate a
+  // signal on the PULSE line".
+  EXPECT_GE(report.coldstart_time, 0.0);
+  EXPECT_LT(report.coldstart_time, 30.0);
+  EXPECT_GT(report.harvested_energy, 0.0);
+}
+
+TEST(HarvesterNode, BrownoutWhenStoreEmptyAndDark) {
+  auto ctl = core::make_paper_controller();
+  NodeConfig cfg = base_config(ctl);
+  cfg.storage.initial_voltage = 0.0;  // empty, dark trace
+  const env::LightTrace trace = env::constant_light(0.0, 0.0, 600.0);
+  const NodeReport report = simulate_node(trace, cfg);
+  EXPECT_GT(report.brownout_steps, 0);
+  EXPECT_DOUBLE_EQ(report.load_energy_served, 0.0);
+}
+
+TEST(HarvesterNode, RecordsTracesWhenAsked) {
+  auto ctl = core::make_paper_controller();
+  NodeConfig cfg = base_config(ctl);
+  cfg.record_traces = true;
+  cfg.record_stride = 10;
+  const env::LightTrace trace = env::constant_light(1000.0, 0.0, 600.0);
+  const NodeReport report = simulate_node(trace, cfg);
+  EXPECT_GT(report.time.size(), 10u);
+  EXPECT_EQ(report.time.size(), report.pv_voltage.size());
+  EXPECT_EQ(report.time.size(), report.store_voltage.size());
+}
+
+TEST(HarvesterNode, RejectsMissingPieces) {
+  NodeConfig cfg;
+  const env::LightTrace trace = env::constant_light(100.0, 0.0, 10.0);
+  EXPECT_THROW(simulate_node(trace, cfg), PreconditionError);
+}
+
+TEST(HarvesterNode, NetEnergyPositiveIndoorsForProposed) {
+  // The headline claim: at office light the proposed technique nets
+  // positive energy (overhead far below harvest).
+  auto ctl = core::make_paper_controller();
+  NodeConfig cfg = base_config(ctl);
+  const env::LightTrace trace = env::constant_light(500.0, 0.0, 3600.0);
+  const NodeReport report = simulate_node(trace, cfg);
+  EXPECT_GT(report.net_energy(), 0.0);
+}
+
+TEST(HarvesterNode, BatteryStoreChargesUnderOfficeLight) {
+  auto ctl = core::make_paper_controller();
+  NodeConfig cfg = base_config(ctl);
+  power::Battery::Params bat;
+  bat.initial_soc = 0.3;
+  cfg.battery = bat;
+  const env::LightTrace trace = env::constant_light(1000.0, 0.0, 4.0 * 3600.0);
+  const NodeReport report = simulate_node(trace, cfg);
+  EXPECT_GT(report.net_energy(), 0.0);
+  // The battery's OCV rose with its state of charge.
+  EXPECT_GT(report.final_store_voltage, power::Battery(bat).open_circuit_voltage());
+}
+
+TEST(HarvesterNode, BatteryBrownoutWhenEmptyAndDark) {
+  auto ctl = core::make_paper_controller();
+  NodeConfig cfg = base_config(ctl);
+  power::Battery::Params bat;
+  bat.initial_soc = 0.0;
+  cfg.battery = bat;
+  const env::LightTrace trace = env::constant_light(0.0, 0.0, 600.0);
+  const NodeReport report = simulate_node(trace, cfg);
+  EXPECT_GT(report.brownout_steps, 0);
+}
+
+}  // namespace
+}  // namespace focv::node

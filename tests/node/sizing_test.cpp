@@ -1,0 +1,62 @@
+#include "node/sizing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/focv_system.hpp"
+#include "env/profiles.hpp"
+#include "pv/cell_library.hpp"
+
+namespace focv::node {
+namespace {
+
+SizingQuery office_query(mppt::MpptController& ctl, const env::LightTrace& trace,
+                         double report_period) {
+  SizingQuery q;
+  q.cell = &pv::sanyo_am1815();
+  q.scenario = &trace;
+  q.controller = &ctl;
+  q.load.report_period = report_period;
+  return q;
+}
+
+TEST(Sizing, LightLoadNeedsSmallCell) {
+  auto ctl = core::make_paper_controller();
+  const env::LightTrace day = env::office_desk_mixed();
+  const SizingResult r =
+      size_for_energy_neutrality(office_query(ctl, day, 600.0));  // report every 10 min
+  ASSERT_TRUE(r.feasible);
+  EXPECT_LT(r.area_factor, 2.0);  // one AM-1815 class cell suffices
+  EXPECT_GE(r.daily_harvest_j, r.daily_load_j);
+  EXPECT_GT(r.storage_j, 0.0);   // must ride through the night
+  EXPECT_GT(r.storage_f_at_3v, 0.0);
+}
+
+TEST(Sizing, HeavierLoadNeedsLargerCell) {
+  auto ctl_light = core::make_paper_controller();
+  auto ctl_heavy = core::make_paper_controller();
+  const env::LightTrace day = env::office_desk_mixed();
+  const SizingResult light =
+      size_for_energy_neutrality(office_query(ctl_light, day, 600.0));
+  const SizingResult heavy =
+      size_for_energy_neutrality(office_query(ctl_heavy, day, 60.0));
+  ASSERT_TRUE(light.feasible);
+  ASSERT_TRUE(heavy.feasible);
+  EXPECT_GT(heavy.area_factor, light.area_factor);
+  EXPECT_GT(heavy.storage_j, light.storage_j);
+}
+
+TEST(Sizing, InfeasibleWhenScenarioIsDark) {
+  auto ctl = core::make_paper_controller();
+  const env::LightTrace dark = env::constant_light(0.0, 0.0, 86400.0, 60.0);
+  const SizingResult r =
+      size_for_energy_neutrality(office_query(ctl, dark, 600.0), 0.1, 4.0);
+  EXPECT_FALSE(r.feasible);
+}
+
+TEST(Sizing, RejectsMissingInputs) {
+  SizingQuery q;
+  EXPECT_THROW(size_for_energy_neutrality(q), PreconditionError);
+}
+
+}  // namespace
+}  // namespace focv::node

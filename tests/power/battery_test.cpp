@@ -1,0 +1,82 @@
+#include "power/battery.hpp"
+
+#include <gtest/gtest.h>
+
+namespace focv::power {
+namespace {
+
+Battery::Params ideal() {
+  Battery::Params p;
+  p.capacity_j = 100.0;
+  p.coulombic_efficiency = 1.0;
+  p.self_discharge_per_day = 0.0;
+  p.max_charge_power = 1e9;
+  p.initial_soc = 0.5;
+  return p;
+}
+
+TEST(Battery, ChargeAndDischargeTrackSoc) {
+  Battery bat(ideal());
+  bat.apply_power(1.0, 10.0);  // +10 J
+  EXPECT_NEAR(bat.soc(), 0.6, 1e-12);
+  bat.apply_power(-2.0, 10.0);  // -20 J
+  EXPECT_NEAR(bat.soc(), 0.4, 1e-12);
+}
+
+TEST(Battery, CoulombicEfficiencyTaxesCharging) {
+  Battery::Params p = ideal();
+  p.coulombic_efficiency = 0.9;
+  Battery bat(p);
+  const double delta = bat.apply_power(1.0, 10.0);
+  EXPECT_NEAR(delta, 9.0, 1e-12);
+}
+
+TEST(Battery, ChargeAcceptanceLimit) {
+  Battery::Params p = ideal();
+  p.max_charge_power = 0.5;
+  Battery bat(p);
+  const double delta = bat.apply_power(5.0, 10.0);  // asks 50 J, accepts 5 J
+  EXPECT_NEAR(delta, 5.0, 1e-12);
+}
+
+TEST(Battery, ClampsAtFullAndEmpty) {
+  Battery bat(ideal());
+  bat.apply_power(100.0, 100.0);
+  EXPECT_TRUE(bat.full());
+  bat.apply_power(-100.0, 100.0);
+  EXPECT_NEAR(bat.soc(), 0.0, 1e-12);
+  EXPECT_FALSE(bat.usable());
+}
+
+TEST(Battery, OcvRisesWithSoc) {
+  Battery bat(ideal());
+  bat.set_soc(0.1);
+  const double low = bat.open_circuit_voltage();
+  bat.set_soc(0.9);
+  EXPECT_GT(bat.open_circuit_voltage(), low);
+}
+
+TEST(Battery, TerminalVoltageDropsUnderLoad) {
+  Battery bat(ideal());
+  EXPECT_LT(bat.terminal_voltage(10e-3), bat.terminal_voltage(0.0));
+}
+
+TEST(Battery, SelfDischarge) {
+  Battery::Params p = ideal();
+  p.self_discharge_per_day = 0.1;
+  Battery bat(p);
+  bat.apply_power(0.0, 86400.0);
+  EXPECT_NEAR(bat.soc(), 0.4, 1e-12);
+}
+
+TEST(Battery, RejectsBadParams) {
+  Battery::Params p = ideal();
+  p.capacity_j = 0.0;
+  EXPECT_THROW(Battery{p}, focv::PreconditionError);
+  Battery bat(ideal());
+  EXPECT_THROW(bat.apply_power(1.0, 0.0), focv::PreconditionError);
+  EXPECT_THROW(bat.set_soc(1.5), focv::PreconditionError);
+}
+
+}  // namespace
+}  // namespace focv::power

@@ -1,0 +1,92 @@
+#include "power/coldstart.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "pv/cell_library.hpp"
+
+namespace focv::power {
+namespace {
+
+pv::Conditions at_lux(double lux) {
+  pv::Conditions c;
+  c.illuminance_lux = lux;
+  return c;
+}
+
+TEST(ColdStart, ChargesAndFiresAt200Lux) {
+  ColdStartCircuit cs;
+  const auto& cell = pv::sanyo_am1815();
+  const pv::Conditions c = at_lux(200.0);
+  double t = 0.0;
+  while (!cs.started() && t < 30.0) {
+    cs.advance(cell, c, 0.1);
+    t += 0.1;
+  }
+  EXPECT_TRUE(cs.started());
+  EXPECT_LT(t, 10.0);  // "quickly generate a signal on the PULSE line"
+}
+
+TEST(ColdStart, TimeToStartMatchesSimulation) {
+  ColdStartCircuit cs;
+  const auto& cell = pv::sanyo_am1815();
+  const pv::Conditions c = at_lux(200.0);
+  const double predicted = cs.time_to_start(cell, c);
+  double t = 0.0;
+  while (!cs.started() && t < 60.0) {
+    cs.advance(cell, c, 0.01);
+    t += 0.01;
+  }
+  EXPECT_NEAR(t, predicted, 0.2 * predicted + 0.1);
+}
+
+TEST(ColdStart, NeverStartsInDarkness) {
+  ColdStartCircuit cs;
+  const auto& cell = pv::sanyo_am1815();
+  const pv::Conditions dark = at_lux(1.0);
+  EXPECT_TRUE(std::isinf(cs.time_to_start(cell, dark)));
+  for (int i = 0; i < 100; ++i) cs.advance(cell, dark, 1.0);
+  EXPECT_FALSE(cs.started());
+}
+
+TEST(ColdStart, FasterAtHigherLux) {
+  ColdStartCircuit cs;
+  const auto& cell = pv::sanyo_am1815();
+  EXPECT_LT(cs.time_to_start(cell, at_lux(1000.0)), cs.time_to_start(cell, at_lux(200.0)));
+}
+
+TEST(ColdStart, HysteresisKeepsRunningUnderLoadDip) {
+  ColdStartCircuit::Params p;
+  p.threshold = 2.2;
+  p.hysteresis = 0.4;
+  ColdStartCircuit cs(p);
+  const auto& cell = pv::sanyo_am1815();
+  const pv::Conditions c = at_lux(400.0);
+  while (!cs.started()) cs.advance(cell, c, 0.1);
+  // With the MPPT load drawing more than the cell provides, C1 sags but
+  // stays above threshold - hysteresis for a while.
+  cs.advance(cell, at_lux(50.0), 1.0, 30e-6);
+  EXPECT_TRUE(cs.started());
+}
+
+TEST(ColdStart, DropsOutBelowHysteresis) {
+  ColdStartCircuit cs;
+  const auto& cell = pv::sanyo_am1815();
+  while (!cs.started()) cs.advance(cell, at_lux(400.0), 0.1);
+  // Long dark spell with the load on: the reservoir empties.
+  for (int i = 0; i < 600 && cs.started(); ++i) cs.advance(cell, at_lux(0.5), 1.0, 30e-6);
+  EXPECT_FALSE(cs.started());
+}
+
+TEST(ColdStart, ResetRestoresEmptyState) {
+  ColdStartCircuit cs;
+  const auto& cell = pv::sanyo_am1815();
+  while (!cs.started()) cs.advance(cell, at_lux(400.0), 0.1);
+  cs.reset();
+  EXPECT_FALSE(cs.started());
+  EXPECT_DOUBLE_EQ(cs.capacitor_voltage(), 0.0);
+}
+
+}  // namespace
+}  // namespace focv::power

@@ -1,0 +1,59 @@
+#include "power/converter.hpp"
+
+#include <gtest/gtest.h>
+
+namespace focv::power {
+namespace {
+
+TEST(Converter, EfficiencyBelowPeak) {
+  const BuckBoostConverter conv;
+  for (double p = 1e-6; p < 1e-2; p *= 3.0) {
+    EXPECT_LE(conv.efficiency(p, 3.0), conv.params().efficiency_peak);
+  }
+}
+
+TEST(Converter, OutputMonotoneInInputPower) {
+  const BuckBoostConverter conv;
+  double prev = 0.0;
+  for (double p = 1e-6; p < 1e-2; p *= 1.5) {
+    const double out = conv.output_power(p, 3.0);
+    EXPECT_GE(out, prev);
+    prev = out;
+  }
+}
+
+TEST(Converter, NoOutputBelowMinimumVoltage) {
+  const BuckBoostConverter conv;
+  EXPECT_DOUBLE_EQ(conv.output_power(1e-3, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(conv.output_power(1e-3, 20.0), 0.0);
+  EXPECT_GT(conv.output_power(1e-3, 3.0), 0.0);
+}
+
+TEST(Converter, FixedLossDominatesTinyInputs) {
+  BuckBoostConverter::Params p;
+  p.fixed_loss = 5e-6;
+  const BuckBoostConverter conv(p);
+  EXPECT_DOUBLE_EQ(conv.output_power(4e-6, 3.0), 0.0);  // eaten by control
+  EXPECT_GT(conv.output_power(100e-6, 3.0), 0.0);
+}
+
+TEST(Converter, LightLoadEfficiencyRollsOff) {
+  const BuckBoostConverter conv;
+  EXPECT_LT(conv.efficiency(5e-6, 3.0), conv.efficiency(500e-6, 3.0));
+}
+
+TEST(Converter, ZeroAndNegativeInputSafe) {
+  const BuckBoostConverter conv;
+  EXPECT_DOUBLE_EQ(conv.output_power(0.0, 3.0), 0.0);
+  EXPECT_DOUBLE_EQ(conv.output_power(-1e-3, 3.0), 0.0);
+  EXPECT_DOUBLE_EQ(conv.efficiency(0.0, 3.0), 0.0);
+}
+
+TEST(Converter, RejectsBadParams) {
+  BuckBoostConverter::Params p;
+  p.efficiency_peak = 1.5;
+  EXPECT_THROW(BuckBoostConverter{p}, focv::PreconditionError);
+}
+
+}  // namespace
+}  // namespace focv::power

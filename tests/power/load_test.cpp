@@ -1,0 +1,50 @@
+#include "power/load.hpp"
+
+#include <gtest/gtest.h>
+
+namespace focv::power {
+namespace {
+
+TEST(WsnLoad, AveragePowerMatchesBurstEnergy) {
+  WsnLoad::Params p;
+  p.sleep_power = 10e-6;
+  p.sense_power = 1e-3;
+  p.sense_duration = 10e-3;
+  p.tx_power = 50e-3;
+  p.tx_duration = 5e-3;
+  p.report_period = 60.0;
+  const WsnLoad load(p);
+  const double expected = 10e-6 + (1e-3 * 10e-3 + 50e-3 * 5e-3) / 60.0;
+  EXPECT_NEAR(load.average_power(), expected, 1e-12);
+}
+
+TEST(WsnLoad, InstantaneousProfileShape) {
+  const WsnLoad load;  // defaults
+  const auto& p = load.params();
+  EXPECT_NEAR(load.power_at(p.sense_duration / 2), p.sense_power + p.sleep_power, 1e-12);
+  EXPECT_NEAR(load.power_at(p.sense_duration + p.tx_duration / 2),
+              p.tx_power + p.sleep_power, 1e-12);
+  EXPECT_NEAR(load.power_at(p.report_period / 2), p.sleep_power, 1e-12);
+  // Periodicity.
+  EXPECT_NEAR(load.power_at(p.report_period + 1e-3), load.power_at(1e-3), 1e-12);
+}
+
+TEST(WsnLoad, AverageEqualsIntegralOfProfile) {
+  const WsnLoad load;
+  const double period = load.params().report_period;
+  double integral = 0.0;
+  const double dt = 1e-4;
+  for (double t = 0.0; t < period; t += dt) integral += load.power_at(t) * dt;
+  EXPECT_NEAR(integral / period, load.average_power(), load.average_power() * 0.01);
+}
+
+TEST(WsnLoad, RejectsBurstLongerThanPeriod) {
+  WsnLoad::Params p;
+  p.sense_duration = 40.0;
+  p.tx_duration = 30.0;
+  p.report_period = 60.0;
+  EXPECT_THROW(WsnLoad{p}, focv::PreconditionError);
+}
+
+}  // namespace
+}  // namespace focv::power

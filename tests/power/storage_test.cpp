@@ -1,0 +1,70 @@
+#include "power/storage.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace focv::power {
+namespace {
+
+Supercapacitor::Params no_leak() {
+  Supercapacitor::Params p;
+  p.capacitance = 1.0;
+  p.max_voltage = 5.0;
+  p.min_useful_voltage = 1.8;
+  p.self_discharge_resistance = 0.0;
+  return p;
+}
+
+TEST(Supercapacitor, ChargingConservesEnergy) {
+  Supercapacitor cap(no_leak());
+  const double absorbed = cap.apply_power(1e-3, 100.0);  // 0.1 J
+  EXPECT_NEAR(absorbed, 0.1, 1e-12);
+  EXPECT_NEAR(cap.stored_energy(), 0.1, 1e-12);
+  EXPECT_NEAR(cap.voltage(), std::sqrt(0.2), 1e-9);
+}
+
+TEST(Supercapacitor, DischargeStopsAtEmpty) {
+  Supercapacitor cap(no_leak());
+  cap.set_voltage(1.0);  // 0.5 J
+  const double delivered = cap.apply_power(-1.0, 10.0);  // asks for 10 J
+  EXPECT_NEAR(delivered, -0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(cap.voltage(), 0.0);
+}
+
+TEST(Supercapacitor, ClipsAtMaxVoltage) {
+  Supercapacitor cap(no_leak());
+  cap.apply_power(1.0, 1000.0);  // would exceed the 5 V limit
+  EXPECT_NEAR(cap.voltage(), 5.0, 1e-9);
+  EXPECT_TRUE(cap.full());
+}
+
+TEST(Supercapacitor, UsableThreshold) {
+  Supercapacitor cap(no_leak());
+  EXPECT_FALSE(cap.usable());
+  cap.set_voltage(2.0);
+  EXPECT_TRUE(cap.usable());
+  cap.set_voltage(1.7);
+  EXPECT_FALSE(cap.usable());
+}
+
+TEST(Supercapacitor, SelfDischargeDecays) {
+  Supercapacitor::Params p = no_leak();
+  p.self_discharge_resistance = 100.0;  // tau = 100 s
+  Supercapacitor cap(p);
+  cap.set_voltage(4.0);
+  cap.apply_power(0.0, 100.0);
+  EXPECT_NEAR(cap.voltage(), 4.0 * std::exp(-1.0), 1e-6);
+}
+
+TEST(Supercapacitor, RejectsBadUse) {
+  Supercapacitor cap(no_leak());
+  EXPECT_THROW(cap.apply_power(1.0, 0.0), focv::PreconditionError);
+  EXPECT_THROW(cap.set_voltage(99.0), focv::PreconditionError);
+  Supercapacitor::Params bad = no_leak();
+  bad.capacitance = 0.0;
+  EXPECT_THROW(Supercapacitor{bad}, focv::PreconditionError);
+}
+
+}  // namespace
+}  // namespace focv::power

@@ -1,0 +1,69 @@
+// PV cell as a circuit element.
+#include <gtest/gtest.h>
+
+#include "circuit/dc_analysis.hpp"
+#include "circuit/devices_passive.hpp"
+#include "circuit/transient.hpp"
+#include "common/math.hpp"
+#include "pv/cell_library.hpp"
+#include "pv/pv_device.hpp"
+
+namespace focv::pv {
+namespace {
+
+using circuit::Circuit;
+using circuit::kGround;
+using circuit::NodeId;
+using circuit::Resistor;
+using circuit::Vector;
+
+TEST(PvCellDevice, ResistiveLoadOperatingPointMatchesModel) {
+  // PV cell loaded with R: circuit solution must satisfy I(V) = V/R.
+  const MertenAsiModel& cell = sanyo_am1815();
+  Conditions c;
+  c.illuminance_lux = 1000.0;
+  for (const double r : {10e3, 50e3, 200e3}) {
+    Circuit ckt;
+    const NodeId pv = ckt.node("pv");
+    ckt.add<PvCellDevice>("PV", pv, kGround, cell, c);
+    ckt.add<Resistor>("R", pv, kGround, r);
+    const Vector x = circuit::dc_operating_point(ckt);
+    const double v = x[static_cast<std::size_t>(pv - 1)];
+    // Independent solve of the same load line.
+    const double v_expected = brent_root(
+        [&](double vv) { return cell.current(vv, c) - vv / r; }, 0.0,
+        cell.voltage_bound(c));
+    EXPECT_NEAR(v, v_expected, 1e-4) << "R=" << r;
+  }
+}
+
+TEST(PvCellDevice, OpenCircuitNodeSitsAtVoc) {
+  const MertenAsiModel& cell = sanyo_am1815();
+  Conditions c;
+  c.illuminance_lux = 500.0;
+  Circuit ckt;
+  const NodeId pv = ckt.node("pv");
+  ckt.add<PvCellDevice>("PV", pv, kGround, cell, c);
+  ckt.add<Resistor>("R", pv, kGround, 1e12);  // effectively open
+  const Vector x = circuit::dc_operating_point(ckt);
+  EXPECT_NEAR(x[static_cast<std::size_t>(pv - 1)], cell.open_circuit_voltage(c), 2e-3);
+}
+
+TEST(PvCellDevice, ConditionsChangeTakesEffect) {
+  const MertenAsiModel& cell = sanyo_am1815();
+  Conditions dim;
+  dim.illuminance_lux = 200.0;
+  Circuit ckt;
+  const NodeId pv = ckt.node("pv");
+  auto& dev = ckt.add<PvCellDevice>("PV", pv, kGround, cell, dim);
+  ckt.add<Resistor>("R", pv, kGround, 30e3);
+  const Vector x1 = circuit::dc_operating_point(ckt);
+  Conditions bright = dim;
+  bright.illuminance_lux = 5000.0;
+  dev.set_conditions(bright);
+  const Vector x2 = circuit::dc_operating_point(ckt);
+  EXPECT_GT(x2[static_cast<std::size_t>(pv - 1)], x1[static_cast<std::size_t>(pv - 1)]);
+}
+
+}  // namespace
+}  // namespace focv::pv

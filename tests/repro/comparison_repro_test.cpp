@@ -1,0 +1,103 @@
+// Reproduction assertions: the state-of-the-art comparison (Sections I,
+// IV-B): who can afford to track at which light level.
+#include <gtest/gtest.h>
+
+#include "core/focv_system.hpp"
+#include "env/profiles.hpp"
+#include "mppt/baselines.hpp"
+#include "node/harvester_node.hpp"
+#include "pv/cell_library.hpp"
+
+namespace focv {
+namespace {
+
+node::NodeReport run(mppt::MpptController& ctl, const env::LightTrace& trace) {
+  node::NodeConfig cfg;
+  cfg.cell = &pv::sanyo_am1815();
+  cfg.controller = &ctl;
+  cfg.storage.initial_voltage = 3.0;
+  cfg.load.report_period = 300.0;  // light duty load
+  return node::simulate_node(trace, cfg);
+}
+
+TEST(ComparisonRepro, ProposedNetsPositiveIndoorsBaselinesDoNot) {
+  const env::LightTrace office = env::constant_light(500.0, 0.0, 4.0 * 3600.0);
+  auto proposed = core::make_paper_controller();
+  mppt::HillClimbingController po;
+  mppt::PhotodetectorController photo;
+  mppt::PeriodicDisconnectFocvController periodic;
+  mppt::PilotCellFocvController pilot;
+
+  EXPECT_GT(run(proposed, office).net_energy(), 0.0);
+  // The outdoor techniques cannot even run at 500 lux (supply floor) --
+  // and if they could, their overhead would exceed the ~0.3 mW harvest.
+  EXPECT_LE(run(po, office).net_energy(), 0.0);
+  EXPECT_LE(run(photo, office).net_energy(), 0.0);
+  EXPECT_LE(run(periodic, office).net_energy(), 0.0);
+  // The pilot-cell system runs at 500 lux but its 300 uW overhead eats
+  // the harvest.
+  EXPECT_LT(run(pilot, office).net_energy(), run(proposed, office).net_energy());
+}
+
+TEST(ComparisonRepro, ProposedCompetitiveOutdoors) {
+  const env::LightTrace bright = env::constant_light(0.0, 40000.0, 3600.0);
+  auto proposed = core::make_paper_controller();
+  mppt::HillClimbingController po;
+  const node::NodeReport a = run(proposed, bright);
+  const node::NodeReport b = run(po, bright);
+  EXPECT_GT(a.net_energy(), 0.0);
+  EXPECT_GT(b.net_energy(), 0.0);
+  // Outdoors the proposed system stays within ~15% of the hill climber
+  // (which tracks the true MPP but pays 1 mW for it).
+  EXPECT_GT(a.net_energy(), 0.85 * b.net_energy());
+}
+
+TEST(ComparisonRepro, ProposedMatchesFixedVoltageAcrossMixedDayWithoutTuning) {
+  // On the AM-1815 itself a well-tuned fixed voltage is an excellent
+  // tracker (the calibrated cell's MPP voltage is nearly flat in
+  // illuminance), so across the bright mixed day the two land within a
+  // few percent of each other -- but the fixed setting had to be tuned
+  // to this exact cell, while FOCV derives it from the cell's own Voc.
+  const env::LightTrace day = env::semi_mobile_day();
+  auto proposed = core::make_paper_controller();
+  mppt::FixedVoltageController fixed;
+  const node::NodeReport a = run(proposed, day);
+  const node::NodeReport b = run(fixed, day);
+  EXPECT_GT(a.net_energy(), 0.95 * b.net_energy());
+  // Indoors (overhead-dominated regime) the proposed technique nets
+  // strictly more: the S&H draws less than the reference IC (paper,
+  // Section IV-B).
+  const env::LightTrace office = env::constant_light(400.0, 0.0, 6.0 * 3600.0);
+  auto proposed2 = core::make_paper_controller();
+  mppt::FixedVoltageController fixed2;
+  EXPECT_GT(run(proposed2, office).net_energy(), run(fixed2, office).net_energy());
+}
+
+TEST(ComparisonRepro, FocvPortsAcrossCellsFixedVoltageNeedsRetuning) {
+  // Swap in the 8-junction Schott module: FOCV keeps tracking; the
+  // 3.0 V setting tuned for the AM-1815 is now well below that cell's
+  // MPP voltage.
+  const env::LightTrace office = env::constant_light(1000.0, 0.0, 3600.0);
+  auto proposed = core::make_paper_controller();
+  mppt::FixedVoltageController fixed;
+  node::NodeConfig cfg_a;
+  cfg_a.cell = &pv::schott_asi_1116929();
+  cfg_a.controller = &proposed;
+  cfg_a.storage.initial_voltage = 3.0;
+  node::NodeConfig cfg_b = cfg_a;
+  cfg_b.controller = &fixed;
+  const node::NodeReport a = node::simulate_node(office, cfg_a);
+  const node::NodeReport b = node::simulate_node(office, cfg_b);
+  EXPECT_GT(a.tracking_efficiency(), b.tracking_efficiency() + 0.015);
+}
+
+TEST(ComparisonRepro, DisconnectLossOrdersOfMagnitudeBelow100msFocv) {
+  // [4] samples every 100 ms (5% disconnection); the proposed 39 ms / 69 s
+  // keeps the cell connected 99.94% of the time.
+  const double proposed_duty = 0.039 / 69.039;
+  const double simjee_duty = 0.005 / 0.1;
+  EXPECT_LT(proposed_duty, simjee_duty / 50.0);
+}
+
+}  // namespace
+}  // namespace focv

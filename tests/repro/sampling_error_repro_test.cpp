@@ -1,0 +1,55 @@
+// Reproduction assertions: Section II-B sampling-error analysis.
+#include <gtest/gtest.h>
+
+#include "analysis/sampling_error.hpp"
+#include "env/profiles.hpp"
+#include "pv/cell_library.hpp"
+
+namespace focv {
+namespace {
+
+TEST(SamplingErrorRepro, DeskTestNearTwelvePointSevenMillivolts) {
+  const env::LightTrace trace = env::desk_sunday_blinds_closed();
+  const auto voc = trace.voc_series(pv::schott_asi_1116929(), 300.15);
+  const double e = analysis::worst_case_mean_error(voc, 60);
+  // Paper: 12.7 mV for a 1-minute hold. Allow +-20% (synthetic light).
+  EXPECT_NEAR(e, 12.7e-3, 0.2 * 12.7e-3);
+}
+
+TEST(SamplingErrorRepro, SemiMobileNearTwentyFourMillivolts) {
+  const env::LightTrace trace = env::semi_mobile_day();
+  const auto voc = trace.voc_series(pv::schott_asi_1116929(), 300.15);
+  const double e = analysis::worst_case_mean_error(voc, 60);
+  // Paper: 24.1 mV.
+  EXPECT_NEAR(e, 24.1e-3, 0.2 * 24.1e-3);
+}
+
+TEST(SamplingErrorRepro, MppErrorMapsThroughK) {
+  // 12.7 mV -> ~7.7 mV and 24.1 mV -> ~14.7 mV via Vmpp = k * Voc.
+  EXPECT_NEAR(analysis::mpp_voltage_error(12.7e-3, 0.603), 7.7e-3, 0.3e-3);
+  EXPECT_NEAR(analysis::mpp_voltage_error(24.1e-3, 0.61), 14.7e-3, 0.3e-3);
+}
+
+TEST(SamplingErrorRepro, EfficiencyLossBelowOnePercent) {
+  // "this equates to an efficiency loss of less than 1%".
+  pv::Conditions c;
+  c.illuminance_lux = 1000.0;
+  const double loss =
+      analysis::efficiency_loss_at_offset(pv::schott_asi_1116929(), c, 14.7e-3);
+  EXPECT_LT(loss, 0.01);
+}
+
+TEST(SamplingErrorRepro, LongHoldJustified) {
+  // The design conclusion: >60 s holds remain cheap. Check the error at
+  // 120 s is still well under the harmful range (tens of mV -> <1%).
+  const env::LightTrace trace = env::desk_sunday_blinds_closed();
+  const auto voc = trace.voc_series(pv::schott_asi_1116929(), 300.15);
+  const double e120 = analysis::worst_case_mean_error(voc, 120);
+  pv::Conditions c;
+  c.illuminance_lux = 1000.0;
+  EXPECT_LT(analysis::efficiency_loss_at_offset(pv::schott_asi_1116929(), c, 0.61 * e120),
+            0.02);
+}
+
+}  // namespace
+}  // namespace focv

@@ -1,0 +1,56 @@
+// Reproduction assertions: Table I (tracking accuracy).
+#include <gtest/gtest.h>
+
+#include "core/focv_system.hpp"
+#include "mppt/focv_sample_hold.hpp"
+#include "pv/calibration.hpp"
+#include "pv/cell_library.hpp"
+
+namespace focv {
+namespace {
+
+TEST(Table1Repro, EffectiveKWithinPaperBand) {
+  // The paper reports 2*HELD/Voc between 59.2% and 60.1% across
+  // 200..5000 lux. Behavioural tier, nominal trim.
+  auto ctl = core::make_paper_controller();
+  pv::Conditions c;
+  for (const pv::VocAnchor& anchor : pv::table1_voc_anchors()) {
+    c.illuminance_lux = anchor.lux;
+    const double voc = pv::sanyo_am1815().open_circuit_voltage(c);
+    ctl.reset();
+    mppt::SensedInputs s;
+    s.time = 0.0;
+    s.dt = 1.0;
+    s.voc = voc;
+    (void)ctl.step(s);
+    const double held = ctl.held_sample(1.0);
+    const double k_pct = 2.0 * held / voc * 100.0;
+    EXPECT_GT(k_pct, 59.0) << "lux=" << anchor.lux;
+    EXPECT_LT(k_pct, 60.5) << "lux=" << anchor.lux;
+  }
+}
+
+TEST(Table1Repro, HeldValuesNearPaper) {
+  // Paper HELD column: 1.483 V at 200 lux ... 1.775 V at 5000 lux.
+  auto ctl = core::make_paper_controller();
+  pv::Conditions c;
+  struct Row {
+    double lux, held;
+  };
+  const Row rows[] = {{200, 1.483}, {1000, 1.624}, {5000, 1.775}};
+  for (const Row& row : rows) {
+    c.illuminance_lux = row.lux;
+    ctl.reset();
+    mppt::SensedInputs s;
+    s.time = 0.0;
+    s.dt = 1.0;
+    s.voc = pv::sanyo_am1815().open_circuit_voltage(c);
+    (void)ctl.step(s);
+    // Within 25 mV: the cell model's Voc residual (up to ~32 mV at some
+    // anchors) scaled by the divider.
+    EXPECT_NEAR(ctl.held_sample(1.0), row.held, 0.025) << "lux=" << row.lux;
+  }
+}
+
+}  // namespace
+}  // namespace focv

@@ -1,0 +1,52 @@
+#include <cstdio>
+#include "circuit/transient.hpp"
+#include "circuit/devices_passive.hpp"
+#include "core/netlists.hpp"
+
+using namespace focv;
+using namespace focv::circuit;
+
+struct Timing { double t_on, period, iavg; };
+
+static Timing measure(double rc, double rd) {
+  Circuit ckt;
+  auto vddn = ckt.node("vdd");
+  ckt.add<VoltageSource>("Vdd", vddn, kGround, Waveform::dc(3.3));
+  core::SystemSpec spec;
+  spec.astable_r_charge = rc;
+  spec.astable_r_discharge = rd;
+  core::build_astable(ckt, vddn, spec);
+  TransientOptions opt;
+  opt.t_stop = 230.0;
+  opt.start_from_dc = false;
+  opt.dt_initial = 1e-5;
+  opt.dt_max = 0.5;
+  opt.dv_step_max = 0.4;
+  Trace tr = transient_analyze(ckt, opt);
+  auto rises = tr.crossing_times("ast_pulse", 1.65, true);
+  auto falls = tr.crossing_times("ast_pulse", 1.65, false);
+  Timing t{-1, -1, 0};
+  if (rises.size() >= 3) {
+    t.period = rises[2] - rises[1];
+    for (double f : falls) if (f > rises[1]) { t.t_on = f - rises[1]; break; }
+  }
+  t.iavg = -tr.time_average("I(Vdd)", 5.0, 225.0);
+  return t;
+}
+
+int main() {
+  double rc = 44.5e3, rd = 107.9e6;
+  for (int iter = 0; iter < 4; ++iter) {
+    Timing t = measure(rc, rd);
+    std::printf("rc=%.1fk rd=%.2fM -> t_on=%.2fms period=%.3fs iavg=%.3fuA\n",
+                rc/1e3, rd/1e6, t.t_on*1e3, t.period, t.iavg*1e6);
+    fflush(stdout);
+    if (t.t_on < 0) return 1;
+    rc *= 39e-3 / t.t_on;
+    rd *= (69.039 - 0.039) / (t.period - t.t_on);
+  }
+  Timing t = measure(rc, rd);
+  std::printf("FINAL rc=%.4fe3 rd=%.4fe6 -> t_on=%.2fms period=%.3fs iavg=%.3fuA\n",
+              rc/1e3, rd/1e6, t.t_on*1e3, t.period, t.iavg*1e6);
+  return 0;
+}

@@ -1,0 +1,28 @@
+#include <cstdio>
+#include "analysis/sampling_error.hpp"
+#include "env/profiles.hpp"
+#include "pv/cell_library.hpp"
+
+using namespace focv;
+
+static void report(const char* name, const env::LightTrace& trace) {
+  const auto& cell = pv::schott_asi_1116929();
+  const auto voc = trace.voc_series(cell, 300.15);
+  for (double period : {10.0, 60.0, 300.0, 600.0}) {
+    const double e = analysis::worst_case_mean_error(voc, static_cast<std::size_t>(period));
+    std::printf("%-22s p=%5.0fs  E=%7.2f mV\n", name, period, e * 1e3);
+  }
+  // lux stats
+  const auto lux = trace.equivalent_lux(cell);
+  double mx = 0, daytime_mean = 0; int cnt = 0;
+  for (double l : lux) { mx = std::max(mx, l); if (l > 5) { daytime_mean += l; ++cnt; } }
+  std::printf("%-22s max_lux=%.0f  lit_mean=%.0f  lit_frac=%.2f\n", name, mx,
+              cnt ? daytime_mean / cnt : 0.0, double(cnt) / lux.size());
+}
+
+int main() {
+  report("desk_sunday", env::desk_sunday_blinds_closed());
+  report("semi_mobile", env::semi_mobile_day());
+  report("office_mixed", env::office_desk_mixed());
+  return 0;
+}

@@ -1,0 +1,27 @@
+#include <cstdio>
+#include "pv/calibration.hpp"
+int main() {
+  using namespace focv::pv;
+  const CalibrationReport r = calibrate_am1815();
+  std::printf("objective      %.6g\n", r.objective);
+  std::printf("iterations     %d\n", r.iterations);
+  std::printf("max_voc_error  %.4g mV\n", r.max_voc_error * 1e3);
+  std::printf("vmpp_error     %.4g mV\n", r.vmpp_error * 1e3);
+  std::printf("impp_error     %.4g uA\n", r.impp_error * 1e6);
+  std::printf("photocurrent_per_lux = %.10e;\n", r.params.base.photocurrent_per_lux);
+  std::printf("saturation_current   = %.10e;\n", r.params.base.saturation_current);
+  std::printf("ideality             = %.10f;\n", r.params.base.ideality);
+  std::printf("recombination_chi    = %.10f;\n", r.params.recombination_chi);
+  std::printf("photo_shunt_per_volt = %.10f;\n", r.params.photo_shunt_per_volt);
+  const MertenAsiModel m(r.params);
+  Conditions c; c.spectrum = Spectrum::kFluorescent;
+  for (double lux : {200.,500.,1000.,2000.,5000.}) {
+    c.illuminance_lux = lux;
+    const double voc = m.open_circuit_voltage(c);
+    const MppResult mpp = m.maximum_power_point(c);
+    std::printf("lux %6.0f  Voc %.4f  Vmpp %.4f  Impp %7.2f uA  k %.4f  FF %.3f  Isc %7.2f uA\n",
+                lux, voc, mpp.voltage, mpp.current*1e6, mpp.voltage/voc, m.fill_factor(c),
+                m.short_circuit_current(c)*1e6);
+  }
+  return 0;
+}
