@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_hold_period"
+  "../bench/ablation_hold_period.pdb"
+  "CMakeFiles/ablation_hold_period.dir/ablation_hold_period.cpp.o"
+  "CMakeFiles/ablation_hold_period.dir/ablation_hold_period.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hold_period.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_nonidealities"
+  "../bench/ablation_nonidealities.pdb"
+  "CMakeFiles/ablation_nonidealities.dir/ablation_nonidealities.cpp.o"
+  "CMakeFiles/ablation_nonidealities.dir/ablation_nonidealities.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_nonidealities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/coldstart"
+  "../bench/coldstart.pdb"
+  "CMakeFiles/coldstart.dir/coldstart.cpp.o"
+  "CMakeFiles/coldstart.dir/coldstart.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coldstart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

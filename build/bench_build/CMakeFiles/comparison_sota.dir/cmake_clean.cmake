@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/comparison_sota"
+  "../bench/comparison_sota.pdb"
+  "CMakeFiles/comparison_sota.dir/comparison_sota.cpp.o"
+  "CMakeFiles/comparison_sota.dir/comparison_sota.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comparison_sota.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_converter_switching"
+  "../bench/ext_converter_switching.pdb"
+  "CMakeFiles/ext_converter_switching.dir/ext_converter_switching.cpp.o"
+  "CMakeFiles/ext_converter_switching.dir/ext_converter_switching.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_converter_switching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

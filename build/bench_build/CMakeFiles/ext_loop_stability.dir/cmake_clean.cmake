@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_loop_stability"
+  "../bench/ext_loop_stability.pdb"
+  "CMakeFiles/ext_loop_stability.dir/ext_loop_stability.cpp.o"
+  "CMakeFiles/ext_loop_stability.dir/ext_loop_stability.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_loop_stability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

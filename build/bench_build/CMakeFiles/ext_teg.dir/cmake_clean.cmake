@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_teg"
+  "../bench/ext_teg.pdb"
+  "CMakeFiles/ext_teg.dir/ext_teg.cpp.o"
+  "CMakeFiles/ext_teg.dir/ext_teg.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_teg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

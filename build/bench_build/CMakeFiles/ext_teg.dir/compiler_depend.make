@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ext_teg.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_temperature"
+  "../bench/ext_temperature.pdb"
+  "CMakeFiles/ext_temperature.dir/ext_temperature.cpp.o"
+  "CMakeFiles/ext_temperature.dir/ext_temperature.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_temperature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_tolerance_mc"
+  "../bench/ext_tolerance_mc.pdb"
+  "CMakeFiles/ext_tolerance_mc.dir/ext_tolerance_mc.cpp.o"
+  "CMakeFiles/ext_tolerance_mc.dir/ext_tolerance_mc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_tolerance_mc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

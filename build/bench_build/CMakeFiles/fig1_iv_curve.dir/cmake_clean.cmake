@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_iv_curve"
+  "../bench/fig1_iv_curve.pdb"
+  "CMakeFiles/fig1_iv_curve.dir/fig1_iv_curve.cpp.o"
+  "CMakeFiles/fig1_iv_curve.dir/fig1_iv_curve.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_iv_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

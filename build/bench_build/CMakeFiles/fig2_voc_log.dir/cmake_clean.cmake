@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_voc_log"
+  "../bench/fig2_voc_log.pdb"
+  "CMakeFiles/fig2_voc_log.dir/fig2_voc_log.cpp.o"
+  "CMakeFiles/fig2_voc_log.dir/fig2_voc_log.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_voc_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_sampling_transient"
+  "../bench/fig4_sampling_transient.pdb"
+  "CMakeFiles/fig4_sampling_transient.dir/fig4_sampling_transient.cpp.o"
+  "CMakeFiles/fig4_sampling_transient.dir/fig4_sampling_transient.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_sampling_transient.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sampling_error"
+  "../bench/sampling_error.pdb"
+  "CMakeFiles/sampling_error.dir/sampling_error.cpp.o"
+  "CMakeFiles/sampling_error.dir/sampling_error.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sampling_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

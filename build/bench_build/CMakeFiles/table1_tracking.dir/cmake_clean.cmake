@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_tracking"
+  "../bench/table1_tracking.pdb"
+  "CMakeFiles/table1_tracking.dir/table1_tracking.cpp.o"
+  "CMakeFiles/table1_tracking.dir/table1_tracking.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coldstart_demo.dir/coldstart_demo.cpp.o"
+  "CMakeFiles/coldstart_demo.dir/coldstart_demo.cpp.o.d"
+  "coldstart_demo"
+  "coldstart_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coldstart_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

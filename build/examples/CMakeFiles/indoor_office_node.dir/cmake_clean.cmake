@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/indoor_office_node.dir/indoor_office_node.cpp.o"
+  "CMakeFiles/indoor_office_node.dir/indoor_office_node.cpp.o.d"
+  "indoor_office_node"
+  "indoor_office_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/indoor_office_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

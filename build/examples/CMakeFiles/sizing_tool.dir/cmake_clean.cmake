@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sizing_tool.dir/sizing_tool.cpp.o"
+  "CMakeFiles/sizing_tool.dir/sizing_tool.cpp.o.d"
+  "sizing_tool"
+  "sizing_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sizing_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

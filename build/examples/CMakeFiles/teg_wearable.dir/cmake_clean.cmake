@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/teg_wearable.dir/teg_wearable.cpp.o"
+  "CMakeFiles/teg_wearable.dir/teg_wearable.cpp.o.d"
+  "teg_wearable"
+  "teg_wearable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/teg_wearable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wearable_mixed_light.dir/wearable_mixed_light.cpp.o"
+  "CMakeFiles/wearable_mixed_light.dir/wearable_mixed_light.cpp.o.d"
+  "wearable_mixed_light"
+  "wearable_mixed_light.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wearable_mixed_light.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analog/astable.cpp" "src/analog/CMakeFiles/focv_analog.dir/astable.cpp.o" "gcc" "src/analog/CMakeFiles/focv_analog.dir/astable.cpp.o.d"
+  "/root/repo/src/analog/power_budget.cpp" "src/analog/CMakeFiles/focv_analog.dir/power_budget.cpp.o" "gcc" "src/analog/CMakeFiles/focv_analog.dir/power_budget.cpp.o.d"
+  "/root/repo/src/analog/sample_hold.cpp" "src/analog/CMakeFiles/focv_analog.dir/sample_hold.cpp.o" "gcc" "src/analog/CMakeFiles/focv_analog.dir/sample_hold.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/focv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

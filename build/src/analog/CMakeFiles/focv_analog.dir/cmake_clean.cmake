@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/focv_analog.dir/astable.cpp.o"
+  "CMakeFiles/focv_analog.dir/astable.cpp.o.d"
+  "CMakeFiles/focv_analog.dir/power_budget.cpp.o"
+  "CMakeFiles/focv_analog.dir/power_budget.cpp.o.d"
+  "CMakeFiles/focv_analog.dir/sample_hold.cpp.o"
+  "CMakeFiles/focv_analog.dir/sample_hold.cpp.o.d"
+  "libfocv_analog.a"
+  "libfocv_analog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/focv_analog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

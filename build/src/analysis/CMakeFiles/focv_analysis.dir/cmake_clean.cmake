@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/focv_analysis.dir/sampling_error.cpp.o"
+  "CMakeFiles/focv_analysis.dir/sampling_error.cpp.o.d"
+  "libfocv_analysis.a"
+  "libfocv_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/focv_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/ac_analysis.cpp" "src/circuit/CMakeFiles/focv_circuit.dir/ac_analysis.cpp.o" "gcc" "src/circuit/CMakeFiles/focv_circuit.dir/ac_analysis.cpp.o.d"
+  "/root/repo/src/circuit/circuit.cpp" "src/circuit/CMakeFiles/focv_circuit.dir/circuit.cpp.o" "gcc" "src/circuit/CMakeFiles/focv_circuit.dir/circuit.cpp.o.d"
+  "/root/repo/src/circuit/dc_analysis.cpp" "src/circuit/CMakeFiles/focv_circuit.dir/dc_analysis.cpp.o" "gcc" "src/circuit/CMakeFiles/focv_circuit.dir/dc_analysis.cpp.o.d"
+  "/root/repo/src/circuit/devices_active.cpp" "src/circuit/CMakeFiles/focv_circuit.dir/devices_active.cpp.o" "gcc" "src/circuit/CMakeFiles/focv_circuit.dir/devices_active.cpp.o.d"
+  "/root/repo/src/circuit/devices_passive.cpp" "src/circuit/CMakeFiles/focv_circuit.dir/devices_passive.cpp.o" "gcc" "src/circuit/CMakeFiles/focv_circuit.dir/devices_passive.cpp.o.d"
+  "/root/repo/src/circuit/devices_sources.cpp" "src/circuit/CMakeFiles/focv_circuit.dir/devices_sources.cpp.o" "gcc" "src/circuit/CMakeFiles/focv_circuit.dir/devices_sources.cpp.o.d"
+  "/root/repo/src/circuit/matrix.cpp" "src/circuit/CMakeFiles/focv_circuit.dir/matrix.cpp.o" "gcc" "src/circuit/CMakeFiles/focv_circuit.dir/matrix.cpp.o.d"
+  "/root/repo/src/circuit/netlist_parser.cpp" "src/circuit/CMakeFiles/focv_circuit.dir/netlist_parser.cpp.o" "gcc" "src/circuit/CMakeFiles/focv_circuit.dir/netlist_parser.cpp.o.d"
+  "/root/repo/src/circuit/netlist_writer.cpp" "src/circuit/CMakeFiles/focv_circuit.dir/netlist_writer.cpp.o" "gcc" "src/circuit/CMakeFiles/focv_circuit.dir/netlist_writer.cpp.o.d"
+  "/root/repo/src/circuit/solver.cpp" "src/circuit/CMakeFiles/focv_circuit.dir/solver.cpp.o" "gcc" "src/circuit/CMakeFiles/focv_circuit.dir/solver.cpp.o.d"
+  "/root/repo/src/circuit/transient.cpp" "src/circuit/CMakeFiles/focv_circuit.dir/transient.cpp.o" "gcc" "src/circuit/CMakeFiles/focv_circuit.dir/transient.cpp.o.d"
+  "/root/repo/src/circuit/waveform.cpp" "src/circuit/CMakeFiles/focv_circuit.dir/waveform.cpp.o" "gcc" "src/circuit/CMakeFiles/focv_circuit.dir/waveform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/focv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/focv_circuit.dir/ac_analysis.cpp.o"
+  "CMakeFiles/focv_circuit.dir/ac_analysis.cpp.o.d"
+  "CMakeFiles/focv_circuit.dir/circuit.cpp.o"
+  "CMakeFiles/focv_circuit.dir/circuit.cpp.o.d"
+  "CMakeFiles/focv_circuit.dir/dc_analysis.cpp.o"
+  "CMakeFiles/focv_circuit.dir/dc_analysis.cpp.o.d"
+  "CMakeFiles/focv_circuit.dir/devices_active.cpp.o"
+  "CMakeFiles/focv_circuit.dir/devices_active.cpp.o.d"
+  "CMakeFiles/focv_circuit.dir/devices_passive.cpp.o"
+  "CMakeFiles/focv_circuit.dir/devices_passive.cpp.o.d"
+  "CMakeFiles/focv_circuit.dir/devices_sources.cpp.o"
+  "CMakeFiles/focv_circuit.dir/devices_sources.cpp.o.d"
+  "CMakeFiles/focv_circuit.dir/matrix.cpp.o"
+  "CMakeFiles/focv_circuit.dir/matrix.cpp.o.d"
+  "CMakeFiles/focv_circuit.dir/netlist_parser.cpp.o"
+  "CMakeFiles/focv_circuit.dir/netlist_parser.cpp.o.d"
+  "CMakeFiles/focv_circuit.dir/netlist_writer.cpp.o"
+  "CMakeFiles/focv_circuit.dir/netlist_writer.cpp.o.d"
+  "CMakeFiles/focv_circuit.dir/solver.cpp.o"
+  "CMakeFiles/focv_circuit.dir/solver.cpp.o.d"
+  "CMakeFiles/focv_circuit.dir/transient.cpp.o"
+  "CMakeFiles/focv_circuit.dir/transient.cpp.o.d"
+  "CMakeFiles/focv_circuit.dir/waveform.cpp.o"
+  "CMakeFiles/focv_circuit.dir/waveform.cpp.o.d"
+  "libfocv_circuit.a"
+  "libfocv_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/focv_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/focv_common.dir/ascii_plot.cpp.o"
+  "CMakeFiles/focv_common.dir/ascii_plot.cpp.o.d"
+  "CMakeFiles/focv_common.dir/csv.cpp.o"
+  "CMakeFiles/focv_common.dir/csv.cpp.o.d"
+  "CMakeFiles/focv_common.dir/math.cpp.o"
+  "CMakeFiles/focv_common.dir/math.cpp.o.d"
+  "CMakeFiles/focv_common.dir/nelder_mead.cpp.o"
+  "CMakeFiles/focv_common.dir/nelder_mead.cpp.o.d"
+  "CMakeFiles/focv_common.dir/table.cpp.o"
+  "CMakeFiles/focv_common.dir/table.cpp.o.d"
+  "libfocv_common.a"
+  "libfocv_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/focv_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

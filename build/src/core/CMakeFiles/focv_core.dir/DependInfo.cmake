@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/focv_system.cpp" "src/core/CMakeFiles/focv_core.dir/focv_system.cpp.o" "gcc" "src/core/CMakeFiles/focv_core.dir/focv_system.cpp.o.d"
+  "/root/repo/src/core/netlists.cpp" "src/core/CMakeFiles/focv_core.dir/netlists.cpp.o" "gcc" "src/core/CMakeFiles/focv_core.dir/netlists.cpp.o.d"
+  "/root/repo/src/core/tolerance.cpp" "src/core/CMakeFiles/focv_core.dir/tolerance.cpp.o" "gcc" "src/core/CMakeFiles/focv_core.dir/tolerance.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/focv_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/focv_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/pv/CMakeFiles/focv_pv.dir/DependInfo.cmake"
+  "/root/repo/build/src/analog/CMakeFiles/focv_analog.dir/DependInfo.cmake"
+  "/root/repo/build/src/mppt/CMakeFiles/focv_mppt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/focv_core.dir/focv_system.cpp.o"
+  "CMakeFiles/focv_core.dir/focv_system.cpp.o.d"
+  "CMakeFiles/focv_core.dir/netlists.cpp.o"
+  "CMakeFiles/focv_core.dir/netlists.cpp.o.d"
+  "CMakeFiles/focv_core.dir/tolerance.cpp.o"
+  "CMakeFiles/focv_core.dir/tolerance.cpp.o.d"
+  "libfocv_core.a"
+  "libfocv_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/focv_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/env/light_trace.cpp" "src/env/CMakeFiles/focv_env.dir/light_trace.cpp.o" "gcc" "src/env/CMakeFiles/focv_env.dir/light_trace.cpp.o.d"
+  "/root/repo/src/env/profiles.cpp" "src/env/CMakeFiles/focv_env.dir/profiles.cpp.o" "gcc" "src/env/CMakeFiles/focv_env.dir/profiles.cpp.o.d"
+  "/root/repo/src/env/solar.cpp" "src/env/CMakeFiles/focv_env.dir/solar.cpp.o" "gcc" "src/env/CMakeFiles/focv_env.dir/solar.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/focv_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/pv/CMakeFiles/focv_pv.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/focv_circuit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/focv_env.dir/light_trace.cpp.o"
+  "CMakeFiles/focv_env.dir/light_trace.cpp.o.d"
+  "CMakeFiles/focv_env.dir/profiles.cpp.o"
+  "CMakeFiles/focv_env.dir/profiles.cpp.o.d"
+  "CMakeFiles/focv_env.dir/solar.cpp.o"
+  "CMakeFiles/focv_env.dir/solar.cpp.o.d"
+  "libfocv_env.a"
+  "libfocv_env.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/focv_env.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mppt/baselines.cpp" "src/mppt/CMakeFiles/focv_mppt.dir/baselines.cpp.o" "gcc" "src/mppt/CMakeFiles/focv_mppt.dir/baselines.cpp.o.d"
+  "/root/repo/src/mppt/focv_sample_hold.cpp" "src/mppt/CMakeFiles/focv_mppt.dir/focv_sample_hold.cpp.o" "gcc" "src/mppt/CMakeFiles/focv_mppt.dir/focv_sample_hold.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/focv_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/analog/CMakeFiles/focv_analog.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/focv_mppt.dir/baselines.cpp.o"
+  "CMakeFiles/focv_mppt.dir/baselines.cpp.o.d"
+  "CMakeFiles/focv_mppt.dir/focv_sample_hold.cpp.o"
+  "CMakeFiles/focv_mppt.dir/focv_sample_hold.cpp.o.d"
+  "libfocv_mppt.a"
+  "libfocv_mppt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/focv_mppt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

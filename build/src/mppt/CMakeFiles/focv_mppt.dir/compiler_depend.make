@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for focv_mppt.
+# This may be replaced when dependencies are built.

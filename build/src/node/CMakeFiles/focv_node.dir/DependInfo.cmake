@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/node/harvester_node.cpp" "src/node/CMakeFiles/focv_node.dir/harvester_node.cpp.o" "gcc" "src/node/CMakeFiles/focv_node.dir/harvester_node.cpp.o.d"
+  "/root/repo/src/node/sizing.cpp" "src/node/CMakeFiles/focv_node.dir/sizing.cpp.o" "gcc" "src/node/CMakeFiles/focv_node.dir/sizing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/focv_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/pv/CMakeFiles/focv_pv.dir/DependInfo.cmake"
+  "/root/repo/build/src/env/CMakeFiles/focv_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/mppt/CMakeFiles/focv_mppt.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/focv_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/analog/CMakeFiles/focv_analog.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/focv_circuit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/focv_node.dir/harvester_node.cpp.o"
+  "CMakeFiles/focv_node.dir/harvester_node.cpp.o.d"
+  "CMakeFiles/focv_node.dir/sizing.cpp.o"
+  "CMakeFiles/focv_node.dir/sizing.cpp.o.d"
+  "libfocv_node.a"
+  "libfocv_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/focv_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

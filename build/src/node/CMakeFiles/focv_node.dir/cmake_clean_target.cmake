@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfocv_node.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/focv_power.dir/battery.cpp.o"
+  "CMakeFiles/focv_power.dir/battery.cpp.o.d"
+  "CMakeFiles/focv_power.dir/coldstart.cpp.o"
+  "CMakeFiles/focv_power.dir/coldstart.cpp.o.d"
+  "CMakeFiles/focv_power.dir/load.cpp.o"
+  "CMakeFiles/focv_power.dir/load.cpp.o.d"
+  "CMakeFiles/focv_power.dir/storage.cpp.o"
+  "CMakeFiles/focv_power.dir/storage.cpp.o.d"
+  "libfocv_power.a"
+  "libfocv_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/focv_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pv/calibration.cpp" "src/pv/CMakeFiles/focv_pv.dir/calibration.cpp.o" "gcc" "src/pv/CMakeFiles/focv_pv.dir/calibration.cpp.o.d"
+  "/root/repo/src/pv/cell_library.cpp" "src/pv/CMakeFiles/focv_pv.dir/cell_library.cpp.o" "gcc" "src/pv/CMakeFiles/focv_pv.dir/cell_library.cpp.o.d"
+  "/root/repo/src/pv/cell_model.cpp" "src/pv/CMakeFiles/focv_pv.dir/cell_model.cpp.o" "gcc" "src/pv/CMakeFiles/focv_pv.dir/cell_model.cpp.o.d"
+  "/root/repo/src/pv/diode_models.cpp" "src/pv/CMakeFiles/focv_pv.dir/diode_models.cpp.o" "gcc" "src/pv/CMakeFiles/focv_pv.dir/diode_models.cpp.o.d"
+  "/root/repo/src/pv/pv_device.cpp" "src/pv/CMakeFiles/focv_pv.dir/pv_device.cpp.o" "gcc" "src/pv/CMakeFiles/focv_pv.dir/pv_device.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/focv_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/focv_circuit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/focv_pv.dir/calibration.cpp.o"
+  "CMakeFiles/focv_pv.dir/calibration.cpp.o.d"
+  "CMakeFiles/focv_pv.dir/cell_library.cpp.o"
+  "CMakeFiles/focv_pv.dir/cell_library.cpp.o.d"
+  "CMakeFiles/focv_pv.dir/cell_model.cpp.o"
+  "CMakeFiles/focv_pv.dir/cell_model.cpp.o.d"
+  "CMakeFiles/focv_pv.dir/diode_models.cpp.o"
+  "CMakeFiles/focv_pv.dir/diode_models.cpp.o.d"
+  "CMakeFiles/focv_pv.dir/pv_device.cpp.o"
+  "CMakeFiles/focv_pv.dir/pv_device.cpp.o.d"
+  "libfocv_pv.a"
+  "libfocv_pv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/focv_pv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/focv_teg.dir/teg_harvest.cpp.o"
+  "CMakeFiles/focv_teg.dir/teg_harvest.cpp.o.d"
+  "CMakeFiles/focv_teg.dir/teg_model.cpp.o"
+  "CMakeFiles/focv_teg.dir/teg_model.cpp.o.d"
+  "libfocv_teg.a"
+  "libfocv_teg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/focv_teg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analog.dir/analog/astable_test.cpp.o"
+  "CMakeFiles/test_analog.dir/analog/astable_test.cpp.o.d"
+  "CMakeFiles/test_analog.dir/analog/blocks_test.cpp.o"
+  "CMakeFiles/test_analog.dir/analog/blocks_test.cpp.o.d"
+  "CMakeFiles/test_analog.dir/analog/sample_hold_test.cpp.o"
+  "CMakeFiles/test_analog.dir/analog/sample_hold_test.cpp.o.d"
+  "test_analog"
+  "test_analog.pdb"
+  "test_analog[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_circuit.dir/circuit/ac_test.cpp.o"
+  "CMakeFiles/test_circuit.dir/circuit/ac_test.cpp.o.d"
+  "CMakeFiles/test_circuit.dir/circuit/dc_test.cpp.o"
+  "CMakeFiles/test_circuit.dir/circuit/dc_test.cpp.o.d"
+  "CMakeFiles/test_circuit.dir/circuit/devices_test.cpp.o"
+  "CMakeFiles/test_circuit.dir/circuit/devices_test.cpp.o.d"
+  "CMakeFiles/test_circuit.dir/circuit/matrix_test.cpp.o"
+  "CMakeFiles/test_circuit.dir/circuit/matrix_test.cpp.o.d"
+  "CMakeFiles/test_circuit.dir/circuit/netlist_parser_test.cpp.o"
+  "CMakeFiles/test_circuit.dir/circuit/netlist_parser_test.cpp.o.d"
+  "CMakeFiles/test_circuit.dir/circuit/netlist_writer_test.cpp.o"
+  "CMakeFiles/test_circuit.dir/circuit/netlist_writer_test.cpp.o.d"
+  "CMakeFiles/test_circuit.dir/circuit/transient_accuracy_test.cpp.o"
+  "CMakeFiles/test_circuit.dir/circuit/transient_accuracy_test.cpp.o.d"
+  "CMakeFiles/test_circuit.dir/circuit/transient_test.cpp.o"
+  "CMakeFiles/test_circuit.dir/circuit/transient_test.cpp.o.d"
+  "CMakeFiles/test_circuit.dir/circuit/waveform_test.cpp.o"
+  "CMakeFiles/test_circuit.dir/circuit/waveform_test.cpp.o.d"
+  "test_circuit"
+  "test_circuit.pdb"
+  "test_circuit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/cross_fidelity_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/cross_fidelity_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/focv_system_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/focv_system_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/netlist_astable_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/netlist_astable_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/netlist_coldstart_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/netlist_coldstart_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/netlist_fig3_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/netlist_fig3_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/switching_converter_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/switching_converter_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/tolerance_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/tolerance_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

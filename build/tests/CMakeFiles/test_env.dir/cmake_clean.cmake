@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_env.dir/env/light_trace_test.cpp.o"
+  "CMakeFiles/test_env.dir/env/light_trace_test.cpp.o.d"
+  "CMakeFiles/test_env.dir/env/profiles_test.cpp.o"
+  "CMakeFiles/test_env.dir/env/profiles_test.cpp.o.d"
+  "CMakeFiles/test_env.dir/env/solar_test.cpp.o"
+  "CMakeFiles/test_env.dir/env/solar_test.cpp.o.d"
+  "test_env"
+  "test_env.pdb"
+  "test_env[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_env.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

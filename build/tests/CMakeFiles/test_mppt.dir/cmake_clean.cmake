@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mppt.dir/mppt/baselines_test.cpp.o"
+  "CMakeFiles/test_mppt.dir/mppt/baselines_test.cpp.o.d"
+  "CMakeFiles/test_mppt.dir/mppt/focv_controller_test.cpp.o"
+  "CMakeFiles/test_mppt.dir/mppt/focv_controller_test.cpp.o.d"
+  "test_mppt"
+  "test_mppt.pdb"
+  "test_mppt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mppt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/power/battery_test.cpp" "tests/CMakeFiles/test_power.dir/power/battery_test.cpp.o" "gcc" "tests/CMakeFiles/test_power.dir/power/battery_test.cpp.o.d"
+  "/root/repo/tests/power/coldstart_test.cpp" "tests/CMakeFiles/test_power.dir/power/coldstart_test.cpp.o" "gcc" "tests/CMakeFiles/test_power.dir/power/coldstart_test.cpp.o.d"
+  "/root/repo/tests/power/converter_test.cpp" "tests/CMakeFiles/test_power.dir/power/converter_test.cpp.o" "gcc" "tests/CMakeFiles/test_power.dir/power/converter_test.cpp.o.d"
+  "/root/repo/tests/power/load_test.cpp" "tests/CMakeFiles/test_power.dir/power/load_test.cpp.o" "gcc" "tests/CMakeFiles/test_power.dir/power/load_test.cpp.o.d"
+  "/root/repo/tests/power/storage_test.cpp" "tests/CMakeFiles/test_power.dir/power/storage_test.cpp.o" "gcc" "tests/CMakeFiles/test_power.dir/power/storage_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/teg/CMakeFiles/focv_teg.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/focv_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/node/CMakeFiles/focv_node.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/focv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mppt/CMakeFiles/focv_mppt.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/focv_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/env/CMakeFiles/focv_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/analog/CMakeFiles/focv_analog.dir/DependInfo.cmake"
+  "/root/repo/build/src/pv/CMakeFiles/focv_pv.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/focv_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/focv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

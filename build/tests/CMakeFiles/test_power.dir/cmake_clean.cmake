@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_power.dir/power/battery_test.cpp.o"
+  "CMakeFiles/test_power.dir/power/battery_test.cpp.o.d"
+  "CMakeFiles/test_power.dir/power/coldstart_test.cpp.o"
+  "CMakeFiles/test_power.dir/power/coldstart_test.cpp.o.d"
+  "CMakeFiles/test_power.dir/power/converter_test.cpp.o"
+  "CMakeFiles/test_power.dir/power/converter_test.cpp.o.d"
+  "CMakeFiles/test_power.dir/power/load_test.cpp.o"
+  "CMakeFiles/test_power.dir/power/load_test.cpp.o.d"
+  "CMakeFiles/test_power.dir/power/storage_test.cpp.o"
+  "CMakeFiles/test_power.dir/power/storage_test.cpp.o.d"
+  "test_power"
+  "test_power.pdb"
+  "test_power[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

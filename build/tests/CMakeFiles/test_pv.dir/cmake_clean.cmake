@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pv.dir/pv/calibration_test.cpp.o"
+  "CMakeFiles/test_pv.dir/pv/calibration_test.cpp.o.d"
+  "CMakeFiles/test_pv.dir/pv/cell_library_test.cpp.o"
+  "CMakeFiles/test_pv.dir/pv/cell_library_test.cpp.o.d"
+  "CMakeFiles/test_pv.dir/pv/diode_models_test.cpp.o"
+  "CMakeFiles/test_pv.dir/pv/diode_models_test.cpp.o.d"
+  "CMakeFiles/test_pv.dir/pv/pv_device_test.cpp.o"
+  "CMakeFiles/test_pv.dir/pv/pv_device_test.cpp.o.d"
+  "test_pv"
+  "test_pv.pdb"
+  "test_pv[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

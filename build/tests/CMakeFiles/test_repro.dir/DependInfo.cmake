@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/repro/coldstart_repro_test.cpp" "tests/CMakeFiles/test_repro.dir/repro/coldstart_repro_test.cpp.o" "gcc" "tests/CMakeFiles/test_repro.dir/repro/coldstart_repro_test.cpp.o.d"
+  "/root/repo/tests/repro/comparison_repro_test.cpp" "tests/CMakeFiles/test_repro.dir/repro/comparison_repro_test.cpp.o" "gcc" "tests/CMakeFiles/test_repro.dir/repro/comparison_repro_test.cpp.o.d"
+  "/root/repo/tests/repro/fig2_repro_test.cpp" "tests/CMakeFiles/test_repro.dir/repro/fig2_repro_test.cpp.o" "gcc" "tests/CMakeFiles/test_repro.dir/repro/fig2_repro_test.cpp.o.d"
+  "/root/repo/tests/repro/power_budget_repro_test.cpp" "tests/CMakeFiles/test_repro.dir/repro/power_budget_repro_test.cpp.o" "gcc" "tests/CMakeFiles/test_repro.dir/repro/power_budget_repro_test.cpp.o.d"
+  "/root/repo/tests/repro/sampling_error_repro_test.cpp" "tests/CMakeFiles/test_repro.dir/repro/sampling_error_repro_test.cpp.o" "gcc" "tests/CMakeFiles/test_repro.dir/repro/sampling_error_repro_test.cpp.o.d"
+  "/root/repo/tests/repro/table1_repro_test.cpp" "tests/CMakeFiles/test_repro.dir/repro/table1_repro_test.cpp.o" "gcc" "tests/CMakeFiles/test_repro.dir/repro/table1_repro_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/teg/CMakeFiles/focv_teg.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/focv_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/node/CMakeFiles/focv_node.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/focv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mppt/CMakeFiles/focv_mppt.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/focv_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/env/CMakeFiles/focv_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/analog/CMakeFiles/focv_analog.dir/DependInfo.cmake"
+  "/root/repo/build/src/pv/CMakeFiles/focv_pv.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/focv_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/focv_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_repro.dir/repro/coldstart_repro_test.cpp.o"
+  "CMakeFiles/test_repro.dir/repro/coldstart_repro_test.cpp.o.d"
+  "CMakeFiles/test_repro.dir/repro/comparison_repro_test.cpp.o"
+  "CMakeFiles/test_repro.dir/repro/comparison_repro_test.cpp.o.d"
+  "CMakeFiles/test_repro.dir/repro/fig2_repro_test.cpp.o"
+  "CMakeFiles/test_repro.dir/repro/fig2_repro_test.cpp.o.d"
+  "CMakeFiles/test_repro.dir/repro/power_budget_repro_test.cpp.o"
+  "CMakeFiles/test_repro.dir/repro/power_budget_repro_test.cpp.o.d"
+  "CMakeFiles/test_repro.dir/repro/sampling_error_repro_test.cpp.o"
+  "CMakeFiles/test_repro.dir/repro/sampling_error_repro_test.cpp.o.d"
+  "CMakeFiles/test_repro.dir/repro/table1_repro_test.cpp.o"
+  "CMakeFiles/test_repro.dir/repro/table1_repro_test.cpp.o.d"
+  "test_repro"
+  "test_repro.pdb"
+  "test_repro[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_repro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

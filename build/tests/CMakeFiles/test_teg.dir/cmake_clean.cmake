@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_teg.dir/teg/teg_test.cpp.o"
+  "CMakeFiles/test_teg.dir/teg/teg_test.cpp.o.d"
+  "test_teg"
+  "test_teg.pdb"
+  "test_teg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_teg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
