@@ -17,10 +17,13 @@
 #include "mppt/focv_sample_hold.hpp"
 #include "node/harvester_node.hpp"
 #include "pv/cell_library.hpp"
+#include "runtime/sweep.hpp"
 
 namespace {
 
 using namespace focv;
+
+int g_jobs = 0;  // --jobs N (0 = hardware concurrency)
 
 void reproduce_hold_period_ablation() {
   bench::print_header("Ablation -- hold period of the sample-and-hold",
@@ -60,20 +63,28 @@ void reproduce_hold_period_ablation() {
       "staleness starts to matter on mobile traces. The paper's 69 s sits on the flat "
       "floor of the total-penalty curve.");
 
-  // End-to-end check: run the full node across the semi-mobile day with
-  // different astable periods.
-  ConsoleTable node_table({"hold period", "net energy [J]", "tracking eff [%]"});
+  // End-to-end check: the full node across the semi-mobile day with
+  // different astable periods, fanned out through the sweep engine (one
+  // hold-period variant per controller-axis entry).
+  runtime::SweepSpec sweep;
+  sweep.add_cell("AM-1815", pv::sanyo_am1815());
   for (const double period : {1.0, 69.0, 600.0}) {
     core::SystemSpec spec;
     spec.astable_off_period = period;
-    auto ctl = core::make_paper_controller(spec);
-    node::NodeConfig cfg;
-    cfg.cell = &pv::sanyo_am1815();
-    cfg.controller = &ctl;
-    cfg.storage.initial_voltage = 3.0;
-    const node::NodeReport r = node::simulate_node(mobile, cfg);
-    node_table.add_row({ConsoleTable::num(period, 0) + " s",
-                        ConsoleTable::num(r.net_energy(), 3),
+    sweep.add_controller(ConsoleTable::num(period, 0) + " s",
+                         std::make_unique<mppt::FocvSampleHoldController>(
+                             core::make_paper_controller(spec)));
+  }
+  sweep.add_scenario("semi-mobile day", env::semi_mobile_day());
+  sweep.base.storage.initial_voltage = 3.0;
+  runtime::SweepOptions options;
+  options.jobs = g_jobs;
+  const runtime::SweepResult swept = runtime::run_sweep(sweep, options);
+
+  ConsoleTable node_table({"hold period", "net energy [J]", "tracking eff [%]"});
+  for (std::size_t i = 0; i < sweep.controllers.size(); ++i) {
+    const node::NodeReport& r = swept.at(0, i, 0).report;
+    node_table.add_row({sweep.controllers[i].name, ConsoleTable::num(r.net_energy(), 3),
                         ConsoleTable::num(r.tracking_efficiency() * 100.0, 2)});
   }
   node_table.print(std::cout);
@@ -99,6 +110,7 @@ BENCHMARK(bm_hold_period_sweep);
 }  // namespace
 
 int main(int argc, char** argv) {
+  g_jobs = focv::bench::parse_jobs_flag(argc, argv);
   reproduce_hold_period_ablation();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

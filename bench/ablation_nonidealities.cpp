@@ -23,10 +23,9 @@ namespace {
 using namespace focv;
 
 double day_tracking_eff(const core::SystemSpec& spec) {
-  auto ctl = core::make_paper_controller(spec);
   node::NodeConfig cfg;
-  cfg.cell = &pv::sanyo_am1815();
-  cfg.controller = &ctl;
+  cfg.use_cell(pv::sanyo_am1815());
+  cfg.use_controller(core::make_paper_controller(spec));
   cfg.storage.initial_voltage = 3.0;
   const env::LightTrace day = env::office_desk_mixed();
   return node::simulate_node(day, cfg).tracking_efficiency();

@@ -2,9 +2,30 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 
 namespace focv::bench {
+
+/// Parse and strip a `--jobs N` / `--jobs=N` flag from argv before the
+/// remaining flags go to benchmark::Initialize. Returns `fallback`
+/// (0 = one worker per hardware thread) when the flag is absent.
+inline int parse_jobs_flag(int& argc, char** argv, int fallback = 0) {
+  int jobs = fallback;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = std::atoi(argv[++i]);
+    } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      jobs = std::atoi(argv[i] + 7);
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  return jobs;
+}
 
 /// Banner printed before each reproduction block.
 inline void print_header(const std::string& experiment, const std::string& paper_result) {

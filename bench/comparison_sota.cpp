@@ -5,6 +5,10 @@
 // at ~500 uA [6], no-MPPT direct connection [7], and fixed-voltage
 // operation via a reference IC [8]. The claim: only the proposed system
 // can afford MPPT across the full indoor..outdoor range.
+//
+// The whole controllers x scenarios matrix runs through the
+// focv_runtime sweep engine (pass `--jobs N` to pick the worker count;
+// the tables are bit-identical for any N).
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
@@ -19,51 +23,63 @@
 #include "mppt/baselines.hpp"
 #include "node/harvester_node.hpp"
 #include "pv/cell_library.hpp"
+#include "runtime/sweep.hpp"
 
 namespace {
 
 using namespace focv;
 
-struct Entry {
-  std::string name;
-  std::unique_ptr<mppt::MpptController> controller;
-};
+int g_jobs = 0;  // --jobs N (0 = hardware concurrency)
 
-std::vector<Entry> make_controllers() {
-  std::vector<Entry> out;
-  out.push_back({"proposed (FOCV S&H)",
-                 std::make_unique<mppt::FocvSampleHoldController>(core::make_paper_controller())});
-  out.push_back({"hill climbing [2]", std::make_unique<mppt::HillClimbingController>()});
-  out.push_back({"inc. conductance [2]",
-                 std::make_unique<mppt::IncrementalConductanceController>()});
-  out.push_back({"100 ms FOCV [4]",
-                 std::make_unique<mppt::PeriodicDisconnectFocvController>()});
-  out.push_back({"pilot cell [5]", std::make_unique<mppt::PilotCellFocvController>()});
-  out.push_back({"photodetector [6]", std::make_unique<mppt::PhotodetectorController>(
-                                          mppt::PhotodetectorController::calibrate(
-                                              500.0, 3.18, 5000.0, 3.22))});
-  out.push_back({"no MPPT, direct [7]", std::make_unique<mppt::DirectConnectionController>()});
-  out.push_back({"fixed voltage [8]", std::make_unique<mppt::FixedVoltageController>()});
-  return out;
+runtime::SweepSpec make_comparison_spec() {
+  runtime::SweepSpec spec;
+  spec.add_cell("AM-1815", pv::sanyo_am1815());
+  spec.add_controller("proposed (FOCV S&H)",
+                      std::make_unique<mppt::FocvSampleHoldController>(
+                          core::make_paper_controller()));
+  spec.add_controller("hill climbing [2]", std::make_unique<mppt::HillClimbingController>());
+  spec.add_controller("inc. conductance [2]",
+                      std::make_unique<mppt::IncrementalConductanceController>());
+  spec.add_controller("100 ms FOCV [4]",
+                      std::make_unique<mppt::PeriodicDisconnectFocvController>());
+  spec.add_controller("pilot cell [5]", std::make_unique<mppt::PilotCellFocvController>());
+  spec.add_controller("photodetector [6]",
+                      std::make_unique<mppt::PhotodetectorController>(
+                          mppt::PhotodetectorController::calibrate(500.0, 3.18, 5000.0,
+                                                                   3.22)));
+  spec.add_controller("no MPPT, direct [7]",
+                      std::make_unique<mppt::DirectConnectionController>());
+  spec.add_controller("fixed voltage [8]", std::make_unique<mppt::FixedVoltageController>());
+
+  spec.add_scenario("office, constant 500 lux, 4 h",
+                    env::constant_light(500.0, 0.0, 4.0 * 3600.0));
+  spec.add_scenario("dim indoor, constant 200 lux, 4 h",
+                    env::constant_light(200.0, 0.0, 4.0 * 3600.0));
+  spec.add_scenario("24 h office desk (Fig. 2 conditions)", env::office_desk_mixed());
+  spec.add_scenario("24 h semi-mobile day (indoor + outdoor lunch)",
+                    env::semi_mobile_day());
+  spec.add_scenario("24 h outdoors", env::outdoor_day());
+
+  spec.base.storage.initial_voltage = 3.0;
+  spec.base.load.report_period = 300.0;
+  return spec;
 }
 
-void run_scenario(const std::string& title, const env::LightTrace& trace) {
-  std::printf("\n--- scenario: %s ---\n", title.c_str());
+void print_scenario_table(const runtime::SweepSpec& spec,
+                          const runtime::SweepResult& result, std::size_t scenario_i) {
+  std::printf("\n--- scenario: %s ---\n", spec.scenarios[scenario_i].name.c_str());
   ConsoleTable table({"technique", "overhead", "harvest [J]", "net [J]", "track eff",
                       "verdict"});
   double proposed_net = 0.0;
-  auto controllers = make_controllers();
-  for (auto& entry : controllers) {
-    node::NodeConfig cfg;
-    cfg.cell = &pv::sanyo_am1815();
-    cfg.controller = entry.controller.get();
-    cfg.storage.initial_voltage = 3.0;
-    cfg.load.report_period = 300.0;
-    const node::NodeReport r = node::simulate_node(trace, cfg);
+  for (std::size_t ctl_i = 0; ctl_i < spec.controllers.size(); ++ctl_i) {
+    const runtime::SweepRecord& rec = result.at(0, ctl_i, scenario_i);
+    const node::NodeReport& r = rec.report;
     const double net = r.net_energy();
-    if (entry.name.rfind("proposed", 0) == 0) proposed_net = net;
+    if (ctl_i == 0) proposed_net = net;
     std::string verdict;
-    if (r.coldstart_time < 0.0) {
+    if (rec.failed) {
+      verdict = "FAILED: " + rec.error;
+    } else if (r.coldstart_time < 0.0) {
       verdict = "cannot run (supply floor)";
     } else if (net <= 0.0) {
       verdict = "net loss";
@@ -74,9 +90,9 @@ void run_scenario(const std::string& title, const env::LightTrace& trace) {
     }
     char overhead[32];
     std::snprintf(overhead, sizeof overhead, "%7.1f uW",
-                  entry.controller->overhead_power() * 1e6);
-    table.add_row({entry.name, overhead, ConsoleTable::num(r.harvested_energy, 3),
-                   ConsoleTable::num(net, 3),
+                  spec.controllers[ctl_i].prototype->overhead_power() * 1e6);
+    table.add_row({spec.controllers[ctl_i].name, overhead,
+                   ConsoleTable::num(r.harvested_energy, 3), ConsoleTable::num(net, 3),
                    ConsoleTable::num(r.tracking_efficiency() * 100.0, 1) + " %", verdict});
   }
   table.print(std::cout);
@@ -88,13 +104,18 @@ void reproduce_comparison() {
       "outdoor-grade trackers are too power-hungry indoors; the proposed 8 uA S&H "
       "makes MPPT profitable from 200 lux up");
 
-  run_scenario("office, constant 500 lux, 4 h",
-               env::constant_light(500.0, 0.0, 4.0 * 3600.0));
-  run_scenario("dim indoor, constant 200 lux, 4 h",
-               env::constant_light(200.0, 0.0, 4.0 * 3600.0));
-  run_scenario("24 h office desk (Fig. 2 conditions)", env::office_desk_mixed());
-  run_scenario("24 h semi-mobile day (indoor + outdoor lunch)", env::semi_mobile_day());
-  run_scenario("24 h outdoors", env::outdoor_day());
+  const runtime::SweepSpec spec = make_comparison_spec();
+  runtime::SweepOptions options;
+  options.jobs = g_jobs;
+  const runtime::SweepResult result = runtime::run_sweep(spec, options);
+
+  for (std::size_t s = 0; s < spec.scenarios.size(); ++s) {
+    print_scenario_table(spec, result, s);
+  }
+
+  std::printf("\nsweep: %zu jobs on %d worker(s) in %.2f s (%zu failed)\n",
+              result.records().size(), result.jobs_used(), result.wall_seconds(),
+              result.failed_count());
 
   bench::print_note(
       "Shape reproduced: indoors only the proposed system (and the near-passive "
@@ -106,10 +127,9 @@ void reproduce_comparison() {
 
 void bm_one_day_simulation(benchmark::State& state) {
   const env::LightTrace trace = env::office_desk_mixed();
-  auto ctl = core::make_paper_controller();
   node::NodeConfig cfg;
-  cfg.cell = &pv::sanyo_am1815();
-  cfg.controller = &ctl;
+  cfg.use_cell(pv::sanyo_am1815());
+  cfg.use_controller(core::make_paper_controller());
   cfg.storage.initial_voltage = 3.0;
   for (auto _ : state) {
     benchmark::DoNotOptimize(node::simulate_node(trace, cfg));
@@ -118,9 +138,22 @@ void bm_one_day_simulation(benchmark::State& state) {
 }
 BENCHMARK(bm_one_day_simulation)->Unit(benchmark::kMillisecond);
 
+void bm_comparison_sweep(benchmark::State& state) {
+  const runtime::SweepSpec spec = make_comparison_spec();
+  runtime::SweepOptions options;
+  options.jobs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runtime::run_sweep(spec, options));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(spec.job_count()));
+}
+BENCHMARK(bm_comparison_sweep)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  g_jobs = focv::bench::parse_jobs_flag(argc, argv);
   reproduce_comparison();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

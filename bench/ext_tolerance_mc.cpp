@@ -1,18 +1,25 @@
 // Extension bench: Monte-Carlo production spread of the metrology
 // circuit — why the paper's R2 is a potentiometer, and how the 7.6 uA /
 // 39 ms / 69 s figures vary with real component tolerances.
+// The Monte-Carlo now runs through the focv_runtime work-stealing pool
+// (`--jobs N`; the report is bit-identical for any N because every unit
+// draws from its own splitmix-derived RNG stream).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
 #include <iostream>
 
 #include "bench_common.hpp"
 #include "common/table.hpp"
 #include "core/tolerance.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace {
 
 using namespace focv;
+
+int g_jobs = 0;  // --jobs N (0 = hardware concurrency)
 
 void print_stats_row(ConsoleTable& table, const std::string& name,
                      const core::ToleranceReport::Stats& s, double scale,
@@ -30,7 +37,8 @@ void reproduce_tolerance_mc() {
       "potentiometer in place of R2'");
 
   core::ToleranceSpec untrimmed;
-  const auto report = core::run_tolerance_monte_carlo(core::SystemSpec{}, untrimmed, 2000);
+  const auto report =
+      core::run_tolerance_monte_carlo(core::SystemSpec{}, untrimmed, 2000, 2024, g_jobs);
 
   ConsoleTable table({"quantity (untrimmed units)", "mean", "stddev", "min", "max"});
   print_stats_row(table, "effective k", report.k_stats(), 100.0, " %");
@@ -42,7 +50,7 @@ void reproduce_tolerance_mc() {
   core::ToleranceSpec trimmed = untrimmed;
   trimmed.trimmed = true;
   const auto trimmed_report =
-      core::run_tolerance_monte_carlo(core::SystemSpec{}, trimmed, 2000);
+      core::run_tolerance_monte_carlo(core::SystemSpec{}, trimmed, 2000, 2024, g_jobs);
 
   ConsoleTable yield({"k window", "yield untrimmed", "yield after R2 trim"});
   for (const auto& [lo, hi] : {std::pair{0.592, 0.601}, std::pair{0.58, 0.61},
@@ -60,6 +68,31 @@ void reproduce_tolerance_mc() {
       "period above ~60 s works.");
 }
 
+/// Serial baseline (jobs=1, the seed path) vs the work-stealing pool:
+/// the wall-clock speedup of the ported Monte-Carlo, verified
+/// bit-identical first.
+void measure_parallel_speedup() {
+  const int units = 20000;
+  const int jobs = g_jobs > 0 ? g_jobs : runtime::ThreadPool::default_thread_count();
+
+  const auto timed = [&](int j) {
+    const auto start = std::chrono::steady_clock::now();
+    const auto report =
+        core::run_tolerance_monte_carlo(core::SystemSpec{}, core::ToleranceSpec{}, units,
+                                        2024, j);
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+    return std::pair{seconds, report.k_stats().mean};
+  };
+  const auto [serial_s, serial_mean] = timed(1);
+  const auto [parallel_s, parallel_mean] = timed(jobs);
+
+  std::printf("\nparallel runtime: %d units, serial %.3f s vs %d-thread %.3f s "
+              "-> %.2fx speedup (results %s)\n",
+              units, serial_s, jobs, parallel_s, serial_s / parallel_s,
+              serial_mean == parallel_mean ? "bit-identical" : "MISMATCH");
+}
+
 void bm_tolerance_mc(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(core::run_tolerance_monte_carlo(
@@ -68,10 +101,21 @@ void bm_tolerance_mc(benchmark::State& state) {
 }
 BENCHMARK(bm_tolerance_mc)->Arg(100)->Arg(1000)->Unit(benchmark::kMillisecond);
 
+void bm_tolerance_mc_parallel(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::run_tolerance_monte_carlo(core::SystemSpec{}, core::ToleranceSpec{},
+                                        static_cast<int>(state.range(0)), 2024, 0));
+  }
+}
+BENCHMARK(bm_tolerance_mc_parallel)->Arg(1000)->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  g_jobs = focv::bench::parse_jobs_flag(argc, argv);
   reproduce_tolerance_mc();
+  measure_parallel_speedup();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

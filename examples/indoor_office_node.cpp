@@ -25,10 +25,9 @@ int main() {
 
   // Node: AM-1815 cell + the paper's controller + 0.4 F supercap +
   // a sensor reporting once every 2 minutes.
-  auto controller = core::make_paper_controller();
   node::NodeConfig cfg;
-  cfg.cell = &pv::sanyo_am1815();
-  cfg.controller = &controller;
+  cfg.use_cell(pv::sanyo_am1815());
+  cfg.use_controller(core::make_paper_controller());
   cfg.storage.initial_voltage = 2.5;
   cfg.load.report_period = 120.0;
   cfg.record_traces = true;

@@ -2,25 +2,34 @@
 //
 // "How big a cell and how big a supercap does my node need?" — answered
 // with the library's own models for a few report rates and scenarios.
+// The sizing queries are independent, so they fan out across the
+// focv_runtime work-stealing pool (pass `--jobs N` to pick the worker
+// count); results are printed in query order regardless of schedule.
 //
-//   ./build/examples/sizing_tool
+//   ./build/examples/sizing_tool [--jobs N]
 #include <cstdio>
+#include <cstring>
 #include <iostream>
+#include <vector>
 
 #include "common/table.hpp"
 #include "core/focv_system.hpp"
 #include "env/profiles.hpp"
 #include "node/sizing.hpp"
 #include "pv/cell_library.hpp"
+#include "runtime/thread_pool.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace focv;
+
+  int jobs = 0;  // 0 = one worker per hardware thread
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0) jobs = std::atoi(argv[i + 1]);
+  }
 
   const env::LightTrace office = env::office_desk_mixed();
   const env::LightTrace mobile = env::semi_mobile_day();
 
-  ConsoleTable table({"scenario", "report period", "cell area", "daily harvest",
-                      "daily load", "storage"});
   struct Case {
     const char* name;
     const env::LightTrace* trace;
@@ -30,17 +39,30 @@ int main() {
       {"office desk", &office, 600.0}, {"office desk", &office, 120.0},
       {"office desk", &office, 30.0},  {"semi-mobile", &mobile, 120.0},
   };
-  for (const Case& cs : cases) {
-    auto controller = core::make_paper_controller();
+  const std::size_t n_cases = std::size(cases);
+
+  // One shared immutable query prototype per case; every run clones its
+  // controller internally, so the fan-out needs no synchronisation.
+  std::vector<node::SizingResult> results(n_cases);
+  runtime::ThreadPool pool(jobs);
+  pool.parallel_for(n_cases, [&](std::size_t i) {
     node::SizingQuery query;
-    query.cell = &pv::sanyo_am1815();
-    query.scenario = cs.trace;
-    query.controller = &controller;
-    query.load.report_period = cs.report_period;
-    const node::SizingResult r = node::size_for_energy_neutrality(query);
+    query.use_cell(pv::sanyo_am1815());
+    query.use_scenario(*cases[i].trace);
+    query.use_controller(core::make_paper_controller());
+    query.load.report_period = cases[i].report_period;
+    results[i] = node::size_for_energy_neutrality(query);
+  });
+
+  ConsoleTable table({"scenario", "report period", "cell area", "daily harvest",
+                      "daily load", "storage"});
+  for (std::size_t i = 0; i < n_cases; ++i) {
+    const Case& cs = cases[i];
+    const node::SizingResult& r = results[i];
     table.add_row(
         {cs.name, ConsoleTable::num(cs.report_period, 0) + " s",
-         r.feasible ? ConsoleTable::num(r.area_factor * query.cell->area_cm2(), 1) + " cm^2"
+         r.feasible ? ConsoleTable::num(r.area_factor * pv::sanyo_am1815().area_cm2(), 1) +
+                          " cm^2"
                     : "infeasible",
          ConsoleTable::num(r.daily_harvest_j, 2) + " J",
          ConsoleTable::num(r.daily_load_j, 2) + " J",

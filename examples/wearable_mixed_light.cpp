@@ -19,11 +19,11 @@
 
 namespace {
 
-focv::node::NodeReport run(focv::mppt::MpptController& controller,
+focv::node::NodeReport run(const focv::mppt::MpptController& controller,
                            const focv::env::LightTrace& day) {
   focv::node::NodeConfig cfg;
-  cfg.cell = &focv::pv::sanyo_am1815();
-  cfg.controller = &controller;
+  cfg.use_cell(focv::pv::sanyo_am1815());
+  cfg.use_controller(controller);  // deep copy; `controller` stays pristine
   cfg.storage.initial_voltage = 2.5;
   cfg.load.report_period = 60.0;  // a wearable reports every minute
   return focv::node::simulate_node(day, cfg);
@@ -65,14 +65,13 @@ int main() {
       "day; the proposed controller tracks everywhere for 25 uW.\n");
 
   // Portability: the same two fixed/FOCV controllers on a different module.
-  auto proposed2 = core::make_paper_controller();
-  mppt::FixedVoltageController fixed2;
+  // The config is re-entrant now: reuse it, swapping only the prototype.
   node::NodeConfig cfg;
-  cfg.cell = &pv::schott_asi_1116929();
-  cfg.controller = &proposed2;
+  cfg.use_cell(pv::schott_asi_1116929());
+  cfg.use_controller(core::make_paper_controller());
   cfg.storage.initial_voltage = 2.5;
   const double eff_focv = node::simulate_node(day, cfg).tracking_efficiency();
-  cfg.controller = &fixed2;
+  cfg.use_controller(mppt::FixedVoltageController{});
   const double eff_fixed = node::simulate_node(day, cfg).tracking_efficiency();
   std::printf(
       "\nSwapping in the 8-junction Schott module without re-tuning:\n"

@@ -14,6 +14,25 @@
 
 namespace focv {
 
+/// One splitmix64 mixing step: a high-quality 64-bit finalizer.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// Seed of the `index`-th independent sub-stream of `root_seed`.
+///
+/// Each (root, index) pair maps to a statistically independent Rng
+/// stream, so parallel jobs seeded this way produce results that are
+/// bit-identical regardless of thread count or execution schedule.
+[[nodiscard]] constexpr std::uint64_t derive_stream_seed(std::uint64_t root_seed,
+                                                         std::uint64_t index) {
+  return splitmix64(splitmix64(root_seed) ^ splitmix64(index * 0xA24BAED4963EE407ull + 1));
+}
+
 /// Deterministic random number generator (xoshiro256**).
 class Rng {
  public:

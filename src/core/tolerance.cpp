@@ -7,6 +7,7 @@
 #include "common/rng.hpp"
 #include "mppt/focv_sample_hold.hpp"
 #include "pv/cell_library.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace focv::core {
 
@@ -60,65 +61,83 @@ double ToleranceReport::k_yield(double lo, double hi) const {
   return static_cast<double>(hits) / static_cast<double>(samples_.size());
 }
 
+namespace {
+
+/// Draw and evaluate one production unit on its private RNG stream.
+ToleranceSample evaluate_unit(const SystemSpec& nominal, const ToleranceSpec& tol,
+                              double voc, Rng& rng) {
+  SystemSpec spec = nominal;
+
+  // Resistors: the divider ratio r2/(r1+r2) moves with both parts.
+  const double r1 = spec.divider_r_top * (1.0 + tol.resistor_tolerance * rng.gaussian());
+  const double r2_nominal =
+      spec.divider_r_top * spec.divider_ratio / (1.0 - spec.divider_ratio);
+  const double r2 = r2_nominal * (1.0 + tol.resistor_tolerance * rng.gaussian());
+  spec.divider_r_top = r1;
+  spec.divider_ratio = r2 / (r1 + r2);
+  if (tol.trimmed) {
+    // The production trim step measures the unit and adjusts R2 until
+    // the ratio is nominal (Section IV-A).
+    spec.divider_ratio = nominal.divider_ratio;
+  }
+
+  // Astable timing scales with its RC parts.
+  const double rc_charge = (1.0 + tol.resistor_tolerance * rng.gaussian()) *
+                           (1.0 + tol.capacitor_tolerance * rng.gaussian());
+  const double rc_discharge = (1.0 + tol.resistor_tolerance * rng.gaussian()) *
+                              (1.0 + tol.capacitor_tolerance * rng.gaussian());
+  spec.astable_on_period = nominal.astable_on_period * std::max(0.1, rc_charge);
+  spec.astable_off_period = nominal.astable_off_period * std::max(0.1, rc_discharge);
+
+  // Active parts.
+  spec.comparator_iq =
+      nominal.comparator_iq * std::max(0.2, 1.0 + tol.comparator_iq_spread * rng.gaussian());
+  spec.buffer_iq_each =
+      nominal.buffer_iq_each * std::max(0.2, 1.0 + tol.comparator_iq_spread * rng.gaussian());
+  spec.buffer_offset = tol.buffer_offset_sigma * rng.gaussian();
+  spec.charge_injection = nominal.charge_injection *
+                          std::max(0.0, 1.0 + tol.charge_injection_spread * rng.gaussian());
+  spec.hold_leakage = nominal.hold_leakage * std::exp(tol.leakage_spread * rng.gaussian());
+
+  mppt::FocvSampleHoldController controller = make_paper_controller(spec);
+  mppt::SensedInputs sensed;
+  sensed.time = 0.0;
+  sensed.dt = 1.0;
+  sensed.voc = voc;
+  (void)controller.step(sensed);
+
+  ToleranceSample sample;
+  sample.effective_k = 2.0 * controller.held_sample(1.0) / voc;
+  sample.on_period = spec.astable_on_period;
+  sample.off_period = spec.astable_off_period;
+  sample.average_current = controller.average_current();
+  return sample;
+}
+
+}  // namespace
+
 ToleranceReport run_tolerance_monte_carlo(const SystemSpec& nominal,
                                           const ToleranceSpec& tol, int n,
-                                          std::uint64_t seed) {
+                                          std::uint64_t seed, int jobs) {
   require(n > 0, "run_tolerance_monte_carlo: n must be > 0");
-  Rng rng(seed);
 
   pv::Conditions c;
   c.illuminance_lux = 1000.0;
   const double voc = pv::sanyo_am1815().open_circuit_voltage(c);
 
-  std::vector<ToleranceSample> samples;
-  samples.reserve(static_cast<std::size_t>(n));
-  for (int unit = 0; unit < n; ++unit) {
-    SystemSpec spec = nominal;
-
-    // Resistors: the divider ratio r2/(r1+r2) moves with both parts.
-    const double r1 = spec.divider_r_top * (1.0 + tol.resistor_tolerance * rng.gaussian());
-    const double r2_nominal =
-        spec.divider_r_top * spec.divider_ratio / (1.0 - spec.divider_ratio);
-    const double r2 = r2_nominal * (1.0 + tol.resistor_tolerance * rng.gaussian());
-    spec.divider_r_top = r1;
-    spec.divider_ratio = r2 / (r1 + r2);
-    if (tol.trimmed) {
-      // The production trim step measures the unit and adjusts R2 until
-      // the ratio is nominal (Section IV-A).
-      spec.divider_ratio = nominal.divider_ratio;
-    }
-
-    // Astable timing scales with its RC parts.
-    const double rc_charge = (1.0 + tol.resistor_tolerance * rng.gaussian()) *
-                             (1.0 + tol.capacitor_tolerance * rng.gaussian());
-    const double rc_discharge = (1.0 + tol.resistor_tolerance * rng.gaussian()) *
-                                (1.0 + tol.capacitor_tolerance * rng.gaussian());
-    spec.astable_on_period = nominal.astable_on_period * std::max(0.1, rc_charge);
-    spec.astable_off_period = nominal.astable_off_period * std::max(0.1, rc_discharge);
-
-    // Active parts.
-    spec.comparator_iq =
-        nominal.comparator_iq * std::max(0.2, 1.0 + tol.comparator_iq_spread * rng.gaussian());
-    spec.buffer_iq_each =
-        nominal.buffer_iq_each * std::max(0.2, 1.0 + tol.comparator_iq_spread * rng.gaussian());
-    spec.buffer_offset = tol.buffer_offset_sigma * rng.gaussian();
-    spec.charge_injection = nominal.charge_injection *
-                            std::max(0.0, 1.0 + tol.charge_injection_spread * rng.gaussian());
-    spec.hold_leakage = nominal.hold_leakage * std::exp(tol.leakage_spread * rng.gaussian());
-
-    mppt::FocvSampleHoldController controller = make_paper_controller(spec);
-    mppt::SensedInputs sensed;
-    sensed.time = 0.0;
-    sensed.dt = 1.0;
-    sensed.voc = voc;
-    (void)controller.step(sensed);
-
-    ToleranceSample sample;
-    sample.effective_k = 2.0 * controller.held_sample(1.0) / voc;
-    sample.on_period = spec.astable_on_period;
-    sample.off_period = spec.astable_off_period;
-    sample.average_current = controller.average_current();
-    samples.push_back(sample);
+  // One RNG stream per unit, derived from the root seed: the sample in
+  // slot `unit` is identical whether the loop below runs serially or
+  // fanned out across any number of worker threads.
+  std::vector<ToleranceSample> samples(static_cast<std::size_t>(n));
+  const auto evaluate_into = [&](std::size_t unit) {
+    Rng rng(derive_stream_seed(seed, unit));
+    samples[unit] = evaluate_unit(nominal, tol, voc, rng);
+  };
+  if (jobs == 1) {
+    for (std::size_t unit = 0; unit < samples.size(); ++unit) evaluate_into(unit);
+  } else {
+    runtime::ThreadPool pool(jobs);
+    pool.parallel_for(samples.size(), evaluate_into);
   }
   return ToleranceReport(std::move(samples));
 }

@@ -59,8 +59,16 @@ class ToleranceReport {
 };
 
 /// Draw `n` units around the nominal spec and evaluate each.
+///
+/// Each unit draws from its own RNG stream derived from `seed` and the
+/// unit index (common/rng.hpp derive_stream_seed), so the report is
+/// bit-identical for any `jobs` value: `jobs == 1` evaluates the units
+/// serially on the calling thread, `jobs > 1` fans them out across that
+/// many worker threads, and `jobs == 0` uses one worker per hardware
+/// thread.
 [[nodiscard]] ToleranceReport run_tolerance_monte_carlo(const SystemSpec& nominal,
                                                         const ToleranceSpec& tolerances,
-                                                        int n, std::uint64_t seed = 2024);
+                                                        int n, std::uint64_t seed = 2024,
+                                                        int jobs = 1);
 
 }  // namespace focv::core

@@ -34,6 +34,9 @@ class HillClimbingController : public MpptController {
   HillClimbingController() : HillClimbingController(Params{}) {}
 
   [[nodiscard]] std::string name() const override { return "hill climbing (P&O) [2]"; }
+  [[nodiscard]] std::unique_ptr<MpptController> clone() const override {
+    return std::make_unique<HillClimbingController>(*this);
+  }
   [[nodiscard]] ControlOutput step(const SensedInputs& inputs) override;
   [[nodiscard]] double overhead_power() const override { return params_.overhead; }
   [[nodiscard]] double minimum_operating_lux() const override { return params_.min_lux; }
@@ -66,6 +69,9 @@ class IncrementalConductanceController : public MpptController {
   IncrementalConductanceController() : IncrementalConductanceController(Params{}) {}
 
   [[nodiscard]] std::string name() const override { return "incremental conductance [2]"; }
+  [[nodiscard]] std::unique_ptr<MpptController> clone() const override {
+    return std::make_unique<IncrementalConductanceController>(*this);
+  }
   [[nodiscard]] ControlOutput step(const SensedInputs& inputs) override;
   [[nodiscard]] double overhead_power() const override { return params_.overhead; }
   [[nodiscard]] double minimum_operating_lux() const override { return params_.min_lux; }
@@ -99,6 +105,9 @@ class PilotCellFocvController : public MpptController {
   PilotCellFocvController() : PilotCellFocvController(Params{}) {}
 
   [[nodiscard]] std::string name() const override { return "pilot-cell FOCV [5]"; }
+  [[nodiscard]] std::unique_ptr<MpptController> clone() const override {
+    return std::make_unique<PilotCellFocvController>(*this);
+  }
   [[nodiscard]] ControlOutput step(const SensedInputs& inputs) override;
   [[nodiscard]] double overhead_power() const override { return params_.overhead; }
   [[nodiscard]] double minimum_operating_lux() const override { return params_.min_lux; }
@@ -131,6 +140,9 @@ class PhotodetectorController : public MpptController {
   }
 
   [[nodiscard]] std::string name() const override { return "photodetector proxy [6]"; }
+  [[nodiscard]] std::unique_ptr<MpptController> clone() const override {
+    return std::make_unique<PhotodetectorController>(*this);
+  }
   [[nodiscard]] ControlOutput step(const SensedInputs& inputs) override;
   [[nodiscard]] double overhead_power() const override { return params_.overhead; }
   [[nodiscard]] double minimum_operating_lux() const override { return params_.min_lux; }
@@ -157,6 +169,9 @@ class PeriodicDisconnectFocvController : public MpptController {
   PeriodicDisconnectFocvController() : PeriodicDisconnectFocvController(Params{}) {}
 
   [[nodiscard]] std::string name() const override { return "100 ms periodic FOCV [4]"; }
+  [[nodiscard]] std::unique_ptr<MpptController> clone() const override {
+    return std::make_unique<PeriodicDisconnectFocvController>(*this);
+  }
   [[nodiscard]] ControlOutput step(const SensedInputs& inputs) override;
   [[nodiscard]] double overhead_power() const override { return params_.overhead; }
   [[nodiscard]] double minimum_operating_lux() const override { return params_.min_lux; }
@@ -181,6 +196,9 @@ class FixedVoltageController : public MpptController {
   FixedVoltageController() : FixedVoltageController(Params{}) {}
 
   [[nodiscard]] std::string name() const override { return "fixed voltage [8]"; }
+  [[nodiscard]] std::unique_ptr<MpptController> clone() const override {
+    return std::make_unique<FixedVoltageController>(*this);
+  }
   [[nodiscard]] ControlOutput step(const SensedInputs& inputs) override;
   [[nodiscard]] double overhead_power() const override { return params_.overhead; }
   [[nodiscard]] double minimum_operating_lux() const override { return params_.min_lux; }
@@ -203,6 +221,9 @@ class DirectConnectionController : public MpptController {
   DirectConnectionController() : DirectConnectionController(Params{}) {}
 
   [[nodiscard]] std::string name() const override { return "no MPPT, direct [7]"; }
+  [[nodiscard]] std::unique_ptr<MpptController> clone() const override {
+    return std::make_unique<DirectConnectionController>(*this);
+  }
   [[nodiscard]] ControlOutput step(const SensedInputs& inputs) override;
   [[nodiscard]] double overhead_power() const override { return params_.overhead; }
   void reset() override {}

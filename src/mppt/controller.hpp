@@ -28,11 +28,25 @@ struct ControlOutput {
 };
 
 /// Abstract MPPT controller.
+///
+/// Lifecycle contract (relied on by the sweep runtime in focv::runtime):
+///  - `reset()` restores the power-on state: after it, the controller
+///    behaves as if freshly constructed with the same parameters.
+///  - `clone()` returns a deep, independent copy carrying both the
+///    parameters AND the current mutable tracking state. Stepping a
+///    clone never affects the original (and vice versa), so one
+///    controller instance can serve as an immutable *prototype* that is
+///    cloned once per simulation run and stepped concurrently from many
+///    threads. A `clone()` followed by `reset()` is therefore the
+///    canonical way to stamp out a fresh controller for an isolated run.
 class MpptController {
  public:
   virtual ~MpptController() = default;
 
   [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Deep copy (parameters + mutable state). See the class contract.
+  [[nodiscard]] virtual std::unique_ptr<MpptController> clone() const = 0;
 
   /// Advance one step and command the operating point.
   [[nodiscard]] virtual ControlOutput step(const SensedInputs& inputs) = 0;

@@ -32,6 +32,9 @@ class FocvSampleHoldController : public MpptController {
   FocvSampleHoldController() : FocvSampleHoldController(Params{}) {}
 
   [[nodiscard]] std::string name() const override { return "FOCV sample-and-hold (proposed)"; }
+  [[nodiscard]] std::unique_ptr<MpptController> clone() const override {
+    return std::make_unique<FocvSampleHoldController>(*this);
+  }
   [[nodiscard]] ControlOutput step(const SensedInputs& inputs) override;
   [[nodiscard]] double overhead_power() const override;
   [[nodiscard]] double minimum_operating_lux() const override { return params_.min_lux; }

@@ -63,12 +63,22 @@ class CurveCache {
 }  // namespace
 
 NodeReport simulate_node(const env::LightTrace& trace, const NodeConfig& config) {
-  require(config.cell != nullptr, "simulate_node: cell is required");
-  require(config.controller != nullptr, "simulate_node: controller is required");
+  const pv::SingleDiodeModel* cell_ptr =
+      config.cell_model ? config.cell_model.get() : config.cell;
+  require(cell_ptr != nullptr, "simulate_node: cell is required");
+  require(config.controller_prototype != nullptr || config.controller != nullptr,
+          "simulate_node: controller is required");
   require(trace.size() >= 2, "simulate_node: trace needs at least 2 samples");
 
-  const pv::SingleDiodeModel& cell = *config.cell;
-  mppt::MpptController& controller = *config.controller;
+  // Preferred path: clone the immutable prototype so this run owns its
+  // controller state outright (re-entrant). Legacy path: mutate the
+  // borrowed controller in place, as the pre-runtime API did.
+  std::unique_ptr<mppt::MpptController> owned_controller;
+  if (config.controller_prototype) owned_controller = config.controller_prototype->clone();
+
+  const pv::SingleDiodeModel& cell = *cell_ptr;
+  mppt::MpptController& controller =
+      owned_controller ? *owned_controller : *config.controller;
   controller.reset();
 
   power::Supercapacitor supercap(config.storage);

@@ -6,6 +6,7 @@
 // by the circuit netlists in focv::core.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -21,9 +22,45 @@
 namespace focv::node {
 
 /// Static configuration of a simulated node.
+///
+/// A config owns (shares) its cell model and holds the controller only
+/// as an immutable *prototype*: `simulate_node` clones the prototype
+/// for each run, so the same `NodeConfig` value can drive many runs
+/// concurrently from different threads (this is what the sweep engine
+/// in focv::runtime relies on).
 struct NodeConfig {
-  const pv::SingleDiodeModel* cell = nullptr;       ///< required
-  mppt::MpptController* controller = nullptr;       ///< required
+  /// Cell model (required). Set with use_cell().
+  std::shared_ptr<const pv::SingleDiodeModel> cell_model;
+  /// Controller prototype (required): cloned once per run, never
+  /// mutated. Set with use_controller().
+  std::shared_ptr<const mppt::MpptController> controller_prototype;
+
+  /// Point at a long-lived cell (e.g. a pv::cell_library singleton)
+  /// without taking ownership.
+  void use_cell(const pv::SingleDiodeModel& cell_ref) {
+    cell_model = std::shared_ptr<const pv::SingleDiodeModel>(
+        std::shared_ptr<const pv::SingleDiodeModel>(), &cell_ref);
+  }
+  /// Share ownership of a heap-allocated cell model.
+  void use_cell(std::shared_ptr<const pv::SingleDiodeModel> cell_ptr) {
+    cell_model = std::move(cell_ptr);
+  }
+  /// Store a deep copy of `prototype` as this config's controller.
+  void use_controller(const mppt::MpptController& prototype) {
+    controller_prototype = prototype.clone();
+  }
+  /// Take ownership of an already-built controller prototype.
+  void use_controller(std::unique_ptr<mppt::MpptController> prototype) {
+    controller_prototype = std::move(prototype);
+  }
+
+  // --- DEPRECATED borrowed-pointer shims (one-PR grace period) -------
+  // When set they take effect only if the owning members above are
+  // empty. The raw-controller path mutates the pointee (the historical
+  // behaviour) and is NOT re-entrant; migrate to use_controller().
+  const pv::SingleDiodeModel* cell = nullptr;       ///< DEPRECATED: use use_cell()
+  mppt::MpptController* controller = nullptr;       ///< DEPRECATED: use use_controller()
+
   power::BuckBoostConverter converter;
   power::Supercapacitor::Params storage;
   /// When set, a battery replaces the supercapacitor as the store.
@@ -62,7 +99,15 @@ struct NodeReport {
 };
 
 /// Run the node across a light trace. The step size is the trace's
-/// sample spacing. Throws PreconditionError on null cell/controller.
+/// sample spacing. Throws PreconditionError on a missing cell or
+/// controller.
+///
+/// Re-entrancy: when the config uses the owning members
+/// (cell_model/controller_prototype) this function never mutates shared
+/// state — the prototype is cloned and reset per run — so concurrent
+/// calls with the same config are safe and deterministic. The
+/// deprecated raw `controller` shim keeps the old mutate-in-place
+/// behaviour.
 [[nodiscard]] NodeReport simulate_node(const env::LightTrace& trace, const NodeConfig& config);
 
 }  // namespace focv::node

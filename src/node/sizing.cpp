@@ -42,15 +42,15 @@ struct DayRun {
   double worst_deficit_j = 0.0; ///< deepest cumulative (load+overhead-delivered) dip [J]
 };
 
-DayRun run_day(const SizingQuery& query, double factor) {
-  const ScaledCell cell(*query.cell, factor);
-  mppt::MpptController& controller = *query.controller;
+DayRun run_day(const SizingQuery& query, const pv::SingleDiodeModel& reference_cell,
+               const env::LightTrace& trace, mppt::MpptController& controller,
+               double factor) {
+  const ScaledCell cell(reference_cell, factor);
   controller.reset();
   const power::WsnLoad load(query.load);
   const double load_power = load.average_power();
 
-  const auto& trace = *query.scenario;
-  const std::vector<double> eq_lux = trace.equivalent_lux(*query.cell);
+  const std::vector<double> eq_lux = trace.equivalent_lux(reference_cell);
   const std::vector<double>& t = trace.time();
 
   DayRun result;
@@ -108,14 +108,28 @@ DayRun run_day(const SizingQuery& query, double factor) {
 
 SizingResult size_for_energy_neutrality(const SizingQuery& query, double min_factor,
                                         double max_factor) {
-  require(query.cell != nullptr, "size_for_energy_neutrality: cell is required");
-  require(query.scenario != nullptr, "size_for_energy_neutrality: scenario is required");
-  require(query.controller != nullptr, "size_for_energy_neutrality: controller is required");
+  const pv::SingleDiodeModel* cell =
+      query.cell_model ? query.cell_model.get() : query.cell;
+  const env::LightTrace* trace =
+      query.scenario_trace ? query.scenario_trace.get() : query.scenario;
+  require(cell != nullptr, "size_for_energy_neutrality: cell is required");
+  require(trace != nullptr, "size_for_energy_neutrality: scenario is required");
+  require(query.controller_prototype != nullptr || query.controller != nullptr,
+          "size_for_energy_neutrality: controller is required");
   require(min_factor > 0.0 && max_factor > min_factor,
           "size_for_energy_neutrality: bad factor range");
 
+  // Each run gets a freshly cloned controller so a shared query can be
+  // sized from several threads at once (legacy raw pointer: in place).
+  std::unique_ptr<mppt::MpptController> owned;
+  if (query.controller_prototype) owned = query.controller_prototype->clone();
+  mppt::MpptController& controller = owned ? *owned : *query.controller;
+  const auto day_at = [&](double factor) {
+    return run_day(query, *cell, *trace, controller, factor);
+  };
+
   SizingResult result;
-  const DayRun at_max = run_day(query, max_factor);
+  const DayRun at_max = day_at(max_factor);
   result.daily_load_j = at_max.load_j;
   if (at_max.harvest_j < at_max.load_j) {
     // Even the largest allowed cell cannot reach neutrality.
@@ -126,13 +140,13 @@ SizingResult size_for_energy_neutrality(const SizingQuery& query, double min_fac
   }
 
   double lo = min_factor, hi = max_factor;
-  const DayRun at_min = run_day(query, min_factor);
+  const DayRun at_min = day_at(min_factor);
   if (at_min.harvest_j >= at_min.load_j) {
     hi = min_factor;  // already neutral at the smallest size
   }
   for (int iter = 0; iter < 24 && hi > lo * 1.02; ++iter) {
     const double mid = std::sqrt(lo * hi);
-    const DayRun run = run_day(query, mid);
+    const DayRun run = day_at(mid);
     if (run.harvest_j >= run.load_j) {
       hi = mid;
     } else {
@@ -140,7 +154,7 @@ SizingResult size_for_energy_neutrality(const SizingQuery& query, double min_fac
     }
   }
   result.area_factor = hi;
-  const DayRun final_run = run_day(query, hi);
+  const DayRun final_run = day_at(hi);
   result.daily_harvest_j = final_run.harvest_j;
   result.storage_j = -final_run.worst_deficit_j * 1.25;  // 25% engineering margin
   // Supercap sized for full energy swing at a 3 V working voltage.

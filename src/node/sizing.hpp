@@ -6,6 +6,8 @@
 // models the simulator uses.
 #pragma once
 
+#include <memory>
+
 #include "env/light_trace.hpp"
 #include "mppt/controller.hpp"
 #include "power/converter.hpp"
@@ -15,10 +17,41 @@
 namespace focv::node {
 
 /// Inputs to the sizing query.
+///
+/// Like NodeConfig, a query holds its controller as an immutable
+/// prototype that each sizing run clones, so concurrent
+/// size_for_energy_neutrality calls sharing one query are safe.
 struct SizingQuery {
-  const pv::SingleDiodeModel* cell = nullptr;       ///< reference cell (scaled by area factor)
-  const env::LightTrace* scenario = nullptr;        ///< representative day
-  mppt::MpptController* controller = nullptr;       ///< tracking technique
+  /// Reference cell, scaled by the area factor. Set with use_cell().
+  std::shared_ptr<const pv::SingleDiodeModel> cell_model;
+  /// Representative day. Set with use_scenario().
+  std::shared_ptr<const env::LightTrace> scenario_trace;
+  /// Tracking technique (cloned per run). Set with use_controller().
+  std::shared_ptr<const mppt::MpptController> controller_prototype;
+
+  void use_cell(const pv::SingleDiodeModel& cell_ref) {
+    cell_model = std::shared_ptr<const pv::SingleDiodeModel>(
+        std::shared_ptr<const pv::SingleDiodeModel>(), &cell_ref);
+  }
+  void use_scenario(const env::LightTrace& trace_ref) {
+    scenario_trace = std::shared_ptr<const env::LightTrace>(
+        std::shared_ptr<const env::LightTrace>(), &trace_ref);
+  }
+  void use_scenario(env::LightTrace&& trace_value) {
+    scenario_trace = std::make_shared<const env::LightTrace>(std::move(trace_value));
+  }
+  void use_controller(const mppt::MpptController& prototype) {
+    controller_prototype = prototype.clone();
+  }
+  void use_controller(std::unique_ptr<mppt::MpptController> prototype) {
+    controller_prototype = std::move(prototype);
+  }
+
+  // --- DEPRECATED borrowed-pointer shims (one-PR grace period) -------
+  const pv::SingleDiodeModel* cell = nullptr;       ///< DEPRECATED: use use_cell()
+  const env::LightTrace* scenario = nullptr;        ///< DEPRECATED: use use_scenario()
+  mppt::MpptController* controller = nullptr;       ///< DEPRECATED: use use_controller()
+
   power::BuckBoostConverter converter;
   power::WsnLoad::Params load;
   double temperature_k = 300.15;

@@ -1,0 +1,184 @@
+// focv_runtime: declarative parallel scenario-sweep engine.
+//
+// Every evaluation artefact of this repo — the Table I tracking matrix,
+// the SOTA comparison, the hold-period ablation, the tolerance
+// Monte-Carlo — is a sweep of independent HarvesterNode runs. This
+// module expresses such a sweep as a declarative matrix
+//
+//     cells x controllers x light scenarios x parameter-grid points
+//
+// fans each cell of the matrix out as an isolated job on a
+// work-stealing thread pool, and aggregates the NodeReports into a
+// deterministic, ordered SweepResult with summary statistics and
+// CSV/JSON export.
+//
+// Determinism: every job owns a cloned controller, a copied NodeConfig
+// and a private RNG stream derived from the root seed by splitmix64 on
+// the job index, and its record lands in a slot addressed by that same
+// index — so a SweepResult is bit-identical no matter how many worker
+// threads executed it or in which order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "env/light_trace.hpp"
+#include "mppt/controller.hpp"
+#include "node/harvester_node.hpp"
+#include "pv/diode_models.hpp"
+
+namespace focv::runtime {
+
+/// Axis value: a named PV cell.
+struct CellAxis {
+  std::string name;
+  std::shared_ptr<const pv::SingleDiodeModel> model;
+};
+
+/// Axis value: a named controller prototype (cloned once per job).
+struct ControllerAxis {
+  std::string name;
+  std::shared_ptr<const mppt::MpptController> prototype;
+};
+
+/// Axis value: a named light scenario.
+struct ScenarioAxis {
+  std::string name;
+  std::shared_ptr<const env::LightTrace> trace;
+};
+
+/// Axis value: a named mutation of the job's NodeConfig, applied after
+/// the cell and controller are installed. `apply` receives the job's
+/// private RNG stream (Monte-Carlo grids draw from it); a null `apply`
+/// is the identity ("nominal") point.
+struct GridAxis {
+  std::string name = "nominal";
+  std::function<void(node::NodeConfig&, Rng&)> apply;
+};
+
+/// Declarative sweep matrix. Job index nesting (outer to inner):
+/// cells, controllers, scenarios, grid.
+struct SweepSpec {
+  std::vector<CellAxis> cells;
+  std::vector<ControllerAxis> controllers;
+  std::vector<ScenarioAxis> scenarios;
+  std::vector<GridAxis> grid;  ///< empty => a single nominal point
+  /// Template for every job's NodeConfig; the cell/controller slots are
+  /// overwritten per job.
+  node::NodeConfig base;
+  /// Root of the per-job RNG streams (see file comment).
+  std::uint64_t root_seed = 2024;
+
+  // Convenience builders.
+  /// Borrow a long-lived cell (e.g. a pv::cell_library singleton).
+  void add_cell(std::string name, const pv::SingleDiodeModel& cell);
+  /// Deep-copy `prototype` onto the controller axis.
+  void add_controller(std::string name, const mppt::MpptController& prototype);
+  void add_controller(std::string name, std::unique_ptr<mppt::MpptController> prototype);
+  void add_scenario(std::string name, env::LightTrace trace);
+  void add_grid_point(std::string name, std::function<void(node::NodeConfig&, Rng&)> apply);
+
+  /// Total number of matrix cells (grid counted as 1 when empty).
+  [[nodiscard]] std::size_t job_count() const;
+};
+
+/// Outcome of one matrix cell.
+struct SweepRecord {
+  std::size_t job = 0;  ///< flat matrix index (also the RNG stream index)
+  std::size_t cell_index = 0;
+  std::size_t controller_index = 0;
+  std::size_t scenario_index = 0;
+  std::size_t grid_index = 0;
+  std::string cell, controller, scenario, grid;
+  node::NodeReport report;   ///< valid only when !failed
+  bool failed = false;
+  std::string error;         ///< exception text when failed
+
+  // Observability (excluded from exports unless asked; see to_csv).
+  double wall_seconds = 0.0;   ///< this job's execution time
+  std::uint64_t steps = 0;     ///< simulation steps executed
+};
+
+/// Mean / stddev / min / max of one quantity across records.
+struct SweepStats {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Per-controller aggregate across all cells, scenarios and grid points.
+struct SweepSummary {
+  std::string controller;
+  std::size_t runs = 0;      ///< successful jobs
+  std::size_t failures = 0;
+  SweepStats net_energy;
+  SweepStats tracking_efficiency;
+  SweepStats harvested_energy;
+};
+
+struct SweepOptions;
+class SweepResult;
+[[nodiscard]] SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& options);
+
+/// Deterministic, ordered result of a sweep.
+class SweepResult {
+ public:
+  [[nodiscard]] const std::vector<SweepRecord>& records() const { return records_; }
+
+  /// Record at the given matrix coordinates.
+  [[nodiscard]] const SweepRecord& at(std::size_t cell_i, std::size_t controller_i,
+                                      std::size_t scenario_i, std::size_t grid_i = 0) const;
+
+  [[nodiscard]] std::size_t failed_count() const;
+  [[nodiscard]] std::vector<SweepSummary> summary() const;
+
+  /// Whole-sweep wall time [s] and the worker count actually used.
+  [[nodiscard]] double wall_seconds() const { return wall_seconds_; }
+  [[nodiscard]] int jobs_used() const { return jobs_used_; }
+
+  /// Per-job table, one row per matrix cell in index order. Timing
+  /// columns are off by default so that exports from runs with
+  /// different thread counts compare byte-identical.
+  [[nodiscard]] std::string to_csv(bool include_timing = false) const;
+  void write_csv(const std::string& path, bool include_timing = false) const;
+  [[nodiscard]] std::string to_json(bool include_timing = false) const;
+  void write_json(const std::string& path, bool include_timing = false) const;
+
+ private:
+  friend SweepResult run_sweep(const SweepSpec&, const SweepOptions&);
+
+  std::vector<SweepRecord> records_;
+  std::size_t controllers_ = 0, scenarios_ = 0, grids_ = 0;
+  double wall_seconds_ = 0.0;
+  int jobs_used_ = 0;
+};
+
+/// Live progress of a running sweep.
+struct SweepProgress {
+  std::size_t completed = 0;
+  std::size_t total = 0;
+  std::size_t failed = 0;
+  const SweepRecord* last = nullptr;  ///< the job that just finished
+};
+
+struct SweepOptions {
+  /// Worker threads; 0 selects ThreadPool::default_thread_count().
+  /// 1 runs the whole sweep inline on the calling thread.
+  int jobs = 0;
+  /// Invoked after each job completes; calls are serialized.
+  std::function<void(const SweepProgress&)> on_progress;
+};
+
+/// Execute the sweep. Throws PreconditionError when an axis is empty or
+/// a controller/cell/scenario entry is null. A job that throws marks
+/// only its own record failed; all other cells still run.
+[[nodiscard]] inline SweepResult run_sweep(const SweepSpec& spec) {
+  return run_sweep(spec, SweepOptions{});
+}
+
+}  // namespace focv::runtime

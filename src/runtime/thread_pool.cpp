@@ -1,0 +1,107 @@
+#include "runtime/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace focv::runtime {
+
+int ThreadPool::default_thread_count() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(int threads) {
+  const int n = threads > 0 ? threads : default_thread_count();
+  queues_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) queues_.push_back(std::make_unique<Queue>());
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(static_cast<std::size_t>(i)); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  wait_idle();
+  stopping_.store(true, std::memory_order_release);
+  { std::lock_guard<std::mutex> fence(wake_mutex_); }
+  wake_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  const std::size_t slot =
+      next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
+  pending_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(queues_[slot]->mutex);
+    queues_[slot]->tasks.push_back(std::move(task));
+  }
+  queued_.fetch_add(1, std::memory_order_release);
+  // Fence against the check-then-block window of a sleeping thread: a
+  // notify fired between its predicate check and its actual block would
+  // otherwise be lost.
+  { std::lock_guard<std::mutex> fence(wake_mutex_); }
+  wake_.notify_all();
+}
+
+bool ThreadPool::run_one(std::size_t home) {
+  const std::size_t n = queues_.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t q = (home + k) % n;
+    std::function<void()> task;
+    {
+      std::lock_guard<std::mutex> lock(queues_[q]->mutex);
+      if (queues_[q]->tasks.empty()) continue;
+      if (q == home) {  // own work newest-first, steal oldest-first
+        task = std::move(queues_[q]->tasks.back());
+        queues_[q]->tasks.pop_back();
+      } else {
+        task = std::move(queues_[q]->tasks.front());
+        queues_[q]->tasks.pop_front();
+      }
+    }
+    queued_.fetch_sub(1, std::memory_order_relaxed);
+    task();
+    if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      { std::lock_guard<std::mutex> fence(wake_mutex_); }
+      wake_.notify_all();
+    }
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t id) {
+  while (true) {
+    if (run_one(id)) continue;
+    std::unique_lock<std::mutex> lock(wake_mutex_);
+    wake_.wait(lock, [this] {
+      return stopping_.load(std::memory_order_acquire) ||
+             queued_.load(std::memory_order_acquire) > 0;
+    });
+    if (stopping_.load(std::memory_order_acquire) &&
+        queued_.load(std::memory_order_acquire) == 0) {
+      return;
+    }
+  }
+}
+
+void ThreadPool::wait_idle() {
+  // Steal from queue 0 onward: the caller is not a worker, so it has no
+  // home queue of its own.
+  while (pending_.load(std::memory_order_acquire) > 0) {
+    if (run_one(0)) continue;
+    std::unique_lock<std::mutex> lock(wake_mutex_);
+    wake_.wait(lock, [this] {
+      return pending_.load(std::memory_order_acquire) == 0 ||
+             queued_.load(std::memory_order_acquire) > 0;
+    });
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  for (std::size_t i = 0; i < n; ++i) {
+    submit([&fn, i] { fn(i); });
+  }
+  wait_idle();
+}
+
+}  // namespace focv::runtime

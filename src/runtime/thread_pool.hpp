@@ -1,0 +1,72 @@
+// Work-stealing thread pool: the execution substrate of the scenario
+// sweep runtime (sweep.hpp). Kept dependency-free so other modules
+// (tolerance Monte-Carlo, sizing fan-outs) can reuse it directly.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace focv::runtime {
+
+/// Fixed-size work-stealing thread pool.
+///
+/// Each worker owns a deque: it runs its own work LIFO (cache friendly
+/// for recursively submitted jobs) and steals FIFO from its siblings
+/// when empty, so a few long matrix cells cannot strand the rest of a
+/// sweep behind them. Tasks must not throw — job-level failures are
+/// expected to be caught and recorded inside the task itself (run_sweep
+/// does exactly that); an escaping exception terminates the process.
+class ThreadPool {
+ public:
+  /// `threads` <= 0 selects default_thread_count().
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue one task. Thread-safe; may be called from inside a task.
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished. The calling thread
+  /// helps drain the queues instead of just sleeping.
+  void wait_idle();
+
+  [[nodiscard]] int thread_count() const { return static_cast<int>(workers_.size()); }
+
+  /// Hardware concurrency, clamped to at least 1.
+  [[nodiscard]] static int default_thread_count();
+
+  /// Run fn(i) for each i in [0, n) as n independent stealable jobs and
+  /// wait for all of them. fn must not throw.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  struct Queue {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  /// Pop from queue `home` (LIFO) or steal from a sibling (FIFO).
+  /// Returns false when every queue was empty.
+  bool run_one(std::size_t home);
+  void worker_loop(std::size_t id);
+
+  std::vector<std::unique_ptr<Queue>> queues_;
+  std::vector<std::thread> workers_;
+  std::mutex wake_mutex_;
+  std::condition_variable wake_;           ///< queued work / completion / shutdown
+  std::atomic<std::size_t> queued_{0};     ///< tasks sitting in queues
+  std::atomic<std::size_t> pending_{0};    ///< queued + currently running tasks
+  std::atomic<std::size_t> next_queue_{0};
+  std::atomic<bool> stopping_{false};
+};
+
+}  // namespace focv::runtime

@@ -10,18 +10,17 @@
 namespace focv::node {
 namespace {
 
-NodeConfig base_config(mppt::MpptController& ctl) {
+NodeConfig base_config(const mppt::MpptController& ctl) {
   NodeConfig cfg;
-  cfg.cell = &pv::sanyo_am1815();
-  cfg.controller = &ctl;
+  cfg.use_cell(pv::sanyo_am1815());
+  cfg.use_controller(ctl);  // deep copy -- the caller's instance stays pristine
   cfg.storage.initial_voltage = 3.0;  // pre-charged store
   cfg.load.report_period = 120.0;
   return cfg;
 }
 
 TEST(HarvesterNode, ProposedControllerTracksWellUnderConstantLight) {
-  auto ctl = core::make_paper_controller();
-  NodeConfig cfg = base_config(ctl);
+  NodeConfig cfg = base_config(core::make_paper_controller());
   const env::LightTrace trace = env::constant_light(1000.0, 0.0, 3600.0);
   const NodeReport report = simulate_node(trace, cfg);
   EXPECT_GT(report.tracking_efficiency(), 0.90);
@@ -30,8 +29,7 @@ TEST(HarvesterNode, ProposedControllerTracksWellUnderConstantLight) {
 }
 
 TEST(HarvesterNode, EnergyAccountingIsConsistent) {
-  auto ctl = core::make_paper_controller();
-  NodeConfig cfg = base_config(ctl);
+  NodeConfig cfg = base_config(core::make_paper_controller());
   const env::LightTrace trace = env::constant_light(1000.0, 0.0, 3600.0);
   const NodeReport report = simulate_node(trace, cfg);
   // Converter output cannot exceed its input.
@@ -45,10 +43,8 @@ TEST(HarvesterNode, ProposedNetsMoreThanFixedVoltageIndoors) {
   // voltage is nearly flat in illuminance), so the differentiator is the
   // one the paper claims: the S&H overhead (25 uW) undercuts the
   // fixed-voltage reference IC (36 uW).
-  auto focv = core::make_paper_controller();
-  mppt::FixedVoltageController fixed;
-  NodeConfig cfg_a = base_config(focv);
-  NodeConfig cfg_b = base_config(fixed);
+  NodeConfig cfg_a = base_config(core::make_paper_controller());
+  NodeConfig cfg_b = base_config(mppt::FixedVoltageController{});
   const env::LightTrace trace = env::constant_light(500.0, 0.0, 4.0 * 3600.0);
   const NodeReport a = simulate_node(trace, cfg_a);
   const NodeReport b = simulate_node(trace, cfg_b);
@@ -61,12 +57,10 @@ TEST(HarvesterNode, FocvAdaptsAcrossCellsFixedVoltageDoesNot) {
   // Deploy both controllers on the 8-junction Schott module. FOCV keys
   // off the cell's own Voc and keeps tracking; the 3.0 V setting tuned
   // for the AM-1815 is now far off that cell's MPP.
-  auto focv = core::make_paper_controller();
-  mppt::FixedVoltageController fixed;
-  NodeConfig cfg_a = base_config(focv);
-  NodeConfig cfg_b = base_config(fixed);
-  cfg_a.cell = &pv::schott_asi_1116929();
-  cfg_b.cell = &pv::schott_asi_1116929();
+  NodeConfig cfg_a = base_config(core::make_paper_controller());
+  NodeConfig cfg_b = base_config(mppt::FixedVoltageController{});
+  cfg_a.use_cell(pv::schott_asi_1116929());
+  cfg_b.use_cell(pv::schott_asi_1116929());
   const env::LightTrace trace = env::constant_light(1000.0, 0.0, 3600.0);
   const NodeReport a = simulate_node(trace, cfg_a);
   const NodeReport b = simulate_node(trace, cfg_b);
@@ -74,10 +68,8 @@ TEST(HarvesterNode, FocvAdaptsAcrossCellsFixedVoltageDoesNot) {
 }
 
 TEST(HarvesterNode, DirectConnectionWorksButTracksWorse) {
-  auto focv = core::make_paper_controller();
-  mppt::DirectConnectionController direct;
-  NodeConfig cfg_a = base_config(focv);
-  NodeConfig cfg_b = base_config(direct);
+  NodeConfig cfg_a = base_config(core::make_paper_controller());
+  NodeConfig cfg_b = base_config(mppt::DirectConnectionController{});
   cfg_b.storage.initial_voltage = 2.0;  // store far from MPP voltage
   const env::LightTrace trace = env::constant_light(1000.0, 0.0, 3600.0);
   const NodeReport a = simulate_node(trace, cfg_a);
@@ -87,8 +79,7 @@ TEST(HarvesterNode, DirectConnectionWorksButTracksWorse) {
 }
 
 TEST(HarvesterNode, HighOverheadControllerFreezesBelowMinLux) {
-  mppt::HillClimbingController po;  // min_lux 1500
-  NodeConfig cfg = base_config(po);
+  NodeConfig cfg = base_config(mppt::HillClimbingController{});  // min_lux 1500
   const env::LightTrace trace = env::constant_light(500.0, 0.0, 1800.0);
   const NodeReport report = simulate_node(trace, cfg);
   EXPECT_DOUBLE_EQ(report.harvested_energy, 0.0);
@@ -97,8 +88,7 @@ TEST(HarvesterNode, HighOverheadControllerFreezesBelowMinLux) {
 }
 
 TEST(HarvesterNode, ColdStartDelaysHarvesting) {
-  auto ctl = core::make_paper_controller();
-  NodeConfig cfg = base_config(ctl);
+  NodeConfig cfg = base_config(core::make_paper_controller());
   cfg.storage.initial_voltage = 0.0;
   cfg.coldstart = power::ColdStartCircuit::Params{};
   const env::LightTrace trace = env::constant_light(200.0, 0.0, 600.0);
@@ -112,8 +102,7 @@ TEST(HarvesterNode, ColdStartDelaysHarvesting) {
 }
 
 TEST(HarvesterNode, BrownoutWhenStoreEmptyAndDark) {
-  auto ctl = core::make_paper_controller();
-  NodeConfig cfg = base_config(ctl);
+  NodeConfig cfg = base_config(core::make_paper_controller());
   cfg.storage.initial_voltage = 0.0;  // empty, dark trace
   const env::LightTrace trace = env::constant_light(0.0, 0.0, 600.0);
   const NodeReport report = simulate_node(trace, cfg);
@@ -122,8 +111,7 @@ TEST(HarvesterNode, BrownoutWhenStoreEmptyAndDark) {
 }
 
 TEST(HarvesterNode, RecordsTracesWhenAsked) {
-  auto ctl = core::make_paper_controller();
-  NodeConfig cfg = base_config(ctl);
+  NodeConfig cfg = base_config(core::make_paper_controller());
   cfg.record_traces = true;
   cfg.record_stride = 10;
   const env::LightTrace trace = env::constant_light(1000.0, 0.0, 600.0);
@@ -139,19 +127,46 @@ TEST(HarvesterNode, RejectsMissingPieces) {
   EXPECT_THROW(simulate_node(trace, cfg), PreconditionError);
 }
 
+TEST(HarvesterNode, ConfigIsReentrantAcrossRuns) {
+  // The same const config run twice must give identical reports: each
+  // run clones the controller prototype instead of mutating shared state.
+  const NodeConfig cfg = base_config(core::make_paper_controller());
+  const env::LightTrace trace = env::constant_light(800.0, 0.0, 1800.0);
+  const NodeReport a = simulate_node(trace, cfg);
+  const NodeReport b = simulate_node(trace, cfg);
+  EXPECT_DOUBLE_EQ(a.harvested_energy, b.harvested_energy);
+  EXPECT_DOUBLE_EQ(a.overhead_energy, b.overhead_energy);
+  EXPECT_DOUBLE_EQ(a.final_store_voltage, b.final_store_voltage);
+}
+
+TEST(HarvesterNode, DeprecatedRawPointerShimsStillWork) {
+  // One-PR grace period: borrowed pointers keep the old in-place
+  // semantics and must agree with the owning API on the same inputs.
+  auto ctl = core::make_paper_controller();
+  NodeConfig legacy;
+  legacy.cell = &pv::sanyo_am1815();
+  legacy.controller = &ctl;
+  legacy.storage.initial_voltage = 3.0;
+  legacy.load.report_period = 120.0;
+  const env::LightTrace trace = env::constant_light(1000.0, 0.0, 1800.0);
+  const NodeReport via_shim = simulate_node(trace, legacy);
+  const NodeReport via_owning =
+      simulate_node(trace, base_config(core::make_paper_controller()));
+  EXPECT_DOUBLE_EQ(via_shim.harvested_energy, via_owning.harvested_energy);
+  EXPECT_DOUBLE_EQ(via_shim.final_store_voltage, via_owning.final_store_voltage);
+}
+
 TEST(HarvesterNode, NetEnergyPositiveIndoorsForProposed) {
   // The headline claim: at office light the proposed technique nets
   // positive energy (overhead far below harvest).
-  auto ctl = core::make_paper_controller();
-  NodeConfig cfg = base_config(ctl);
+  NodeConfig cfg = base_config(core::make_paper_controller());
   const env::LightTrace trace = env::constant_light(500.0, 0.0, 3600.0);
   const NodeReport report = simulate_node(trace, cfg);
   EXPECT_GT(report.net_energy(), 0.0);
 }
 
 TEST(HarvesterNode, BatteryStoreChargesUnderOfficeLight) {
-  auto ctl = core::make_paper_controller();
-  NodeConfig cfg = base_config(ctl);
+  NodeConfig cfg = base_config(core::make_paper_controller());
   power::Battery::Params bat;
   bat.initial_soc = 0.3;
   cfg.battery = bat;
@@ -163,8 +178,7 @@ TEST(HarvesterNode, BatteryStoreChargesUnderOfficeLight) {
 }
 
 TEST(HarvesterNode, BatteryBrownoutWhenEmptyAndDark) {
-  auto ctl = core::make_paper_controller();
-  NodeConfig cfg = base_config(ctl);
+  NodeConfig cfg = base_config(core::make_paper_controller());
   power::Battery::Params bat;
   bat.initial_soc = 0.0;
   cfg.battery = bat;

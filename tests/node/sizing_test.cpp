@@ -9,21 +9,19 @@
 namespace focv::node {
 namespace {
 
-SizingQuery office_query(mppt::MpptController& ctl, const env::LightTrace& trace,
-                         double report_period) {
+SizingQuery office_query(const env::LightTrace& trace, double report_period) {
   SizingQuery q;
-  q.cell = &pv::sanyo_am1815();
-  q.scenario = &trace;
-  q.controller = &ctl;
+  q.use_cell(pv::sanyo_am1815());
+  q.use_scenario(trace);
+  q.use_controller(core::make_paper_controller());
   q.load.report_period = report_period;
   return q;
 }
 
 TEST(Sizing, LightLoadNeedsSmallCell) {
-  auto ctl = core::make_paper_controller();
   const env::LightTrace day = env::office_desk_mixed();
   const SizingResult r =
-      size_for_energy_neutrality(office_query(ctl, day, 600.0));  // report every 10 min
+      size_for_energy_neutrality(office_query(day, 600.0));  // report every 10 min
   ASSERT_TRUE(r.feasible);
   EXPECT_LT(r.area_factor, 2.0);  // one AM-1815 class cell suffices
   EXPECT_GE(r.daily_harvest_j, r.daily_load_j);
@@ -32,13 +30,9 @@ TEST(Sizing, LightLoadNeedsSmallCell) {
 }
 
 TEST(Sizing, HeavierLoadNeedsLargerCell) {
-  auto ctl_light = core::make_paper_controller();
-  auto ctl_heavy = core::make_paper_controller();
   const env::LightTrace day = env::office_desk_mixed();
-  const SizingResult light =
-      size_for_energy_neutrality(office_query(ctl_light, day, 600.0));
-  const SizingResult heavy =
-      size_for_energy_neutrality(office_query(ctl_heavy, day, 60.0));
+  const SizingResult light = size_for_energy_neutrality(office_query(day, 600.0));
+  const SizingResult heavy = size_for_energy_neutrality(office_query(day, 60.0));
   ASSERT_TRUE(light.feasible);
   ASSERT_TRUE(heavy.feasible);
   EXPECT_GT(heavy.area_factor, light.area_factor);
@@ -46,11 +40,21 @@ TEST(Sizing, HeavierLoadNeedsLargerCell) {
 }
 
 TEST(Sizing, InfeasibleWhenScenarioIsDark) {
-  auto ctl = core::make_paper_controller();
   const env::LightTrace dark = env::constant_light(0.0, 0.0, 86400.0, 60.0);
   const SizingResult r =
-      size_for_energy_neutrality(office_query(ctl, dark, 600.0), 0.1, 4.0);
+      size_for_energy_neutrality(office_query(dark, 600.0), 0.1, 4.0);
   EXPECT_FALSE(r.feasible);
+}
+
+TEST(Sizing, QueryIsReentrant) {
+  // Two runs of the same const query agree bit-for-bit: the controller
+  // prototype is cloned per run, never mutated in place.
+  const env::LightTrace day = env::office_desk_mixed();
+  const SizingQuery q = office_query(day, 600.0);
+  const SizingResult a = size_for_energy_neutrality(q);
+  const SizingResult b = size_for_energy_neutrality(q);
+  EXPECT_DOUBLE_EQ(a.area_factor, b.area_factor);
+  EXPECT_DOUBLE_EQ(a.storage_j, b.storage_j);
 }
 
 TEST(Sizing, RejectsMissingInputs) {

@@ -22,10 +22,9 @@ TEST(ColdStartRepro, StartsAt200LuxBehavioural) {
 }
 
 TEST(ColdStartRepro, FullNodeColdStartsAndHarvests) {
-  auto ctl = core::make_paper_controller();
   node::NodeConfig cfg;
-  cfg.cell = &pv::sanyo_am1815();
-  cfg.controller = &ctl;
+  cfg.use_cell(pv::sanyo_am1815());
+  cfg.use_controller(core::make_paper_controller());
   cfg.storage.initial_voltage = 0.0;
   cfg.coldstart = power::ColdStartCircuit::Params{};
   const env::LightTrace trace = env::constant_light(200.0, 0.0, 1200.0);

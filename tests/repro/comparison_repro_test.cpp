@@ -11,10 +11,10 @@
 namespace focv {
 namespace {
 
-node::NodeReport run(mppt::MpptController& ctl, const env::LightTrace& trace) {
+node::NodeReport run(const mppt::MpptController& ctl, const env::LightTrace& trace) {
   node::NodeConfig cfg;
-  cfg.cell = &pv::sanyo_am1815();
-  cfg.controller = &ctl;
+  cfg.use_cell(pv::sanyo_am1815());
+  cfg.use_controller(ctl);
   cfg.storage.initial_voltage = 3.0;
   cfg.load.report_period = 300.0;  // light duty load
   return node::simulate_node(trace, cfg);
@@ -78,14 +78,12 @@ TEST(ComparisonRepro, FocvPortsAcrossCellsFixedVoltageNeedsRetuning) {
   // 3.0 V setting tuned for the AM-1815 is now well below that cell's
   // MPP voltage.
   const env::LightTrace office = env::constant_light(1000.0, 0.0, 3600.0);
-  auto proposed = core::make_paper_controller();
-  mppt::FixedVoltageController fixed;
   node::NodeConfig cfg_a;
-  cfg_a.cell = &pv::schott_asi_1116929();
-  cfg_a.controller = &proposed;
+  cfg_a.use_cell(pv::schott_asi_1116929());
+  cfg_a.use_controller(core::make_paper_controller());
   cfg_a.storage.initial_voltage = 3.0;
   node::NodeConfig cfg_b = cfg_a;
-  cfg_b.controller = &fixed;
+  cfg_b.use_controller(mppt::FixedVoltageController{});
   const node::NodeReport a = node::simulate_node(office, cfg_a);
   const node::NodeReport b = node::simulate_node(office, cfg_b);
   EXPECT_GT(a.tracking_efficiency(), b.tracking_efficiency() + 0.015);
