@@ -1,0 +1,177 @@
+// The standard microbenchmark suite: hot paths of the behavioural tier.
+//
+// Full-size workloads mirror the repo's real evaluation shapes (24 h
+// scenario days, the Table-I sweep matrix, a Fig.-4 transient window);
+// --smoke shrinks every case to a seconds-scale CI gate with identical
+// code paths.
+#include <cmath>
+#include <cstdint>
+
+#include "circuit/transient.hpp"
+#include "core/focv_system.hpp"
+#include "core/netlists.hpp"
+#include "env/profiles.hpp"
+#include "harness.hpp"
+#include "mppt/baselines.hpp"
+#include "node/harvester_node.hpp"
+#include "pv/cell_library.hpp"
+#include "runtime/sweep.hpp"
+
+namespace focv::microbench {
+namespace {
+
+node::NodeConfig node_config(node::PowerModel model) {
+  node::NodeConfig cfg;
+  cfg.use_cell(pv::sanyo_am1815());
+  cfg.use_controller(core::make_paper_controller());
+  cfg.storage.initial_voltage = 3.0;
+  cfg.power_model = model;
+  return cfg;
+}
+
+Counters report_counters(const node::NodeReport& r) {
+  return {{"steps", static_cast<double>(r.steps)},
+          {"model_evals", static_cast<double>(r.model_evals)},
+          {"curve_entries", static_cast<double>(r.curve_entries)},
+          {"tracking_efficiency", r.tracking_efficiency()}};
+}
+
+CaseSpec simulate_node_case(std::string name, std::string description, bool indoor,
+                            node::PowerModel model) {
+  CaseSpec spec;
+  spec.name = std::move(name);
+  spec.description = std::move(description);
+  spec.make = [indoor, model](bool smoke) {
+    // The trace is workload input, not the code under test: build once.
+    env::LightTrace trace =
+        smoke ? env::constant_light(indoor ? 500.0 : 20000.0, 0.0, 600.0)
+              : (indoor ? env::office_desk_mixed(env::OfficeDayParams{})
+                        : env::outdoor_day({}));
+    node::NodeConfig cfg = node_config(model);
+    return [trace = std::move(trace), cfg = std::move(cfg)]() -> Counters {
+      const node::NodeReport report = node::simulate_node(trace, cfg);
+      return report_counters(report);
+    };
+  };
+  return spec;
+}
+
+runtime::SweepSpec sweep_spec(bool smoke) {
+  runtime::SweepSpec spec;
+  spec.add_cell("AM-1815", pv::sanyo_am1815());
+  spec.add_cell("Schott", pv::schott_asi_1116929());
+  spec.add_controller("proposed", core::make_paper_controller());
+  spec.add_controller("fixed", mppt::FixedVoltageController{});
+  spec.add_controller("pilot", mppt::PilotCellFocvController{});
+  const double duration = smoke ? 300.0 : 4.0 * 3600.0;
+  spec.add_scenario("lux200", env::constant_light(200.0, 0.0, duration));
+  spec.add_scenario("lux1000", env::constant_light(1000.0, 0.0, duration));
+  spec.add_scenario("lux5000", env::constant_light(5000.0, 0.0, duration));
+  spec.base.storage.initial_voltage = 3.0;
+  spec.base.load.report_period = 120.0;
+  return spec;
+}
+
+CaseSpec sweep_case(std::string name, std::string description, int jobs) {
+  CaseSpec spec;
+  spec.name = std::move(name);
+  spec.description = std::move(description);
+  spec.make = [jobs](bool smoke) {
+    return [spec = sweep_spec(smoke), jobs]() -> Counters {
+      runtime::SweepOptions opt;
+      opt.jobs = jobs;
+      const runtime::SweepResult r = runtime::run_sweep(spec, opt);
+      return {{"jobs_requested", static_cast<double>(jobs)},
+              {"jobs_used", static_cast<double>(r.jobs_used())},
+              {"records", static_cast<double>(r.records().size())},
+              {"total_steps", static_cast<double>(r.total_steps())},
+              {"total_model_evals", static_cast<double>(r.total_model_evals())}};
+    };
+  };
+  return spec;
+}
+
+CaseSpec circuit_transient_case() {
+  CaseSpec spec;
+  spec.name = "circuit_transient_window";
+  spec.description =
+      "Fig.-3 system netlist, adaptive transient across the first sampling "
+      "operation (120 ms full, 20 ms smoke)";
+  spec.make = [](bool smoke) {
+    const double t_stop = smoke ? 0.02 : 0.12;
+    return [t_stop]() -> Counters {
+      circuit::Circuit ckt;
+      pv::Conditions c;
+      c.illuminance_lux = 1000.0;
+      core::build_fig3_system(ckt, pv::sanyo_am1815(), c, core::SystemSpec{});
+      circuit::TransientOptions opt;
+      opt.t_stop = t_stop;
+      opt.start_from_dc = false;
+      opt.dt_initial = 1e-6;
+      opt.dt_max = 0.25;
+      opt.dv_step_max = 0.4;
+      const circuit::Trace tr = circuit::transient_analyze(ckt, opt);
+      return {{"trace_points", static_cast<double>(tr.time().size())}};
+    };
+  };
+  return spec;
+}
+
+CaseSpec cell_solves_case() {
+  CaseSpec spec;
+  spec.name = "cell_model_solves";
+  spec.description =
+      "raw implicit-junction solves: Voc root + MPP search + P(V) terminal "
+      "solve across a log-illuminance ladder";
+  spec.make = [](bool smoke) {
+    const int levels = smoke ? 16 : 256;
+    return [levels]() -> Counters {
+      const pv::SingleDiodeModel& cell = pv::sanyo_am1815();
+      pv::Conditions c;
+      double checksum = 0.0;
+      for (int i = 0; i < levels; ++i) {
+        c.illuminance_lux = 50.0 * std::exp(7.0 * i / levels);  // 50 .. ~55k lux
+        const double voc = cell.open_circuit_voltage(c);
+        const pv::MppResult mpp = cell.maximum_power_point(c, voc);
+        checksum += mpp.power + cell.power_at(0.75 * voc, c);
+      }
+      return {{"levels", static_cast<double>(levels)},
+              {"solves", static_cast<double>(3 * levels)},
+              {"checksum", checksum}};
+    };
+  };
+  return spec;
+}
+
+}  // namespace
+
+void register_default_cases() {
+  std::vector<CaseSpec>& r = registry();
+  r.push_back(simulate_node_case(
+      "simulate_node_24h_indoor_surrogate",
+      "office-day 24 h behavioural run, surrogate power model (default)",
+      /*indoor=*/true, node::PowerModel::kSurrogate));
+  r.push_back(simulate_node_case(
+      "simulate_node_24h_indoor_exact",
+      "office-day 24 h behavioural run, exact per-step solves",
+      /*indoor=*/true, node::PowerModel::kExact));
+  r.push_back(simulate_node_case(
+      "simulate_node_24h_outdoor_surrogate",
+      "outdoor 24 h behavioural run, surrogate power model (default)",
+      /*indoor=*/false, node::PowerModel::kSurrogate));
+  r.push_back(simulate_node_case(
+      "simulate_node_24h_outdoor_exact",
+      "outdoor 24 h behavioural run, exact per-step solves",
+      /*indoor=*/false, node::PowerModel::kExact));
+  r.push_back(sweep_case("sweep_jobs1",
+                         "2 cells x 3 controllers x 3 scenarios, single-threaded",
+                         /*jobs=*/1));
+  r.push_back(sweep_case("sweep_jobsN",
+                         "2 cells x 3 controllers x 3 scenarios, one worker per "
+                         "hardware thread",
+                         /*jobs=*/0));
+  r.push_back(circuit_transient_case());
+  r.push_back(cell_solves_case());
+}
+
+}  // namespace focv::microbench

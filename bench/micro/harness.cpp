@@ -1,0 +1,193 @@
+#include "harness.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace focv::microbench {
+
+std::vector<CaseSpec>& registry() {
+  static std::vector<CaseSpec> cases;
+  return cases;
+}
+
+double median(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const std::size_t n = values.size();
+  return (n % 2 == 1) ? values[n / 2] : 0.5 * (values[n / 2 - 1] + values[n / 2]);
+}
+
+double median_abs_deviation(const std::vector<double>& values, double med) {
+  std::vector<double> dev;
+  dev.reserve(values.size());
+  for (const double v : values) dev.push_back(std::abs(v - med));
+  return median(std::move(dev));
+}
+
+std::vector<CaseResult> run_cases(const RunOptions& options) {
+  const int reps = std::max(1, options.effective_repetitions());
+  const int warmup = std::max(0, options.effective_warmup());
+
+  std::vector<CaseResult> results;
+  for (const CaseSpec& spec : registry()) {
+    if (!options.filter.empty() &&
+        spec.name.find(options.filter) == std::string::npos) {
+      continue;
+    }
+    CaseResult r;
+    r.name = spec.name;
+    r.description = spec.description;
+
+    auto body = spec.make(options.smoke);
+    for (int i = 0; i < warmup; ++i) (void)body();
+    for (int i = 0; i < reps; ++i) {
+      const auto t0 = std::chrono::steady_clock::now();
+      Counters counters = body();
+      const auto t1 = std::chrono::steady_clock::now();
+      r.seconds.push_back(std::chrono::duration<double>(t1 - t0).count());
+      r.counters = std::move(counters);
+    }
+    r.median_s = median(r.seconds);
+    r.mad_s = median_abs_deviation(r.seconds, r.median_s);
+    r.min_s = *std::min_element(r.seconds.begin(), r.seconds.end());
+    results.push_back(std::move(r));
+  }
+  return results;
+}
+
+namespace {
+
+std::string num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  // JSON has no inf/nan literals; the suite never produces them, but a
+  // schema-valid file beats a surprising parse error if a case ever does.
+  if (!std::isfinite(v)) return "null";
+  return buf;
+}
+
+std::string quoted(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string to_json(const std::vector<CaseResult>& results, const RunOptions& options) {
+  std::string out = "{\n";
+  out += "  \"schema\": \"focv-bench-micro/v1\",\n";
+  out += std::string("  \"smoke\": ") + (options.smoke ? "true" : "false") + ",\n";
+  out += "  \"repetitions\": " + std::to_string(options.effective_repetitions()) + ",\n";
+  out += "  \"warmup\": " + std::to_string(options.effective_warmup()) + ",\n";
+  out += "  \"cases\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const CaseResult& r = results[i];
+    out += "    {\"name\": " + quoted(r.name) +
+           ", \"description\": " + quoted(r.description) +
+           ",\n     \"median_s\": " + num(r.median_s) +
+           ", \"mad_s\": " + num(r.mad_s) + ", \"min_s\": " + num(r.min_s) +
+           ",\n     \"reps_s\": [";
+    for (std::size_t k = 0; k < r.seconds.size(); ++k) {
+      if (k) out += ", ";
+      out += num(r.seconds[k]);
+    }
+    out += "],\n     \"counters\": {";
+    for (std::size_t k = 0; k < r.counters.size(); ++k) {
+      if (k) out += ", ";
+      out += quoted(r.counters[k].first) + ": " + num(r.counters[k].second);
+    }
+    out += "}}";
+    out += (i + 1 < results.size()) ? ",\n" : "\n";
+  }
+  out += "  ],\n";
+
+  // Derived speedups: for every X_surrogate / X_exact pair, the ratio of
+  // exact to surrogate median wall time.
+  out += "  \"derived\": {";
+  bool first = true;
+  for (const CaseResult& fast : results) {
+    const std::string suffix = "_surrogate";
+    if (fast.name.size() <= suffix.size() ||
+        fast.name.compare(fast.name.size() - suffix.size(), suffix.size(), suffix) != 0) {
+      continue;
+    }
+    const std::string stem = fast.name.substr(0, fast.name.size() - suffix.size());
+    for (const CaseResult& slow : results) {
+      if (slow.name == stem + "_exact" && fast.median_s > 0.0) {
+        if (!first) out += ", ";
+        first = false;
+        out += quoted("speedup_" + stem) + ": " + num(slow.median_s / fast.median_s);
+      }
+    }
+  }
+  out += "}\n}\n";
+  return out;
+}
+
+int main_with_args(const std::vector<std::string>& args) {
+  RunOptions opt;
+  auto value_of = [](const std::string& arg, const char* flag,
+                     std::string* out) {
+    const std::string prefix = std::string(flag) + "=";
+    if (arg.compare(0, prefix.size(), prefix) == 0) {
+      *out = arg.substr(prefix.size());
+      return true;
+    }
+    return false;
+  };
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    std::string v;
+    if (a == "--smoke") {
+      opt.smoke = true;
+    } else if (value_of(a, "--repetitions", &v)) {
+      opt.repetitions = std::stoi(v);
+    } else if (value_of(a, "--warmup", &v)) {
+      opt.warmup = std::stoi(v);
+    } else if (value_of(a, "--filter", &v)) {
+      opt.filter = v;
+    } else if (value_of(a, "--output", &v)) {
+      opt.output_path = v;
+    } else if (a == "--help") {
+      std::printf(
+          "micro_bench [--smoke] [--repetitions=K] [--warmup=K]\n"
+          "            [--filter=SUBSTR] [--output=PATH]\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "micro_bench: unknown flag '%s'\n", a.c_str());
+      return 2;
+    }
+  }
+
+  if (registry().empty()) register_default_cases();
+  const std::vector<CaseResult> results = run_cases(opt);
+
+  std::printf("%-36s %12s %10s %10s\n", "case", "median [ms]", "mad [ms]", "min [ms]");
+  for (const CaseResult& r : results) {
+    std::printf("%-36s %12.3f %10.3f %10.3f\n", r.name.c_str(), r.median_s * 1e3,
+                r.mad_s * 1e3, r.min_s * 1e3);
+  }
+
+  const std::string json = to_json(results, opt);
+  if (!opt.output_path.empty()) {
+    std::ofstream f(opt.output_path, std::ios::binary);
+    if (!f) {
+      std::fprintf(stderr, "micro_bench: cannot write '%s'\n", opt.output_path.c_str());
+      return 1;
+    }
+    f << json;
+    std::printf("wrote %s\n", opt.output_path.c_str());
+  }
+  return results.empty() ? 1 : 0;
+}
+
+}  // namespace focv::microbench

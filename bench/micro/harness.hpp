@@ -1,0 +1,94 @@
+// Reproducible microbenchmark harness for the hot paths of the
+// behavioural simulation tier.
+//
+// Unlike the bench/ reproduction binaries (which regenerate the paper's
+// tables and figures), bench/micro/ answers an engineering question: how
+// fast are the building blocks — a 24 h simulate_node run, the sweep
+// engine, one circuit transient window, raw cell-model solves — and did
+// a change make them faster or slower?
+//
+// Method: each case is run `warmup` times untimed, then `repetitions`
+// times on a monotonic clock; the summary statistic is the median with
+// the median absolute deviation (MAD) as the robust spread measure, so a
+// single scheduler hiccup cannot skew a reading. Results are written as
+// machine-readable JSON (schema "focv-bench-micro/v1") next to a
+// human-readable table, and paired *_surrogate / *_exact cases yield
+// derived speedup ratios.
+//
+// The CLI entry point is main_with_args() so tests can drive the whole
+// harness in-process; bench/micro/main.cpp is a two-line shim.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace focv::microbench {
+
+/// Named scalar facts a case reports alongside its timing (step counts,
+/// model-solve counts, efficiencies). Order is preserved into the JSON.
+using Counters = std::vector<std::pair<std::string, double>>;
+
+/// One registered benchmark case.
+struct CaseSpec {
+  std::string name;         ///< stable identifier (snake_case)
+  std::string description;  ///< one line, lands in the JSON
+  /// Factory invoked once per case run. `smoke` selects a seconds-scale
+  /// workload for CI gating instead of the full-size one. The returned
+  /// closure executes ONE timed repetition and reports its counters
+  /// (the last repetition's counters are recorded).
+  std::function<std::function<Counters()>(bool smoke)> make;
+};
+
+/// Timing summary of one executed case.
+struct CaseResult {
+  std::string name;
+  std::string description;
+  std::vector<double> seconds;  ///< per-repetition wall time
+  double median_s = 0.0;
+  double mad_s = 0.0;  ///< median absolute deviation of `seconds`
+  double min_s = 0.0;
+  Counters counters;
+};
+
+struct RunOptions {
+  bool smoke = false;
+  /// Timed repetitions per case; -1 = default (7, or 2 with --smoke).
+  int repetitions = -1;
+  /// Untimed warmup runs per case; -1 = default (1, or 0 with --smoke).
+  int warmup = -1;
+  std::string filter;       ///< substring filter on case names; empty = all
+  std::string output_path;  ///< JSON destination; empty = stdout table only
+
+  [[nodiscard]] int effective_repetitions() const {
+    return repetitions >= 0 ? repetitions : (smoke ? 2 : 7);
+  }
+  [[nodiscard]] int effective_warmup() const {
+    return warmup >= 0 ? warmup : (smoke ? 0 : 1);
+  }
+};
+
+/// Mutable global case registry. register_default_cases() fills it with
+/// the standard suite; tests may append their own.
+std::vector<CaseSpec>& registry();
+void register_default_cases();
+
+/// Robust statistics helpers (exposed for tests).
+[[nodiscard]] double median(std::vector<double> values);
+[[nodiscard]] double median_abs_deviation(const std::vector<double>& values, double med);
+
+/// Execute every registered case matching `options.filter`.
+[[nodiscard]] std::vector<CaseResult> run_cases(const RunOptions& options);
+
+/// Serialize results as "focv-bench-micro/v1" JSON, including derived
+/// speedup ratios for every *_surrogate / *_exact case pair.
+[[nodiscard]] std::string to_json(const std::vector<CaseResult>& results,
+                                  const RunOptions& options);
+
+/// Full CLI: parse flags, run, print the table, write the JSON.
+/// Flags: --smoke, --repetitions=K, --warmup=K, --filter=SUBSTR,
+/// --output=PATH. Returns a process exit code.
+int main_with_args(const std::vector<std::string>& args);
+
+}  // namespace focv::microbench

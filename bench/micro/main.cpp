@@ -1,0 +1,9 @@
+#include <string>
+#include <vector>
+
+#include "harness.hpp"
+
+int main(int argc, char** argv) {
+  return focv::microbench::main_with_args(
+      std::vector<std::string>(argv + 1, argv + argc));
+}

@@ -1,0 +1,169 @@
+#include "node/curve_cache.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/require.hpp"
+
+namespace focv::node {
+
+CurveCache::CurveCache(const pv::SingleDiodeModel& cell, double temperature_k, Options options)
+    : cell_(cell), options_(options) {
+  require(options_.surrogate_points >= 8, "CurveCache: surrogate_points must be >= 8");
+  conditions_.spectrum = pv::Spectrum::kFluorescent;
+  conditions_.temperature_k = temperature_k;
+}
+
+pv::Conditions CurveCache::conditions_at(double equivalent_lux) const {
+  pv::Conditions c = conditions_;
+  c.illuminance_lux = equivalent_lux;
+  return c;
+}
+
+void CurveCache::prepare(const std::vector<double>& eq_lux) {
+  require(step_slot_.empty(), "CurveCache::prepare: already prepared");
+  if (options_.model == PowerModel::kExact) {
+    prepare_exact(eq_lux);
+  } else {
+    prepare_surrogate(eq_lux);
+  }
+}
+
+void CurveCache::build_exact_entry(Entry& e, double lux) {
+  if (lux >= kDarkLux) {
+    const pv::Conditions c = conditions_at(lux);
+    e.voc = cell_.open_circuit_voltage(c);
+    const pv::MppResult mpp = cell_.maximum_power_point(c, e.voc);
+    e.pmpp = mpp.power;
+    e.vmpp = mpp.voltage;
+    model_evals_ += 2;
+  }
+  e.built = true;
+  ++entries_built_;
+}
+
+void CurveCache::prepare_exact(const std::vector<double>& eq_lux) {
+  // The historical memoisation: a 0.1 % log-illuminance bucket, keyed by
+  // the first illuminance that lands in it, in step order. Keeping the
+  // first-encounter representative (rather than the bucket centre) is
+  // what makes this mode reproduce the pre-surrogate trajectory bit for
+  // bit.
+  eq_lux_ = &eq_lux;
+  step_slot_.resize(eq_lux.size());
+  std::unordered_map<long, std::uint32_t> slot_of_key;
+  for (std::size_t i = 0; i < eq_lux.size(); ++i) {
+    const double lux = eq_lux[i];
+    const long key = std::lround(1000.0 * std::log(std::max(lux, 1e-3)));
+    const auto [it, inserted] =
+        slot_of_key.emplace(key, static_cast<std::uint32_t>(entries_.size()));
+    if (inserted) {
+      entries_.emplace_back();
+      build_exact_entry(entries_.back(), lux);
+    }
+    step_slot_[i] = it->second;
+  }
+}
+
+void CurveCache::build_surrogate_entry(Entry& e, long grid_index) {
+  const double lux = std::exp(static_cast<double>(grid_index) / kGridNodesPerLogLux);
+  const pv::Conditions c = conditions_at(lux);
+  e.voc = cell_.open_circuit_voltage(c);
+  const pv::MppResult mpp = cell_.maximum_power_point(c, e.voc);
+  e.pmpp = mpp.power;
+  e.vmpp = mpp.voltage;
+  const int n = options_.surrogate_points;
+  e.power.resize(static_cast<std::size_t>(n));
+  for (int m = 0; m < n; ++m) {
+    const double v = e.voc * static_cast<double>(m) / static_cast<double>(n - 1);
+    e.power[static_cast<std::size_t>(m)] = cell_.power_at(v, c);
+  }
+  model_evals_ += 2 + static_cast<std::uint64_t>(n);
+  e.built = true;
+  ++entries_built_;
+}
+
+void CurveCache::prepare_surrogate(const std::vector<double>& eq_lux) {
+  step_slot_.resize(eq_lux.size());
+  step_frac_.resize(eq_lux.size());
+
+  // Pass 1: the grid span actually touched by lit steps.
+  long jmin = 0, jmax = -1;
+  for (const double lux : eq_lux) {
+    if (lux < kDarkLux) continue;
+    const long j = static_cast<long>(std::floor(kGridNodesPerLogLux * std::log(lux)));
+    if (jmax < jmin) {
+      jmin = jmax = j;
+    } else {
+      jmin = std::min(jmin, j);
+      jmax = std::max(jmax, j);
+    }
+  }
+  grid_base_ = jmin;
+  if (jmax >= jmin) {
+    entries_.resize(static_cast<std::size_t>(jmax - jmin + 2));  // +1 for the j+1 neighbour
+  }
+
+  // Pass 2: per-step slots and weights; entries built on first touch.
+  for (std::size_t i = 0; i < eq_lux.size(); ++i) {
+    const double lux = eq_lux[i];
+    if (lux < kDarkLux) {
+      step_slot_[i] = kDarkStep;
+      step_frac_[i] = 0.0f;
+      continue;
+    }
+    const double x = kGridNodesPerLogLux * std::log(lux);
+    const long j = static_cast<long>(std::floor(x));
+    const std::size_t slot = static_cast<std::size_t>(j - grid_base_);
+    step_slot_[i] = static_cast<std::uint32_t>(slot);
+    step_frac_[i] = static_cast<float>(x - static_cast<double>(j));
+    if (!entries_[slot].built) build_surrogate_entry(entries_[slot], j);
+    if (!entries_[slot + 1].built) build_surrogate_entry(entries_[slot + 1], j + 1);
+  }
+}
+
+CurveCache::StepCurve CurveCache::at_step(std::size_t i) const {
+  const std::uint32_t slot = step_slot_[i];
+  StepCurve out;
+  if (slot == kDarkStep) return out;
+  const Entry& e0 = entries_[slot];
+  if (options_.model == PowerModel::kExact) {
+    out.voc = e0.voc;
+    out.pmpp = e0.pmpp;
+    out.vmpp = e0.vmpp;
+    return out;
+  }
+  const Entry& e1 = entries_[slot + 1];
+  const double f = static_cast<double>(step_frac_[i]);
+  out.voc = e0.voc + f * (e1.voc - e0.voc);
+  out.pmpp = e0.pmpp + f * (e1.pmpp - e0.pmpp);
+  out.vmpp = e0.vmpp + f * (e1.vmpp - e0.vmpp);
+  return out;
+}
+
+double CurveCache::table_power(const Entry& e, double v) const {
+  if (v >= e.voc) return 0.0;
+  const int n = options_.surrogate_points;
+  const double pos = v / e.voc * static_cast<double>(n - 1);
+  const int k = std::min(static_cast<int>(pos), n - 2);
+  const double t = pos - static_cast<double>(k);
+  const std::size_t idx = static_cast<std::size_t>(k);
+  return e.power[idx] + t * (e.power[idx + 1] - e.power[idx]);
+}
+
+double CurveCache::power_at_step(std::size_t i, double v) {
+  if (v <= 0.0) return 0.0;
+  if (options_.model == PowerModel::kExact) {
+    const double lux = (*eq_lux_)[i];
+    if (lux < kDarkLux) return 0.0;
+    ++model_evals_;
+    return cell_.power_at(v, conditions_at(lux));
+  }
+  const std::uint32_t slot = step_slot_[i];
+  if (slot == kDarkStep) return 0.0;
+  const double p0 = table_power(entries_[slot], v);
+  const double p1 = table_power(entries_[slot + 1], v);
+  return p0 + static_cast<double>(step_frac_[i]) * (p1 - p0);
+}
+
+}  // namespace focv::node

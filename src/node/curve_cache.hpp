@@ -1,0 +1,125 @@
+// Per-run cache of PV curve quantities for the behavioural simulation
+// tier.
+//
+// simulate_node asks three questions of the cell model every step: the
+// curve summary (Voc, Pmpp, Vmpp) at the step's illuminance, and the
+// power P(V) at the controller's commanded voltage. Answering them with
+// implicit series-resistance solves per step is what makes a 24 h run
+// solver-bound. This cache offers two strategies:
+//
+//  - PowerModel::kSurrogate (default): curve entries live on a coarse
+//    grid uniform in log-illuminance (kGridNodesPerLogLux nodes per
+//    e-fold, ~3% spacing). Each entry carries the exact Voc/Pmpp/Vmpp
+//    plus an N-point P(V) table sampled on [0, Voc]; per-step answers
+//    are linear interpolations in voltage and in log-illuminance. All
+//    table points are exact solves, and linear interpolation of a
+//    function through its exact samples never exceeds the entry's own
+//    Pmpp, so tracking efficiency stays <= 1 by construction. The
+//    combined interpolation error is bounded well below 0.1 % of Pmpp
+//    at the default resolution (validated by tests/node/
+//    curve_cache_test.cpp).
+//
+//  - PowerModel::kExact: the historical behaviour, bit for bit — Voc
+//    and the MPP are memoised on a fine 0.1 % log-illuminance grid
+//    (keyed by the first illuminance that lands in each bucket, in step
+//    order) and P(V) is solved exactly per step at the step's own
+//    illuminance.
+//
+// Either way, the per-step lookups are array indexations prepared once
+// by prepare(): no hashing, no log(), no binary search in the hot loop.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pv/conditions.hpp"
+#include "pv/diode_models.hpp"
+
+namespace focv::node {
+
+/// How the behavioural tier evaluates PV curves (see file comment).
+enum class PowerModel {
+  kSurrogate,  ///< interpolated curve tables (several times faster)
+  kExact,      ///< per-step implicit solves (pre-surrogate trajectory)
+};
+
+class CurveCache {
+ public:
+  struct Options {
+    PowerModel model = PowerModel::kSurrogate;
+    /// Voltage-grid points per surrogate P(V) table (>= 8).
+    int surrogate_points = 128;
+  };
+
+  CurveCache(const pv::SingleDiodeModel& cell, double temperature_k, Options options);
+  CurveCache(const pv::SingleDiodeModel& cell, double temperature_k)
+      : CurveCache(cell, temperature_k, Options{}) {}
+
+  /// Curve summary at one step's illuminance.
+  struct StepCurve {
+    double voc = 0.0;   ///< open-circuit voltage [V]
+    double pmpp = 0.0;  ///< maximum power [W]
+    double vmpp = 0.0;  ///< maximum-power voltage [V]
+  };
+
+  /// Precompute the per-step lookup arrays for a run over `eq_lux`
+  /// (equivalent fluorescent illuminance per sample). Must be called
+  /// once before the per-step queries; `eq_lux` must outlive the cache
+  /// in exact mode (the per-step solves read it back).
+  void prepare(const std::vector<double>& eq_lux);
+
+  /// Curve summary for step i.
+  [[nodiscard]] StepCurve at_step(std::size_t i) const;
+
+  /// Cell power when held at voltage v during step i [W].
+  [[nodiscard]] double power_at_step(std::size_t i, double v);
+
+  /// Conditions object at the given illuminance (for components that
+  /// still need direct model access, e.g. the cold-start circuit).
+  [[nodiscard]] pv::Conditions conditions_at(double equivalent_lux) const;
+
+  // --- instrumentation ------------------------------------------------
+  /// Exact cell-model evaluations issued so far (Voc root solves, MPP
+  /// searches, and P(V) terminal solves each count 1).
+  [[nodiscard]] std::uint64_t model_evals() const { return model_evals_; }
+  /// Unique illuminance buckets / grid nodes solved so far.
+  [[nodiscard]] std::uint64_t entries_built() const { return entries_built_; }
+  [[nodiscard]] PowerModel model() const { return options_.model; }
+
+  /// Grid density of the surrogate: nodes per e-fold of illuminance.
+  static constexpr double kGridNodesPerLogLux = 32.0;
+  /// Below this equivalent illuminance the cell is treated as dark.
+  static constexpr double kDarkLux = 0.05;
+
+ private:
+  struct Entry {
+    double voc = 0.0;
+    double pmpp = 0.0;
+    double vmpp = 0.0;
+    std::vector<double> power;  ///< surrogate P(V) on [0, voc], empty in exact mode
+    bool built = false;
+  };
+
+  void prepare_exact(const std::vector<double>& eq_lux);
+  void prepare_surrogate(const std::vector<double>& eq_lux);
+  void build_exact_entry(Entry& e, double lux);
+  void build_surrogate_entry(Entry& e, long grid_index);
+  [[nodiscard]] double table_power(const Entry& e, double v) const;
+
+  const pv::SingleDiodeModel& cell_;
+  pv::Conditions conditions_;
+  Options options_;
+
+  // Per-step lookup arrays (filled by prepare).
+  static constexpr std::uint32_t kDarkStep = 0xffffffffu;
+  std::vector<std::uint32_t> step_slot_;  ///< dense entry index, or kDarkStep
+  std::vector<float> step_frac_;          ///< surrogate log-lux interpolation weight
+  std::vector<Entry> entries_;
+  long grid_base_ = 0;                    ///< surrogate: grid index of entries_[0]
+  const std::vector<double>* eq_lux_ = nullptr;  ///< exact mode: per-step lux
+
+  std::uint64_t model_evals_ = 0;
+  std::uint64_t entries_built_ = 0;
+};
+
+}  // namespace focv::node

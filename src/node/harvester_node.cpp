@@ -1,84 +1,24 @@
 #include "node/harvester_node.hpp"
 
+#include <algorithm>
 #include <cmath>
-#include <unordered_map>
 
 #include "common/require.hpp"
+#include "node/curve_cache.hpp"
 
 namespace focv::node {
 
-namespace {
-
-/// Memoises Voc and MPP lookups on a fine log-illuminance grid: a 24 h
-/// trace triggers ~100k curve solves otherwise. Quantisation at 0.1% in
-/// lux is far below every other model uncertainty.
-class CurveCache {
- public:
-  CurveCache(const pv::SingleDiodeModel& cell, double temperature_k)
-      : cell_(cell) {
-    conditions_.spectrum = pv::Spectrum::kFluorescent;
-    conditions_.temperature_k = temperature_k;
-  }
-
-  struct Entry {
-    double voc = 0.0;
-    double pmpp = 0.0;
-    double vmpp = 0.0;
-  };
-
-  const Entry& at(double equivalent_lux) {
-    const long key = std::lround(1000.0 * std::log(std::max(equivalent_lux, 1e-3)));
-    auto it = cache_.find(key);
-    if (it != cache_.end()) return it->second;
-    conditions_.illuminance_lux = equivalent_lux;
-    Entry e;
-    if (equivalent_lux >= 0.05) {
-      e.voc = cell_.open_circuit_voltage(conditions_);
-      const pv::MppResult mpp = cell_.maximum_power_point(conditions_);
-      e.pmpp = mpp.power;
-      e.vmpp = mpp.voltage;
-    }
-    return cache_.emplace(key, e).first->second;
-  }
-
-  /// Cell power when held at voltage v [W].
-  double power_at(double v, double equivalent_lux) {
-    if (equivalent_lux < 0.05 || v <= 0.0) return 0.0;
-    conditions_.illuminance_lux = equivalent_lux;
-    return cell_.power_at(v, conditions_);
-  }
-
-  pv::Conditions conditions_at(double equivalent_lux) {
-    pv::Conditions c = conditions_;
-    c.illuminance_lux = equivalent_lux;
-    return c;
-  }
-
- private:
-  const pv::SingleDiodeModel& cell_;
-  pv::Conditions conditions_;
-  std::unordered_map<long, Entry> cache_;
-};
-
-}  // namespace
-
 NodeReport simulate_node(const env::LightTrace& trace, const NodeConfig& config) {
-  const pv::SingleDiodeModel* cell_ptr =
-      config.cell_model ? config.cell_model.get() : config.cell;
-  require(cell_ptr != nullptr, "simulate_node: cell is required");
-  require(config.controller_prototype != nullptr || config.controller != nullptr,
-          "simulate_node: controller is required");
+  require(config.cell_model != nullptr, "simulate_node: cell is required (use_cell)");
+  require(config.controller_prototype != nullptr,
+          "simulate_node: controller is required (use_controller)");
   require(trace.size() >= 2, "simulate_node: trace needs at least 2 samples");
 
-  // Preferred path: clone the immutable prototype so this run owns its
-  // controller state outright (re-entrant). Legacy path: mutate the
-  // borrowed controller in place, as the pre-runtime API did.
-  std::unique_ptr<mppt::MpptController> owned_controller;
-  if (config.controller_prototype) owned_controller = config.controller_prototype->clone();
-
-  const pv::SingleDiodeModel& cell = *cell_ptr;
-  mppt::MpptController& controller =
-      owned_controller ? *owned_controller : *config.controller;
+  // Clone the immutable prototype so this run owns its controller state
+  // outright (re-entrant).
+  const pv::SingleDiodeModel& cell = *config.cell_model;
+  std::unique_ptr<mppt::MpptController> owned_controller = config.controller_prototype->clone();
+  mppt::MpptController& controller = *owned_controller;
   controller.reset();
 
   power::Supercapacitor supercap(config.storage);
@@ -96,9 +36,15 @@ NodeReport simulate_node(const env::LightTrace& trace, const NodeConfig& config)
   std::optional<power::ColdStartCircuit> coldstart;
   if (config.coldstart) coldstart.emplace(*config.coldstart);
 
-  CurveCache curves(cell, config.temperature_k);
+  // All per-step curve queries go through the cache; the per-step lookup
+  // arrays (illuminance series, bucket slots) are precomputed here so
+  // the hot loop below does no hashing, log() or binary searches.
+  CurveCache curves(cell, config.temperature_k,
+                    {config.power_model, config.surrogate_points});
   const std::vector<double> eq_lux = trace.equivalent_lux(cell);
+  const std::vector<double> total_lux = trace.total_lux();
   const std::vector<double>& t = trace.time();
+  curves.prepare(eq_lux);
 
   NodeReport report;
   report.duration = trace.duration();
@@ -106,14 +52,17 @@ NodeReport simulate_node(const env::LightTrace& trace, const NodeConfig& config)
   mppt::SensedInputs sensed;
   double prev_power = 0.0;
   double prev_voltage = 0.0;
-  const double controller_current =
-      controller.overhead_power() / 3.3;  // for the cold-start load model
+  // Loop-invariant controller properties, hoisted out of the hot loop.
+  const double overhead_power = controller.overhead_power();
+  const double min_operating_lux = controller.minimum_operating_lux();
+  const double load_power = load.average_power();
+  const double controller_current = overhead_power / 3.3;  // for the cold-start load model
   int steps_since_record = config.record_stride;  // record the first step
 
   for (std::size_t i = 0; i + 1 < trace.size(); ++i) {
     const double dt = t[i + 1] - t[i];
     const double lux = eq_lux[i];
-    const CurveCache::Entry& curve = curves.at(lux);
+    const CurveCache::StepCurve curve = curves.at_step(i);
     report.ideal_mpp_energy += curve.pmpp * dt;
 
     // Cold-start gate: while the supervisor has not fired, the MPPT is
@@ -126,7 +75,7 @@ NodeReport simulate_node(const env::LightTrace& trace, const NodeConfig& config)
     }
     // Supply floor: below its minimum illuminance the tracking circuitry
     // cannot run at all.
-    if (lux < controller.minimum_operating_lux()) running = false;
+    if (lux < min_operating_lux) running = false;
 
     double pv_power = 0.0;
     double pv_voltage = 0.0;
@@ -136,15 +85,15 @@ NodeReport simulate_node(const env::LightTrace& trace, const NodeConfig& config)
       sensed.dt = dt;
       sensed.voc = curve.voc;
       sensed.pilot_voc = curve.voc;  // matched pilot; controller applies its own mismatch
-      sensed.illuminance_estimate = trace.at(t[i]).total_lux();
+      sensed.illuminance_estimate = total_lux[i];
       sensed.prev_power = prev_power;
       sensed.prev_voltage = prev_voltage;
       sensed.store_voltage = store_voltage();
       const mppt::ControlOutput out = controller.step(sensed);
       pv_voltage = out.pv_voltage;
-      pv_power = curves.power_at(out.pv_voltage, lux) *
+      pv_power = curves.power_at_step(i, out.pv_voltage) *
                  (1.0 - std::min(1.0, out.disconnect_fraction));
-      report.overhead_energy += controller.overhead_power() * dt;
+      report.overhead_energy += overhead_power * dt;
     }
     prev_power = pv_power;
     prev_voltage = pv_voltage;
@@ -154,8 +103,7 @@ NodeReport simulate_node(const env::LightTrace& trace, const NodeConfig& config)
     report.delivered_energy += delivered * dt;
 
     // Store bookkeeping: harvest in, overhead and load out.
-    const double load_power = load.average_power();
-    double drain = running ? controller.overhead_power() : 0.0;
+    double drain = running ? overhead_power : 0.0;
     const bool load_runs = store_usable();
     if (load_runs) {
       drain += load_power;
@@ -174,6 +122,9 @@ NodeReport simulate_node(const env::LightTrace& trace, const NodeConfig& config)
     }
   }
   report.final_store_voltage = store_voltage();
+  report.steps = trace.size() - 1;
+  report.model_evals = curves.model_evals();
+  report.curve_entries = curves.entries_built();
   return report;
 }
 

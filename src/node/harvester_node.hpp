@@ -6,12 +6,14 @@
 // by the circuit netlists in focv::core.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <vector>
 
 #include "env/light_trace.hpp"
 #include "mppt/controller.hpp"
+#include "node/curve_cache.hpp"
 #include "power/battery.hpp"
 #include "power/coldstart.hpp"
 #include "power/converter.hpp"
@@ -54,12 +56,13 @@ struct NodeConfig {
     controller_prototype = std::move(prototype);
   }
 
-  // --- DEPRECATED borrowed-pointer shims (one-PR grace period) -------
-  // When set they take effect only if the owning members above are
-  // empty. The raw-controller path mutates the pointee (the historical
-  // behaviour) and is NOT re-entrant; migrate to use_controller().
-  const pv::SingleDiodeModel* cell = nullptr;       ///< DEPRECATED: use use_cell()
-  mppt::MpptController* controller = nullptr;       ///< DEPRECATED: use use_controller()
+  /// PV curve evaluation strategy (see node/curve_cache.hpp). The
+  /// surrogate is several times faster and agrees with exact solves to
+  /// well under 0.1 % tracking efficiency; kExact reproduces the
+  /// pre-surrogate per-step solve trajectory bit for bit.
+  PowerModel power_model = PowerModel::kSurrogate;
+  /// Voltage-grid points per surrogate P(V) table entry.
+  int surrogate_points = 128;
 
   power::BuckBoostConverter converter;
   power::Supercapacitor::Params storage;
@@ -84,6 +87,11 @@ struct NodeReport {
   int brownout_steps = 0;            ///< steps where the store could not feed the load
   double final_store_voltage = 0.0;  ///< [V]
 
+  // Observability counters (deterministic for a given config + trace).
+  std::uint64_t steps = 0;           ///< simulation steps executed
+  std::uint64_t model_evals = 0;     ///< exact cell-model solves issued by the curve cache
+  std::uint64_t curve_entries = 0;   ///< unique illuminance buckets solved
+
   /// harvested / ideal over lit periods (1.0 = perfect tracking).
   [[nodiscard]] double tracking_efficiency() const {
     return (ideal_mpp_energy > 0.0) ? harvested_energy / ideal_mpp_energy : 0.0;
@@ -102,12 +110,9 @@ struct NodeReport {
 /// sample spacing. Throws PreconditionError on a missing cell or
 /// controller.
 ///
-/// Re-entrancy: when the config uses the owning members
-/// (cell_model/controller_prototype) this function never mutates shared
-/// state — the prototype is cloned and reset per run — so concurrent
-/// calls with the same config are safe and deterministic. The
-/// deprecated raw `controller` shim keeps the old mutate-in-place
-/// behaviour.
+/// Re-entrancy: this function never mutates shared state — the
+/// controller prototype is cloned and reset per run — so concurrent
+/// calls with the same config are safe and deterministic.
 [[nodiscard]] NodeReport simulate_node(const env::LightTrace& trace, const NodeConfig& config);
 
 }  // namespace focv::node

@@ -108,24 +108,19 @@ DayRun run_day(const SizingQuery& query, const pv::SingleDiodeModel& reference_c
 
 SizingResult size_for_energy_neutrality(const SizingQuery& query, double min_factor,
                                         double max_factor) {
-  const pv::SingleDiodeModel* cell =
-      query.cell_model ? query.cell_model.get() : query.cell;
-  const env::LightTrace* trace =
-      query.scenario_trace ? query.scenario_trace.get() : query.scenario;
-  require(cell != nullptr, "size_for_energy_neutrality: cell is required");
-  require(trace != nullptr, "size_for_energy_neutrality: scenario is required");
-  require(query.controller_prototype != nullptr || query.controller != nullptr,
+  require(query.cell_model != nullptr, "size_for_energy_neutrality: cell is required");
+  require(query.scenario_trace != nullptr, "size_for_energy_neutrality: scenario is required");
+  require(query.controller_prototype != nullptr,
           "size_for_energy_neutrality: controller is required");
   require(min_factor > 0.0 && max_factor > min_factor,
           "size_for_energy_neutrality: bad factor range");
 
   // Each run gets a freshly cloned controller so a shared query can be
-  // sized from several threads at once (legacy raw pointer: in place).
-  std::unique_ptr<mppt::MpptController> owned;
-  if (query.controller_prototype) owned = query.controller_prototype->clone();
-  mppt::MpptController& controller = owned ? *owned : *query.controller;
+  // sized from several threads at once.
+  const std::unique_ptr<mppt::MpptController> owned = query.controller_prototype->clone();
+  mppt::MpptController& controller = *owned;
   const auto day_at = [&](double factor) {
-    return run_day(query, *cell, *trace, controller, factor);
+    return run_day(query, *query.cell_model, *query.scenario_trace, controller, factor);
   };
 
   SizingResult result;

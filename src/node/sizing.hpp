@@ -47,11 +47,6 @@ struct SizingQuery {
     controller_prototype = std::move(prototype);
   }
 
-  // --- DEPRECATED borrowed-pointer shims (one-PR grace period) -------
-  const pv::SingleDiodeModel* cell = nullptr;       ///< DEPRECATED: use use_cell()
-  const env::LightTrace* scenario = nullptr;        ///< DEPRECATED: use use_scenario()
-  mppt::MpptController* controller = nullptr;       ///< DEPRECATED: use use_controller()
-
   power::BuckBoostConverter converter;
   power::WsnLoad::Params load;
   double temperature_k = 300.15;

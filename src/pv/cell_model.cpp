@@ -24,7 +24,10 @@ double CellModel::open_circuit_voltage(const Conditions& c) const {
 double CellModel::short_circuit_current(const Conditions& c) const { return current(0.0, c); }
 
 MppResult CellModel::maximum_power_point(const Conditions& c) const {
-  const double voc = open_circuit_voltage(c);
+  return maximum_power_point(c, open_circuit_voltage(c));
+}
+
+MppResult CellModel::maximum_power_point(const Conditions& c, double voc) const {
   const double vmpp = golden_section_maximize(
       [&](double v) { return v * current(v, c); }, 0.0, voc,
       SolverOptions{.x_tolerance = 1e-8});

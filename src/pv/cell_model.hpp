@@ -54,6 +54,12 @@ class CellModel {
   /// Maximum power point via golden-section search over [0, Voc].
   [[nodiscard]] MppResult maximum_power_point(const Conditions& c) const;
 
+  /// Same search with a caller-supplied Voc, skipping the root solve.
+  /// `voc` must be this model's open_circuit_voltage(c): callers that
+  /// already solved it (curve caches, sweep engines) avoid paying for it
+  /// twice. Passing the identical value yields a bit-identical result.
+  [[nodiscard]] MppResult maximum_power_point(const Conditions& c, double voc) const;
+
   /// Fractional open-circuit-voltage factor k = Vmpp / Voc.
   [[nodiscard]] double k_factor(const Conditions& c) const;
 

@@ -56,26 +56,29 @@ double SingleDiodeModel::saturation_current(const Conditions& c) const {
          std::exp(eg_term * (1.0 / kTRef - 1.0 / t));
 }
 
-double SingleDiodeModel::junction_current(double vj, const Conditions& c) const {
-  const double iph = photocurrent(c);
-  const double a = thermal_slope(c);
-  const double i0 = saturation_current(c);
-  return iph - i0 * (safe_exp(vj / a) - 1.0) - vj / params_.shunt_resistance;
+SingleDiodeModel::OpPoint SingleDiodeModel::op_point(const Conditions& c) const {
+  OpPoint op;
+  op.iph = photocurrent(c);
+  op.slope = thermal_slope(c);
+  op.i0 = saturation_current(c);
+  return op;
 }
 
-double SingleDiodeModel::junction_derivative(double vj, const Conditions& c) const {
-  const double a = thermal_slope(c);
-  const double i0 = saturation_current(c);
-  return -i0 * safe_exp_deriv(vj / a) / a - 1.0 / params_.shunt_resistance;
+double SingleDiodeModel::junction_current(double vj, const OpPoint& op) const {
+  return op.iph - op.i0 * (safe_exp(vj / op.slope) - 1.0) - vj / params_.shunt_resistance;
 }
 
-double SingleDiodeModel::solve_terminal_current(double v, const Conditions& c) const {
-  if (params_.series_resistance == 0.0) return junction_current(v, c);
-  double i = junction_current(v, c);  // Rs = 0 seed
+double SingleDiodeModel::junction_derivative(double vj, const OpPoint& op) const {
+  return -op.i0 * safe_exp_deriv(vj / op.slope) / op.slope - 1.0 / params_.shunt_resistance;
+}
+
+double SingleDiodeModel::solve_terminal_current(double v, const OpPoint& op) const {
+  if (params_.series_resistance == 0.0) return junction_current(v, op);
+  double i = junction_current(v, op);  // Rs = 0 seed
   for (int iter = 0; iter < 60; ++iter) {
     const double vj = v + i * params_.series_resistance;
-    const double f = junction_current(vj, c) - i;
-    const double df = junction_derivative(vj, c) * params_.series_resistance - 1.0;
+    const double f = junction_current(vj, op) - i;
+    const double df = junction_derivative(vj, op) * params_.series_resistance - 1.0;
     const double i_next = i - f / df;
     if (std::abs(i_next - i) < 1e-15 + 1e-10 * std::abs(i)) return i_next;
     i = i_next;
@@ -84,13 +87,14 @@ double SingleDiodeModel::solve_terminal_current(double v, const Conditions& c) c
 }
 
 double SingleDiodeModel::current(double v, const Conditions& c) const {
-  return solve_terminal_current(v, c);
+  return solve_terminal_current(v, op_point(c));
 }
 
 double SingleDiodeModel::current_derivative(double v, const Conditions& c) const {
-  const double i = solve_terminal_current(v, c);
+  const OpPoint op = op_point(c);
+  const double i = solve_terminal_current(v, op);
   const double vj = v + i * params_.series_resistance;
-  const double fp = junction_derivative(vj, c);
+  const double fp = junction_derivative(vj, op);
   return fp / (1.0 - fp * params_.series_resistance);
 }
 
@@ -113,9 +117,9 @@ MertenAsiModel::MertenAsiModel(AsiParams params)
   require(asi_.photo_shunt_per_volt >= 0.0, "MertenAsiModel: photo_shunt_per_volt must be >= 0");
 }
 
-double MertenAsiModel::junction_current(double vj, const Conditions& c) const {
-  const double iph = photocurrent(c);
-  double base = SingleDiodeModel::junction_current(vj, c);
+double MertenAsiModel::junction_current(double vj, const OpPoint& op) const {
+  const double iph = op.iph;
+  double base = SingleDiodeModel::junction_current(vj, op);
   // Recombination: Irec = Iph * chi / (Vbi - Vj), with a linear guard as
   // Vj approaches Vbi so the model stays smooth for the solvers.
   const double margin = 0.05 * asi_.builtin_voltage;
@@ -133,9 +137,9 @@ double MertenAsiModel::junction_current(double vj, const Conditions& c) const {
   return base;
 }
 
-double MertenAsiModel::junction_derivative(double vj, const Conditions& c) const {
-  const double iph = photocurrent(c);
-  double d = SingleDiodeModel::junction_derivative(vj, c);
+double MertenAsiModel::junction_derivative(double vj, const OpPoint& op) const {
+  const double iph = op.iph;
+  double d = SingleDiodeModel::junction_derivative(vj, op);
   const double margin = 0.05 * asi_.builtin_voltage;
   const double vbi = asi_.builtin_voltage;
   const double denom = vbi - vj;

@@ -53,9 +53,21 @@ class SingleDiodeModel : public CellModel {
   [[nodiscard]] double photocurrent(const Conditions& c) const;
 
  protected:
+  /// The illuminance/temperature-dependent terms of the junction
+  /// equation, hoisted out of the per-voltage evaluations: the implicit
+  /// series-resistance solve calls junction_current/_derivative several
+  /// times per terminal point, and each of these terms costs an exp() or
+  /// a multiply chain that is invariant across the whole solve.
+  struct OpPoint {
+    double iph = 0.0;    ///< photocurrent [A]
+    double slope = 0.0;  ///< thermal slope Ns * n * Vt(T) [V]
+    double i0 = 0.0;     ///< temperature-scaled saturation current [A]
+  };
+  [[nodiscard]] OpPoint op_point(const Conditions& c) const;
+
   /// Junction current (before series resistance) and its dV derivative.
-  [[nodiscard]] virtual double junction_current(double vj, const Conditions& c) const;
-  [[nodiscard]] virtual double junction_derivative(double vj, const Conditions& c) const;
+  [[nodiscard]] virtual double junction_current(double vj, const OpPoint& op) const;
+  [[nodiscard]] virtual double junction_derivative(double vj, const OpPoint& op) const;
 
   /// Module thermal slope Ns * n * Vt(T) [V].
   [[nodiscard]] double thermal_slope(const Conditions& c) const;
@@ -63,7 +75,7 @@ class SingleDiodeModel : public CellModel {
   [[nodiscard]] double saturation_current(const Conditions& c) const;
 
   /// Solve the implicit series-resistance equation I = f(V + I*Rs).
-  [[nodiscard]] double solve_terminal_current(double v, const Conditions& c) const;
+  [[nodiscard]] double solve_terminal_current(double v, const OpPoint& op) const;
 
   Params params_;
 };
@@ -83,8 +95,8 @@ class MertenAsiModel : public SingleDiodeModel {
   [[nodiscard]] const AsiParams& asi_params() const { return asi_; }
 
  protected:
-  [[nodiscard]] double junction_current(double vj, const Conditions& c) const override;
-  [[nodiscard]] double junction_derivative(double vj, const Conditions& c) const override;
+  [[nodiscard]] double junction_current(double vj, const OpPoint& op) const override;
+  [[nodiscard]] double junction_derivative(double vj, const OpPoint& op) const override;
 
  private:
   AsiParams asi_;

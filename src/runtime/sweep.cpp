@@ -123,6 +123,18 @@ const SweepRecord& SweepResult::at(std::size_t cell_i, std::size_t controller_i,
   return records_[index];
 }
 
+std::uint64_t SweepResult::total_steps() const {
+  std::uint64_t n = 0;
+  for (const SweepRecord& r : records_) n += r.steps;
+  return n;
+}
+
+std::uint64_t SweepResult::total_model_evals() const {
+  std::uint64_t n = 0;
+  for (const SweepRecord& r : records_) n += r.model_evals;
+  return n;
+}
+
 std::size_t SweepResult::failed_count() const {
   std::size_t n = 0;
   for (const SweepRecord& r : records_) n += r.failed ? 1 : 0;
@@ -159,7 +171,7 @@ std::string SweepResult::to_csv(bool include_timing) const {
       "job,cell,controller,scenario,grid,duration_s,harvested_j,delivered_j,"
       "overhead_j,load_served_j,ideal_mpp_j,net_j,tracking_eff,coldstart_s,"
       "brownout_steps,final_store_v,failed,error";
-  if (include_timing) out += ",wall_s,steps";
+  if (include_timing) out += ",wall_s,steps,model_evals,curve_entries";
   out += "\n";
   for (const SweepRecord& r : records_) {
     const node::NodeReport& rep = r.report;
@@ -172,7 +184,8 @@ std::string SweepResult::to_csv(bool include_timing) const {
            std::to_string(rep.brownout_steps) + ',' + fmt(rep.final_store_voltage) + ',' +
            (r.failed ? '1' : '0') + ',' + csv_safe(r.error);
     if (include_timing) {
-      out += ',' + fmt(r.wall_seconds) + ',' + std::to_string(r.steps);
+      out += ',' + fmt(r.wall_seconds) + ',' + std::to_string(r.steps) + ',' +
+             std::to_string(r.model_evals) + ',' + std::to_string(r.curve_entries);
     }
     out += '\n';
   }
@@ -204,7 +217,9 @@ std::string SweepResult::to_json(bool include_timing) const {
            ", \"error\": \"" + json_escape(r.error) + "\"";
     if (include_timing) {
       out += ", \"wall_s\": " + fmt(r.wall_seconds) +
-             ", \"steps\": " + std::to_string(r.steps);
+             ", \"steps\": " + std::to_string(r.steps) +
+             ", \"model_evals\": " + std::to_string(r.model_evals) +
+             ", \"curve_entries\": " + std::to_string(r.curve_entries);
     }
     out += "}";
     if (i + 1 < records_.size()) out += ",";
@@ -288,13 +303,13 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& options) {
       node::NodeConfig config = spec.base;
       config.cell_model = spec.cells[cell_i].model;
       config.controller_prototype = spec.controllers[controller_i].prototype;
-      config.cell = nullptr;
-      config.controller = nullptr;
       Rng rng(derive_stream_seed(spec.root_seed, job));
       if (grid.apply) grid.apply(config, rng);
       const env::LightTrace& trace = *spec.scenarios[scenario_i].trace;
       record.report = node::simulate_node(trace, config);
-      record.steps = trace.size() > 0 ? trace.size() - 1 : 0;
+      record.steps = record.report.steps;
+      record.model_evals = record.report.model_evals;
+      record.curve_entries = record.report.curve_entries;
     } catch (const std::exception& e) {
       record.failed = true;
       record.error = e.what();

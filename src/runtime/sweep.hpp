@@ -99,8 +99,10 @@ struct SweepRecord {
   std::string error;         ///< exception text when failed
 
   // Observability (excluded from exports unless asked; see to_csv).
-  double wall_seconds = 0.0;   ///< this job's execution time
-  std::uint64_t steps = 0;     ///< simulation steps executed
+  double wall_seconds = 0.0;        ///< this job's execution time
+  std::uint64_t steps = 0;          ///< simulation steps executed
+  std::uint64_t model_evals = 0;    ///< exact cell-model solves issued by the job
+  std::uint64_t curve_entries = 0;  ///< unique illuminance buckets solved by the job
 };
 
 /// Mean / stddev / min / max of one quantity across records.
@@ -140,6 +142,11 @@ class SweepResult {
   /// Whole-sweep wall time [s] and the worker count actually used.
   [[nodiscard]] double wall_seconds() const { return wall_seconds_; }
   [[nodiscard]] int jobs_used() const { return jobs_used_; }
+
+  /// Sums of the per-job observability counters (deterministic for a
+  /// given spec, independent of the worker count).
+  [[nodiscard]] std::uint64_t total_steps() const;
+  [[nodiscard]] std::uint64_t total_model_evals() const;
 
   /// Per-job table, one row per matrix cell in index order. Timing
   /// columns are off by default so that exports from runs with

@@ -1,0 +1,124 @@
+// The microbenchmark harness is release tooling: CI gates on its smoke
+// mode, and the committed BENCH_micro.json is parsed by people and
+// scripts. These tests drive the full CLI in-process.
+#include "harness.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace focv::microbench {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  std::ostringstream out;
+  out << f.rdbuf();
+  return out.str();
+}
+
+/// Minimal structural JSON validation: balanced containers outside
+/// strings, no trailing garbage. Catches every way the hand-rolled
+/// emitter could break without needing a JSON library in the image.
+bool json_is_balanced(const std::string& s) {
+  int depth = 0;
+  bool in_string = false, escaped = false, seen_any = false;
+  for (const char c : s) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '{' || c == '[') {
+      ++depth;
+      seen_any = true;
+    } else if (c == '}' || c == ']') {
+      if (--depth < 0) return false;
+    } else if (depth == 0 && !std::isspace(static_cast<unsigned char>(c)) && seen_any) {
+      return false;  // trailing garbage after the root object
+    }
+  }
+  return seen_any && depth == 0 && !in_string;
+}
+
+TEST(MicroBenchStats, MedianAndMad) {
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 3.0, 2.0}), 2.5);
+  EXPECT_DOUBLE_EQ(median({}), 0.0);
+  // MAD ignores a single outlier entirely.
+  EXPECT_DOUBLE_EQ(median_abs_deviation({1.0, 1.0, 1.0, 100.0}, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(median_abs_deviation({1.0, 2.0, 3.0}, 2.0), 1.0);
+}
+
+TEST(MicroBenchHarness, SmokeRunCompletesAndWritesSchemaValidJson) {
+  const std::string path = ::testing::TempDir() + "/bench_micro_smoke.json";
+  ASSERT_EQ(main_with_args({"--smoke", "--output=" + path}), 0);
+  const std::string json = slurp(path);
+  ASSERT_FALSE(json.empty());
+  EXPECT_TRUE(json_is_balanced(json)) << json;
+  EXPECT_NE(json.find("\"schema\": \"focv-bench-micro/v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"smoke\": true"), std::string::npos);
+  // The standard suite and its derived speedups are all present.
+  for (const char* name :
+       {"simulate_node_24h_indoor_surrogate", "simulate_node_24h_indoor_exact",
+        "simulate_node_24h_outdoor_surrogate", "simulate_node_24h_outdoor_exact",
+        "sweep_jobs1", "sweep_jobsN", "circuit_transient_window",
+        "cell_model_solves", "speedup_simulate_node_24h_indoor",
+        "speedup_simulate_node_24h_outdoor"}) {
+    EXPECT_NE(json.find(name), std::string::npos) << name;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(MicroBenchHarness, FilterSelectsASubset) {
+  if (registry().empty()) register_default_cases();
+  RunOptions opt;
+  opt.smoke = true;
+  opt.repetitions = 1;
+  opt.warmup = 0;
+  opt.filter = "cell_model";
+  const std::vector<CaseResult> results = run_cases(opt);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].name, "cell_model_solves");
+  EXPECT_EQ(results[0].seconds.size(), 1u);
+  EXPECT_GT(results[0].median_s, 0.0);
+  // Counters made it through (3 solves per ladder level).
+  bool found = false;
+  for (const auto& [key, value] : results[0].counters) {
+    if (key == "solves") {
+      found = true;
+      EXPECT_GT(value, 0.0);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(MicroBenchHarness, SmokeDefaultsTrimRepetitions) {
+  RunOptions smoke;
+  smoke.smoke = true;
+  EXPECT_EQ(smoke.effective_repetitions(), 2);
+  EXPECT_EQ(smoke.effective_warmup(), 0);
+  RunOptions full;
+  EXPECT_EQ(full.effective_repetitions(), 7);
+  EXPECT_EQ(full.effective_warmup(), 1);
+  smoke.repetitions = 5;
+  EXPECT_EQ(smoke.effective_repetitions(), 5);
+}
+
+TEST(MicroBenchHarness, UnknownFlagIsAnError) {
+  EXPECT_EQ(main_with_args({"--no-such-flag"}), 2);
+}
+
+}  // namespace
+}  // namespace focv::microbench

@@ -1,0 +1,146 @@
+#include "node/curve_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/require.hpp"
+#include "pv/cell_library.hpp"
+
+namespace focv::node {
+namespace {
+
+constexpr double kRoomTempK = 300.15;
+
+CurveCache::Options options_for(PowerModel model) {
+  CurveCache::Options opt;
+  opt.model = model;
+  return opt;
+}
+
+// Illuminance ladder spanning desk light to full daylight, deliberately
+// off any grid node (the worst case for the interpolation).
+const std::vector<double> kLuxLadder = {137.0, 480.0, 1021.0, 3333.0, 9870.0, 41000.0};
+
+TEST(CurveCache, SurrogatePowerWithinTenthOfPercentOfExact) {
+  const pv::SingleDiodeModel& cell = pv::sanyo_am1815();
+  CurveCache cache(cell, kRoomTempK, options_for(PowerModel::kSurrogate));
+  cache.prepare(kLuxLadder);
+  for (std::size_t i = 0; i < kLuxLadder.size(); ++i) {
+    const pv::Conditions c = cache.conditions_at(kLuxLadder[i]);
+    const double voc = cell.open_circuit_voltage(c);
+    const double pmpp = cell.maximum_power_point(c, voc).power;
+    for (int k = 1; k < 60; ++k) {
+      const double v = voc * k / 60.0;
+      const double exact = cell.power_at(v, c);
+      const double fast = cache.power_at_step(i, v);
+      EXPECT_NEAR(fast, exact, 1e-3 * pmpp)
+          << "lux=" << kLuxLadder[i] << " v=" << v;
+    }
+  }
+}
+
+TEST(CurveCache, SurrogateCurveSummaryWithinTenthOfPercent) {
+  const pv::SingleDiodeModel& cell = pv::sanyo_am1815();
+  CurveCache cache(cell, kRoomTempK, options_for(PowerModel::kSurrogate));
+  cache.prepare(kLuxLadder);
+  for (std::size_t i = 0; i < kLuxLadder.size(); ++i) {
+    const pv::Conditions c = cache.conditions_at(kLuxLadder[i]);
+    const double voc = cell.open_circuit_voltage(c);
+    const pv::MppResult mpp = cell.maximum_power_point(c, voc);
+    const CurveCache::StepCurve s = cache.at_step(i);
+    EXPECT_NEAR(s.voc, voc, 1e-3 * voc);
+    EXPECT_NEAR(s.pmpp, mpp.power, 1e-3 * mpp.power);
+    // Vmpp tolerance is looser in absolute terms: P(V) is flat at the
+    // top, so a small Vmpp offset costs far less than 0.1 % of Pmpp.
+    EXPECT_NEAR(s.vmpp, mpp.voltage, 1e-2 * mpp.voltage);
+  }
+}
+
+TEST(CurveCache, SurrogateNeverExceedsItsOwnPmpp) {
+  // Tracking efficiency stays <= 1 by construction: interpolated power
+  // cannot beat the interpolated curve maximum.
+  const pv::SingleDiodeModel& cell = pv::sanyo_am1815();
+  CurveCache cache(cell, kRoomTempK, options_for(PowerModel::kSurrogate));
+  cache.prepare(kLuxLadder);
+  for (std::size_t i = 0; i < kLuxLadder.size(); ++i) {
+    const CurveCache::StepCurve s = cache.at_step(i);
+    for (int k = 0; k <= 100; ++k) {
+      const double v = s.voc * 1.05 * k / 100.0;
+      EXPECT_LE(cache.power_at_step(i, v), s.pmpp * (1.0 + 1e-12));
+    }
+  }
+}
+
+TEST(CurveCache, ExactModeMatchesDirectSolvesBitForBit) {
+  const pv::SingleDiodeModel& cell = pv::sanyo_am1815();
+  CurveCache cache(cell, kRoomTempK, options_for(PowerModel::kExact));
+  cache.prepare(kLuxLadder);
+  for (std::size_t i = 0; i < kLuxLadder.size(); ++i) {
+    const pv::Conditions c = cache.conditions_at(kLuxLadder[i]);
+    const double voc = cell.open_circuit_voltage(c);
+    const pv::MppResult mpp = cell.maximum_power_point(c, voc);
+    const CurveCache::StepCurve s = cache.at_step(i);
+    EXPECT_EQ(s.voc, voc);
+    EXPECT_EQ(s.pmpp, mpp.power);
+    EXPECT_EQ(s.vmpp, mpp.voltage);
+    const double v = 0.8 * voc;
+    EXPECT_EQ(cache.power_at_step(i, v), cell.power_at(v, c));
+  }
+}
+
+TEST(CurveCache, ExactModeKeysBucketsByFirstEncounter) {
+  // Two illuminances in the same 0.1 % bucket share the first one's
+  // curve — the memoisation the pre-surrogate engine used, preserved
+  // for bit-stable trajectories.
+  const pv::SingleDiodeModel& cell = pv::sanyo_am1815();
+  CurveCache cache(cell, kRoomTempK, options_for(PowerModel::kExact));
+  const std::vector<double> lux = {1000.0, 1000.2, 1000.0};
+  cache.prepare(lux);
+  EXPECT_EQ(cache.entries_built(), 1u);
+  const CurveCache::StepCurve a = cache.at_step(0);
+  const CurveCache::StepCurve b = cache.at_step(1);
+  EXPECT_EQ(a.voc, b.voc);
+  EXPECT_EQ(a.pmpp, b.pmpp);
+}
+
+TEST(CurveCache, DarkStepsAreFreeAndZero) {
+  const pv::SingleDiodeModel& cell = pv::sanyo_am1815();
+  const std::vector<double> lux = {0.0, 0.01, 500.0};
+  for (const PowerModel model : {PowerModel::kSurrogate, PowerModel::kExact}) {
+    CurveCache cache(cell, kRoomTempK, options_for(model));
+    cache.prepare(lux);  // must outlive the cache in exact mode
+    EXPECT_EQ(cache.at_step(0).pmpp, 0.0);
+    EXPECT_EQ(cache.at_step(1).voc, 0.0);
+    EXPECT_EQ(cache.power_at_step(0, 1.5), 0.0);
+    EXPECT_GT(cache.at_step(2).pmpp, 0.0);
+  }
+}
+
+TEST(CurveCache, ConstantLightBuildsOnlyNeighbouringEntries) {
+  const pv::SingleDiodeModel& cell = pv::sanyo_am1815();
+  CurveCache cache(cell, kRoomTempK, options_for(PowerModel::kSurrogate));
+  const std::vector<double> lux(10000, 750.0);
+  cache.prepare(lux);
+  EXPECT_EQ(cache.entries_built(), 2u);  // node j and its j+1 neighbour
+  // Preparation cost is bounded by entries, not steps.
+  EXPECT_LE(cache.model_evals(), 2u * (2u + 128u));
+  // Per-step queries issue no further solves in surrogate mode.
+  const std::uint64_t before = cache.model_evals();
+  (void)cache.power_at_step(123, 1.0);
+  EXPECT_EQ(cache.model_evals(), before);
+}
+
+TEST(CurveCache, RejectsDoublePrepareAndTinyTables) {
+  const pv::SingleDiodeModel& cell = pv::sanyo_am1815();
+  CurveCache cache(cell, kRoomTempK);
+  cache.prepare({500.0});
+  EXPECT_THROW(cache.prepare({500.0}), PreconditionError);
+  CurveCache::Options bad;
+  bad.surrogate_points = 4;
+  EXPECT_THROW(CurveCache(cell, kRoomTempK, bad), PreconditionError);
+}
+
+}  // namespace
+}  // namespace focv::node

@@ -139,21 +139,58 @@ TEST(HarvesterNode, ConfigIsReentrantAcrossRuns) {
   EXPECT_DOUBLE_EQ(a.final_store_voltage, b.final_store_voltage);
 }
 
-TEST(HarvesterNode, DeprecatedRawPointerShimsStillWork) {
-  // One-PR grace period: borrowed pointers keep the old in-place
-  // semantics and must agree with the owning API on the same inputs.
-  auto ctl = core::make_paper_controller();
-  NodeConfig legacy;
-  legacy.cell = &pv::sanyo_am1815();
-  legacy.controller = &ctl;
-  legacy.storage.initial_voltage = 3.0;
-  legacy.load.report_period = 120.0;
+// The surrogate power model must agree with exact per-step solves to
+// within the documented 0.1% bound on the quantities the paper reports,
+// for every controller family and at each Table-I illuminance level.
+class SurrogateAccuracy : public ::testing::TestWithParam<double> {};
+
+void expect_surrogate_matches_exact(const mppt::MpptController& ctl, double lux) {
+  NodeConfig cfg = base_config(ctl);
+  const env::LightTrace trace = env::constant_light(lux, 0.0, 4.0 * 3600.0);
+
+  cfg.power_model = PowerModel::kExact;
+  const NodeReport exact = simulate_node(trace, cfg);
+  cfg.power_model = PowerModel::kSurrogate;
+  const NodeReport fast = simulate_node(trace, cfg);
+
+  if (exact.harvested_energy == 0.0) {
+    // Below the controller's operating floor both models must agree the
+    // node never ran (pilot-cell baseline at 200 lux).
+    EXPECT_DOUBLE_EQ(fast.harvested_energy, 0.0);
+    return;
+  }
+  EXPECT_NEAR(fast.harvested_energy, exact.harvested_energy,
+              1e-3 * exact.harvested_energy);
+  EXPECT_NEAR(fast.tracking_efficiency(), exact.tracking_efficiency(), 1e-3);
+  // The surrogate issues orders of magnitude fewer model solves.
+  EXPECT_LT(fast.model_evals, exact.model_evals);
+}
+
+TEST_P(SurrogateAccuracy, PaperController) {
+  expect_surrogate_matches_exact(core::make_paper_controller(), GetParam());
+}
+
+TEST_P(SurrogateAccuracy, FixedVoltageBaseline) {
+  expect_surrogate_matches_exact(mppt::FixedVoltageController{}, GetParam());
+}
+
+TEST_P(SurrogateAccuracy, PilotCellBaseline) {
+  expect_surrogate_matches_exact(mppt::PilotCellFocvController{}, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(TableOneLevels, SurrogateAccuracy,
+                         ::testing::Values(200.0, 1000.0, 5000.0));
+
+TEST(HarvesterNode, ReportExposesHotPathCounters) {
+  NodeConfig cfg = base_config(core::make_paper_controller());
   const env::LightTrace trace = env::constant_light(1000.0, 0.0, 1800.0);
-  const NodeReport via_shim = simulate_node(trace, legacy);
-  const NodeReport via_owning =
-      simulate_node(trace, base_config(core::make_paper_controller()));
-  EXPECT_DOUBLE_EQ(via_shim.harvested_energy, via_owning.harvested_energy);
-  EXPECT_DOUBLE_EQ(via_shim.final_store_voltage, via_owning.final_store_voltage);
+  const NodeReport report = simulate_node(trace, cfg);
+  EXPECT_EQ(report.steps, trace.size() - 1);
+  EXPECT_GT(report.model_evals, 0u);
+  EXPECT_GT(report.curve_entries, 0u);
+  // Constant light: a handful of surrogate grid entries, not one per step.
+  EXPECT_LT(report.curve_entries, 8u);
+  EXPECT_LT(report.model_evals, report.steps);
 }
 
 TEST(HarvesterNode, NetEnergyPositiveIndoorsForProposed) {

@@ -164,7 +164,58 @@ TEST(Sweep, CsvHasOneRowPerJobAndStableHeader) {
   for (const char c : csv) rows += (c == '\n') ? 1 : 0;
   EXPECT_EQ(rows, 1u + r.records().size());  // header + jobs
   EXPECT_EQ(csv.find("wall_s"), std::string::npos);  // timing opt-in only
-  EXPECT_NE(r.to_csv(/*include_timing=*/true).find("wall_s"), std::string::npos);
+  const std::string timed = r.to_csv(/*include_timing=*/true);
+  EXPECT_NE(timed.find("wall_s"), std::string::npos);
+  EXPECT_NE(timed.find("model_evals"), std::string::npos);
+  EXPECT_NE(timed.find("curve_entries"), std::string::npos);
+}
+
+TEST(Sweep, CountersAreConsistentAcrossThreadCounts) {
+  // The observability counters are physics facts, not scheduling facts:
+  // totals and per-record values must agree between --jobs 1 and 8 even
+  // though the per-job wall clocks differ run to run.
+  const SweepSpec spec = small_matrix();
+  SweepOptions serial;
+  serial.jobs = 1;
+  SweepOptions threaded;
+  threaded.jobs = 8;
+  const SweepResult a = run_sweep(spec, serial);
+  const SweepResult b = run_sweep(spec, threaded);
+  ASSERT_EQ(a.records().size(), b.records().size());
+  EXPECT_GT(a.total_steps(), 0u);
+  EXPECT_GT(a.total_model_evals(), 0u);
+  EXPECT_EQ(a.total_steps(), b.total_steps());
+  EXPECT_EQ(a.total_model_evals(), b.total_model_evals());
+  for (std::size_t i = 0; i < a.records().size(); ++i) {
+    const SweepRecord& ra = a.records()[i];
+    const SweepRecord& rb = b.records()[i];
+    EXPECT_EQ(ra.steps, rb.steps);
+    EXPECT_EQ(ra.model_evals, rb.model_evals);
+    EXPECT_EQ(ra.curve_entries, rb.curve_entries);
+    // Each job did real, accounted work.
+    EXPECT_EQ(ra.steps, ra.report.steps);
+    EXPECT_GE(ra.wall_seconds, 0.0);
+    EXPECT_GT(ra.steps, 0u);
+    EXPECT_LE(ra.curve_entries, ra.model_evals);
+  }
+}
+
+TEST(Sweep, ExactModeIsByteIdenticalAcrossThreadCountsToo) {
+  // The exact power model keeps the historical trajectory; its exports
+  // must hold the same determinism contract as the surrogate default.
+  SweepSpec spec = small_matrix();
+  spec.base.power_model = node::PowerModel::kExact;
+  SweepOptions serial;
+  serial.jobs = 1;
+  SweepOptions threaded;
+  threaded.jobs = 8;
+  const SweepResult a = run_sweep(spec, serial);
+  const SweepResult b = run_sweep(spec, threaded);
+  EXPECT_EQ(a.to_csv(), b.to_csv());
+  // Exact mode solves P(V) per lit step, so it works strictly harder
+  // than the surrogate on the same matrix.
+  const SweepResult s = run_sweep(small_matrix(), serial);
+  EXPECT_GT(a.total_model_evals(), s.total_model_evals());
 }
 
 }  // namespace
