@@ -8,12 +8,16 @@
 //
 // The whole controllers x scenarios matrix runs through the
 // focv_runtime sweep engine (pass `--jobs N` to pick the worker count;
-// the tables are bit-identical for any N).
+// the tables are bit-identical for any N). Pass `--trace out.json` to
+// capture the fleet timeline — one span per job with queue wait and
+// steal statistics — as Chrome trace_event JSON for Perfetto.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstring>
 #include <iostream>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -22,6 +26,7 @@
 #include "env/profiles.hpp"
 #include "mppt/baselines.hpp"
 #include "node/harvester_node.hpp"
+#include "obs/obs.hpp"
 #include "pv/cell_library.hpp"
 #include "runtime/sweep.hpp"
 
@@ -30,6 +35,7 @@ namespace {
 using namespace focv;
 
 int g_jobs = 0;  // --jobs N (0 = hardware concurrency)
+std::string g_trace_path;  // --trace PATH (empty = telemetry off)
 
 runtime::SweepSpec make_comparison_spec() {
   runtime::SweepSpec spec;
@@ -154,7 +160,24 @@ BENCHMARK(bm_comparison_sweep)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   g_jobs = focv::bench::parse_jobs_flag(argc, argv);
+  // Strip --trace PATH before google-benchmark parses the remainder.
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0) {
+      g_trace_path = argv[i + 1];
+      for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
+      argc -= 2;
+      break;
+    }
+  }
+  if (!g_trace_path.empty()) obs::set_enabled(true);
   reproduce_comparison();
+  if (!g_trace_path.empty()) {
+    obs::write_trace(g_trace_path);
+    std::printf("wrote %s (%zu trace events)\n", g_trace_path.c_str(),
+                obs::tracer().event_count());
+    obs::set_enabled(false);  // keep the timed benchmark loops clean
+    obs::reset_all();
+  }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

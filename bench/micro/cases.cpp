@@ -14,6 +14,7 @@
 #include "harness.hpp"
 #include "mppt/baselines.hpp"
 #include "node/harvester_node.hpp"
+#include "obs/obs.hpp"
 #include "pv/cell_library.hpp"
 #include "runtime/sweep.hpp"
 
@@ -143,6 +144,33 @@ CaseSpec cell_solves_case() {
   return spec;
 }
 
+CaseSpec obs_overhead_case(std::string name, std::string description, bool telemetry) {
+  CaseSpec spec;
+  spec.name = std::move(name);
+  spec.description = std::move(description);
+  spec.make = [telemetry](bool smoke) {
+    env::LightTrace trace = smoke ? env::constant_light(500.0, 0.0, 600.0)
+                                  : env::office_desk_mixed(env::OfficeDayParams{});
+    node::NodeConfig cfg = node_config(node::PowerModel::kSurrogate);
+    return [trace = std::move(trace), cfg = std::move(cfg), telemetry]() -> Counters {
+      // The toggle sits inside the timed closure on purpose: the enabled
+      // case pays exactly what a `--trace` run pays, including the
+      // event/metric recording; reset_all() keeps the trace buffer from
+      // growing across repetitions (its cost is O(events), not timed
+      // against the disabled baseline unfairly since clearing a handful
+      // of vectors is microseconds against a multi-ms run).
+      if (telemetry) obs::set_enabled(true);
+      const node::NodeReport report = node::simulate_node(trace, cfg);
+      if (telemetry) {
+        obs::set_enabled(false);
+        obs::reset_all();
+      }
+      return report_counters(report);
+    };
+  };
+  return spec;
+}
+
 }  // namespace
 
 void register_default_cases() {
@@ -172,6 +200,16 @@ void register_default_cases() {
                          /*jobs=*/0));
   r.push_back(circuit_transient_case());
   r.push_back(cell_solves_case());
+  r.push_back(obs_overhead_case(
+      "obs_overhead_disabled",
+      "office-day 24 h behavioural run with focv::obs telemetry off (the "
+      "branch-on-atomic no-op path)",
+      /*telemetry=*/false));
+  r.push_back(obs_overhead_case(
+      "obs_overhead_enabled",
+      "identical workload with focv::obs recording events, spans and "
+      "histograms; overhead_obs_overhead in `derived` is the tax",
+      /*telemetry=*/true));
 }
 
 }  // namespace focv::microbench

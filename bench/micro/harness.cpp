@@ -84,7 +84,7 @@ std::string quoted(const std::string& s) {
 
 std::string to_json(const std::vector<CaseResult>& results, const RunOptions& options) {
   std::string out = "{\n";
-  out += "  \"schema\": \"focv-bench-micro/v1\",\n";
+  out += "  \"schema\": \"focv-bench-micro/v2\",\n";
   out += std::string("  \"smoke\": ") + (options.smoke ? "true" : "false") + ",\n";
   out += "  \"repetitions\": " + std::to_string(options.effective_repetitions()) + ",\n";
   out += "  \"warmup\": " + std::to_string(options.effective_warmup()) + ",\n";
@@ -110,25 +110,38 @@ std::string to_json(const std::vector<CaseResult>& results, const RunOptions& op
   }
   out += "  ],\n";
 
-  // Derived speedups: for every X_surrogate / X_exact pair, the ratio of
-  // exact to surrogate median wall time.
+  // Derived ratios (schema v2): speedup_<stem> relates every
+  // X_surrogate / X_exact pair (exact over surrogate median wall time);
+  // overhead_<stem> relates every X_disabled / X_enabled pair (enabled
+  // over disabled — the focv::obs telemetry tax, 1.0 = free).
   out += "  \"derived\": {";
   bool first = true;
-  for (const CaseResult& fast : results) {
-    const std::string suffix = "_surrogate";
-    if (fast.name.size() <= suffix.size() ||
-        fast.name.compare(fast.name.size() - suffix.size(), suffix.size(), suffix) != 0) {
-      continue;
-    }
-    const std::string stem = fast.name.substr(0, fast.name.size() - suffix.size());
-    for (const CaseResult& slow : results) {
-      if (slow.name == stem + "_exact" && fast.median_s > 0.0) {
-        if (!first) out += ", ";
-        first = false;
-        out += quoted("speedup_" + stem) + ": " + num(slow.median_s / fast.median_s);
+  auto pair_ratio = [&](const char* base_suffix, const char* other_suffix,
+                        const char* key_prefix, bool invert) {
+    const std::string suffix = base_suffix;
+    for (const CaseResult& base : results) {
+      if (base.name.size() <= suffix.size() ||
+          base.name.compare(base.name.size() - suffix.size(), suffix.size(), suffix) !=
+              0) {
+        continue;
+      }
+      const std::string stem = base.name.substr(0, base.name.size() - suffix.size());
+      for (const CaseResult& other : results) {
+        if (other.name == stem + other_suffix && base.median_s > 0.0 &&
+            other.median_s > 0.0) {
+          if (!first) out += ", ";
+          first = false;
+          const double ratio = invert ? base.median_s / other.median_s
+                                      : other.median_s / base.median_s;
+          std::string stem_clean = stem;
+          while (!stem_clean.empty() && stem_clean.back() == '_') stem_clean.pop_back();
+          out += quoted(std::string(key_prefix) + stem_clean) + ": " + num(ratio);
+        }
       }
     }
-  }
+  };
+  pair_ratio("_surrogate", "_exact", "speedup_", /*invert=*/false);
+  pair_ratio("_disabled", "_enabled", "overhead_", /*invert=*/false);
   out += "}\n}\n";
   return out;
 }

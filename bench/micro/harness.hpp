@@ -11,9 +11,10 @@
 // times on a monotonic clock; the summary statistic is the median with
 // the median absolute deviation (MAD) as the robust spread measure, so a
 // single scheduler hiccup cannot skew a reading. Results are written as
-// machine-readable JSON (schema "focv-bench-micro/v1") next to a
-// human-readable table, and paired *_surrogate / *_exact cases yield
-// derived speedup ratios.
+// machine-readable JSON (schema "focv-bench-micro/v2") next to a
+// human-readable table; paired *_surrogate / *_exact cases yield derived
+// speedup ratios and paired *_disabled / *_enabled cases yield derived
+// overhead ratios (the focv::obs telemetry tax; 1.0 = free).
 //
 // The CLI entry point is main_with_args() so tests can drive the whole
 // harness in-process; bench/micro/main.cpp is a two-line shim.
@@ -81,8 +82,9 @@ void register_default_cases();
 /// Execute every registered case matching `options.filter`.
 [[nodiscard]] std::vector<CaseResult> run_cases(const RunOptions& options);
 
-/// Serialize results as "focv-bench-micro/v1" JSON, including derived
-/// speedup ratios for every *_surrogate / *_exact case pair.
+/// Serialize results as "focv-bench-micro/v2" JSON, including derived
+/// speedup ratios for every *_surrogate / *_exact case pair and derived
+/// overhead ratios for every *_disabled / *_enabled case pair.
 [[nodiscard]] std::string to_json(const std::vector<CaseResult>& results,
                                   const RunOptions& options);
 

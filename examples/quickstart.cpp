@@ -1,18 +1,101 @@
-// Quickstart: the library in ~40 lines.
+// Quickstart: the library in a few screenfuls.
 //
 // Build a calibrated indoor PV cell, attach the paper's FOCV
 // sample-and-hold MPPT, and watch it pick the operating point at office
 // light levels.
 //
 //   ./build/examples/quickstart
+//
+// With telemetry flags the same binary exercises all three simulation
+// tiers under the focv::obs layer and exports the artifacts:
+//
+//   ./build/examples/quickstart --trace trace.json --metrics metrics.jsonl
+//
+// trace.json is Chrome trace_event JSON (open in ui.perfetto.dev or
+// chrome://tracing): wall-clock spans for the node run, the sweep fleet
+// and the circuit transient window, plus the MPPT sample windows on the
+// simulated-time track. metrics.jsonl is the focv-obs/v1 stream: domain
+// events (sample_window_open/close, held_voltage_updated, step_rejected,
+// sweep_complete) followed by every counter/gauge/histogram.
 #include <cstdio>
+#include <cstring>
+#include <string>
 
+#include "circuit/transient.hpp"
 #include "core/focv_system.hpp"
+#include "core/netlists.hpp"
+#include "env/profiles.hpp"
+#include "mppt/baselines.hpp"
 #include "mppt/focv_sample_hold.hpp"
+#include "node/harvester_node.hpp"
+#include "obs/obs.hpp"
 #include "pv/cell_library.hpp"
+#include "runtime/sweep.hpp"
 
-int main() {
-  using namespace focv;
+namespace {
+
+using namespace focv;
+
+/// Exercise every instrumented tier once: a 24 h behavioural run (MPPT
+/// sample windows, curve-cache stats, surrogate-vs-exact deviation), a
+/// small controller sweep (per-job spans, pool stats) and a short
+/// circuit transient (Newton histograms, step rejections).
+void run_telemetry_tour() {
+  node::NodeConfig cfg;
+  cfg.use_cell(pv::sanyo_am1815());
+  cfg.use_controller(core::make_paper_controller());
+  cfg.storage.initial_voltage = 3.0;
+  cfg.obs_compare_exact = true;
+  const node::NodeReport day = node::simulate_node(env::office_desk_mixed(), cfg);
+  std::printf("telemetry tour: 24 h office day, tracking efficiency %.2f%%\n",
+              day.tracking_efficiency() * 100.0);
+
+  runtime::SweepSpec spec;
+  spec.add_cell("AM-1815", pv::sanyo_am1815());
+  spec.add_controller("proposed", core::make_paper_controller());
+  spec.add_controller("fixed", mppt::FixedVoltageController{});
+  spec.add_scenario("lux500", env::constant_light(500.0, 0.0, 3600.0));
+  spec.add_scenario("lux1000", env::constant_light(1000.0, 0.0, 3600.0));
+  spec.base.storage.initial_voltage = 3.0;
+  const runtime::SweepResult sweep = runtime::run_sweep(spec);
+  std::printf("telemetry tour: sweep of %zu jobs on %d workers\n",
+              sweep.records().size(), sweep.jobs_used());
+
+  circuit::Circuit ckt;
+  pv::Conditions c;
+  c.illuminance_lux = 1000.0;
+  core::build_fig3_system(ckt, pv::sanyo_am1815(), c, core::SystemSpec{});
+  circuit::TransientOptions opt;
+  opt.t_stop = 0.02;
+  opt.start_from_dc = false;
+  opt.dt_initial = 1e-6;
+  opt.dt_max = 0.25;
+  opt.dv_step_max = 0.4;
+  const circuit::Trace tr = circuit::transient_analyze(ckt, opt);
+  std::printf("telemetry tour: 20 ms circuit transient, %zu trace points\n",
+              tr.time().size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string trace_path;
+  std::string metrics_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf("quickstart [--trace trace.json] [--metrics metrics.jsonl]\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "quickstart: unknown flag '%s'\n", argv[i]);
+      return 2;
+    }
+  }
+  const bool telemetry = !trace_path.empty() || !metrics_path.empty();
+  if (telemetry) obs::set_enabled(true);
 
   // 1. The SANYO Amorton AM-1815 indoor a-Si cell, calibrated against
   //    the paper's Table I.
@@ -44,5 +127,19 @@ int main() {
   std::printf("harvest at that point: %.1f uW (%.1f%% of the true MPP)\n",
               cell.power_at(out.pv_voltage, office) * 1e6,
               cell.tracking_efficiency(out.pv_voltage, office) * 100.0);
+
+  if (telemetry) {
+    run_telemetry_tour();
+    if (!trace_path.empty()) {
+      obs::write_trace(trace_path);
+      std::printf("wrote %s (%zu trace events)\n", trace_path.c_str(),
+                  obs::tracer().event_count());
+    }
+    if (!metrics_path.empty()) {
+      obs::write_metrics_jsonl(metrics_path);
+      std::printf("wrote %s (%zu domain events + metrics)\n", metrics_path.c_str(),
+                  obs::events().size());
+    }
+  }
   return 0;
 }

@@ -6,16 +6,23 @@
 // focv_runtime work-stealing pool (pass `--jobs N` to pick the worker
 // count); results are printed in query order regardless of schedule.
 //
-//   ./build/examples/sizing_tool [--jobs N]
+//   ./build/examples/sizing_tool [--jobs N] [--trace out.json] [--metrics out.jsonl]
+//
+// --trace captures the fan-out as Chrome trace_event JSON (one span per
+// sizing query plus the node-tier spans underneath); --metrics dumps
+// the focv-obs/v1 JSONL event/metric stream.
 #include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "common/table.hpp"
 #include "core/focv_system.hpp"
 #include "env/profiles.hpp"
 #include "node/sizing.hpp"
+#include "obs/obs.hpp"
 #include "pv/cell_library.hpp"
 #include "runtime/thread_pool.hpp"
 
@@ -23,9 +30,13 @@ int main(int argc, char** argv) {
   using namespace focv;
 
   int jobs = 0;  // 0 = one worker per hardware thread
+  std::string trace_path, metrics_path;
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--jobs") == 0) jobs = std::atoi(argv[i + 1]);
+    if (std::strcmp(argv[i], "--trace") == 0) trace_path = argv[i + 1];
+    if (std::strcmp(argv[i], "--metrics") == 0) metrics_path = argv[i + 1];
   }
+  if (!trace_path.empty() || !metrics_path.empty()) obs::set_enabled(true);
 
   const env::LightTrace office = env::office_desk_mixed();
   const env::LightTrace mobile = env::semi_mobile_day();
@@ -46,12 +57,19 @@ int main(int argc, char** argv) {
   std::vector<node::SizingResult> results(n_cases);
   runtime::ThreadPool pool(jobs);
   pool.parallel_for(n_cases, [&](std::size_t i) {
+    std::optional<obs::Tracer::Span> span;
+    if (obs::enabled()) {
+      span.emplace(obs::tracer().span("sizing_query", "sizing"));
+      span->arg("scenario", cases[i].name);
+      span->arg("report_period_s", cases[i].report_period);
+    }
     node::SizingQuery query;
     query.use_cell(pv::sanyo_am1815());
     query.use_scenario(*cases[i].trace);
     query.use_controller(core::make_paper_controller());
     query.load.report_period = cases[i].report_period;
     results[i] = node::size_for_energy_neutrality(query);
+    if (span) span->arg("feasible", results[i].feasible ? 1.0 : 0.0);
   });
 
   ConsoleTable table({"scenario", "report period", "cell area", "daily harvest",
@@ -73,5 +91,18 @@ int main(int argc, char** argv) {
   std::printf(
       "\nReading: a single AM-1815 (25 cm^2) runs a 10-minute reporter on an office\n"
       "desk; tighter duty cycles scale the cell area and the ride-through storage.\n");
+
+  const runtime::ThreadPool::WorkerStats stats = pool.total_stats();
+  if (!trace_path.empty()) {
+    obs::write_trace(trace_path);
+    std::printf("wrote %s (%zu events, %llu tasks, %llu steals)\n", trace_path.c_str(),
+                obs::tracer().event_count(),
+                static_cast<unsigned long long>(stats.executed),
+                static_cast<unsigned long long>(stats.stolen));
+  }
+  if (!metrics_path.empty()) {
+    obs::write_metrics_jsonl(metrics_path);
+    std::printf("wrote %s\n", metrics_path.c_str());
+  }
   return 0;
 }

@@ -6,12 +6,34 @@
 #include <cstdlib>
 
 #include "common/require.hpp"
+#include "obs/obs.hpp"
 
 namespace focv::circuit {
+
+namespace {
+
+/// Telemetry for one finished Newton solve: iteration-count and final
+/// voltage-update (residual proxy) histograms plus outcome counters.
+void record_newton_solve(const NewtonResult& result, double final_max_dv) {
+  static const obs::HistogramId iterations_id =
+      obs::metrics().histogram("circuit.newton.iterations", {1.0, 256.0, 32});
+  static const obs::HistogramId residual_id =
+      obs::metrics().histogram("circuit.newton.residual_dv", {1e-12, 1.0, 48});
+  static const obs::CounterId solves_id = obs::metrics().counter("circuit.newton.solves");
+  static const obs::CounterId failures_id =
+      obs::metrics().counter("circuit.newton.nonconverged");
+  obs::metrics().observe(iterations_id, static_cast<double>(result.iterations));
+  obs::metrics().observe(residual_id, final_max_dv);
+  obs::metrics().add(solves_id);
+  if (!result.converged) obs::metrics().add(failures_id);
+}
+
+}  // namespace
 
 NewtonResult newton_solve(Circuit& circuit, Vector& x, double time, double dt,
                           Integrator integrator, const NewtonOptions& options,
                           double source_scale) {
+  const bool obs_on = obs::enabled();
   const int n = circuit.unknown_count();
   require(static_cast<int>(x.size()) == n, "newton_solve: iterate size mismatch");
   const int node_vars = circuit.node_count() - 1;
@@ -20,6 +42,7 @@ NewtonResult newton_solve(Circuit& circuit, Vector& x, double time, double dt,
   Vector rhs(static_cast<std::size_t>(n), 0.0);
 
   NewtonResult result;
+  double last_max_dv = 0.0;  // final voltage update, reported to telemetry
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     result.iterations = iter + 1;
     g.clear();
@@ -42,6 +65,7 @@ NewtonResult newton_solve(Circuit& circuit, Vector& x, double time, double dt,
     try {
       x_new = lu_solve(g, rhs);
     } catch (const ConvergenceError&) {
+      if (obs_on) record_newton_solve(result, last_max_dv);
       return result;  // singular: not converged
     }
 
@@ -50,7 +74,10 @@ NewtonResult newton_solve(Circuit& circuit, Vector& x, double time, double dt,
     bool within_tol = true;
     for (int k = 0; k < n; ++k) {
       const double delta = x_new[static_cast<std::size_t>(k)] - x[static_cast<std::size_t>(k)];
-      if (!std::isfinite(delta)) return result;
+      if (!std::isfinite(delta)) {
+        if (obs_on) record_newton_solve(result, last_max_dv);
+        return result;
+      }
       const double magnitude = std::abs(x[static_cast<std::size_t>(k)]);
       if (k < node_vars) {
         max_dv = std::max(max_dv, std::abs(delta));
@@ -60,6 +87,8 @@ NewtonResult newton_solve(Circuit& circuit, Vector& x, double time, double dt,
         if (std::abs(delta) > options.i_abs_tol + options.rel_tol * magnitude) within_tol = false;
       }
     }
+
+    last_max_dv = max_dv;
 
     static const bool debug = std::getenv("FOCV_NEWTON_DEBUG") != nullptr;
     if (debug) {
@@ -81,9 +110,11 @@ NewtonResult newton_solve(Circuit& circuit, Vector& x, double time, double dt,
     x = std::move(x_new);
     if (within_tol) {
       result.converged = true;
+      if (obs_on) record_newton_solve(result, last_max_dv);
       return result;
     }
   }
+  if (obs_on) record_newton_solve(result, last_max_dv);
   return result;
 }
 

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
+#include <optional>
 
 #include "common/require.hpp"
+#include "obs/obs.hpp"
 
 namespace focv::circuit {
 
@@ -125,6 +128,29 @@ Trace transient_analyze(Circuit& circuit, const TransientOptions& options) {
   require(options.dt_initial > 0.0, "transient_analyze: dt_initial must be > 0");
   circuit.finalize();
 
+  const bool obs_on = obs::enabled();
+  std::uint64_t accepted_steps = 0;
+  std::uint64_t rejected_steps = 0;
+  std::optional<obs::Tracer::Span> window_span;
+  if (obs_on) {
+    window_span.emplace(obs::tracer().span("transient_window", "circuit"));
+    window_span->arg("t_stop_s", options.t_stop);
+    window_span->arg("unknowns", static_cast<double>(circuit.unknown_count()));
+  }
+  // Rejection telemetry shared by the retry sites below.
+  const auto record_rejection = [&](double sim_t, double dt_failed, const char* reason,
+                                    const NewtonResult& nr) {
+    ++rejected_steps;
+    static const obs::CounterId rejections_id =
+        obs::metrics().counter("circuit.transient.step_rejections");
+    obs::metrics().add(rejections_id);
+    obs::events().emit("step_rejected", sim_t,
+                       {{"dt_s", dt_failed},
+                        {"reason", reason},
+                        {"newton_iterations", nr.iterations},
+                        {"newton_converged", nr.converged ? 1.0 : 0.0}});
+  };
+
   const std::size_t n = static_cast<std::size_t>(circuit.unknown_count());
   const double dt_max = (options.dt_max > 0.0) ? options.dt_max : options.t_stop / 50.0;
 
@@ -197,6 +223,7 @@ Trace transient_analyze(Circuit& circuit, const TransientOptions& options) {
           event_limit = std::min(event_limit, device->post_step_dt_limit(before, after));
         }
         if (dt > event_limit * 1.01 && dt > options.dt_min) {
+          if (obs_on) record_rejection(t, dt, "event_localisation", newton_result);
           dt = std::max(event_limit, options.dt_min);
           lands_on_breakpoint = false;
           continue;
@@ -206,6 +233,11 @@ Trace transient_analyze(Circuit& circuit, const TransientOptions& options) {
         throw ConvergenceError("transient_analyze: Newton failed at dt_min at t = " +
                                std::to_string(t));
       } else {
+        if (obs_on) {
+          record_rejection(t, dt,
+                           newton_result.converged ? "dv_limit" : "newton_nonconverged",
+                           newton_result);
+        }
         // A converged step that only violates the dv limit is retried at
         // a smaller dt, but floored at dt_min: a discontinuity forced by
         // a hard source cannot be shrunk by shrinking dt, so the step is
@@ -216,6 +248,7 @@ Trace transient_analyze(Circuit& circuit, const TransientOptions& options) {
     }
 
     t += dt;
+    ++accepted_steps;
     x = std::move(x_try);
     const Solution solution(x, circuit.node_count(), t);
     for (const auto& device : circuit.devices()) device->accept_step(solution);
@@ -233,6 +266,14 @@ Trace transient_analyze(Circuit& circuit, const TransientOptions& options) {
     } else {
       dt_nominal = dt;
     }
+  }
+  if (window_span) {
+    static const obs::CounterId steps_id =
+        obs::metrics().counter("circuit.transient.steps");
+    obs::metrics().add(steps_id, static_cast<double>(accepted_steps));
+    window_span->arg("accepted_steps", static_cast<double>(accepted_steps));
+    window_span->arg("rejected_steps", static_cast<double>(rejected_steps));
+    window_span->arg("trace_points", static_cast<double>(trace.time().size()));
   }
   return trace;
 }

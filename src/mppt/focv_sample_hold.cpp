@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/require.hpp"
+#include "obs/obs.hpp"
 
 namespace focv::mppt {
 
@@ -16,6 +17,10 @@ FocvSampleHoldController::FocvSampleHoldController(Params params)
 }
 
 ControlOutput FocvSampleHoldController::step(const SensedInputs& inputs) {
+  // Telemetry is observation-only: every instrumented branch below reads
+  // state the step computes anyway, so enabling it cannot perturb the
+  // commanded trajectory.
+  const bool obs_on = obs::enabled();
   ControlOutput out;
   const double t_end = inputs.time + inputs.dt;
   // Fire every PULSE rising edge inside this step (dt can exceed the
@@ -25,12 +30,44 @@ ControlOutput FocvSampleHoldController::step(const SensedInputs& inputs) {
         std::min(astable_.params().on_period, t_end - next_sample_time_);
     sample_hold_.sample(next_sample_time_, inputs.voc, astable_.params().on_period);
     out.disconnect_fraction += sample_duration / inputs.dt;
+    if (obs_on) {
+      const double t_open = next_sample_time_;
+      const double t_close = t_open + sample_duration;
+      const double held = sample_hold_.value(t_close);
+      obs::events().emit("sample_window_open", t_open,
+                         {{"voc", inputs.voc}, {"window_s", sample_duration}});
+      obs::events().emit("sample_window_close", t_close, {{"held_v", held}});
+      obs::events().emit(
+          "held_voltage_updated", t_close,
+          {{"held_v", held}, {"voc", inputs.voc}, {"pv_v_cmd", held / params_.alpha}});
+      obs::tracer().record_complete("sample_window", "mppt", t_open * 1e6,
+                                    sample_duration * 1e6, obs::Tracer::kSimPid,
+                                    {{"voc", inputs.voc}, {"held_v", held}});
+      static const obs::CounterId samples_id =
+          obs::metrics().counter("mppt.sample_windows");
+      static const obs::HistogramId held_id =
+          obs::metrics().histogram("mppt.held_voltage_v", {0.1, 10.0, 40});
+      obs::metrics().add(samples_id);
+      obs::metrics().observe(held_id, held);
+    }
     next_sample_time_ += astable_.period();
   }
   out.disconnect_fraction = std::min(out.disconnect_fraction, 1.0);
   // The converter regulates the PV input at HELD / alpha once ACTIVE
   // asserts (the U5 sanity check of Section III-B).
-  out.pv_voltage = active(t_end) ? sample_hold_.value(t_end) / params_.alpha : 0.0;
+  const bool now_active = active(t_end);
+  out.pv_voltage = now_active ? sample_hold_.value(t_end) / params_.alpha : 0.0;
+  if (obs_on && was_active_ && !now_active) {
+    // The held sample drooped below the ACTIVE threshold before the next
+    // PULSE refreshed it: the converter free-runs until then.
+    obs::events().emit("hold_sample_decayed", t_end,
+                       {{"held_v", sample_hold_.value(t_end)},
+                        {"threshold_v", params_.active_threshold},
+                        {"droop_v_per_s", sample_hold_.droop_rate()}});
+    static const obs::CounterId decays_id = obs::metrics().counter("mppt.hold_decays");
+    obs::metrics().add(decays_id);
+  }
+  was_active_ = now_active;
   return out;
 }
 
@@ -50,6 +87,7 @@ double FocvSampleHoldController::overhead_power() const {
 void FocvSampleHoldController::reset() {
   sample_hold_.reset();
   next_sample_time_ = astable_.next_rising_edge(0.0);
+  was_active_ = false;
 }
 
 }  // namespace focv::mppt

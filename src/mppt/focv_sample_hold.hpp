@@ -59,6 +59,7 @@ class FocvSampleHoldController : public MpptController {
   analog::AstableMultivibrator astable_;
   analog::SampleHold sample_hold_;
   double next_sample_time_ = 0.0;
+  bool was_active_ = false;  ///< ACTIVE level at the previous step (telemetry edge detect)
 };
 
 }  // namespace focv::mppt

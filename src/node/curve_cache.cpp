@@ -123,6 +123,7 @@ void CurveCache::prepare_surrogate(const std::vector<double>& eq_lux) {
 }
 
 CurveCache::StepCurve CurveCache::at_step(std::size_t i) const {
+  ++queries_;
   const std::uint32_t slot = step_slot_[i];
   StepCurve out;
   if (slot == kDarkStep) return out;
@@ -152,6 +153,7 @@ double CurveCache::table_power(const Entry& e, double v) const {
 }
 
 double CurveCache::power_at_step(std::size_t i, double v) {
+  ++queries_;
   if (v <= 0.0) return 0.0;
   if (options_.model == PowerModel::kExact) {
     const double lux = (*eq_lux_)[i];

@@ -84,6 +84,10 @@ class CurveCache {
   [[nodiscard]] std::uint64_t model_evals() const { return model_evals_; }
   /// Unique illuminance buckets / grid nodes solved so far.
   [[nodiscard]] std::uint64_t entries_built() const { return entries_built_; }
+  /// Per-step lookups served (at_step + power_at_step calls). Together
+  /// with model_evals() this yields the cache hit ratio:
+  /// hits = queries - model_evals issued after prepare().
+  [[nodiscard]] std::uint64_t queries() const { return queries_; }
   [[nodiscard]] PowerModel model() const { return options_.model; }
 
   /// Grid density of the surrogate: nodes per e-fold of illuminance.
@@ -120,6 +124,7 @@ class CurveCache {
 
   std::uint64_t model_evals_ = 0;
   std::uint64_t entries_built_ = 0;
+  mutable std::uint64_t queries_ = 0;  ///< per-step lookups (at_step is const)
 };
 
 }  // namespace focv::node

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "common/require.hpp"
 #include "node/curve_cache.hpp"
+#include "obs/obs.hpp"
 
 namespace focv::node {
 
@@ -45,6 +47,28 @@ NodeReport simulate_node(const env::LightTrace& trace, const NodeConfig& config)
   const std::vector<double> total_lux = trace.total_lux();
   const std::vector<double>& t = trace.time();
   curves.prepare(eq_lux);
+
+  // Telemetry: one enabled() check per run; the hot loop below only
+  // tests the hoisted bool. Everything recorded is derived from values
+  // the simulation computes anyway (observation-only, see obs.hpp).
+  const bool obs_on = obs::enabled();
+  std::optional<obs::Tracer::Span> run_span;
+  std::optional<CurveCache> exact_shadow;  ///< surrogate-vs-exact comparison
+  if (obs_on) {
+    run_span.emplace(obs::tracer().span("simulate_node", "node"));
+    run_span->arg("controller", controller.name());
+    run_span->arg("power_model",
+                  config.power_model == PowerModel::kSurrogate ? "surrogate" : "exact");
+    if (config.obs_compare_exact && config.power_model == PowerModel::kSurrogate) {
+      exact_shadow.emplace(cell, config.temperature_k,
+                           CurveCache::Options{PowerModel::kExact, config.surrogate_points});
+      exact_shadow->prepare(eq_lux);
+    }
+  }
+  static const obs::HistogramId step_eff_id = obs::metrics().histogram(
+      "node.step_tracking_efficiency", {1e-3, 1.0 + 1e-9, 48});
+  static const obs::HistogramId deviation_id = obs::metrics().histogram(
+      "node.surrogate.deviation_rel", {1e-9, 1.0, 48});
 
   NodeReport report;
   report.duration = trace.duration();
@@ -94,6 +118,17 @@ NodeReport simulate_node(const env::LightTrace& trace, const NodeConfig& config)
       pv_power = curves.power_at_step(i, out.pv_voltage) *
                  (1.0 - std::min(1.0, out.disconnect_fraction));
       report.overhead_energy += overhead_power * dt;
+      if (obs_on) {
+        if (curve.pmpp > 0.0) {
+          obs::metrics().observe(step_eff_id, pv_power / curve.pmpp);
+        }
+        if (exact_shadow && pv_voltage > 0.0 && curve.pmpp > 0.0) {
+          const double exact_power = exact_shadow->power_at_step(i, pv_voltage);
+          obs::metrics().observe(
+              deviation_id,
+              std::abs(curves.power_at_step(i, pv_voltage) - exact_power) / curve.pmpp);
+        }
+      }
     }
     prev_power = pv_power;
     prev_voltage = pv_voltage;
@@ -125,6 +160,37 @@ NodeReport simulate_node(const env::LightTrace& trace, const NodeConfig& config)
   report.steps = trace.size() - 1;
   report.model_evals = curves.model_evals();
   report.curve_entries = curves.entries_built();
+
+  if (obs_on) {
+    static const obs::CounterId steps_id = obs::metrics().counter("node.steps");
+    static const obs::CounterId evals_id = obs::metrics().counter("node.model_evals");
+    static const obs::CounterId hits_id = obs::metrics().counter("node.curve.hits");
+    static const obs::CounterId misses_id = obs::metrics().counter("node.curve.misses");
+    static const obs::HistogramId builds_id =
+        obs::metrics().histogram("node.curve.entries_built", {1.0, 1e5, 40});
+    static const obs::HistogramId run_evals_id =
+        obs::metrics().histogram("node.curve.model_evals", {1.0, 1e7, 56});
+    // Hit/miss: a per-step lookup that needed no exact solve is a hit;
+    // in exact mode every power_at_step solve is a miss, in surrogate
+    // mode all per-step lookups hit the interpolated tables.
+    const std::uint64_t queries = curves.queries();
+    const std::uint64_t misses = std::min(queries, curves.model_evals());
+    obs::metrics().add(steps_id, static_cast<double>(report.steps));
+    obs::metrics().add(evals_id, static_cast<double>(report.model_evals));
+    obs::metrics().add(hits_id, static_cast<double>(queries - misses));
+    obs::metrics().add(misses_id, static_cast<double>(misses));
+    obs::metrics().observe(builds_id, static_cast<double>(report.curve_entries));
+    obs::metrics().observe(run_evals_id, static_cast<double>(report.model_evals));
+    obs::events().emit("node_run_complete", report.duration,
+                       {{"steps", report.steps},
+                        {"tracking_efficiency", report.tracking_efficiency()},
+                        {"net_j", report.net_energy()},
+                        {"curve_entries", report.curve_entries}});
+    run_span->arg("steps", static_cast<double>(report.steps));
+    run_span->arg("model_evals", static_cast<double>(report.model_evals));
+    run_span->arg("curve_entries", static_cast<double>(report.curve_entries));
+    run_span->arg("tracking_efficiency", report.tracking_efficiency());
+  }
   return report;
 }
 

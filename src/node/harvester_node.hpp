@@ -73,6 +73,13 @@ struct NodeConfig {
   double temperature_k = 300.15;
   bool record_traces = false;   ///< keep per-step waveforms in the report
   int record_stride = 60;       ///< record every k-th step
+
+  /// Telemetry-only: when focv::obs is enabled and the surrogate power
+  /// model is active, additionally run an exact CurveCache alongside it
+  /// and record the per-step surrogate-vs-exact power deviation into
+  /// the `node.surrogate.deviation_rel` histogram. Never alters the
+  /// simulated trajectory; costs extra exact solves, so off by default.
+  bool obs_compare_exact = false;
 };
 
 /// Results of one simulation run.

@@ -1,0 +1,104 @@
+#include "obs/event_log.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "common/require.hpp"
+
+namespace focv::obs {
+
+namespace {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+EventLog::EventLog() : origin_(std::chrono::steady_clock::now()) {}
+
+void EventLog::emit(std::string_view event, double sim_t,
+                    std::initializer_list<EventField> fields) {
+  const double wall_us =
+      std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - origin_)
+          .count();
+  std::string line = "{\"schema\":\"focv-obs/v1\",\"kind\":\"event\",\"event\":\"" +
+                     json_escape(event) + "\",\"sim_t\":" + json_number(sim_t) +
+                     ",\"wall_us\":" + json_number(wall_us) + ",\"fields\":{";
+  bool first = true;
+  for (const EventField& f : fields) {
+    if (!first) line += ',';
+    first = false;
+    line += '"' + json_escape(f.name) + "\":";
+    if (f.is_number) {
+      line += json_number(f.number);
+    } else {
+      line += '"' + json_escape(f.text) + '"';
+    }
+  }
+  line += "}}";
+  std::lock_guard<std::mutex> lock(mutex_);
+  lines_.push_back(std::move(line));
+}
+
+std::size_t EventLog::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lines_.size();
+}
+
+std::string EventLog::to_jsonl() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  for (const std::string& line : lines_) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+std::vector<std::string> EventLog::lines() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lines_;
+}
+
+void EventLog::write_jsonl(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary);
+  require(f.good(), "EventLog: cannot open " + path);
+  f << to_jsonl();
+  require(f.good(), "EventLog: write failed for " + path);
+}
+
+void EventLog::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  lines_.clear();
+  origin_ = std::chrono::steady_clock::now();
+}
+
+}  // namespace focv::obs

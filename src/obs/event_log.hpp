@@ -1,0 +1,68 @@
+// focv::obs event log: structured domain events as JSONL (schema
+// focv-obs/v1).
+//
+// Each emitted event becomes one line
+//
+//   {"schema":"focv-obs/v1","kind":"event","event":"<name>",
+//    "sim_t":<seconds>,"wall_us":<microseconds>,"fields":{...}}
+//
+// `sim_t` is the simulation-time stamp the producing tier assigns (the
+// MPPT controllers stamp sample windows, the transient engine stamps
+// step rejections); `wall_us` is the monotonic wall-clock offset of the
+// emit call, so the domain timeline can be correlated with the tracer's
+// wall-clock spans. Lines are buffered in memory and written by
+// write_jsonl()/to_jsonl(); the buffer is mutex-guarded and each line
+// is rendered outside the lock.
+#pragma once
+
+#include <chrono>
+#include <initializer_list>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace focv::obs {
+
+/// One structured field of an event.
+struct EventField {
+  std::string name;
+  bool is_number = true;
+  double number = 0.0;
+  std::string text;
+
+  EventField(std::string n, double v) : name(std::move(n)), number(v) {}
+  EventField(std::string n, int v) : name(std::move(n)), number(v) {}
+  EventField(std::string n, std::uint64_t v)
+      : name(std::move(n)), number(static_cast<double>(v)) {}
+  EventField(std::string n, std::string v)
+      : name(std::move(n)), is_number(false), text(std::move(v)) {}
+  EventField(std::string n, const char* v)
+      : name(std::move(n)), is_number(false), text(v) {}
+};
+
+class EventLog {
+ public:
+  EventLog();
+
+  /// Emit one event stamped at simulation time `sim_t` [s].
+  void emit(std::string_view event, double sim_t,
+            std::initializer_list<EventField> fields = {});
+
+  [[nodiscard]] std::size_t size() const;
+  /// All buffered lines, emit order, newline-terminated.
+  [[nodiscard]] std::string to_jsonl() const;
+  void write_jsonl(const std::string& path) const;
+  /// Buffered lines as separate strings (for tests).
+  [[nodiscard]] std::vector<std::string> lines() const;
+
+  /// Drop all buffered events and restart the wall clock origin.
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::string> lines_;
+  std::chrono::steady_clock::time_point origin_;
+};
+
+}  // namespace focv::obs

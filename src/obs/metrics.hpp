@@ -1,0 +1,141 @@
+// focv::obs metrics: counters, gauges and log-binned histograms with
+// lock-free per-thread shards.
+//
+// Write path: an instrument site registers a metric once (idempotent,
+// by name) and then records through the returned id. Records land in a
+// per-thread shard — plain relaxed atomic adds on cache lines owned by
+// the writing thread, no locks, no allocation after the shard exists —
+// so instrumentation can sit on simulation hot paths. The registration
+// mutex is only taken to create metrics, attach a new thread's shard,
+// or take a snapshot.
+//
+// Read path: snapshot() merges every shard into plain structs. Values
+// observed concurrently with writers are momentarily torn-free per slot
+// (each slot is a single atomic) but not cross-slot consistent; the
+// intended use is snapshotting at quiescent points (end of a run / end
+// of a sweep), where the merge is exact.
+//
+// Capacity is fixed at compile time (kMaxCounters / kMaxGauges /
+// kMaxHistograms / kMaxBins) so shards never reallocate under writers;
+// exceeding a capacity throws at registration time, never on the hot
+// path. Lifetime: the registry must outlive every thread that records
+// into it (true for the process-wide registry in obs.hpp and for
+// scoped per-job registries, which are only written by their own job).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace focv::obs {
+
+/// Log-spaced histogram layout: `bins` finite buckets spanning
+/// [lo, hi) geometrically, plus an underflow and an overflow bucket.
+struct HistogramSpec {
+  double lo = 1.0;   ///< lower edge of the first finite bin (> 0)
+  double hi = 1e6;   ///< upper edge of the last finite bin (> lo)
+  int bins = 24;     ///< finite bin count (1 .. kMaxBins)
+};
+
+/// Typed metric handles. Values are indices into the owning registry;
+/// handles from one registry must not be used with another.
+struct CounterId { std::uint32_t index = 0; };
+struct GaugeId { std::uint32_t index = 0; };
+struct HistogramId { std::uint32_t index = 0; };
+
+/// Merged, plain-data view of a registry (see snapshot()).
+struct HistogramSnapshot {
+  std::string name;
+  HistogramSpec spec;
+  std::vector<double> edges;         ///< bins+1 finite bin edges
+  std::vector<std::uint64_t> counts; ///< bins+2: [underflow, bins..., overflow]
+  std::uint64_t count = 0;           ///< total observations
+  double sum = 0.0;                  ///< sum of observed values
+  [[nodiscard]] double mean() const { return count ? sum / static_cast<double>(count) : 0.0; }
+};
+
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, double>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+};
+
+class MetricsRegistry {
+ public:
+  static constexpr std::uint32_t kMaxCounters = 160;
+  static constexpr std::uint32_t kMaxGauges = 32;
+  static constexpr std::uint32_t kMaxHistograms = 32;
+  static constexpr int kMaxBins = 64;
+
+  MetricsRegistry();
+  ~MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Register (or look up) a metric by name. Idempotent: the same name
+  /// always yields the same id, so instrument sites can cache the
+  /// result in a static local. Throws PreconditionError on capacity
+  /// overflow or (histograms) on a spec mismatch with a prior
+  /// registration.
+  CounterId counter(const std::string& name);
+  GaugeId gauge(const std::string& name);
+  HistogramId histogram(const std::string& name, const HistogramSpec& spec);
+
+  /// Record. Lock-free; safe from any thread.
+  void add(CounterId id, double delta = 1.0);
+  void set(GaugeId id, double value);
+  void observe(HistogramId id, double value);
+
+  /// Merged view across all shards.
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+  /// Merged value of one counter (0.0 when the name is unregistered).
+  [[nodiscard]] double counter_value(const std::string& name) const;
+
+  /// Zero every recorded value; registrations (names, ids) survive.
+  void reset();
+
+  /// Bucket index (0 = underflow .. bins+1 = overflow) for a value —
+  /// exposed so tests can pin the bin-edge contract.
+  [[nodiscard]] static int bucket_index(const HistogramSpec& spec, double value);
+  /// The bins+1 finite bin edges of a spec.
+  [[nodiscard]] static std::vector<double> bin_edges(const HistogramSpec& spec);
+
+  /// Append one JSONL line per metric (schema focv-obs/v1) to `out`.
+  void append_jsonl(std::string& out) const;
+
+ private:
+  struct HistMeta {
+    HistogramSpec spec;
+    double log_lo = 0.0;
+    double inv_log_step = 0.0;  ///< bins / log(hi/lo)
+    std::uint32_t slot = 0;     ///< first bucket slot in Shard::hist_counts
+  };
+
+  struct Shard {
+    std::array<std::atomic<double>, kMaxCounters> counters{};
+    /// Flattened histogram buckets: kMaxHistograms * (kMaxBins + 2).
+    std::vector<std::atomic<std::uint64_t>> hist_counts;
+    std::array<std::atomic<double>, kMaxHistograms> hist_sum{};
+    std::array<std::atomic<std::uint64_t>, kMaxHistograms> hist_n{};
+    Shard();
+  };
+
+  Shard& local_shard();
+  static void atomic_add(std::atomic<double>& slot, double delta);
+
+  const std::uint64_t uid_;  ///< process-unique registry identity
+
+  mutable std::mutex mutex_;  ///< registration, shard list, snapshot
+  std::vector<std::string> counter_names_;
+  std::vector<std::string> gauge_names_;
+  std::vector<std::string> histogram_names_;
+  std::array<HistMeta, kMaxHistograms> hist_meta_{};
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::array<std::atomic<double>, kMaxGauges> gauges_{};  ///< global (last-write-wins)
+};
+
+}  // namespace focv::obs

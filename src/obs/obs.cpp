@@ -1,0 +1,49 @@
+#include "obs/obs.hpp"
+
+#include <fstream>
+
+#include "common/require.hpp"
+
+namespace focv::obs {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+void set_enabled(bool on) noexcept {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+MetricsRegistry& metrics() {
+  static MetricsRegistry* instance = new MetricsRegistry();  // never destroyed
+  return *instance;
+}
+
+Tracer& tracer() {
+  static Tracer* instance = new Tracer();  // never destroyed
+  return *instance;
+}
+
+EventLog& events() {
+  static EventLog* instance = new EventLog();  // never destroyed
+  return *instance;
+}
+
+void reset_all() {
+  metrics().reset();
+  tracer().reset();
+  events().reset();
+}
+
+void write_trace(const std::string& path) { tracer().write_chrome_json(path); }
+
+void write_metrics_jsonl(const std::string& path) {
+  std::string out = events().to_jsonl();
+  metrics().append_jsonl(out);
+  std::ofstream f(path, std::ios::binary);
+  require(f.good(), "obs: cannot open " + path);
+  f << out;
+  require(f.good(), "obs: write failed for " + path);
+}
+
+}  // namespace focv::obs

@@ -1,0 +1,198 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "common/require.hpp"
+
+namespace focv::obs {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+void append_args(std::string& out, const std::vector<TraceArg>& args) {
+  out += "\"args\":{";
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (i) out += ',';
+    out += '"' + json_escape(args[i].name) + "\":";
+    if (args[i].is_number) {
+      out += json_number(args[i].number);
+    } else {
+      out += '"' + json_escape(args[i].text) + '"';
+    }
+  }
+  out += '}';
+}
+
+}  // namespace
+
+Tracer::Tracer() : origin_(std::chrono::steady_clock::now()) {}
+
+double Tracer::now_us() const {
+  return std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - origin_)
+      .count();
+}
+
+int Tracer::tid_for_current_thread_locked() {
+  const auto id = std::this_thread::get_id();
+  const auto it = thread_ids_.find(id);
+  if (it != thread_ids_.end()) return it->second;
+  const int tid = static_cast<int>(thread_ids_.size());
+  thread_ids_.emplace(id, tid);
+  return tid;
+}
+
+void Tracer::record_complete(std::string name, std::string category, double ts_us,
+                             double dur_us, int pid, std::vector<TraceArg> args) {
+  TraceEvent e;
+  e.name = std::move(name);
+  e.category = std::move(category);
+  e.phase = 'X';
+  e.pid = pid;
+  e.ts_us = ts_us;
+  e.dur_us = dur_us;
+  e.args = std::move(args);
+  std::lock_guard<std::mutex> lock(mutex_);
+  e.tid = tid_for_current_thread_locked();
+  events_.push_back(std::move(e));
+}
+
+void Tracer::record_instant(std::string name, std::string category, double ts_us, int pid,
+                            std::vector<TraceArg> args) {
+  TraceEvent e;
+  e.name = std::move(name);
+  e.category = std::move(category);
+  e.phase = 'i';
+  e.pid = pid;
+  e.ts_us = ts_us;
+  e.args = std::move(args);
+  std::lock_guard<std::mutex> lock(mutex_);
+  e.tid = tid_for_current_thread_locked();
+  events_.push_back(std::move(e));
+}
+
+std::size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::vector<TraceEvent> copy;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    copy = events_;
+  }
+  std::stable_sort(copy.begin(), copy.end(), [](const TraceEvent& a, const TraceEvent& b) {
+    if (a.pid != b.pid) return a.pid < b.pid;
+    if (a.tid != b.tid) return a.tid < b.tid;
+    return a.ts_us < b.ts_us;
+  });
+  return copy;
+}
+
+std::string Tracer::to_chrome_json() const {
+  const std::vector<TraceEvent> sorted = events();
+  std::string out = "{\"traceEvents\":[\n";
+  // Metadata first: name the two timelines so Perfetto labels them.
+  out +=
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+      "\"args\":{\"name\":\"focv wall clock\"}},\n";
+  out +=
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":2,\"tid\":0,"
+      "\"args\":{\"name\":\"focv simulated time\"}}";
+  for (const TraceEvent& e : sorted) {
+    out += ",\n{\"name\":\"" + json_escape(e.name) + "\",\"cat\":\"" +
+           json_escape(e.category) + "\",\"ph\":\"" + e.phase + "\",\"pid\":" +
+           std::to_string(e.pid) + ",\"tid\":" + std::to_string(e.tid) +
+           ",\"ts\":" + json_number(e.ts_us);
+    if (e.phase == 'X') out += ",\"dur\":" + json_number(e.dur_us);
+    if (e.phase == 'i') out += ",\"s\":\"t\"";
+    out += ',';
+    append_args(out, e.args);
+    out += '}';
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"schema\":\"focv-obs/v1\"}}\n";
+  return out;
+}
+
+void Tracer::write_chrome_json(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary);
+  require(f.good(), "Tracer: cannot open " + path);
+  f << to_chrome_json();
+  require(f.good(), "Tracer: write failed for " + path);
+}
+
+void Tracer::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+  thread_ids_.clear();
+  origin_ = std::chrono::steady_clock::now();
+}
+
+// ----------------------------------------------------------------- Span
+
+Tracer::Span::Span(Tracer& tracer, std::string name, std::string category)
+    : tracer_(&tracer),
+      name_(std::move(name)),
+      category_(std::move(category)),
+      start_us_(tracer.now_us()) {}
+
+Tracer::Span::Span(Span&& other) noexcept
+    : tracer_(other.tracer_),
+      name_(std::move(other.name_)),
+      category_(std::move(other.category_)),
+      start_us_(other.start_us_),
+      args_(std::move(other.args_)) {
+  other.tracer_ = nullptr;
+}
+
+void Tracer::Span::arg(std::string name, double value) {
+  args_.emplace_back(std::move(name), value);
+}
+
+void Tracer::Span::arg(std::string name, std::string value) {
+  args_.emplace_back(std::move(name), std::move(value));
+}
+
+void Tracer::Span::finish() {
+  if (tracer_ == nullptr) return;
+  const double end_us = tracer_->now_us();
+  tracer_->record_complete(std::move(name_), std::move(category_), start_us_,
+                           end_us - start_us_, kWallPid, std::move(args_));
+  tracer_ = nullptr;
+}
+
+Tracer::Span::~Span() { finish(); }
+
+}  // namespace focv::obs

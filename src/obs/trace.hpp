@@ -1,0 +1,121 @@
+// focv::obs tracer: span-based tracing with monotonic timestamps and a
+// Chrome trace_event JSON exporter (loadable in chrome://tracing and
+// Perfetto).
+//
+// Two timelines share one file, separated by pid:
+//   pid 1 ("wall clock")     — real execution time from a monotonic
+//                              clock, microseconds since the tracer's
+//                              origin; one tid per recording thread.
+//   pid 2 ("simulated time") — domain events stamped in simulation
+//                              seconds (exported as microseconds), e.g.
+//                              the MPPT sample windows of a 24 h run.
+//
+// Recording appends complete ("ph":"X") or instant ("ph":"i") events to
+// a mutex-guarded buffer; the granularity of the instrumented sites
+// (jobs, runs, transient windows, sample operations) keeps contention
+// negligible. Export sorts by timestamp and prepends the process/thread
+// metadata records.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace focv::obs {
+
+/// One key/value pair in a trace event's "args" object.
+struct TraceArg {
+  std::string name;
+  bool is_number = true;
+  double number = 0.0;
+  std::string text;
+
+  TraceArg(std::string n, double v) : name(std::move(n)), number(v) {}
+  TraceArg(std::string n, std::string v)
+      : name(std::move(n)), is_number(false), text(std::move(v)) {}
+};
+
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  char phase = 'X';     ///< 'X' complete, 'i' instant
+  int pid = 1;
+  int tid = 0;
+  double ts_us = 0.0;   ///< event start
+  double dur_us = 0.0;  ///< complete events only
+  std::vector<TraceArg> args;
+};
+
+class Tracer {
+ public:
+  static constexpr int kWallPid = 1;  ///< wall-clock timeline
+  static constexpr int kSimPid = 2;   ///< simulated-time timeline
+
+  Tracer();
+
+  /// Microseconds since the tracer's origin (monotonic).
+  [[nodiscard]] double now_us() const;
+
+  /// RAII span on the wall-clock timeline: starts at construction,
+  /// records one complete event at destruction. Movable so it can live
+  /// in std::optional at instrument sites that are conditionally on.
+  class Span {
+   public:
+    Span(Tracer& tracer, std::string name, std::string category);
+    Span(Span&& other) noexcept;
+    Span& operator=(Span&&) = delete;
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+    ~Span();
+
+    void arg(std::string name, double value);
+    void arg(std::string name, std::string value);
+    /// Record now instead of at destruction (idempotent).
+    void finish();
+
+   private:
+    Tracer* tracer_;
+    std::string name_;
+    std::string category_;
+    double start_us_ = 0.0;
+    std::vector<TraceArg> args_;
+  };
+
+  [[nodiscard]] Span span(std::string name, std::string category) {
+    return Span(*this, std::move(name), std::move(category));
+  }
+
+  /// Record a complete event with explicit timestamps. `pid` selects
+  /// the timeline; sim-time events pass seconds * 1e6.
+  void record_complete(std::string name, std::string category, double ts_us, double dur_us,
+                       int pid, std::vector<TraceArg> args = {});
+  /// Record an instant event.
+  void record_instant(std::string name, std::string category, double ts_us, int pid,
+                      std::vector<TraceArg> args = {});
+
+  [[nodiscard]] std::size_t event_count() const;
+  /// Events sorted by (pid, tid, ts); exposed for tests.
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+
+  /// Full Chrome trace JSON ({"traceEvents": [...], ...}).
+  [[nodiscard]] std::string to_chrome_json() const;
+  void write_chrome_json(const std::string& path) const;
+
+  /// Drop all recorded events and restart the clock origin.
+  void reset();
+
+ private:
+  int tid_for_current_thread_locked();
+
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+  std::map<std::thread::id, int> thread_ids_;
+  std::chrono::steady_clock::time_point origin_;
+};
+
+}  // namespace focv::obs

@@ -5,8 +5,10 @@
 #include <cstdio>
 #include <fstream>
 #include <mutex>
+#include <optional>
 
 #include "common/require.hpp"
+#include "obs/obs.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace focv::runtime {
@@ -277,6 +279,13 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& options) {
   SweepProgress progress;
   progress.total = result.records_.size();
 
+  // Telemetry: decided once per sweep; per-job spans carry queue wait
+  // (time between fan-out and the job actually starting) and the job's
+  // own counters. submit_us is the fan-out timestamp all jobs share —
+  // parallel_for enqueues every job up front.
+  const bool obs_on = obs::enabled();
+  const double submit_us = obs_on ? obs::tracer().now_us() : 0.0;
+
   const auto run_job = [&](std::size_t job) {
     // Decode the flat index into matrix coordinates.
     const std::size_t grid_i = job % n_grid;
@@ -298,6 +307,25 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& options) {
     record.scenario = spec.scenarios[scenario_i].name;
     record.grid = grid.name;
 
+    std::optional<obs::Tracer::Span> span;
+    if (obs_on) {
+      span.emplace(obs::tracer().span("sweep_job", "sweep"));
+      span->arg("job", static_cast<double>(job));
+      span->arg("cell", record.cell);
+      span->arg("controller", record.controller);
+      span->arg("scenario", record.scenario);
+      span->arg("grid", record.grid);
+      span->arg("queue_wait_us", obs::tracer().now_us() - submit_us);
+    }
+
+    // Per-job observability counters route through a scoped
+    // MetricsRegistry: the job is the only writer, and the record's
+    // fields are read back from the registry's merged view.
+    obs::MetricsRegistry job_metrics;
+    const obs::CounterId steps_id = job_metrics.counter("job.steps");
+    const obs::CounterId evals_id = job_metrics.counter("job.model_evals");
+    const obs::CounterId entries_id = job_metrics.counter("job.curve_entries");
+
     const auto start = std::chrono::steady_clock::now();
     try {
       node::NodeConfig config = spec.base;
@@ -307,9 +335,14 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& options) {
       if (grid.apply) grid.apply(config, rng);
       const env::LightTrace& trace = *spec.scenarios[scenario_i].trace;
       record.report = node::simulate_node(trace, config);
-      record.steps = record.report.steps;
-      record.model_evals = record.report.model_evals;
-      record.curve_entries = record.report.curve_entries;
+      job_metrics.add(steps_id, static_cast<double>(record.report.steps));
+      job_metrics.add(evals_id, static_cast<double>(record.report.model_evals));
+      job_metrics.add(entries_id, static_cast<double>(record.report.curve_entries));
+      record.steps = static_cast<std::uint64_t>(job_metrics.counter_value("job.steps"));
+      record.model_evals =
+          static_cast<std::uint64_t>(job_metrics.counter_value("job.model_evals"));
+      record.curve_entries =
+          static_cast<std::uint64_t>(job_metrics.counter_value("job.curve_entries"));
     } catch (const std::exception& e) {
       record.failed = true;
       record.error = e.what();
@@ -319,6 +352,20 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& options) {
     }
     record.wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+    if (span) {
+      span->arg("failed", record.failed ? 1.0 : 0.0);
+      span->arg("steps", static_cast<double>(record.steps));
+      span->arg("model_evals", static_cast<double>(record.model_evals));
+      span->finish();
+      static const obs::HistogramId job_wall_id =
+          obs::metrics().histogram("sweep.job.wall_us", {1.0, 1e9, 56});
+      static const obs::CounterId jobs_id = obs::metrics().counter("sweep.jobs");
+      static const obs::CounterId failed_id = obs::metrics().counter("sweep.jobs_failed");
+      obs::metrics().observe(job_wall_id, record.wall_seconds * 1e6);
+      obs::metrics().add(jobs_id);
+      if (record.failed) obs::metrics().add(failed_id);
+    }
 
     result.records_[job] = std::move(record);
     if (options.on_progress) {
@@ -334,7 +381,14 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& options) {
     }
   };
 
+  std::optional<obs::Tracer::Span> sweep_span;
+  if (obs_on) {
+    sweep_span.emplace(obs::tracer().span("sweep", "sweep"));
+    sweep_span->arg("jobs_total", static_cast<double>(result.records_.size()));
+  }
+
   const auto sweep_start = std::chrono::steady_clock::now();
+  ThreadPool::WorkerStats pool_stats;
   if (options.jobs == 1) {
     // Inline serial path: the reference execution the determinism test
     // compares the threaded runs against.
@@ -344,9 +398,26 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& options) {
     ThreadPool pool(options.jobs);
     result.jobs_used_ = pool.thread_count();
     pool.parallel_for(result.records_.size(), run_job);
+    pool_stats = pool.total_stats();
   }
   result.wall_seconds_ =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - sweep_start).count();
+
+  if (obs_on) {
+    static const obs::CounterId steals_id = obs::metrics().counter("sweep.pool.steals");
+    static const obs::CounterId executed_id = obs::metrics().counter("sweep.pool.executed");
+    obs::metrics().add(steals_id, static_cast<double>(pool_stats.stolen));
+    obs::metrics().add(executed_id, static_cast<double>(pool_stats.executed));
+    sweep_span->arg("jobs_used", static_cast<double>(result.jobs_used_));
+    sweep_span->arg("pool_steals", static_cast<double>(pool_stats.stolen));
+    sweep_span->arg("failed", static_cast<double>(result.failed_count()));
+    obs::events().emit("sweep_complete", 0.0,
+                       {{"jobs", static_cast<double>(result.records_.size())},
+                        {"jobs_used", result.jobs_used_},
+                        {"failed", static_cast<double>(result.failed_count())},
+                        {"pool_steals", static_cast<double>(pool_stats.stolen)},
+                        {"wall_s", result.wall_seconds_}});
+  }
   return result;
 }
 

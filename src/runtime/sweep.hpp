@@ -99,6 +99,9 @@ struct SweepRecord {
   std::string error;         ///< exception text when failed
 
   // Observability (excluded from exports unless asked; see to_csv).
+  // The counters are populated from a per-job obs::MetricsRegistry by
+  // run_sweep; when focv::obs is enabled the same values also aggregate
+  // into the global metrics under the sweep.* namespace.
   double wall_seconds = 0.0;        ///< this job's execution time
   std::uint64_t steps = 0;          ///< simulation steps executed
   std::uint64_t model_evals = 0;    ///< exact cell-model solves issued by the job

@@ -59,6 +59,8 @@ bool ThreadPool::run_one(std::size_t home) {
       }
     }
     queued_.fetch_sub(1, std::memory_order_relaxed);
+    queues_[home]->executed.fetch_add(1, std::memory_order_relaxed);
+    if (q != home) queues_[home]->stolen.fetch_add(1, std::memory_order_relaxed);
     task();
     if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       { std::lock_guard<std::mutex> fence(wake_mutex_); }
@@ -95,6 +97,24 @@ void ThreadPool::wait_idle() {
              queued_.load(std::memory_order_acquire) > 0;
     });
   }
+}
+
+std::vector<ThreadPool::WorkerStats> ThreadPool::worker_stats() const {
+  std::vector<WorkerStats> stats(queues_.size());
+  for (std::size_t i = 0; i < queues_.size(); ++i) {
+    stats[i].executed = queues_[i]->executed.load(std::memory_order_relaxed);
+    stats[i].stolen = queues_[i]->stolen.load(std::memory_order_relaxed);
+  }
+  return stats;
+}
+
+ThreadPool::WorkerStats ThreadPool::total_stats() const {
+  WorkerStats total;
+  for (const WorkerStats& w : worker_stats()) {
+    total.executed += w.executed;
+    total.stolen += w.stolen;
+  }
+  return total;
 }
 
 void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {

@@ -6,6 +6,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -41,6 +42,21 @@ class ThreadPool {
 
   [[nodiscard]] int thread_count() const { return static_cast<int>(workers_.size()); }
 
+  /// Per-worker execution statistics. Cumulative since construction;
+  /// indexed by the executing context's home queue, so slot 0 also
+  /// collects work drained by an external wait_idle() caller (which
+  /// scans from queue 0). `stolen` counts tasks taken from a sibling's
+  /// queue; `executed` includes them.
+  struct WorkerStats {
+    std::uint64_t executed = 0;
+    std::uint64_t stolen = 0;
+  };
+  /// Cheap snapshot (one relaxed atomic load per counter); safe to call
+  /// concurrently with running tasks.
+  [[nodiscard]] std::vector<WorkerStats> worker_stats() const;
+  /// Sums of worker_stats() across all workers.
+  [[nodiscard]] WorkerStats total_stats() const;
+
   /// Hardware concurrency, clamped to at least 1.
   [[nodiscard]] static int default_thread_count();
 
@@ -52,6 +68,10 @@ class ThreadPool {
   struct Queue {
     std::mutex mutex;
     std::deque<std::function<void()>> tasks;
+    // Stats of the context whose home this queue is (cache-line padded
+    // away from siblings by the per-queue heap allocation).
+    std::atomic<std::uint64_t> executed{0};
+    std::atomic<std::uint64_t> stolen{0};
   };
 
   /// Pop from queue `home` (LIFO) or steal from a sibling (FIFO).

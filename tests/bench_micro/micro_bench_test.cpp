@@ -67,15 +67,16 @@ TEST(MicroBenchHarness, SmokeRunCompletesAndWritesSchemaValidJson) {
   const std::string json = slurp(path);
   ASSERT_FALSE(json.empty());
   EXPECT_TRUE(json_is_balanced(json)) << json;
-  EXPECT_NE(json.find("\"schema\": \"focv-bench-micro/v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema\": \"focv-bench-micro/v2\""), std::string::npos);
   EXPECT_NE(json.find("\"smoke\": true"), std::string::npos);
-  // The standard suite and its derived speedups are all present.
+  // The standard suite and its derived ratios are all present.
   for (const char* name :
        {"simulate_node_24h_indoor_surrogate", "simulate_node_24h_indoor_exact",
         "simulate_node_24h_outdoor_surrogate", "simulate_node_24h_outdoor_exact",
         "sweep_jobs1", "sweep_jobsN", "circuit_transient_window",
-        "cell_model_solves", "speedup_simulate_node_24h_indoor",
-        "speedup_simulate_node_24h_outdoor"}) {
+        "cell_model_solves", "obs_overhead_disabled", "obs_overhead_enabled",
+        "speedup_simulate_node_24h_indoor",
+        "speedup_simulate_node_24h_outdoor", "overhead_obs_overhead"}) {
     EXPECT_NE(json.find(name), std::string::npos) << name;
   }
   std::remove(path.c_str());

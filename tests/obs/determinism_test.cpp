@@ -1,0 +1,120 @@
+// The observation-only invariant: enabling focv::obs must not perturb
+// any simulation result. Pinned at the strongest level the repo exports
+// — byte-identical exact-mode sweep CSV with telemetry on vs off — plus
+// the surrogate-deviation shadow and the SweepRecord counter promotion.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/focv_system.hpp"
+#include "env/profiles.hpp"
+#include "mppt/baselines.hpp"
+#include "node/harvester_node.hpp"
+#include "obs/obs.hpp"
+#include "pv/cell_library.hpp"
+#include "runtime/sweep.hpp"
+
+namespace focv {
+namespace {
+
+runtime::SweepSpec small_exact_spec() {
+  runtime::SweepSpec spec;
+  spec.add_cell("AM-1815", pv::sanyo_am1815());
+  spec.add_controller("proposed", core::make_paper_controller());
+  spec.add_controller("fixed", mppt::FixedVoltageController{});
+  spec.add_scenario("lux500", env::constant_light(500.0, 0.0, 900.0));
+  spec.add_scenario("lux2000", env::constant_light(2000.0, 0.0, 900.0));
+  spec.base.storage.initial_voltage = 3.0;
+  spec.base.power_model = node::PowerModel::kExact;
+  return spec;
+}
+
+TEST(ObsDeterminism, ExactModeSweepCsvIsByteIdenticalWithTelemetryOn) {
+  const runtime::SweepSpec spec = small_exact_spec();
+
+  obs::set_enabled(false);
+  const runtime::SweepResult off = runtime::run_sweep(spec);
+  const std::string csv_off = off.to_csv();
+  const std::string json_off = off.to_json();
+
+  std::string csv_on, json_on;
+  {
+    obs::ScopedEnable telemetry;
+    const runtime::SweepResult on = runtime::run_sweep(spec);
+    csv_on = on.to_csv();
+    json_on = on.to_json();
+    // While we were at it the sweep actually recorded telemetry.
+    EXPECT_GT(obs::metrics().counter_value("sweep.jobs"), 0.0);
+    EXPECT_GT(obs::tracer().event_count(), 0u);
+  }
+  obs::reset_all();
+
+  EXPECT_EQ(csv_off, csv_on);
+  EXPECT_EQ(json_off, json_on);
+}
+
+TEST(ObsDeterminism, SweepRecordCountersComeFromThePerJobRegistry) {
+  // The promotion contract: steps/model_evals/curve_entries are routed
+  // through a per-job obs::MetricsRegistry and must be populated (and
+  // identical) whether or not the global switch is on.
+  const runtime::SweepSpec spec = small_exact_spec();
+  obs::set_enabled(false);
+  const runtime::SweepResult off = runtime::run_sweep(spec);
+  std::uint64_t steps_on = 0, steps_off = 0;
+  {
+    obs::ScopedEnable telemetry;
+    const runtime::SweepResult on = runtime::run_sweep(spec);
+    for (std::size_t i = 0; i < on.records().size(); ++i) {
+      const runtime::SweepRecord& a = off.records()[i];
+      const runtime::SweepRecord& b = on.records()[i];
+      EXPECT_GT(a.steps, 0u);
+      EXPECT_EQ(a.steps, b.steps);
+      EXPECT_EQ(a.model_evals, b.model_evals);
+      EXPECT_EQ(a.curve_entries, b.curve_entries);
+      steps_off += a.steps;
+      steps_on += b.steps;
+    }
+    EXPECT_EQ(on.total_steps(), steps_on);
+  }
+  obs::reset_all();
+  EXPECT_EQ(off.total_steps(), steps_off);
+  EXPECT_GT(off.total_model_evals(), 0u);
+}
+
+TEST(ObsDeterminism, SurrogateDeviationShadowDoesNotPerturbTheRun) {
+  const env::LightTrace trace = env::constant_light(750.0, 0.0, 3600.0);
+  node::NodeConfig cfg;
+  cfg.use_cell(pv::sanyo_am1815());
+  cfg.use_controller(core::make_paper_controller());
+  cfg.storage.initial_voltage = 3.0;
+
+  obs::set_enabled(false);
+  const node::NodeReport plain = node::simulate_node(trace, cfg);
+
+  node::NodeReport shadowed;
+  {
+    obs::ScopedEnable telemetry;
+    node::NodeConfig cfg2 = cfg;
+    cfg2.obs_compare_exact = true;  // telemetry-only exact shadow
+    shadowed = node::simulate_node(trace, cfg2);
+    // The shadow recorded deviations into the global registry...
+    bool found = false;
+    for (const auto& h : obs::metrics().snapshot().histograms) {
+      if (h.name == "node.surrogate.deviation_rel") found = h.count > 0;
+    }
+    EXPECT_TRUE(found);
+  }
+  obs::reset_all();
+
+  // ...but the simulation trajectory is bit-for-bit the same.
+  EXPECT_EQ(plain.steps, shadowed.steps);
+  EXPECT_EQ(plain.model_evals, shadowed.model_evals);
+  EXPECT_EQ(plain.harvested_energy, shadowed.harvested_energy);
+  EXPECT_EQ(plain.delivered_energy, shadowed.delivered_energy);
+  EXPECT_EQ(plain.overhead_energy, shadowed.overhead_energy);
+  EXPECT_EQ(plain.final_store_voltage, shadowed.final_store_voltage);
+  EXPECT_EQ(plain.tracking_efficiency(), shadowed.tracking_efficiency());
+}
+
+}  // namespace
+}  // namespace focv

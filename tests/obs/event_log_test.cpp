@@ -1,0 +1,82 @@
+// EventLog: one focv-obs/v1 JSONL line per emitted domain event, with
+// correct escaping and stable field rendering.
+#include "obs/event_log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "obs/obs.hpp"
+
+namespace focv::obs {
+namespace {
+
+TEST(EventLog, EmitRendersOneSchemaTaggedLine) {
+  EventLog log;
+  log.emit("sample_window_open", 69.0,
+           {{"voc", 3.12}, {"window_s", 0.039}, {"controller", "proposed"}});
+  ASSERT_EQ(log.size(), 1u);
+  const std::string line = log.lines()[0];
+  EXPECT_NE(line.find("\"schema\":\"focv-obs/v1\""), std::string::npos);
+  EXPECT_NE(line.find("\"kind\":\"event\""), std::string::npos);
+  EXPECT_NE(line.find("\"event\":\"sample_window_open\""), std::string::npos);
+  EXPECT_NE(line.find("\"sim_t\":69"), std::string::npos);
+  EXPECT_NE(line.find("\"wall_us\":"), std::string::npos);
+  EXPECT_NE(line.find("\"voc\":3.12"), std::string::npos);
+  EXPECT_NE(line.find("\"controller\":\"proposed\""), std::string::npos);
+}
+
+TEST(EventLog, EscapesQuotesBackslashesAndControlCharacters) {
+  EventLog log;
+  log.emit("odd \"name\"", 0.0, {{"path", "a\\b\"c\n"}});
+  const std::string line = log.lines()[0];
+  EXPECT_NE(line.find("odd \\\"name\\\""), std::string::npos);
+  EXPECT_NE(line.find("a\\\\b\\\"c"), std::string::npos);
+  // The raw newline must not survive inside a JSONL line.
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  EXPECT_NE(line.find("\\n"), std::string::npos);
+}
+
+TEST(EventLog, IntegerFieldOverloadsRenderAsNumbers) {
+  EventLog log;
+  log.emit("counts", 1.5,
+           {{"steps", std::uint64_t{86400}}, {"retries", 3}});
+  const std::string line = log.lines()[0];
+  EXPECT_NE(line.find("\"steps\":86400"), std::string::npos);
+  EXPECT_NE(line.find("\"retries\":3"), std::string::npos);
+}
+
+TEST(EventLog, ToJsonlConcatenatesInEmitOrder) {
+  EventLog log;
+  log.emit("first", 1.0);
+  log.emit("second", 2.0);
+  const std::string out = log.to_jsonl();
+  const std::size_t a = out.find("\"event\":\"first\"");
+  const std::size_t b = out.find("\"event\":\"second\"");
+  ASSERT_NE(a, std::string::npos);
+  ASSERT_NE(b, std::string::npos);
+  EXPECT_LT(a, b);
+  EXPECT_EQ(out.back(), '\n');
+  log.reset();
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_TRUE(log.to_jsonl().empty());
+}
+
+TEST(ObsFacade, DisabledByDefaultAndScopedEnableRestores) {
+  // The repo-wide default: telemetry off unless a driver opts in.
+  ASSERT_FALSE(enabled());
+  {
+    ScopedEnable on;
+    EXPECT_TRUE(enabled());
+    {
+      ScopedEnable off(false);
+      EXPECT_FALSE(enabled());
+    }
+    EXPECT_TRUE(enabled());
+  }
+  EXPECT_FALSE(enabled());
+}
+
+}  // namespace
+}  // namespace focv::obs

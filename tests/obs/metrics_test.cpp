@@ -1,0 +1,160 @@
+// MetricsRegistry: the concurrency contract (shard merge), the
+// log-binning contract and the registration semantics are all
+// load-bearing — the instrument sites in node/circuit/runtime cache ids
+// in statics and trust snapshot() at quiescent points.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "common/require.hpp"
+
+namespace focv::obs {
+namespace {
+
+TEST(Metrics, RegistrationIsIdempotentByName) {
+  MetricsRegistry reg;
+  const CounterId a = reg.counter("x");
+  const CounterId b = reg.counter("x");
+  const CounterId c = reg.counter("y");
+  EXPECT_EQ(a.index, b.index);
+  EXPECT_NE(a.index, c.index);
+
+  const HistogramSpec spec{1.0, 100.0, 8};
+  const HistogramId h1 = reg.histogram("h", spec);
+  const HistogramId h2 = reg.histogram("h", spec);
+  EXPECT_EQ(h1.index, h2.index);
+  // Re-registering under a different spec is a caller bug.
+  EXPECT_THROW(reg.histogram("h", HistogramSpec{1.0, 100.0, 16}), PreconditionError);
+}
+
+TEST(Metrics, CountersAndGaugesRoundTrip) {
+  MetricsRegistry reg;
+  const CounterId steps = reg.counter("steps");
+  const GaugeId level = reg.gauge("level");
+  reg.add(steps);
+  reg.add(steps, 41.0);
+  reg.set(level, 3.0);
+  reg.set(level, 7.5);  // last write wins
+
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].first, "steps");
+  EXPECT_DOUBLE_EQ(snap.counters[0].second, 42.0);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(snap.gauges[0].second, 7.5);
+  EXPECT_DOUBLE_EQ(reg.counter_value("steps"), 42.0);
+  EXPECT_DOUBLE_EQ(reg.counter_value("no-such"), 0.0);
+}
+
+TEST(Metrics, MergesShardsAcrossEightThreads) {
+  MetricsRegistry reg;
+  const CounterId hits = reg.counter("hits");
+  const HistogramId lat = reg.histogram("lat", HistogramSpec{1.0, 1e4, 16});
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&reg, hits, lat, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        reg.add(hits);
+        reg.observe(lat, 1.0 + static_cast<double>((t * kPerThread + i) % 9000));
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_DOUBLE_EQ(reg.counter_value("hits"), kThreads * kPerThread);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  const HistogramSnapshot& h = snap.histograms[0];
+  EXPECT_EQ(h.count, static_cast<std::uint64_t>(kThreads * kPerThread));
+  std::uint64_t bucket_total = 0;
+  for (const std::uint64_t c : h.counts) bucket_total += c;
+  EXPECT_EQ(bucket_total, h.count);  // every observation landed in a bucket
+  EXPECT_GT(h.sum, 0.0);
+}
+
+TEST(Metrics, LogBinEdgesSpanLoToHiGeometrically) {
+  const HistogramSpec spec{1.0, 1000.0, 3};  // decade bins
+  const std::vector<double> edges = MetricsRegistry::bin_edges(spec);
+  ASSERT_EQ(edges.size(), 4u);
+  EXPECT_DOUBLE_EQ(edges[0], 1.0);
+  EXPECT_NEAR(edges[1], 10.0, 1e-9);
+  EXPECT_NEAR(edges[2], 100.0, 1e-9);
+  EXPECT_NEAR(edges[3], 1000.0, 1e-6);
+}
+
+TEST(Metrics, BucketIndexContract) {
+  const HistogramSpec spec{1.0, 1000.0, 3};
+  // Underflow bucket 0, finite buckets 1..bins, overflow bins+1.
+  EXPECT_EQ(MetricsRegistry::bucket_index(spec, 0.5), 0);
+  EXPECT_EQ(MetricsRegistry::bucket_index(spec, 0.999), 0);
+  EXPECT_EQ(MetricsRegistry::bucket_index(spec, 1.0), 1);
+  EXPECT_EQ(MetricsRegistry::bucket_index(spec, 9.9), 1);
+  EXPECT_EQ(MetricsRegistry::bucket_index(spec, 10.1), 2);
+  EXPECT_EQ(MetricsRegistry::bucket_index(spec, 999.0), 3);
+  EXPECT_EQ(MetricsRegistry::bucket_index(spec, 1000.0), 4);
+  EXPECT_EQ(MetricsRegistry::bucket_index(spec, 1e9), 4);
+  // Non-positive values cannot be log-binned; they land in underflow.
+  EXPECT_EQ(MetricsRegistry::bucket_index(spec, 0.0), 0);
+  EXPECT_EQ(MetricsRegistry::bucket_index(spec, -5.0), 0);
+}
+
+TEST(Metrics, ObservationsLandInTheContractBuckets) {
+  MetricsRegistry reg;
+  const HistogramSpec spec{1.0, 1000.0, 3};
+  const HistogramId h = reg.histogram("h", spec);
+  reg.observe(h, 0.5);    // underflow
+  reg.observe(h, 5.0);    // bucket 1
+  reg.observe(h, 50.0);   // bucket 2
+  reg.observe(h, 500.0);  // bucket 3
+  reg.observe(h, 5000.0); // overflow
+
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  const HistogramSnapshot& s = snap.histograms[0];
+  ASSERT_EQ(s.counts.size(), 5u);
+  for (const std::uint64_t c : s.counts) EXPECT_EQ(c, 1u);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.sum, 5555.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 1111.1);
+}
+
+TEST(Metrics, ResetZeroesValuesButKeepsIds) {
+  MetricsRegistry reg;
+  const CounterId c = reg.counter("c");
+  const HistogramId h = reg.histogram("h", HistogramSpec{1.0, 10.0, 4});
+  reg.add(c, 9.0);
+  reg.observe(h, 2.0);
+  reg.reset();
+  EXPECT_DOUBLE_EQ(reg.counter_value("c"), 0.0);
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].count, 0u);
+  // The cached id is still live after reset.
+  reg.add(c, 1.0);
+  EXPECT_DOUBLE_EQ(reg.counter_value("c"), 1.0);
+}
+
+TEST(Metrics, JsonlLinesCarryTheSchema) {
+  MetricsRegistry reg;
+  reg.add(reg.counter("node.steps"), 12.0);
+  reg.observe(reg.histogram("lat", HistogramSpec{1.0, 100.0, 4}), 7.0);
+  std::string out;
+  reg.append_jsonl(out);
+  EXPECT_NE(out.find("\"schema\":\"focv-obs/v1\""), std::string::npos);
+  EXPECT_NE(out.find("\"kind\":\"counter\""), std::string::npos);
+  EXPECT_NE(out.find("\"kind\":\"histogram\""), std::string::npos);
+  EXPECT_NE(out.find("node.steps"), std::string::npos);
+  // JSONL: every line is newline-terminated.
+  EXPECT_EQ(out.back(), '\n');
+}
+
+}  // namespace
+}  // namespace focv::obs
