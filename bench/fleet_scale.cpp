@@ -1,0 +1,124 @@
+// Fleet-size scaling bench: how the fleet engine behaves from 10 to
+// 10,000 nodes on a 24 h horizon.
+//
+// For each fleet size it reports wall time, throughput, parallel
+// speedup and peak RSS (the report accumulator is fixed-size and the
+// light traces are shared, so memory must stay flat as N grows), and
+// byte-compares the focv-fleet/v1 JSON of a --jobs 1 run against a
+// --jobs N run — the determinism contract of the chunked stepper.
+//
+//   ./build/bench/fleet_scale            # full sweep up to 10,000 nodes
+//   ./build/bench/fleet_scale --smoke    # CI-sized sweep up to 200
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "env/profiles.hpp"
+#include "fleet/fleet.hpp"
+#include "pv/cell_library.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace {
+
+/// Peak resident set size so far [MiB] (Linux VmHWM; 0 elsewhere).
+double peak_rss_mib() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      long kib = 0;
+      std::sscanf(line.c_str() + 6, "%ld", &kib);
+      return static_cast<double>(kib) / 1024.0;
+    }
+  }
+  return 0.0;
+}
+
+focv::fleet::FleetSpec make_spec(std::size_t nodes, const focv::env::LightTrace& office,
+                                 const focv::env::LightTrace& corridor,
+                                 const focv::env::LightTrace& outdoor) {
+  using namespace focv;
+  fleet::FleetSpec spec;
+  spec.node_count = nodes;
+  spec.root_seed = 2024;
+  spec.use_cell(pv::sanyo_am1815());
+  spec.add_environment("office_desk", std::shared_ptr<const env::LightTrace>(
+                                          std::shared_ptr<const env::LightTrace>(), &office),
+                       0.55);
+  spec.add_environment("corridor", std::shared_ptr<const env::LightTrace>(
+                                       std::shared_ptr<const env::LightTrace>(), &corridor),
+                       0.25);
+  spec.add_environment("outdoor", std::shared_ptr<const env::LightTrace>(
+                                      std::shared_ptr<const env::LightTrace>(), &outdoor),
+                       0.20);
+  spec.add_policy(fleet::MpptPolicy::kFocvSampleHold, 0.70);
+  spec.add_policy(fleet::MpptPolicy::kFixedVoltage, 0.15);
+  spec.add_policy(fleet::MpptPolicy::kDirectConnection, 0.15);
+  spec.base.storage.initial_voltage = 2.5;
+  spec.base.load.report_period = 120.0;
+  return spec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace focv;
+
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  std::printf("building the shared 24 h environments...\n");
+  const env::LightTrace office = env::office_desk_mixed();
+  const env::LightTrace corridor = office.scaled(0.65, 0.1);
+  const env::LightTrace outdoor = env::outdoor_day({});
+
+  const std::vector<std::size_t> sizes =
+      smoke ? std::vector<std::size_t>{10, 50, 200}
+            : std::vector<std::size_t>{10, 100, 1000, 10000};
+  // At least 8 workers even on small machines: the point of the
+  // threaded leg is contended stealing against the serial reference.
+  const int jobs = std::max(8, runtime::ThreadPool::default_thread_count());
+
+  ConsoleTable table({"nodes", "jobs", "wall s", "nodes/s", "speedup", "peak RSS MiB",
+                      "neutral %", "jobs=1 identical"});
+  bool all_identical = true;
+  for (const std::size_t n : sizes) {
+    const fleet::FleetSpec spec = make_spec(n, office, corridor, outdoor);
+
+    fleet::FleetOptions serial;
+    serial.jobs = 1;
+    const fleet::FleetReport ref = fleet::run_fleet(spec, serial);
+
+    fleet::FleetOptions threaded;
+    threaded.jobs = jobs;
+    const fleet::FleetReport report = fleet::run_fleet(spec, threaded);
+
+    const bool identical = report.to_json() == ref.to_json();
+    all_identical = all_identical && identical;
+    table.add_row({ConsoleTable::num(static_cast<double>(n), 0), std::to_string(jobs),
+                   ConsoleTable::num(report.wall_seconds, 2),
+                   ConsoleTable::num(static_cast<double>(n) / report.wall_seconds, 0),
+                   ConsoleTable::num(ref.wall_seconds / report.wall_seconds, 2),
+                   ConsoleTable::num(peak_rss_mib(), 1),
+                   ConsoleTable::num(report.energy_neutral_fraction() * 100.0, 1),
+                   identical ? "yes" : "NO"});
+    std::printf("  %zu nodes done (%.2f s serial, %.2f s with %d jobs)\n", n,
+                ref.wall_seconds, report.wall_seconds, jobs);
+  }
+  table.print(std::cout);
+
+  if (!all_identical) {
+    std::fprintf(stderr, "FAIL: a threaded run diverged from the serial reference\n");
+    return 1;
+  }
+  std::printf("all fleet sizes byte-identical between --jobs 1 and --jobs %d\n", jobs);
+  return 0;
+}

@@ -11,6 +11,7 @@
 #include "core/focv_system.hpp"
 #include "core/netlists.hpp"
 #include "env/profiles.hpp"
+#include "fleet/fleet.hpp"
 #include "harness.hpp"
 #include "mppt/baselines.hpp"
 #include "node/harvester_node.hpp"
@@ -144,6 +145,39 @@ CaseSpec cell_solves_case() {
   return spec;
 }
 
+CaseSpec fleet_step_case() {
+  CaseSpec spec;
+  spec.name = "fleet_step";
+  spec.description =
+      "64-node mixed-policy fleet over the office day through run_fleet's "
+      "chunked stepper (16 nodes on a 10 min trace in smoke)";
+  spec.make = [](bool smoke) {
+    auto trace = std::make_shared<const env::LightTrace>(
+        smoke ? env::constant_light(500.0, 0.0, 600.0)
+              : env::office_desk_mixed(env::OfficeDayParams{}));
+    const std::size_t nodes = smoke ? 16 : 64;
+    return [trace = std::move(trace), nodes]() -> Counters {
+      fleet::FleetSpec fs;
+      fs.node_count = nodes;
+      fs.use_cell(pv::sanyo_am1815());
+      fs.add_environment("bench", trace);
+      fs.add_policy(fleet::MpptPolicy::kFocvSampleHold, 0.7);
+      fs.add_policy(fleet::MpptPolicy::kDirectConnection, 0.3);
+      fs.base.storage.initial_voltage = 3.0;
+      fs.base.load.report_period = 120.0;
+      fleet::FleetOptions opt;
+      opt.jobs = 1;  // measures the stepper, not the pool
+      const fleet::FleetReport r = fleet::run_fleet(fs, opt);
+      return {{"nodes_ok", static_cast<double>(r.nodes_ok)},
+              {"total_steps", static_cast<double>(r.steps)},
+              {"model_evals", static_cast<double>(r.model_evals)},
+              {"energy_neutral_nodes", static_cast<double>(r.energy_neutral_nodes)},
+              {"mean_tracking_efficiency", r.mean_tracking_efficiency()}};
+    };
+  };
+  return spec;
+}
+
 CaseSpec obs_overhead_case(std::string name, std::string description, bool telemetry) {
   CaseSpec spec;
   spec.name = std::move(name);
@@ -200,6 +234,7 @@ void register_default_cases() {
                          /*jobs=*/0));
   r.push_back(circuit_transient_case());
   r.push_back(cell_solves_case());
+  r.push_back(fleet_step_case());
   r.push_back(obs_overhead_case(
       "obs_overhead_disabled",
       "office-day 24 h behavioural run with focv::obs telemetry off (the "

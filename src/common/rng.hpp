@@ -33,6 +33,17 @@ namespace focv {
   return splitmix64(splitmix64(root_seed) ^ splitmix64(index * 0xA24BAED4963EE407ull + 1));
 }
 
+class Rng;
+
+/// Private RNG stream of the `index`-th job/node/unit under `root_seed`.
+///
+/// This is the one blessed way to seed a per-work-item generator: every
+/// parallel engine in the repo (the scenario sweep, the tolerance
+/// Monte-Carlo, the fleet stepper) derives its streams through this
+/// helper, so their stream layouts cannot drift apart and results stay
+/// bit-identical for any worker count.
+[[nodiscard]] Rng make_stream_rng(std::uint64_t root_seed, std::uint64_t index);
+
 /// Deterministic random number generator (xoshiro256**).
 class Rng {
  public:
@@ -121,5 +132,9 @@ class Rng {
   bool has_cached_gaussian_ = false;
   double cached_gaussian_ = 0.0;
 };
+
+inline Rng make_stream_rng(std::uint64_t root_seed, std::uint64_t index) {
+  return Rng(derive_stream_seed(root_seed, index));
+}
 
 }  // namespace focv

@@ -130,7 +130,7 @@ ToleranceReport run_tolerance_monte_carlo(const SystemSpec& nominal,
   // fanned out across any number of worker threads.
   std::vector<ToleranceSample> samples(static_cast<std::size_t>(n));
   const auto evaluate_into = [&](std::size_t unit) {
-    Rng rng(derive_stream_seed(seed, unit));
+    Rng rng = make_stream_rng(seed, unit);
     samples[unit] = evaluate_unit(nominal, tol, voc, rng);
   };
   if (jobs == 1) {

@@ -46,6 +46,20 @@ LightSample LightTrace::at(double t) const {
   return s;
 }
 
+LightTrace LightTrace::scaled(double artificial_factor, double daylight_factor) const {
+  require(artificial_factor >= 0.0 && daylight_factor >= 0.0,
+          "LightTrace::scaled: factors must be >= 0");
+  LightTrace out;
+  out.time_ = time_;
+  out.artificial_.resize(artificial_.size());
+  out.daylight_.resize(daylight_.size());
+  for (std::size_t i = 0; i < artificial_.size(); ++i) {
+    out.artificial_[i] = artificial_factor * artificial_[i];
+    out.daylight_[i] = daylight_factor * daylight_[i];
+  }
+  return out;
+}
+
 std::vector<double> LightTrace::total_lux() const {
   std::vector<double> out(time_.size());
   for (std::size_t i = 0; i < time_.size(); ++i) out[i] = artificial_[i] + daylight_[i];

@@ -41,6 +41,12 @@ class LightTrace {
   /// Sample (linear interpolation, clamped ends).
   [[nodiscard]] LightSample at(double t) const;
 
+  /// Copy with each channel scaled by a non-negative factor (e.g. a
+  /// corridor desk seeing 30 % of the window desk's daylight). Per-node
+  /// attenuation in fleet runs uses NodeConfig::lux_scale instead, which
+  /// needs no trace copy; this is for deriving whole environments.
+  [[nodiscard]] LightTrace scaled(double artificial_factor, double daylight_factor) const;
+
   /// Total illuminance series (artificial + daylight per sample).
   [[nodiscard]] std::vector<double> total_lux() const;
 

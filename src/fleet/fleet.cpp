@@ -1,0 +1,439 @@
+#include "fleet/fleet.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "common/require.hpp"
+#include "common/rng.hpp"
+#include "mppt/baselines.hpp"
+#include "node/curve_cache.hpp"
+#include "obs/obs.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace focv::fleet {
+
+const char* policy_name(MpptPolicy policy) {
+  switch (policy) {
+    case MpptPolicy::kFocvSampleHold: return "focv_sample_hold";
+    case MpptPolicy::kFixedVoltage: return "fixed_voltage";
+    case MpptPolicy::kPilotCellFocv: return "pilot_cell_focv";
+    case MpptPolicy::kHillClimbing: return "hill_climbing";
+    case MpptPolicy::kPeriodicDisconnectFocv: return "periodic_focv";
+    case MpptPolicy::kDirectConnection: return "direct_connection";
+  }
+  return "unknown";
+}
+
+void FleetSpec::use_cell(const pv::SingleDiodeModel& cell_ref) {
+  cell = std::shared_ptr<const pv::SingleDiodeModel>(
+      std::shared_ptr<const pv::SingleDiodeModel>(), &cell_ref);
+}
+
+void FleetSpec::use_cell(std::shared_ptr<const pv::SingleDiodeModel> cell_ptr) {
+  cell = std::move(cell_ptr);
+}
+
+void FleetSpec::add_environment(std::string name, env::LightTrace trace, double weight) {
+  add_environment(std::move(name), std::make_shared<const env::LightTrace>(std::move(trace)),
+                  weight);
+}
+
+void FleetSpec::add_environment(std::string name, std::shared_ptr<const env::LightTrace> trace,
+                                double weight) {
+  EnvironmentAxis axis;
+  axis.name = std::move(name);
+  axis.trace = std::move(trace);
+  axis.weight = weight;
+  environments.push_back(std::move(axis));
+}
+
+void FleetSpec::add_policy(MpptPolicy policy, double weight) {
+  policies.push_back(PolicyAxis{policy, weight});
+}
+
+namespace {
+
+/// The policy mixture actually deployed (empty spec list = all-FOCV).
+std::vector<PolicyAxis> effective_policies(const FleetSpec& spec) {
+  if (spec.policies.empty()) return {PolicyAxis{MpptPolicy::kFocvSampleHold, 1.0}};
+  return spec.policies;
+}
+
+/// Index of the weighted-mixture slot that `u` in [0, 1) falls into.
+template <typename GetWeight>
+std::size_t pick_weighted(double u, std::size_t n, const GetWeight& weight_of) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) total += weight_of(i);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += weight_of(i);
+    if (u * total < acc) return i;
+  }
+  return n - 1;
+}
+
+void validate_draw_inputs(const FleetSpec& spec) {
+  require(!spec.environments.empty(), "fleet: at least one environment is required");
+  for (const EnvironmentAxis& e : spec.environments) {
+    require(e.trace != nullptr, "fleet: null trace on environment '" + e.name + "'");
+    require(e.weight > 0.0, "fleet: environment weight must be > 0 ('" + e.name + "')");
+  }
+  for (const PolicyAxis& p : spec.policies) {
+    require(p.weight > 0.0, "fleet: policy weight must be > 0");
+  }
+  const HeterogeneitySpec& h = spec.heterogeneity;
+  require(h.attenuation_min > 0.0 && h.attenuation_min <= h.attenuation_max,
+          "fleet: attenuation range must satisfy 0 < min <= max");
+  require(h.cell_tolerance_sigma >= 0.0 && h.divider_spread_sigma >= 0.0 &&
+              h.load_period_jitter >= 0.0 && h.load_period_jitter < 1.0,
+          "fleet: spread parameters must be >= 0 (period jitter < 1)");
+}
+
+double initial_store_voltage(const node::NodeConfig& config) {
+  if (config.battery) {
+    return config.battery->nominal_voltage +
+           config.battery->voltage_swing * (config.battery->initial_soc - 0.5);
+  }
+  return config.storage.initial_voltage;
+}
+
+}  // namespace
+
+NodeDraw draw_node(const FleetSpec& spec, std::size_t index) {
+  validate_draw_inputs(spec);
+  const std::vector<PolicyAxis> policies = effective_policies(spec);
+  const HeterogeneitySpec& h = spec.heterogeneity;
+
+  NodeDraw d;
+  d.node = index;
+  d.seed = derive_stream_seed(spec.root_seed, index);
+  Rng rng = make_stream_rng(spec.root_seed, index);
+
+  // Fixed draw order, every value drawn unconditionally: the stream
+  // layout (and therefore every node's draw) cannot shift when a spread
+  // is zeroed or a policy mixture changes shape.
+  const double u_env = rng.uniform();
+  const double u_policy = rng.uniform();
+  d.attenuation = rng.uniform(h.attenuation_min, h.attenuation_max);
+  d.cell_factor = std::exp(h.cell_tolerance_sigma * rng.gaussian());
+  const double g_divider = rng.gaussian();
+  const double u_period = rng.uniform(-1.0, 1.0);
+  const double u_phase = rng.uniform();
+
+  d.env_index = pick_weighted(u_env, spec.environments.size(),
+                              [&](std::size_t i) { return spec.environments[i].weight; });
+  d.policy_index = pick_weighted(u_policy, policies.size(),
+                                 [&](std::size_t i) { return policies[i].weight; });
+  d.policy = policies[d.policy_index].policy;
+  d.divider_ratio =
+      std::max(1e-3, spec.system.divider_ratio * (1.0 + h.divider_spread_sigma * g_divider));
+  const power::WsnLoad::Params& load = spec.base.load;
+  d.report_period =
+      std::max(1.25 * (load.sense_duration + load.tx_duration),
+               load.report_period * (1.0 + h.load_period_jitter * u_period));
+  d.burst_phase = h.randomize_load_phase ? u_phase * d.report_period : 0.0;
+  return d;
+}
+
+node::NodeConfig materialize_node(const FleetSpec& spec, const NodeDraw& draw) {
+  require(spec.cell != nullptr, "fleet: cell model is required (use_cell)");
+  node::NodeConfig config = spec.base;
+  config.cell_model = spec.cell;
+  config.lux_scale = spec.base.lux_scale * draw.attenuation * draw.cell_factor;
+  config.load.report_period = draw.report_period;
+  config.load.burst_phase = draw.burst_phase;
+  // Bounded memory at fleet scale: per-node waveforms are never kept.
+  config.record_traces = false;
+  switch (draw.policy) {
+    case MpptPolicy::kFocvSampleHold: {
+      core::SystemSpec system = spec.system;
+      system.divider_ratio = draw.divider_ratio;
+      config.use_controller(core::make_paper_controller(system));
+      break;
+    }
+    case MpptPolicy::kFixedVoltage:
+      config.use_controller(mppt::FixedVoltageController{});
+      break;
+    case MpptPolicy::kPilotCellFocv:
+      config.use_controller(mppt::PilotCellFocvController{});
+      break;
+    case MpptPolicy::kHillClimbing:
+      config.use_controller(mppt::HillClimbingController{});
+      break;
+    case MpptPolicy::kPeriodicDisconnectFocv:
+      config.use_controller(mppt::PeriodicDisconnectFocvController{});
+      break;
+    case MpptPolicy::kDirectConnection:
+      config.use_controller(mppt::DirectConnectionController{});
+      break;
+  }
+  return config;
+}
+
+LoadConcurrency analyze_load_concurrency(const FleetSpec& spec, double window_s) {
+  validate_draw_inputs(spec);
+  require(spec.node_count > 0, "fleet: node_count must be > 0");
+  const power::WsnLoad::Params& load = spec.base.load;
+
+  LoadConcurrency out;
+  double max_period = 0.0;
+  std::vector<NodeDraw> draws;
+  draws.reserve(spec.node_count);
+  for (std::size_t i = 0; i < spec.node_count; ++i) {
+    draws.push_back(draw_node(spec, i));
+    max_period = std::max(max_period, draws.back().report_period);
+    const double burst_energy =
+        load.sense_power * load.sense_duration + load.tx_power * load.tx_duration;
+    out.average_load_w += load.sleep_power + burst_energy / draws.back().report_period;
+  }
+  out.window_s = window_s > 0.0 ? window_s : 4.0 * max_period;
+
+  // Event sweep over [0, window): +/- power and tx-count deltas at each
+  // burst edge, ends applied before starts at equal timestamps.
+  struct Edge {
+    double time;
+    double d_power;
+    int d_tx;
+  };
+  std::vector<Edge> edges;
+  edges.reserve(8 * spec.node_count);
+  const auto add_interval = [&](double start, double end, double watts, bool is_tx) {
+    const double a = std::max(0.0, start);
+    const double b = std::min(out.window_s, end);
+    if (a >= b) return;
+    edges.push_back({a, watts, is_tx ? 1 : 0});
+    edges.push_back({b, -watts, is_tx ? -1 : 0});
+  };
+  for (const NodeDraw& d : draws) {
+    // k = -1 catches a burst straddling t = 0.
+    for (long k = -1; static_cast<double>(k) * d.report_period + d.burst_phase < out.window_s;
+         ++k) {
+      const double s = static_cast<double>(k) * d.report_period + d.burst_phase;
+      add_interval(s, s + load.sense_duration, load.sense_power, /*is_tx=*/false);
+      add_interval(s + load.sense_duration, s + load.sense_duration + load.tx_duration,
+                   load.tx_power, /*is_tx=*/true);
+    }
+  }
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.d_power < b.d_power;
+  });
+
+  const double sleep_w = static_cast<double>(spec.node_count) * load.sleep_power;
+  double burst_w = 0.0;
+  long tx = 0;
+  out.peak_load_w = sleep_w;
+  for (const Edge& e : edges) {
+    burst_w += e.d_power;
+    tx += e.d_tx;
+    out.peak_load_w = std::max(out.peak_load_w, sleep_w + burst_w);
+    out.peak_concurrent_tx =
+        std::max(out.peak_concurrent_tx, static_cast<std::uint64_t>(std::max(0l, tx)));
+  }
+  return out;
+}
+
+namespace {
+
+/// Chunk layout: fixed-size contiguous node ranges. The chunking is part
+/// of the result's identity (curve-cache sharing scope), never a
+/// function of the worker count.
+struct ChunkPlan {
+  std::size_t count = 0;
+  std::size_t size = 0;
+  [[nodiscard]] std::size_t begin(std::size_t c) const { return c * size; }
+  [[nodiscard]] std::size_t end(std::size_t c, std::size_t nodes) const {
+    return std::min(nodes, (c + 1) * size);
+  }
+};
+
+void write_text_file(const std::string& path, const std::string& text) {
+  std::ofstream f(path, std::ios::binary);
+  require(f.good(), "fleet export: cannot open " + path);
+  f << text;
+  require(f.good(), "fleet export: write failed for " + path);
+}
+
+}  // namespace
+
+// Implemented in report.cpp (everything export-shaped lives there).
+namespace detail {
+FleetReport make_skeleton(const FleetSpec& spec, const std::vector<PolicyAxis>& policies);
+std::string node_record_jsonl(const FleetSpec& spec, const NodeDraw& draw,
+                              const node::NodeReport& report, bool failed,
+                              const std::string& error, bool energy_neutral,
+                              double downtime_s);
+}  // namespace detail
+
+FleetReport run_fleet(const FleetSpec& spec, const FleetOptions& options) {
+  validate_draw_inputs(spec);
+  require(spec.node_count > 0, "run_fleet: node_count must be > 0");
+  require(spec.cell != nullptr, "run_fleet: cell model is required (use_cell)");
+  require(spec.chunk_size > 0, "run_fleet: chunk_size must be > 0");
+  for (const EnvironmentAxis& e : spec.environments) {
+    require(e.trace->size() >= 2,
+            "run_fleet: environment '" + e.name + "' needs at least 2 samples");
+  }
+
+  const std::vector<PolicyAxis> policies = effective_policies(spec);
+  ChunkPlan plan;
+  plan.size = spec.chunk_size;
+  plan.count = (spec.node_count + spec.chunk_size - 1) / spec.chunk_size;
+
+  std::vector<FleetReport> partials(plan.count);
+  for (FleetReport& p : partials) p = detail::make_skeleton(spec, policies);
+  const bool want_jsonl = !options.jsonl_path.empty();
+  std::vector<std::string> jsonl_chunks(want_jsonl ? plan.count : 0);
+
+  std::mutex progress_mutex;
+  FleetProgress progress;
+  progress.nodes_total = spec.node_count;
+  progress.chunks_total = plan.count;
+
+  const bool obs_on = obs::enabled();
+  const double submit_us = obs_on ? obs::tracer().now_us() : 0.0;
+  static const obs::HistogramId node_eff_id = obs::metrics().histogram(
+      "fleet.node.tracking_efficiency", {1e-3, 1.0 + 1e-9, 48});
+  static const obs::HistogramId node_downtime_id =
+      obs::metrics().histogram("fleet.node.downtime_s", {1.0, 1e6, 40});
+  static const obs::HistogramId chunk_wall_id =
+      obs::metrics().histogram("fleet.chunk.wall_us", {1.0, 1e9, 56});
+
+  const auto run_chunk = [&](std::size_t c) {
+    const std::size_t first = plan.begin(c);
+    const std::size_t last = plan.end(c, spec.node_count);
+
+    std::optional<obs::Tracer::Span> span;
+    if (obs_on) {
+      span.emplace(obs::tracer().span("fleet_chunk", "fleet"));
+      span->arg("chunk", static_cast<double>(c));
+      span->arg("first_node", static_cast<double>(first));
+      span->arg("nodes", static_cast<double>(last - first));
+      span->arg("queue_wait_us", obs::tracer().now_us() - submit_us);
+    }
+    const auto chunk_start = std::chrono::steady_clock::now();
+
+    // One curve cache per chunk: every node shares the cell model, so in
+    // surrogate mode node k reuses the log-lux grid entries nodes
+    // 0..k-1 already solved (trajectories are unchanged; see
+    // CurveCache::prepare).
+    node::CurveCache cache(
+        *spec.cell, spec.base.temperature_k,
+        node::CurveCache::Options{spec.base.power_model, spec.base.surrogate_points});
+
+    FleetReport& acc = partials[c];
+    std::size_t chunk_failed = 0;
+    for (std::size_t node = first; node < last; ++node) {
+      const NodeDraw draw = draw_node(spec, node);
+      node::NodeReport report;
+      bool failed = false;
+      std::string error;
+      bool energy_neutral = false;
+      double downtime_s = 0.0;
+      try {
+        const node::NodeConfig config = materialize_node(spec, draw);
+        const env::LightTrace& trace = *spec.environments[draw.env_index].trace;
+        report = node::simulate_node(trace, config, &cache);
+        energy_neutral = report.final_store_voltage >= initial_store_voltage(config);
+        downtime_s = report.steps > 0
+                         ? report.duration * static_cast<double>(report.brownout_steps) /
+                               static_cast<double>(report.steps)
+                         : 0.0;
+        acc.add_node(draw, report, energy_neutral, downtime_s);
+        if (obs_on) {
+          obs::metrics().observe(node_eff_id, report.tracking_efficiency());
+          obs::metrics().observe(node_downtime_id, downtime_s);
+        }
+      } catch (const std::exception& e) {
+        failed = true;
+        error = e.what();
+      } catch (...) {
+        failed = true;
+        error = "unknown exception";
+      }
+      if (failed) {
+        acc.add_failed_node(draw);
+        ++chunk_failed;
+      }
+      if (want_jsonl) {
+        jsonl_chunks[c] += detail::node_record_jsonl(spec, draw, report, failed, error,
+                                                     energy_neutral, downtime_s);
+        jsonl_chunks[c] += '\n';
+      }
+    }
+
+    const double chunk_wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - chunk_start).count();
+    if (span) {
+      span->arg("failed", static_cast<double>(chunk_failed));
+      span->finish();
+      static const obs::CounterId chunks_id = obs::metrics().counter("fleet.chunks");
+      static const obs::CounterId nodes_id = obs::metrics().counter("fleet.nodes");
+      static const obs::CounterId failed_id = obs::metrics().counter("fleet.nodes_failed");
+      obs::metrics().add(chunks_id);
+      obs::metrics().add(nodes_id, static_cast<double>(last - first));
+      if (chunk_failed > 0) obs::metrics().add(failed_id, static_cast<double>(chunk_failed));
+      obs::metrics().observe(chunk_wall_id, chunk_wall * 1e6);
+    }
+
+    std::lock_guard<std::mutex> lock(progress_mutex);
+    ++progress.chunks_done;
+    progress.nodes_done += last - first;
+    progress.failed += chunk_failed;
+    if (options.on_progress) options.on_progress(progress);
+  };
+
+  std::optional<obs::Tracer::Span> fleet_span;
+  if (obs_on) {
+    fleet_span.emplace(obs::tracer().span("fleet", "fleet"));
+    fleet_span->arg("nodes", static_cast<double>(spec.node_count));
+    fleet_span->arg("chunks", static_cast<double>(plan.count));
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  int jobs_used = 1;
+  if (options.jobs == 1) {
+    // Inline serial path: the reference execution the determinism tests
+    // compare threaded runs against.
+    for (std::size_t c = 0; c < plan.count; ++c) run_chunk(c);
+  } else {
+    runtime::ThreadPool pool(options.jobs);
+    jobs_used = pool.thread_count();
+    pool.parallel_for(plan.count, run_chunk);
+  }
+
+  // Ordered merge: chunk partials fold in chunk-index order, so the
+  // floating-point accumulation order never depends on the schedule.
+  FleetReport result = detail::make_skeleton(spec, policies);
+  for (const FleetReport& p : partials) result.merge(p);
+  if (options.analyze_load) result.load = analyze_load_concurrency(spec);
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  result.jobs_used = jobs_used;
+
+  if (want_jsonl) {
+    std::string all;
+    for (const std::string& chunk : jsonl_chunks) all += chunk;
+    write_text_file(options.jsonl_path, all);
+  }
+
+  if (obs_on) {
+    fleet_span->arg("jobs_used", static_cast<double>(jobs_used));
+    fleet_span->arg("failed", static_cast<double>(result.nodes_failed));
+    obs::events().emit("fleet_complete", result.duration_s,
+                       {{"nodes", static_cast<double>(spec.node_count)},
+                        {"chunks", static_cast<double>(plan.count)},
+                        {"jobs_used", jobs_used},
+                        {"failed", static_cast<double>(result.nodes_failed)},
+                        {"energy_neutral_fraction", result.energy_neutral_fraction()},
+                        {"wall_s", result.wall_seconds}});
+  }
+  return result;
+}
+
+}  // namespace focv::fleet

@@ -22,8 +22,12 @@ pv::Conditions CurveCache::conditions_at(double equivalent_lux) const {
 }
 
 void CurveCache::prepare(const std::vector<double>& eq_lux) {
-  require(step_slot_.empty(), "CurveCache::prepare: already prepared");
   if (options_.model == PowerModel::kExact) {
+    // Exact entries are keyed by the first illuminance that landed in
+    // each bucket *of the previous series*; reusing them would change
+    // the trajectory, so re-preparation starts from a fresh table.
+    entries_.clear();
+    step_slot_.clear();
     prepare_exact(eq_lux);
   } else {
     prepare_surrogate(eq_lux);
@@ -84,24 +88,44 @@ void CurveCache::build_surrogate_entry(Entry& e, long grid_index) {
 }
 
 void CurveCache::prepare_surrogate(const std::vector<double>& eq_lux) {
-  step_slot_.resize(eq_lux.size());
-  step_frac_.resize(eq_lux.size());
+  step_slot_.assign(eq_lux.size(), kDarkStep);
+  step_frac_.assign(eq_lux.size(), 0.0f);
 
   // Pass 1: the grid span actually touched by lit steps.
   long jmin = 0, jmax = -1;
+  bool any_lit = false;
   for (const double lux : eq_lux) {
     if (lux < kDarkLux) continue;
     const long j = static_cast<long>(std::floor(kGridNodesPerLogLux * std::log(lux)));
-    if (jmax < jmin) {
+    if (!any_lit) {
+      any_lit = true;
       jmin = jmax = j;
     } else {
       jmin = std::min(jmin, j);
       jmax = std::max(jmax, j);
     }
   }
-  grid_base_ = jmin;
-  if (jmax >= jmin) {
+  if (!any_lit) return;  // all-dark series: entries from earlier runs stay valid
+
+  if (entries_.empty()) {
+    grid_base_ = jmin;
     entries_.resize(static_cast<std::size_t>(jmax - jmin + 2));  // +1 for the j+1 neighbour
+  } else {
+    // Re-preparation: entries built for earlier series sit at fixed grid
+    // nodes, so they stay valid — grow the dense table to the union span
+    // and keep them (their values depend only on the grid index).
+    const long old_lo = grid_base_;
+    const long old_hi = grid_base_ + static_cast<long>(entries_.size()) - 1;
+    const long new_lo = std::min(old_lo, jmin);
+    const long new_hi = std::max(old_hi, jmax + 1);
+    if (new_lo != old_lo || new_hi != old_hi) {
+      std::vector<Entry> grown(static_cast<std::size_t>(new_hi - new_lo + 1));
+      for (std::size_t s = 0; s < entries_.size(); ++s) {
+        grown[static_cast<std::size_t>(old_lo - new_lo) + s] = std::move(entries_[s]);
+      }
+      entries_ = std::move(grown);
+      grid_base_ = new_lo;
+    }
   }
 
   // Pass 2: per-step slots and weights; entries built on first touch.

@@ -64,8 +64,19 @@ class CurveCache {
 
   /// Precompute the per-step lookup arrays for a run over `eq_lux`
   /// (equivalent fluorescent illuminance per sample). Must be called
-  /// once before the per-step queries; `eq_lux` must outlive the cache
-  /// in exact mode (the per-step solves read it back).
+  /// before the per-step queries; `eq_lux` must outlive the cache in
+  /// exact mode (the per-step solves read it back).
+  ///
+  /// prepare() may be called again for a new series. In surrogate mode
+  /// the entry table survives re-preparation: entries live at fixed
+  /// log-illuminance grid nodes whose values depend only on the cell
+  /// and the options, so a cache can serve many runs (the fleet engine
+  /// re-prepares one cache across every node of a chunk) and only pays
+  /// exact solves for grid nodes no earlier series touched — without
+  /// changing any run's trajectory. In exact mode the entry table is
+  /// keyed by first-encountered illuminance in step order, so
+  /// re-preparation resets it (fresh-cache semantics, bit-identical to
+  /// a new cache); only the instrumentation counters accumulate.
   void prepare(const std::vector<double>& eq_lux);
 
   /// Curve summary for step i.
@@ -89,6 +100,12 @@ class CurveCache {
   /// hits = queries - model_evals issued after prepare().
   [[nodiscard]] std::uint64_t queries() const { return queries_; }
   [[nodiscard]] PowerModel model() const { return options_.model; }
+  [[nodiscard]] const Options& options() const { return options_; }
+
+  /// The cell model and temperature this cache answers for (used by
+  /// simulate_node to validate an externally shared cache).
+  [[nodiscard]] const pv::SingleDiodeModel& cell() const { return cell_; }
+  [[nodiscard]] double temperature_k() const { return conditions_.temperature_k; }
 
   /// Grid density of the surrogate: nodes per e-fold of illuminance.
   static constexpr double kGridNodesPerLogLux = 32.0;

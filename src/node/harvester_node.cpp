@@ -11,10 +11,16 @@
 namespace focv::node {
 
 NodeReport simulate_node(const env::LightTrace& trace, const NodeConfig& config) {
+  return simulate_node(trace, config, nullptr);
+}
+
+NodeReport simulate_node(const env::LightTrace& trace, const NodeConfig& config,
+                         CurveCache* shared_curves) {
   require(config.cell_model != nullptr, "simulate_node: cell is required (use_cell)");
   require(config.controller_prototype != nullptr,
           "simulate_node: controller is required (use_controller)");
   require(trace.size() >= 2, "simulate_node: trace needs at least 2 samples");
+  require(config.lux_scale > 0.0, "simulate_node: lux_scale must be > 0");
 
   // Clone the immutable prototype so this run owns its controller state
   // outright (re-entrant).
@@ -40,12 +46,35 @@ NodeReport simulate_node(const env::LightTrace& trace, const NodeConfig& config)
 
   // All per-step curve queries go through the cache; the per-step lookup
   // arrays (illuminance series, bucket slots) are precomputed here so
-  // the hot loop below does no hashing, log() or binary searches.
-  CurveCache curves(cell, config.temperature_k,
-                    {config.power_model, config.surrogate_points});
-  const std::vector<double> eq_lux = trace.equivalent_lux(cell);
-  const std::vector<double> total_lux = trace.total_lux();
+  // the hot loop below does no hashing, log() or binary searches. A
+  // caller-owned cache (fleet chunks) must answer for exactly this
+  // run's cell/temperature/options, or its entries would be wrong.
+  std::optional<CurveCache> owned_curves;
+  if (shared_curves != nullptr) {
+    require(&shared_curves->cell() == &cell,
+            "simulate_node: shared curve cache was built for a different cell model");
+    require(shared_curves->temperature_k() == config.temperature_k,
+            "simulate_node: shared curve cache temperature mismatch");
+    require(shared_curves->model() == config.power_model &&
+                shared_curves->options().surrogate_points == config.surrogate_points,
+            "simulate_node: shared curve cache options mismatch");
+  } else {
+    owned_curves.emplace(cell, config.temperature_k,
+                         CurveCache::Options{config.power_model, config.surrogate_points});
+  }
+  CurveCache& curves = shared_curves ? *shared_curves : *owned_curves;
+  std::vector<double> eq_lux = trace.equivalent_lux(cell);
+  std::vector<double> total_lux = trace.total_lux();
+  if (config.lux_scale != 1.0) {
+    for (double& v : eq_lux) v *= config.lux_scale;
+    for (double& v : total_lux) v *= config.lux_scale;
+  }
   const std::vector<double>& t = trace.time();
+  // A shared cache carries counters (and in surrogate mode, entries)
+  // from earlier runs; the report's counters are this run's increments.
+  const std::uint64_t evals_before = curves.model_evals();
+  const std::uint64_t entries_before = curves.entries_built();
+  const std::uint64_t queries_before = curves.queries();
   curves.prepare(eq_lux);
 
   // Telemetry: one enabled() check per run; the hot loop below only
@@ -158,8 +187,8 @@ NodeReport simulate_node(const env::LightTrace& trace, const NodeConfig& config)
   }
   report.final_store_voltage = store_voltage();
   report.steps = trace.size() - 1;
-  report.model_evals = curves.model_evals();
-  report.curve_entries = curves.entries_built();
+  report.model_evals = curves.model_evals() - evals_before;
+  report.curve_entries = curves.entries_built() - entries_before;
 
   if (obs_on) {
     static const obs::CounterId steps_id = obs::metrics().counter("node.steps");
@@ -173,8 +202,8 @@ NodeReport simulate_node(const env::LightTrace& trace, const NodeConfig& config)
     // Hit/miss: a per-step lookup that needed no exact solve is a hit;
     // in exact mode every power_at_step solve is a miss, in surrogate
     // mode all per-step lookups hit the interpolated tables.
-    const std::uint64_t queries = curves.queries();
-    const std::uint64_t misses = std::min(queries, curves.model_evals());
+    const std::uint64_t queries = curves.queries() - queries_before;
+    const std::uint64_t misses = std::min(queries, report.model_evals);
     obs::metrics().add(steps_id, static_cast<double>(report.steps));
     obs::metrics().add(evals_id, static_cast<double>(report.model_evals));
     obs::metrics().add(hits_id, static_cast<double>(queries - misses));

@@ -64,6 +64,13 @@ struct NodeConfig {
   /// Voltage-grid points per surrogate P(V) table entry.
   int surrogate_points = 128;
 
+  /// Multiplier applied to the light trace before it reaches the cell
+  /// (both spectral channels). Fleet nodes use this for placement-derived
+  /// attenuation and photocurrent tolerance over one shared trace, so a
+  /// 10,000-node deployment never materialises per-node trace copies.
+  /// 1.0 (default) reproduces the unscaled trace bit for bit.
+  double lux_scale = 1.0;
+
   power::BuckBoostConverter converter;
   power::Supercapacitor::Params storage;
   /// When set, a battery replaces the supercapacitor as the store.
@@ -121,5 +128,24 @@ struct NodeReport {
 /// controller prototype is cloned and reset per run — so concurrent
 /// calls with the same config are safe and deterministic.
 [[nodiscard]] NodeReport simulate_node(const env::LightTrace& trace, const NodeConfig& config);
+
+/// As above, but evaluating PV curves through a caller-owned cache.
+///
+/// `shared_curves` must have been built for the same cell model,
+/// temperature and power-model options as `config`; it is re-prepared
+/// for this run's illuminance series (see CurveCache::prepare). In
+/// surrogate mode the entry table carries over between runs, so
+/// simulating many nodes that share a cell model through one cache —
+/// what the fleet chunk stepper does — only pays exact solves for grid
+/// nodes no earlier run touched, while every run's trajectory stays
+/// bit-identical to a fresh-cache run. The report's model_evals /
+/// curve_entries counters are this run's increments only. Passing
+/// nullptr falls back to an internal per-run cache.
+///
+/// NOT re-entrant with respect to `shared_curves`: concurrent runs must
+/// not share one cache (the fleet engine shares per worker chunk, which
+/// is sequential).
+[[nodiscard]] NodeReport simulate_node(const env::LightTrace& trace, const NodeConfig& config,
+                                       CurveCache* shared_curves);
 
 }  // namespace focv::node

@@ -4,8 +4,15 @@
 
 namespace focv::power {
 
+double WsnLoad::phase() const {
+  double p = std::fmod(params_.burst_phase, params_.report_period);
+  if (p < 0.0) p += params_.report_period;
+  return p;
+}
+
 double WsnLoad::power_at(double t) const {
-  const double local = std::fmod(t, params_.report_period);
+  double local = std::fmod(t - phase(), params_.report_period);
+  if (local < 0.0) local += params_.report_period;
   if (local < params_.sense_duration) return params_.sense_power + params_.sleep_power;
   if (local < params_.sense_duration + params_.tx_duration) {
     return params_.tx_power + params_.sleep_power;

@@ -17,6 +17,11 @@ class WsnLoad {
     double tx_power = 66e-3;          ///< radio burst [W]
     double tx_duration = 4e-3;        ///< [s]
     double report_period = 60.0;      ///< one sense+tx per period [s]
+    /// Offset of the sense+tx burst within each period [s], wrapped into
+    /// [0, report_period). The default 0 keeps the historical behaviour
+    /// (burst at the start of every period); fleets assign each node its
+    /// own phase so thousands of nodes do not transmit in lockstep.
+    double burst_phase = 0.0;
   };
 
   explicit WsnLoad(Params params) : params_(params) {
@@ -33,9 +38,12 @@ class WsnLoad {
     return params_.sleep_power + burst_energy / params_.report_period;
   }
 
-  /// Instantaneous power at time t [W] (burst placed at the start of
-  /// each period).
+  /// Instantaneous power at time t [W] (burst placed `burst_phase`
+  /// seconds into each period).
   [[nodiscard]] double power_at(double t) const;
+
+  /// `burst_phase` wrapped into [0, report_period).
+  [[nodiscard]] double phase() const;
 
   [[nodiscard]] const Params& params() const { return params_; }
 

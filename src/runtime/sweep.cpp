@@ -331,7 +331,7 @@ SweepResult run_sweep(const SweepSpec& spec, const SweepOptions& options) {
       node::NodeConfig config = spec.base;
       config.cell_model = spec.cells[cell_i].model;
       config.controller_prototype = spec.controllers[controller_i].prototype;
-      Rng rng(derive_stream_seed(spec.root_seed, job));
+      Rng rng = make_stream_rng(spec.root_seed, job);
       if (grid.apply) grid.apply(config, rng);
       const env::LightTrace& trace = *spec.scenarios[scenario_i].trace;
       record.report = node::simulate_node(trace, config);

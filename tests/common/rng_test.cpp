@@ -110,5 +110,28 @@ TEST(Rng, GaussianRejectsNegativeStddev) {
   EXPECT_THROW(rng.gaussian(0.0, -1.0), PreconditionError);
 }
 
+TEST(Rng, MakeStreamRngMatchesDerivedSeed) {
+  // make_stream_rng is sugar for Rng(derive_stream_seed(...)): the one
+  // blessed per-work-item seeding used by every parallel engine.
+  Rng direct(derive_stream_seed(2024, 17));
+  Rng stream = make_stream_rng(2024, 17);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(stream.next_u64(), direct.next_u64());
+}
+
+TEST(Rng, MakeStreamRngStreamsAreDistinct) {
+  Rng a = make_stream_rng(2024, 0);
+  Rng b = make_stream_rng(2024, 1);
+  Rng c = make_stream_rng(2025, 0);
+  int same_ab = 0;
+  int same_ac = 0;
+  for (int i = 0; i < 64; ++i) {
+    const std::uint64_t va = a.next_u64();
+    same_ab += va == b.next_u64() ? 1 : 0;
+    same_ac += va == c.next_u64() ? 1 : 0;
+  }
+  EXPECT_EQ(same_ab, 0);
+  EXPECT_EQ(same_ac, 0);
+}
+
 }  // namespace
 }  // namespace focv

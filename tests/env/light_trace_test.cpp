@@ -80,5 +80,22 @@ TEST(LightTrace, DurationAndEmpty) {
   EXPECT_DOUBLE_EQ(trace.duration(), 10.0);
 }
 
+TEST(LightTrace, ScaledScalesEachChannelIndependently) {
+  LightTrace trace;
+  trace.append(0.0, 100.0, 1000.0);
+  trace.append(1.0, 200.0, 0.0);
+  const LightTrace dim = trace.scaled(0.5, 0.1);
+  ASSERT_EQ(dim.size(), trace.size());
+  EXPECT_EQ(dim.time(), trace.time());
+  EXPECT_NEAR(dim.artificial_lux()[0], 50.0, 1e-12);
+  EXPECT_NEAR(dim.daylight_lux()[0], 100.0, 1e-12);
+  EXPECT_NEAR(dim.artificial_lux()[1], 100.0, 1e-12);
+  EXPECT_NEAR(dim.daylight_lux()[1], 0.0, 1e-12);
+  // Zero factors are allowed (kill a channel), negatives are not.
+  EXPECT_NO_THROW(trace.scaled(0.0, 0.0));
+  EXPECT_THROW(trace.scaled(-0.1, 1.0), PreconditionError);
+  EXPECT_THROW(trace.scaled(1.0, -0.1), PreconditionError);
+}
+
 }  // namespace
 }  // namespace focv::env

@@ -1,0 +1,297 @@
+#include "fleet/fleet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/require.hpp"
+#include "env/profiles.hpp"
+#include "node/harvester_node.hpp"
+#include "pv/cell_library.hpp"
+
+namespace focv::fleet {
+namespace {
+
+FleetOptions serial_options() {
+  FleetOptions opt;
+  opt.jobs = 1;
+  return opt;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  std::ostringstream out;
+  out << f.rdbuf();
+  return out.str();
+}
+
+/// Small mixed fleet on short constant-light traces: fast, but still
+/// exercising both environments, several policies and many chunks.
+FleetSpec small_spec(std::size_t nodes) {
+  FleetSpec spec;
+  spec.node_count = nodes;
+  spec.root_seed = 99;
+  spec.chunk_size = 4;
+  spec.use_cell(pv::sanyo_am1815());
+  spec.add_environment("bright", env::constant_light(1200.0, 0.0, 3600.0), 0.6);
+  spec.add_environment("dim", env::constant_light(180.0, 0.0, 3600.0), 0.4);
+  spec.add_policy(MpptPolicy::kFocvSampleHold, 0.7);
+  spec.add_policy(MpptPolicy::kPilotCellFocv, 0.15);
+  spec.add_policy(MpptPolicy::kDirectConnection, 0.15);
+  spec.base.storage.initial_voltage = 2.5;
+  spec.base.load.report_period = 120.0;
+  return spec;
+}
+
+TEST(FleetDraw, PureFunctionOfSpecAndIndex) {
+  const FleetSpec spec = small_spec(32);
+  const NodeDraw a = draw_node(spec, 7);
+  const NodeDraw b = draw_node(spec, 7);
+  EXPECT_EQ(a.seed, b.seed);
+  EXPECT_EQ(a.env_index, b.env_index);
+  EXPECT_EQ(a.policy_index, b.policy_index);
+  EXPECT_EQ(a.attenuation, b.attenuation);
+  EXPECT_EQ(a.cell_factor, b.cell_factor);
+  EXPECT_EQ(a.divider_ratio, b.divider_ratio);
+  EXPECT_EQ(a.report_period, b.report_period);
+  EXPECT_EQ(a.burst_phase, b.burst_phase);
+
+  // Execution-shape knobs (node_count, chunk_size) must not move draws.
+  FleetSpec bigger = small_spec(32);
+  bigger.node_count = 4096;
+  bigger.chunk_size = 64;
+  const NodeDraw c = draw_node(bigger, 7);
+  EXPECT_EQ(a.seed, c.seed);
+  EXPECT_EQ(a.attenuation, c.attenuation);
+  EXPECT_EQ(a.burst_phase, c.burst_phase);
+
+  // Distinct nodes get distinct streams.
+  const NodeDraw d = draw_node(spec, 8);
+  EXPECT_NE(a.seed, d.seed);
+  EXPECT_NE(a.attenuation, d.attenuation);
+}
+
+TEST(FleetDraw, RespectsHeterogeneityRanges) {
+  const FleetSpec spec = small_spec(64);
+  const HeterogeneitySpec& h = spec.heterogeneity;
+  for (std::size_t i = 0; i < spec.node_count; ++i) {
+    const NodeDraw d = draw_node(spec, i);
+    EXPECT_GE(d.attenuation, h.attenuation_min);
+    EXPECT_LE(d.attenuation, h.attenuation_max);
+    EXPECT_GT(d.cell_factor, 0.0);
+    EXPECT_GT(d.divider_ratio, 0.0);
+    EXPECT_GE(d.burst_phase, 0.0);
+    EXPECT_LT(d.burst_phase, d.report_period);
+    EXPECT_LT(d.env_index, spec.environments.size());
+    EXPECT_LT(d.policy_index, spec.policies.size());
+    const double jitter = spec.heterogeneity.load_period_jitter;
+    EXPECT_GE(d.report_period, spec.base.load.report_period * (1.0 - jitter) - 1e-9);
+    EXPECT_LE(d.report_period, spec.base.load.report_period * (1.0 + jitter) + 1e-9);
+  }
+}
+
+TEST(FleetDraw, LockstepPhaseWhenRandomizationOff) {
+  FleetSpec spec = small_spec(16);
+  spec.heterogeneity.randomize_load_phase = false;
+  for (std::size_t i = 0; i < spec.node_count; ++i) {
+    EXPECT_EQ(draw_node(spec, i).burst_phase, 0.0);
+  }
+  // The phase draw is consumed either way: toggling the flag must not
+  // shift any other draw.
+  FleetSpec on = small_spec(16);
+  EXPECT_EQ(draw_node(spec, 5).attenuation, draw_node(on, 5).attenuation);
+  EXPECT_EQ(draw_node(spec, 5).report_period, draw_node(on, 5).report_period);
+}
+
+TEST(Fleet, SingleNodeFleetMatchesDirectSimulateNode) {
+  FleetSpec spec = small_spec(1);
+  const FleetReport fleet = run_fleet(spec, serial_options());
+
+  const NodeDraw draw = draw_node(spec, 0);
+  const node::NodeConfig config = materialize_node(spec, draw);
+  const node::NodeReport direct =
+      node::simulate_node(*spec.environments[draw.env_index].trace, config);
+
+  ASSERT_EQ(fleet.nodes_ok, 1u);
+  EXPECT_EQ(fleet.nodes_failed, 0u);
+  EXPECT_EQ(fleet.harvested_j, direct.harvested_energy);
+  EXPECT_EQ(fleet.delivered_j, direct.delivered_energy);
+  EXPECT_EQ(fleet.overhead_j, direct.overhead_energy);
+  EXPECT_EQ(fleet.load_served_j, direct.load_energy_served);
+  EXPECT_EQ(fleet.ideal_mpp_j, direct.ideal_mpp_energy);
+  EXPECT_EQ(fleet.net_j, direct.net_energy());
+  EXPECT_EQ(fleet.steps, direct.steps);
+  EXPECT_EQ(fleet.efficiency_sum, direct.tracking_efficiency());
+  EXPECT_EQ(fleet.efficiency_min, fleet.efficiency_max);
+}
+
+TEST(Fleet, MaterializeAppliesTheDraw) {
+  const FleetSpec spec = small_spec(8);
+  const NodeDraw draw = draw_node(spec, 3);
+  const node::NodeConfig config = materialize_node(spec, draw);
+  EXPECT_EQ(config.lux_scale, draw.attenuation * draw.cell_factor);
+  EXPECT_EQ(config.load.report_period, draw.report_period);
+  EXPECT_EQ(config.load.burst_phase, draw.burst_phase);
+  EXPECT_FALSE(config.record_traces);
+  ASSERT_NE(config.cell_model, nullptr);
+  ASSERT_NE(config.controller_prototype, nullptr);
+}
+
+TEST(Fleet, ByteIdenticalAcrossWorkerCounts) {
+  const FleetSpec spec = small_spec(26);  // 7 chunks of 4: uneven tail
+
+  const std::string dir = ::testing::TempDir();
+  FleetOptions serial;
+  serial.jobs = 1;
+  serial.jsonl_path = dir + "/fleet_serial.jsonl";
+  const FleetReport a = run_fleet(spec, serial);
+
+  FleetOptions threaded;
+  threaded.jobs = 8;
+  threaded.jsonl_path = dir + "/fleet_threaded.jsonl";
+  const FleetReport b = run_fleet(spec, threaded);
+
+  EXPECT_EQ(a.to_json(), b.to_json());
+  const std::string lines_a = slurp(serial.jsonl_path);
+  const std::string lines_b = slurp(threaded.jsonl_path);
+  EXPECT_FALSE(lines_a.empty());
+  EXPECT_EQ(lines_a, lines_b);
+  // Timing is machine-dependent and must stay out of the default export.
+  EXPECT_EQ(a.to_json().find("wall_seconds"), std::string::npos);
+  EXPECT_NE(a.to_json(true).find("wall_seconds"), std::string::npos);
+}
+
+TEST(Fleet, ChunkSharedCurveCacheDoesNotAlterResults) {
+  // Same fleet, chunk_size 1 (every node gets a fresh cache) vs one big
+  // chunk (every node shares one cache): bit-identical totals. Spreads
+  // are zeroed so nodes in the same environment share identical grid
+  // entries and the reuse is guaranteed, not probabilistic.
+  FleetSpec fresh = small_spec(10);
+  fresh.chunk_size = 1;
+  fresh.heterogeneity.attenuation_min = 1.0;
+  fresh.heterogeneity.attenuation_max = 1.0;
+  fresh.heterogeneity.cell_tolerance_sigma = 0.0;
+  FleetSpec shared = fresh;
+  shared.chunk_size = 64;
+  const FleetReport a = run_fleet(fresh, serial_options());
+  const FleetReport b = run_fleet(shared, serial_options());
+  EXPECT_EQ(a.harvested_j, b.harvested_j);
+  EXPECT_EQ(a.net_j, b.net_j);
+  EXPECT_EQ(a.efficiency_sum, b.efficiency_sum);
+  EXPECT_EQ(a.steps, b.steps);
+  // The shared cache solves each grid node once for the whole chunk.
+  EXPECT_LT(b.model_evals, a.model_evals);
+}
+
+TEST(Fleet, AccountsEveryNodeExactlyOnce) {
+  const FleetSpec spec = small_spec(26);
+  const FleetReport r = run_fleet(spec, serial_options());
+  EXPECT_EQ(r.nodes_ok + r.nodes_failed, 26u);
+  std::uint64_t env_nodes = 0;
+  for (const EnvironmentAggregate& e : r.environments) env_nodes += e.nodes;
+  EXPECT_EQ(env_nodes, 26u);
+  std::uint64_t policy_nodes = 0;
+  for (const PolicyAggregate& p : r.policies) policy_nodes += p.nodes + p.failed;
+  EXPECT_EQ(policy_nodes, 26u);
+  EXPECT_EQ(r.efficiency_hist.total(), r.nodes_ok);
+  EXPECT_EQ(r.net_energy_hist.total(), r.nodes_ok);
+  EXPECT_EQ(r.downtime_hist.total(), r.nodes_ok);
+}
+
+TEST(Fleet, EnergyNeutralTracksStoreVoltage) {
+  // Bright constant light: every store ends above its 1.8 V start.
+  FleetSpec bright;
+  bright.node_count = 6;
+  bright.use_cell(pv::sanyo_am1815());
+  bright.add_environment("bright", env::constant_light(2000.0, 0.0, 3600.0));
+  bright.base.storage.initial_voltage = 1.9;
+  bright.base.load.report_period = 120.0;
+  const FleetReport sunny = run_fleet(bright, serial_options());
+  EXPECT_EQ(sunny.energy_neutral_nodes, sunny.nodes_ok);
+  EXPECT_EQ(sunny.energy_neutral_fraction(), 1.0);
+
+  // Darkness: the load can only drain the store.
+  FleetSpec dark = bright;
+  dark.environments.clear();
+  dark.add_environment("dark", env::constant_light(0.0, 0.0, 3600.0));
+  const FleetReport night = run_fleet(dark, serial_options());
+  EXPECT_EQ(night.energy_neutral_nodes, 0u);
+}
+
+TEST(Fleet, LoadConcurrencyPhaseJitterBreaksLockstep) {
+  FleetSpec spec = small_spec(40);
+  spec.heterogeneity.randomize_load_phase = false;
+  spec.heterogeneity.load_period_jitter = 0.0;
+  const LoadConcurrency lockstep = analyze_load_concurrency(spec);
+  // Identical periods and zero phase: every node bursts at once.
+  EXPECT_EQ(lockstep.peak_concurrent_tx, 40u);
+
+  spec.heterogeneity.randomize_load_phase = true;
+  const LoadConcurrency spread = analyze_load_concurrency(spec);
+  EXPECT_GE(spread.peak_concurrent_tx, 1u);
+  EXPECT_LT(spread.peak_concurrent_tx, 40u);
+  EXPECT_LT(spread.peak_load_w, lockstep.peak_load_w);
+  EXPECT_NEAR(spread.average_load_w, lockstep.average_load_w,
+              1e-6 * lockstep.average_load_w);
+}
+
+TEST(Fleet, RejectsInvalidSpecs) {
+  FleetSpec no_cell = small_spec(4);
+  no_cell.cell = nullptr;
+  EXPECT_THROW((void)run_fleet(no_cell, serial_options()), PreconditionError);
+
+  FleetSpec no_env = small_spec(4);
+  no_env.environments.clear();
+  EXPECT_THROW((void)run_fleet(no_env, serial_options()), PreconditionError);
+
+  FleetSpec bad_weight = small_spec(4);
+  bad_weight.environments[0].weight = 0.0;
+  EXPECT_THROW((void)run_fleet(bad_weight, serial_options()), PreconditionError);
+
+  FleetSpec bad_att = small_spec(4);
+  bad_att.heterogeneity.attenuation_min = 0.0;
+  EXPECT_THROW((void)draw_node(bad_att, 0), PreconditionError);
+}
+
+TEST(FixedHistogram, ClampsOutOfRangeIntoEndBins) {
+  FixedHistogram h({0.0, 1.0, 2.0});
+  h.observe(-5.0);
+  h.observe(0.5);
+  h.observe(1.5);
+  h.observe(99.0);
+  EXPECT_EQ(h.counts[0], 2u);
+  EXPECT_EQ(h.counts[1], 2u);
+  EXPECT_EQ(h.total(), 4u);
+
+  FixedHistogram other({0.0, 1.0, 2.0});
+  other.observe(0.1);
+  h.merge(other);
+  EXPECT_EQ(h.counts[0], 3u);
+  EXPECT_EQ(h.total(), 5u);
+
+  FixedHistogram mismatched({0.0, 1.0});
+  EXPECT_THROW(h.merge(mismatched), PreconditionError);
+  EXPECT_THROW(FixedHistogram({1.0, 1.0}), PreconditionError);
+}
+
+TEST(Fleet, ProgressCallbackCoversEveryChunk) {
+  const FleetSpec spec = small_spec(10);  // 3 chunks of 4,4,2
+  std::size_t calls = 0;
+  std::size_t last_nodes = 0;
+  FleetOptions opt;
+  opt.jobs = 1;
+  opt.on_progress = [&](const FleetProgress& p) {
+    ++calls;
+    last_nodes = p.nodes_done;
+    EXPECT_EQ(p.nodes_total, 10u);
+    EXPECT_EQ(p.chunks_total, 3u);
+  };
+  (void)run_fleet(spec, opt);
+  EXPECT_EQ(calls, 3u);
+  EXPECT_EQ(last_nodes, 10u);
+}
+
+}  // namespace
+}  // namespace focv::fleet

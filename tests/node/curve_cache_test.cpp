@@ -132,14 +132,84 @@ TEST(CurveCache, ConstantLightBuildsOnlyNeighbouringEntries) {
   EXPECT_EQ(cache.model_evals(), before);
 }
 
-TEST(CurveCache, RejectsDoublePrepareAndTinyTables) {
+TEST(CurveCache, RePrepareIsFreeForAnIdenticalSeries) {
+  // Re-preparation replaced the old one-shot contract: preparing the
+  // same series again reuses every entry and solves nothing new.
   const pv::SingleDiodeModel& cell = pv::sanyo_am1815();
   CurveCache cache(cell, kRoomTempK);
   cache.prepare({500.0});
-  EXPECT_THROW(cache.prepare({500.0}), PreconditionError);
+  const std::uint64_t evals = cache.model_evals();
+  const std::uint64_t entries = cache.entries_built();
+  cache.prepare({500.0});
+  EXPECT_EQ(cache.model_evals(), evals);
+  EXPECT_EQ(cache.entries_built(), entries);
+}
+
+TEST(CurveCache, RejectsTinyTables) {
+  const pv::SingleDiodeModel& cell = pv::sanyo_am1815();
   CurveCache::Options bad;
   bad.surrogate_points = 4;
   EXPECT_THROW(CurveCache(cell, kRoomTempK, bad), PreconditionError);
+}
+
+TEST(CurveCache, SurrogateRePrepareMatchesFreshCache) {
+  // The fleet stepper re-prepares one cache across many nodes. A re-used
+  // cache must answer exactly like a fresh one for the new series, while
+  // keeping (and growing) the grid entries it already solved.
+  const pv::SingleDiodeModel& cell = pv::sanyo_am1815();
+  // Wider span, a dark step, and one illuminance (480) shared with the
+  // first series whose grid entries must be reused, not re-solved.
+  const std::vector<double> first = {137.0, 480.0, 1021.0};
+  const std::vector<double> second = {55.0, 480.0, 22000.0, 0.0};
+
+  CurveCache reused(cell, kRoomTempK, options_for(PowerModel::kSurrogate));
+  reused.prepare(first);
+  const std::uint64_t evals_first = reused.model_evals();
+  reused.prepare(second);
+
+  CurveCache fresh(cell, kRoomTempK, options_for(PowerModel::kSurrogate));
+  fresh.prepare(second);
+
+  for (std::size_t i = 0; i < second.size(); ++i) {
+    const CurveCache::StepCurve a = reused.at_step(i);
+    const CurveCache::StepCurve b = fresh.at_step(i);
+    EXPECT_EQ(a.voc, b.voc) << i;
+    EXPECT_EQ(a.pmpp, b.pmpp) << i;
+    for (int k = 1; k < 20; ++k) {
+      const double v = b.voc * k / 20.0;
+      EXPECT_EQ(reused.power_at_step(i, v), fresh.power_at_step(i, v)) << i << " " << v;
+    }
+  }
+  // Overlapping grid nodes were reused, not re-solved: the second
+  // prepare costs fewer evals than the fresh cache's.
+  EXPECT_LT(reused.model_evals() - evals_first, fresh.model_evals());
+  // Counters accumulate across prepares instead of resetting.
+  EXPECT_GE(reused.model_evals(), evals_first);
+}
+
+TEST(CurveCache, ExactRePrepareMatchesFreshCache) {
+  // Exact mode keys entries by first-encounter illuminance, so re-using
+  // a cache must reset them; the trajectory has to stay bit-identical to
+  // a fresh cache even when the two series disagree about which
+  // illuminance arrives first.
+  const pv::SingleDiodeModel& cell = pv::sanyo_am1815();
+  const std::vector<double> first = {1021.0, 137.0};
+  const std::vector<double> second = {137.0, 1021.0, 480.0};
+
+  CurveCache reused(cell, kRoomTempK, options_for(PowerModel::kExact));
+  reused.prepare(first);
+  reused.prepare(second);
+
+  CurveCache fresh(cell, kRoomTempK, options_for(PowerModel::kExact));
+  fresh.prepare(second);
+
+  for (std::size_t i = 0; i < second.size(); ++i) {
+    const CurveCache::StepCurve a = reused.at_step(i);
+    const CurveCache::StepCurve b = fresh.at_step(i);
+    EXPECT_EQ(a.voc, b.voc) << i;
+    EXPECT_EQ(a.pmpp, b.pmpp) << i;
+    EXPECT_EQ(reused.power_at_step(i, 0.7 * b.voc), fresh.power_at_step(i, 0.7 * b.voc)) << i;
+  }
 }
 
 }  // namespace

@@ -38,6 +38,49 @@ TEST(WsnLoad, AverageEqualsIntegralOfProfile) {
   EXPECT_NEAR(integral / period, load.average_power(), load.average_power() * 0.01);
 }
 
+TEST(WsnLoad, BurstPhaseShiftsTheProfile) {
+  WsnLoad::Params p;
+  p.burst_phase = 45.0;
+  const WsnLoad load(p);
+  // The burst now starts at t = 45 s instead of t = 0.
+  EXPECT_NEAR(load.power_at(45.0 + p.sense_duration / 2),
+              p.sense_power + p.sleep_power, 1e-12);
+  EXPECT_NEAR(load.power_at(45.0 + p.sense_duration + p.tx_duration / 2),
+              p.tx_power + p.sleep_power, 1e-12);
+  // Where the unshifted burst used to be, there is only sleep.
+  EXPECT_NEAR(load.power_at(p.sense_duration / 2), p.sleep_power, 1e-12);
+  // The average is phase-invariant.
+  EXPECT_NEAR(load.average_power(), WsnLoad(WsnLoad::Params{}).average_power(), 1e-15);
+}
+
+TEST(WsnLoad, BurstPhaseWrapsIntoPeriod) {
+  WsnLoad::Params p;
+  const double period = p.report_period;
+  p.burst_phase = period + 10.0;
+  EXPECT_NEAR(WsnLoad(p).phase(), 10.0, 1e-9);
+  p.burst_phase = -10.0;
+  EXPECT_NEAR(WsnLoad(p).phase(), period - 10.0, 1e-9);
+  // A wrapped phase produces the same profile as its canonical value.
+  WsnLoad::Params canonical;
+  canonical.burst_phase = 10.0;
+  p.burst_phase = period + 10.0;
+  const WsnLoad wrapped(p);
+  const WsnLoad reference(canonical);
+  for (double t = 0.0; t < period; t += period / 97.0) {
+    EXPECT_NEAR(wrapped.power_at(t), reference.power_at(t), 1e-12) << t;
+  }
+}
+
+TEST(WsnLoad, DefaultPhasePreservesHistoricalProfile) {
+  // burst_phase = 0 must be bit-identical to the pre-phase behaviour:
+  // burst at the period start.
+  const WsnLoad load;
+  EXPECT_EQ(load.params().burst_phase, 0.0);
+  EXPECT_EQ(load.phase(), 0.0);
+  const auto& p = load.params();
+  EXPECT_EQ(load.power_at(0.0), p.sense_power + p.sleep_power);
+}
+
 TEST(WsnLoad, RejectsBurstLongerThanPeriod) {
   WsnLoad::Params p;
   p.sense_duration = 40.0;
