@@ -6,18 +6,23 @@
 // code paths.
 #include <cmath>
 #include <cstdint>
+#include <memory>
 
 #include "circuit/transient.hpp"
+#include "common/require.hpp"
 #include "core/focv_system.hpp"
 #include "core/netlists.hpp"
 #include "env/profiles.hpp"
 #include "fleet/fleet.hpp"
 #include "harness.hpp"
 #include "mppt/baselines.hpp"
+#include "node/curve_cache.hpp"
 #include "node/harvester_node.hpp"
 #include "obs/obs.hpp"
 #include "pv/cell_library.hpp"
 #include "runtime/sweep.hpp"
+#include "runtime/thread_pool.hpp"
+#include "sched/prepared_trace.hpp"
 
 namespace focv::microbench {
 namespace {
@@ -58,6 +63,44 @@ CaseSpec simulate_node_case(std::string name, std::string description, bool indo
   return spec;
 }
 
+CaseSpec simulate_node_event_case(std::string name, std::string description, bool indoor) {
+  CaseSpec spec;
+  spec.name = std::move(name);
+  spec.description = std::move(description);
+  spec.make = [indoor](bool smoke) {
+    // shared_ptr (not a by-value capture): the PreparedTrace holds the
+    // trace by reference, so its address must survive the closure copy.
+    auto trace = std::make_shared<const env::LightTrace>(
+        smoke ? env::constant_light(indoor ? 500.0 : 20000.0, 0.0, 600.0)
+              : (indoor ? env::office_desk_mixed(env::OfficeDayParams{})
+                        : env::outdoor_day({})));
+    node::NodeConfig cfg = node_config(node::PowerModel::kSurrogate);
+    cfg.stepper = node::Stepper::kEvent;
+    // The event stepper's deployment mode (fleet chunks, sweeps) shares
+    // one PreparedTrace per environment and a warm CurveCache across
+    // runs, so the per-run cost is O(events). Build both here and run
+    // once so the timed closure measures that steady state rather than
+    // the one-time O(trace) preprocessing the sharing amortises away.
+    env::SegmentationOptions seg;
+    seg.ratio_band = cfg.events.lux_ratio_band;
+    seg.floor = node::CurveCache::kDarkLux;
+    auto prep = std::make_shared<sched::PreparedTrace>(*trace, *cfg.cell_model, seg);
+    auto cache = std::make_shared<node::CurveCache>(
+        *cfg.cell_model, cfg.temperature_k,
+        node::CurveCache::Options{cfg.power_model, cfg.surrogate_points});
+    (void)node::simulate_node(*trace, cfg, cache.get(), prep.get());
+    return [trace = std::move(trace), cfg = std::move(cfg), prep = std::move(prep),
+            cache = std::move(cache)]() -> Counters {
+      const node::NodeReport report =
+          node::simulate_node(*trace, cfg, cache.get(), prep.get());
+      Counters c = report_counters(report);
+      c.emplace_back("events", static_cast<double>(report.events));
+      return c;
+    };
+  };
+  return spec;
+}
+
 runtime::SweepSpec sweep_spec(bool smoke) {
   runtime::SweepSpec spec;
   spec.add_cell("AM-1815", pv::sanyo_am1815());
@@ -79,11 +122,22 @@ CaseSpec sweep_case(std::string name, std::string description, int jobs) {
   spec.name = std::move(name);
   spec.description = std::move(description);
   spec.make = [jobs](bool smoke) {
-    return [spec = sweep_spec(smoke), jobs]() -> Counters {
+    // `jobs == 0` used to be forwarded verbatim, so the jobs_requested
+    // counter recorded 0 and nothing checked that the pool actually
+    // fanned out. Resolve it to the hardware thread count here and
+    // assert the sweep used what was asked for — on a multi-core box
+    // the N-job case must genuinely run > 1 worker to mean anything.
+    const int resolved = jobs > 0 ? jobs : runtime::ThreadPool::default_thread_count();
+    return [spec = sweep_spec(smoke), resolved]() -> Counters {
       runtime::SweepOptions opt;
-      opt.jobs = jobs;
+      opt.jobs = resolved;
       const runtime::SweepResult r = runtime::run_sweep(spec, opt);
-      return {{"jobs_requested", static_cast<double>(jobs)},
+      require(r.jobs_used() == resolved,
+              "sweep bench: pool did not use the requested worker count");
+      if (resolved > 1) {
+        require(r.jobs_used() > 1, "sweep bench: multi-job case ran single-threaded");
+      }
+      return {{"jobs_requested", static_cast<double>(resolved)},
               {"jobs_used", static_cast<double>(r.jobs_used())},
               {"records", static_cast<double>(r.records().size())},
               {"total_steps", static_cast<double>(r.total_steps())},
@@ -178,6 +232,42 @@ CaseSpec fleet_step_case() {
   return spec;
 }
 
+CaseSpec fleet_step_event_case() {
+  CaseSpec spec;
+  spec.name = "fleet_step_event";
+  spec.description =
+      "the same 64-node mixed-policy fleet on the event-driven "
+      "macro-stepper (base.stepper = kEvent); run_fleet shares one "
+      "PreparedTrace per environment and warm chunk caches do the rest";
+  spec.make = [](bool smoke) {
+    auto trace = std::make_shared<const env::LightTrace>(
+        smoke ? env::constant_light(500.0, 0.0, 600.0)
+              : env::office_desk_mixed(env::OfficeDayParams{}));
+    const std::size_t nodes = smoke ? 16 : 64;
+    return [trace = std::move(trace), nodes]() -> Counters {
+      fleet::FleetSpec fs;
+      fs.node_count = nodes;
+      fs.use_cell(pv::sanyo_am1815());
+      fs.add_environment("bench", trace);
+      fs.add_policy(fleet::MpptPolicy::kFocvSampleHold, 0.7);
+      fs.add_policy(fleet::MpptPolicy::kDirectConnection, 0.3);
+      fs.base.storage.initial_voltage = 3.0;
+      fs.base.load.report_period = 120.0;
+      fs.base.stepper = node::Stepper::kEvent;
+      fleet::FleetOptions opt;
+      opt.jobs = 1;  // measures the stepper, not the pool
+      const fleet::FleetReport r = fleet::run_fleet(fs, opt);
+      return {{"nodes_ok", static_cast<double>(r.nodes_ok)},
+              {"total_steps", static_cast<double>(r.steps)},
+              {"events", static_cast<double>(r.events)},
+              {"model_evals", static_cast<double>(r.model_evals)},
+              {"energy_neutral_nodes", static_cast<double>(r.energy_neutral_nodes)},
+              {"mean_tracking_efficiency", r.mean_tracking_efficiency()}};
+    };
+  };
+  return spec;
+}
+
 CaseSpec obs_overhead_case(std::string name, std::string description, bool telemetry) {
   CaseSpec spec;
   spec.name = std::move(name);
@@ -225,6 +315,16 @@ void register_default_cases() {
       "simulate_node_24h_outdoor_exact",
       "outdoor 24 h behavioural run, exact per-step solves",
       /*indoor=*/false, node::PowerModel::kExact));
+  r.push_back(simulate_node_event_case(
+      "simulate_node_24h_indoor_event",
+      "office-day 24 h run on the event-driven macro-stepper, shared "
+      "PreparedTrace + warm CurveCache (the fleet/sweep deployment mode)",
+      /*indoor=*/true));
+  r.push_back(simulate_node_event_case(
+      "simulate_node_24h_outdoor_event",
+      "outdoor 24 h run on the event-driven macro-stepper, shared "
+      "PreparedTrace + warm CurveCache",
+      /*indoor=*/false));
   r.push_back(sweep_case("sweep_jobs1",
                          "2 cells x 3 controllers x 3 scenarios, single-threaded",
                          /*jobs=*/1));
@@ -235,6 +335,7 @@ void register_default_cases() {
   r.push_back(circuit_transient_case());
   r.push_back(cell_solves_case());
   r.push_back(fleet_step_case());
+  r.push_back(fleet_step_event_case());
   r.push_back(obs_overhead_case(
       "obs_overhead_disabled",
       "office-day 24 h behavioural run with focv::obs telemetry off (the "

@@ -142,6 +142,28 @@ std::string to_json(const std::vector<CaseResult>& results, const RunOptions& op
   };
   pair_ratio("_surrogate", "_exact", "speedup_", /*invert=*/false);
   pair_ratio("_disabled", "_enabled", "overhead_", /*invert=*/false);
+  // speedup_event_stepper_<stem>: fixed-stepper wall time over the
+  // event-driven stepper for the same workload. The fixed counterpart
+  // of X_event is X_surrogate when it exists (the simulate_node cases)
+  // and plain X otherwise (fleet_step).
+  for (const CaseResult& ev : results) {
+    const std::string ev_suffix = "_event";
+    if (ev.name.size() <= ev_suffix.size() ||
+        ev.name.compare(ev.name.size() - ev_suffix.size(), ev_suffix.size(),
+                        ev_suffix) != 0) {
+      continue;
+    }
+    const std::string stem = ev.name.substr(0, ev.name.size() - ev_suffix.size());
+    for (const CaseResult& base : results) {
+      if ((base.name == stem + "_surrogate" || base.name == stem) &&
+          base.median_s > 0.0 && ev.median_s > 0.0) {
+        if (!first) out += ", ";
+        first = false;
+        out += quoted("speedup_event_stepper_" + stem) + ": " +
+               num(base.median_s / ev.median_s);
+      }
+    }
+  }
   out += "}\n}\n";
   return out;
 }

@@ -1,0 +1,48 @@
+#include "env/segments.hpp"
+
+#include <algorithm>
+
+#include "common/require.hpp"
+
+namespace focv::env {
+
+std::vector<Segment> segment_series(const std::vector<double>& values, std::size_t count,
+                                    const SegmentationOptions& options) {
+  require(count <= values.size(), "segment_series: count exceeds series length");
+  require(options.ratio_band > 1.0, "segment_series: ratio_band must be > 1");
+  require(options.floor > 0.0, "segment_series: floor must be > 0");
+
+  std::vector<Segment> segments;
+  if (count == 0) return segments;
+
+  Segment cur;
+  cur.first = 0;
+  cur.last = 1;
+  cur.min_value = cur.max_value = values[0];
+  cur.dark = values[0] < options.floor;
+
+  for (std::size_t i = 1; i < count; ++i) {
+    const double v = values[i];
+    const bool dark = v < options.floor;
+    const double lo = std::min(cur.min_value, v);
+    const double hi = std::max(cur.max_value, v);
+    // The band test stays in the linear domain (hi <= band * lo) so no
+    // per-sample logarithm is paid; dark runs merge unconditionally.
+    const bool fits = (dark == cur.dark) && (dark || hi <= options.ratio_band * lo);
+    if (fits) {
+      cur.last = i + 1;
+      cur.min_value = lo;
+      cur.max_value = hi;
+    } else {
+      segments.push_back(cur);
+      cur.first = i;
+      cur.last = i + 1;
+      cur.min_value = cur.max_value = v;
+      cur.dark = dark;
+    }
+  }
+  segments.push_back(cur);
+  return segments;
+}
+
+}  // namespace focv::env

@@ -1,0 +1,45 @@
+// Piecewise-segment view of a sampled series for event-driven stepping.
+//
+// The behavioural tier's light traces are sampled at 1 s, but the
+// illuminance is piecewise-near-constant for minutes at a time (office
+// lamps, overcast sky) with occasional fast ramps. The macro-stepping
+// engine in focv::sched wants maximal runs over which the value stays
+// inside a multiplicative band, so it can integrate each run analytically
+// instead of step by step. The segmentation here is generic over any
+// non-negative series; focv::sched applies it to equivalent-lux traces.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace focv::env {
+
+/// One maximal run of consecutive step samples. Covers step indices
+/// [first, last); `last - first >= 1`.
+struct Segment {
+  std::size_t first = 0;   ///< first step index covered
+  std::size_t last = 0;    ///< one past the last step index covered
+  double min_value = 0.0;  ///< minimum of values[first..last)
+  double max_value = 0.0;  ///< maximum of values[first..last)
+  bool dark = false;       ///< every value in the run is below `floor`
+};
+
+struct SegmentationOptions {
+  /// A lit segment is split as soon as max > ratio_band * min. 1.35 keeps
+  /// the 2-point quadrature of focv::sched within its error budget while
+  /// compressing an office day to a few hundred segments.
+  double ratio_band = 1.35;
+  /// Values below this are one "dark" class regardless of ratio (a ratio
+  /// band is meaningless around zero). Matches the surrogate's dark
+  /// cutoff by default (node::CurveCache::kDarkLux).
+  double floor = 0.05;
+};
+
+/// Greedy left-to-right segmentation of values[0..count). Every step
+/// index in [0, count) is covered by exactly one segment, in order.
+/// `count` is the number of *steps* (for an n-sample trace, n - 1).
+[[nodiscard]] std::vector<Segment> segment_series(const std::vector<double>& values,
+                                                  std::size_t count,
+                                                  const SegmentationOptions& options);
+
+}  // namespace focv::env

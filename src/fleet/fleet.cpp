@@ -14,6 +14,7 @@
 #include "node/curve_cache.hpp"
 #include "obs/obs.hpp"
 #include "runtime/thread_pool.hpp"
+#include "sched/prepared_trace.hpp"
 
 namespace focv::fleet {
 
@@ -285,6 +286,50 @@ FleetReport run_fleet(const FleetSpec& spec, const FleetOptions& options) {
   plan.size = spec.chunk_size;
   plan.count = (spec.node_count + spec.chunk_size - 1) / spec.chunk_size;
 
+  // Event stepping: the O(trace) preprocessing (equivalent-lux series,
+  // prefix moments, segmentation) depends only on the trace and the
+  // cell, so one immutable PreparedTrace per environment is shared
+  // read-only by every node and every worker — per-node cost stays
+  // O(events), not O(trace). Built here, before any chunk runs.
+  std::vector<std::optional<sched::PreparedTrace>> prepared(spec.environments.size());
+  std::optional<node::CurveCache> warm_cache;
+  if (spec.base.stepper == node::Stepper::kEvent &&
+      spec.base.power_model == node::PowerModel::kSurrogate) {
+    env::SegmentationOptions seg;
+    seg.ratio_band = spec.base.events.lux_ratio_band;
+    seg.floor = node::CurveCache::kDarkLux;
+    for (std::size_t e = 0; e < spec.environments.size(); ++e) {
+      prepared[e].emplace(*spec.environments[e].trace, *spec.cell, seg);
+    }
+    // Warm one cache over the full illuminance span the heterogeneity
+    // draws can reach, and seed every chunk's cache from it (see
+    // run_chunk): surrogate entries depend only on their grid index, so
+    // seeding changes no trajectory — it only stops each chunk from
+    // re-solving the same few hundred grid nodes cold, which would
+    // otherwise dominate an event-stepped fleet run. The 3-sigma bound
+    // on the log-normal cell factor leaves a tail of nodes that touch
+    // one or two unseeded edge entries; those build on demand as before.
+    const HeterogeneitySpec& h = spec.heterogeneity;
+    const double scale_lo =
+        spec.base.lux_scale * h.attenuation_min * std::exp(-3.0 * h.cell_tolerance_sigma);
+    const double scale_hi =
+        spec.base.lux_scale * h.attenuation_max * std::exp(3.0 * h.cell_tolerance_sigma);
+    warm_cache.emplace(
+        *spec.cell, spec.base.temperature_k,
+        node::CurveCache::Options{spec.base.power_model, spec.base.surrogate_points});
+    for (std::size_t e = 0; e < spec.environments.size(); ++e) {
+      double lo = 0.0;
+      double hi = 0.0;
+      for (const double v : prepared[e]->eq_lux()) {
+        if (v < node::CurveCache::kDarkLux) continue;  // dark: never queried lit
+        if (hi == 0.0) lo = v;
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+      if (hi > 0.0) warm_cache->warm_range(lo * scale_lo, hi * scale_hi);
+    }
+  }
+
   std::vector<FleetReport> partials(plan.count);
   for (FleetReport& p : partials) p = detail::make_skeleton(spec, policies);
   const bool want_jsonl = !options.jsonl_path.empty();
@@ -325,6 +370,7 @@ FleetReport run_fleet(const FleetSpec& spec, const FleetOptions& options) {
     node::CurveCache cache(
         *spec.cell, spec.base.temperature_k,
         node::CurveCache::Options{spec.base.power_model, spec.base.surrogate_points});
+    if (warm_cache) cache.seed_entries(*warm_cache);
 
     FleetReport& acc = partials[c];
     std::size_t chunk_failed = 0;
@@ -338,12 +384,11 @@ FleetReport run_fleet(const FleetSpec& spec, const FleetOptions& options) {
       try {
         const node::NodeConfig config = materialize_node(spec, draw);
         const env::LightTrace& trace = *spec.environments[draw.env_index].trace;
-        report = node::simulate_node(trace, config, &cache);
+        const sched::PreparedTrace* prep =
+            prepared[draw.env_index] ? &*prepared[draw.env_index] : nullptr;
+        report = node::simulate_node(trace, config, &cache, prep);
         energy_neutral = report.final_store_voltage >= initial_store_voltage(config);
-        downtime_s = report.steps > 0
-                         ? report.duration * static_cast<double>(report.brownout_steps) /
-                               static_cast<double>(report.steps)
-                         : 0.0;
+        downtime_s = report.brownout_time;
         acc.add_node(draw, report, energy_neutral, downtime_s);
         if (obs_on) {
           obs::metrics().observe(node_eff_id, report.tracking_efficiency());

@@ -234,6 +234,10 @@ struct FleetReport {
   std::uint64_t steps = 0;
   std::uint64_t model_evals = 0;
   std::uint64_t curve_entries = 0;
+  /// Summed event-engine boundaries (NodeReport::events); 0 when the
+  /// fleet runs the fixed stepper. Deterministic for a spec, so jobs=1
+  /// and jobs=N runs must agree.
+  std::uint64_t events = 0;
 
   // Distributions (fixed edges, documented in EXPERIMENTS.md).
   double efficiency_sum = 0.0;

@@ -202,6 +202,7 @@ void FleetReport::add_node(const NodeDraw& draw, const node::NodeReport& report,
   steps += report.steps;
   model_evals += report.model_evals;
   curve_entries += report.curve_entries;
+  events += report.events;
   efficiency_sum += eff;
   efficiency_hist.observe(eff);
   net_energy_hist.observe(net);
@@ -260,6 +261,7 @@ void FleetReport::merge(const FleetReport& other) {
   steps += other.steps;
   model_evals += other.model_evals;
   curve_entries += other.curve_entries;
+  events += other.events;
   efficiency_sum += other.efficiency_sum;
   efficiency_hist.merge(other.efficiency_hist);
   net_energy_hist.merge(other.net_energy_hist);
@@ -313,7 +315,8 @@ std::string FleetReport::to_json(bool include_timing) const {
          ", \"downtime_s\": " + fmt(downtime_s) +
          ", \"steps\": " + std::to_string(steps) +
          ", \"model_evals\": " + std::to_string(model_evals) +
-         ", \"curve_entries\": " + std::to_string(curve_entries) + "},\n";
+         ", \"curve_entries\": " + std::to_string(curve_entries) +
+         ", \"events\": " + std::to_string(events) + "},\n";
   out += "  \"tracking_efficiency\": {\"mean\": " + fmt(mean_tracking_efficiency()) +
          ", \"min\": " + fmt(efficiency_min) + ", \"max\": " + fmt(efficiency_max) +
          ", \"histogram\": " + histogram_json(efficiency_hist) + "},\n";

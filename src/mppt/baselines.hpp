@@ -111,6 +111,7 @@ class PilotCellFocvController : public MpptController {
   [[nodiscard]] ControlOutput step(const SensedInputs& inputs) override;
   [[nodiscard]] double overhead_power() const override { return params_.overhead; }
   [[nodiscard]] double minimum_operating_lux() const override { return params_.min_lux; }
+  [[nodiscard]] MacroLaw macro_law() const override { return MacroLaw::kMemoryless; }
   void reset() override {}
 
  private:
@@ -146,6 +147,7 @@ class PhotodetectorController : public MpptController {
   [[nodiscard]] ControlOutput step(const SensedInputs& inputs) override;
   [[nodiscard]] double overhead_power() const override { return params_.overhead; }
   [[nodiscard]] double minimum_operating_lux() const override { return params_.min_lux; }
+  [[nodiscard]] MacroLaw macro_law() const override { return MacroLaw::kMemoryless; }
   void reset() override {}
 
  private:
@@ -202,6 +204,7 @@ class FixedVoltageController : public MpptController {
   [[nodiscard]] ControlOutput step(const SensedInputs& inputs) override;
   [[nodiscard]] double overhead_power() const override { return params_.overhead; }
   [[nodiscard]] double minimum_operating_lux() const override { return params_.min_lux; }
+  [[nodiscard]] MacroLaw macro_law() const override { return MacroLaw::kMemoryless; }
   void reset() override {}
 
  private:
@@ -226,6 +229,7 @@ class DirectConnectionController : public MpptController {
   }
   [[nodiscard]] ControlOutput step(const SensedInputs& inputs) override;
   [[nodiscard]] double overhead_power() const override { return params_.overhead; }
+  [[nodiscard]] MacroLaw macro_law() const override { return MacroLaw::kTracksStore; }
   void reset() override {}
 
  private:

@@ -2,6 +2,7 @@
 // the state-of-the-art baselines it compares against).
 #pragma once
 
+#include <limits>
 #include <memory>
 #include <string>
 
@@ -25,6 +26,26 @@ struct SensedInputs {
 struct ControlOutput {
   double pv_voltage = 0.0;          ///< commanded PV operating voltage [V]
   double disconnect_fraction = 0.0; ///< fraction of dt the PV is disconnected (sampling)
+};
+
+/// How a controller's command evolves between simulation steps — the
+/// contract the event-driven macro-stepper (focv::sched) relies on to
+/// skip dead time. Conservative by default: a law the engine cannot
+/// classify is stepped tick by tick.
+enum class MacroLaw {
+  /// Mutable state updated every step (P&O, incremental conductance):
+  /// only the fixed reference path is exact.
+  kPerStepOnly,
+  /// step() is a pure function of the sensed inputs (fixed voltage,
+  /// pilot cell, photodetector): the engine may evaluate it at arbitrary
+  /// quadrature points.
+  kMemoryless,
+  /// Sample-and-hold: the command is piecewise-deterministic between
+  /// sample events, exposed via next_command_event()/command_at().
+  kSampleHold,
+  /// The command follows the energy-store voltage (direct connection):
+  /// the engine bounds the store drift per macro interval instead.
+  kTracksStore,
 };
 
 /// Abstract MPPT controller.
@@ -59,6 +80,27 @@ class MpptController {
   /// (cold-start and sustain itself) [lux]. The node simulator freezes
   /// the controller below this level.
   [[nodiscard]] virtual double minimum_operating_lux() const { return 0.0; }
+
+  /// Classification used by the event-driven macro-stepper. See MacroLaw.
+  [[nodiscard]] virtual MacroLaw macro_law() const { return MacroLaw::kPerStepOnly; }
+
+  /// kSampleHold only: earliest time >= t at which the commanded voltage
+  /// changes discontinuously or leaves its closed-form law (next sample
+  /// edge, hold-decay threshold crossing). Infinity when no event is
+  /// pending. The engine snaps the returned time to the enclosing trace
+  /// step and replays that step through step() so the mutable state stays
+  /// exact.
+  [[nodiscard]] virtual double next_command_event(double t) const {
+    (void)t;
+    return std::numeric_limits<double>::infinity();
+  }
+
+  /// kSampleHold only: commanded PV voltage at time t, assuming no
+  /// command event occurs in between. Pure (no state mutation).
+  [[nodiscard]] virtual double command_at(double t) const {
+    (void)t;
+    return 0.0;
+  }
 
   /// Restore the power-on state.
   virtual void reset() = 0;

@@ -75,6 +75,24 @@ bool FocvSampleHoldController::active(double t) const {
   return sample_hold_.has_sample() && sample_hold_.value(t) >= params_.active_threshold;
 }
 
+double FocvSampleHoldController::next_command_event(double t) const {
+  double event = next_sample_time_;
+  // Between sample edges the held value droops linearly, so the moment
+  // ACTIVE deasserts (command snaps to 0 V) is closed-form.
+  if (active(t)) {
+    const double droop = sample_hold_.droop_rate();
+    if (droop > 0.0) {
+      const double decay = t + (sample_hold_.value(t) - params_.active_threshold) / droop;
+      event = std::min(event, decay);
+    }
+  }
+  return event;
+}
+
+double FocvSampleHoldController::command_at(double t) const {
+  return active(t) ? sample_hold_.value(t) / params_.alpha : 0.0;
+}
+
 double FocvSampleHoldController::average_current() const {
   return astable_.average_current() + sample_hold_.average_current(astable_.duty_cycle()) +
          params_.comparator_iq + params_.misc_leakage;

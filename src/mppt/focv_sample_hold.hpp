@@ -38,6 +38,9 @@ class FocvSampleHoldController : public MpptController {
   [[nodiscard]] ControlOutput step(const SensedInputs& inputs) override;
   [[nodiscard]] double overhead_power() const override;
   [[nodiscard]] double minimum_operating_lux() const override { return params_.min_lux; }
+  [[nodiscard]] MacroLaw macro_law() const override { return MacroLaw::kSampleHold; }
+  [[nodiscard]] double next_command_event(double t) const override;
+  [[nodiscard]] double command_at(double t) const override;
   void reset() override;
 
   /// The HELD_SAMPLE line value at time t [V].

@@ -176,6 +176,117 @@ double CurveCache::table_power(const Entry& e, double v) const {
   return e.power[idx] + t * (e.power[idx + 1] - e.power[idx]);
 }
 
+std::uint32_t CurveCache::ensure_lux_slot(double equivalent_lux, double& frac) {
+  // Hot path: require() would build its message string per call.
+  if (options_.model != PowerModel::kSurrogate) [[unlikely]] {
+    throw PreconditionError("CurveCache: at_lux/power_at_lux need the surrogate model");
+  }
+  frac = 0.0;
+  if (!(equivalent_lux >= kDarkLux)) return kDarkStep;
+  const double x = kGridNodesPerLogLux * std::log(equivalent_lux);
+  const long j = static_cast<long>(std::floor(x));
+  if (entries_.empty()) {
+    grid_base_ = j;
+    entries_.resize(2);
+  } else {
+    const long old_lo = grid_base_;
+    const long old_hi = grid_base_ + static_cast<long>(entries_.size()) - 1;
+    const long new_lo = std::min(old_lo, j);
+    const long new_hi = std::max(old_hi, j + 1);
+    if (new_lo != old_lo || new_hi != old_hi) {
+      std::vector<Entry> grown(static_cast<std::size_t>(new_hi - new_lo + 1));
+      for (std::size_t s = 0; s < entries_.size(); ++s) {
+        grown[static_cast<std::size_t>(old_lo - new_lo) + s] = std::move(entries_[s]);
+      }
+      entries_ = std::move(grown);
+      grid_base_ = new_lo;
+    }
+  }
+  const std::size_t slot = static_cast<std::size_t>(j - grid_base_);
+  if (!entries_[slot].built) build_surrogate_entry(entries_[slot], j);
+  if (!entries_[slot + 1].built) build_surrogate_entry(entries_[slot + 1], j + 1);
+  frac = x - static_cast<double>(j);
+  return static_cast<std::uint32_t>(slot);
+}
+
+void CurveCache::warm_range(double lux_min, double lux_max) {
+  require(options_.model == PowerModel::kSurrogate,
+          "CurveCache::warm_range: surrogate mode only");
+  lux_min = std::max(lux_min, kDarkLux);
+  if (!(lux_max >= lux_min)) return;
+  const long jmin = static_cast<long>(std::floor(kGridNodesPerLogLux * std::log(lux_min)));
+  const long jmax = static_cast<long>(std::floor(kGridNodesPerLogLux * std::log(lux_max)));
+  double frac = 0.0;
+  for (long j = jmin; j <= jmax; ++j) {
+    // A lux at the node-interval midpoint makes ensure_lux_slot build
+    // grid nodes j and j+1.
+    (void)ensure_lux_slot(std::exp((static_cast<double>(j) + 0.5) / kGridNodesPerLogLux),
+                          frac);
+  }
+}
+
+void CurveCache::seed_entries(const CurveCache& other) {
+  require(options_.model == PowerModel::kSurrogate &&
+              other.options_.model == PowerModel::kSurrogate,
+          "CurveCache::seed_entries: surrogate mode only");
+  require(&other.cell_ == &cell_ &&
+              other.conditions_.temperature_k == conditions_.temperature_k &&
+              other.options_.surrogate_points == options_.surrogate_points,
+          "CurveCache::seed_entries: cache identity mismatch");
+  if (other.entries_.empty()) return;
+  // Grow the dense table to the union span (same scheme as re-prepare).
+  const long src_lo = other.grid_base_;
+  const long src_hi = other.grid_base_ + static_cast<long>(other.entries_.size()) - 1;
+  if (entries_.empty()) {
+    grid_base_ = src_lo;
+    entries_.resize(other.entries_.size());
+  } else {
+    const long old_lo = grid_base_;
+    const long old_hi = grid_base_ + static_cast<long>(entries_.size()) - 1;
+    const long new_lo = std::min(old_lo, src_lo);
+    const long new_hi = std::max(old_hi, src_hi);
+    if (new_lo != old_lo || new_hi != old_hi) {
+      std::vector<Entry> grown(static_cast<std::size_t>(new_hi - new_lo + 1));
+      for (std::size_t s = 0; s < entries_.size(); ++s) {
+        grown[static_cast<std::size_t>(old_lo - new_lo) + s] = std::move(entries_[s]);
+      }
+      entries_ = std::move(grown);
+      grid_base_ = new_lo;
+    }
+  }
+  for (std::size_t s = 0; s < other.entries_.size(); ++s) {
+    const Entry& src = other.entries_[s];
+    if (!src.built) continue;
+    Entry& dst = entries_[static_cast<std::size_t>(src_lo - grid_base_) + s];
+    if (!dst.built) dst = src;
+  }
+}
+
+CurveCache::StepCurve CurveCache::at_lux(double equivalent_lux) {
+  ++queries_;
+  double f = 0.0;
+  const std::uint32_t slot = ensure_lux_slot(equivalent_lux, f);
+  StepCurve out;
+  if (slot == kDarkStep) return out;
+  const Entry& e0 = entries_[slot];
+  const Entry& e1 = entries_[slot + 1];
+  out.voc = e0.voc + f * (e1.voc - e0.voc);
+  out.pmpp = e0.pmpp + f * (e1.pmpp - e0.pmpp);
+  out.vmpp = e0.vmpp + f * (e1.vmpp - e0.vmpp);
+  return out;
+}
+
+double CurveCache::power_at_lux(double equivalent_lux, double v) {
+  ++queries_;
+  if (v <= 0.0) return 0.0;
+  double f = 0.0;
+  const std::uint32_t slot = ensure_lux_slot(equivalent_lux, f);
+  if (slot == kDarkStep) return 0.0;
+  const double p0 = table_power(entries_[slot], v);
+  const double p1 = table_power(entries_[slot + 1], v);
+  return p0 + f * (p1 - p0);
+}
+
 double CurveCache::power_at_step(std::size_t i, double v) {
   ++queries_;
   if (v <= 0.0) return 0.0;

@@ -85,6 +85,35 @@ class CurveCache {
   /// Cell power when held at voltage v during step i [W].
   [[nodiscard]] double power_at_step(std::size_t i, double v);
 
+  /// On-demand surrogate queries at an arbitrary equivalent illuminance,
+  /// usable without (or alongside) a prepare() pass. The event-driven
+  /// macro-stepper visits a few thousand quadrature points per simulated
+  /// day instead of every trace sample, so it skips the O(trace) prepare
+  /// and asks here directly. Entries are built lazily at the same fixed
+  /// log-illuminance grid nodes prepare() uses — values depend only on
+  /// the grid index, so a cache shared across fixed and event runs
+  /// answers both consistently. Surrogate mode only.
+  [[nodiscard]] StepCurve at_lux(double equivalent_lux);
+  /// Cell power at voltage v under `equivalent_lux`, same grid [W].
+  [[nodiscard]] double power_at_lux(double equivalent_lux, double v);
+
+  /// Build every surrogate grid entry whose node lies in
+  /// [lux_min, lux_max] (plus the interpolation neighbour above), so a
+  /// cache can be warmed once and then shared or copied. Surrogate mode
+  /// only. Entry values depend only on the grid index, so warming never
+  /// changes what any later query returns — it only front-loads solves.
+  void warm_range(double lux_min, double lux_max);
+
+  /// Copy every built surrogate entry of `other` (which must answer for
+  /// the same cell, temperature and options) that this cache has not
+  /// built itself. Instrumentation counters are left untouched: seeded
+  /// entries are not work this cache performed, so per-run
+  /// model_evals/entries_built diffs still measure the run. The fleet
+  /// engine warms one cache per run and seeds each chunk's cache from
+  /// it instead of letting every chunk re-solve the same grid nodes
+  /// cold. Surrogate mode only.
+  void seed_entries(const CurveCache& other);
+
   /// Conditions object at the given illuminance (for components that
   /// still need direct model access, e.g. the cold-start circuit).
   [[nodiscard]] pv::Conditions conditions_at(double equivalent_lux) const;
@@ -126,6 +155,10 @@ class CurveCache {
   void build_exact_entry(Entry& e, double lux);
   void build_surrogate_entry(Entry& e, long grid_index);
   [[nodiscard]] double table_power(const Entry& e, double v) const;
+  /// Grow/build so entries for grid nodes j and j+1 exist; returns the
+  /// dense slot of j and writes the interpolation weight. kDarkStep when
+  /// the illuminance is below kDarkLux.
+  std::uint32_t ensure_lux_slot(double equivalent_lux, double& frac);
 
   const pv::SingleDiodeModel& cell_;
   pv::Conditions conditions_;

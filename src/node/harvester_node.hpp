@@ -20,8 +20,28 @@
 #include "power/load.hpp"
 #include "power/storage.hpp"
 #include "pv/diode_models.hpp"
+#include "sched/options.hpp"
+
+namespace focv::sched {
+class PreparedTrace;  // sched/prepared_trace.hpp
+}
 
 namespace focv::node {
+
+/// Time-advancement strategy of simulate_node.
+enum class Stepper {
+  /// Integrate every trace step (the bit-identical reference path).
+  kFixed,
+  /// Event-driven macro-stepping (focv::sched): advance from event to
+  /// event — MPPT sample/hold boundaries, light-trace segments, storage
+  /// threshold crossings, report points — integrating analytically in
+  /// between. Energy/efficiency outputs agree with kFixed to within
+  /// 0.1 % (enforced by tests/sched/) at 1-2 orders of magnitude fewer
+  /// steps. Configurations the engine cannot macro-step (exact power
+  /// model, per-step-only controllers such as P&O, the
+  /// obs_compare_exact shadow) transparently run the fixed path.
+  kEvent,
+};
 
 /// Static configuration of a simulated node.
 ///
@@ -71,6 +91,11 @@ struct NodeConfig {
   /// 1.0 (default) reproduces the unscaled trace bit for bit.
   double lux_scale = 1.0;
 
+  /// Time-advancement strategy (see Stepper). kFixed is the reference.
+  Stepper stepper = Stepper::kFixed;
+  /// Tuning of the event engine; ignored under kFixed.
+  sched::EventOptions events;
+
   power::BuckBoostConverter converter;
   power::Supercapacitor::Params storage;
   /// When set, a battery replaces the supercapacitor as the store.
@@ -99,12 +124,18 @@ struct NodeReport {
   double ideal_mpp_energy = 0.0;     ///< energy of a perfect tracker [J]
   double coldstart_time = -1.0;      ///< first time the controller ran [s]; -1 = never
   int brownout_steps = 0;            ///< steps where the store could not feed the load
+  double brownout_time = 0.0;        ///< time the store could not feed the load [s]
   double final_store_voltage = 0.0;  ///< [V]
 
   // Observability counters (deterministic for a given config + trace).
   std::uint64_t steps = 0;           ///< simulation steps executed
   std::uint64_t model_evals = 0;     ///< exact cell-model solves issued by the curve cache
   std::uint64_t curve_entries = 0;   ///< unique illuminance buckets solved
+  /// Event-engine boundaries processed (segment starts, controller
+  /// sample/decay events, storage threshold flips, report points).
+  /// 0 under the fixed stepper; deterministic for a config + trace, so
+  /// jobs=1 and jobs=N fleet runs must agree (tested).
+  std::uint64_t events = 0;
 
   /// harvested / ideal over lit periods (1.0 = perfect tracking).
   [[nodiscard]] double tracking_efficiency() const {
@@ -147,5 +178,14 @@ struct NodeReport {
 /// is sequential).
 [[nodiscard]] NodeReport simulate_node(const env::LightTrace& trace, const NodeConfig& config,
                                        CurveCache* shared_curves);
+
+/// As above, additionally reusing a caller-owned PreparedTrace (the
+/// event engine's O(trace) preprocessing — see sched/prepared_trace.hpp)
+/// built for exactly this trace and cell. The fleet engine builds one
+/// per environment so event-stepped nodes share the preprocessing.
+/// Ignored (may be nullptr) when the run takes the fixed path.
+[[nodiscard]] NodeReport simulate_node(const env::LightTrace& trace, const NodeConfig& config,
+                                       CurveCache* shared_curves,
+                                       const sched::PreparedTrace* prepared);
 
 }  // namespace focv::node

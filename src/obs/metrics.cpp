@@ -158,6 +158,25 @@ void MetricsRegistry::observe(HistogramId id, double value) {
   atomic_add(shard.hist_sum[id.index], value);
 }
 
+void MetricsRegistry::flush(HistogramId id, HistogramBatch& batch) {
+  if (batch.n_ == 0) return;
+  const HistMeta& meta = hist_meta_[id.index];
+  require(meta.spec.lo == batch.spec_.lo && meta.spec.hi == batch.spec_.hi &&
+              meta.spec.bins == batch.spec_.bins,
+          "MetricsRegistry::flush: batch spec does not match the histogram");
+  Shard& shard = local_shard();
+  for (int b = 0; b < meta.spec.bins + 2; ++b) {
+    const std::uint64_t c = batch.counts_[static_cast<std::size_t>(b)];
+    if (c != 0) {
+      shard.hist_counts[meta.slot + static_cast<std::uint32_t>(b)].fetch_add(
+          c, std::memory_order_relaxed);
+    }
+  }
+  shard.hist_n[id.index].fetch_add(batch.n_, std::memory_order_relaxed);
+  atomic_add(shard.hist_sum[id.index], batch.sum_);
+  batch.clear();
+}
+
 MetricsSnapshot MetricsRegistry::snapshot() const {
   std::lock_guard<std::mutex> lock(mutex_);
   MetricsSnapshot snap;

@@ -23,8 +23,10 @@
 // scoped per-job registries, which are only written by their own job).
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <atomic>
+#include <cmath>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -64,6 +66,8 @@ struct MetricsSnapshot {
   std::vector<HistogramSnapshot> histograms;
 };
 
+class HistogramBatch;  // below
+
 class MetricsRegistry {
  public:
   static constexpr std::uint32_t kMaxCounters = 160;
@@ -89,6 +93,11 @@ class MetricsRegistry {
   void add(CounterId id, double delta = 1.0);
   void set(GaugeId id, double value);
   void observe(HistogramId id, double value);
+  /// Merge a HistogramBatch into `id` (one atomic RMW per touched
+  /// bucket, instead of three per observation) and clear the batch.
+  /// Throws PreconditionError when the batch's spec does not match the
+  /// histogram's. No-op on an empty batch.
+  void flush(HistogramId id, HistogramBatch& batch);
 
   /// Merged view across all shards.
   [[nodiscard]] MetricsSnapshot snapshot() const;
@@ -136,6 +145,56 @@ class MetricsRegistry {
   std::array<HistMeta, kMaxHistograms> hist_meta_{};
   std::vector<std::unique_ptr<Shard>> shards_;
   std::array<std::atomic<double>, kMaxGauges> gauges_{};  ///< global (last-write-wins)
+};
+
+/// Single-thread accumulation buffer for one histogram: bucket counts,
+/// sum and count collected with plain (non-atomic) arithmetic, merged
+/// into a registry by MetricsRegistry::flush(). Loops that observe a
+/// value every iteration — the behavioural tier records one tracking-
+/// efficiency sample per simulation step — batch through this instead
+/// of paying a TLS shard lookup plus three atomic RMWs per observation.
+/// Bucketing matches MetricsRegistry::observe() bit for bit.
+class HistogramBatch {
+ public:
+  explicit HistogramBatch(const HistogramSpec& spec)
+      : spec_(spec),
+        log_lo_(std::log(spec.lo)),
+        inv_log_step_(spec.bins / (std::log(spec.hi) - std::log(spec.lo))) {}
+
+  void observe(double value) {
+    int bin;
+    if (!(value >= spec_.lo)) {
+      bin = 0;
+    } else if (value >= spec_.hi) {
+      bin = spec_.bins + 1;
+    } else {
+      const int raw = static_cast<int>((std::log(value) - log_lo_) * inv_log_step_);
+      bin = 1 + std::clamp(raw, 0, spec_.bins - 1);
+    }
+    ++counts_[static_cast<std::size_t>(bin)];
+    sum_ += value;
+    ++n_;
+  }
+
+  /// Observations accumulated since the last flush()/clear().
+  [[nodiscard]] std::uint64_t pending() const { return n_; }
+  [[nodiscard]] const HistogramSpec& spec() const { return spec_; }
+
+  void clear() {
+    counts_.fill(0);
+    sum_ = 0.0;
+    n_ = 0;
+  }
+
+ private:
+  friend class MetricsRegistry;
+
+  HistogramSpec spec_;
+  double log_lo_;
+  double inv_log_step_;
+  std::array<std::uint64_t, static_cast<std::size_t>(MetricsRegistry::kMaxBins) + 2> counts_{};
+  double sum_ = 0.0;
+  std::uint64_t n_ = 0;
 };
 
 }  // namespace focv::obs

@@ -20,4 +20,24 @@ double WsnLoad::power_at(double t) const {
   return params_.sleep_power;
 }
 
+double WsnLoad::next_burst_edge(double t) const {
+  const double period = params_.report_period;
+  double local = std::fmod(t - phase(), period);
+  if (local < 0.0) local += period;
+  const double sense_end = params_.sense_duration;
+  const double tx_end = params_.sense_duration + params_.tx_duration;
+  double next_local;
+  if (local < sense_end) {
+    next_local = sense_end;
+  } else if (local < tx_end) {
+    next_local = tx_end;
+  } else {
+    next_local = period;  // next burst start
+  }
+  double edge = t + (next_local - local);
+  // Guard against fmod rounding leaving edge == t.
+  if (!(edge > t)) edge = t + period;
+  return edge;
+}
+
 }  // namespace focv::power

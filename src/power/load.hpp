@@ -42,6 +42,12 @@ class WsnLoad {
   /// seconds into each period).
   [[nodiscard]] double power_at(double t) const;
 
+  /// Earliest time > t at which power_at() changes value: the next burst
+  /// start, sense->tx transition, or burst end (phase-aware). Lets the
+  /// event-driven macro-stepper treat the load as piecewise-constant
+  /// between edges instead of sampling it.
+  [[nodiscard]] double next_burst_edge(double t) const;
+
   /// `burst_phase` wrapped into [0, report_period).
   [[nodiscard]] double phase() const;
 

@@ -28,9 +28,36 @@ class Supercapacitor {
   /// (clipped at the voltage limits and at empty).
   double apply_power(double power, double dt);
 
+  /// Advance by dt under a constant net power using the closed form of
+  /// the continuous dynamics dE/dt = P - 2E/tau (tau = R_self * C).
+  /// apply_power() composes the same dynamics one decay-then-integrate
+  /// step at a time; the two agree to O(dt_step / tau) per step, which
+  /// for the default parameters (tau = 2e6 s, 1 s steps) is ~5e-7
+  /// relative. The trajectory is monotone toward its asymptote, so
+  /// clamping the endpoint at [0, max] is exact. Used by the event-driven
+  /// macro-stepper to jump across hold periods in one call. Returns the
+  /// energy change [J].
+  double advance_constant_power(double power, double dt);
+
+  /// Time until the stored energy first reaches `target_j` under a
+  /// constant net power from the current state (voltage clamps ignored).
+  /// +infinity when the trajectory never gets there — wrong direction or
+  /// asymptote short of the target; 0 when already exactly at it. This is the
+  /// closed-form root-solve behind storage threshold events (cold-start,
+  /// energy-neutral, depletion crossings).
+  [[nodiscard]] double time_to_energy(double power, double target_j) const;
+
   [[nodiscard]] double voltage() const { return voltage_; }
   [[nodiscard]] double stored_energy() const {
     return 0.5 * params_.capacitance * voltage_ * voltage_;
+  }
+  /// Energy at max_voltage [J].
+  [[nodiscard]] double max_energy() const {
+    return 0.5 * params_.capacitance * params_.max_voltage * params_.max_voltage;
+  }
+  /// Energy at min_useful_voltage — the usable()/brown-out threshold [J].
+  [[nodiscard]] double min_useful_energy() const {
+    return 0.5 * params_.capacitance * params_.min_useful_voltage * params_.min_useful_voltage;
   }
   [[nodiscard]] bool usable() const { return voltage_ >= params_.min_useful_voltage; }
   [[nodiscard]] bool full() const { return voltage_ >= params_.max_voltage - 1e-9; }

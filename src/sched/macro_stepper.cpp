@@ -1,0 +1,577 @@
+#include "sched/macro_stepper.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/require.hpp"
+#include "obs/obs.hpp"
+
+namespace focv::sched {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+/// Histogram batches merge into the registry every this many samples.
+constexpr std::uint64_t kObsFlushEvery = 64;
+}  // namespace
+
+bool event_supported(const node::NodeConfig& config) {
+  if (config.power_model != node::PowerModel::kSurrogate) return false;
+  if (config.obs_compare_exact) return false;
+  if (config.controller_prototype == nullptr) return false;
+  return config.controller_prototype->macro_law() != mppt::MacroLaw::kPerStepOnly;
+}
+
+// The structure mirrors node/harvester_node.cpp's fixed loop on purpose:
+// fallback_step() below IS that loop body (via the lazy at_lux queries),
+// and every macro interval must account energy into the same NodeReport
+// fields the fixed path uses. Read the two side by side.
+node::NodeReport simulate_node_events(const env::LightTrace& trace, const node::NodeConfig& config,
+                                      node::CurveCache* shared_curves,
+                                      const PreparedTrace* prepared) {
+  using node::CurveCache;
+
+  require(config.cell_model != nullptr, "simulate_node: cell is required (use_cell)");
+  require(config.controller_prototype != nullptr,
+          "simulate_node: controller is required (use_controller)");
+  require(trace.size() >= 2, "simulate_node: trace needs at least 2 samples");
+  require(config.lux_scale > 0.0, "simulate_node: lux_scale must be > 0");
+  require(event_supported(config),
+          "simulate_node_events: config cannot run on the event engine (see event_supported)");
+
+  const pv::SingleDiodeModel& cell = *config.cell_model;
+
+  // Per-trace preprocessing: shared read-only across nodes, or built here.
+  std::optional<PreparedTrace> owned_prep;
+  if (prepared != nullptr) {
+    require(&prepared->trace() == &trace,
+            "simulate_node_events: PreparedTrace was built for a different trace");
+    require(&prepared->cell() == &cell,
+            "simulate_node_events: PreparedTrace was built for a different cell model");
+  } else {
+    env::SegmentationOptions seg;
+    seg.ratio_band = config.events.lux_ratio_band;
+    seg.floor = CurveCache::kDarkLux;
+    owned_prep.emplace(trace, cell, seg);
+  }
+  const PreparedTrace& prep = prepared != nullptr ? *prepared : *owned_prep;
+
+  std::unique_ptr<mppt::MpptController> owned_controller = config.controller_prototype->clone();
+  mppt::MpptController& controller = *owned_controller;
+  controller.reset();
+  const mppt::MacroLaw law = controller.macro_law();
+
+  power::Supercapacitor supercap(config.storage);
+  std::optional<power::Battery> battery;
+  if (config.battery) battery.emplace(*config.battery);
+  const auto store_voltage = [&] {
+    return battery ? battery->open_circuit_voltage() : supercap.voltage();
+  };
+  const auto store_usable = [&] { return battery ? battery->usable() : supercap.usable(); };
+  const auto store_apply = [&](double power, double dt) {
+    return battery ? battery->apply_power(power, dt) : supercap.apply_power(power, dt);
+  };
+  power::WsnLoad load(config.load);
+  std::optional<power::ColdStartCircuit> coldstart;
+  if (config.coldstart) coldstart.emplace(*config.coldstart);
+
+  std::optional<CurveCache> owned_curves;
+  if (shared_curves != nullptr) {
+    require(&shared_curves->cell() == &cell,
+            "simulate_node: shared curve cache was built for a different cell model");
+    require(shared_curves->temperature_k() == config.temperature_k,
+            "simulate_node: shared curve cache temperature mismatch");
+    require(shared_curves->model() == config.power_model &&
+                shared_curves->options().surrogate_points == config.surrogate_points,
+            "simulate_node: shared curve cache options mismatch");
+  } else {
+    owned_curves.emplace(cell, config.temperature_k,
+                         CurveCache::Options{config.power_model, config.surrogate_points});
+  }
+  CurveCache& curves = shared_curves != nullptr ? *shared_curves : *owned_curves;
+  const std::uint64_t evals_before = curves.model_evals();
+  const std::uint64_t entries_before = curves.entries_built();
+
+  const std::vector<double>& t = trace.time();
+  const std::vector<double>& eq = prep.eq_lux();
+  const std::vector<double>& total = prep.total_lux();
+  const double s = config.lux_scale;
+  const std::size_t n_steps = prep.step_count();
+  require(n_steps == trace.size() - 1,
+          "simulate_node_events: PreparedTrace size does not match the trace");
+
+  const bool obs_on = obs::enabled();
+  std::optional<obs::Tracer::Span> run_span;
+  if (obs_on) {
+    run_span.emplace(obs::tracer().span("simulate_node", "node"));
+    run_span->arg("controller", controller.name());
+    run_span->arg("power_model", "surrogate");
+    run_span->arg("stepper", "event");
+  }
+  static const obs::HistogramId step_eff_id = obs::metrics().histogram(
+      "node.step_tracking_efficiency", {1e-3, 1.0 + 1e-9, 48});
+  static const obs::HistogramId interval_id =
+      obs::metrics().histogram("sched.interval_s", {1e-3, 1e5, 48});
+  obs::HistogramBatch eff_batch({1e-3, 1.0 + 1e-9, 48});
+
+  node::NodeReport report;
+  report.duration = trace.duration();
+
+  mppt::SensedInputs sensed;
+  double prev_power = 0.0;
+  double prev_voltage = 0.0;
+  const double overhead_power = controller.overhead_power();
+  const double min_operating_lux = controller.minimum_operating_lux();
+  const double load_power = load.average_power();
+  const double controller_current = overhead_power / 3.3;  // for the cold-start load model
+  const bool record = config.record_traces;
+  const std::size_t stride = static_cast<std::size_t>(std::max(1, config.record_stride));
+  const bool bursts = config.events.resolve_load_bursts;
+
+  std::uint64_t fallback_steps = 0;
+  std::uint64_t intervals = 0;
+  // Net store power of the last processed interval: seeds the
+  // store-tracking drift guard in cap_interval().
+  double last_net = -(overhead_power + load_power);
+
+  // --- store advancement ----------------------------------------------
+  // Time until the store's usable() flag would flip under constant net
+  // power, from its current state. Mirrors the store models exactly:
+  // closed-form RC solve for the supercapacitor, linear for the battery.
+  const double cap_usable_energy = supercap.min_useful_energy();
+  const auto time_to_usable_flip = [&](double net) -> double {
+    if (battery) {
+      const power::Battery::Params& bp = battery->params();
+      const double rate =
+          (net >= 0.0 ? std::min(net, bp.max_charge_power) * bp.coulombic_efficiency : net) -
+          bp.capacity_j * bp.self_discharge_per_day / 86400.0;
+      if (rate == 0.0) return kInf;
+      const double dt = (0.02 * bp.capacity_j - battery->stored_energy()) / rate;
+      return dt >= 0.0 ? dt : kInf;
+    }
+    return supercap.time_to_energy(net, cap_usable_energy);
+  };
+  const auto store_advance = [&](double net, double dt) {
+    if (battery) {
+      battery->apply_power(net, dt);
+    } else {
+      supercap.advance_constant_power(net, dt);
+    }
+  };
+
+  // Opt-in burst resolution: continuous-time advance of [t0, t1) split
+  // at load burst edges and usable() crossings. Not an equivalence path
+  // (the fixed reference drains the period-average load), so crossings
+  // flip in continuous time instead of snapping to step boundaries;
+  // brownout_time is authoritative here, brownout_steps only counts
+  // tick-stepped fallback steps.
+  const auto advance_piece = [&](double t0, double t1, double delivered_pw, double oh_drain) {
+    double cur = t0;
+    while (cur < t1) {
+      const bool usable = store_usable();
+      const double load_now = load.power_at(cur);
+      const double net = delivered_pw - oh_drain - (usable ? load_now : 0.0);
+      double next = std::min(t1, load.next_burst_edge(cur));
+      const double flip_dt = time_to_usable_flip(net);
+      if (std::isfinite(flip_dt) && cur + flip_dt < next) {
+        // Nudge just past the crossing so usable() actually flips.
+        next = std::min(t1, cur + flip_dt + 1e-9);
+        ++report.events;
+      }
+      const double len = next - cur;
+      store_advance(net, len);
+      if (usable) {
+        report.load_energy_served += load_now * len;
+      } else {
+        report.brownout_time += len;
+      }
+      cur = next;
+    }
+  };
+
+  // Advance the store across steps [a, b) under constant converter
+  // output `delivered_pw` and controller drain `oh_drain`, splitting at
+  // usable() threshold crossings (snapped to the step boundary the fixed
+  // path would flip on — it tests usable() at step starts), at record
+  // points, and (opt-in) at load burst edges. rec_v / rec_p are the
+  // held operating point written to recorded traces inside the span.
+  const auto advance_store_span = [&](std::size_t a, std::size_t b, double delivered_pw,
+                                      double oh_drain, double rec_v, double rec_p) {
+    std::size_t p = a;
+    while (p < b) {
+      std::size_t rec_step = kNone;
+      std::size_t q = b;
+      if (record) {
+        const std::size_t r = ((p + stride - 1) / stride) * stride;  // next recorded step >= p
+        if (r < b) {
+          rec_step = r;
+          q = r + 1;  // the fixed path records step r after applying it
+        }
+      }
+      if (!bursts) {
+        const bool usable = store_usable();
+        const double net = delivered_pw - oh_drain - (usable ? load_power : 0.0);
+        const double flip_dt = time_to_usable_flip(net);
+        if (std::isfinite(flip_dt) && t[p] + flip_dt < t[q]) {
+          auto it = std::upper_bound(t.begin() + static_cast<std::ptrdiff_t>(p),
+                                     t.begin() + static_cast<std::ptrdiff_t>(q) + 1,
+                                     t[p] + flip_dt);
+          auto qf = static_cast<std::size_t>(it - t.begin());
+          if (qf <= p) qf = p + 1;  // crossing at t[p] itself: flip lands on the next boundary
+          if (qf < q) {
+            q = qf;
+            rec_step = kNone;  // the record boundary is beyond this piece now
+          }
+          ++report.events;  // storage threshold crossing
+        }
+        const double len = t[q] - t[p];
+        store_advance(net, len);
+        if (usable) {
+          report.load_energy_served += load_power * len;
+        } else {
+          report.brownout_steps += static_cast<int>(q - p);
+          report.brownout_time += len;
+        }
+      } else {
+        advance_piece(t[p], t[q], delivered_pw, oh_drain);
+      }
+      if (rec_step != kNone) {
+        report.time.push_back(t[rec_step]);
+        report.pv_voltage.push_back(rec_v);
+        report.pv_power.push_back(rec_p);
+        report.store_voltage.push_back(store_voltage());
+        ++report.events;  // report sampling point
+      }
+      p = q;
+    }
+  };
+
+  // --- fallback step ---------------------------------------------------
+  // One tick of the fixed reference loop (node/harvester_node.cpp),
+  // answered through the lazy at_lux queries so no O(trace) prepare()
+  // pass is needed. `advance_cs` is false only inside segments whose
+  // cold-start supervisor is certified-and-frozen (see below).
+  const auto fallback_step = [&](std::size_t i, bool advance_cs) {
+    const double dt = t[i + 1] - t[i];
+    const double lux = s * eq[i];
+    const CurveCache::StepCurve curve = curves.at_lux(lux);
+    report.ideal_mpp_energy += curve.pmpp * dt;
+
+    bool running = true;
+    if (coldstart) {
+      if (advance_cs) {
+        coldstart->advance(cell, curves.conditions_at(lux), dt, controller_current);
+      }
+      running = coldstart->started();
+    }
+    if (lux < min_operating_lux) running = false;
+
+    double pv_power = 0.0;
+    double pv_voltage = 0.0;
+    if (running) {
+      if (report.coldstart_time < 0.0) report.coldstart_time = t[i];
+      sensed.time = t[i];
+      sensed.dt = dt;
+      sensed.voc = curve.voc;
+      sensed.pilot_voc = curve.voc;
+      sensed.illuminance_estimate = s * total[i];
+      sensed.prev_power = prev_power;
+      sensed.prev_voltage = prev_voltage;
+      sensed.store_voltage = store_voltage();
+      const mppt::ControlOutput out = controller.step(sensed);
+      pv_voltage = out.pv_voltage;
+      pv_power = curves.power_at_lux(lux, out.pv_voltage) *
+                 (1.0 - std::min(1.0, out.disconnect_fraction));
+      report.overhead_energy += overhead_power * dt;
+      if (obs_on && curve.pmpp > 0.0) {
+        eff_batch.observe(pv_power / curve.pmpp);
+        if (eff_batch.pending() >= kObsFlushEvery) obs::metrics().flush(step_eff_id, eff_batch);
+      }
+    }
+    prev_power = pv_power;
+    prev_voltage = pv_voltage;
+    report.harvested_energy += pv_power * dt;
+
+    const double delivered = config.converter.output_power(pv_power, pv_voltage);
+    report.delivered_energy += delivered * dt;
+
+    double drain = running ? overhead_power : 0.0;
+    const double step_load = bursts ? load.power_at(t[i]) : load_power;
+    if (store_usable()) {
+      drain += step_load;
+      report.load_energy_served += step_load * dt;
+    } else {
+      ++report.brownout_steps;
+      report.brownout_time += dt;
+    }
+    store_apply(delivered - drain, dt);
+
+    if (record && i % stride == 0) {
+      report.time.push_back(t[i]);
+      report.pv_voltage.push_back(pv_voltage);
+      report.pv_power.push_back(pv_power);
+      report.store_voltage.push_back(store_voltage());
+    }
+    ++fallback_steps;
+    ++report.events;
+  };
+
+  // --- analytic macro interval -----------------------------------------
+  // Integrate steps [a, b) from one held operating point. Illuminance
+  // enters through a 2-point quadrature at the interval's dt-weighted
+  // mean +- stddev (O(1) from the prefix moments), clamped to the
+  // segment's actual range, which integrates the curve exactly through
+  // its second moment — the ratio band bounds what is left.
+  const auto process_interval = [&](std::size_t a, std::size_t b, bool running, double lo_lux,
+                                    double hi_lux) {
+    ++intervals;
+    ++report.events;
+    const PreparedTrace::Moments m = prep.moments(a, b);
+    const double w = m.w;
+    const double mean = (m.m1 / m.w) * s;
+    const double var = std::max(0.0, (m.m2 / m.w) * s * s - mean * mean);
+    const double sd = std::sqrt(var);
+    const double l_lo = std::clamp(mean - sd, lo_lux, hi_lux);
+    const double l_hi = std::clamp(mean + sd, lo_lux, hi_lux);
+    const CurveCache::StepCurve c_lo = curves.at_lux(l_lo);
+    const CurveCache::StepCurve c_hi = curves.at_lux(l_hi);
+    const double pmpp_bar = 0.5 * (c_lo.pmpp + c_hi.pmpp);
+    report.ideal_mpp_energy += pmpp_bar * w;
+
+    if (!running) {
+      prev_power = 0.0;
+      prev_voltage = 0.0;
+      advance_store_span(a, b, 0.0, 0.0, 0.0, 0.0);
+      return;
+    }
+    if (report.coldstart_time < 0.0) report.coldstart_time = t[a];
+
+    const double t_mid = 0.5 * (t[a] + t[b]);
+    const double dt_bar = w / static_cast<double>(b - a);
+    double pv_v = 0.0;
+    double p_lo = 0.0;
+    double p_hi = 0.0;
+    double d_lo = 0.0;
+    double d_hi = 0.0;
+    // Evaluate one commanded voltage at both quadrature illuminances.
+    const auto power_pair = [&](double v) {
+      p_lo = curves.power_at_lux(l_lo, v);
+      p_hi = curves.power_at_lux(l_hi, v);
+      d_lo = config.converter.output_power(p_lo, v);
+      d_hi = config.converter.output_power(p_hi, v);
+    };
+    switch (law) {
+      case mppt::MacroLaw::kSampleHold: {
+        // The fixed path applies the command sampled at each step's own
+        // time; evaluating the (linear) hold droop half a mean step past
+        // the midpoint reproduces that average exactly.
+        pv_v = controller.command_at(t_mid + 0.5 * dt_bar);
+        power_pair(pv_v);
+        break;
+      }
+      case mppt::MacroLaw::kMemoryless: {
+        const double est = prep.total_lux_mean(a, b) * s;
+        const auto eval = [&](const CurveCache::StepCurve& c, double lux) {
+          sensed.time = t_mid;
+          sensed.dt = dt_bar;
+          sensed.voc = c.voc;
+          sensed.pilot_voc = c.voc;
+          sensed.illuminance_estimate = est;
+          sensed.prev_power = prev_power;
+          sensed.prev_voltage = prev_voltage;
+          sensed.store_voltage = store_voltage();
+          const mppt::ControlOutput out = controller.step(sensed);
+          const double p = curves.power_at_lux(lux, out.pv_voltage) *
+                           (1.0 - std::min(1.0, out.disconnect_fraction));
+          return std::pair<double, double>{p, out.pv_voltage};
+        };
+        const auto [pl, vl] = eval(c_lo, l_lo);
+        const auto [ph, vh] = eval(c_hi, l_hi);
+        p_lo = pl;
+        p_hi = ph;
+        d_lo = config.converter.output_power(p_lo, vl);
+        d_hi = config.converter.output_power(p_hi, vh);
+        pv_v = 0.5 * (vl + vh);
+        break;
+      }
+      case mppt::MacroLaw::kTracksStore: {
+        const auto command_at_store = [&](double v_store) {
+          sensed.time = t_mid;
+          sensed.dt = dt_bar;
+          sensed.voc = 0.5 * (c_lo.voc + c_hi.voc);
+          sensed.pilot_voc = sensed.voc;
+          sensed.illuminance_estimate = prep.total_lux_mean(a, b) * s;
+          sensed.prev_power = prev_power;
+          sensed.prev_voltage = prev_voltage;
+          sensed.store_voltage = v_store;
+          return controller.step(sensed).pv_voltage;
+        };
+        // Predictor-corrector: command at the entry store state, predict
+        // the midpoint store voltage under that net power, re-command.
+        pv_v = command_at_store(store_voltage());
+        power_pair(pv_v);
+        if (!battery) {
+          const double net =
+              0.5 * (d_lo + d_hi) - overhead_power - (store_usable() ? load_power : 0.0);
+          power::Supercapacitor probe = supercap;  // predict only
+          probe.advance_constant_power(net, 0.5 * w);
+          pv_v = command_at_store(probe.voltage());
+          power_pair(pv_v);
+        }
+        break;
+      }
+      case mppt::MacroLaw::kPerStepOnly:
+        break;  // unreachable: event_supported() rejects it
+    }
+    const double p_bar = 0.5 * (p_lo + p_hi);
+    const double d_bar = 0.5 * (d_lo + d_hi);
+    report.harvested_energy += p_bar * w;
+    report.delivered_energy += d_bar * w;
+    report.overhead_energy += overhead_power * w;
+    prev_power = p_bar;
+    prev_voltage = pv_v;
+    last_net = d_bar - overhead_power - (store_usable() ? load_power : 0.0);
+    if (obs_on) {
+      if (pmpp_bar > 0.0) {
+        eff_batch.observe(p_bar / pmpp_bar);
+        if (eff_batch.pending() >= kObsFlushEvery) obs::metrics().flush(step_eff_id, eff_batch);
+      }
+      obs::metrics().observe(interval_id, w);
+      obs::tracer().record_complete("macro_interval", "sched", t[a] * 1e6, w * 1e6,
+                                    obs::Tracer::kSimPid);
+    }
+    advance_store_span(a, b, d_bar, overhead_power, pv_v, p_bar);
+  };
+
+  // Bound one interval: the hard time cap, plus the store-drift guard
+  // for store-tracking laws (the commanded voltage follows the store).
+  const auto cap_interval = [&](std::size_t p, std::size_t limit) {
+    double cap = config.events.max_interval_s;
+    if (law == mppt::MacroLaw::kTracksStore && !battery) {
+      const double v = std::max(store_voltage(), 0.5);
+      const double net = std::max(std::abs(last_net), 1e-9);
+      cap = std::min(cap, config.events.store_dv_guard * supercap.params().capacitance * v / net);
+    }
+    auto it = std::upper_bound(t.begin() + static_cast<std::ptrdiff_t>(p),
+                               t.begin() + static_cast<std::ptrdiff_t>(limit) + 1, t[p] + cap);
+    auto q = static_cast<std::size_t>(it - t.begin()) - 1;
+    if (q <= p) q = p + 1;
+    return std::min(q, limit);
+  };
+
+  // Cold-start sustain certification: with the supervisor latched on,
+  // one exact cell evaluation at the segment's minimum illuminance
+  // checks that the PV current at the worst-case hold voltage covers the
+  // C1 drain with 4x margin — then started() cannot drop inside the
+  // segment and the per-step supervisor integration is skipped (v_c1
+  // frozen; it re-equilibrates within seconds of the next tick-stepped
+  // segment, so un-start timing is preserved to well under the 0.1 %
+  // energy budget).
+  const auto coldstart_certified = [&](double scaled_min_lux) {
+    if (!coldstart->started()) return false;
+    const power::ColdStartCircuit::Params& cp = coldstart->params();
+    const double v_hold = cp.threshold - cp.hysteresis + cp.diode_drop;
+    const double i_pv =
+        std::max(0.0, cell.current(v_hold, curves.conditions_at(scaled_min_lux)));
+    return i_pv >= 4.0 * (cp.standby_leakage + controller_current);
+  };
+
+  const double dark_lux = CurveCache::kDarkLux;
+  for (const env::Segment& seg : prep.segments()) {
+    ++report.events;  // light-trace breakpoint
+    const double seg_min = s * seg.min_value;
+    const double seg_max = s * seg.max_value;
+
+    bool per_step = false;
+    bool frozen_cs = false;
+    if (min_operating_lux > 0.0 && seg_min < min_operating_lux && seg_max >= min_operating_lux) {
+      per_step = true;  // the running gate would flip mid-segment
+    }
+    if (!per_step && seg.dark && seg_max >= dark_lux) {
+      // lux_scale pushed a dark-merged segment (unbounded ratio) across
+      // the surrogate's dark cutoff: no band bound for the quadrature.
+      per_step = true;
+    }
+    if (!per_step && coldstart) {
+      if (coldstart_certified(seg_min)) {
+        frozen_cs = true;
+      } else {
+        per_step = true;  // supervisor state must evolve tick by tick
+      }
+    }
+    if (per_step) {
+      for (std::size_t i = seg.first; i < seg.last; ++i) fallback_step(i, true);
+      continue;
+    }
+
+    const bool running_seg = (min_operating_lux <= 0.0 || seg_min >= min_operating_lux) &&
+                             (!coldstart || coldstart->started());
+    (void)frozen_cs;  // documented: certified segments never advance the supervisor
+
+    std::size_t p = seg.first;
+    while (p < seg.last) {
+      if (running_seg && law == mppt::MacroLaw::kSampleHold) {
+        const double te = controller.next_command_event(t[p]);
+        if (te < t[p + 1]) {
+          // The event lands inside step p: replay that step through the
+          // real controller so its mutable state (held sample, astable
+          // phase, catch-up after dark) is exactly the fixed path's.
+          fallback_step(p, false);
+          ++p;
+          continue;
+        }
+        std::size_t q = seg.last;
+        if (te < t[seg.last]) {
+          // Macro-step up to the step that contains the event.
+          auto it = std::upper_bound(t.begin() + static_cast<std::ptrdiff_t>(p),
+                                     t.begin() + static_cast<std::ptrdiff_t>(seg.last) + 1, te);
+          q = static_cast<std::size_t>(it - t.begin()) - 1;
+        }
+        q = cap_interval(p, q);
+        process_interval(p, q, true, seg_min, seg_max);
+        p = q;
+      } else {
+        const std::size_t q = cap_interval(p, seg.last);
+        process_interval(p, q, running_seg, seg_min, seg_max);
+        p = q;
+      }
+    }
+  }
+
+  report.final_store_voltage = store_voltage();
+  report.steps = fallback_steps + intervals;
+  report.model_evals = curves.model_evals() - evals_before;
+  report.curve_entries = curves.entries_built() - entries_before;
+
+  if (obs_on) {
+    obs::metrics().flush(step_eff_id, eff_batch);
+    static const obs::CounterId steps_id = obs::metrics().counter("node.steps");
+    static const obs::CounterId evals_id = obs::metrics().counter("node.model_evals");
+    static const obs::CounterId events_id = obs::metrics().counter("sched.events");
+    static const obs::CounterId intervals_id = obs::metrics().counter("sched.intervals");
+    static const obs::CounterId fallback_id = obs::metrics().counter("sched.fallback_steps");
+    obs::metrics().add(steps_id, static_cast<double>(report.steps));
+    obs::metrics().add(evals_id, static_cast<double>(report.model_evals));
+    obs::metrics().add(events_id, static_cast<double>(report.events));
+    obs::metrics().add(intervals_id, static_cast<double>(intervals));
+    obs::metrics().add(fallback_id, static_cast<double>(fallback_steps));
+    obs::events().emit("node_run_complete", report.duration,
+                       {{"steps", report.steps},
+                        {"tracking_efficiency", report.tracking_efficiency()},
+                        {"net_j", report.net_energy()},
+                        {"curve_entries", report.curve_entries}});
+    run_span->arg("steps", static_cast<double>(report.steps));
+    run_span->arg("events", static_cast<double>(report.events));
+    run_span->arg("fallback_steps", static_cast<double>(fallback_steps));
+    run_span->arg("model_evals", static_cast<double>(report.model_evals));
+    run_span->arg("tracking_efficiency", report.tracking_efficiency());
+  }
+  return report;
+}
+
+}  // namespace focv::sched

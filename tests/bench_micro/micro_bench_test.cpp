@@ -73,10 +73,15 @@ TEST(MicroBenchHarness, SmokeRunCompletesAndWritesSchemaValidJson) {
   for (const char* name :
        {"simulate_node_24h_indoor_surrogate", "simulate_node_24h_indoor_exact",
         "simulate_node_24h_outdoor_surrogate", "simulate_node_24h_outdoor_exact",
+        "simulate_node_24h_indoor_event", "simulate_node_24h_outdoor_event",
         "sweep_jobs1", "sweep_jobsN", "circuit_transient_window",
-        "cell_model_solves", "obs_overhead_disabled", "obs_overhead_enabled",
+        "cell_model_solves", "fleet_step", "fleet_step_event",
+        "obs_overhead_disabled", "obs_overhead_enabled",
         "speedup_simulate_node_24h_indoor",
-        "speedup_simulate_node_24h_outdoor", "overhead_obs_overhead"}) {
+        "speedup_simulate_node_24h_outdoor", "overhead_obs_overhead",
+        "speedup_event_stepper_simulate_node_24h_indoor",
+        "speedup_event_stepper_simulate_node_24h_outdoor",
+        "speedup_event_stepper_fleet_step"}) {
     EXPECT_NE(json.find(name), std::string::npos) << name;
   }
   std::remove(path.c_str());

@@ -1,0 +1,94 @@
+#include "env/segments.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace focv::env {
+namespace {
+
+SegmentationOptions band(double ratio) {
+  SegmentationOptions o;
+  o.ratio_band = ratio;
+  return o;
+}
+
+TEST(Segments, ConstantSeriesIsOneSegment) {
+  const std::vector<double> v(100, 250.0);
+  const std::vector<Segment> segs = segment_series(v, v.size(), band(1.35));
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_EQ(segs[0].first, 0u);
+  EXPECT_EQ(segs[0].last, 100u);
+  EXPECT_DOUBLE_EQ(segs[0].min_value, 250.0);
+  EXPECT_DOUBLE_EQ(segs[0].max_value, 250.0);
+  EXPECT_FALSE(segs[0].dark);
+}
+
+TEST(Segments, CoverageIsExactAndOrdered) {
+  // A ramp through several e-folds: every step index must be covered by
+  // exactly one segment, in order, regardless of how the band splits it.
+  std::vector<double> v;
+  for (int i = 0; i < 500; ++i) v.push_back(10.0 * std::exp(0.01 * i));
+  const std::vector<Segment> segs = segment_series(v, v.size(), band(1.35));
+  ASSERT_FALSE(segs.empty());
+  std::size_t expect_first = 0;
+  for (const Segment& s : segs) {
+    EXPECT_EQ(s.first, expect_first);
+    EXPECT_GT(s.last, s.first);
+    expect_first = s.last;
+  }
+  EXPECT_EQ(expect_first, v.size());
+}
+
+TEST(Segments, RatioBandIsRespected) {
+  std::vector<double> v;
+  for (int i = 0; i < 1000; ++i) v.push_back(50.0 * std::exp(0.004 * i));
+  const SegmentationOptions o = band(1.35);
+  for (const Segment& s : segment_series(v, v.size(), o)) {
+    if (s.dark) continue;
+    EXPECT_LE(s.max_value, o.ratio_band * s.min_value * (1.0 + 1e-12));
+  }
+}
+
+TEST(Segments, DarkRunsMergeBelowFloor) {
+  // Values under the floor form one dark segment even across huge
+  // ratios; the lit neighbours stay separate.
+  std::vector<double> v = {300.0, 300.0, 1e-6, 1e-3, 0.04, 300.0, 300.0};
+  const std::vector<Segment> segs = segment_series(v, v.size(), band(1.35));
+  ASSERT_EQ(segs.size(), 3u);
+  EXPECT_FALSE(segs[0].dark);
+  EXPECT_TRUE(segs[1].dark);
+  EXPECT_EQ(segs[1].first, 2u);
+  EXPECT_EQ(segs[1].last, 5u);
+  EXPECT_FALSE(segs[2].dark);
+}
+
+TEST(Segments, StepJumpSplitsSegment) {
+  std::vector<double> v(10, 200.0);
+  v.insert(v.end(), 10, 500.0);
+  const std::vector<Segment> segs = segment_series(v, v.size(), band(1.35));
+  ASSERT_EQ(segs.size(), 2u);
+  EXPECT_EQ(segs[0].last, 10u);
+  EXPECT_DOUBLE_EQ(segs[0].max_value, 200.0);
+  EXPECT_DOUBLE_EQ(segs[1].min_value, 500.0);
+}
+
+TEST(Segments, CountShorterThanSeriesIsHonoured) {
+  // The engine passes n-1 steps for an n-sample trace: the last sample
+  // must not leak into any segment.
+  const std::vector<double> v = {100.0, 100.0, 100.0, 9999.0};
+  const std::vector<Segment> segs = segment_series(v, v.size() - 1, band(1.35));
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_EQ(segs[0].last, 3u);
+  EXPECT_DOUBLE_EQ(segs[0].max_value, 100.0);
+}
+
+TEST(Segments, EmptySeries) {
+  const std::vector<double> v;
+  EXPECT_TRUE(segment_series(v, 0, band(1.35)).empty());
+}
+
+}  // namespace
+}  // namespace focv::env

@@ -80,6 +80,52 @@ TEST(Metrics, MergesShardsAcrossEightThreads) {
   EXPECT_GT(h.sum, 0.0);
 }
 
+TEST(Metrics, HistogramBatchFlushMatchesPerObservePath) {
+  // The batch is a local staging buffer for hot loops; after flush() the
+  // registry must be indistinguishable from having observed every value
+  // directly — same buckets, same count, same sum.
+  const HistogramSpec spec{1e-3, 1.0 + 1e-9, 48};
+  MetricsRegistry direct;
+  MetricsRegistry batched;
+  const HistogramId d = direct.histogram("h", spec);
+  const HistogramId b = batched.histogram("h", spec);
+
+  HistogramBatch batch(spec);
+  EXPECT_EQ(batch.pending(), 0u);
+  std::vector<double> values;
+  for (int i = 0; i < 500; ++i) {
+    values.push_back(0.92 + 0.08 * std::sin(0.1 * i));  // efficiency-shaped
+  }
+  values.push_back(0.0);    // underflow
+  values.push_back(1e-6);   // underflow
+  values.push_back(5.0);    // overflow
+  for (const double v : values) {
+    direct.observe(d, v);
+    batch.observe(v);
+  }
+  EXPECT_EQ(batch.pending(), values.size());
+  batched.flush(b, batch);
+  EXPECT_EQ(batch.pending(), 0u);  // flushed batches restart empty
+
+  const MetricsSnapshot sd = direct.snapshot();
+  const MetricsSnapshot sb = batched.snapshot();
+  ASSERT_EQ(sd.histograms.size(), 1u);
+  ASSERT_EQ(sb.histograms.size(), 1u);
+  EXPECT_EQ(sb.histograms[0].count, sd.histograms[0].count);
+  EXPECT_DOUBLE_EQ(sb.histograms[0].sum, sd.histograms[0].sum);
+  ASSERT_EQ(sb.histograms[0].counts.size(), sd.histograms[0].counts.size());
+  for (std::size_t i = 0; i < sd.histograms[0].counts.size(); ++i) {
+    EXPECT_EQ(sb.histograms[0].counts[i], sd.histograms[0].counts[i]) << "bucket " << i;
+  }
+
+  // Flushing an empty batch is a no-op; a spec mismatch is a caller bug.
+  batched.flush(b, batch);
+  EXPECT_EQ(batched.snapshot().histograms[0].count, sd.histograms[0].count);
+  HistogramBatch wrong{HistogramSpec{1.0, 100.0, 8}};
+  wrong.observe(2.0);
+  EXPECT_THROW(batched.flush(b, wrong), PreconditionError);
+}
+
 TEST(Metrics, LogBinEdgesSpanLoToHiGeometrically) {
   const HistogramSpec spec{1.0, 1000.0, 3};  // decade bins
   const std::vector<double> edges = MetricsRegistry::bin_edges(spec);

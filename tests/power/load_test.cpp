@@ -81,6 +81,38 @@ TEST(WsnLoad, DefaultPhasePreservesHistoricalProfile) {
   EXPECT_EQ(load.power_at(0.0), p.sense_power + p.sleep_power);
 }
 
+TEST(WsnLoad, NextBurstEdgeWalksTheProfile) {
+  WsnLoad::Params p;
+  p.sense_duration = 10e-3;
+  p.tx_duration = 5e-3;
+  p.report_period = 60.0;
+  const WsnLoad load(p);
+  // From inside the sense window: sense->tx edge, then tx end, then the
+  // next burst start — exactly the piecewise-constant boundaries the
+  // event engine integrates between.
+  EXPECT_NEAR(load.next_burst_edge(0.0), 10e-3, 1e-12);
+  EXPECT_NEAR(load.next_burst_edge(10e-3), 15e-3, 1e-12);
+  EXPECT_NEAR(load.next_burst_edge(15e-3), 60.0, 1e-12);
+  EXPECT_NEAR(load.next_burst_edge(30.0), 60.0, 1e-12);
+  // Strictly-greater contract: asking at an edge returns the next one.
+  EXPECT_GT(load.next_burst_edge(60.0), 60.0);
+  EXPECT_NEAR(load.next_burst_edge(60.0), 60.0 + 10e-3, 1e-9);
+}
+
+TEST(WsnLoad, NextBurstEdgeHonoursPhase) {
+  WsnLoad::Params p;
+  p.sense_duration = 10e-3;
+  p.tx_duration = 5e-3;
+  p.report_period = 60.0;
+  p.burst_phase = 20.0;
+  const WsnLoad load(p);
+  EXPECT_NEAR(load.next_burst_edge(0.0), 20.0, 1e-9);  // the burst start itself
+  EXPECT_NEAR(load.next_burst_edge(20.0), 20.0 + 10e-3, 1e-9);
+  EXPECT_NEAR(load.next_burst_edge(20.0 + 12e-3), 20.0 + 15e-3, 1e-9);
+  // The profile repeats with the period, phase included.
+  EXPECT_NEAR(load.next_burst_edge(60.0 + 21.0), 2.0 * 60.0 + 20.0, 1e-9);
+}
+
 TEST(WsnLoad, RejectsBurstLongerThanPeriod) {
   WsnLoad::Params p;
   p.sense_duration = 40.0;

@@ -57,6 +57,92 @@ TEST(Supercapacitor, SelfDischargeDecays) {
   EXPECT_NEAR(cap.voltage(), 4.0 * std::exp(-1.0), 1e-6);
 }
 
+TEST(Supercapacitor, AdvanceConstantPowerMatchesLinearCharge) {
+  // No leak: the closed form degenerates to E += P dt, exactly what
+  // apply_power does below the clamps.
+  Supercapacitor cap(no_leak());
+  cap.set_voltage(2.0);
+  const double de = cap.advance_constant_power(1e-3, 500.0);
+  EXPECT_NEAR(de, 0.5e-3 * 1000.0, 1e-12);
+  EXPECT_NEAR(cap.stored_energy(), 0.5 * 2.0 * 2.0 + 0.5, 1e-12);
+}
+
+TEST(Supercapacitor, AdvanceConstantPowerIsASemigroup) {
+  // The RC closed form is exact, so advancing T in one call must land
+  // exactly where two calls of T/2 do — no splitting error.
+  Supercapacitor::Params p = no_leak();
+  p.self_discharge_resistance = 200.0;
+  Supercapacitor one(p);
+  Supercapacitor two(p);
+  one.set_voltage(3.0);
+  two.set_voltage(3.0);
+  one.advance_constant_power(2e-4, 300.0);
+  two.advance_constant_power(2e-4, 150.0);
+  two.advance_constant_power(2e-4, 150.0);
+  EXPECT_NEAR(one.voltage(), two.voltage(), 1e-12);
+}
+
+TEST(Supercapacitor, AdvanceConstantPowerIsFineStepLimit) {
+  // apply_power splits decay and charge per step; its trajectory must
+  // converge to the closed form as the step shrinks.
+  Supercapacitor::Params p = no_leak();
+  p.self_discharge_resistance = 500.0;
+  Supercapacitor macro(p);
+  Supercapacitor micro(p);
+  macro.set_voltage(2.5);
+  micro.set_voltage(2.5);
+  macro.advance_constant_power(5e-4, 600.0);
+  for (int i = 0; i < 6000; ++i) micro.apply_power(5e-4, 0.1);
+  EXPECT_NEAR(macro.voltage(), micro.voltage(), 1e-4);
+}
+
+TEST(Supercapacitor, TimeToEnergyLinear) {
+  Supercapacitor cap(no_leak());
+  cap.set_voltage(1.0);  // 0.5 J
+  const double target = cap.min_useful_energy();
+  const double t = cap.time_to_energy(1e-3, target);
+  ASSERT_TRUE(std::isfinite(t));
+  EXPECT_NEAR(t, (target - 0.5) / 1e-3, 1e-9);
+  cap.advance_constant_power(1e-3, t);
+  EXPECT_NEAR(cap.stored_energy(), target, 1e-9);
+  // Wrong direction: discharging never reaches a higher target.
+  EXPECT_TRUE(std::isinf(cap.time_to_energy(-1e-3, 2.0 * target)));
+}
+
+TEST(Supercapacitor, TimeToEnergyWithLeak) {
+  Supercapacitor::Params p = no_leak();
+  p.self_discharge_resistance = 1000.0;
+  Supercapacitor cap(p);
+  cap.set_voltage(2.0);  // 2 J, draining towards the 1.62 J threshold
+  const double target = cap.min_useful_energy();
+  const double t = cap.time_to_energy(-1e-4, target);
+  ASSERT_TRUE(std::isfinite(t));
+  Supercapacitor probe(p);
+  probe.set_voltage(2.0);
+  probe.advance_constant_power(-1e-4, t);
+  EXPECT_NEAR(probe.stored_energy(), target, 1e-9);
+  // Asymptote short of the target: a charge rate whose equilibrium sits
+  // below the threshold never crosses it.
+  Supercapacitor low(p);
+  low.set_voltage(0.5);
+  EXPECT_TRUE(std::isinf(low.time_to_energy(1e-6, target)));
+}
+
+TEST(Supercapacitor, TimeToEnergyAtThresholdIsZero) {
+  // A store sitting exactly on a threshold must still report the
+  // crossing (t = 0), or the event engine would wait forever to flip
+  // usable(); both the linear and the RC branch.
+  Supercapacitor lin(no_leak());
+  lin.set_voltage(1.8);
+  EXPECT_EQ(lin.time_to_energy(-1e-4, lin.min_useful_energy()), 0.0);
+  EXPECT_EQ(lin.time_to_energy(0.0, lin.min_useful_energy()), 0.0);
+  Supercapacitor::Params p = no_leak();
+  p.self_discharge_resistance = 1000.0;
+  Supercapacitor rc(p);
+  rc.set_voltage(1.8);
+  EXPECT_EQ(rc.time_to_energy(-1e-4, rc.min_useful_energy()), 0.0);
+}
+
 TEST(Supercapacitor, RejectsBadUse) {
   Supercapacitor cap(no_leak());
   EXPECT_THROW(cap.apply_power(1.0, 0.0), focv::PreconditionError);
