@@ -38,24 +38,21 @@ int g_jobs = 0;  // --jobs N (0 = hardware concurrency)
 std::string g_trace_path;  // --trace PATH (empty = telemetry off)
 
 runtime::SweepSpec make_comparison_spec() {
+  // Every technique is built through the controller registry (the
+  // "photo" entry's calibration defaults are this bench's two-point
+  // AmbiMax fit); the table keeps its citation-style display names.
+  core::register_paper_controller();
+  const mppt::Registry& registry = mppt::Registry::instance();
   runtime::SweepSpec spec;
   spec.add_cell("AM-1815", pv::sanyo_am1815());
-  spec.add_controller("proposed (FOCV S&H)",
-                      std::make_unique<mppt::FocvSampleHoldController>(
-                          core::make_paper_controller()));
-  spec.add_controller("hill climbing [2]", std::make_unique<mppt::HillClimbingController>());
-  spec.add_controller("inc. conductance [2]",
-                      std::make_unique<mppt::IncrementalConductanceController>());
-  spec.add_controller("100 ms FOCV [4]",
-                      std::make_unique<mppt::PeriodicDisconnectFocvController>());
-  spec.add_controller("pilot cell [5]", std::make_unique<mppt::PilotCellFocvController>());
-  spec.add_controller("photodetector [6]",
-                      std::make_unique<mppt::PhotodetectorController>(
-                          mppt::PhotodetectorController::calibrate(500.0, 3.18, 5000.0,
-                                                                   3.22)));
-  spec.add_controller("no MPPT, direct [7]",
-                      std::make_unique<mppt::DirectConnectionController>());
-  spec.add_controller("fixed voltage [8]", std::make_unique<mppt::FixedVoltageController>());
+  spec.add_controller("proposed (FOCV S&H)", registry.make("focv"));
+  spec.add_controller("hill climbing [2]", registry.make("pando"));
+  spec.add_controller("inc. conductance [2]", registry.make("inccond"));
+  spec.add_controller("100 ms FOCV [4]", registry.make("periodic"));
+  spec.add_controller("pilot cell [5]", registry.make("pilot"));
+  spec.add_controller("photodetector [6]", registry.make("photo"));
+  spec.add_controller("no MPPT, direct [7]", registry.make("direct"));
+  spec.add_controller("fixed voltage [8]", registry.make("fixed"));
 
   spec.add_scenario("office, constant 500 lux, 4 h",
                     env::constant_light(500.0, 0.0, 4.0 * 3600.0));
@@ -135,7 +132,8 @@ void bm_one_day_simulation(benchmark::State& state) {
   const env::LightTrace trace = env::office_desk_mixed();
   node::NodeConfig cfg;
   cfg.use_cell(pv::sanyo_am1815());
-  cfg.use_controller(core::make_paper_controller());
+  core::register_paper_controller();
+  cfg.use_controller(std::string("focv"));
   cfg.storage.initial_voltage = 3.0;
   for (auto _ : state) {
     benchmark::DoNotOptimize(node::simulate_node(trace, cfg));

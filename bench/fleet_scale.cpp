@@ -57,9 +57,9 @@ focv::fleet::FleetSpec make_spec(std::size_t nodes, const focv::env::LightTrace&
   spec.add_environment("outdoor", std::shared_ptr<const env::LightTrace>(
                                       std::shared_ptr<const env::LightTrace>(), &outdoor),
                        0.20);
-  spec.add_policy(fleet::MpptPolicy::kFocvSampleHold, 0.70);
-  spec.add_policy(fleet::MpptPolicy::kFixedVoltage, 0.15);
-  spec.add_policy(fleet::MpptPolicy::kDirectConnection, 0.15);
+  spec.add_policy("focv", 0.70);
+  spec.add_policy("fixed", 0.15);
+  spec.add_policy("direct", 0.15);
   spec.base.storage.initial_voltage = 2.5;
   spec.base.load.report_period = 120.0;
   return spec;

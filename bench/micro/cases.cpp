@@ -215,8 +215,8 @@ CaseSpec fleet_step_case() {
       fs.node_count = nodes;
       fs.use_cell(pv::sanyo_am1815());
       fs.add_environment("bench", trace);
-      fs.add_policy(fleet::MpptPolicy::kFocvSampleHold, 0.7);
-      fs.add_policy(fleet::MpptPolicy::kDirectConnection, 0.3);
+      fs.add_policy("focv", 0.7);
+      fs.add_policy("direct", 0.3);
       fs.base.storage.initial_voltage = 3.0;
       fs.base.load.report_period = 120.0;
       fleet::FleetOptions opt;
@@ -249,8 +249,8 @@ CaseSpec fleet_step_event_case() {
       fs.node_count = nodes;
       fs.use_cell(pv::sanyo_am1815());
       fs.add_environment("bench", trace);
-      fs.add_policy(fleet::MpptPolicy::kFocvSampleHold, 0.7);
-      fs.add_policy(fleet::MpptPolicy::kDirectConnection, 0.3);
+      fs.add_policy("focv", 0.7);
+      fs.add_policy("direct", 0.3);
       fs.base.storage.initial_voltage = 3.0;
       fs.base.load.report_period = 120.0;
       fs.base.stepper = node::Stepper::kEvent;

@@ -11,15 +11,22 @@
 //   ./build/examples/fleet_demo [--nodes N] [--jobs J] [--hours H]
 //                               [--seed S] [--json out.json]
 //                               [--jsonl nodes.jsonl] [--timing]
+//                               [--controller SPEC[:WEIGHT]]...
+//
+// Repeat --controller to replace the default mixture with registry spec
+// strings, e.g. `--controller "focv[k=0.55]:0.7" --controller graddesc`
+// (weight defaults to 1; grammar and catalog: mppt/registry.hpp).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "common/table.hpp"
 #include "env/profiles.hpp"
 #include "fleet/fleet.hpp"
+#include "mppt/registry.hpp"
 #include "pv/cell_library.hpp"
 
 int main(int argc, char** argv) {
@@ -32,6 +39,7 @@ int main(int argc, char** argv) {
   std::string json_path;
   std::string jsonl_path;
   bool timing = false;
+  std::vector<std::pair<std::string, double>> mixture;  // --controller SPEC[:WEIGHT]
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto next = [&]() -> const char* {
@@ -55,6 +63,21 @@ int main(int argc, char** argv) {
       jsonl_path = next();
     } else if (arg == "--timing") {
       timing = true;
+    } else if (arg == "--controller") {
+      // SPEC[:WEIGHT] — ':' cannot occur in the spec grammar, so the
+      // last one (if any) separates the mixture weight.
+      std::string token = next();
+      double weight = 1.0;
+      const std::size_t colon = token.rfind(':');
+      if (colon != std::string::npos) {
+        weight = std::atof(token.c_str() + colon + 1);
+        if (weight <= 0.0) {
+          std::fprintf(stderr, "bad weight in --controller %s\n", token.c_str());
+          return 2;
+        }
+        token.resize(colon);
+      }
+      mixture.emplace_back(std::move(token), weight);
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return 2;
@@ -78,11 +101,22 @@ int main(int argc, char** argv) {
   spec.add_environment("office_desk", office, 0.55);
   spec.add_environment("corridor", office.scaled(0.65, 0.1), 0.25);
   spec.add_environment("outdoor", env::outdoor_day(outdoor_params), 0.20);
-  spec.add_policy(fleet::MpptPolicy::kFocvSampleHold, 0.60);
-  spec.add_policy(fleet::MpptPolicy::kFixedVoltage, 0.10);
-  spec.add_policy(fleet::MpptPolicy::kPilotCellFocv, 0.10);
-  spec.add_policy(fleet::MpptPolicy::kHillClimbing, 0.10);
-  spec.add_policy(fleet::MpptPolicy::kDirectConnection, 0.10);
+  try {
+    if (mixture.empty()) {
+      spec.add_policy("focv", 0.60);
+      spec.add_policy("fixed", 0.10);
+      spec.add_policy("pilot", 0.10);
+      spec.add_policy("pando", 0.10);
+      spec.add_policy("direct", 0.10);
+    } else {
+      for (const auto& [controller_spec, weight] : mixture) {
+        spec.add_policy(controller_spec, weight);
+      }
+    }
+  } catch (const mppt::SpecError& e) {
+    std::fprintf(stderr, "fleet_demo: %s\n", e.what());
+    return 2;
+  }
   spec.base.storage.initial_voltage = 2.5;
   spec.base.load.report_period = 120.0;
 

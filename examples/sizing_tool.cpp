@@ -6,11 +6,15 @@
 // focv_runtime work-stealing pool (pass `--jobs N` to pick the worker
 // count); results are printed in query order regardless of schedule.
 //
-//   ./build/examples/sizing_tool [--jobs N] [--trace out.json] [--metrics out.jsonl]
+//   ./build/examples/sizing_tool [--jobs N] [--controller SPEC]
+//                                [--trace out.json] [--metrics out.jsonl]
 //
-// --trace captures the fan-out as Chrome trace_event JSON (one span per
-// sizing query plus the node-tier spans underneath); --metrics dumps
-// the focv-obs/v1 JSONL event/metric stream.
+// --controller sizes for any registered MPPT technique instead of the
+// paper's S&H FOCV, e.g. `--controller "graddesc[lr=0.1]"` (grammar and
+// catalog: mppt/registry.hpp). --trace captures the fan-out as Chrome
+// trace_event JSON (one span per sizing query plus the node-tier spans
+// underneath); --metrics dumps the focv-obs/v1 JSONL event/metric
+// stream.
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -31,12 +35,24 @@ int main(int argc, char** argv) {
 
   int jobs = 0;  // 0 = one worker per hardware thread
   std::string trace_path, metrics_path;
+  std::string controller_spec = "focv";  // the paper's technique by default
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--jobs") == 0) jobs = std::atoi(argv[i + 1]);
     if (std::strcmp(argv[i], "--trace") == 0) trace_path = argv[i + 1];
     if (std::strcmp(argv[i], "--metrics") == 0) metrics_path = argv[i + 1];
+    if (std::strcmp(argv[i], "--controller") == 0) controller_spec = argv[i + 1];
   }
   if (!trace_path.empty() || !metrics_path.empty()) obs::set_enabled(true);
+
+  // Fail fast (with the registry's token-quoting message) before the
+  // pool fans out.
+  core::register_paper_controller();
+  try {
+    (void)mppt::Registry::instance().resolve(controller_spec);
+  } catch (const mppt::SpecError& e) {
+    std::fprintf(stderr, "sizing_tool: %s\n", e.what());
+    return 2;
+  }
 
   const env::LightTrace office = env::office_desk_mixed();
   const env::LightTrace mobile = env::semi_mobile_day();
@@ -66,12 +82,14 @@ int main(int argc, char** argv) {
     node::SizingQuery query;
     query.use_cell(pv::sanyo_am1815());
     query.use_scenario(*cases[i].trace);
-    query.use_controller(core::make_paper_controller());
+    query.use_controller(controller_spec);
     query.load.report_period = cases[i].report_period;
     results[i] = node::size_for_energy_neutrality(query);
     if (span) span->arg("feasible", results[i].feasible ? 1.0 : 0.0);
   });
 
+  std::printf("controller: %s\n",
+              mppt::Registry::instance().canonical(controller_spec).c_str());
   ConsoleTable table({"scenario", "report period", "cell area", "daily harvest",
                       "daily load", "storage"});
   for (std::size_t i = 0; i < n_cases; ++i) {

@@ -19,7 +19,7 @@ analog::AstableMultivibrator::Params astable_params_from_spec(const SystemSpec& 
   return p;
 }
 
-mppt::FocvSampleHoldController make_paper_controller(const SystemSpec& spec) {
+mppt::FocvSampleHoldController::Params paper_controller_params(const SystemSpec& spec) {
   mppt::FocvSampleHoldController::Params p;
   p.astable = astable_params_from_spec(spec);
   p.sample_hold.divider_ratio = spec.divider_ratio;
@@ -40,8 +40,62 @@ mppt::FocvSampleHoldController make_paper_controller(const SystemSpec& spec) {
   p.active_threshold = spec.active_threshold;
   p.comparator_iq = spec.comparator_iq;
   p.misc_leakage = spec.misc_leakage;
+  return p;
+}
+
+mppt::FocvSampleHoldController make_paper_controller(const SystemSpec& spec) {
+  return mppt::FocvSampleHoldController(paper_controller_params(spec));
+}
+
+mppt::FocvSampleHoldController make_paper_controller_from_spec(
+    const mppt::ResolvedSpec& resolved, SystemSpec base,
+    std::optional<double> divider_ratio_override) {
+  require(resolved.name == "focv", "make_paper_controller_from_spec: spec \"" +
+                                       resolved.spec() + "\" is not \"focv\"");
+  // Only explicitly-set parameters touch the base spec: an unset `k`
+  // must leave base.divider_ratio bit-for-bit untouched (k -> k*alpha
+  // would not round-trip in binary floating point).
+  if (resolved.is_set("k")) base.divider_ratio = resolved.value("k") * base.alpha;
+  if (divider_ratio_override) base.divider_ratio = *divider_ratio_override;
+  if (resolved.is_set("hold")) base.astable_off_period = resolved.value("hold");
+  if (resolved.is_set("pulse")) base.astable_on_period = resolved.value("pulse");
+  mppt::FocvSampleHoldController::Params p = paper_controller_params(base);
+  if (resolved.is_set("min_lux")) p.min_lux = resolved.value("min_lux");
   return mppt::FocvSampleHoldController(p);
 }
+
+void register_paper_controller() {
+  mppt::Registry& registry = mppt::Registry::instance();
+  if (registry.contains("focv")) return;
+  mppt::Registry::Entry e;
+  e.name = "focv";
+  e.summary =
+      "the paper's S&H FOCV: astable-gated sample-and-hold, ~7.6 uA, no uC";
+  // Defaults mirror SystemSpec{}: k = divider_ratio / alpha = 0.298 / 0.5.
+  e.params = {
+      {"k", mppt::Unit::kNone, 0.596, 0.05, 0.95, "FOCV fraction (divider trim)"},
+      {"hold", mppt::Unit::kTime, 69.0, 0.1, 3600.0, "astable low (hold) period"},
+      {"pulse", mppt::Unit::kTime, 39e-3, 1e-3, 10.0, "astable high (sample) window"},
+      {"min_lux", mppt::Unit::kLux, 180.0, 0.0, 200e3, "self-sustain floor"},
+  };
+  e.ops_per_decision = 0.0;  // fully analog metrology
+  e.period_key = "hold";
+  e.factory = [](const mppt::ResolvedSpec& s) -> std::unique_ptr<mppt::MpptController> {
+    return std::make_unique<mppt::FocvSampleHoldController>(
+        make_paper_controller_from_spec(s));
+  };
+  registry.add(std::move(e));
+}
+
+namespace {
+// Static registrar: installs "focv" in any binary that pulls this
+// translation unit in (every focv_core user does — make_paper_controller
+// and paper_power_budget live here).
+const bool focv_entry_registered = [] {
+  register_paper_controller();
+  return true;
+}();
+}  // namespace
 
 analog::PowerBudget paper_power_budget(const SystemSpec& spec) {
   const analog::AstableMultivibrator astable(astable_params_from_spec(spec));

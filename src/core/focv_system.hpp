@@ -3,8 +3,11 @@
 // circuit netlists.
 #pragma once
 
+#include <optional>
+
 #include "analog/power_budget.hpp"
 #include "mppt/focv_sample_hold.hpp"
+#include "mppt/registry.hpp"
 
 namespace focv::core {
 
@@ -52,9 +55,35 @@ struct SystemSpec {
   double coldstart_diode_drop = 0.25;     ///< D1 [V]
 };
 
+/// Controller parameter bag derived from the component-level spec (the
+/// mapping make_paper_controller applies; exposed so spec-string
+/// construction can patch fields the SystemSpec does not carry).
+[[nodiscard]] mppt::FocvSampleHoldController::Params paper_controller_params(
+    const SystemSpec& spec);
+
 /// Behavioural controller configured exactly per the spec.
 [[nodiscard]] mppt::FocvSampleHoldController make_paper_controller(
     const SystemSpec& spec = {});
+
+/// Behavioural controller from a resolved registry spec
+/// (`focv[k=...,hold=...,pulse=...,min_lux=...]`) layered on top of a
+/// component-level base. Parameters the spec does not set keep the
+/// base's values bit-for-bit (no k -> divider -> k round trip), which is
+/// what keeps registry-built "focv" byte-identical to
+/// make_paper_controller(base). `divider_ratio_override`, when given,
+/// wins over both the base and the spec's `k` — the fleet engine uses it
+/// to fold per-node divider-tolerance draws into the axis nominal.
+[[nodiscard]] mppt::FocvSampleHoldController make_paper_controller_from_spec(
+    const mppt::ResolvedSpec& resolved, SystemSpec base = {},
+    std::optional<double> divider_ratio_override = std::nullopt);
+
+/// Install the "focv" entry (the paper's S&H FOCV metrology) into
+/// mppt::Registry::instance(). Idempotent. focv_system.cpp also calls
+/// this from a static registrar, so any binary that links focv_core and
+/// references this translation unit gets the entry automatically;
+/// spec-consuming CLIs call it explicitly to be independent of static
+/// archive pull-in order.
+void register_paper_controller();
 
 /// Itemised current budget of astable + S&H + ACTIVE comparator,
 /// reproducing the measured 7.6 uA average (Section IV-A).

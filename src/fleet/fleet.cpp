@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <fstream>
 #include <mutex>
 #include <optional>
@@ -30,6 +31,18 @@ const char* policy_name(MpptPolicy policy) {
   return "unknown";
 }
 
+const char* policy_spec(MpptPolicy policy) {
+  switch (policy) {
+    case MpptPolicy::kFocvSampleHold: return "focv";
+    case MpptPolicy::kFixedVoltage: return "fixed";
+    case MpptPolicy::kPilotCellFocv: return "pilot";
+    case MpptPolicy::kHillClimbing: return "pando";
+    case MpptPolicy::kPeriodicDisconnectFocv: return "periodic";
+    case MpptPolicy::kDirectConnection: return "direct";
+  }
+  return "unknown";
+}
+
 void FleetSpec::use_cell(const pv::SingleDiodeModel& cell_ref) {
   cell = std::shared_ptr<const pv::SingleDiodeModel>(
       std::shared_ptr<const pv::SingleDiodeModel>(), &cell_ref);
@@ -53,17 +66,67 @@ void FleetSpec::add_environment(std::string name, std::shared_ptr<const env::Lig
   environments.push_back(std::move(axis));
 }
 
+namespace {
+
+/// Best-effort reverse mapping for NodeDraw::policy (deprecated field):
+/// registry names the legacy enum can express; anything else reports as
+/// the default kFocvSampleHold (the field is informational only).
+MpptPolicy legacy_policy_for(const std::string& registry_name) {
+  if (registry_name == "fixed") return MpptPolicy::kFixedVoltage;
+  if (registry_name == "pilot") return MpptPolicy::kPilotCellFocv;
+  if (registry_name == "pando") return MpptPolicy::kHillClimbing;
+  if (registry_name == "periodic") return MpptPolicy::kPeriodicDisconnectFocv;
+  if (registry_name == "direct") return MpptPolicy::kDirectConnection;
+  return MpptPolicy::kFocvSampleHold;
+}
+
+/// Axis construction shared by the spec-string API and the enum shim.
+PolicyAxis make_policy_axis(const std::string& spec, double weight) {
+  core::register_paper_controller();  // independent of static pull-in order
+  PolicyAxis axis;
+  axis.resolved = mppt::Registry::instance().resolve(spec);
+  axis.label = axis.resolved.spec();
+  axis.weight = weight;
+  axis.policy = legacy_policy_for(axis.resolved.name);
+  // "focv" nodes are built per node (divider-k tolerance folds into the
+  // axis parameters); every other controller is one shared prototype.
+  if (axis.resolved.name != "focv") {
+    axis.prototype = mppt::Registry::instance().make(axis.resolved);
+  }
+  return axis;
+}
+
+}  // namespace
+
+void FleetSpec::add_policy(const std::string& spec, double weight) {
+  policies.push_back(make_policy_axis(spec, weight));
+}
+
 void FleetSpec::add_policy(MpptPolicy policy, double weight) {
-  policies.push_back(PolicyAxis{policy, weight});
+  static bool warned = [] {
+    std::fprintf(stderr,
+                 "focv::fleet: add_policy(MpptPolicy) is deprecated; pass a registry "
+                 "spec string instead, e.g. add_policy(\"focv[k=0.6]\", w) — see "
+                 "mppt/registry.hpp for the grammar and catalog.\n");
+    return true;
+  }();
+  (void)warned;
+  PolicyAxis axis = make_policy_axis(policy_spec(policy), weight);
+  axis.label = policy_name(policy);  // legacy report key, byte-compatible
+  axis.policy = policy;
+  policies.push_back(std::move(axis));
+}
+
+std::vector<PolicyAxis> effective_policies(const FleetSpec& spec) {
+  if (spec.policies.empty()) {
+    PolicyAxis axis = make_policy_axis("focv", 1.0);
+    axis.label = policy_name(MpptPolicy::kFocvSampleHold);  // legacy default label
+    return {std::move(axis)};
+  }
+  return spec.policies;
 }
 
 namespace {
-
-/// The policy mixture actually deployed (empty spec list = all-FOCV).
-std::vector<PolicyAxis> effective_policies(const FleetSpec& spec) {
-  if (spec.policies.empty()) return {PolicyAxis{MpptPolicy::kFocvSampleHold, 1.0}};
-  return spec.policies;
-}
 
 /// Index of the weighted-mixture slot that `u` in [0, 1) falls into.
 template <typename GetWeight>
@@ -150,28 +213,25 @@ node::NodeConfig materialize_node(const FleetSpec& spec, const NodeDraw& draw) {
   config.load.burst_phase = draw.burst_phase;
   // Bounded memory at fleet scale: per-node waveforms are never kept.
   config.record_traces = false;
-  switch (draw.policy) {
-    case MpptPolicy::kFocvSampleHold: {
-      core::SystemSpec system = spec.system;
-      system.divider_ratio = draw.divider_ratio;
-      config.use_controller(core::make_paper_controller(system));
-      break;
+  const std::vector<PolicyAxis> policies = effective_policies(spec);
+  require(draw.policy_index < policies.size(),
+          "fleet: draw's policy index does not match this spec's mixture");
+  const PolicyAxis& axis = policies[draw.policy_index];
+  if (axis.prototype != nullptr) {
+    config.controller_prototype = axis.prototype;  // shared; cloned per run
+  } else {
+    // "focv": rebuild per node so the production divider-k tolerance
+    // draw folds in. When the axis does not set `k`, the draw's ratio
+    // (spread around spec.system's nominal) is used verbatim — the
+    // bit-exact legacy path; an explicit `k` re-centres the same
+    // relative spread on the axis nominal.
+    double divider = draw.divider_ratio;
+    if (axis.resolved.is_set("k")) {
+      const double relative_spread = draw.divider_ratio / spec.system.divider_ratio;
+      divider = axis.resolved.value("k") * spec.system.alpha * relative_spread;
     }
-    case MpptPolicy::kFixedVoltage:
-      config.use_controller(mppt::FixedVoltageController{});
-      break;
-    case MpptPolicy::kPilotCellFocv:
-      config.use_controller(mppt::PilotCellFocvController{});
-      break;
-    case MpptPolicy::kHillClimbing:
-      config.use_controller(mppt::HillClimbingController{});
-      break;
-    case MpptPolicy::kPeriodicDisconnectFocv:
-      config.use_controller(mppt::PeriodicDisconnectFocvController{});
-      break;
-    case MpptPolicy::kDirectConnection:
-      config.use_controller(mppt::DirectConnectionController{});
-      break;
+    config.use_controller(std::make_unique<mppt::FocvSampleHoldController>(
+        core::make_paper_controller_from_spec(axis.resolved, spec.system, divider)));
   }
   return config;
 }

@@ -11,8 +11,8 @@
 //   spec.use_cell(pv::sanyo_am1815());
 //   spec.add_environment("office", env::office_desk_mixed(), 0.7);
 //   spec.add_environment("outdoor", env::outdoor_day({}), 0.3);
-//   spec.add_policy(MpptPolicy::kFocvSampleHold, 0.8);
-//   spec.add_policy(MpptPolicy::kFixedVoltage, 0.2);
+//   spec.add_policy("focv", 0.8);
+//   spec.add_policy("fixed[v=3.1]", 0.2);
 //   FleetReport report = run_fleet(spec, {.jobs = 8});
 //
 // Heterogeneity: each node draws its environment, MPPT policy,
@@ -45,8 +45,13 @@
 
 namespace focv::fleet {
 
-/// MPPT policy a node can be deployed with (the paper's controller and
-/// the baselines of Section IV-B, at their default parameters).
+/// DEPRECATED MPPT policy enum (the pre-registry API). New code passes
+/// registry spec strings to add_policy(spec, weight) instead — the enum
+/// can only name the six original controllers at default parameters,
+/// while a spec string reaches every registered controller with
+/// arbitrary parameters. Kept as a thin shim: add_policy(MpptPolicy)
+/// forwards to the spec-string path under the legacy snake_case report
+/// label, so existing reports stay byte-identical.
 enum class MpptPolicy {
   kFocvSampleHold,          ///< the paper's S&H FOCV (per-node divider-k spread)
   kFixedVoltage,            ///< voltage-reference IC [8]
@@ -56,8 +61,14 @@ enum class MpptPolicy {
   kDirectConnection,        ///< no MPPT, diode-coupled [7]
 };
 
-/// Stable snake_case identifier used in reports and JSONL records.
+/// Stable snake_case identifier the deprecated enum shim uses as its
+/// report/JSONL label (spec-string axes are labelled by their canonical
+/// spec instead).
 [[nodiscard]] const char* policy_name(MpptPolicy policy);
+
+/// Registry spec string the deprecated enum maps onto (default
+/// parameters, e.g. kHillClimbing -> "pando").
+[[nodiscard]] const char* policy_spec(MpptPolicy policy);
 
 /// Per-node spread assumptions (drawn per node from its RNG stream).
 struct HeterogeneitySpec {
@@ -86,10 +97,24 @@ struct EnvironmentAxis {
   double weight = 1.0;
 };
 
-/// Axis value: an MPPT policy with a mixture weight.
+/// Axis value: one controller of the deployment mixture, described by a
+/// resolved registry spec with a mixture weight.
 struct PolicyAxis {
-  MpptPolicy policy = MpptPolicy::kFocvSampleHold;
+  /// Report / JSONL key of this axis: the canonical spec string for
+  /// spec-string axes, the legacy snake_case name for enum-shim axes.
+  std::string label;
+  /// Registry resolution backing the axis (name + final parameters).
+  mppt::ResolvedSpec resolved;
   double weight = 1.0;
+  /// Shared controller prototype, cloned per node. Null for "focv"
+  /// axes: the paper controller is rebuilt per node so the divider-k
+  /// tolerance draw folds into the axis parameters (materialize_node).
+  std::shared_ptr<const mppt::MpptController> prototype;
+  /// DEPRECATED: the legacy enum this axis came from when added through
+  /// the shim (best-effort name mapping otherwise; meaningless for
+  /// controllers without an enum equivalent). Only NodeDraw::policy
+  /// reads it.
+  MpptPolicy policy = MpptPolicy::kFocvSampleHold;
 };
 
 /// Declarative fleet description. Expands deterministically into
@@ -124,8 +149,25 @@ struct FleetSpec {
   void add_environment(std::string name, env::LightTrace trace, double weight = 1.0);
   void add_environment(std::string name, std::shared_ptr<const env::LightTrace> trace,
                        double weight = 1.0);
+  /// Add a mixture slot from a registry spec string, e.g.
+  /// `add_policy("focv[k=0.55]", 0.6)` or `add_policy("graddesc", 0.4)`
+  /// (grammar and catalog: mppt/registry.hpp). The report label is the
+  /// canonical spec. Throws mppt::SpecError on a bad spec.
+  void add_policy(const std::string& spec, double weight = 1.0);
+  void add_policy(const char* spec, double weight = 1.0) {
+    add_policy(std::string(spec), weight);
+  }
+  /// DEPRECATED enum shim: forwards to the spec-string path under the
+  /// legacy snake_case label (byte-identical reports) and prints a
+  /// one-time deprecation note to stderr.
   void add_policy(MpptPolicy policy, double weight = 1.0);
 };
+
+/// The policy mixture actually deployed: FleetSpec::policies, or a
+/// single default-weight "focv" axis under the legacy label when the
+/// spec lists none. materialize_node, the report skeleton and the JSONL
+/// writer all label nodes through this.
+[[nodiscard]] std::vector<PolicyAxis> effective_policies(const FleetSpec& spec);
 
 /// The heterogeneity draw of one node: a pure function of
 /// (spec, node index), independent of execution order.
@@ -134,6 +176,8 @@ struct NodeDraw {
   std::uint64_t seed = 0;         ///< this node's RNG stream seed
   std::size_t env_index = 0;
   std::size_t policy_index = 0;   ///< into the effective policy list
+  /// DEPRECATED: legacy enum of the drawn axis (see PolicyAxis::policy);
+  /// reports key on the axis label, not on this.
   MpptPolicy policy = MpptPolicy::kFocvSampleHold;
   double attenuation = 1.0;       ///< placement factor
   double cell_factor = 1.0;       ///< photocurrent tolerance factor

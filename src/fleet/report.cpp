@@ -127,7 +127,7 @@ FleetReport make_skeleton(const FleetSpec& spec, const std::vector<PolicyAxis>& 
   }
   for (const PolicyAxis& p : policies) {
     PolicyAggregate agg;
-    agg.policy = policy_name(p.policy);
+    agg.policy = p.label;
     r.policies.push_back(std::move(agg));
   }
   r.efficiency_hist = FixedHistogram(efficiency_edges());
@@ -145,9 +145,10 @@ std::string node_record_jsonl(const FleetSpec& spec, const NodeDraw& draw,
   out += ", \"seed\": " + std::to_string(draw.seed);
   out += ", \"environment\": \"" +
          json_escape(spec.environments[draw.env_index].name) + "\"";
-  out += ", \"policy\": \"";
-  out += policy_name(draw.policy);
-  out += "\"";
+  const std::vector<PolicyAxis> policies = effective_policies(spec);
+  require(draw.policy_index < policies.size(),
+          "fleet jsonl: draw's policy index does not match this spec's mixture");
+  out += ", \"policy\": \"" + json_escape(policies[draw.policy_index].label) + "\"";
   out += ", \"attenuation\": " + fmt(draw.attenuation);
   out += ", \"cell_factor\": " + fmt(draw.cell_factor);
   out += ", \"divider_ratio\": " + fmt(draw.divider_ratio);

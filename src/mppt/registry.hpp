@@ -1,0 +1,126 @@
+// Runtime MPPT controller registry: a table of controller factories
+// keyed by name, each taking a typed, validated parameter bag parsed
+// from a spec string (mppt/spec.hpp), e.g.
+//
+//   focv[k=0.6,hold=69s]   pando[step=10mV,period=5s]
+//   inccond[step=5mV]      graddesc[lr=0.05,decay=0.9]
+//
+// This is the single construction path the sweep engine, the fleet
+// engine and every CLI consume: adding an algorithm means registering
+// one Entry here — SweepSpec / FleetSpec / NodeConfig / the tournament
+// bench pick it up with zero changes (the gradient-descent controller
+// of arXiv 2511.20895 enters exactly this way).
+//
+// The paper's own S&H FOCV ("focv") depends on the component-level
+// core::SystemSpec, so its entry is registered by focv::core (see
+// core::register_paper_controller(); focv_system.cpp also installs it
+// from a static registrar, so any binary linking focv_core gets it).
+// All baseline entries and graddesc self-register on first
+// Registry::instance() use.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mppt/controller.hpp"
+#include "mppt/spec.hpp"
+
+namespace focv::mppt {
+
+/// One registered parameter: key, dimension, default and validation
+/// bounds (inclusive). Declaration order is the canonical print order.
+struct ParamDesc {
+  std::string key;
+  Unit unit = Unit::kNone;
+  double default_value = 0.0;
+  double min_value = 0.0;
+  double max_value = 0.0;
+  std::string help;
+};
+
+/// A spec resolved against its registry entry: every catalog parameter
+/// carries its final value and whether the spec set it explicitly.
+struct ResolvedSpec {
+  struct Value {
+    std::string key;
+    double value = 0.0;
+    bool is_set = false;  ///< explicitly given (vs. catalog default)
+  };
+
+  std::string name;
+  std::vector<Value> params;  ///< full catalog, declaration order
+  std::string canonical;      ///< stable round-trip string, see spec()
+
+  /// Final value of a parameter; throws SpecError on an unknown key
+  /// (registry and caller disagreeing on the catalog is a bug).
+  [[nodiscard]] double value(const std::string& key) const;
+  [[nodiscard]] bool is_set(const std::string& key) const;
+
+  /// Canonical spec string: `name[key=value,...]` with the explicitly
+  /// set, non-default parameters in catalog order and canonical unit
+  /// formatting — `focv[hold=69s, k=0.596]` and `focv` both print as
+  /// "focv". Stable across re-parsing, so it is the report key the
+  /// sweep/fleet/tournament exports use.
+  [[nodiscard]] const std::string& spec() const { return canonical; }
+};
+
+/// Runtime table of controller factories.
+class Registry {
+ public:
+  using Factory = std::function<std::unique_ptr<MpptController>(const ResolvedSpec&)>;
+
+  struct Entry {
+    std::string name;     ///< registry key, e.g. "pando"
+    std::string summary;  ///< one-line description for the catalog
+    std::vector<ParamDesc> params;
+    /// Complexity-aware benchmarking axis (arXiv 2511.20895): estimated
+    /// arithmetic/ADC operations one MPPT decision costs on a low-power
+    /// microcontroller. 0 = analog implementation, no digital compute.
+    double ops_per_decision = 0.0;
+    /// Key of the parameter holding the decision cadence [s]; empty for
+    /// continuous/analog laws.
+    std::string period_key;
+    Factory factory;
+  };
+
+  /// The process-wide registry (baseline + graddesc entries installed
+  /// on first use; "focv" comes from focv::core, see file comment).
+  static Registry& instance();
+
+  /// Install an entry. Throws PreconditionError on a duplicate or
+  /// malformed entry. Idempotent re-registration of a byte-identical
+  /// name is rejected too — register once, at startup.
+  void add(Entry entry);
+
+  [[nodiscard]] bool contains(const std::string& name) const;
+  /// Entry by name; throws SpecError listing the registered names.
+  [[nodiscard]] const Entry& entry(const std::string& name) const;
+  /// Registered names, sorted (for --help / error messages).
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// Parse + validate a spec string against its entry: unknown name,
+  /// unknown/duplicate key, malformed value and out-of-range value all
+  /// throw SpecError quoting the offending token and the valid
+  /// alternatives. Never returns a partially-defaulted resolution.
+  [[nodiscard]] ResolvedSpec resolve(const std::string& spec) const;
+
+  /// Canonical round-trip: resolve(spec).spec().
+  [[nodiscard]] std::string canonical(const std::string& spec) const;
+
+  /// Build a controller from a spec string / resolved spec.
+  [[nodiscard]] std::unique_ptr<MpptController> make(const std::string& spec) const;
+  [[nodiscard]] std::unique_ptr<MpptController> make(const ResolvedSpec& resolved) const;
+
+  /// Multi-line catalog: one block per entry with parameter keys,
+  /// dimensions, defaults and ranges — the `--help` / `--list` text.
+  [[nodiscard]] std::string catalog() const;
+
+ private:
+  Registry() = default;
+  [[nodiscard]] std::vector<std::string> names_unlocked() const;
+  std::vector<Entry> entries_;  ///< insertion order; lookup is by name
+};
+
+}  // namespace focv::mppt

@@ -1,0 +1,188 @@
+#include "mppt/spec.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace focv::mppt {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t a = 0;
+  std::size_t b = s.size();
+  while (a < b && std::isspace(static_cast<unsigned char>(s[a]))) ++a;
+  while (b > a && std::isspace(static_cast<unsigned char>(s[b - 1]))) --b;
+  return s.substr(a, b - a);
+}
+
+bool valid_identifier(const std::string& s) {
+  if (s.empty() || !std::islower(static_cast<unsigned char>(s[0]))) return false;
+  for (const char c : s) {
+    const bool ok = std::islower(static_cast<unsigned char>(c)) ||
+                    std::isdigit(static_cast<unsigned char>(c)) || c == '_';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+[[noreturn]] void fail(const std::string& spec, const std::string& what) {
+  throw SpecError("mppt spec \"" + spec + "\": " + what);
+}
+
+struct Suffix {
+  const char* text;
+  double factor;
+};
+
+/// Accepted suffixes per dimension; the first entry is the base unit.
+/// Order within a dimension is longest-match-irrelevant (exact string
+/// compare after the numeric prefix).
+const Suffix* suffix_table(Unit unit, std::size_t& count) {
+  static const Suffix kVolt[] = {{"V", 1.0}, {"mV", 1e-3}, {"uV", 1e-6}};
+  static const Suffix kTime[] = {
+      {"s", 1.0}, {"ms", 1e-3}, {"us", 1e-6}, {"min", 60.0}, {"h", 3600.0}};
+  static const Suffix kPower[] = {{"W", 1.0}, {"mW", 1e-3}, {"uW", 1e-6}, {"nW", 1e-9}};
+  static const Suffix kLux[] = {{"lux", 1.0}, {"klux", 1e3}};
+  switch (unit) {
+    case Unit::kVoltage: count = 3; return kVolt;
+    case Unit::kTime: count = 5; return kTime;
+    case Unit::kPower: count = 4; return kPower;
+    case Unit::kLux: count = 2; return kLux;
+    case Unit::kNone: count = 0; return nullptr;
+  }
+  count = 0;
+  return nullptr;
+}
+
+std::string fmt_g(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.12g", v);
+  return buf;
+}
+
+}  // namespace
+
+const char* unit_suffixes(Unit unit) {
+  switch (unit) {
+    case Unit::kVoltage: return "V, mV, uV";
+    case Unit::kTime: return "s, ms, us, min, h";
+    case Unit::kPower: return "W, mW, uW, nW";
+    case Unit::kLux: return "lux, klux";
+    case Unit::kNone: return "(dimensionless: bare number only)";
+  }
+  return "";
+}
+
+ParsedSpec parse_spec_string(const std::string& spec) {
+  const std::string body = trim(spec);
+  if (body.empty()) fail(spec, "empty spec");
+
+  ParsedSpec out;
+  const std::size_t open = body.find('[');
+  if (open == std::string::npos) {
+    out.name = trim(body);
+    if (!valid_identifier(out.name)) {
+      fail(spec, "invalid controller name \"" + out.name +
+                     "\" (expected [a-z][a-z0-9_]*)");
+    }
+    return out;
+  }
+
+  out.name = trim(body.substr(0, open));
+  if (!valid_identifier(out.name)) {
+    fail(spec,
+         "invalid controller name \"" + out.name + "\" (expected [a-z][a-z0-9_]*)");
+  }
+  if (body.back() != ']') fail(spec, "missing closing ']'");
+  const std::string inner = body.substr(open + 1, body.size() - open - 2);
+  if (inner.find('[') != std::string::npos || inner.find(']') != std::string::npos) {
+    fail(spec, "nested '[' / ']' in parameter list");
+  }
+  if (trim(inner).empty()) return out;  // name[] == name
+
+  std::size_t start = 0;
+  while (start <= inner.size()) {
+    std::size_t comma = inner.find(',', start);
+    if (comma == std::string::npos) comma = inner.size();
+    const std::string token = trim(inner.substr(start, comma - start));
+    if (token.empty()) fail(spec, "empty parameter token");
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      fail(spec, "parameter token \"" + token + "\" is not key=value");
+    }
+    const std::string key = trim(token.substr(0, eq));
+    const std::string value = trim(token.substr(eq + 1));
+    if (!valid_identifier(key)) {
+      fail(spec, "invalid parameter key \"" + key + "\" (expected [a-z][a-z0-9_]*)");
+    }
+    if (value.empty()) fail(spec, "empty value for parameter \"" + key + "\"");
+    for (const auto& [existing, unused] : out.params) {
+      (void)unused;
+      if (existing == key) fail(spec, "duplicate parameter \"" + key + "\"");
+    }
+    out.params.emplace_back(key, value);
+    if (comma == inner.size()) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+double parse_value(const std::string& token, Unit unit) {
+  const std::string body = trim(token);
+  if (body.empty()) throw SpecError("empty value token");
+  const char* begin = body.c_str();
+  char* end = nullptr;
+  const double magnitude = std::strtod(begin, &end);
+  if (end == begin) {
+    throw SpecError("value \"" + body + "\" does not start with a number");
+  }
+  if (!std::isfinite(magnitude)) {
+    throw SpecError("value \"" + body + "\" is not finite");
+  }
+  const std::string suffix = trim(std::string(end));
+  if (suffix.empty()) return magnitude;  // bare number = base SI units
+  std::size_t n = 0;
+  const Suffix* table = suffix_table(unit, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (suffix == table[i].text) return magnitude * table[i].factor;
+  }
+  throw SpecError("value \"" + body + "\" has unit suffix \"" + suffix +
+                  "\" invalid here (accepted: " + unit_suffixes(unit) + ")");
+}
+
+std::string format_value(double value, Unit unit) {
+  std::size_t n = 0;
+  const Suffix* table = suffix_table(unit, n);
+  if (table == nullptr || value == 0.0) {
+    std::string out = fmt_g(value);
+    if (table != nullptr) out += table[0].text;  // "0s", "0V", ...
+    return out;
+  }
+  // Tightest suffix whose mantissa lands at >= 1 (min/h are parse-only
+  // conveniences, never canonical output): the largest factor <= |value|.
+  const double mag = std::fabs(value);
+  const Suffix* best = &table[0];
+  double best_factor = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (table[i].factor > 1.0) continue;  // canonical output never scales up
+    if (mag >= table[i].factor && table[i].factor > best_factor) {
+      best = &table[i];
+      best_factor = table[i].factor;
+    }
+  }
+  if (best_factor == 0.0) {
+    // Smaller than the smallest suffix: use the smallest one anyway.
+    for (std::size_t i = 0; i < n; ++i) {
+      if (table[i].factor > 1.0) continue;
+      if (best_factor == 0.0 || table[i].factor < best_factor) {
+        best = &table[i];
+        best_factor = table[i].factor;
+      }
+    }
+  }
+  return fmt_g(value / best->factor) + best->text;
+}
+
+}  // namespace focv::mppt

@@ -1,0 +1,73 @@
+// Controller spec strings: the parseable grammar behind the runtime
+// controller registry (mppt/registry.hpp).
+//
+//   spec   := name [ '[' param (',' param)* ']' ]
+//   name   := [a-z][a-z0-9_]*
+//   param  := key '=' value
+//   value  := number [unit-suffix]          e.g. 10mV, 69s, 0.6, 1mW
+//
+// Whitespace is allowed around every token, so `focv[ k = 0.6, hold = 69s ]`
+// parses the same as `focv[k=0.6,hold=69s]`. Values are unit-aware: each
+// registered parameter declares its dimension (voltage, time, power,
+// illuminance or dimensionless) and only that dimension's SI suffixes are
+// accepted; a bare number means base SI units (volts, seconds, watts,
+// lux). Canonical printing inverts the parse with the tightest suffix
+// whose mantissa is >= 1, which is what makes `spec()` strings stable
+// keys for CSV/JSON reports.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/require.hpp"
+
+namespace focv::mppt {
+
+/// Thrown on a malformed spec string, an unknown controller name, an
+/// unknown/duplicate parameter key or an out-of-range value. The message
+/// always quotes the offending token and lists the valid alternatives —
+/// a spec error must never produce a default-constructed controller.
+class SpecError : public PreconditionError {
+ public:
+  using PreconditionError::PreconditionError;
+};
+
+/// Dimension of a controller parameter; selects the accepted unit
+/// suffixes and the canonical printing.
+enum class Unit {
+  kNone,     ///< dimensionless (bare number only)
+  kVoltage,  ///< V, mV, uV
+  kTime,     ///< s, ms, us, min, h
+  kPower,    ///< W, mW, uW, nW
+  kLux,      ///< lux, klux
+};
+
+/// A spec string split into its name and raw `key=value` tokens, before
+/// any registry lookup (values still unparsed — the registry knows each
+/// key's dimension). Keys keep their source order; duplicates are
+/// rejected here.
+struct ParsedSpec {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> params;
+};
+
+/// Split `spec` into name + raw key/value pairs. Throws SpecError on
+/// grammar violations (quoting the offending token).
+[[nodiscard]] ParsedSpec parse_spec_string(const std::string& spec);
+
+/// Parse a value token (`10mV`, `69s`, `0.6`, ...) of the given
+/// dimension into base SI units. Throws SpecError naming the token and
+/// the suffixes valid for `unit`.
+[[nodiscard]] double parse_value(const std::string& token, Unit unit);
+
+/// Canonical printing of a base-SI value: shortest %.12g mantissa with
+/// the tightest suffix >= 1 (69 s -> "69s", 0.01 V -> "10mV"). Stable:
+/// equal doubles always print equal strings.
+[[nodiscard]] std::string format_value(double value, Unit unit);
+
+/// Human-readable list of the suffixes accepted for a dimension, for
+/// error messages and --help output (e.g. "V, mV, uV").
+[[nodiscard]] const char* unit_suffixes(Unit unit);
+
+}  // namespace focv::mppt

@@ -13,6 +13,7 @@
 
 #include "env/light_trace.hpp"
 #include "mppt/controller.hpp"
+#include "mppt/registry.hpp"
 #include "node/curve_cache.hpp"
 #include "power/battery.hpp"
 #include "power/coldstart.hpp"
@@ -74,6 +75,14 @@ struct NodeConfig {
   /// Take ownership of an already-built controller prototype.
   void use_controller(std::unique_ptr<mppt::MpptController> prototype) {
     controller_prototype = std::move(prototype);
+  }
+  /// Build the controller from a registry spec string, e.g.
+  /// `"focv[k=0.6,hold=69s]"` or `"graddesc[lr=0.05]"` (grammar and
+  /// catalog: mppt/registry.hpp). Throws mppt::SpecError on an unknown
+  /// name or a malformed/out-of-range parameter — never silently falls
+  /// back to a default-constructed controller.
+  void use_controller(const std::string& spec) {
+    controller_prototype = mppt::Registry::instance().make(spec);
   }
 
   /// PV curve evaluation strategy (see node/curve_cache.hpp). The

@@ -10,6 +10,7 @@
 
 #include "env/light_trace.hpp"
 #include "mppt/controller.hpp"
+#include "mppt/registry.hpp"
 #include "power/converter.hpp"
 #include "power/load.hpp"
 #include "pv/diode_models.hpp"
@@ -45,6 +46,11 @@ struct SizingQuery {
   }
   void use_controller(std::unique_ptr<mppt::MpptController> prototype) {
     controller_prototype = std::move(prototype);
+  }
+  /// Build the controller from a registry spec string (grammar and
+  /// catalog: mppt/registry.hpp). Throws mppt::SpecError on a bad spec.
+  void use_controller(const std::string& spec) {
+    controller_prototype = mppt::Registry::instance().make(spec);
   }
 
   power::BuckBoostConverter converter;

@@ -95,6 +95,11 @@ void SweepSpec::add_controller(std::string name,
   controllers.push_back(std::move(axis));
 }
 
+void SweepSpec::add_controller(const std::string& spec) {
+  const mppt::ResolvedSpec resolved = mppt::Registry::instance().resolve(spec);
+  add_controller(resolved.spec(), mppt::Registry::instance().make(resolved));
+}
+
 void SweepSpec::add_scenario(std::string name, env::LightTrace trace) {
   ScenarioAxis axis;
   axis.name = std::move(name);

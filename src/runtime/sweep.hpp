@@ -79,6 +79,12 @@ struct SweepSpec {
   /// Deep-copy `prototype` onto the controller axis.
   void add_controller(std::string name, const mppt::MpptController& prototype);
   void add_controller(std::string name, std::unique_ptr<mppt::MpptController> prototype);
+  /// Build the axis entry from a registry spec string; the axis name is
+  /// the *canonical* spec (mppt::ResolvedSpec::spec()), so CSV/JSON
+  /// controller keys are stable across equivalent spellings
+  /// (`pando[period=5s]` == `pando[ period = 5000ms ]`). Throws
+  /// mppt::SpecError on a bad spec.
+  void add_controller(const std::string& spec);
   void add_scenario(std::string name, env::LightTrace trace);
   void add_grid_point(std::string name, std::function<void(node::NodeConfig&, Rng&)> apply);
 

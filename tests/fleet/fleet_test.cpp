@@ -139,6 +139,44 @@ TEST(Fleet, MaterializeAppliesTheDraw) {
   ASSERT_NE(config.controller_prototype, nullptr);
 }
 
+TEST(Fleet, SpecStringPoliciesMatchEnumShimByteForByte) {
+  // Same mixture, once through the registry spec strings and once
+  // through the deprecated enum shim. Only the axis labels may differ
+  // (canonical spec vs legacy snake_case); every simulated byte must
+  // be identical once the labels are normalised.
+  FleetSpec via_spec = small_spec(24);
+  via_spec.policies.clear();
+  via_spec.add_policy("focv", 0.7);
+  via_spec.add_policy("pilot", 0.15);
+  via_spec.add_policy("direct", 0.15);
+
+  const FleetSpec via_enum = small_spec(24);  // enum mixture, same weights
+
+  const FleetReport a = run_fleet(via_spec, serial_options());
+  const FleetReport b = run_fleet(via_enum, serial_options());
+
+  const auto replace_all = [](std::string s, const std::string& from,
+                              const std::string& to) {
+    for (std::size_t pos = s.find(from); pos != std::string::npos;
+         pos = s.find(from, pos + to.size())) {
+      s.replace(pos, from.size(), to);
+    }
+    return s;
+  };
+  std::string legacy_json = b.to_json();
+  legacy_json = replace_all(legacy_json, "focv_sample_hold", "focv");
+  legacy_json = replace_all(legacy_json, "pilot_cell_focv", "pilot");
+  legacy_json = replace_all(legacy_json, "direct_connection", "direct");
+  EXPECT_EQ(a.to_json(), legacy_json);
+}
+
+TEST(Fleet, SpecStringPolicyFailsFastOnBadSpec) {
+  FleetSpec spec = small_spec(4);
+  EXPECT_THROW(spec.add_policy("bogus"), mppt::SpecError);
+  EXPECT_THROW(spec.add_policy("focv[stepp=1]"), mppt::SpecError);
+  EXPECT_THROW(spec.add_policy("focv[k=2]"), mppt::SpecError);
+}
+
 TEST(Fleet, ByteIdenticalAcrossWorkerCounts) {
   const FleetSpec spec = small_spec(26);  // 7 chunks of 4: uneven tail
 

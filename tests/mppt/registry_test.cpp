@@ -1,0 +1,235 @@
+#include "mppt/registry.hpp"
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/focv_system.hpp"
+#include "env/profiles.hpp"
+#include "mppt/baselines.hpp"
+#include "mppt/focv_sample_hold.hpp"
+#include "mppt/gradient_descent.hpp"
+#include "pv/cell_library.hpp"
+#include "runtime/sweep.hpp"
+
+namespace focv::mppt {
+namespace {
+
+// The "focv" entry lives in focv_core (layering: core depends on mppt),
+// so tests pull it in explicitly rather than trusting static-init link
+// order of the archive member.
+const Registry& registry() {
+  core::register_paper_controller();
+  return Registry::instance();
+}
+
+// Expect a SpecError whose message contains every listed fragment; the
+// fail-fast satellite requires the offending token to be quoted.
+template <typename Fn>
+void expect_spec_error(Fn&& fn, std::initializer_list<const char*> fragments) {
+  try {
+    fn();
+    FAIL() << "expected SpecError";
+  } catch (const SpecError& e) {
+    const std::string msg = e.what();
+    for (const char* fragment : fragments) {
+      EXPECT_NE(msg.find(fragment), std::string::npos)
+          << "message \"" << msg << "\" missing \"" << fragment << "\"";
+    }
+  }
+}
+
+TEST(SpecGrammar, WhitespaceTolerant) {
+  const std::string tight = registry().canonical("focv[k=0.55,hold=10s]");
+  const std::string loose = registry().canonical("  focv [ k = 0.55 , hold = 10 s ]  ");
+  EXPECT_EQ(tight, loose);
+  EXPECT_EQ(tight, "focv[k=0.55,hold=10s]");
+}
+
+TEST(SpecGrammar, NameOnlyAndEmptyBracketsAreEquivalent) {
+  EXPECT_EQ(registry().canonical("focv"), "focv");
+  EXPECT_EQ(registry().canonical("focv[]"), "focv");
+  EXPECT_EQ(registry().canonical(" focv "), "focv");
+}
+
+TEST(SpecGrammar, DuplicateKeyRejected) {
+  expect_spec_error([] { (void)registry().resolve("focv[k=0.5,k=0.6]"); },
+                    {"duplicate", "\"k\""});
+}
+
+TEST(SpecGrammar, UnknownParameterQuotesTokenAndListsValidKeys) {
+  expect_spec_error([] { (void)registry().resolve("pando[stepp=10mV]"); },
+                    {"unknown parameter", "\"stepp\"", "\"pando\"", "step", "period"});
+}
+
+TEST(SpecGrammar, UnknownControllerListsRegisteredNames) {
+  expect_spec_error([] { (void)registry().resolve("bogus"); },
+                    {"unknown controller", "\"bogus\"", "registered:", "focv",
+                     "graddesc", "pando"});
+}
+
+TEST(SpecGrammar, MalformedSpecsRejected) {
+  expect_spec_error([] { (void)registry().resolve("focv[k=0.5"); }, {"']'"});
+  expect_spec_error([] { (void)registry().resolve("focv[k]"); }, {"\"k\"", "key=value"});
+  expect_spec_error([] { (void)registry().resolve("focv[k=]"); }, {"empty value", "\"k\""});
+  expect_spec_error([] { (void)registry().resolve("Focv"); }, {"invalid controller name"});
+  expect_spec_error([] { (void)registry().resolve(""); }, {"empty spec"});
+}
+
+TEST(SpecGrammar, BadUnitSuffixNamesTheValidOnes) {
+  expect_spec_error([] { (void)registry().resolve("focv[hold=10kg]"); },
+                    {"\"hold\"", "ms", "min"});
+}
+
+TEST(SpecUnits, SuffixesScaleToBaseSi) {
+  EXPECT_DOUBLE_EQ(registry().resolve("pando[step=10mV]").value("step"), 0.01);
+  EXPECT_DOUBLE_EQ(registry().resolve("focv[hold=2min]").value("hold"), 120.0);
+  EXPECT_DOUBLE_EQ(registry().resolve("focv[pulse=5000us]").value("pulse"), 5e-3);
+  EXPECT_DOUBLE_EQ(registry().resolve("focv[min_lux=2klux]").value("min_lux"), 2000.0);
+  EXPECT_DOUBLE_EQ(registry().resolve("pando[overhead=250uW]").value("overhead"),
+                   250e-6);
+  // A bare number is the base SI unit.
+  EXPECT_DOUBLE_EQ(registry().resolve("focv[hold=69]").value("hold"), 69.0);
+}
+
+TEST(SpecUnits, CanonicalPicksTightestSuffixNeverMinOrHours) {
+  EXPECT_EQ(registry().canonical("pando[step=0.01V]"), "pando[step=10mV]");
+  EXPECT_EQ(registry().canonical("focv[pulse=0.005s]"), "focv[pulse=5ms]");
+  // min/h parse but are never emitted: factors > 1 stay in seconds.
+  EXPECT_EQ(registry().canonical("focv[hold=2min]"), "focv[hold=120s]");
+}
+
+TEST(SpecCanonical, ExplicitDefaultIsElided) {
+  // hold's catalog default is 69 s; restating it must not change the key.
+  EXPECT_EQ(registry().canonical("focv[hold=69s]"), "focv");
+  EXPECT_EQ(registry().canonical("focv[hold=69000ms]"), "focv");
+}
+
+TEST(SpecCanonical, CatalogOrderIndependentOfInputOrder) {
+  EXPECT_EQ(registry().canonical("focv[hold=10s,k=0.55]"), "focv[k=0.55,hold=10s]");
+}
+
+TEST(SpecCanonical, RoundTripIsAFixedPoint) {
+  const char* specs[] = {"focv",
+                         "focv[k=0.55,hold=2min,pulse=10ms]",
+                         "pando[step=10mV,period=5s]",
+                         "inccond[step=5mV]",
+                         "graddesc[lr=0.05,decay=0.9]",
+                         "periodic[period=50ms]",
+                         "pilot[k=0.62]",
+                         "fixed[v=3.3V]",
+                         "direct[drop=300mV]"};
+  for (const char* spec : specs) {
+    const std::string once = registry().canonical(spec);
+    EXPECT_EQ(registry().canonical(once), once) << "spec: " << spec;
+    EXPECT_EQ(registry().resolve(spec).spec(), once) << "spec: " << spec;
+  }
+}
+
+TEST(SpecValidation, OutOfRangeQuotesTokenAndBounds) {
+  expect_spec_error([] { (void)registry().resolve("focv[k=2]"); },
+                    {"\"k=2\"", "out of range"});
+  expect_spec_error([] { (void)registry().resolve("pando[step=-5mV]"); }, {"out of range"});
+}
+
+TEST(SpecValidation, UnsetParametersCarryCatalogDefaults) {
+  const ResolvedSpec r = registry().resolve("graddesc[lr=0.1]");
+  EXPECT_TRUE(r.is_set("lr"));
+  EXPECT_DOUBLE_EQ(r.value("lr"), 0.1);
+  EXPECT_FALSE(r.is_set("decay"));
+  EXPECT_DOUBLE_EQ(r.value("decay"), 0.9);
+  EXPECT_DOUBLE_EQ(r.value("period"), 1.0);
+}
+
+TEST(RegistryApi, ListsBuiltinsAndPrintsCatalog) {
+  const auto names = registry().names();
+  for (const char* expected :
+       {"direct", "fixed", "focv", "graddesc", "inccond", "pando", "periodic",
+        "photo", "pilot"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+  }
+  const std::string catalog = registry().catalog();
+  EXPECT_NE(catalog.find("graddesc"), std::string::npos);
+  EXPECT_NE(catalog.find("lr"), std::string::npos);
+  EXPECT_NE(catalog.find("mV"), std::string::npos);
+}
+
+TEST(RegistryApi, MakeAppliesParametersToTheController) {
+  const auto graddesc = registry().make("graddesc");
+  ASSERT_NE(graddesc, nullptr);
+  EXPECT_DOUBLE_EQ(graddesc->overhead_power(), 120e-6);
+  EXPECT_NE(dynamic_cast<GradientDescentController*>(graddesc.get()), nullptr);
+
+  const auto pando = registry().make("pando[overhead=2mW]");
+  EXPECT_DOUBLE_EQ(pando->overhead_power(), 2e-3);
+}
+
+TEST(RegistryApi, ComplexityMetadataCoversEveryEntry) {
+  for (const std::string& name : registry().names()) {
+    const Registry::Entry& e = registry().entry(name);
+    EXPECT_GE(e.ops_per_decision, 0) << name;
+    if (!e.period_key.empty()) {
+      const ResolvedSpec r = registry().resolve(name);
+      EXPECT_GT(r.value(e.period_key), 0.0) << name;
+    }
+  }
+  // The paper's analog S&H burns no MCU ops; the digital trackers do.
+  EXPECT_EQ(registry().entry("focv").ops_per_decision, 0);
+  EXPECT_GT(registry().entry("graddesc").ops_per_decision,
+            registry().entry("pando").ops_per_decision);
+}
+
+// The api_redesign contract: a sweep built through spec strings is
+// byte-identical (CSV included) to one built the legacy way from
+// hand-constructed controllers, and the registry axis label is the
+// canonical spec.
+TEST(RegistrySweep, ByteEqualCsvAgainstLegacyConstruction) {
+  const env::LightTrace trace =
+      env::constant_light(800.0, 0.0, 1800.0);
+
+  runtime::SweepSpec via_registry;
+  via_registry.add_cell("AM-1815", pv::sanyo_am1815());
+  via_registry.add_controller("focv");
+  via_registry.add_controller("pando[step=10mV]");
+  via_registry.add_scenario("office", trace);
+  via_registry.base.storage.initial_voltage = 3.0;
+  via_registry.base.load.report_period = 300.0;
+
+  runtime::SweepSpec legacy;
+  legacy.add_cell("AM-1815", pv::sanyo_am1815());
+  legacy.add_controller(
+      "focv", std::make_unique<FocvSampleHoldController>(core::make_paper_controller()));
+  HillClimbingController::Params pando_params;
+  pando_params.voltage_step = 0.01;
+  legacy.add_controller("pando[step=10mV]",
+                        std::make_unique<HillClimbingController>(pando_params));
+  legacy.add_scenario("office", trace);
+  legacy.base.storage.initial_voltage = 3.0;
+  legacy.base.load.report_period = 300.0;
+
+  EXPECT_EQ(via_registry.controllers[0].name, "focv");
+  EXPECT_EQ(via_registry.controllers[1].name, "pando[step=10mV]");
+
+  const runtime::SweepResult a = runtime::run_sweep(via_registry, {});
+  const runtime::SweepResult b = runtime::run_sweep(legacy, {});
+  EXPECT_EQ(a.to_csv(), b.to_csv());
+  EXPECT_FALSE(a.to_csv().empty());
+}
+
+TEST(RegistrySweep, SameSpecStringYieldsDeterministicCsv) {
+  const env::LightTrace trace = env::constant_light(500.0, 0.0, 1200.0);
+  const auto build = [&trace]() {
+    runtime::SweepSpec spec;
+    spec.add_cell("AM-1815", pv::sanyo_am1815());
+    spec.add_controller("graddesc[lr=0.1,period=2s]");
+    spec.add_scenario("office", trace);
+    spec.base.load.report_period = 300.0;
+    return runtime::run_sweep(spec, {}).to_csv();
+  };
+  EXPECT_EQ(build(), build());
+}
+
+}  // namespace
+}  // namespace focv::mppt
