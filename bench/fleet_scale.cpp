@@ -1,28 +1,38 @@
-// Fleet-size scaling bench: how the fleet engine behaves from 10 to
-// 10,000 nodes on a 24 h horizon.
+// Fleet-size scaling bench: the struct-of-arrays engine from 10 to
+// 1,000,000 nodes on a 24 h horizon.
 //
-// For each fleet size it reports wall time, throughput, parallel
-// speedup and peak RSS (the report accumulator is fixed-size and the
-// light traces are shared, so memory must stay flat as N grows), and
-// byte-compares the focv-fleet/v1 JSON of a --jobs 1 run against a
-// --jobs N run — the determinism contract of the chunked stepper.
+// Each ladder rung runs the SoA engine in both table modes (float and
+// int32-quantized), byte-compares the focv-fleet/v1 JSON of a --jobs 1
+// run against a --jobs N run on each mode (the determinism contract),
+// and up to 10k nodes also times the per-node MacroStepper on the
+// identical roster — the "x per node" column is the SoA speedup the
+// fleet_soa_* micro cases pin at 10k. Peak RSS is sampled per rung: the
+// schedules and curve tables are shared per environment and per-node
+// state is transient, so memory must stay far below the 2 GiB budget
+// all the way to a million nodes.
 //
-//   ./build/bench/fleet_scale            # full sweep up to 10,000 nodes
-//   ./build/bench/fleet_scale --smoke    # CI-sized sweep up to 200
-#include <algorithm>
+//   ./build/bench/fleet_scale             # full ladder, 10 -> 1M nodes
+//   ./build/bench/fleet_scale --smoke     # CI-sized ladder, 10 -> 200
+//   ./build/bench/fleet_scale --gate100k  # CI gate: 100k nodes, both
+//                                         # table modes byte-identical
+//                                         # across jobs, RSS < 2048 MiB
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
-#include <sstream>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/table.hpp"
 #include "env/profiles.hpp"
 #include "fleet/fleet.hpp"
+#include "fleet/soa.hpp"
+#include "node/curve_cache.hpp"
 #include "pv/cell_library.hpp"
 #include "runtime/thread_pool.hpp"
+#include "sched/prepared_trace.hpp"
 
 namespace {
 
@@ -40,29 +50,73 @@ double peak_rss_mib() {
   return 0.0;
 }
 
-focv::fleet::FleetSpec make_spec(std::size_t nodes, const focv::env::LightTrace& office,
-                                 const focv::env::LightTrace& corridor,
-                                 const focv::env::LightTrace& outdoor) {
+struct Environs {
+  std::shared_ptr<const focv::env::LightTrace> office, corridor, outdoor;
+};
+
+focv::fleet::FleetSpec make_spec(std::size_t nodes, const Environs& env,
+                                 focv::fleet::FleetEngine engine,
+                                 focv::fleet::TableMode mode) {
   using namespace focv;
   fleet::FleetSpec spec;
   spec.node_count = nodes;
   spec.root_seed = 2024;
   spec.use_cell(pv::sanyo_am1815());
-  spec.add_environment("office_desk", std::shared_ptr<const env::LightTrace>(
-                                          std::shared_ptr<const env::LightTrace>(), &office),
-                       0.55);
-  spec.add_environment("corridor", std::shared_ptr<const env::LightTrace>(
-                                       std::shared_ptr<const env::LightTrace>(), &corridor),
-                       0.25);
-  spec.add_environment("outdoor", std::shared_ptr<const env::LightTrace>(
-                                      std::shared_ptr<const env::LightTrace>(), &outdoor),
-                       0.20);
+  spec.add_environment("office_desk", env.office, 0.55);
+  spec.add_environment("corridor", env.corridor, 0.25);
+  spec.add_environment("outdoor", env.outdoor, 0.20);
+  // All three axes batch (focv closed form; fixed/pilot memoryless), so
+  // the ladder exercises the SoA sweep itself, not the fallback path.
   spec.add_policy("focv", 0.70);
   spec.add_policy("fixed", 0.15);
-  spec.add_policy("direct", 0.15);
+  spec.add_policy("pilot", 0.15);
   spec.base.storage.initial_voltage = 2.5;
   spec.base.load.report_period = 120.0;
+  spec.base.stepper = node::Stepper::kEvent;
+  spec.chunk_size = 4096;  // one SoA sweep per chunk, still >200 parallel grains at 1M
+  spec.engine = engine;
+  spec.table_mode = mode;
   return spec;
+}
+
+struct PairResult {
+  focv::fleet::FleetReport serial;  ///< the jobs=1 reference run
+  bool identical = false;           ///< jobs=N JSON byte-equal to jobs=1
+};
+
+PairResult run_pair(const focv::fleet::FleetSpec& spec, int jobs, bool analyze_load) {
+  focv::fleet::FleetOptions serial;
+  serial.jobs = 1;
+  serial.analyze_load = analyze_load;
+  PairResult out;
+  out.serial = focv::fleet::run_fleet(spec, serial);
+  focv::fleet::FleetOptions threaded;
+  threaded.jobs = jobs;
+  threaded.analyze_load = analyze_load;
+  const focv::fleet::FleetReport par = focv::fleet::run_fleet(spec, threaded);
+  out.identical = par.to_json() == out.serial.to_json();
+  return out;
+}
+
+/// Shared-table footprint of the SoA plan for this spec [bytes].
+std::size_t plan_table_bytes(const focv::fleet::FleetSpec& spec) {
+  using namespace focv;
+  env::SegmentationOptions seg;
+  seg.ratio_band = spec.base.events.lux_ratio_band;
+  seg.floor = node::CurveCache::kDarkLux;
+  std::vector<std::optional<sched::PreparedTrace>> prepared;
+  for (const fleet::EnvironmentAxis& e : spec.environments) {
+    prepared.emplace_back(std::in_place, *e.trace, *spec.cell, seg);
+  }
+  node::CurveCache cache(*spec.cell, spec.base.temperature_k,
+                         node::CurveCache::Options{spec.base.power_model,
+                                                  spec.base.surrogate_points});
+  const auto plan =
+      fleet::soa::build_plan(spec, fleet::effective_policies(spec), prepared, cache);
+  if (!plan) return 0;
+  std::size_t bytes = 0;
+  for (const fleet::soa::EnvPlan& e : plan->envs) bytes += e.tables.bytes();
+  return bytes;
 }
 
 }  // namespace
@@ -71,54 +125,95 @@ int main(int argc, char** argv) {
   using namespace focv;
 
   bool smoke = false;
+  bool gate100k = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--gate100k") == 0) gate100k = true;
   }
 
   std::printf("building the shared 24 h environments...\n");
-  const env::LightTrace office = env::office_desk_mixed();
-  const env::LightTrace corridor = office.scaled(0.65, 0.1);
-  const env::LightTrace outdoor = env::outdoor_day({});
+  Environs environs;
+  environs.office = std::make_shared<const env::LightTrace>(env::office_desk_mixed());
+  environs.corridor =
+      std::make_shared<const env::LightTrace>(environs.office->scaled(0.65, 0.1));
+  environs.outdoor = std::make_shared<const env::LightTrace>(env::outdoor_day({}));
 
   const std::vector<std::size_t> sizes =
-      smoke ? std::vector<std::size_t>{10, 50, 200}
-            : std::vector<std::size_t>{10, 100, 1000, 10000};
+      gate100k ? std::vector<std::size_t>{100000}
+      : smoke  ? std::vector<std::size_t>{10, 50, 200}
+               : std::vector<std::size_t>{10, 100, 1000, 10000, 100000, 1000000};
   // At least 8 workers even on small machines: the point of the
-  // threaded leg is contended stealing against the serial reference.
+  // threaded leg is contended scheduling against the serial reference.
   const int jobs = std::max(8, runtime::ThreadPool::default_thread_count());
+  // Per-node reference column: the identical roster on the per-node
+  // MacroStepper, only up to 10k nodes (it is the ~50x slower path the
+  // SoA engine replaces; a 1M per-node run would take hours).
+  const std::size_t per_node_cap = 10000;
 
-  ConsoleTable table({"nodes", "jobs", "wall s", "nodes/s", "speedup", "peak RSS MiB",
-                      "neutral %", "jobs=1 identical"});
+  ConsoleTable table({"nodes", "soa wall s", "nodes/s", "per-node s", "x per node",
+                      "RSS MiB", "neutral %", "float ==", "quant =="});
   bool all_identical = true;
   for (const std::size_t n : sizes) {
-    const fleet::FleetSpec spec = make_spec(n, office, corridor, outdoor);
+    // Load-concurrency analysis sorts O(nodes * bursts) edges — useful
+    // reporting at desk scale, pure accounting noise at fleet scale.
+    const bool analyze_load = n < 100000;
 
-    fleet::FleetOptions serial;
-    serial.jobs = 1;
-    const fleet::FleetReport ref = fleet::run_fleet(spec, serial);
+    const fleet::FleetSpec spec_f =
+        make_spec(n, environs, fleet::FleetEngine::kSoa, fleet::TableMode::kFloat);
+    const PairResult flt = run_pair(spec_f, jobs, analyze_load);
+    const fleet::FleetSpec spec_q =
+        make_spec(n, environs, fleet::FleetEngine::kSoa, fleet::TableMode::kQuantized);
+    const PairResult qnt = run_pair(spec_q, jobs, analyze_load);
+    all_identical = all_identical && flt.identical && qnt.identical;
 
-    fleet::FleetOptions threaded;
-    threaded.jobs = jobs;
-    const fleet::FleetReport report = fleet::run_fleet(spec, threaded);
+    double per_node_wall = 0.0;
+    if (n <= per_node_cap) {
+      const fleet::FleetSpec ref_spec =
+          make_spec(n, environs, fleet::FleetEngine::kPerNode, fleet::TableMode::kFloat);
+      fleet::FleetOptions ref_opt;
+      ref_opt.jobs = 1;
+      ref_opt.analyze_load = analyze_load;
+      per_node_wall = fleet::run_fleet(ref_spec, ref_opt).wall_seconds;
+    }
 
-    const bool identical = report.to_json() == ref.to_json();
-    all_identical = all_identical && identical;
-    table.add_row({ConsoleTable::num(static_cast<double>(n), 0), std::to_string(jobs),
-                   ConsoleTable::num(report.wall_seconds, 2),
-                   ConsoleTable::num(static_cast<double>(n) / report.wall_seconds, 0),
-                   ConsoleTable::num(ref.wall_seconds / report.wall_seconds, 2),
+    const double wall = flt.serial.wall_seconds;
+    table.add_row({ConsoleTable::num(static_cast<double>(n), 0),
+                   ConsoleTable::num(wall, 3),
+                   ConsoleTable::num(static_cast<double>(n) / wall, 0),
+                   per_node_wall > 0.0 ? ConsoleTable::num(per_node_wall, 3) : "-",
+                   per_node_wall > 0.0 ? ConsoleTable::num(per_node_wall / wall, 1) : "-",
                    ConsoleTable::num(peak_rss_mib(), 1),
-                   ConsoleTable::num(report.energy_neutral_fraction() * 100.0, 1),
-                   identical ? "yes" : "NO"});
-    std::printf("  %zu nodes done (%.2f s serial, %.2f s with %d jobs)\n", n,
-                ref.wall_seconds, report.wall_seconds, jobs);
+                   ConsoleTable::num(flt.serial.energy_neutral_fraction() * 100.0, 1),
+                   flt.identical ? "yes" : "NO", qnt.identical ? "yes" : "NO"});
+    std::printf("  %zu nodes done (%.3f s float, %.3f s quantized, jobs=%d)\n", n,
+                flt.serial.wall_seconds, qnt.serial.wall_seconds, jobs);
   }
   table.print(std::cout);
 
+  // Memory model: the dense curve tables are the only per-environment
+  // state the sweep touches per node-interval; per-node state is a
+  // transient ~200 B scalar struct, so RSS is dominated by the shared
+  // traces plus draws/reports of the chunks in flight.
+  const std::size_t biggest = sizes.back();
+  const std::size_t tb_f = plan_table_bytes(
+      make_spec(biggest, environs, fleet::FleetEngine::kSoa, fleet::TableMode::kFloat));
+  const std::size_t tb_q = plan_table_bytes(
+      make_spec(biggest, environs, fleet::FleetEngine::kSoa, fleet::TableMode::kQuantized));
+  const double rss = peak_rss_mib();
+  std::printf("shared curve tables: %.1f KiB float, %.1f KiB quantized (all envs)\n",
+              static_cast<double>(tb_f) / 1024.0, static_cast<double>(tb_q) / 1024.0);
+  std::printf("peak RSS %.1f MiB at %zu nodes (%.1f bytes/node amortised)\n", rss,
+              biggest, rss * 1024.0 * 1024.0 / static_cast<double>(biggest));
+
+  if (gate100k && rss >= 2048.0) {
+    std::fprintf(stderr, "FAIL: peak RSS %.1f MiB >= 2048 MiB budget at 100k nodes\n", rss);
+    return 1;
+  }
   if (!all_identical) {
     std::fprintf(stderr, "FAIL: a threaded run diverged from the serial reference\n");
     return 1;
   }
-  std::printf("all fleet sizes byte-identical between --jobs 1 and --jobs %d\n", jobs);
+  std::printf("all fleet sizes byte-identical between --jobs 1 and --jobs %d "
+              "on both table modes\n", jobs);
   return 0;
 }

@@ -4,6 +4,7 @@
 // scenario days, the Table-I sweep matrix, a Fig.-4 transient window);
 // --smoke shrinks every case to a seconds-scale CI gate with identical
 // code paths.
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <memory>
@@ -124,10 +125,12 @@ CaseSpec sweep_case(std::string name, std::string description, int jobs) {
   spec.make = [jobs](bool smoke) {
     // `jobs == 0` used to be forwarded verbatim, so the jobs_requested
     // counter recorded 0 and nothing checked that the pool actually
-    // fanned out. Resolve it to the hardware thread count here and
-    // assert the sweep used what was asked for — on a multi-core box
-    // the N-job case must genuinely run > 1 worker to mean anything.
-    const int resolved = jobs > 0 ? jobs : runtime::ThreadPool::default_thread_count();
+    // fanned out. Resolve it to the hardware thread count here — floored
+    // at 2, because on a single-core container default_thread_count()
+    // is 1 and the "N-job" case would silently measure the serial path —
+    // and assert the sweep genuinely ran > 1 worker.
+    const int resolved =
+        jobs > 0 ? jobs : std::max(2, runtime::ThreadPool::default_thread_count());
     return [spec = sweep_spec(smoke), resolved]() -> Counters {
       runtime::SweepOptions opt;
       opt.jobs = resolved;
@@ -268,6 +271,52 @@ CaseSpec fleet_step_event_case() {
   return spec;
 }
 
+CaseSpec fleet_soa_case(std::string name, std::string description,
+                        fleet::FleetEngine engine, fleet::TableMode mode) {
+  CaseSpec spec;
+  spec.name = std::move(name);
+  spec.description = std::move(description);
+  spec.make = [engine, mode](bool smoke) {
+    auto trace = std::make_shared<const env::LightTrace>(
+        smoke ? env::constant_light(500.0, 0.0, 600.0)
+              : env::office_desk_mixed(env::OfficeDayParams{}));
+    const std::size_t nodes = smoke ? 64 : 10000;
+    return [trace = std::move(trace), nodes, engine, mode]() -> Counters {
+      fleet::FleetSpec fs;
+      fs.node_count = nodes;
+      fs.use_cell(pv::sanyo_am1815());
+      fs.add_environment("bench", trace);
+      // All three axes batch (focv closed form, fixed/pilot memoryless),
+      // so the SoA cases time the struct-of-arrays sweep itself; the
+      // _ref_event twin runs the identical roster per node.
+      fs.add_policy("focv", 0.7);
+      fs.add_policy("fixed", 0.15);
+      fs.add_policy("pilot", 0.15);
+      fs.base.storage.initial_voltage = 3.0;
+      fs.base.load.report_period = 120.0;
+      fs.base.stepper = node::Stepper::kEvent;
+      fs.engine = engine;
+      fs.table_mode = mode;
+      // One SoA sweep per chunk: the default 64-node chunks would call
+      // the batch engine ~150x per run and time its setup, not its loop.
+      fs.chunk_size = 4096;
+      fleet::FleetOptions opt;
+      opt.jobs = 1;               // measures the engine, not the pool
+      opt.analyze_load = false;   // load concurrency is O(nodes log nodes)
+                                  // bookkeeping shared by both engines
+      const fleet::FleetReport r = fleet::run_fleet(fs, opt);
+      require(r.nodes_failed == 0, "fleet_soa bench: node failures");
+      return {{"nodes_ok", static_cast<double>(r.nodes_ok)},
+              {"total_steps", static_cast<double>(r.steps)},
+              {"events", static_cast<double>(r.events)},
+              {"model_evals", static_cast<double>(r.model_evals)},
+              {"energy_neutral_nodes", static_cast<double>(r.energy_neutral_nodes)},
+              {"mean_tracking_efficiency", r.mean_tracking_efficiency()}};
+    };
+  };
+  return spec;
+}
+
 CaseSpec obs_overhead_case(std::string name, std::string description, bool telemetry) {
   CaseSpec spec;
   spec.name = std::move(name);
@@ -336,6 +385,21 @@ void register_default_cases() {
   r.push_back(cell_solves_case());
   r.push_back(fleet_step_case());
   r.push_back(fleet_step_event_case());
+  r.push_back(fleet_soa_case(
+      "fleet_soa_ref_event",
+      "10k-node all-batchable roster on the per-node event stepper — the "
+      "reference workload for the SoA speedup ratio",
+      fleet::FleetEngine::kPerNode, fleet::TableMode::kFloat));
+  r.push_back(fleet_soa_case(
+      "fleet_soa_float",
+      "identical roster on the struct-of-arrays engine, float dense "
+      "tables; speedup_fleet_soa in `derived` is the per-node gain",
+      fleet::FleetEngine::kSoa, fleet::TableMode::kFloat));
+  r.push_back(fleet_soa_case(
+      "fleet_soa_quantized",
+      "identical roster on the SoA engine with int32 uV/nW tables (half "
+      "the table bytes; the million-node memory mode)",
+      fleet::FleetEngine::kSoa, fleet::TableMode::kQuantized));
   r.push_back(obs_overhead_case(
       "obs_overhead_disabled",
       "office-day 24 h behavioural run with focv::obs telemetry off (the "

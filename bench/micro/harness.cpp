@@ -142,6 +142,9 @@ std::string to_json(const std::vector<CaseResult>& results, const RunOptions& op
   };
   pair_ratio("_surrogate", "_exact", "speedup_", /*invert=*/false);
   pair_ratio("_disabled", "_enabled", "overhead_", /*invert=*/false);
+  // speedup_fleet_soa: per-node event-stepper wall time over the SoA
+  // engine on the identical roster (fleet_soa_ref_event / fleet_soa_float).
+  pair_ratio("_ref_event", "_float", "speedup_", /*invert=*/true);
   // speedup_event_stepper_<stem>: fixed-stepper wall time over the
   // event-driven stepper for the same workload. The fixed counterpart
   // of X_event is X_surrogate when it exists (the simulate_node cases)

@@ -11,6 +11,8 @@
 
 #include "common/require.hpp"
 #include "common/rng.hpp"
+#include "fleet/detail.hpp"
+#include "fleet/soa.hpp"
 #include "mppt/baselines.hpp"
 #include "node/curve_cache.hpp"
 #include "obs/obs.hpp"
@@ -158,6 +160,10 @@ void validate_draw_inputs(const FleetSpec& spec) {
           "fleet: spread parameters must be >= 0 (period jitter < 1)");
 }
 
+}  // namespace
+
+namespace detail {
+
 double initial_store_voltage(const node::NodeConfig& config) {
   if (config.battery) {
     return config.battery->nominal_voltage +
@@ -166,11 +172,8 @@ double initial_store_voltage(const node::NodeConfig& config) {
   return config.storage.initial_voltage;
 }
 
-}  // namespace
-
-NodeDraw draw_node(const FleetSpec& spec, std::size_t index) {
-  validate_draw_inputs(spec);
-  const std::vector<PolicyAxis> policies = effective_policies(spec);
+NodeDraw draw_node_prevalidated(const FleetSpec& spec, const std::vector<PolicyAxis>& policies,
+                                std::size_t index) {
   const HeterogeneitySpec& h = spec.heterogeneity;
 
   NodeDraw d;
@@ -202,6 +205,13 @@ NodeDraw draw_node(const FleetSpec& spec, std::size_t index) {
                load.report_period * (1.0 + h.load_period_jitter * u_period));
   d.burst_phase = h.randomize_load_phase ? u_phase * d.report_period : 0.0;
   return d;
+}
+
+}  // namespace detail
+
+NodeDraw draw_node(const FleetSpec& spec, std::size_t index) {
+  validate_draw_inputs(spec);
+  return detail::draw_node_prevalidated(spec, effective_policies(spec), index);
 }
 
 node::NodeConfig materialize_node(const FleetSpec& spec, const NodeDraw& draw) {
@@ -240,13 +250,14 @@ LoadConcurrency analyze_load_concurrency(const FleetSpec& spec, double window_s)
   validate_draw_inputs(spec);
   require(spec.node_count > 0, "fleet: node_count must be > 0");
   const power::WsnLoad::Params& load = spec.base.load;
+  const std::vector<PolicyAxis> policies = effective_policies(spec);
 
   LoadConcurrency out;
   double max_period = 0.0;
   std::vector<NodeDraw> draws;
   draws.reserve(spec.node_count);
   for (std::size_t i = 0; i < spec.node_count; ++i) {
-    draws.push_back(draw_node(spec, i));
+    draws.push_back(detail::draw_node_prevalidated(spec, policies, i));
     max_period = std::max(max_period, draws.back().report_period);
     const double burst_energy =
         load.sense_power * load.sense_duration + load.tx_power * load.tx_duration;
@@ -322,15 +333,6 @@ void write_text_file(const std::string& path, const std::string& text) {
 
 }  // namespace
 
-// Implemented in report.cpp (everything export-shaped lives there).
-namespace detail {
-FleetReport make_skeleton(const FleetSpec& spec, const std::vector<PolicyAxis>& policies);
-std::string node_record_jsonl(const FleetSpec& spec, const NodeDraw& draw,
-                              const node::NodeReport& report, bool failed,
-                              const std::string& error, bool energy_neutral,
-                              double downtime_s);
-}  // namespace detail
-
 FleetReport run_fleet(const FleetSpec& spec, const FleetOptions& options) {
   validate_draw_inputs(spec);
   require(spec.node_count > 0, "run_fleet: node_count must be > 0");
@@ -353,7 +355,7 @@ FleetReport run_fleet(const FleetSpec& spec, const FleetOptions& options) {
   // O(events), not O(trace). Built here, before any chunk runs.
   std::vector<std::optional<sched::PreparedTrace>> prepared(spec.environments.size());
   std::optional<node::CurveCache> warm_cache;
-  if (spec.base.stepper == node::Stepper::kEvent &&
+  if ((spec.base.stepper == node::Stepper::kEvent || spec.engine == FleetEngine::kSoa) &&
       spec.base.power_model == node::PowerModel::kSurrogate) {
     env::SegmentationOptions seg;
     seg.ratio_band = spec.base.events.lux_ratio_band;
@@ -390,6 +392,14 @@ FleetReport run_fleet(const FleetSpec& spec, const FleetOptions& options) {
     }
   }
 
+  // SoA engine: one immutable plan (shared schedules, dense tables, edge
+  // overlays) built before any chunk runs. Null when the spec as a whole
+  // cannot batch — then every node takes the per-node path unchanged.
+  std::unique_ptr<const soa::SoaPlan> soa_plan;
+  if (spec.engine == FleetEngine::kSoa && warm_cache) {
+    soa_plan = soa::build_plan(spec, policies, prepared, *warm_cache);
+  }
+
   std::vector<FleetReport> partials(plan.count);
   for (FleetReport& p : partials) p = detail::make_skeleton(spec, policies);
   const bool want_jsonl = !options.jsonl_path.empty();
@@ -423,51 +433,86 @@ FleetReport run_fleet(const FleetSpec& spec, const FleetOptions& options) {
     }
     const auto chunk_start = std::chrono::steady_clock::now();
 
-    // One curve cache per chunk: every node shares the cell model, so in
-    // surrogate mode node k reuses the log-lux grid entries nodes
-    // 0..k-1 already solved (trajectories are unchanged; see
-    // CurveCache::prepare).
-    node::CurveCache cache(
-        *spec.cell, spec.base.temperature_k,
-        node::CurveCache::Options{spec.base.power_model, spec.base.surrogate_points});
-    if (warm_cache) cache.seed_entries(*warm_cache);
+    const std::size_t n = last - first;
+    std::vector<NodeDraw> draws;
+    draws.reserve(n);
+    for (std::size_t node = first; node < last; ++node) {
+      draws.push_back(detail::draw_node_prevalidated(spec, policies, node));
+    }
 
+    // Pass 1: simulate. Batchable nodes are collected and advanced in
+    // one struct-of-arrays sweep; everything else runs the per-node
+    // engine through the chunk's shared curve cache (created lazily so
+    // fully-batched chunks never pay the warm-cache seed copy). Every
+    // node shares the cell model, so in surrogate mode node k reuses the
+    // log-lux grid entries nodes 0..k-1 already solved (trajectories are
+    // unchanged; see CurveCache::prepare).
+    std::vector<node::NodeReport> reports(n);
+    std::vector<std::uint8_t> failed(n, 0);
+    std::vector<std::uint8_t> batched(n, 0);
+    std::vector<std::string> errors(n);
+    std::vector<std::uint8_t> neutral(n, 0);
+    std::vector<std::uint32_t> batch_members;
+    std::optional<node::CurveCache> cache;
+    for (std::size_t k = 0; k < n; ++k) {
+      if (soa_plan && soa_plan->axes[draws[k].policy_index].batch) {
+        batched[k] = 1;
+        batch_members.push_back(static_cast<std::uint32_t>(k));
+        continue;
+      }
+      try {
+        const node::NodeConfig config = materialize_node(spec, draws[k]);
+        const env::LightTrace& trace = *spec.environments[draws[k].env_index].trace;
+        const sched::PreparedTrace* prep =
+            prepared[draws[k].env_index] ? &*prepared[draws[k].env_index] : nullptr;
+        if (!cache) {
+          cache.emplace(
+              *spec.cell, spec.base.temperature_k,
+              node::CurveCache::Options{spec.base.power_model, spec.base.surrogate_points});
+          if (warm_cache) cache->seed_entries(*warm_cache);
+        }
+        reports[k] = node::simulate_node(trace, config, &*cache, prep);
+        neutral[k] =
+            reports[k].final_store_voltage >= detail::initial_store_voltage(config) ? 1 : 0;
+      } catch (const std::exception& e) {
+        failed[k] = 1;
+        errors[k] = e.what();
+      } catch (...) {
+        failed[k] = 1;
+        errors[k] = "unknown exception";
+      }
+    }
+    if (soa_plan) {
+      soa::run_batch(*soa_plan, spec, draws, batch_members, reports);
+      for (const std::uint32_t k : batch_members) {
+        // Batched specs never carry batteries (build_plan rejects them),
+        // so the neutrality reference is the supercap's initial voltage.
+        neutral[k] =
+            reports[k].final_store_voltage >= spec.base.storage.initial_voltage ? 1 : 0;
+      }
+    }
+
+    // Pass 2: fold into the chunk partial in node order (the
+    // accumulation order is part of the report's identity).
     FleetReport& acc = partials[c];
     std::size_t chunk_failed = 0;
-    for (std::size_t node = first; node < last; ++node) {
-      const NodeDraw draw = draw_node(spec, node);
-      node::NodeReport report;
-      bool failed = false;
-      std::string error;
-      bool energy_neutral = false;
-      double downtime_s = 0.0;
-      try {
-        const node::NodeConfig config = materialize_node(spec, draw);
-        const env::LightTrace& trace = *spec.environments[draw.env_index].trace;
-        const sched::PreparedTrace* prep =
-            prepared[draw.env_index] ? &*prepared[draw.env_index] : nullptr;
-        report = node::simulate_node(trace, config, &cache, prep);
-        energy_neutral = report.final_store_voltage >= initial_store_voltage(config);
-        downtime_s = report.brownout_time;
-        acc.add_node(draw, report, energy_neutral, downtime_s);
+    for (std::size_t k = 0; k < n; ++k) {
+      const bool energy_neutral = neutral[k] != 0;
+      const double downtime_s = failed[k] != 0 ? 0.0 : reports[k].brownout_time;
+      if (failed[k] != 0) {
+        acc.add_failed_node(draws[k]);
+        ++chunk_failed;
+      } else {
+        acc.add_node(draws[k], reports[k], energy_neutral, downtime_s);
         if (obs_on) {
-          obs::metrics().observe(node_eff_id, report.tracking_efficiency());
+          obs::metrics().observe(node_eff_id, reports[k].tracking_efficiency());
           obs::metrics().observe(node_downtime_id, downtime_s);
         }
-      } catch (const std::exception& e) {
-        failed = true;
-        error = e.what();
-      } catch (...) {
-        failed = true;
-        error = "unknown exception";
-      }
-      if (failed) {
-        acc.add_failed_node(draw);
-        ++chunk_failed;
       }
       if (want_jsonl) {
-        jsonl_chunks[c] += detail::node_record_jsonl(spec, draw, report, failed, error,
-                                                     energy_neutral, downtime_s);
+        jsonl_chunks[c] += detail::node_record_jsonl(spec, draws[k], reports[k],
+                                                     failed[k] != 0, errors[k], energy_neutral,
+                                                     downtime_s);
         jsonl_chunks[c] += '\n';
       }
     }

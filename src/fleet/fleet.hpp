@@ -119,6 +119,27 @@ struct PolicyAxis {
 
 /// Declarative fleet description. Expands deterministically into
 /// node_count per-node NodeConfigs (see draw_node / materialize_node).
+/// Which execution engine advances the fleet.
+enum class FleetEngine {
+  /// One stepper object per node (the reference path): kFixed or kEvent
+  /// per FleetSpec::base.stepper. Bit-stable across releases.
+  kPerNode,
+  /// Batched struct-of-arrays chunks (fleet/soa.hpp): nodes advance in
+  /// tight per-interval loops over a shared schedule and dense surrogate
+  /// tables, within the event stepper's 0.1 % equivalence contract.
+  /// Nodes the batch path cannot express (per-step-only or
+  /// store-tracking controllers, batteries, cold-start supervisors,
+  /// exact power model) transparently fall back to kPerNode semantics.
+  kSoa,
+};
+
+/// Numeric representation of the shared surrogate curve tables used by
+/// the SoA engine (ignored by kPerNode).
+enum class TableMode {
+  kFloat,      ///< double copies of the CurveCache entries (default)
+  kQuantized,  ///< int32 fixed point, uV / nW: half the bytes per entry
+};
+
 struct FleetSpec {
   std::size_t node_count = 100;
   /// Root of the per-node RNG streams.
@@ -142,6 +163,12 @@ struct FleetSpec {
   /// Nodes per scheduling chunk. Part of the result's identity: chunks
   /// bound both the parallel grain and the curve-cache sharing scope.
   std::size_t chunk_size = 64;
+  /// Execution engine. kSoa batches whole chunks through shared event
+  /// schedules (million-node scale); kPerNode is the bit-stable
+  /// reference. jobs=1 vs jobs=N byte-determinism holds on both.
+  FleetEngine engine = FleetEngine::kPerNode;
+  /// Curve-table representation for the SoA engine.
+  TableMode table_mode = TableMode::kFloat;
 
   /// Borrow a long-lived cell (e.g. a pv::cell_library singleton).
   void use_cell(const pv::SingleDiodeModel& cell_ref);

@@ -1,11 +1,35 @@
 #include "mppt/focv_sample_hold.hpp"
 
 #include <algorithm>
+#include <memory>
 
 #include "common/require.hpp"
 #include "obs/obs.hpp"
 
 namespace focv::mppt {
+
+/// Thread-local (per-controller) accumulator for the per-window
+/// metrics. Events and trace spans are emitted per window as before;
+/// only the counter/histogram traffic is batched.
+struct FocvSampleHoldController::SampleObs {
+  obs::CounterId samples_id;
+  obs::HistogramId held_id;
+  obs::HistogramBatch held_batch;
+  std::uint64_t pending_windows = 0;
+
+  SampleObs()
+      : samples_id(obs::metrics().counter("mppt.sample_windows")),
+        held_id(obs::metrics().histogram("mppt.held_voltage_v", {0.1, 10.0, 40})),
+        held_batch({0.1, 10.0, 40}) {}
+
+  void flush() {
+    if (pending_windows > 0) {
+      obs::metrics().add(samples_id, static_cast<double>(pending_windows));
+      pending_windows = 0;
+    }
+    obs::metrics().flush(held_id, held_batch);  // no-op when empty
+  }
+};
 
 FocvSampleHoldController::FocvSampleHoldController(Params params)
     : params_(params), astable_(params.astable), sample_hold_(params.sample_hold) {
@@ -14,6 +38,17 @@ FocvSampleHoldController::FocvSampleHoldController(Params params)
   require(params_.supply_voltage > 0.0,
           "FocvSampleHoldController: supply_voltage must be > 0");
   next_sample_time_ = astable_.next_rising_edge(0.0);
+}
+
+FocvSampleHoldController::FocvSampleHoldController(const FocvSampleHoldController& other)
+    : params_(other.params_),
+      astable_(other.astable_),
+      sample_hold_(other.sample_hold_),
+      next_sample_time_(other.next_sample_time_),
+      was_active_(other.was_active_) {}
+
+FocvSampleHoldController::~FocvSampleHoldController() {
+  if (obs_) obs_->flush();
 }
 
 ControlOutput FocvSampleHoldController::step(const SensedInputs& inputs) {
@@ -43,12 +78,9 @@ ControlOutput FocvSampleHoldController::step(const SensedInputs& inputs) {
       obs::tracer().record_complete("sample_window", "mppt", t_open * 1e6,
                                     sample_duration * 1e6, obs::Tracer::kSimPid,
                                     {{"voc", inputs.voc}, {"held_v", held}});
-      static const obs::CounterId samples_id =
-          obs::metrics().counter("mppt.sample_windows");
-      static const obs::HistogramId held_id =
-          obs::metrics().histogram("mppt.held_voltage_v", {0.1, 10.0, 40});
-      obs::metrics().add(samples_id);
-      obs::metrics().observe(held_id, held);
+      if (!obs_) obs_ = std::make_unique<SampleObs>();
+      obs_->held_batch.observe(held);
+      if (++obs_->pending_windows >= kObsFlushEvery) obs_->flush();
     }
     next_sample_time_ += astable_.period();
   }
@@ -103,6 +135,7 @@ double FocvSampleHoldController::overhead_power() const {
 }
 
 void FocvSampleHoldController::reset() {
+  if (obs_) obs_->flush();
   sample_hold_.reset();
   next_sample_time_ = astable_.next_rising_edge(0.0);
   was_active_ = false;

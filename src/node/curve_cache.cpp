@@ -225,6 +225,36 @@ void CurveCache::warm_range(double lux_min, double lux_max) {
   }
 }
 
+CurveCache::DenseExport CurveCache::export_range(double lux_min, double lux_max) {
+  require(options_.model == PowerModel::kSurrogate,
+          "CurveCache::export_range: surrogate mode only");
+  lux_min = std::max(lux_min, kDarkLux);
+  require(lux_max >= lux_min, "CurveCache::export_range: empty illuminance range");
+  warm_range(lux_min, lux_max);
+  const long jmin = static_cast<long>(std::floor(kGridNodesPerLogLux * std::log(lux_min)));
+  const long jmax =
+      static_cast<long>(std::floor(kGridNodesPerLogLux * std::log(lux_max))) + 1;
+  DenseExport out;
+  out.grid_lo = jmin;
+  out.points = options_.surrogate_points;
+  const std::size_t slots = static_cast<std::size_t>(jmax - jmin + 1);
+  out.voc.resize(slots);
+  out.pmpp.resize(slots);
+  out.vmpp.resize(slots);
+  out.power.resize(slots * static_cast<std::size_t>(out.points));
+  for (std::size_t i = 0; i < slots; ++i) {
+    const std::size_t slot = static_cast<std::size_t>(jmin - grid_base_) + i;
+    const Entry& e = entries_[slot];
+    require(e.built, "CurveCache::export_range: entry missed by warm_range");
+    out.voc[i] = e.voc;
+    out.pmpp[i] = e.pmpp;
+    out.vmpp[i] = e.vmpp;
+    std::copy(e.power.begin(), e.power.end(),
+              out.power.begin() + static_cast<std::ptrdiff_t>(i * static_cast<std::size_t>(out.points)));
+  }
+  return out;
+}
+
 void CurveCache::seed_entries(const CurveCache& other) {
   require(options_.model == PowerModel::kSurrogate &&
               other.options_.model == PowerModel::kSurrogate,

@@ -114,6 +114,24 @@ class CurveCache {
   /// cold. Surrogate mode only.
   void seed_entries(const CurveCache& other);
 
+  /// Self-contained copy of the surrogate grid entries covering
+  /// [lux_min, lux_max] (plus the interpolation neighbour above), laid
+  /// out densely for external flat-array interpolation. The fleet SoA
+  /// engine exports one table per environment and answers every node's
+  /// curve queries from it without touching the cache again — the values
+  /// are the exact entry values at_lux() interpolates, so a flat-table
+  /// lookup reproduces at_lux()/power_at_lux() arithmetic bit for bit.
+  /// Warms the range first; surrogate mode only.
+  struct DenseExport {
+    long grid_lo = 0;  ///< grid index of slot 0 (lux = exp(grid_lo / kGridNodesPerLogLux))
+    int points = 0;    ///< P(V) samples per entry
+    std::vector<double> voc;    ///< [slots]
+    std::vector<double> pmpp;   ///< [slots]
+    std::vector<double> vmpp;   ///< [slots]
+    std::vector<double> power;  ///< [slot * points + m]
+  };
+  [[nodiscard]] DenseExport export_range(double lux_min, double lux_max);
+
   /// Conditions object at the given illuminance (for components that
   /// still need direct model access, e.g. the cold-start circuit).
   [[nodiscard]] pv::Conditions conditions_at(double equivalent_lux) const;

@@ -1,0 +1,98 @@
+#include "sched/batch_schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace focv::sched {
+
+BatchSchedule build_batch_schedule(const env::LightTrace& trace, const PreparedTrace& prep,
+                                   double max_interval_s) {
+  require(max_interval_s > 0.0, "build_batch_schedule: max_interval_s must be > 0");
+  const std::vector<double>& t = trace.time();
+  require(prep.step_count() == trace.size() - 1,
+          "build_batch_schedule: PreparedTrace does not match the trace");
+
+  BatchSchedule out;
+  out.duration = trace.duration();
+  for (const env::Segment& seg : prep.segments()) {
+    BatchSegment bs;
+    bs.first_interval = static_cast<std::uint32_t>(out.intervals.size());
+    bs.dark = seg.dark;
+    bs.min_u = seg.min_value;
+    bs.max_u = seg.max_value;
+
+    std::size_t p = seg.first;
+    while (p < seg.last) {
+      // Same cap as MacroStepper::cap_interval: the last step boundary
+      // within max_interval_s of t[p], at least one step, never past the
+      // segment end.
+      auto it = std::upper_bound(t.begin() + static_cast<std::ptrdiff_t>(p),
+                                 t.begin() + static_cast<std::ptrdiff_t>(seg.last) + 1,
+                                 t[p] + max_interval_s);
+      std::size_t q = static_cast<std::size_t>(it - t.begin()) - 1;
+      if (q <= p) q = p + 1;
+      q = std::min(q, seg.last);
+
+      BatchInterval iv;
+      iv.a = static_cast<std::uint32_t>(p);
+      iv.b = static_cast<std::uint32_t>(q);
+      iv.t0 = t[p];
+      iv.t1 = t[q];
+      const PreparedTrace::Moments m = prep.moments(p, q);
+      iv.w = m.w;
+      iv.dt_bar = m.w / static_cast<double>(q - p);
+      iv.t_mid = 0.5 * (iv.t0 + iv.t1);
+      const double mean = m.m1 / m.w;
+      const double var = std::max(0.0, m.m2 / m.w - mean * mean);
+      const double sd = std::sqrt(var);
+      iv.mean_u = mean;
+      iv.lo_u = std::clamp(mean - sd, seg.min_value, seg.max_value);
+      iv.hi_u = std::clamp(mean + sd, seg.min_value, seg.max_value);
+      iv.total_mean_u = prep.total_lux_mean(p, q);
+      out.intervals.push_back(iv);
+      p = q;
+    }
+    bs.interval_count = static_cast<std::uint32_t>(out.intervals.size()) - bs.first_interval;
+    out.segments.push_back(bs);
+  }
+  return out;
+}
+
+EdgeOverlay build_edge_overlay(const BatchSchedule& schedule, double period, double on_period,
+                               double first_edge) {
+  require(period > 0.0 && on_period > 0.0, "build_edge_overlay: periods must be > 0");
+  EdgeOverlay out;
+  out.intervals.reserve(schedule.intervals.size());
+  // Integral of the sample age over [first_edge, first_edge + u]: a
+  // sawtooth resetting to 0 at every edge.
+  const auto age_integral = [&](double u) {
+    const double full = std::floor(u / period);
+    const double rem = u - full * period;
+    return full * 0.5 * period * period + 0.5 * rem * rem;
+  };
+  for (const BatchInterval& iv : schedule.intervals) {
+    EdgeOverlay::Interval o;
+    const double lo = std::max(iv.t0, first_edge);
+    if (lo >= iv.t1) {
+      // Entirely before the first edge: no sample exists yet.
+      o.pre_frac = 1.0;
+      out.intervals.push_back(o);
+      continue;
+    }
+    o.pre_frac = (lo - iv.t0) / iv.w;
+    const double live = iv.t1 - lo;
+    o.avg_lag = (age_integral(iv.t1 - first_edge) - age_integral(lo - first_edge)) / live;
+    // Rising edges inside [t0, t1): each one holds the PV input
+    // disconnected for on_period while the switch samples Voc.
+    const double h0 = std::ceil((iv.t0 - first_edge) / period);
+    const double h1 = std::ceil((iv.t1 - first_edge) / period);
+    const double edges = std::max(0.0, h1 - h0);
+    o.disc = std::min(1.0, edges * on_period / iv.w);
+    out.intervals.push_back(o);
+  }
+  return out;
+}
+
+}  // namespace focv::sched

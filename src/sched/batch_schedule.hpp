@@ -1,0 +1,89 @@
+// Shared macro-interval schedule for batched fleet stepping.
+//
+// The event-driven MacroStepper (macro_stepper.cpp) derives its interval
+// partition per node, because per-node controller state (the sample/hold
+// phase, the store trajectory) feeds back into where intervals may end.
+// The struct-of-arrays fleet engine inverts that: every node of an
+// environment advances through ONE fixed partition — the ratio-band
+// segments of the shared PreparedTrace, cut into intervals of at most
+// max_interval_s with the same step-boundary snapping cap_interval()
+// uses — and anything per-node (illuminance scale, divider draw, store
+// level) enters as pure per-node arithmetic inside the interval loop.
+//
+// Everything stored here is UNSCALED: a node with lux_scale s sees
+// illuminance s * (unscaled value), and because the surrogate curve grid
+// is uniform in log-illuminance, its grid coordinate is the shared
+// coordinate plus the per-node constant 32 * ln(s). The schedule is
+// therefore built once per environment and shared read-only by every
+// chunk and every worker.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "env/light_trace.hpp"
+#include "sched/prepared_trace.hpp"
+
+namespace focv::sched {
+
+/// One macro interval: trace steps [a, b), with the 2-point illuminance
+/// quadrature MacroStepper::process_interval would compute for a node of
+/// lux_scale 1 (means, stddev clamp to the segment band — all of which
+/// scale linearly with the per-node illuminance factor).
+struct BatchInterval {
+  std::uint32_t a = 0;  ///< first step (inclusive)
+  std::uint32_t b = 0;  ///< last step (exclusive)
+  double t0 = 0.0;      ///< t[a]
+  double t1 = 0.0;      ///< t[b]
+  double w = 0.0;       ///< width t1 - t0 [s]
+  double dt_bar = 0.0;  ///< mean step width w / (b - a) [s]
+  double t_mid = 0.0;   ///< 0.5 * (t0 + t1)
+  double lo_u = 0.0;    ///< lower quadrature illuminance, unscaled [lux]
+  double hi_u = 0.0;    ///< upper quadrature illuminance, unscaled [lux]
+  double mean_u = 0.0;  ///< dt-weighted mean equivalent lux, unscaled
+  double total_mean_u = 0.0;  ///< mean total lux (illuminance-estimate input)
+};
+
+/// One ratio-band segment of the trace, as a span of intervals.
+struct BatchSegment {
+  std::uint32_t first_interval = 0;
+  std::uint32_t interval_count = 0;
+  bool dark = false;
+  double min_u = 0.0;  ///< unscaled segment bounds (running-gate inputs)
+  double max_u = 0.0;
+};
+
+struct BatchSchedule {
+  std::vector<BatchSegment> segments;
+  std::vector<BatchInterval> intervals;
+  double duration = 0.0;  ///< trace duration [s]
+};
+
+/// Build the shared schedule for one environment. Segment cutting uses
+/// the same upper_bound step snapping as MacroStepper::cap_interval, so
+/// interval boundaries land where the per-node stepper's would for a
+/// node with no store-drift guard.
+[[nodiscard]] BatchSchedule build_batch_schedule(const env::LightTrace& trace,
+                                                 const PreparedTrace& prep,
+                                                 double max_interval_s);
+
+/// Per-interval summary of a periodic sample-edge grid (the astable's
+/// PULSE rising edges at first_edge + h * period, h = 0, 1, ...). The
+/// sample/hold controller resamples the held value at every edge, and
+/// the held command between edges droops linearly with the age of the
+/// newest sample — so batched interval integration only needs the mean
+/// sample age and the edge count, both of which are shared by every
+/// node whose controller uses the same astable parameters.
+struct EdgeOverlay {
+  struct Interval {
+    double avg_lag = 0.0;   ///< mean age of the newest sample [s]
+    double disc = 0.0;      ///< disconnect fraction: edges * on / width
+    double pre_frac = 0.0;  ///< fraction of the interval before the very first edge
+  };
+  std::vector<Interval> intervals;  ///< parallel to BatchSchedule::intervals
+};
+
+[[nodiscard]] EdgeOverlay build_edge_overlay(const BatchSchedule& schedule, double period,
+                                             double on_period, double first_edge);
+
+}  // namespace focv::sched
