@@ -8,9 +8,10 @@
 //
 // The whole controllers x scenarios matrix runs through the
 // focv_runtime sweep engine (pass `--jobs N` to pick the worker count;
-// the tables are bit-identical for any N). Pass `--trace out.json` to
-// capture the fleet timeline — one span per job with queue wait and
-// steal statistics — as Chrome trace_event JSON for Perfetto.
+// the tables are bit-identical for any N). The shared telemetry flags
+// (--trace/--metrics/--snapshot/--flight) capture the reproduction
+// pass — one span per sweep job with queue wait and steal statistics —
+// before the google-benchmark timing loops run with telemetry off.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
@@ -26,6 +27,7 @@
 #include "env/profiles.hpp"
 #include "mppt/baselines.hpp"
 #include "node/harvester_node.hpp"
+#include "obs/cli.hpp"
 #include "obs/obs.hpp"
 #include "pv/cell_library.hpp"
 #include "runtime/sweep.hpp"
@@ -35,7 +37,6 @@ namespace {
 using namespace focv;
 
 int g_jobs = 0;  // --jobs N (0 = hardware concurrency)
-std::string g_trace_path;  // --trace PATH (empty = telemetry off)
 
 runtime::SweepSpec make_comparison_spec() {
   // Every technique is built through the controller registry (the
@@ -158,21 +159,18 @@ BENCHMARK(bm_comparison_sweep)->Arg(1)->Arg(0)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   g_jobs = focv::bench::parse_jobs_flag(argc, argv);
-  // Strip --trace PATH before google-benchmark parses the remainder.
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], "--trace") == 0) {
-      g_trace_path = argv[i + 1];
-      for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
-      argc -= 2;
-      break;
-    }
+  // Strip the telemetry flags before google-benchmark parses the rest.
+  focv::obs::CliTelemetry telemetry;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (telemetry.consume(argc, argv, i)) continue;
+    argv[kept++] = argv[i];
   }
-  if (!g_trace_path.empty()) obs::set_enabled(true);
+  argc = kept;
+  telemetry.begin();
   reproduce_comparison();
-  if (!g_trace_path.empty()) {
-    obs::write_trace(g_trace_path);
-    std::printf("wrote %s (%zu trace events)\n", g_trace_path.c_str(),
-                obs::tracer().event_count());
+  if (telemetry.any()) {
+    telemetry.finish();
     obs::set_enabled(false);  // keep the timed benchmark loops clean
     obs::reset_all();
   }

@@ -16,6 +16,11 @@
 //   ./build/bench/fleet_scale --gate100k  # CI gate: 100k nodes, both
 //                                         # table modes byte-identical
 //                                         # across jobs, RSS < 2048 MiB
+//
+// The shared telemetry flags (--trace/--metrics/--snapshot/--flight)
+// record the ladder under focv::obs: fleet_chunk/soa_axis_run spans,
+// fleet.soa.* batch counters and the per-node histograms. The
+// byte-compare legs are unaffected — telemetry never touches exports.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -30,6 +35,7 @@
 #include "fleet/fleet.hpp"
 #include "fleet/soa.hpp"
 #include "node/curve_cache.hpp"
+#include "obs/cli.hpp"
 #include "pv/cell_library.hpp"
 #include "runtime/thread_pool.hpp"
 #include "sched/prepared_trace.hpp"
@@ -126,10 +132,13 @@ int main(int argc, char** argv) {
 
   bool smoke = false;
   bool gate100k = false;
+  obs::CliTelemetry telemetry;
   for (int i = 1; i < argc; ++i) {
+    if (telemetry.consume(argc, argv, i)) continue;
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
     if (std::strcmp(argv[i], "--gate100k") == 0) gate100k = true;
   }
+  telemetry.begin();
 
   std::printf("building the shared 24 h environments...\n");
   Environs environs;
@@ -215,5 +224,6 @@ int main(int argc, char** argv) {
   }
   std::printf("all fleet sizes byte-identical between --jobs 1 and --jobs %d "
               "on both table modes\n", jobs);
+  telemetry.finish();
   return 0;
 }

@@ -317,6 +317,52 @@ CaseSpec fleet_soa_case(std::string name, std::string description,
   return spec;
 }
 
+CaseSpec obs_overhead_soa_case(std::string name, std::string description, bool telemetry) {
+  CaseSpec spec;
+  spec.name = std::move(name);
+  spec.description = std::move(description);
+  spec.make = [telemetry](bool smoke) {
+    auto trace = std::make_shared<const env::LightTrace>(
+        smoke ? env::constant_light(500.0, 0.0, 600.0)
+              : env::office_desk_mixed(env::OfficeDayParams{}));
+    const std::size_t nodes = smoke ? 64 : 10000;
+    return [trace = std::move(trace), nodes, telemetry]() -> Counters {
+      // Same roster as fleet_soa_float; the toggle sits inside the timed
+      // closure (see obs_overhead_case) so the enabled twin pays exactly
+      // what a `--metrics` fleet run pays, aggregate flushes included.
+      fleet::FleetSpec fs;
+      fs.node_count = nodes;
+      fs.use_cell(pv::sanyo_am1815());
+      fs.add_environment("bench", trace);
+      fs.add_policy("focv", 0.7);
+      fs.add_policy("fixed", 0.15);
+      fs.add_policy("pilot", 0.15);
+      fs.base.storage.initial_voltage = 3.0;
+      fs.base.load.report_period = 120.0;
+      fs.base.stepper = node::Stepper::kEvent;
+      fs.engine = fleet::FleetEngine::kSoa;
+      fs.table_mode = fleet::TableMode::kFloat;
+      fs.chunk_size = 4096;
+      fleet::FleetOptions opt;
+      opt.jobs = 1;
+      opt.analyze_load = false;
+      if (telemetry) obs::set_enabled(true);
+      const fleet::FleetReport r = fleet::run_fleet(fs, opt);
+      if (telemetry) {
+        obs::set_enabled(false);
+        obs::reset_all();
+      }
+      require(r.nodes_failed == 0, "obs_overhead_soa bench: node failures");
+      return {{"nodes_ok", static_cast<double>(r.nodes_ok)},
+              {"total_steps", static_cast<double>(r.steps)},
+              {"events", static_cast<double>(r.events)},
+              {"energy_neutral_nodes", static_cast<double>(r.energy_neutral_nodes)},
+              {"mean_tracking_efficiency", r.mean_tracking_efficiency()}};
+    };
+  };
+  return spec;
+}
+
 CaseSpec obs_overhead_case(std::string name, std::string description, bool telemetry) {
   CaseSpec spec;
   spec.name = std::move(name);
@@ -409,6 +455,16 @@ void register_default_cases() {
       "obs_overhead_enabled",
       "identical workload with focv::obs recording events, spans and "
       "histograms; overhead_obs_overhead in `derived` is the tax",
+      /*telemetry=*/true));
+  r.push_back(obs_overhead_soa_case(
+      "obs_overhead_soa_disabled",
+      "10k-node SoA fleet sweep with focv::obs telemetry off — the "
+      "fleet-scale twin of obs_overhead_disabled",
+      /*telemetry=*/false));
+  r.push_back(obs_overhead_soa_case(
+      "obs_overhead_soa_enabled",
+      "identical SoA sweep with telemetry recording axis-run spans and "
+      "fleet.soa.* counters; overhead_obs_overhead_soa is the tax",
       /*telemetry=*/true));
 }
 

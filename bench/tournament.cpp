@@ -28,6 +28,7 @@
 #include "env/profiles.hpp"
 #include "mppt/registry.hpp"
 #include "node/harvester_node.hpp"
+#include "obs/cli.hpp"
 #include "power/coldstart.hpp"
 #include "pv/cell_library.hpp"
 #include "runtime/sweep.hpp"
@@ -303,7 +304,10 @@ void print_leaderboard(const std::vector<ControllerResult>& results) {
 void print_usage() {
   std::printf(
       "usage: tournament [--smoke] [--list] [--jobs N] [--json PATH]\n"
-      "                  [--controller SPEC]...\n\n"
+      "                  [--controller SPEC]...\n"
+      "                  %s\n\n",
+      obs::CliTelemetry::usage());
+  std::printf(
       "Controller specs follow the registry grammar `name[key=value,...]`\n"
       "with unit-suffixed values (10mV, 69s, 1mW, 500lux); see --list for\n"
       "the catalog. Repeat --controller to pick the roster (default: every\n"
@@ -319,7 +323,9 @@ int main(int argc, char** argv) {
   bool smoke = false;
   std::string json_path;
   std::vector<std::string> roster;
+  obs::CliTelemetry telemetry;
   for (int i = 1; i < argc; ++i) {
+    if (telemetry.consume(argc, argv, i)) continue;
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
     } else if (std::strcmp(argv[i], "--list") == 0) {
@@ -340,6 +346,7 @@ int main(int argc, char** argv) {
     }
   }
   if (roster.empty()) roster = default_roster();
+  telemetry.begin();
 
   // Fail fast on a bad spec, before any simulation runs.
   try {
@@ -370,5 +377,6 @@ int main(int argc, char** argv) {
     require(f.good(), "tournament: write failed for " + json_path);
     std::printf("wrote %s\n", json_path.c_str());
   }
+  telemetry.finish();
   return 0;
 }

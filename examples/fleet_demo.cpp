@@ -12,10 +12,14 @@
 //                               [--seed S] [--json out.json]
 //                               [--jsonl nodes.jsonl] [--timing]
 //                               [--controller SPEC[:WEIGHT]]...
+//                               [--trace/--metrics/--snapshot/--flight PATH]
 //
 // Repeat --controller to replace the default mixture with registry spec
 // strings, e.g. `--controller "focv[k=0.55]:0.7" --controller graddesc`
-// (weight defaults to 1; grammar and catalog: mppt/registry.hpp).
+// (weight defaults to 1; grammar and catalog: mppt/registry.hpp). The
+// telemetry flags are the shared obs::CliTelemetry set — with them on,
+// the fleet tier records chunk/axis-run spans, fleet.soa.* batch
+// counters and per-node efficiency histograms.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -27,6 +31,7 @@
 #include "env/profiles.hpp"
 #include "fleet/fleet.hpp"
 #include "mppt/registry.hpp"
+#include "obs/cli.hpp"
 #include "pv/cell_library.hpp"
 
 int main(int argc, char** argv) {
@@ -40,7 +45,9 @@ int main(int argc, char** argv) {
   std::string jsonl_path;
   bool timing = false;
   std::vector<std::pair<std::string, double>> mixture;  // --controller SPEC[:WEIGHT]
+  obs::CliTelemetry telemetry;
   for (int i = 1; i < argc; ++i) {
+    if (telemetry.consume(argc, argv, i)) continue;
     const std::string arg = argv[i];
     const auto next = [&]() -> const char* {
       if (i + 1 >= argc) {
@@ -124,6 +131,7 @@ int main(int argc, char** argv) {
   options.jobs = jobs;
   options.jsonl_path = jsonl_path;
 
+  telemetry.begin();
   const fleet::FleetReport report = fleet::run_fleet(spec, options);
 
   std::printf("fleet: %zu nodes, %.1f h, %d jobs, %.2f s wall (%.0f nodes/s)\n\n",
@@ -166,5 +174,6 @@ int main(int argc, char** argv) {
     std::printf("\nwrote %s\n", json_path.c_str());
   }
   if (!jsonl_path.empty()) std::printf("wrote %s\n", jsonl_path.c_str());
+  telemetry.finish();
   return 0;
 }

@@ -16,7 +16,9 @@
 // and the circuit transient window, plus the MPPT sample windows on the
 // simulated-time track. metrics.jsonl is the focv-obs/v1 stream: domain
 // events (sample_window_open/close, held_voltage_updated, step_rejected,
-// sweep_complete) followed by every counter/gauge/histogram.
+// sweep_complete) followed by every counter/gauge/histogram. --snapshot
+// adds a focv-obs-snapshot/v1 JSON plus Prometheus text exposition at
+// PATH.prom; --flight arms the focv-obs-flight/v1 anomaly recorder.
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -28,6 +30,7 @@
 #include "mppt/baselines.hpp"
 #include "mppt/focv_sample_hold.hpp"
 #include "node/harvester_node.hpp"
+#include "obs/cli.hpp"
 #include "obs/obs.hpp"
 #include "pv/cell_library.hpp"
 #include "runtime/sweep.hpp"
@@ -79,23 +82,17 @@ void run_telemetry_tour() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string trace_path;
-  std::string metrics_path;
+  obs::CliTelemetry telemetry;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
-      trace_path = argv[++i];
-    } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
-      metrics_path = argv[++i];
-    } else if (std::strcmp(argv[i], "--help") == 0) {
-      std::printf("quickstart [--trace trace.json] [--metrics metrics.jsonl]\n");
+    if (telemetry.consume(argc, argv, i)) continue;
+    if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf("quickstart %s\n", obs::CliTelemetry::usage());
       return 0;
-    } else {
-      std::fprintf(stderr, "quickstart: unknown flag '%s'\n", argv[i]);
-      return 2;
     }
+    std::fprintf(stderr, "quickstart: unknown flag '%s'\n", argv[i]);
+    return 2;
   }
-  const bool telemetry = !trace_path.empty() || !metrics_path.empty();
-  if (telemetry) obs::set_enabled(true);
+  telemetry.begin();
 
   // 1. The SANYO Amorton AM-1815 indoor a-Si cell, calibrated against
   //    the paper's Table I.
@@ -128,18 +125,9 @@ int main(int argc, char** argv) {
               cell.power_at(out.pv_voltage, office) * 1e6,
               cell.tracking_efficiency(out.pv_voltage, office) * 100.0);
 
-  if (telemetry) {
+  if (telemetry.any()) {
     run_telemetry_tour();
-    if (!trace_path.empty()) {
-      obs::write_trace(trace_path);
-      std::printf("wrote %s (%zu trace events)\n", trace_path.c_str(),
-                  obs::tracer().event_count());
-    }
-    if (!metrics_path.empty()) {
-      obs::write_metrics_jsonl(metrics_path);
-      std::printf("wrote %s (%zu domain events + metrics)\n", metrics_path.c_str(),
-                  obs::events().size());
-    }
+    telemetry.finish();
   }
   return 0;
 }

@@ -8,13 +8,16 @@
 //
 //   ./build/examples/sizing_tool [--jobs N] [--controller SPEC]
 //                                [--trace out.json] [--metrics out.jsonl]
+//                                [--snapshot out.json] [--flight out.json]
 //
 // --controller sizes for any registered MPPT technique instead of the
 // paper's S&H FOCV, e.g. `--controller "graddesc[lr=0.1]"` (grammar and
-// catalog: mppt/registry.hpp). --trace captures the fan-out as Chrome
+// catalog: mppt/registry.hpp). The telemetry flags are the shared
+// obs::CliTelemetry set: --trace captures the fan-out as Chrome
 // trace_event JSON (one span per sizing query plus the node-tier spans
-// underneath); --metrics dumps the focv-obs/v1 JSONL event/metric
-// stream.
+// underneath), --metrics dumps the focv-obs/v1 JSONL stream, --snapshot
+// writes focv-obs-snapshot/v1 JSON + Prometheus text at PATH.prom, and
+// --flight arms the anomaly flight recorder.
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -26,6 +29,7 @@
 #include "core/focv_system.hpp"
 #include "env/profiles.hpp"
 #include "node/sizing.hpp"
+#include "obs/cli.hpp"
 #include "obs/obs.hpp"
 #include "pv/cell_library.hpp"
 #include "runtime/thread_pool.hpp"
@@ -34,15 +38,14 @@ int main(int argc, char** argv) {
   using namespace focv;
 
   int jobs = 0;  // 0 = one worker per hardware thread
-  std::string trace_path, metrics_path;
+  obs::CliTelemetry telemetry;
   std::string controller_spec = "focv";  // the paper's technique by default
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], "--jobs") == 0) jobs = std::atoi(argv[i + 1]);
-    if (std::strcmp(argv[i], "--trace") == 0) trace_path = argv[i + 1];
-    if (std::strcmp(argv[i], "--metrics") == 0) metrics_path = argv[i + 1];
-    if (std::strcmp(argv[i], "--controller") == 0) controller_spec = argv[i + 1];
+  for (int i = 1; i < argc; ++i) {
+    if (telemetry.consume(argc, argv, i)) continue;
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) jobs = std::atoi(argv[++i]);
+    if (std::strcmp(argv[i], "--controller") == 0 && i + 1 < argc) controller_spec = argv[++i];
   }
-  if (!trace_path.empty() || !metrics_path.empty()) obs::set_enabled(true);
+  telemetry.begin();
 
   // Fail fast (with the registry's token-quoting message) before the
   // pool fans out.
@@ -110,17 +113,12 @@ int main(int argc, char** argv) {
       "\nReading: a single AM-1815 (25 cm^2) runs a 10-minute reporter on an office\n"
       "desk; tighter duty cycles scale the cell area and the ride-through storage.\n");
 
-  const runtime::ThreadPool::WorkerStats stats = pool.total_stats();
-  if (!trace_path.empty()) {
-    obs::write_trace(trace_path);
-    std::printf("wrote %s (%zu events, %llu tasks, %llu steals)\n", trace_path.c_str(),
-                obs::tracer().event_count(),
+  if (telemetry.any()) {
+    const runtime::ThreadPool::WorkerStats stats = pool.total_stats();
+    std::printf("pool: %llu tasks executed, %llu stolen\n",
                 static_cast<unsigned long long>(stats.executed),
                 static_cast<unsigned long long>(stats.stolen));
   }
-  if (!metrics_path.empty()) {
-    obs::write_metrics_jsonl(metrics_path);
-    std::printf("wrote %s\n", metrics_path.c_str());
-  }
+  telemetry.finish();
   return 0;
 }

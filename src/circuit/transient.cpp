@@ -230,6 +230,8 @@ Trace transient_analyze(Circuit& circuit, const TransientOptions& options) {
         }
         accepted_step = true;
       } else if (!newton_result.converged && dt <= options.dt_min * 1.01) {
+        obs::anomaly("newton_nonconverged", t,
+                     {{"dt_s", dt}, {"iterations", newton_result.iterations}});
         throw ConvergenceError("transient_analyze: Newton failed at dt_min at t = " +
                                std::to_string(t));
       } else {

@@ -521,13 +521,19 @@ FleetReport run_fleet(const FleetSpec& spec, const FleetOptions& options) {
         std::chrono::duration<double>(std::chrono::steady_clock::now() - chunk_start).count();
     if (span) {
       span->arg("failed", static_cast<double>(chunk_failed));
+      span->arg("batched", static_cast<double>(batch_members.size()));
       span->finish();
       static const obs::CounterId chunks_id = obs::metrics().counter("fleet.chunks");
       static const obs::CounterId nodes_id = obs::metrics().counter("fleet.nodes");
       static const obs::CounterId failed_id = obs::metrics().counter("fleet.nodes_failed");
+      static const obs::CounterId batched_id = obs::metrics().counter("fleet.soa.nodes_batched");
+      static const obs::CounterId fallback_id =
+          obs::metrics().counter("fleet.soa.nodes_fallback");
       obs::metrics().add(chunks_id);
       obs::metrics().add(nodes_id, static_cast<double>(last - first));
       if (chunk_failed > 0) obs::metrics().add(failed_id, static_cast<double>(chunk_failed));
+      obs::metrics().add(batched_id, static_cast<double>(batch_members.size()));
+      obs::metrics().add(fallback_id, static_cast<double>(n - batch_members.size()));
       obs::metrics().observe(chunk_wall_id, chunk_wall * 1e6);
     }
 

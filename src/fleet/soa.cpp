@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <optional>
 #include <utility>
 
 #include "common/require.hpp"
 #include "core/focv_system.hpp"
 #include "mppt/focv_sample_hold.hpp"
+#include "obs/obs.hpp"
 
 namespace focv::fleet::soa {
 
@@ -179,6 +181,7 @@ struct NodeState {
   double ideal = 0.0, harv = 0.0, deliv = 0.0, over = 0.0, served = 0.0, brown_t = 0.0;
   double cold_t = -1.0;
   std::uint32_t brown_steps = 0, flips = 0;
+  std::uint32_t slow = 0;  ///< intervals replayed step-by-step (telemetry only)
 };
 
 template <bool Q>
@@ -281,6 +284,7 @@ void run_env(const SoaPlan& plan, const EnvPlan& env, const FleetSpec& spec,
   // path below handles virtually every interval.
   const auto advance_slow = [&](NodeState& st, const sched::BatchInterval& iv, double delivered,
                                 double oh_drain, double dec_full) {
+    ++st.slow;
     std::uint32_t p = iv.a;
     double e = st.e;
     while (p < iv.b) {
@@ -362,6 +366,15 @@ void run_env(const SoaPlan& plan, const EnvPlan& env, const FleetSpec& spec,
   for (const AxisRun& run : runs) {
     const AxisPlan& ax = plan.axes[run.axis];
     const double min_lux = ax.min_lux;
+
+    // Telemetry is aggregated in plain locals and flushed once per axis
+    // run, so the per-interval arithmetic below never sees an obs
+    // branch: exports stay byte-identical with telemetry on or off.
+    const bool obs_on = obs::enabled();
+    std::uint64_t flips_total = 0;
+    std::uint64_t slow_total = 0;
+    std::optional<obs::Tracer::Span> axis_span;
+    if (obs_on) axis_span.emplace(obs::tracer(), "soa_axis_run", "fleet");
 
     if (ax.law == mppt::MacroLaw::kSampleHold) {
       // Closed-form sample/hold: the held value right after an edge is
@@ -463,6 +476,10 @@ void run_env(const SoaPlan& plan, const EnvPlan& env, const FleetSpec& spec,
           for (std::uint32_t ii = seg.first_interval; ii < iv_end; ++ii) lit_iv(st, ii);
         }
         finalize(st, reports[members[i]]);
+        if (obs_on) {
+          flips_total += st.flips;
+          slow_total += st.slow;
+        }
       }
     } else {
       // Memoryless: exactly MacroStepper::process_interval's eval on
@@ -533,7 +550,30 @@ void run_env(const SoaPlan& plan, const EnvPlan& env, const FleetSpec& spec,
           for (std::uint32_t ii = seg.first_interval; ii < iv_end; ++ii) lit_iv(st, ii);
         }
         finalize(st, reports[members[i]]);
+        if (obs_on) {
+          flips_total += st.flips;
+          slow_total += st.slow;
+        }
       }
+    }
+
+    if (obs_on) {
+      static const obs::CounterId nodes_id = obs::metrics().counter("fleet.soa.nodes_swept");
+      static const obs::CounterId ivs_id = obs::metrics().counter("fleet.soa.intervals_swept");
+      static const obs::CounterId slow_id = obs::metrics().counter("fleet.soa.slow_advances");
+      static const obs::CounterId flips_id = obs::metrics().counter("fleet.soa.store_flips");
+      const double nodes = static_cast<double>(run.hi - run.lo);
+      const double intervals = static_cast<double>(env.schedule.intervals.size());
+      obs::metrics().add(nodes_id, nodes);
+      obs::metrics().add(ivs_id, nodes * intervals);
+      obs::metrics().add(slow_id, static_cast<double>(slow_total));
+      obs::metrics().add(flips_id, static_cast<double>(flips_total));
+      axis_span->arg("axis", static_cast<double>(run.axis));
+      axis_span->arg("law", ax.law == mppt::MacroLaw::kSampleHold ? "sample_hold" : "memoryless");
+      axis_span->arg("nodes", nodes);
+      axis_span->arg("intervals", intervals);
+      axis_span->arg("slow_advances", static_cast<double>(slow_total));
+      axis_span->arg("store_flips", static_cast<double>(flips_total));
     }
   }
 }
@@ -654,6 +694,15 @@ std::unique_ptr<const SoaPlan> build_plan(
     if (hi_u > 0.0) {
       ep.tables = export_tables(cache, lo_u * s_lo, hi_u * s_hi, spec.table_mode);
     }
+  }
+
+  if (obs::enabled()) {
+    static const obs::CounterId plans_id = obs::metrics().counter("fleet.soa.plans_built");
+    static const obs::GaugeId bytes_id = obs::metrics().gauge("fleet.soa.table_bytes");
+    std::size_t table_bytes = 0;
+    for (const EnvPlan& ep : plan->envs) table_bytes += ep.tables.bytes();
+    obs::metrics().add(plans_id);
+    obs::metrics().set(bytes_id, static_cast<double>(table_bytes));
   }
   return plan;
 }

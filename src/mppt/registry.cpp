@@ -6,6 +6,7 @@
 
 #include "mppt/baselines.hpp"
 #include "mppt/gradient_descent.hpp"
+#include "obs/obs.hpp"
 
 namespace focv::mppt {
 
@@ -17,6 +18,10 @@ std::mutex& registry_mutex() {
 }
 
 [[noreturn]] void fail_spec(const std::string& spec, const std::string& what) {
+  if (obs::enabled()) {
+    static const obs::CounterId errors_id = obs::metrics().counter("mppt.spec.errors");
+    obs::metrics().add(errors_id);
+  }
   throw SpecError("mppt spec \"" + spec + "\": " + what);
 }
 
@@ -118,6 +123,10 @@ std::vector<std::string> Registry::names_unlocked() const {
 }
 
 ResolvedSpec Registry::resolve(const std::string& spec) const {
+  if (obs::enabled()) {
+    static const obs::CounterId parses_id = obs::metrics().counter("mppt.spec.parses");
+    obs::metrics().add(parses_id);
+  }
   const ParsedSpec parsed = parse_spec_string(spec);
   if (!contains(parsed.name)) {
     fail_spec(spec, "unknown controller \"" + parsed.name +

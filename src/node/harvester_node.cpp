@@ -128,6 +128,7 @@ NodeReport simulate_node(const env::LightTrace& trace, const NodeConfig& config,
   const double load_power = load.average_power();
   const double controller_current = overhead_power / 3.3;  // for the cold-start load model
   int steps_since_record = config.record_stride;  // record the first step
+  bool in_brownout = false;  // edge detector for the brown-out anomaly
 
   for (std::size_t i = 0; i + 1 < trace.size(); ++i) {
     const double dt = t[i + 1] - t[i];
@@ -190,9 +191,17 @@ NodeReport simulate_node(const env::LightTrace& trace, const NodeConfig& config,
     if (load_runs) {
       drain += load_power;
       report.load_energy_served += load_power * dt;
+      in_brownout = false;
     } else {
       ++report.brownout_steps;
       report.brownout_time += dt;
+      if (obs_on && !in_brownout) {
+        obs::anomaly("brownout", t[i],
+                     {{"store_voltage", store_voltage()},
+                      {"lux", lux},
+                      {"step", static_cast<double>(i)}});
+      }
+      in_brownout = true;
     }
     store_apply(delivered - drain, dt);
 

@@ -1,0 +1,67 @@
+#include "obs/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/export.hpp"
+#include "obs/obs.hpp"
+
+namespace focv::obs {
+
+bool CliTelemetry::consume(int argc, char** argv, int& i) {
+  const auto take = [&](const char* flag, std::string& out) {
+    if (std::strcmp(argv[i], flag) != 0) return false;
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "%s requires a path\n", flag);
+      std::exit(2);
+    }
+    out = argv[++i];
+    return true;
+  };
+  return take("--trace", trace_path) || take("--metrics", metrics_path) ||
+         take("--snapshot", snapshot_path) || take("--flight", flight_path);
+}
+
+void CliTelemetry::begin() const {
+  if (!any()) return;
+  set_enabled(true);
+  if (!flight_path.empty()) {
+    FlightRecorder::Options options;
+    options.path = flight_path;
+    arm_flight(options);
+  }
+}
+
+void CliTelemetry::finish() const {
+  if (!any()) return;
+  if (!trace_path.empty()) {
+    write_trace(trace_path);
+    std::printf("wrote %s (%zu trace events)\n", trace_path.c_str(),
+                tracer().event_count());
+  }
+  if (!metrics_path.empty()) {
+    write_metrics_jsonl(metrics_path);
+    std::printf("wrote %s (%zu domain events + metrics)\n", metrics_path.c_str(),
+                events().size());
+  }
+  if (!snapshot_path.empty()) {
+    SnapshotPublisher::Options options;
+    options.json_path = snapshot_path;
+    options.prometheus_path = snapshot_path + ".prom";
+    SnapshotPublisher publisher(metrics(), options);
+    publisher.publish();
+    std::printf("wrote %s + %s.prom (snapshot %llu)\n", snapshot_path.c_str(),
+                snapshot_path.c_str(),
+                static_cast<unsigned long long>(publisher.sequence()));
+  }
+  if (!flight_path.empty()) {
+    events().sink().drain();  // flush the tail into the recorder
+    if (flight().dumps() == 0) flight().dump("shutdown");
+    std::printf("wrote %s (%d flight dump%s, %llu events seen)\n", flight_path.c_str(),
+                flight().dumps(), flight().dumps() == 1 ? "" : "s",
+                static_cast<unsigned long long>(flight().noted()));
+  }
+}
+
+}  // namespace focv::obs

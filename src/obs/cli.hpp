@@ -1,0 +1,58 @@
+// focv::obs CLI plumbing: one struct every driver binary shares for the
+// telemetry flags, so `--trace/--metrics/--snapshot/--flight` behave
+// identically across quickstart, sizing_tool, comparison_sota,
+// fleet_demo, fleet_scale and tournament.
+//
+//   obs::CliTelemetry telemetry;
+//   for (int i = 1; i < argc; ++i) {
+//     if (telemetry.consume(argc, argv, i)) continue;
+//     ...binary-specific flags...
+//   }
+//   telemetry.begin();     // enables obs / arms the flight recorder
+//   ...workload...
+//   telemetry.finish();    // writes every requested artifact
+//
+// Artifacts:
+//   --trace PATH     Chrome trace_event JSON (wall + simulated time)
+//   --metrics PATH   focv-obs/v1 JSONL (events, counters, histograms)
+//   --snapshot PATH  focv-obs-snapshot/v1 JSON + Prometheus text
+//                    exposition at PATH.prom
+//   --flight PATH    focv-obs-flight/v1 anomaly dumps; if no anomaly
+//                    fired, finish() writes one "shutdown" dump so the
+//                    tail is never silently lost
+#pragma once
+
+#include <string>
+
+namespace focv::obs {
+
+struct CliTelemetry {
+  std::string trace_path;
+  std::string metrics_path;
+  std::string snapshot_path;
+  std::string flight_path;
+
+  /// Consume argv[i] (and its value) when it is a telemetry flag;
+  /// advances `i` past the value. Exits with an error message on a
+  /// telemetry flag with a missing value.
+  bool consume(int argc, char** argv, int& i);
+
+  /// Any artifact requested?
+  [[nodiscard]] bool any() const {
+    return !trace_path.empty() || !metrics_path.empty() || !snapshot_path.empty() ||
+           !flight_path.empty();
+  }
+
+  /// Enable telemetry and arm the flight recorder (no-op when !any()).
+  void begin() const;
+  /// Write every requested artifact, one summary line each (stdout).
+  void finish() const;
+
+  /// One-line flag summary for --help text.
+  [[nodiscard]] static const char* usage() {
+    return "[--trace trace.json] [--metrics metrics.jsonl] "
+           "[--snapshot snapshot.json] [--flight flight.json]";
+  }
+};
+
+}  // namespace focv::obs

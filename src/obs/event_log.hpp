@@ -10,17 +10,25 @@
 // MPPT controllers stamp sample windows, the transient engine stamps
 // step rejections); `wall_us` is the monotonic wall-clock offset of the
 // emit call, so the domain timeline can be correlated with the tracer's
-// wall-clock spans. Lines are buffered in memory and written by
-// write_jsonl()/to_jsonl(); the buffer is mutex-guarded and each line
-// is rendered outside the lock.
+// wall-clock spans.
+//
+// Hot path (obs v2): emit() stages a compact record into the calling
+// thread's bounded ring (see obs/ring.hpp) — no lock, no JSON
+// rendering. Lines are rendered when the log is read (size, to_jsonl,
+// write_jsonl, lines) or when a full ring self-drains; reset() discards
+// staged records without rendering them.
 #pragma once
 
-#include <chrono>
+#include <atomic>
+#include <cstdint>
+#include <functional>
 #include <initializer_list>
 #include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "obs/ring.hpp"
 
 namespace focv::obs {
 
@@ -43,7 +51,7 @@ struct EventField {
 
 class EventLog {
  public:
-  EventLog();
+  explicit EventLog(std::size_t ring_capacity = RingSink::kDefaultCapacity);
 
   /// Emit one event stamped at simulation time `sim_t` [s].
   void emit(std::string_view event, double sim_t,
@@ -57,12 +65,25 @@ class EventLog {
   [[nodiscard]] std::vector<std::string> lines() const;
 
   /// Drop all buffered events and restart the wall clock origin.
+  /// Staged-but-unrendered records are discarded without rendering.
   void reset();
 
+  /// Observer invoked with each line as it is rendered at drain time —
+  /// the flight recorder's feed. Pass nullptr to detach.
+  void set_line_observer(std::function<void(const std::string&)> observer);
+
+  /// The staging sink — exposed for overflow-policy control and the
+  /// exact dropped-record counter (tests/obs/ring_test.cpp).
+  [[nodiscard]] RingSink& sink() const { return sink_; }
+
  private:
-  mutable std::mutex mutex_;
+  void consume(const StagedRecord& record);
+
+  mutable std::mutex mutex_;  ///< lines_ + observer_
   std::vector<std::string> lines_;
-  std::chrono::steady_clock::time_point origin_;
+  std::function<void(const std::string&)> observer_;
+  std::atomic<std::int64_t> origin_ns_;
+  mutable RingSink sink_;  ///< after origin_ns_: consume() reads it
 };
 
 }  // namespace focv::obs

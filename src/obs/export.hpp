@@ -1,0 +1,98 @@
+// focv::obs metrics export: Prometheus text exposition, snapshot JSON,
+// and a diff-based periodic publisher.
+//
+// This is the surface a long-lived focv::serve daemon mounts: take a
+// MetricsSnapshot at a quiescent point (or periodically), render it as
+//
+//   * Prometheus text exposition format v0.0.4 — counters exported
+//     with a `_total` suffix, gauges verbatim, histograms as cumulative
+//     `_bucket{le="..."}` series plus `_sum`/`_count`; metric names are
+//     sanitized (`node.steps` -> `focv_node_steps_total`), and
+//   * `focv-obs-snapshot/v1` JSON — the full merged state plus a
+//     `delta` object naming exactly what changed since the previous
+//     snapshot, so pollers can skip unchanged publishes.
+//
+// SnapshotPublisher owns the previous-snapshot state: publish() writes
+// both renderings unconditionally, maybe_publish() rate-limits to
+// `min_period_s` and skips entirely when the diff is empty.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace focv::obs {
+
+/// What changed between two MetricsSnapshots.
+struct MetricsDelta {
+  /// Counters whose merged value moved: (name, new - old).
+  std::vector<std::pair<std::string, double>> counters;
+  /// Gauges whose value changed: (name, new value).
+  std::vector<std::pair<std::string, double>> gauges;
+  /// New histogram observations across all histograms.
+  std::uint64_t observations = 0;
+
+  [[nodiscard]] bool empty() const {
+    return counters.empty() && gauges.empty() && observations == 0;
+  }
+};
+
+/// Diff `cur` against `prev` (metrics absent from `prev` count from 0).
+[[nodiscard]] MetricsDelta diff_snapshots(const MetricsSnapshot& prev,
+                                          const MetricsSnapshot& cur);
+
+/// Prometheus text exposition format v0.0.4.
+[[nodiscard]] std::string to_prometheus(const MetricsSnapshot& snapshot);
+
+/// focv-obs-snapshot/v1 JSON. `delta` may be null (first snapshot).
+[[nodiscard]] std::string to_snapshot_json(const MetricsSnapshot& snapshot,
+                                           std::uint64_t sequence,
+                                           const MetricsDelta* delta = nullptr);
+
+class SnapshotPublisher {
+ public:
+  struct Options {
+    /// maybe_publish() publishes at most once per period.
+    double min_period_s = 1.0;
+    /// focv-obs-snapshot/v1 JSON, rewritten on each publish ("" = skip).
+    std::string json_path;
+    /// Prometheus text exposition, rewritten on each publish ("" = skip).
+    std::string prometheus_path;
+    /// Hook invoked per publish (serve's in-memory mount point).
+    std::function<void(const MetricsSnapshot&, const MetricsDelta&, std::uint64_t sequence)>
+        on_publish;
+  };
+
+  SnapshotPublisher(MetricsRegistry& registry, Options options);
+
+  /// Periodic tick: publish when `min_period_s` has elapsed AND the
+  /// diff against the last published snapshot is non-empty. Returns
+  /// whether a publish happened.
+  bool maybe_publish();
+  /// Publish unconditionally (end-of-run flush).
+  void publish();
+
+  /// Snapshots published so far.
+  [[nodiscard]] std::uint64_t sequence() const;
+  /// The last published snapshot (empty before the first publish).
+  [[nodiscard]] MetricsSnapshot last() const;
+
+ private:
+  void publish_locked();
+
+  MetricsRegistry& registry_;
+  const Options options_;
+
+  mutable std::mutex mutex_;
+  MetricsSnapshot last_;
+  std::uint64_t sequence_ = 0;
+  std::chrono::steady_clock::time_point last_publish_{};
+};
+
+}  // namespace focv::obs

@@ -1,0 +1,112 @@
+#include "obs/flight.hpp"
+
+#include <fstream>
+
+#include "common/require.hpp"
+
+namespace focv::obs {
+
+void FlightRecorder::arm(Options options) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  options_ = std::move(options);
+  if (options_.capacity == 0) options_.capacity = 1;
+  armed_ = true;
+  ring_.clear();
+  ring_.reserve(options_.capacity);
+  next_ = 0;
+  noted_ = 0;
+  evicted_ = 0;
+  dumps_ = 0;
+}
+
+void FlightRecorder::disarm() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  armed_ = false;
+}
+
+bool FlightRecorder::armed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return armed_;
+}
+
+void FlightRecorder::note(const std::string& line) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!armed_) return;
+  ++noted_;
+  if (ring_.size() < options_.capacity) {
+    ring_.push_back(line);
+    return;
+  }
+  // Full: overwrite the oldest slot (next_ is the ring cursor).
+  ring_[next_] = line;
+  next_ = (next_ + 1) % options_.capacity;
+  ++evicted_;
+}
+
+std::string FlightRecorder::to_json_locked(std::string_view reason,
+                                           int dump_number) const {
+  std::string out = "{\"schema\":\"focv-obs-flight/v1\",\"reason\":\"";
+  out += reason;
+  out += "\",\"dump\":" + std::to_string(dump_number) +
+         ",\"events_seen\":" + std::to_string(noted_) +
+         ",\"events_evicted\":" + std::to_string(evicted_) + ",\"events\":[\n";
+  // Oldest first: the cursor points at the oldest slot once wrapped.
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    if (i) out += ",\n";
+    out += ring_[(next_ + i) % ring_.size()];
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+std::string FlightRecorder::to_json(std::string_view reason) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return to_json_locked(reason, dumps_);
+}
+
+std::string FlightRecorder::dump_path_locked(int dump_number) const {
+  if (dump_number <= 1) return options_.path;
+  const std::size_t dot = options_.path.rfind('.');
+  const std::size_t slash = options_.path.rfind('/');
+  std::string suffix = "-";
+  suffix += std::to_string(dump_number);
+  if (dot == std::string::npos || (slash != std::string::npos && dot < slash)) {
+    return options_.path + suffix;
+  }
+  return options_.path.substr(0, dot) + suffix + options_.path.substr(dot);
+}
+
+bool FlightRecorder::dump(std::string_view reason) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!armed_ || options_.path.empty()) return false;
+  if (dumps_ >= options_.max_dumps) return false;
+  ++dumps_;
+  const std::string path = dump_path_locked(dumps_);
+  std::ofstream f(path, std::ios::binary);
+  require(f.good(), "FlightRecorder: cannot open " + path);
+  f << to_json_locked(reason, dumps_);
+  require(f.good(), "FlightRecorder: write failed for " + path);
+  return true;
+}
+
+int FlightRecorder::dumps() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dumps_;
+}
+
+std::uint64_t FlightRecorder::noted() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return noted_;
+}
+
+std::uint64_t FlightRecorder::evicted() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return evicted_;
+}
+
+FlightRecorder& flight() {
+  static FlightRecorder* instance = new FlightRecorder();  // never destroyed
+  return *instance;
+}
+
+}  // namespace focv::obs

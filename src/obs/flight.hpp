@@ -1,0 +1,75 @@
+// focv::obs flight recorder: a fixed-size ring of the most recent
+// domain-event lines, dumped automatically when an anomaly fires.
+//
+// The point is post-mortems at fleet scale: a 1M-node run cannot keep a
+// full trace on, but a 256-event tail costs nothing, and when a
+// brown-out / cold-start certification failure / Newton non-convergence
+// anomaly fires (obs::anomaly() in obs.hpp), the recorder writes a
+// `focv-obs-flight/v1` JSON dump of that tail:
+//
+//   {"schema":"focv-obs-flight/v1","reason":"<anomaly>","dump":N,
+//    "events_seen":<total fed>,"events_evicted":<overwritten>,
+//    "events":[ <focv-obs/v1 event objects, oldest first> ]}
+//
+// The recorder is fed by the EventLog's drain-time line observer (wired
+// by obs::arm_flight()), so feeding costs nothing on the staging hot
+// path. Dumps are rate-limited (max_dumps) so an anomaly storm cannot
+// flood the filesystem; dump k > 1 writes `<stem>-k<ext>`.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace focv::obs {
+
+class FlightRecorder {
+ public:
+  struct Options {
+    std::size_t capacity = 256;  ///< events retained (oldest overwritten)
+    std::string path;            ///< dump file; "" records but never writes
+    int max_dumps = 8;           ///< rate limit for anomaly storms
+  };
+
+  /// Start recording (clears any previous tail).
+  void arm(Options options);
+  void disarm();
+  [[nodiscard]] bool armed() const;
+
+  /// Feed one rendered focv-obs/v1 event line (the EventLog observer).
+  /// No-op when disarmed.
+  void note(const std::string& line);
+
+  /// Render the current tail as focv-obs-flight/v1 JSON.
+  [[nodiscard]] std::string to_json(std::string_view reason) const;
+
+  /// Write one dump (rate-limited). Returns whether a file was written.
+  bool dump(std::string_view reason);
+
+  [[nodiscard]] int dumps() const;
+  /// Total events fed since arm().
+  [[nodiscard]] std::uint64_t noted() const;
+  /// Events overwritten by newer ones (exact).
+  [[nodiscard]] std::uint64_t evicted() const;
+
+ private:
+  [[nodiscard]] std::string to_json_locked(std::string_view reason, int dump_number) const;
+  [[nodiscard]] std::string dump_path_locked(int dump_number) const;
+
+  mutable std::mutex mutex_;
+  Options options_;
+  bool armed_ = false;
+  std::vector<std::string> ring_;  ///< capacity slots, oldest at next_
+  std::size_t next_ = 0;
+  std::uint64_t noted_ = 0;
+  std::uint64_t evicted_ = 0;
+  int dumps_ = 0;
+};
+
+/// Process-wide flight recorder (see obs::arm_flight in obs.hpp for the
+/// EventLog wiring).
+[[nodiscard]] FlightRecorder& flight();
+
+}  // namespace focv::obs

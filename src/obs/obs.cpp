@@ -46,4 +46,26 @@ void write_metrics_jsonl(const std::string& path) {
   require(f.good(), "obs: write failed for " + path);
 }
 
+void arm_flight(FlightRecorder::Options options) {
+  flight().arm(std::move(options));
+  events().set_line_observer([](const std::string& line) { flight().note(line); });
+}
+
+void disarm_flight() {
+  events().set_line_observer(nullptr);
+  flight().disarm();
+}
+
+void anomaly(std::string_view name, double sim_t,
+             std::initializer_list<EventField> fields) {
+  if (!enabled()) return;
+  events().emit(name, sim_t, fields);
+  static const CounterId anomalies_id = metrics().counter("obs.anomalies");
+  metrics().add(anomalies_id);
+  if (flight().armed()) {
+    events().sink().drain();  // feed the recorder through the line observer
+    flight().dump(name);
+  }
+}
+
 }  // namespace focv::obs

@@ -30,6 +30,7 @@
 #include <string>
 
 #include "obs/event_log.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -60,6 +61,22 @@ void write_trace(const std::string& path);
 /// Write the combined JSONL stream — every buffered event followed by
 /// one line per metric — to `path` (schema focv-obs/v1 throughout).
 void write_metrics_jsonl(const std::string& path);
+
+/// Arm the process-wide flight recorder (obs/flight.hpp) and attach it
+/// to the global event log: every event line rendered from now on is
+/// retained in the recorder's fixed-size tail.
+void arm_flight(FlightRecorder::Options options);
+/// Detach from the event log and stop recording.
+void disarm_flight();
+
+/// Record an anomaly — a brown-out, a cold-start certification
+/// failure, a Newton non-convergence. Emits `name` as a domain event,
+/// bumps the `obs.anomalies` counter and, when the flight recorder is
+/// armed, drains pending events into it and writes a
+/// focv-obs-flight/v1 dump. No-op (one branch) while telemetry is off;
+/// never alters simulation state.
+void anomaly(std::string_view name, double sim_t,
+             std::initializer_list<EventField> fields = {});
 
 /// RAII enable/disable for tests and scoped captures.
 class ScopedEnable {

@@ -1,0 +1,177 @@
+#include "obs/ring.hpp"
+
+#include <algorithm>
+
+namespace focv::obs {
+
+namespace {
+
+std::uint64_t next_sink_uid() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+/// One thread's bounded SPSC buffer. The owning thread is the only
+/// writer (head); the collector, serialized by RingSink::mutex_, is the
+/// only reader (tail). Slots between tail and head are always fully
+/// published: the producer acquires, fills and publishes sequentially.
+struct RingSink::Ring {
+  explicit Ring(std::size_t capacity) : slots(capacity) {}
+
+  std::vector<StagedRecord> slots;
+  std::atomic<std::uint64_t> head{0};  ///< next slot to publish
+  std::atomic<std::uint64_t> tail{0};  ///< next slot to consume
+  std::atomic<bool> retired{false};    ///< owning thread exited
+  int tid = 0;                         ///< stable thread index
+};
+
+namespace {
+
+/// TLS attachment: each (thread, sink) pair owns one ring. The holder
+/// keeps the rings alive past sink teardown and flags them retired on
+/// thread exit so the collector can reclaim them after a final drain.
+struct TlsEntry {
+  std::uint64_t uid = 0;
+  std::shared_ptr<RingSink::Ring> ring;
+};
+
+struct TlsHolder {
+  std::vector<TlsEntry> entries;
+  ~TlsHolder() {
+    for (TlsEntry& e : entries) e.ring->retired.store(true, std::memory_order_release);
+  }
+};
+
+thread_local TlsHolder t_rings;
+thread_local std::uint64_t t_fast_uid = 0;
+thread_local RingSink::Ring* t_fast_ring = nullptr;
+
+}  // namespace
+
+RingSink::RingSink(std::size_t capacity, Consume consume)
+    : uid_(next_sink_uid()),
+      capacity_(capacity == 0 ? 1 : capacity),
+      consume_(std::move(consume)) {}
+
+RingSink::~RingSink() = default;
+
+RingSink::Ring* RingSink::local_ring() {
+  if (t_fast_uid == uid_) return t_fast_ring;
+  for (const TlsEntry& e : t_rings.entries) {
+    if (e.uid == uid_) {
+      t_fast_uid = uid_;
+      t_fast_ring = e.ring.get();
+      return t_fast_ring;
+    }
+  }
+  auto ring = std::make_shared<Ring>(capacity_);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ring->tid = next_tid_++;
+    rings_.push_back(ring);
+  }
+  t_rings.entries.push_back(TlsEntry{uid_, ring});
+  t_fast_uid = uid_;
+  t_fast_ring = ring.get();
+  return t_fast_ring;
+}
+
+RingSink::Slot RingSink::acquire() {
+  Ring* ring = local_ring();
+  for (;;) {
+    const std::uint64_t head = ring->head.load(std::memory_order_relaxed);
+    const std::uint64_t tail = ring->tail.load(std::memory_order_acquire);
+    if (head - tail < capacity_) {
+      StagedRecord& r = ring->slots[head % capacity_];
+      r.seq = seq_.fetch_add(1, std::memory_order_relaxed);
+      r.tid = ring->tid;
+      r.n_fields = 0;
+      Slot slot;
+      slot.record = &r;
+      slot.ring = ring;
+      return slot;
+    }
+    if (overflow_.load(std::memory_order_relaxed) == Overflow::kDrop) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return Slot{};
+    }
+    drain();  // self-drain: frees at least this thread's whole ring
+  }
+}
+
+void RingSink::publish(Slot& slot) {
+  auto* ring = static_cast<Ring*>(slot.ring);
+  ring->head.store(ring->head.load(std::memory_order_relaxed) + 1,
+                   std::memory_order_release);
+  slot = Slot{};
+}
+
+std::size_t RingSink::sweep_locked(const Consume* consume) {
+  // Snapshot each ring's published range, then replay across rings in
+  // global sequence order (producers may keep publishing past the
+  // snapshot; those records belong to the next epoch).
+  struct Range {
+    Ring* ring;
+    std::uint64_t tail, head;
+  };
+  std::vector<Range> ranges;
+  ranges.reserve(rings_.size());
+  std::size_t total = 0;
+  for (const std::shared_ptr<Ring>& ring : rings_) {
+    const std::uint64_t tail = ring->tail.load(std::memory_order_relaxed);
+    const std::uint64_t head = ring->head.load(std::memory_order_acquire);
+    ranges.push_back(Range{ring.get(), tail, head});
+    total += static_cast<std::size_t>(head - tail);
+  }
+  if (total != 0 && consume != nullptr) {
+    std::vector<const StagedRecord*> batch;
+    batch.reserve(total);
+    for (const Range& r : ranges) {
+      for (std::uint64_t i = r.tail; i != r.head; ++i) {
+        batch.push_back(&r.ring->slots[i % capacity_]);
+      }
+    }
+    std::sort(batch.begin(), batch.end(),
+              [](const StagedRecord* a, const StagedRecord* b) { return a->seq < b->seq; });
+    for (const StagedRecord* record : batch) (*consume)(*record);
+  }
+  for (const Range& r : ranges) {
+    r.ring->tail.store(r.head, std::memory_order_release);
+  }
+  // Reclaim rings whose thread exited and whose records are consumed.
+  std::erase_if(rings_, [](const std::shared_ptr<Ring>& ring) {
+    return ring->retired.load(std::memory_order_acquire) &&
+           ring->tail.load(std::memory_order_relaxed) ==
+               ring->head.load(std::memory_order_acquire);
+  });
+  return total;
+}
+
+std::size_t RingSink::drain() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sweep_locked(&consume_);
+}
+
+std::size_t RingSink::discard() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sweep_locked(nullptr);
+}
+
+std::size_t RingSink::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t total = 0;
+  for (const std::shared_ptr<Ring>& ring : rings_) {
+    total += static_cast<std::size_t>(ring->head.load(std::memory_order_acquire) -
+                                      ring->tail.load(std::memory_order_relaxed));
+  }
+  return total;
+}
+
+std::size_t RingSink::ring_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return rings_.size();
+}
+
+}  // namespace focv::obs

@@ -1,0 +1,162 @@
+// focv::obs ring sinks: per-thread bounded SPSC rings of staged
+// telemetry records, drained by an epoch-based collector.
+//
+// This is the obs v2 hot path shared by EventLog and Tracer. Producers
+// stage compact records into a ring owned by their thread — no lock, no
+// JSON rendering, and no steady-state allocation (slot strings keep
+// their capacity across ring laps) — and a global sequence counter
+// stamps each record so the collector can restore cross-thread emit
+// order. Draining (export, size queries, overflow) takes the collector
+// mutex, snapshots every ring, replays the published records in
+// sequence order through the owner's consume callback (which is where
+// rendering happens), then releases the consumed slots back to their
+// producers. reset paths discard() instead, so clearing telemetry never
+// pays for rendering.
+//
+// Overflow policy when a ring is full:
+//   kDrainInline (default) — the staging thread drains the collector
+//     itself, so records are never lost; the hot path pays one drain
+//     per `capacity` records in the worst case.
+//   kDrop — the record is discarded and counted; dropped() is exact
+//     (pinned by tests/obs/ring_test.cpp).
+//
+// Thread exit: the thread's rings are flagged retired but stay alive
+// (shared ownership), so a later drain still consumes their remaining
+// records before unlinking them — telemetry from short-lived worker
+// threads is never lost.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace focv::obs {
+
+/// Fields/args staged per record. The widest current site is the
+/// sweep_job span (9 args); staging require()s the bound.
+inline constexpr std::size_t kMaxStagedFields = 12;
+
+/// One staged key/value pair (event field or trace arg).
+struct StagedField {
+  std::string name;
+  bool is_number = true;
+  double number = 0.0;
+  std::string text;
+
+  void set(std::string_view n, double v) {
+    name = n;
+    is_number = true;
+    number = v;
+    text.clear();
+  }
+  void set(std::string_view n, std::string_view v) {
+    name = n;
+    is_number = false;
+    number = 0.0;
+    text = v;
+  }
+};
+
+/// One staged telemetry record. A single layout serves both sinks:
+/// EventLog uses {name, sim_t, ts_us, fields}; Tracer uses
+/// {name, category, ts_us, dur_us, pid, tid, fields}.
+struct StagedRecord {
+  enum class Kind : unsigned char { kEvent, kComplete, kInstant };
+
+  Kind kind = Kind::kEvent;
+  std::uint64_t seq = 0;  ///< global staging order (set by acquire())
+  std::string name;
+  std::string category;
+  double sim_t = 0.0;
+  double ts_us = 0.0;   ///< EventLog: wall offset of emit; Tracer: start
+  double dur_us = 0.0;  ///< Tracer complete records only
+  int pid = 0;
+  int tid = 0;  ///< ring's thread index (set by acquire())
+  std::uint32_t n_fields = 0;
+  std::array<StagedField, kMaxStagedFields> fields;
+};
+
+class RingSink {
+ public:
+  enum class Overflow { kDrainInline, kDrop };
+  /// Rendering/merge callback, invoked per record under the collector
+  /// mutex in sequence order.
+  using Consume = std::function<void(const StagedRecord&)>;
+
+  /// Sized so a telemetry-on 24 h node run (≈3.8k events, ≈1.3k trace
+  /// records) stages without a single inline drain.
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  RingSink(std::size_t capacity, Consume consume);
+  ~RingSink();
+  RingSink(const RingSink&) = delete;
+  RingSink& operator=(const RingSink&) = delete;
+
+  struct Ring;  // one thread's SPSC buffer (defined in ring.cpp)
+
+  struct Slot {
+    StagedRecord* record = nullptr;
+    explicit operator bool() const { return record != nullptr; }
+
+   private:
+    friend class RingSink;
+    void* ring = nullptr;
+  };
+
+  /// Claim the next slot of the calling thread's ring. The returned
+  /// record has seq/tid assigned and n_fields zeroed; fill it and
+  /// publish(). Null record means the ring was full under kDrop.
+  [[nodiscard]] Slot acquire();
+  /// Make a filled slot visible to the collector (release-store).
+  void publish(Slot& slot);
+
+  /// Replay every published record through the consume callback in
+  /// sequence order and free the slots. Returns records consumed.
+  std::size_t drain();
+  /// Free every published record without consuming it (reset path).
+  std::size_t discard();
+
+  /// Records successfully staged so far (monotonic).
+  [[nodiscard]] std::uint64_t staged() const noexcept {
+    return seq_.load(std::memory_order_relaxed);
+  }
+  /// Records rejected under Overflow::kDrop (monotonic, exact).
+  [[nodiscard]] std::uint64_t dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  /// Published records not yet drained/discarded.
+  [[nodiscard]] std::size_t pending() const;
+  /// Live rings (retired rings unlink on the drain that empties them).
+  [[nodiscard]] std::size_t ring_count() const;
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  void set_overflow(Overflow policy) noexcept {
+    overflow_.store(policy, std::memory_order_relaxed);
+  }
+  [[nodiscard]] Overflow overflow() const noexcept {
+    return overflow_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  Ring* local_ring();
+  std::size_t sweep_locked(const Consume* consume);
+
+  const std::uint64_t uid_;  ///< process-unique sink identity (TLS key)
+  const std::size_t capacity_;
+  const Consume consume_;
+  std::atomic<Overflow> overflow_{Overflow::kDrainInline};
+  std::atomic<std::uint64_t> seq_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+
+  mutable std::mutex mutex_;  ///< collector: ring list, drains
+  std::vector<std::shared_ptr<Ring>> rings_;
+  int next_tid_ = 0;
+};
+
+}  // namespace focv::obs

@@ -1,6 +1,7 @@
 #include "obs/trace.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -10,6 +11,12 @@
 namespace focv::obs {
 
 namespace {
+
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 std::string json_escape(const std::string& s) {
   std::string out;
@@ -57,57 +64,79 @@ void append_args(std::string& out, const std::vector<TraceArg>& args) {
 
 }  // namespace
 
-Tracer::Tracer() : origin_(std::chrono::steady_clock::now()) {}
+Tracer::Tracer(std::size_t ring_capacity)
+    : origin_ns_(steady_now_ns()),
+      sink_(ring_capacity, [this](const StagedRecord& r) { consume(r); }) {}
 
 double Tracer::now_us() const {
-  return std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - origin_)
-      .count();
+  return static_cast<double>(steady_now_ns() -
+                             origin_ns_.load(std::memory_order_relaxed)) *
+         1e-3;
 }
 
-int Tracer::tid_for_current_thread_locked() {
-  const auto id = std::this_thread::get_id();
-  const auto it = thread_ids_.find(id);
-  if (it != thread_ids_.end()) return it->second;
-  const int tid = static_cast<int>(thread_ids_.size());
-  thread_ids_.emplace(id, tid);
-  return tid;
+void Tracer::record(StagedRecord::Kind kind, std::string_view name,
+                    std::string_view category, double ts_us, double dur_us, int pid,
+                    const std::vector<TraceArg>& args) {
+  require(args.size() <= kMaxStagedFields, "Tracer: too many args");
+  RingSink::Slot slot = sink_.acquire();
+  if (!slot) return;  // ring full under Overflow::kDrop — counted
+  StagedRecord& r = *slot.record;
+  r.kind = kind;
+  r.name = name;
+  r.category = category;
+  r.ts_us = ts_us;
+  r.dur_us = dur_us;
+  r.pid = pid;
+  for (const TraceArg& a : args) {
+    StagedField& sf = r.fields[r.n_fields++];
+    sf.name = a.name;
+    sf.is_number = a.is_number;
+    sf.number = a.number;
+    sf.text = a.text;
+  }
+  sink_.publish(slot);
 }
 
 void Tracer::record_complete(std::string name, std::string category, double ts_us,
                              double dur_us, int pid, std::vector<TraceArg> args) {
-  TraceEvent e;
-  e.name = std::move(name);
-  e.category = std::move(category);
-  e.phase = 'X';
-  e.pid = pid;
-  e.ts_us = ts_us;
-  e.dur_us = dur_us;
-  e.args = std::move(args);
-  std::lock_guard<std::mutex> lock(mutex_);
-  e.tid = tid_for_current_thread_locked();
-  events_.push_back(std::move(e));
+  record(StagedRecord::Kind::kComplete, name, category, ts_us, dur_us, pid, args);
 }
 
 void Tracer::record_instant(std::string name, std::string category, double ts_us, int pid,
                             std::vector<TraceArg> args) {
+  record(StagedRecord::Kind::kInstant, name, category, ts_us, 0.0, pid, args);
+}
+
+void Tracer::consume(const StagedRecord& r) {
   TraceEvent e;
-  e.name = std::move(name);
-  e.category = std::move(category);
-  e.phase = 'i';
-  e.pid = pid;
-  e.ts_us = ts_us;
-  e.args = std::move(args);
+  e.name = r.name;
+  e.category = r.category;
+  e.phase = r.kind == StagedRecord::Kind::kInstant ? 'i' : 'X';
+  e.pid = r.pid;
+  e.tid = r.tid;
+  e.ts_us = r.ts_us;
+  e.dur_us = r.dur_us;
+  e.args.reserve(r.n_fields);
+  for (std::uint32_t i = 0; i < r.n_fields; ++i) {
+    const StagedField& f = r.fields[i];
+    if (f.is_number) {
+      e.args.emplace_back(f.name, f.number);
+    } else {
+      e.args.emplace_back(f.name, f.text);
+    }
+  }
   std::lock_guard<std::mutex> lock(mutex_);
-  e.tid = tid_for_current_thread_locked();
   events_.push_back(std::move(e));
 }
 
 std::size_t Tracer::event_count() const {
+  sink_.drain();
   std::lock_guard<std::mutex> lock(mutex_);
   return events_.size();
 }
 
 std::vector<TraceEvent> Tracer::events() const {
+  sink_.drain();
   std::vector<TraceEvent> copy;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -154,10 +183,10 @@ void Tracer::write_chrome_json(const std::string& path) const {
 }
 
 void Tracer::reset() {
+  sink_.discard();
   std::lock_guard<std::mutex> lock(mutex_);
   events_.clear();
-  thread_ids_.clear();
-  origin_ = std::chrono::steady_clock::now();
+  origin_ns_.store(steady_now_ns(), std::memory_order_relaxed);
 }
 
 // ----------------------------------------------------------------- Span
@@ -188,8 +217,8 @@ void Tracer::Span::arg(std::string name, std::string value) {
 void Tracer::Span::finish() {
   if (tracer_ == nullptr) return;
   const double end_us = tracer_->now_us();
-  tracer_->record_complete(std::move(name_), std::move(category_), start_us_,
-                           end_us - start_us_, kWallPid, std::move(args_));
+  tracer_->record(StagedRecord::Kind::kComplete, name_, category_, start_us_,
+                  end_us - start_us_, kWallPid, args_);
   tracer_ = nullptr;
 }
 

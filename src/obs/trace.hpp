@@ -10,21 +10,23 @@
 //                              seconds (exported as microseconds), e.g.
 //                              the MPPT sample windows of a 24 h run.
 //
-// Recording appends complete ("ph":"X") or instant ("ph":"i") events to
-// a mutex-guarded buffer; the granularity of the instrumented sites
-// (jobs, runs, transient windows, sample operations) keeps contention
-// negligible. Export sorts by timestamp and prepends the process/thread
-// metadata records.
+// Hot path (obs v2): recording stages a compact complete ("ph":"X") or
+// instant ("ph":"i") record into the calling thread's bounded ring
+// (see obs/ring.hpp) — no lock, no allocation in steady state. The
+// TraceEvent buffer is materialized when the tracer is read (events,
+// event_count, to_chrome_json) or a full ring self-drains; reset()
+// discards staged records outright. Export sorts by timestamp and
+// prepends the process/thread metadata records.
 #pragma once
 
-#include <chrono>
+#include <atomic>
 #include <cstdint>
-#include <map>
 #include <mutex>
 #include <string>
-#include <thread>
 #include <utility>
 #include <vector>
+
+#include "obs/ring.hpp"
 
 namespace focv::obs {
 
@@ -56,7 +58,7 @@ class Tracer {
   static constexpr int kWallPid = 1;  ///< wall-clock timeline
   static constexpr int kSimPid = 2;   ///< simulated-time timeline
 
-  Tracer();
+  explicit Tracer(std::size_t ring_capacity = RingSink::kDefaultCapacity);
 
   /// Microseconds since the tracer's origin (monotonic).
   [[nodiscard]] double now_us() const;
@@ -106,16 +108,23 @@ class Tracer {
   [[nodiscard]] std::string to_chrome_json() const;
   void write_chrome_json(const std::string& path) const;
 
-  /// Drop all recorded events and restart the clock origin.
+  /// Drop all recorded events and restart the clock origin. Staged
+  /// records are discarded without materializing TraceEvents.
   void reset();
 
- private:
-  int tid_for_current_thread_locked();
+  /// The staging sink — exposed for overflow-policy control and the
+  /// exact dropped-record counter.
+  [[nodiscard]] RingSink& sink() const { return sink_; }
 
-  mutable std::mutex mutex_;
+ private:
+  void record(StagedRecord::Kind kind, std::string_view name, std::string_view category,
+              double ts_us, double dur_us, int pid, const std::vector<TraceArg>& args);
+  void consume(const StagedRecord& record);
+
+  mutable std::mutex mutex_;  ///< events_ buffer
   std::vector<TraceEvent> events_;
-  std::map<std::thread::id, int> thread_ids_;
-  std::chrono::steady_clock::time_point origin_;
+  std::atomic<std::int64_t> origin_ns_;
+  mutable RingSink sink_;  ///< after origin_ns_: consume() reads it
 };
 
 }  // namespace focv::obs

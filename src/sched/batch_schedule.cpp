@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/require.hpp"
+#include "obs/obs.hpp"
 
 namespace focv::sched {
 
@@ -56,6 +57,18 @@ BatchSchedule build_batch_schedule(const env::LightTrace& trace, const PreparedT
     }
     bs.interval_count = static_cast<std::uint32_t>(out.intervals.size()) - bs.first_interval;
     out.segments.push_back(bs);
+  }
+
+  if (obs::enabled()) {
+    static const obs::CounterId builds_id = obs::metrics().counter("sched.batch.builds");
+    static const obs::CounterId segs_id = obs::metrics().counter("sched.batch.segments");
+    static const obs::CounterId ivs_id = obs::metrics().counter("sched.batch.intervals");
+    static const obs::HistogramId width_id =
+        obs::metrics().histogram("sched.batch.interval_s", {1e-3, 1e5, 40});
+    obs::metrics().add(builds_id);
+    obs::metrics().add(segs_id, static_cast<double>(out.segments.size()));
+    obs::metrics().add(ivs_id, static_cast<double>(out.intervals.size()));
+    for (const BatchInterval& iv : out.intervals) obs::metrics().observe(width_id, iv.w);
   }
   return out;
 }

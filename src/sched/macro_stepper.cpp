@@ -502,6 +502,14 @@ node::NodeReport simulate_node_events(const env::LightTrace& trace, const node::
         frozen_cs = true;
       } else {
         per_step = true;  // supervisor state must evolve tick by tick
+        // A started supervisor failing certification is the anomalous
+        // case (the drain margin collapsed); pre-start fallbacks are the
+        // expected cold-start ramp and stay quiet.
+        if (coldstart->started()) {
+          obs::anomaly("coldstart_cert_failed", t[seg.first],
+                       {{"seg_min_lux", seg_min},
+                        {"steps", static_cast<double>(seg.last - seg.first)}});
+        }
       }
     }
     if (per_step) {

@@ -8,6 +8,7 @@
 #include "env/profiles.hpp"
 #include "fleet/fleet.hpp"
 #include "node/harvester_node.hpp"
+#include "obs/obs.hpp"
 #include "pv/cell_library.hpp"
 
 namespace focv::fleet {
@@ -107,6 +108,35 @@ TEST(FleetSoa, AllFallbackRosterIsByteIdenticalToPerNode) {
   const FleetReport a = run_fleet(per_node, jobs1());
   const FleetReport b = run_fleet(soa, jobs1());
   EXPECT_EQ(a.to_json(), b.to_json());
+}
+
+TEST(FleetSoa, TelemetryOnOffIsByteIdenticalAndCountsTheSweep) {
+  // The observe-only contract at fleet scale: enabling focv::obs must
+  // not perturb a single exported byte, while the SoA sweep's aggregate
+  // counters report real work. The mixed roster exercises both the
+  // batched axes and the per-node fallback axis under telemetry.
+  FleetSpec spec = day_spec(96);
+  spec.engine = FleetEngine::kSoa;
+  const std::string off = run_fleet(spec, jobs1()).to_json();
+
+  obs::reset_all();
+  std::string on;
+  {
+    obs::ScopedEnable scoped;
+    on = run_fleet(spec, jobs1()).to_json();
+  }
+  EXPECT_EQ(off, on);
+  EXPECT_GT(obs::metrics().counter_value("fleet.soa.nodes_swept"), 0.0);
+  EXPECT_GT(obs::metrics().counter_value("fleet.soa.intervals_swept"), 0.0);
+  EXPECT_GT(obs::metrics().counter_value("fleet.soa.nodes_batched"), 0.0);
+  EXPECT_GT(obs::metrics().counter_value("fleet.soa.nodes_fallback"), 0.0);
+  EXPECT_GT(obs::metrics().counter_value("fleet.soa.plans_built"), 0.0);
+  EXPECT_GT(obs::metrics().counter_value("sched.batch.builds"), 0.0);
+  // Batched + fallback partitions the fleet exactly.
+  EXPECT_EQ(obs::metrics().counter_value("fleet.soa.nodes_batched") +
+                obs::metrics().counter_value("fleet.soa.nodes_fallback"),
+            96.0);
+  obs::reset_all();
 }
 
 TEST(FleetSoa, ByteIdenticalAcrossWorkerCountsBothTableModes) {

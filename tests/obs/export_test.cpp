@@ -1,0 +1,112 @@
+// Contracts of the metrics export surface (obs/export.hpp): Prometheus
+// text exposition, focv-obs-snapshot/v1 JSON and the diff-based
+// publisher.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+
+namespace focv::obs {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  std::ostringstream out;
+  out << f.rdbuf();
+  return out.str();
+}
+
+TEST(PrometheusExport, RendersCountersGaugesAndCumulativeBuckets) {
+  MetricsRegistry reg;
+  reg.add(reg.counter("node.steps"), 42.0);
+  reg.set(reg.gauge("fleet.soa.table_bytes"), 1024.0);
+  const HistogramId h = reg.histogram("chunk.wall_us", {1.0, 100.0, 2});
+  reg.observe(h, 0.5);    // underflow
+  reg.observe(h, 5.0);    // first finite bin [1, 10)
+  reg.observe(h, 50.0);   // second finite bin [10, 100)
+  reg.observe(h, 500.0);  // overflow
+
+  const std::string prom = to_prometheus(reg.snapshot());
+  EXPECT_NE(prom.find("# TYPE focv_node_steps_total counter"), std::string::npos);
+  EXPECT_NE(prom.find("focv_node_steps_total 42"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE focv_fleet_soa_table_bytes gauge"), std::string::npos);
+  EXPECT_NE(prom.find("focv_fleet_soa_table_bytes 1024"), std::string::npos);
+  // Cumulative buckets: underflow folds into the first finite edge, the
+  // +Inf bucket equals the total count.
+  EXPECT_NE(prom.find("# TYPE focv_chunk_wall_us histogram"), std::string::npos);
+  EXPECT_NE(prom.find("focv_chunk_wall_us_bucket{le=\"+Inf\"} 4"), std::string::npos);
+  EXPECT_NE(prom.find("focv_chunk_wall_us_count 4"), std::string::npos);
+  // le edges are ordered and cumulative counts are non-decreasing.
+  std::size_t pos = 0;
+  long long prev = -1;
+  int buckets = 0;
+  while ((pos = prom.find("focv_chunk_wall_us_bucket", pos)) != std::string::npos) {
+    const std::size_t space = prom.find(' ', pos);
+    const long long count = std::stoll(prom.substr(space + 1));
+    EXPECT_GE(count, prev);
+    prev = count;
+    ++buckets;
+    pos = space;
+  }
+  EXPECT_EQ(buckets, 4);  // 3 finite edges + the +Inf bucket
+}
+
+TEST(SnapshotJson, CarriesSchemaSequenceAndDelta) {
+  MetricsRegistry reg;
+  const CounterId steps = reg.counter("node.steps");
+  reg.add(steps, 10.0);
+  const MetricsSnapshot first = reg.snapshot();
+  reg.add(steps, 5.0);
+  const MetricsSnapshot second = reg.snapshot();
+
+  const MetricsDelta delta = diff_snapshots(first, second);
+  ASSERT_EQ(delta.counters.size(), 1u);
+  EXPECT_EQ(delta.counters[0].first, "node.steps");
+  EXPECT_EQ(delta.counters[0].second, 5.0);
+  EXPECT_FALSE(delta.empty());
+  EXPECT_TRUE(diff_snapshots(second, second).empty());
+
+  const std::string json = to_snapshot_json(second, 2, &delta);
+  EXPECT_NE(json.find("\"schema\":\"focv-obs-snapshot/v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"sequence\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"node.steps\":15"), std::string::npos);
+  EXPECT_NE(json.find("\"delta\""), std::string::npos);
+}
+
+TEST(SnapshotPublisher, SkipsEmptyDiffsAndWritesBothFiles) {
+  MetricsRegistry reg;
+  const CounterId steps = reg.counter("node.steps");
+  reg.add(steps, 1.0);
+
+  const std::string json_path = "snapshot_pub_test.json";
+  const std::string prom_path = "snapshot_pub_test.prom";
+  SnapshotPublisher::Options options;
+  options.min_period_s = 0.0;  // no rate limit: isolate the diff logic
+  options.json_path = json_path;
+  options.prometheus_path = prom_path;
+  int published = 0;
+  options.on_publish = [&](const MetricsSnapshot&, const MetricsDelta&, std::uint64_t) {
+    ++published;
+  };
+  SnapshotPublisher pub(reg, options);
+
+  EXPECT_TRUE(pub.maybe_publish());   // first publish always happens
+  EXPECT_FALSE(pub.maybe_publish());  // nothing changed: skipped
+  reg.add(steps, 1.0);
+  EXPECT_TRUE(pub.maybe_publish());
+  EXPECT_EQ(pub.sequence(), 2u);
+  EXPECT_EQ(published, 2);
+
+  EXPECT_NE(slurp(json_path).find("\"node.steps\":2"), std::string::npos);
+  EXPECT_NE(slurp(prom_path).find("focv_node_steps_total 2"), std::string::npos);
+  std::remove(json_path.c_str());
+  std::remove(prom_path.c_str());
+}
+
+}  // namespace
+}  // namespace focv::obs

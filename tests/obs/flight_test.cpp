@@ -1,0 +1,109 @@
+// Contracts of the flight recorder (obs/flight.hpp) and the
+// obs::anomaly() path that feeds it.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/flight.hpp"
+#include "obs/obs.hpp"
+
+namespace focv::obs {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  std::ostringstream out;
+  out << f.rdbuf();
+  return out.str();
+}
+
+TEST(FlightRecorder, RingKeepsTheNewestCapacityEventsOldestFirst) {
+  FlightRecorder rec;
+  FlightRecorder::Options options;
+  options.capacity = 3;
+  rec.arm(options);
+  for (int i = 0; i < 7; ++i) rec.note("{\"i\":" + std::to_string(i) + "}");
+  EXPECT_EQ(rec.noted(), 7u);
+  EXPECT_EQ(rec.evicted(), 4u);  // exact: 7 fed into 3 slots
+
+  const std::string json = rec.to_json("test");
+  EXPECT_NE(json.find("\"schema\":\"focv-obs-flight/v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"events_seen\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"events_evicted\":4"), std::string::npos);
+  // The surviving tail is 4,5,6 in that order.
+  const std::size_t p4 = json.find("{\"i\":4}");
+  const std::size_t p5 = json.find("{\"i\":5}");
+  const std::size_t p6 = json.find("{\"i\":6}");
+  ASSERT_NE(p4, std::string::npos);
+  ASSERT_NE(p5, std::string::npos);
+  ASSERT_NE(p6, std::string::npos);
+  EXPECT_LT(p4, p5);
+  EXPECT_LT(p5, p6);
+  EXPECT_EQ(json.find("{\"i\":3}"), std::string::npos);
+  rec.disarm();
+}
+
+TEST(FlightRecorder, DumpsAreRateLimitedAndNumbered) {
+  FlightRecorder rec;
+  FlightRecorder::Options options;
+  options.capacity = 4;
+  options.path = "flight_test_dump.json";
+  options.max_dumps = 2;
+  rec.arm(options);
+  rec.note("{\"i\":0}");
+
+  EXPECT_TRUE(rec.dump("first"));
+  EXPECT_TRUE(rec.dump("second"));
+  EXPECT_FALSE(rec.dump("third"));  // over the limit
+  EXPECT_EQ(rec.dumps(), 2);
+
+  const std::string first = slurp("flight_test_dump.json");
+  const std::string second = slurp("flight_test_dump-2.json");
+  EXPECT_NE(first.find("\"reason\":\"first\""), std::string::npos);
+  EXPECT_NE(first.find("\"dump\":1"), std::string::npos);
+  EXPECT_NE(second.find("\"reason\":\"second\""), std::string::npos);
+  EXPECT_NE(second.find("\"dump\":2"), std::string::npos);
+  std::remove("flight_test_dump.json");
+  std::remove("flight_test_dump-2.json");
+  rec.disarm();
+}
+
+TEST(Anomaly, EmitsEventBumpsCounterAndDumpsTheArmedRecorder) {
+  reset_all();
+  ScopedEnable scoped;
+
+  FlightRecorder::Options options;
+  options.capacity = 8;
+  options.path = "flight_test_anomaly.json";
+  arm_flight(options);
+
+  events().emit("context_event", 1.0, {{"k", 2.0}});
+  anomaly("brownout", 2.5, {{"store_voltage", 1.7}});
+
+  EXPECT_EQ(metrics().counter_value("obs.anomalies"), 1.0);
+  EXPECT_EQ(flight().dumps(), 1);
+  const std::string dump = slurp("flight_test_anomaly.json");
+  EXPECT_NE(dump.find("\"reason\":\"brownout\""), std::string::npos);
+  // The anomaly drained pending events first: the context event AND the
+  // anomaly's own event line are both in the tail.
+  EXPECT_NE(dump.find("\"event\":\"context_event\""), std::string::npos);
+  EXPECT_NE(dump.find("\"event\":\"brownout\""), std::string::npos);
+  EXPECT_NE(dump.find("\"store_voltage\":1.7"), std::string::npos);
+
+  std::remove("flight_test_anomaly.json");
+  disarm_flight();
+  reset_all();
+}
+
+TEST(Anomaly, IsANoOpWhileTelemetryIsOff) {
+  reset_all();
+  anomaly("brownout", 0.0);
+  EXPECT_EQ(metrics().counter_value("obs.anomalies"), 0.0);
+  EXPECT_EQ(events().size(), 0u);
+}
+
+}  // namespace
+}  // namespace focv::obs

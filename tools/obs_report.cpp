@@ -1,0 +1,457 @@
+// obs_report: fold a telemetry bundle into per-tier summary tables.
+//
+// Point it at any mix of the artifacts the focv binaries export with
+// the shared --trace/--metrics/--snapshot/--flight flags; each file's
+// type is sniffed from its content, so argument order is free:
+//
+//   ./build/tools/obs_report trace.json metrics.jsonl snapshot.json flight.json
+//
+// Sections (each printed only when an input supplies it):
+//   metrics   — counters/gauges grouped by tier (the name prefix before
+//               the first '.'), histograms with count/mean, from the
+//               focv-obs-snapshot/v1 JSON and/or the focv-obs/v1 JSONL
+//   events    — domain-event counts with first/last sim_t, from the
+//               JSONL stream and/or a flight dump
+//   spans     — wall-clock trace spans folded by name (count, total,
+//               mean), from the Chrome trace_event JSON
+//   flight    — dump reason and tail accounting, from focv-obs-flight/v1
+//
+// Exits 1 when a file cannot be read or parsed, 2 on unrecognised
+// content — CI uses it as the smoke check that the exporters stay
+// parseable.
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal recursive-descent JSON parser — enough for this repo's own
+// exporters (objects, arrays, strings with escapes, doubles, literals).
+
+struct Json {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<Json> array;
+  std::vector<std::pair<std::string, Json>> object;
+
+  [[nodiscard]] const Json* find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+  [[nodiscard]] double num_or(double fallback) const {
+    return type == Type::kNumber ? number : fallback;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  bool parse(Json& out) {
+    skip_ws();
+    if (!value(out)) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+  }
+  bool literal(const char* word, std::size_t n) {
+    if (s_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+  bool value(Json& out) {
+    skip_ws();
+    if (pos_ >= s_.size()) return false;
+    const char c = s_[pos_];
+    if (c == '{') return object(out);
+    if (c == '[') return array(out);
+    if (c == '"') {
+      out.type = Json::Type::kString;
+      return string(out.str);
+    }
+    if (c == 't') {
+      out.type = Json::Type::kBool;
+      out.boolean = true;
+      return literal("true", 4);
+    }
+    if (c == 'f') {
+      out.type = Json::Type::kBool;
+      out.boolean = false;
+      return literal("false", 5);
+    }
+    if (c == 'n') return literal("null", 4);
+    return number(out);
+  }
+  bool number(Json& out) {
+    char* end = nullptr;
+    out.number = std::strtod(s_.c_str() + pos_, &end);
+    if (end == s_.c_str() + pos_) return false;
+    out.type = Json::Type::kNumber;
+    pos_ = static_cast<std::size_t>(end - s_.c_str());
+    return true;
+  }
+  bool string(std::string& out) {
+    if (s_[pos_] != '"') return false;
+    ++pos_;
+    out.clear();
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= s_.size()) return false;
+      const char esc = s_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u':
+          // The exporters only escape ASCII control characters; keep the
+          // code point's low byte, which round-trips those exactly.
+          if (pos_ + 4 > s_.size()) return false;
+          out += static_cast<char>(std::strtol(s_.substr(pos_, 4).c_str(), nullptr, 16));
+          pos_ += 4;
+          break;
+        default: return false;
+      }
+    }
+    return false;
+  }
+  bool array(Json& out) {
+    out.type = Json::Type::kArray;
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      Json element;
+      if (!value(element)) return false;
+      out.array.push_back(std::move(element));
+      skip_ws();
+      if (pos_ >= s_.size()) return false;
+      if (s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (s_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+  bool object(Json& out) {
+    out.type = Json::Type::kObject;
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!string(key)) return false;
+      skip_ws();
+      if (pos_ >= s_.size() || s_[pos_] != ':') return false;
+      ++pos_;
+      Json val;
+      if (!value(val)) return false;
+      out.object.emplace_back(std::move(key), std::move(val));
+      skip_ws();
+      if (pos_ >= s_.size()) return false;
+      if (s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (s_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Folded report state.
+
+struct MetricRow {
+  std::string kind;  // counter / gauge / histogram
+  double value = 0.0;
+  double sum = 0.0;  // histograms
+};
+
+struct EventRow {
+  std::uint64_t count = 0;
+  double first_sim_t = 0.0;
+  double last_sim_t = 0.0;
+};
+
+struct SpanRow {
+  std::uint64_t count = 0;
+  double total_us = 0.0;
+};
+
+struct Report {
+  std::map<std::string, MetricRow> metrics;  // name -> row
+  std::map<std::string, EventRow> events;
+  std::map<std::string, SpanRow> spans;
+  std::uint64_t sim_markers = 0;  // pid-2 (simulated time) trace records
+  std::vector<std::string> flight_lines;
+};
+
+std::string tier_of(const std::string& name) {
+  const std::size_t dot = name.find('.');
+  return dot == std::string::npos ? name : name.substr(0, dot);
+}
+
+void fold_event(Report& report, const Json& line) {
+  const Json* name = line.find("event");
+  if (name == nullptr || name->type != Json::Type::kString) return;
+  EventRow& row = report.events[name->str];
+  const Json* sim_t = line.find("sim_t");
+  const double at = sim_t != nullptr ? sim_t->num_or(0.0) : 0.0;
+  if (row.count == 0) row.first_sim_t = at;
+  row.last_sim_t = at;
+  ++row.count;
+}
+
+void fold_metric_line(Report& report, const Json& line) {
+  const Json* kind = line.find("kind");
+  if (kind == nullptr || kind->type != Json::Type::kString) return;
+  if (kind->str == "event") {
+    fold_event(report, line);
+    return;
+  }
+  const Json* name = line.find("name");
+  if (name == nullptr) return;
+  MetricRow& row = report.metrics[name->str];
+  row.kind = kind->str;
+  if (kind->str == "histogram") {
+    if (const Json* count = line.find("count")) row.value = count->num_or(0.0);
+    if (const Json* sum = line.find("sum")) row.sum = sum->num_or(0.0);
+  } else if (const Json* value = line.find("value")) {
+    row.value = value->num_or(0.0);
+  }
+}
+
+bool fold_metrics_jsonl(Report& report, const std::string& text) {
+  std::istringstream lines(text);
+  std::string line;
+  bool any = false;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    Json parsed;
+    if (!Parser(line).parse(parsed)) return false;
+    fold_metric_line(report, parsed);
+    any = true;
+  }
+  return any;
+}
+
+void fold_snapshot(Report& report, const Json& snapshot) {
+  if (const Json* counters = snapshot.find("counters")) {
+    for (const auto& [name, value] : counters->object) {
+      report.metrics[name] = {"counter", value.num_or(0.0), 0.0};
+    }
+  }
+  if (const Json* gauges = snapshot.find("gauges")) {
+    for (const auto& [name, value] : gauges->object) {
+      report.metrics[name] = {"gauge", value.num_or(0.0), 0.0};
+    }
+  }
+  if (const Json* histograms = snapshot.find("histograms")) {
+    for (const Json& h : histograms->array) {
+      const Json* name = h.find("name");
+      if (name == nullptr) continue;
+      MetricRow& row = report.metrics[name->str];
+      row.kind = "histogram";
+      if (const Json* count = h.find("count")) row.value = count->num_or(0.0);
+      if (const Json* sum = h.find("sum")) row.sum = sum->num_or(0.0);
+    }
+  }
+}
+
+void fold_trace(Report& report, const Json& trace) {
+  const Json* events = trace.find("traceEvents");
+  if (events == nullptr) return;
+  for (const Json& e : events->array) {
+    const Json* ph = e.find("ph");
+    const Json* name = e.find("name");
+    if (ph == nullptr || name == nullptr || ph->str == "M") continue;
+    const Json* pid = e.find("pid");
+    if (pid != nullptr && pid->num_or(1.0) == 2.0) {
+      ++report.sim_markers;
+      continue;
+    }
+    if (ph->str != "X") continue;
+    SpanRow& row = report.spans[name->str];
+    ++row.count;
+    if (const Json* dur = e.find("dur")) row.total_us += dur->num_or(0.0);
+  }
+}
+
+void fold_flight(Report& report, const Json& flight, const std::string& path) {
+  std::ostringstream line;
+  line << path << ": reason=";
+  if (const Json* reason = flight.find("reason")) line << reason->str;
+  if (const Json* dump = flight.find("dump")) line << "  dump=" << dump->num_or(0.0);
+  if (const Json* seen = flight.find("events_seen")) {
+    line << "  events_seen=" << static_cast<std::uint64_t>(seen->num_or(0.0));
+  }
+  if (const Json* evicted = flight.find("events_evicted")) {
+    line << "  evicted=" << static_cast<std::uint64_t>(evicted->num_or(0.0));
+  }
+  if (const Json* events = flight.find("events")) {
+    line << "  retained=" << events->array.size();
+    for (const Json& e : events->array) fold_event(report, e);
+  }
+  report.flight_lines.push_back(line.str());
+}
+
+/// Sniff + fold one file. Returns 0 ok, 1 unreadable/unparseable,
+/// 2 unrecognised content.
+int fold_file(Report& report, const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f.good()) {
+    std::fprintf(stderr, "obs_report: cannot read %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << f.rdbuf();
+  const std::string text = buffer.str();
+
+  // JSONL metric streams have one object per line; everything else is a
+  // single JSON document.
+  if (text.find("\"focv-obs/v1\"") != std::string::npos &&
+      text.find("\"traceEvents\"") == std::string::npos &&
+      text.find("\"focv-obs-flight/v1\"") == std::string::npos) {
+    if (!fold_metrics_jsonl(report, text)) {
+      std::fprintf(stderr, "obs_report: bad focv-obs/v1 JSONL in %s\n", path.c_str());
+      return 1;
+    }
+    return 0;
+  }
+  Json doc;
+  if (!Parser(text).parse(doc)) {
+    std::fprintf(stderr, "obs_report: JSON parse failure in %s\n", path.c_str());
+    return 1;
+  }
+  const Json* schema = doc.find("schema");
+  if (doc.find("traceEvents") != nullptr) {
+    fold_trace(report, doc);
+    return 0;
+  }
+  if (schema != nullptr && schema->str == "focv-obs-snapshot/v1") {
+    fold_snapshot(report, doc);
+    return 0;
+  }
+  if (schema != nullptr && schema->str == "focv-obs-flight/v1") {
+    fold_flight(report, doc, path);
+    return 0;
+  }
+  std::fprintf(stderr, "obs_report: unrecognised content in %s\n", path.c_str());
+  return 2;
+}
+
+void print_report(const Report& report) {
+  using focv::ConsoleTable;
+  if (!report.metrics.empty()) {
+    // Grouped by tier: the map's lexicographic order already clusters
+    // `fleet.*`, `node.*`, ... together; the tier column labels each
+    // cluster's first row.
+    ConsoleTable table({"tier", "metric", "kind", "value", "mean"});
+    std::string last_tier;
+    for (const auto& [name, row] : report.metrics) {
+      const std::string tier = tier_of(name);
+      const bool histogram = row.kind == "histogram";
+      table.add_row({tier == last_tier ? "" : tier, name, row.kind,
+                     ConsoleTable::num(row.value, row.value == static_cast<std::uint64_t>(row.value) ? 0 : 3),
+                     histogram && row.value > 0.0 ? ConsoleTable::num(row.sum / row.value, 4)
+                                                  : "-"});
+      last_tier = tier;
+    }
+    std::printf("metrics (%zu):\n", report.metrics.size());
+    table.print(std::cout);
+  }
+  if (!report.events.empty()) {
+    ConsoleTable table({"event", "count", "first sim_t", "last sim_t"});
+    std::uint64_t total = 0;
+    for (const auto& [name, row] : report.events) {
+      table.add_row({name, ConsoleTable::num(static_cast<double>(row.count), 0),
+                     ConsoleTable::num(row.first_sim_t, 3),
+                     ConsoleTable::num(row.last_sim_t, 3)});
+      total += row.count;
+    }
+    std::printf("\ndomain events (%llu):\n", static_cast<unsigned long long>(total));
+    table.print(std::cout);
+  }
+  if (!report.spans.empty()) {
+    ConsoleTable table({"span", "count", "total ms", "mean us"});
+    for (const auto& [name, row] : report.spans) {
+      table.add_row({name, ConsoleTable::num(static_cast<double>(row.count), 0),
+                     ConsoleTable::num(row.total_us / 1000.0, 3),
+                     ConsoleTable::num(row.total_us / static_cast<double>(row.count), 1)});
+    }
+    std::printf("\nwall-clock spans:\n");
+    table.print(std::cout);
+    if (report.sim_markers > 0) {
+      std::printf("plus %llu simulated-time records (pid 2)\n",
+                  static_cast<unsigned long long>(report.sim_markers));
+    }
+  }
+  for (const std::string& line : report.flight_lines) {
+    std::printf("\nflight %s\n", line.c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::printf("usage: obs_report FILE...\n"
+                "  FILE: any mix of --trace / --metrics / --snapshot / --flight\n"
+                "  artifacts (type sniffed from content)\n");
+    return 2;
+  }
+  Report report;
+  for (int i = 1; i < argc; ++i) {
+    const int rc = fold_file(report, argv[i]);
+    if (rc != 0) return rc;
+  }
+  print_report(report);
+  return 0;
+}
