@@ -5,9 +5,14 @@
 // --smoke shrinks every case to a seconds-scale CI gate with identical
 // code paths.
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <memory>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "circuit/transient.hpp"
 #include "common/require.hpp"
@@ -19,11 +24,15 @@
 #include "mppt/baselines.hpp"
 #include "node/curve_cache.hpp"
 #include "node/harvester_node.hpp"
+#include "node/sizing.hpp"
 #include "obs/obs.hpp"
 #include "pv/cell_library.hpp"
 #include "runtime/sweep.hpp"
 #include "runtime/thread_pool.hpp"
 #include "sched/prepared_trace.hpp"
+#include "serve/client.hpp"
+#include "serve/json.hpp"
+#include "serve/server.hpp"
 
 namespace focv::microbench {
 namespace {
@@ -390,6 +399,169 @@ CaseSpec obs_overhead_case(std::string name, std::string description, bool telem
   return spec;
 }
 
+// ---------------------------------------------------------------------------
+// focv::serve latency cases. An in-process Server (ephemeral loopback
+// port) is started once per case and reused across repetitions; each
+// timed repetition drives a pipelined burst of identical warm sizing
+// requests from several client threads and reports a latency statistic
+// via the "__seconds" self-timed convention — serve_sizing_p50/p99 gate
+// the warm-path round-trip, serve_sizing_qps gates seconds-per-query
+// (1/qps, so the 2x regression rule reads it like any other case).
+// serve_sizing_oneshot times what the same query costs without the
+// server resident (trace build + sizing solve, the sizing_tool path):
+// the ratio against serve_sizing_p50 is the ">=10x warmer" claim.
+
+struct ServeBurstStats {
+  double p50_s = 0.0;
+  double p99_s = 0.0;
+  double qps = 0.0;
+  double responses = 0.0;
+};
+
+ServeBurstStats serve_warm_burst(std::uint16_t port, int connections, int inflight,
+                                 int total_requests) {
+  using BurstClock = std::chrono::steady_clock;
+  const int per_connection = total_requests / connections;
+  std::vector<std::vector<double>> latencies(static_cast<std::size_t>(connections));
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  const BurstClock::time_point start = BurstClock::now();
+  for (int c = 0; c < connections; ++c) {
+    threads.emplace_back([&, c] {
+      serve::Client client;
+      std::string error;
+      if (!client.connect(port, error)) {
+        failures.fetch_add(1);
+        return;
+      }
+      const std::uint64_t window = static_cast<std::uint64_t>(inflight) * 2;
+      std::vector<BurstClock::time_point> sent_at(window);
+      std::vector<double>& out = latencies[static_cast<std::size_t>(c)];
+      out.reserve(static_cast<std::size_t>(per_connection));
+      std::uint64_t next_id = 0;
+      std::uint64_t outstanding = 0;
+      const auto fire = [&] {
+        const std::uint64_t id = next_id++;
+        sent_at[id % window] = BurstClock::now();
+        return client.send(R"({"op":"sizing","env":"office","id":)" +
+                           std::to_string(id) + "}");
+      };
+      std::string payload;
+      serve::Json response;
+      while (static_cast<int>(next_id) < per_connection || outstanding > 0) {
+        while (static_cast<int>(next_id) < per_connection &&
+               outstanding < static_cast<std::uint64_t>(inflight)) {
+          if (!fire()) {
+            failures.fetch_add(1);
+            return;
+          }
+          ++outstanding;
+        }
+        if (!client.recv(payload)) {
+          failures.fetch_add(1);
+          return;
+        }
+        --outstanding;
+        const BurstClock::time_point now = BurstClock::now();
+        if (!serve::Json::parse(payload, response) ||
+            !response.bool_or("ok", false)) {
+          failures.fetch_add(1);
+          return;
+        }
+        const serve::Json* id = response.find("id");
+        if (id != nullptr && id->is_number()) {
+          const std::uint64_t got = static_cast<std::uint64_t>(id->as_number());
+          out.push_back(
+              std::chrono::duration<double>(now - sent_at[got % window]).count());
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double elapsed_s =
+      std::chrono::duration<double>(BurstClock::now() - start).count();
+  require(failures.load() == 0, "serve bench: burst request failed");
+
+  std::vector<double> all;
+  for (std::vector<double>& part : latencies) {
+    all.insert(all.end(), part.begin(), part.end());
+  }
+  require(!all.empty(), "serve bench: no latencies recorded");
+  std::sort(all.begin(), all.end());
+  ServeBurstStats stats;
+  stats.responses = static_cast<double>(all.size());
+  stats.p50_s = all[all.size() / 2];
+  stats.p99_s = all[static_cast<std::size_t>(0.99 * static_cast<double>(all.size() - 1))];
+  stats.qps = elapsed_s > 0.0 ? static_cast<double>(all.size()) / elapsed_s : 0.0;
+  return stats;
+}
+
+enum class ServeStat { kP50, kP99, kSecondsPerQuery };
+
+CaseSpec serve_case(std::string name, std::string description, ServeStat stat) {
+  CaseSpec spec;
+  spec.name = std::move(name);
+  spec.description = std::move(description);
+  spec.make = [stat](bool smoke) {
+    auto server = std::make_shared<serve::Server>(serve::ServerOptions{});
+    std::string error;
+    require(server->start(error), "serve bench: server start failed");
+    {
+      // First touch builds the office environment and fills the response
+      // cache — setup, not the serving path under measurement.
+      serve::Client client;
+      require(client.connect(server->port(), error), "serve bench: connect failed");
+      std::string response;
+      require(client.request(R"({"op":"sizing","env":"office","id":0})", response),
+              "serve bench: warm-up failed");
+    }
+    const int connections = smoke ? 4 : 8;
+    const int inflight = smoke ? 32 : 128;
+    const int total = smoke ? 2000 : 20000;
+    return [server, stat, connections, inflight, total]() -> Counters {
+      const ServeBurstStats s =
+          serve_warm_burst(server->port(), connections, inflight, total);
+      double seconds = 0.0;
+      switch (stat) {
+        case ServeStat::kP50: seconds = s.p50_s; break;
+        case ServeStat::kP99: seconds = s.p99_s; break;
+        case ServeStat::kSecondsPerQuery: seconds = s.qps > 0.0 ? 1.0 / s.qps : 0.0; break;
+      }
+      return {{"__seconds", seconds},
+              {"responses", s.responses},
+              {"concurrent_inflight", static_cast<double>(connections * inflight)},
+              {"p50_ms", s.p50_s * 1e3},
+              {"p99_ms", s.p99_s * 1e3},
+              {"qps", s.qps}};
+    };
+  };
+  return spec;
+}
+
+CaseSpec serve_oneshot_case() {
+  CaseSpec spec;
+  spec.name = "serve_sizing_oneshot";
+  spec.description =
+      "the same office sizing query answered cold, no resident server: "
+      "trace build + energy-neutrality solve (the one-shot sizing_tool "
+      "path); compare against serve_sizing_p50 for the warm-serving gain";
+  spec.make = [](bool smoke) {
+    return [smoke]() -> Counters {
+      env::LightTrace trace = smoke ? env::constant_light(500.0, 0.0, 600.0)
+                                    : env::office_desk_mixed(env::OfficeDayParams{});
+      node::SizingQuery query;
+      query.use_cell(pv::sanyo_am1815());
+      query.use_scenario(std::move(trace));
+      query.use_controller(core::make_paper_controller());
+      const node::SizingResult result = node::size_for_energy_neutrality(query);
+      return {{"area_factor", result.area_factor},
+              {"storage_j", result.storage_j},
+              {"feasible", result.feasible ? 1.0 : 0.0}};
+    };
+  };
+  return spec;
+}
+
 }  // namespace
 
 void register_default_cases() {
@@ -466,6 +638,22 @@ void register_default_cases() {
       "identical SoA sweep with telemetry recording axis-run spans and "
       "fleet.soa.* counters; overhead_obs_overhead_soa is the tax",
       /*telemetry=*/true));
+  r.push_back(serve_case(
+      "serve_sizing_p50",
+      "median round-trip of a warm sizing query against an in-process "
+      "focv-serve (pipelined multi-connection burst, response-cache path)",
+      ServeStat::kP50));
+  r.push_back(serve_case(
+      "serve_sizing_p99",
+      "99th-percentile round-trip of the same warm sizing burst — the "
+      "tail the CI regression gate watches",
+      ServeStat::kP99));
+  r.push_back(serve_case(
+      "serve_sizing_qps",
+      "seconds-per-query (1/qps) of the warm sizing burst, so lower is "
+      "better under the standard regression rule",
+      ServeStat::kSecondsPerQuery));
+  r.push_back(serve_oneshot_case());
 }
 
 }  // namespace focv::microbench

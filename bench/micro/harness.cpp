@@ -48,7 +48,21 @@ std::vector<CaseResult> run_cases(const RunOptions& options) {
       const auto t0 = std::chrono::steady_clock::now();
       Counters counters = body();
       const auto t1 = std::chrono::steady_clock::now();
-      r.seconds.push_back(std::chrono::duration<double>(t1 - t0).count());
+      // Self-timed convention: a counter named "__seconds" overrides the
+      // measured repetition wall time and is stripped from the counters.
+      // Cases whose statistic is not "how long did the closure run" —
+      // a latency percentile, seconds-per-query of a concurrent burst —
+      // report it this way and still flow through the same median/MAD
+      // summary and regression gate as every other case.
+      double elapsed = std::chrono::duration<double>(t1 - t0).count();
+      const auto self_timed =
+          std::find_if(counters.begin(), counters.end(),
+                       [](const auto& c) { return c.first == "__seconds"; });
+      if (self_timed != counters.end()) {
+        elapsed = self_timed->second;
+        counters.erase(self_timed);
+      }
+      r.seconds.push_back(elapsed);
       r.counters = std::move(counters);
     }
     r.median_s = median(r.seconds);

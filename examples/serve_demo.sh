@@ -1,0 +1,67 @@
+#!/usr/bin/env sh
+# serve_demo: start a focv-serve daemon, run a handful of queries
+# through the CLI client, show the server's own metrics, and shut it
+# down gracefully — the 60-second tour of the serving tier.
+#
+#   ./examples/serve_demo.sh [BUILD_DIR]     (default: build)
+#
+# Everything runs on 127.0.0.1 with a kernel-assigned port, so the demo
+# never collides with anything.
+set -eu
+
+BUILD_DIR="${1:-build}"
+DAEMON="$BUILD_DIR/tools/focv_serve"
+CLIENT="$BUILD_DIR/tools/serve_client"
+for bin in "$DAEMON" "$CLIENT"; do
+  if [ ! -x "$bin" ]; then
+    echo "serve_demo: $bin not built (cmake --build $BUILD_DIR)" >&2
+    exit 1
+  fi
+done
+
+LOG="$(mktemp)"
+SNAPSHOT="$(mktemp -u).json"
+trap 'kill "$DAEMON_PID" 2>/dev/null || true; rm -f "$LOG" "$SNAPSHOT" "$SNAPSHOT.prom"' EXIT
+
+# --allow-shutdown-op lets the demo stop the daemon over the socket;
+# --metrics/--snapshot make it an observable server bundle.
+"$DAEMON" --port 0 --allow-shutdown-op --metrics "$SNAPSHOT.metrics.jsonl" \
+  --snapshot "$SNAPSHOT" > "$LOG" 2>&1 &
+DAEMON_PID=$!
+
+# The daemon prints "focv-serve listening on 127.0.0.1:PORT" once bound.
+PORT=""
+for _ in $(seq 1 100); do
+  PORT="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$LOG")"
+  [ -n "$PORT" ] && break
+  sleep 0.1
+done
+[ -n "$PORT" ] || { echo "serve_demo: daemon did not come up"; cat "$LOG"; exit 1; }
+echo "== daemon on port $PORT"
+
+echo "== ping"
+"$CLIENT" --port "$PORT" ping
+
+echo "== size a node for the office scenario (cold: builds the env once)"
+"$CLIENT" --port "$PORT" sizing --env office
+
+echo "== same query again (warm: answered from the response cache)"
+"$CLIENT" --port "$PORT" sizing --env office
+
+echo "== behavioural run, outdoor, paper controller"
+"$CLIENT" --port "$PORT" sim --env outdoor --spec "focv"
+
+echo "== a malformed spec maps to a structured error, not a dead worker"
+"$CLIENT" --port "$PORT" sizing --env office --spec "focv[k=oops]" || true
+
+echo "== 200-node fleet query on the resident traces"
+"$CLIENT" --port "$PORT" fleet --nodes 200 --seed 7
+
+echo "== server-side stats"
+"$CLIENT" --port "$PORT" stats
+
+echo "== graceful shutdown over the socket"
+"$CLIENT" --port "$PORT" shutdown
+wait "$DAEMON_PID" 2>/dev/null || true
+echo "== daemon log tail"
+tail -3 "$LOG"

@@ -44,13 +44,20 @@ struct DayRun {
 
 DayRun run_day(const SizingQuery& query, const pv::SingleDiodeModel& reference_cell,
                const env::LightTrace& trace, mppt::MpptController& controller,
-               double factor) {
+               double factor, const std::vector<double>* shared_eq_lux) {
   const ScaledCell cell(reference_cell, factor);
   controller.reset();
   const power::WsnLoad load(query.load);
   const double load_power = load.average_power();
 
-  const std::vector<double> eq_lux = trace.equivalent_lux(reference_cell);
+  // The spectral conversion depends only on (trace, cell); a caller
+  // sizing many factors (or many queries) against one scenario shares
+  // it through a SizingContext instead of redoing it per probe.
+  std::vector<double> owned_eq_lux;
+  if (shared_eq_lux == nullptr) {
+    owned_eq_lux = trace.equivalent_lux(reference_cell);
+  }
+  const std::vector<double>& eq_lux = shared_eq_lux ? *shared_eq_lux : owned_eq_lux;
   const std::vector<double>& t = trace.time();
 
   DayRun result;
@@ -106,8 +113,10 @@ DayRun run_day(const SizingQuery& query, const pv::SingleDiodeModel& reference_c
 
 }  // namespace
 
-SizingResult size_for_energy_neutrality(const SizingQuery& query, double min_factor,
-                                        double max_factor) {
+namespace {
+
+SizingResult size_impl(const SizingQuery& query, double min_factor, double max_factor,
+                       const std::vector<double>* shared_eq_lux) {
   require(query.cell_model != nullptr, "size_for_energy_neutrality: cell is required");
   require(query.scenario_trace != nullptr, "size_for_energy_neutrality: scenario is required");
   require(query.controller_prototype != nullptr,
@@ -120,7 +129,8 @@ SizingResult size_for_energy_neutrality(const SizingQuery& query, double min_fac
   const std::unique_ptr<mppt::MpptController> owned = query.controller_prototype->clone();
   mppt::MpptController& controller = *owned;
   const auto day_at = [&](double factor) {
-    return run_day(query, *query.cell_model, *query.scenario_trace, controller, factor);
+    return run_day(query, *query.cell_model, *query.scenario_trace, controller, factor,
+                   shared_eq_lux);
   };
 
   SizingResult result;
@@ -156,6 +166,24 @@ SizingResult size_for_energy_neutrality(const SizingQuery& query, double min_fac
   result.storage_f_at_3v = 2.0 * result.storage_j / (3.0 * 3.0);
   result.feasible = true;
   return result;
+}
+
+}  // namespace
+
+SizingResult size_for_energy_neutrality(const SizingQuery& query, double min_factor,
+                                        double max_factor) {
+  return size_impl(query, min_factor, max_factor, nullptr);
+}
+
+SizingResult size_for_energy_neutrality(const SizingQuery& query, const SizingContext& context,
+                                        double min_factor, double max_factor) {
+  require(query.scenario_trace != nullptr, "size_for_energy_neutrality: scenario is required");
+  require(query.cell_model != nullptr, "size_for_energy_neutrality: cell is required");
+  require(&context.trace() == query.scenario_trace.get(),
+          "size_for_energy_neutrality: context was built for a different trace");
+  require(&context.cell() == query.cell_model.get(),
+          "size_for_energy_neutrality: context was built for a different cell");
+  return size_impl(query, min_factor, max_factor, &context.eq_lux());
 }
 
 }  // namespace focv::node

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <memory>
+#include <vector>
 
 #include "env/light_trace.hpp"
 #include "mppt/controller.hpp"
@@ -68,10 +69,45 @@ struct SizingResult {
   bool feasible = false;           ///< a finite area achieves energy neutrality
 };
 
+/// Precomputed per-(scenario, cell) state shared by many sizing runs.
+///
+/// A sizing run probes ~25 area factors, and each probe used to redo
+/// the O(trace) spectral conversion LightTrace::equivalent_lux before
+/// its day loop. The conversion depends only on the trace and the
+/// reference cell — never on the probed area — so a resident server
+/// (focv::serve) builds one context per environment and every sizing
+/// query against that environment skips the conversion entirely.
+/// Immutable after construction; safe to share across threads. The
+/// trace and cell must outlive the context (held by reference).
+class SizingContext {
+ public:
+  SizingContext(const env::LightTrace& trace, const pv::SingleDiodeModel& cell)
+      : trace_(&trace), cell_(&cell), eq_lux_(trace.equivalent_lux(cell)) {}
+
+  [[nodiscard]] const env::LightTrace& trace() const { return *trace_; }
+  [[nodiscard]] const pv::SingleDiodeModel& cell() const { return *cell_; }
+  /// Equivalent fluorescent illuminance per trace sample.
+  [[nodiscard]] const std::vector<double>& eq_lux() const { return eq_lux_; }
+
+ private:
+  const env::LightTrace* trace_;
+  const pv::SingleDiodeModel* cell_;
+  std::vector<double> eq_lux_;
+};
+
 /// Find the smallest cell-area multiple (within [min_factor, max_factor])
 /// for which net daily harvest covers the load, then compute the storage
 /// needed to cover the worst cumulative deficit across the scenario.
 [[nodiscard]] SizingResult size_for_energy_neutrality(const SizingQuery& query,
+                                                      double min_factor = 0.1,
+                                                      double max_factor = 64.0);
+
+/// As above, reusing a caller-owned SizingContext built for exactly this
+/// query's scenario trace and reference cell (throws PreconditionError
+/// on a mismatch). Byte-identical to the context-free overload — the
+/// context only precomputes values the run would derive itself.
+[[nodiscard]] SizingResult size_for_energy_neutrality(const SizingQuery& query,
+                                                      const SizingContext& context,
                                                       double min_factor = 0.1,
                                                       double max_factor = 64.0);
 

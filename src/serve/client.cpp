@@ -1,0 +1,66 @@
+#include "serve/client.hpp"
+
+#include <utility>
+
+#include "serve/net.hpp"
+#include "serve/protocol.hpp"
+
+namespace focv::serve {
+
+Client::~Client() { close(); }
+
+Client::Client(Client&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+bool Client::connect(std::uint16_t port, std::string& error) {
+  close();
+  fd_ = net::connect_tcp(port, error);
+  return fd_ >= 0;
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    net::close_fd(fd_);
+    fd_ = -1;
+  }
+}
+
+bool Client::send(const std::string& request_json) {
+  return fd_ >= 0 && net::write_frame(fd_, request_json);
+}
+
+bool Client::recv(std::string& response_json) {
+  // Responses (fleet reports, catalogs) may exceed the request bound.
+  return fd_ >= 0 && net::read_frame(fd_, 64u << 20, response_json) == 1;
+}
+
+bool Client::request(const std::string& request_json, std::string& response_json) {
+  return send(request_json) && recv(response_json);
+}
+
+bool Client::call(const std::string& request_json, Json& response, std::string& error,
+                  bool ok_required) {
+  std::string payload;
+  if (!request(request_json, payload)) {
+    error = "transport error (server gone?)";
+    return false;
+  }
+  if (!Json::parse(payload, response, &error)) return false;
+  if (ok_required && !response.bool_or("ok", false)) {
+    error = "server error";
+    if (const Json* err = response.find("error")) {
+      error = err->string_or("code", "error") + ": " + err->string_or("message", "");
+    }
+    return false;
+  }
+  return true;
+}
+
+}  // namespace focv::serve

@@ -1,0 +1,189 @@
+// focv-serve: the long-lived simulation query server.
+//
+// Request lifecycle:
+//
+//   reader thread (one per connection)
+//     read frame -> parse -> canonicalize
+//       parse/validation error ............ answered inline
+//       response-cache hit ................ answered inline (warm path:
+//                                           the p50 the bench measures)
+//       otherwise ......................... bounded admission (at most
+//                                           queue_depth unanswered
+//                                           requests in the system), or
+//                                           an `overloaded` error
+//   dispatcher thread
+//     drains the queue, drops deadline-expired requests
+//     (`deadline_exceeded`; a storm of them fires the
+//     serve.deadline_storm anomaly), coalesces identical in-flight
+//     requests onto one computation (single-flight) and groups
+//     compatible queries (same op + environment) into one pool
+//     dispatch
+//   ThreadPool workers
+//     execute SessionState::compute once per distinct request, insert
+//     the response cache, render one envelope per coalesced waiter
+//
+// Shutdown (stop(), typically from SIGINT/SIGTERM): stop accepting,
+// answer new requests with `shutting_down`, drain the admission queue
+// and in-flight work, then flush telemetry. Every response path goes
+// through a per-connection write lock, so pipelined clients see whole
+// frames in any interleaving.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "runtime/thread_pool.hpp"
+#include "serve/session.hpp"
+
+namespace focv::serve {
+
+struct ServerOptions {
+  /// Listening port on 127.0.0.1; 0 = kernel-assigned (see port()).
+  std::uint16_t port = 0;
+  /// Worker threads computing queries (<= 0: hardware concurrency).
+  int jobs = 0;
+  /// Admission bound on requests in the system — admitted but not yet
+  /// answered, whether still queued, coalesced or executing. Beyond it
+  /// new work is shed with an `overloaded` error instead of growing an
+  /// unbounded backlog that would blow every deadline.
+  std::size_t queue_depth = 1024;
+  /// Deadline applied to requests that carry none (0 = unbounded).
+  double default_deadline_ms = 0.0;
+  /// Coalesce compatible queries into one pool dispatch.
+  bool batching = true;
+  /// Distinct requests per pool dispatch when batching.
+  std::size_t max_batch = 16;
+  /// serve.deadline_storm anomaly: at least this many deadline-expired
+  /// requests within `storm_window_s` (edge-triggered; re-arms once the
+  /// window drains below half the threshold).
+  std::size_t storm_threshold = 16;
+  double storm_window_s = 1.0;
+  /// Honour the `shutdown` op (loopback trust — used by the demo and
+  /// the CI smoke job to stop the daemon without a signal).
+  bool allow_shutdown_op = false;
+  /// Rewrite focv-obs-snapshot/v1 JSON (and .prom next to it) at this
+  /// path while serving ("" = disabled).
+  std::string snapshot_path;
+  double snapshot_period_s = 1.0;
+  SessionState::Options session;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind, listen and spawn the accept/dispatcher threads. False (with
+  /// `error` filled) when the port cannot be bound.
+  bool start(std::string& error);
+
+  /// Graceful shutdown: drain, flush, join. Idempotent.
+  void stop();
+
+  /// Ask for stop() without blocking (signal handlers set a flag and
+  /// the daemon loop calls this; the `shutdown` op lands here too).
+  void request_stop();
+  [[nodiscard]] bool stop_requested() const {
+    return stop_requested_.load(std::memory_order_relaxed);
+  }
+
+  /// The bound port (resolves port=0 to the kernel's choice).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] SessionState& session() { return session_; }
+  [[nodiscard]] const ServerOptions& options() const { return options_; }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::mutex write_mutex;
+    std::atomic<bool> open{true};
+  };
+
+  /// One admitted request waiting for the dispatcher.
+  struct Pending {
+    std::shared_ptr<Connection> conn;
+    Request request;
+    CanonicalRequest canon;
+    std::chrono::steady_clock::time_point enqueued;
+    std::chrono::steady_clock::time_point deadline;
+    bool has_deadline = false;
+  };
+
+  /// One response destination of a (possibly coalesced) computation.
+  struct Waiter {
+    std::shared_ptr<Connection> conn;
+    std::string id_json;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  /// One distinct computation the pool executes.
+  struct WorkItem {
+    Request request;
+    std::string key;    ///< empty: uncacheable, single waiter
+    std::string group;  ///< batching affinity (op + environment)
+    std::vector<Waiter> waiters;
+  };
+
+  void accept_loop();
+  void reader_loop(std::shared_ptr<Connection> conn);
+  void dispatcher_loop();
+  void process_drained(std::vector<Pending>& drained);
+  void execute_item(WorkItem& item);
+  void respond(Connection& conn, const std::string& payload);
+  void observe_latency(std::chrono::steady_clock::time_point enqueued);
+  void note_deadline_expired();
+  void housekeeping();
+
+  ServerOptions options_;
+  SessionState session_;
+  std::uint16_t port_ = 0;
+  int listen_fd_ = -1;
+
+  std::unique_ptr<runtime::ThreadPool> pool_;
+  std::unique_ptr<obs::SnapshotPublisher> publisher_;
+
+  std::thread accept_thread_;
+  std::thread dispatcher_thread_;
+  std::mutex conn_mutex_;
+  std::vector<std::shared_ptr<Connection>> connections_;
+  std::vector<std::thread> reader_threads_;
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<Pending> queue_;
+  bool dispatcher_stop_ = false;
+
+  /// Single-flight table: canonical key -> waiters of the in-flight
+  /// computation. Guarded by inflight_mutex_.
+  std::mutex inflight_mutex_;
+  std::unordered_map<std::string, std::vector<Waiter>> inflight_;
+  std::atomic<std::size_t> inflight_count_{0};
+
+  /// Requests admitted and not yet answered (the queue_depth bound).
+  /// Incremented at admission; decremented once per response, on every
+  /// exit path (deadline drop, cache re-check, computed waiter).
+  std::atomic<std::size_t> admitted_{0};
+
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopped_{false};
+  std::atomic<bool> shutting_down_{false};
+  std::atomic<bool> stop_requested_{false};
+
+  // Deadline-storm window (dispatcher thread only).
+  std::deque<std::chrono::steady_clock::time_point> deadline_events_;
+  bool storm_active_ = false;
+};
+
+}  // namespace focv::serve

@@ -1,0 +1,118 @@
+// focv-serve daemon: long-lived simulation query server on 127.0.0.1.
+//
+//   focv_serve [--port N] [--jobs N] [--queue-depth N] [--deadline-ms X]
+//              [--max-batch N] [--no-batching] [--fleet-jobs N]
+//              [--enable-test-ops] [--allow-shutdown-op]
+//              [--trace/--metrics/--snapshot/--flight PATH]
+//
+// Prints one parseable line when ready:
+//   focv-serve listening on 127.0.0.1:<port>
+//
+// SIGINT/SIGTERM shut down gracefully: stop accepting, drain the
+// admission queue and in-flight work, flush telemetry artifacts. With
+// --snapshot PATH the server also rewrites the focv-obs-snapshot/v1
+// JSON (and PATH.prom) about once a second while serving, so a poller
+// (or tools/obs_report) can watch a live daemon.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "obs/cli.hpp"
+#include "obs/obs.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_signal = 0;
+
+void handle_signal(int sig) { g_signal = sig; }
+
+[[noreturn]] void usage(const char* argv0, int code) {
+  std::fprintf(code == 0 ? stdout : stderr,
+               "usage: %s [--port N] [--jobs N] [--queue-depth N] [--deadline-ms X]\n"
+               "          [--max-batch N] [--no-batching] [--fleet-jobs N]\n"
+               "          [--max-fleet-nodes N] [--enable-test-ops] [--allow-shutdown-op]\n"
+               "          %s\n",
+               argv0, focv::obs::CliTelemetry::usage());
+  std::exit(code);
+}
+
+const char* flag_value(int argc, char** argv, int& i) {
+  if (i + 1 >= argc) {
+    std::fprintf(stderr, "focv_serve: %s needs a value\n", argv[i]);
+    std::exit(2);
+  }
+  return argv[++i];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  focv::serve::ServerOptions options;
+  focv::obs::CliTelemetry telemetry;
+
+  for (int i = 1; i < argc; ++i) {
+    if (telemetry.consume(argc, argv, i)) continue;
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") usage(argv[0], 0);
+    if (arg == "--port") {
+      options.port = static_cast<std::uint16_t>(std::atoi(flag_value(argc, argv, i)));
+    } else if (arg == "--jobs") {
+      options.jobs = std::atoi(flag_value(argc, argv, i));
+    } else if (arg == "--queue-depth") {
+      options.queue_depth = static_cast<std::size_t>(std::atol(flag_value(argc, argv, i)));
+    } else if (arg == "--deadline-ms") {
+      options.default_deadline_ms = std::atof(flag_value(argc, argv, i));
+    } else if (arg == "--max-batch") {
+      options.max_batch = static_cast<std::size_t>(std::atol(flag_value(argc, argv, i)));
+    } else if (arg == "--no-batching") {
+      options.batching = false;
+    } else if (arg == "--fleet-jobs") {
+      options.session.fleet_jobs = std::atoi(flag_value(argc, argv, i));
+    } else if (arg == "--max-fleet-nodes") {
+      options.session.max_fleet_nodes =
+          static_cast<std::size_t>(std::atol(flag_value(argc, argv, i)));
+    } else if (arg == "--enable-test-ops") {
+      options.session.enable_test_ops = true;
+    } else if (arg == "--allow-shutdown-op") {
+      options.allow_shutdown_op = true;
+    } else {
+      std::fprintf(stderr, "focv_serve: unknown flag %s\n", argv[i]);
+      usage(argv[0], 2);
+    }
+  }
+
+  telemetry.begin();
+  // Live snapshot publishing piggybacks on the --snapshot artifact path
+  // (the final write at exit still comes from telemetry.finish()).
+  options.snapshot_path = telemetry.snapshot_path;
+
+  focv::serve::Server server(options);
+  std::string error;
+  if (!server.start(error)) {
+    std::fprintf(stderr, "focv_serve: %s\n", error.c_str());
+    return 1;
+  }
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+
+  std::printf("focv-serve listening on 127.0.0.1:%u\n", server.port());
+  std::printf("  jobs=%d queue_depth=%zu deadline_ms=%g batching=%s\n",
+              options.jobs, options.queue_depth, options.default_deadline_ms,
+              options.batching ? "on" : "off");
+  std::fflush(stdout);
+
+  while (g_signal == 0 && !server.stop_requested()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::printf("focv-serve: draining (%s)...\n",
+              g_signal != 0 ? (g_signal == SIGINT ? "SIGINT" : "SIGTERM") : "shutdown op");
+  std::fflush(stdout);
+  server.stop();
+  telemetry.finish();
+  std::printf("focv-serve: stopped\n");
+  return 0;
+}
