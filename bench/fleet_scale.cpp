@@ -11,17 +11,26 @@
 // state is transient, so memory must stay far below the 2 GiB budget
 // all the way to a million nodes.
 //
+// Each rung also times the node-major scalar SoA kernel on the float
+// roster and byte-compares it against the lane kernel — the "x kern"
+// column is the interval-major lane speedup, and "kern ==" is the
+// kernel byte-identity contract checked at every scale.
+//
 //   ./build/bench/fleet_scale             # full ladder, 10 -> 1M nodes
 //   ./build/bench/fleet_scale --smoke     # CI-sized ladder, 10 -> 200
 //   ./build/bench/fleet_scale --gate100k  # CI gate: 100k nodes, both
 //                                         # table modes byte-identical
 //                                         # across jobs, RSS < 2048 MiB
+//   ./build/bench/fleet_scale --jobs N    # threaded-leg worker count
+//                                         # (0 = hardware concurrency;
+//                                         # default max(8, hardware))
 //
 // The shared telemetry flags (--trace/--metrics/--snapshot/--flight)
 // record the ladder under focv::obs: fleet_chunk/soa_axis_run spans,
 // fleet.soa.* batch counters and the per-node histograms. The
 // byte-compare legs are unaffected — telemetry never touches exports.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -62,7 +71,8 @@ struct Environs {
 
 focv::fleet::FleetSpec make_spec(std::size_t nodes, const Environs& env,
                                  focv::fleet::FleetEngine engine,
-                                 focv::fleet::TableMode mode) {
+                                 focv::fleet::TableMode mode,
+                                 focv::fleet::SoaKernel kernel = focv::fleet::SoaKernel::kLanes) {
   using namespace focv;
   fleet::FleetSpec spec;
   spec.node_count = nodes;
@@ -82,6 +92,7 @@ focv::fleet::FleetSpec make_spec(std::size_t nodes, const Environs& env,
   spec.chunk_size = 4096;  // one SoA sweep per chunk, still >200 parallel grains at 1M
   spec.engine = engine;
   spec.table_mode = mode;
+  spec.soa_kernel = kernel;
   return spec;
 }
 
@@ -101,6 +112,13 @@ PairResult run_pair(const focv::fleet::FleetSpec& spec, int jobs, bool analyze_l
   threaded.analyze_load = analyze_load;
   const focv::fleet::FleetReport par = focv::fleet::run_fleet(spec, threaded);
   out.identical = par.to_json() == out.serial.to_json();
+  // The report must acknowledge the worker count it actually ran with —
+  // a silent fallback to one worker would fake the determinism compare.
+  if (out.serial.jobs_used != 1 || par.jobs_used != jobs) {
+    std::fprintf(stderr, "FAIL: jobs_used %d/%d, expected 1/%d\n", out.serial.jobs_used,
+                 par.jobs_used, jobs);
+    out.identical = false;
+  }
   return out;
 }
 
@@ -132,11 +150,19 @@ int main(int argc, char** argv) {
 
   bool smoke = false;
   bool gate100k = false;
+  int jobs_arg = -1;  // -1: flag absent
   obs::CliTelemetry telemetry;
   for (int i = 1; i < argc; ++i) {
     if (telemetry.consume(argc, argv, i)) continue;
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
     if (std::strcmp(argv[i], "--gate100k") == 0) gate100k = true;
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs_arg = std::atoi(argv[++i]);
+      if (jobs_arg < 0) {
+        std::fprintf(stderr, "FAIL: --jobs must be >= 0 (0 = hardware concurrency)\n");
+        return 2;
+      }
+    }
   }
   telemetry.begin();
 
@@ -151,16 +177,22 @@ int main(int argc, char** argv) {
       gate100k ? std::vector<std::size_t>{100000}
       : smoke  ? std::vector<std::size_t>{10, 50, 200}
                : std::vector<std::size_t>{10, 100, 1000, 10000, 100000, 1000000};
-  // At least 8 workers even on small machines: the point of the
-  // threaded leg is contended scheduling against the serial reference.
-  const int jobs = std::max(8, runtime::ThreadPool::default_thread_count());
+  // Default: at least 8 workers even on small machines — the point of
+  // the threaded leg is contended scheduling against the serial
+  // reference. --jobs overrides; --jobs 0 resolves to the hardware
+  // concurrency exactly as FleetOptions{jobs=0} would.
+  const int jobs = jobs_arg < 0 ? std::max(8, runtime::ThreadPool::default_thread_count())
+                   : jobs_arg == 0
+                       ? runtime::ThreadPool::default_thread_count()
+                       : jobs_arg;
   // Per-node reference column: the identical roster on the per-node
   // MacroStepper, only up to 10k nodes (it is the ~50x slower path the
   // SoA engine replaces; a 1M per-node run would take hours).
   const std::size_t per_node_cap = 10000;
 
-  ConsoleTable table({"nodes", "soa wall s", "nodes/s", "per-node s", "x per node",
-                      "RSS MiB", "neutral %", "float ==", "quant =="});
+  ConsoleTable table({"nodes", "lanes s", "nodes/s", "scalar s", "x kern", "per-node s",
+                      "x per node", "RSS MiB", "neutral %", "float ==", "quant ==",
+                      "kern =="});
   bool all_identical = true;
   for (const std::size_t n : sizes) {
     // Load-concurrency analysis sorts O(nodes * bursts) edges — useful
@@ -175,6 +207,20 @@ int main(int argc, char** argv) {
     const PairResult qnt = run_pair(spec_q, jobs, analyze_load);
     all_identical = all_identical && flt.identical && qnt.identical;
 
+    // The node-major scalar kernel on the identical float roster: the
+    // "x kern" lane speedup, and the byte-identity contract between the
+    // two kernels checked at every scale (the quantized leg of that
+    // contract is pinned by tests/fleet/soa_lanes_test.cpp).
+    const fleet::FleetSpec spec_s = make_spec(n, environs, fleet::FleetEngine::kSoa,
+                                              fleet::TableMode::kFloat,
+                                              fleet::SoaKernel::kScalar);
+    fleet::FleetOptions scalar_opt;
+    scalar_opt.jobs = 1;
+    scalar_opt.analyze_load = analyze_load;
+    const fleet::FleetReport scalar = fleet::run_fleet(spec_s, scalar_opt);
+    const bool kern_identical = scalar.to_json() == flt.serial.to_json();
+    all_identical = all_identical && kern_identical;
+
     double per_node_wall = 0.0;
     if (n <= per_node_cap) {
       const fleet::FleetSpec ref_spec =
@@ -186,16 +232,20 @@ int main(int argc, char** argv) {
     }
 
     const double wall = flt.serial.wall_seconds;
+    const double scalar_wall = scalar.wall_seconds;
     table.add_row({ConsoleTable::num(static_cast<double>(n), 0),
                    ConsoleTable::num(wall, 3),
                    ConsoleTable::num(static_cast<double>(n) / wall, 0),
+                   ConsoleTable::num(scalar_wall, 3),
+                   ConsoleTable::num(scalar_wall / wall, 2),
                    per_node_wall > 0.0 ? ConsoleTable::num(per_node_wall, 3) : "-",
                    per_node_wall > 0.0 ? ConsoleTable::num(per_node_wall / wall, 1) : "-",
                    ConsoleTable::num(peak_rss_mib(), 1),
                    ConsoleTable::num(flt.serial.energy_neutral_fraction() * 100.0, 1),
-                   flt.identical ? "yes" : "NO", qnt.identical ? "yes" : "NO"});
-    std::printf("  %zu nodes done (%.3f s float, %.3f s quantized, jobs=%d)\n", n,
-                flt.serial.wall_seconds, qnt.serial.wall_seconds, jobs);
+                   flt.identical ? "yes" : "NO", qnt.identical ? "yes" : "NO",
+                   kern_identical ? "yes" : "NO"});
+    std::printf("  %zu nodes done (%.3f s lanes, %.3f s scalar, %.3f s quantized, jobs=%d)\n",
+                n, flt.serial.wall_seconds, scalar_wall, qnt.serial.wall_seconds, jobs);
   }
   table.print(std::cout);
 
@@ -219,11 +269,12 @@ int main(int argc, char** argv) {
     return 1;
   }
   if (!all_identical) {
-    std::fprintf(stderr, "FAIL: a threaded run diverged from the serial reference\n");
+    std::fprintf(stderr, "FAIL: a threaded run or the scalar kernel diverged from the\n"
+                         "      serial lane reference\n");
     return 1;
   }
-  std::printf("all fleet sizes byte-identical between --jobs 1 and --jobs %d "
-              "on both table modes\n", jobs);
+  std::printf("all fleet sizes byte-identical between --jobs 1 and --jobs %d on both\n"
+              "table modes, and between the lane and scalar kernels\n", jobs);
   telemetry.finish();
   return 0;
 }

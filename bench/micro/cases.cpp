@@ -281,16 +281,17 @@ CaseSpec fleet_step_event_case() {
 }
 
 CaseSpec fleet_soa_case(std::string name, std::string description,
-                        fleet::FleetEngine engine, fleet::TableMode mode) {
+                        fleet::FleetEngine engine, fleet::TableMode mode,
+                        fleet::SoaKernel kernel = fleet::SoaKernel::kScalar) {
   CaseSpec spec;
   spec.name = std::move(name);
   spec.description = std::move(description);
-  spec.make = [engine, mode](bool smoke) {
+  spec.make = [engine, mode, kernel](bool smoke) {
     auto trace = std::make_shared<const env::LightTrace>(
         smoke ? env::constant_light(500.0, 0.0, 600.0)
               : env::office_desk_mixed(env::OfficeDayParams{}));
     const std::size_t nodes = smoke ? 64 : 10000;
-    return [trace = std::move(trace), nodes, engine, mode]() -> Counters {
+    return [trace = std::move(trace), nodes, engine, mode, kernel]() -> Counters {
       fleet::FleetSpec fs;
       fs.node_count = nodes;
       fs.use_cell(pv::sanyo_am1815());
@@ -306,6 +307,7 @@ CaseSpec fleet_soa_case(std::string name, std::string description,
       fs.base.stepper = node::Stepper::kEvent;
       fs.engine = engine;
       fs.table_mode = mode;
+      fs.soa_kernel = kernel;
       // One SoA sweep per chunk: the default 64-node chunks would call
       // the batch engine ~150x per run and time its setup, not its loop.
       fs.chunk_size = 4096;
@@ -610,14 +612,28 @@ void register_default_cases() {
       fleet::FleetEngine::kPerNode, fleet::TableMode::kFloat));
   r.push_back(fleet_soa_case(
       "fleet_soa_float",
-      "identical roster on the struct-of-arrays engine, float dense "
-      "tables; speedup_fleet_soa in `derived` is the per-node gain",
+      "identical roster on the struct-of-arrays engine's node-major "
+      "scalar kernel, float dense tables; speedup_fleet_soa in `derived` "
+      "is the per-node gain",
       fleet::FleetEngine::kSoa, fleet::TableMode::kFloat));
   r.push_back(fleet_soa_case(
       "fleet_soa_quantized",
-      "identical roster on the SoA engine with int32 uV/nW tables (half "
-      "the table bytes; the million-node memory mode)",
+      "identical roster on the SoA scalar kernel with int32 uV/nW tables "
+      "(half the table bytes; the million-node memory mode)",
       fleet::FleetEngine::kSoa, fleet::TableMode::kQuantized));
+  r.push_back(fleet_soa_case(
+      "fleet_soa_simd_float",
+      "identical roster on the interval-major lane-batched kernel, float "
+      "tables; speedup_fleet_simd in `derived` is the lanes-over-scalar "
+      "gain (byte-identical reports)",
+      fleet::FleetEngine::kSoa, fleet::TableMode::kFloat,
+      fleet::SoaKernel::kLanes));
+  r.push_back(fleet_soa_case(
+      "fleet_soa_simd_quantized",
+      "identical roster on the lane-batched kernel with int32 uV/nW "
+      "tables",
+      fleet::FleetEngine::kSoa, fleet::TableMode::kQuantized,
+      fleet::SoaKernel::kLanes));
   r.push_back(obs_overhead_case(
       "obs_overhead_disabled",
       "office-day 24 h behavioural run with focv::obs telemetry off (the "

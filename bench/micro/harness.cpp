@@ -159,6 +159,21 @@ std::string to_json(const std::vector<CaseResult>& results, const RunOptions& op
   // speedup_fleet_soa: per-node event-stepper wall time over the SoA
   // engine on the identical roster (fleet_soa_ref_event / fleet_soa_float).
   pair_ratio("_ref_event", "_float", "speedup_", /*invert=*/true);
+  // speedup_fleet_simd: the SoA scalar kernel's wall time over the
+  // interval-major lane kernel on the identical roster
+  // (fleet_soa_float / fleet_soa_simd_float). The CI smoke gate holds
+  // this ratio.
+  for (const CaseResult& base : results) {
+    if (base.name != "fleet_soa_float") continue;
+    for (const CaseResult& simd : results) {
+      if (simd.name == "fleet_soa_simd_float" && base.median_s > 0.0 &&
+          simd.median_s > 0.0) {
+        if (!first) out += ", ";
+        first = false;
+        out += quoted("speedup_fleet_simd") + ": " + num(base.median_s / simd.median_s);
+      }
+    }
+  }
   // speedup_event_stepper_<stem>: fixed-stepper wall time over the
   // event-driven stepper for the same workload. The fixed counterpart
   // of X_event is X_surrogate when it exists (the simulate_node cases)

@@ -1,0 +1,85 @@
+// Cache-line-aligned flat buffers for the hot struct-of-arrays paths.
+//
+// std::vector<double> guarantees only alignof(double); the lane-batched
+// fleet kernels (fleet/soa_lanes.cpp) stream per-field state arrays with
+// width-W vector loads and want every array to start on a cache-line
+// boundary so a W=8 block never straddles an extra line. AlignedBuffer
+// is the minimal owning array for that: fixed alignment, fixed size
+// after assign(), no growth amortisation, value-initialised elements.
+// It deliberately supports only what the kernels use — sizing once and
+// streaming — so it cannot be misused as a general container.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace focv {
+
+/// Owning, over-aligned, fixed-size array of trivial T.
+template <typename T, std::size_t Align = 64>
+class AlignedBuffer {
+  static_assert(std::is_trivially_copyable_v<T> && std::is_trivially_destructible_v<T>,
+                "AlignedBuffer: T must be trivial (the buffer never runs constructors)");
+  static_assert(Align >= alignof(T) && (Align & (Align - 1)) == 0,
+                "AlignedBuffer: alignment must be a power of two >= alignof(T)");
+
+ public:
+  AlignedBuffer() = default;
+  explicit AlignedBuffer(std::size_t n) { assign(n); }
+  AlignedBuffer(const AlignedBuffer& other) { *this = other; }
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)), size_(std::exchange(other.size_, 0)) {}
+  AlignedBuffer& operator=(const AlignedBuffer& other) {
+    if (this == &other) return *this;
+    assign(other.size_);
+    for (std::size_t i = 0; i < size_; ++i) data_[i] = other.data_[i];
+    return *this;
+  }
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this == &other) return *this;
+    release();
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    return *this;
+  }
+  ~AlignedBuffer() { release(); }
+
+  /// Resize to exactly n value-initialised elements (old contents gone).
+  void assign(std::size_t n) {
+    release();
+    if (n == 0) return;
+    // Round the byte size up to a whole alignment block so a vector load
+    // of the last partial lane block stays inside the allocation.
+    const std::size_t bytes = (n * sizeof(T) + Align - 1) / Align * Align;
+    data_ = static_cast<T*>(::operator new(bytes, std::align_val_t{Align}));
+    size_ = n;
+    const std::size_t padded = bytes / sizeof(T);
+    for (std::size_t i = 0; i < padded; ++i) data_[i] = T{};
+  }
+
+  [[nodiscard]] T* data() { return data_; }
+  [[nodiscard]] const T* data() const { return data_; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+  [[nodiscard]] T* begin() { return data_; }
+  [[nodiscard]] T* end() { return data_ + size_; }
+  [[nodiscard]] const T* begin() const { return data_; }
+  [[nodiscard]] const T* end() const { return data_ + size_; }
+
+ private:
+  void release() {
+    if (data_ != nullptr) ::operator delete(data_, std::align_val_t{Align});
+    data_ = nullptr;
+    size_ = 0;
+  }
+
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace focv

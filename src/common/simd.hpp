@@ -1,0 +1,384 @@
+// Portable width-W double lanes for the batched fleet kernels.
+//
+// The lane-batched SoA sweep (fleet/soa_lanes.cpp) advances W nodes per
+// vector op. This header wraps the GNU/Clang vector extensions behind a
+// tiny fixed surface — broadcast/load/store, IEEE arithmetic, ordered
+// comparisons producing bit masks, and bitwise select — and falls back
+// to plain per-lane loops on compilers without the extension (or with
+// -DFOCV_SIMD_PORTABLE=1), so every build compiles and every build
+// computes the SAME bits.
+//
+// Byte-determinism contract: each lane of every operation here is the
+// scalar IEEE-754 double operation, in the order written. There are no
+// horizontal reductions, no FMA helpers, and no approximate math; a
+// translation unit that pins -ffp-contract=off therefore produces
+// bit-identical lane results to the equivalent scalar code. select() is
+// a pure bit blend, so masked-off lanes can hold NaN/Inf garbage
+// without perturbing live lanes.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+
+/// Lanes per vector. 8 doubles = one AVX-512 register or two AVX2
+/// registers per op on x86-64; baseline builds lower to SSE2 pairs and
+/// the portable fallback to unrolled scalar loops.
+#ifndef FOCV_SIMD_LANES
+#define FOCV_SIMD_LANES 8
+#endif
+
+#if defined(__GNUC__) && !defined(FOCV_SIMD_PORTABLE)
+#define FOCV_SIMD_VECTOR_EXT 1
+#endif
+
+// Hardware-assisted lane ops (vgatherdpd, vroundpd, vmovmskpd) when the
+// TU is compiled for AVX2 at width 4 — the fleet lane kernel's
+// configuration. Each intrinsic used below computes bit-identical
+// results to the per-lane scalar op it replaces: gathers are plain
+// loads, vroundpd rounds toward -inf exactly like std::floor, and
+// movemask only reads sign bits for control flow.
+#if FOCV_SIMD_VECTOR_EXT && defined(__AVX2__) && FOCV_SIMD_LANES == 4
+#define FOCV_SIMD_X86_GATHER 1
+#include <immintrin.h>
+#endif
+
+namespace focv::simd {
+
+/// Every function here must inline into its caller: an out-of-line
+/// copy compiled for the baseline ISA returns/passes W-wide vectors
+/// with a different ABI than an AVX2-targeted caller assumes (memory
+/// sret vs register), which scrambles arguments at the call boundary.
+/// always_inline makes the helpers vanish into the kernel that uses
+/// them, whatever target attribute that kernel carries.
+#define FOCV_SIMD_INLINE __attribute__((always_inline)) inline
+
+inline constexpr int kLanes = FOCV_SIMD_LANES;
+
+#if FOCV_SIMD_VECTOR_EXT
+
+namespace detail {
+typedef double dnative __attribute__((vector_size(FOCV_SIMD_LANES * 8), aligned(8)));
+typedef std::int64_t mnative __attribute__((vector_size(FOCV_SIMD_LANES * 8), aligned(8)));
+typedef std::int32_t inative __attribute__((vector_size(FOCV_SIMD_LANES * 4), aligned(4)));
+}  // namespace detail
+
+/// W doubles. Arithmetic operators apply the scalar IEEE op per lane.
+struct DVec {
+  detail::dnative v;
+  double operator[](int l) const { return v[l]; }
+};
+/// W 64-bit lane masks (all-ones = true, all-zeros = false per lane).
+struct MVec {
+  detail::mnative m;
+  [[nodiscard]] bool lane(int l) const { return m[l] != 0; }
+};
+/// W 32-bit integers — lane indices on their way to a gather.
+struct IVec {
+  detail::inative i;
+  std::int32_t operator[](int l) const { return i[l]; }
+};
+
+FOCV_SIMD_INLINE DVec broadcast(double x) { return {x - detail::dnative{}}; }
+FOCV_SIMD_INLINE DVec load(const double* p) {
+  DVec r;
+  std::memcpy(&r.v, p, sizeof(r.v));
+  return r;
+}
+FOCV_SIMD_INLINE void store(double* p, DVec a) { std::memcpy(p, &a.v, sizeof(a.v)); }
+FOCV_SIMD_INLINE void store(std::int32_t* p, IVec a) { std::memcpy(p, &a.i, sizeof(a.i)); }
+
+/// static_cast<std::int32_t> per lane (truncation toward zero). The
+/// caller must keep every lane in int32 range, exactly like the scalar
+/// cast it replaces.
+FOCV_SIMD_INLINE IVec to_int(DVec a) { return {__builtin_convertvector(a.v, detail::inative)}; }
+/// static_cast<double> per lane — exact for the table-sized ints here.
+FOCV_SIMD_INLINE DVec to_double(IVec a) { return {__builtin_convertvector(a.i, detail::dnative)}; }
+
+FOCV_SIMD_INLINE IVec broadcast_i(std::int32_t x) { return {x - detail::inative{}}; }
+FOCV_SIMD_INLINE IVec operator+(IVec a, IVec b) { return {a.i + b.i}; }
+FOCV_SIMD_INLINE IVec operator*(IVec a, IVec b) { return {a.i * b.i}; }
+
+/// base[idx[l]] per lane. One vgatherdpd/vpgatherdd where the hardware
+/// has it; otherwise register-inserted scalar loads. Either way each
+/// lane is the identical memory read — a gather cannot change a bit.
+#if FOCV_SIMD_X86_GATHER
+FOCV_SIMD_INLINE DVec gather(const double* base, IVec idx) {
+  return {(detail::dnative)_mm256_i32gather_pd(base, (__m128i)idx.i, 8)};
+}
+FOCV_SIMD_INLINE IVec gather(const std::int32_t* base, IVec idx) {
+  return {(detail::inative)_mm_i32gather_epi32(base, (__m128i)idx.i, 4)};
+}
+#else
+FOCV_SIMD_INLINE DVec gather(const double* base, IVec idx);  // defined after from_lanes
+FOCV_SIMD_INLINE IVec gather(const std::int32_t* base, IVec idx) {
+  IVec r{};
+  for (int l = 0; l < kLanes; ++l) r.i[l] = base[idx[l]];
+  return r;
+}
+#endif
+
+/// Build a vector as {f(0), f(1), ..., f(W-1)} — lanes assembled by
+/// register insertion, never through a stack array. Table gathers MUST
+/// use this: a scalar-store/vector-load round-trip defeats store
+/// forwarding and stalls the whole gather (~12 cycles each, dozens per
+/// interval in the fleet kernel). Braced init evaluates left to right,
+/// so f runs in lane order.
+template <typename F>
+FOCV_SIMD_INLINE DVec from_lanes(F&& f) {
+  if constexpr (kLanes == 4) {
+    return {detail::dnative{f(0), f(1), f(2), f(3)}};
+  } else if constexpr (kLanes == 8) {
+    return {detail::dnative{f(0), f(1), f(2), f(3), f(4), f(5), f(6), f(7)}};
+  } else {
+    DVec r{};
+    for (int l = 0; l < kLanes; ++l) r.v[l] = f(l);
+    return r;
+  }
+}
+
+#if !FOCV_SIMD_X86_GATHER
+FOCV_SIMD_INLINE DVec gather(const double* base, IVec idx) {
+  return from_lanes([&](int l) { return base[idx[l]]; });
+}
+#endif
+
+FOCV_SIMD_INLINE DVec operator+(DVec a, DVec b) { return {a.v + b.v}; }
+FOCV_SIMD_INLINE DVec operator-(DVec a, DVec b) { return {a.v - b.v}; }
+FOCV_SIMD_INLINE DVec operator*(DVec a, DVec b) { return {a.v * b.v}; }
+FOCV_SIMD_INLINE DVec operator/(DVec a, DVec b) { return {a.v / b.v}; }
+
+FOCV_SIMD_INLINE MVec operator<(DVec a, DVec b) { return {a.v < b.v}; }
+FOCV_SIMD_INLINE MVec operator<=(DVec a, DVec b) { return {a.v <= b.v}; }
+FOCV_SIMD_INLINE MVec operator>(DVec a, DVec b) { return {a.v > b.v}; }
+FOCV_SIMD_INLINE MVec operator>=(DVec a, DVec b) { return {a.v >= b.v}; }
+FOCV_SIMD_INLINE MVec operator==(DVec a, DVec b) { return {a.v == b.v}; }
+FOCV_SIMD_INLINE MVec operator!=(DVec a, DVec b) { return {a.v != b.v}; }
+
+FOCV_SIMD_INLINE MVec operator&(MVec a, MVec b) { return {a.m & b.m}; }
+FOCV_SIMD_INLINE MVec operator|(MVec a, MVec b) { return {a.m | b.m}; }
+FOCV_SIMD_INLINE MVec operator~(MVec a) { return {~a.m}; }
+
+/// Bit blend: lane l takes a where mask lane l is true, else b.
+FOCV_SIMD_INLINE DVec select(MVec c, DVec a, DVec b) {
+  detail::mnative ab;
+  detail::mnative bb;
+  std::memcpy(&ab, &a.v, sizeof(ab));
+  std::memcpy(&bb, &b.v, sizeof(bb));
+  const detail::mnative r = (ab & c.m) | (bb & ~c.m);
+  DVec out;
+  std::memcpy(&out.v, &r, sizeof(out.v));
+  return out;
+}
+
+/// any/all reduce by shuffle-folding halves — a handful of vector ops
+/// and one lane read instead of kLanes sequential extractions. Control
+/// flow only; never on the arithmetic state path.
+#if FOCV_SIMD_X86_GATHER
+FOCV_SIMD_INLINE bool any(MVec c) { return _mm256_movemask_pd((__m256d)c.m) != 0; }
+FOCV_SIMD_INLINE bool all(MVec c) { return _mm256_movemask_pd((__m256d)c.m) == 0xF; }
+#elif FOCV_SIMD_LANES == 4
+FOCV_SIMD_INLINE bool any(MVec c) {
+  const detail::mnative s = c.m | __builtin_shuffle(c.m, detail::mnative{2, 3, 0, 1});
+  return (s[0] | s[1]) != 0;
+}
+FOCV_SIMD_INLINE bool all(MVec c) {
+  const detail::mnative s = c.m & __builtin_shuffle(c.m, detail::mnative{2, 3, 0, 1});
+  return (s[0] & s[1]) != 0;
+}
+#elif FOCV_SIMD_LANES == 8
+FOCV_SIMD_INLINE bool any(MVec c) {
+  detail::mnative s = c.m | __builtin_shuffle(c.m, detail::mnative{4, 5, 6, 7, 0, 1, 2, 3});
+  s = s | __builtin_shuffle(s, detail::mnative{2, 3, 0, 1, 6, 7, 4, 5});
+  return (s[0] | s[1]) != 0;
+}
+FOCV_SIMD_INLINE bool all(MVec c) {
+  detail::mnative s = c.m & __builtin_shuffle(c.m, detail::mnative{4, 5, 6, 7, 0, 1, 2, 3});
+  s = s & __builtin_shuffle(s, detail::mnative{2, 3, 0, 1, 6, 7, 4, 5});
+  return (s[0] & s[1]) != 0;
+}
+#else
+FOCV_SIMD_INLINE bool any(MVec c) {
+  std::int64_t acc = 0;
+  for (int l = 0; l < kLanes; ++l) acc |= c.m[l];
+  return acc != 0;
+}
+FOCV_SIMD_INLINE bool all(MVec c) {
+  std::int64_t acc = -1;
+  for (int l = 0; l < kLanes; ++l) acc &= c.m[l];
+  return acc != 0;
+}
+#endif
+
+#else  // portable fallback: identical surface, per-lane loops
+
+struct DVec {
+  double v[kLanes];
+  double operator[](int l) const { return v[l]; }
+};
+struct MVec {
+  std::int64_t m[kLanes];
+  [[nodiscard]] bool lane(int l) const { return m[l] != 0; }
+};
+struct IVec {
+  std::int32_t i[kLanes];
+  std::int32_t operator[](int l) const { return i[l]; }
+};
+
+FOCV_SIMD_INLINE DVec broadcast(double x) {
+  DVec r;
+  for (int l = 0; l < kLanes; ++l) r.v[l] = x;
+  return r;
+}
+FOCV_SIMD_INLINE DVec load(const double* p) {
+  DVec r;
+  for (int l = 0; l < kLanes; ++l) r.v[l] = p[l];
+  return r;
+}
+FOCV_SIMD_INLINE void store(double* p, DVec a) {
+  for (int l = 0; l < kLanes; ++l) p[l] = a.v[l];
+}
+FOCV_SIMD_INLINE void store(std::int32_t* p, IVec a) {
+  for (int l = 0; l < kLanes; ++l) p[l] = a.i[l];
+}
+
+FOCV_SIMD_INLINE IVec to_int(DVec a) {
+  IVec r;
+  for (int l = 0; l < kLanes; ++l) r.i[l] = static_cast<std::int32_t>(a.v[l]);
+  return r;
+}
+FOCV_SIMD_INLINE DVec to_double(IVec a) {
+  DVec r;
+  for (int l = 0; l < kLanes; ++l) r.v[l] = static_cast<double>(a.i[l]);
+  return r;
+}
+
+FOCV_SIMD_INLINE IVec broadcast_i(std::int32_t x) {
+  IVec r;
+  for (int l = 0; l < kLanes; ++l) r.i[l] = x;
+  return r;
+}
+FOCV_SIMD_INLINE IVec operator+(IVec a, IVec b) {
+  IVec r;
+  for (int l = 0; l < kLanes; ++l) r.i[l] = a.i[l] + b.i[l];
+  return r;
+}
+FOCV_SIMD_INLINE IVec operator*(IVec a, IVec b) {
+  IVec r;
+  for (int l = 0; l < kLanes; ++l) r.i[l] = a.i[l] * b.i[l];
+  return r;
+}
+
+FOCV_SIMD_INLINE DVec gather(const double* base, IVec idx) {
+  DVec r;
+  for (int l = 0; l < kLanes; ++l) r.v[l] = base[idx.i[l]];
+  return r;
+}
+FOCV_SIMD_INLINE IVec gather(const std::int32_t* base, IVec idx) {
+  IVec r;
+  for (int l = 0; l < kLanes; ++l) r.i[l] = base[idx.i[l]];
+  return r;
+}
+
+template <typename F>
+FOCV_SIMD_INLINE DVec from_lanes(F&& f) {
+  DVec r;
+  for (int l = 0; l < kLanes; ++l) r.v[l] = f(l);
+  return r;
+}
+
+#define FOCV_SIMD_ARITH(op)                                   \
+  inline DVec operator op(DVec a, DVec b) {                   \
+    DVec r;                                                   \
+    for (int l = 0; l < kLanes; ++l) r.v[l] = a.v[l] op b.v[l]; \
+    return r;                                                 \
+  }
+FOCV_SIMD_ARITH(+)
+FOCV_SIMD_ARITH(-)
+FOCV_SIMD_ARITH(*)
+FOCV_SIMD_ARITH(/)
+#undef FOCV_SIMD_ARITH
+
+#define FOCV_SIMD_CMP(op)                                                \
+  inline MVec operator op(DVec a, DVec b) {                              \
+    MVec r;                                                              \
+    for (int l = 0; l < kLanes; ++l) r.m[l] = (a.v[l] op b.v[l]) ? -1 : 0; \
+    return r;                                                            \
+  }
+FOCV_SIMD_CMP(<)
+FOCV_SIMD_CMP(<=)
+FOCV_SIMD_CMP(>)
+FOCV_SIMD_CMP(>=)
+FOCV_SIMD_CMP(==)
+FOCV_SIMD_CMP(!=)
+#undef FOCV_SIMD_CMP
+
+FOCV_SIMD_INLINE MVec operator&(MVec a, MVec b) {
+  MVec r;
+  for (int l = 0; l < kLanes; ++l) r.m[l] = a.m[l] & b.m[l];
+  return r;
+}
+FOCV_SIMD_INLINE MVec operator|(MVec a, MVec b) {
+  MVec r;
+  for (int l = 0; l < kLanes; ++l) r.m[l] = a.m[l] | b.m[l];
+  return r;
+}
+FOCV_SIMD_INLINE MVec operator~(MVec a) {
+  MVec r;
+  for (int l = 0; l < kLanes; ++l) r.m[l] = ~a.m[l];
+  return r;
+}
+
+FOCV_SIMD_INLINE DVec select(MVec c, DVec a, DVec b) {
+  DVec r;
+  for (int l = 0; l < kLanes; ++l) {
+    std::int64_t ab;
+    std::int64_t bb;
+    std::memcpy(&ab, &a.v[l], 8);
+    std::memcpy(&bb, &b.v[l], 8);
+    const std::int64_t bits = (ab & c.m[l]) | (bb & ~c.m[l]);
+    std::memcpy(&r.v[l], &bits, 8);
+  }
+  return r;
+}
+
+FOCV_SIMD_INLINE bool any(MVec c) {
+  std::int64_t acc = 0;
+  for (int l = 0; l < kLanes; ++l) acc |= c.m[l];
+  return acc != 0;
+}
+FOCV_SIMD_INLINE bool all(MVec c) {
+  std::int64_t acc = -1;
+  for (int l = 0; l < kLanes; ++l) acc &= c.m[l];
+  return acc != 0;
+}
+
+#endif  // FOCV_SIMD_VECTOR_EXT
+
+/// std::clamp(x, lo, hi) per lane: the same comparison order, so the
+/// -0.0 / +0.0 edge behaves exactly like the scalar call.
+FOCV_SIMD_INLINE DVec clamp(DVec x, DVec lo, DVec hi) {
+  return select(x < lo, lo, select(hi < x, hi, x));
+}
+
+/// std::floor per lane.
+#if FOCV_SIMD_X86_GATHER
+FOCV_SIMD_INLINE DVec floor(DVec x) {
+  return {(detail::dnative)_mm256_floor_pd((__m256d)x.v)};
+}
+#elif FOCV_SIMD_VECTOR_EXT
+FOCV_SIMD_INLINE DVec floor(DVec x) {
+  return from_lanes([&](int l) { return std::floor(x[l]); });
+}
+#else
+FOCV_SIMD_INLINE DVec floor(DVec x) {
+  double tmp[kLanes];
+  store(tmp, x);
+  for (int l = 0; l < kLanes; ++l) tmp[l] = std::floor(tmp[l]);
+  return load(tmp);
+}
+#endif
+
+#undef FOCV_SIMD_INLINE
+
+}  // namespace focv::simd

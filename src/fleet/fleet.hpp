@@ -140,6 +140,16 @@ enum class TableMode {
   kQuantized,  ///< int32 fixed point, uV / nW: half the bytes per entry
 };
 
+/// Which sweep kernel the SoA engine advances batched axis runs with
+/// (ignored by kPerNode). Reports are byte-identical across kernels:
+/// every lane of the kLanes kernel executes the same IEEE op sequence
+/// the scalar sweep does, and per-node accumulators merge in fixed node
+/// order (fleet/soa_lanes.cpp documents the argument).
+enum class SoaKernel {
+  kLanes,   ///< interval-major, width-W lane-batched kernels (default)
+  kScalar,  ///< node-major transient-NodeState sweep (the PR 7 path)
+};
+
 struct FleetSpec {
   std::size_t node_count = 100;
   /// Root of the per-node RNG streams.
@@ -169,6 +179,9 @@ struct FleetSpec {
   FleetEngine engine = FleetEngine::kPerNode;
   /// Curve-table representation for the SoA engine.
   TableMode table_mode = TableMode::kFloat;
+  /// Sweep kernel for the SoA engine (byte-identical results; kScalar
+  /// exists as the reference/bench baseline and for odd build targets).
+  SoaKernel soa_kernel = SoaKernel::kLanes;
 
   /// Borrow a long-lived cell (e.g. a pv::cell_library singleton).
   void use_cell(const pv::SingleDiodeModel& cell_ref);

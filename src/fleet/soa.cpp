@@ -1,188 +1,41 @@
+// SoA engine dispatch: group an env's members into per-axis runs, build
+// the flat EnvContext the kernels read, and hand each run to the
+// interval-major lane kernel (soa_lanes.cpp) or the node-major scalar
+// kernel (soa_scalar.cpp). Kernel choice can never change a report
+// byte — the kernels are byte-identical by construction and verified by
+// tests/fleet/soa_lanes_test.cpp — so the dispatch is free to pick per
+// axis: closed-form axes default to lanes, kPrototype axes (virtual
+// step()) always run scalar, and pre-AVX2 x86-64 hosts fall back to
+// scalar at runtime.
+
 #include "fleet/soa.hpp"
 
 #include <algorithm>
-#include <cmath>
-#include <limits>
+#include <memory>
 #include <optional>
 #include <utility>
 
 #include "common/require.hpp"
-#include "core/focv_system.hpp"
-#include "mppt/focv_sample_hold.hpp"
+#include "fleet/soa_internal.hpp"
 #include "obs/obs.hpp"
 
 namespace focv::fleet::soa {
 
+namespace internal {
+
+// Lives in this baseline-compiled TU (not soa_lanes.cpp) so probing for
+// the ISA never itself executes AVX2 code.
+bool lanes_supported() {
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(FOCV_SIMD_PORTABLE)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return true;
+#endif
+}
+
+}  // namespace internal
+
 namespace {
-
-constexpr double kInf = std::numeric_limits<double>::infinity();
-constexpr double kGrid = node::CurveCache::kGridNodesPerLogLux;
-
-/// Grid coordinate below which the cell is dark (x = 32 ln lux).
-/// Namespace-scope so the hot loops read a plain double instead of
-/// re-checking a function-local static's init guard on every lookup.
-const double kDarkX = kGrid * std::log(node::CurveCache::kDarkLux);
-
-struct Curve {
-  double voc = 0.0;
-  double pmpp = 0.0;
-};
-
-/// Table slot of grid coordinate x, clamped into the exported span
-/// (nodes beyond the +-6 sigma export margin read the edge entries).
-struct Slot {
-  std::size_t k = 0;
-  double f = 0.0;
-  bool dark = true;
-};
-
-inline Slot slot_of(const DenseTables& tb, double x) {
-  Slot s;
-  if (x < kDarkX || tb.slots < 2) return s;
-  s.dark = false;
-  long j = static_cast<long>(std::floor(x));
-  const long j_hi = tb.grid_lo + tb.slots - 2;
-  if (j < tb.grid_lo) {
-    j = tb.grid_lo;
-    s.f = 0.0;
-  } else if (j > j_hi) {
-    j = j_hi;
-    s.f = 1.0;
-  } else {
-    s.f = x - static_cast<double>(j);
-  }
-  s.k = static_cast<std::size_t>(j - tb.grid_lo);
-  return s;
-}
-
-// Table readers are compiled once per mode (Q = quantized): the hot
-// loops never branch on tb.quantized per access.
-template <bool Q>
-inline double entry_voc(const DenseTables& tb, std::size_t k) {
-  if constexpr (Q) {
-    return 1e-6 * static_cast<double>(tb.slot_q[k].voc);
-  } else {
-    return tb.slot_f[k].voc;
-  }
-}
-
-template <bool Q>
-inline double entry_pmpp(const DenseTables& tb, std::size_t k) {
-  if constexpr (Q) {
-    return 1e-9 * static_cast<double>(tb.slot_q[k].pmpp);
-  } else {
-    return tb.slot_f[k].pmpp;
-  }
-}
-
-template <bool Q>
-inline double entry_inv_voc(const DenseTables& tb, std::size_t k) {
-  if constexpr (Q) {
-    return tb.slot_q[k].inv_voc;
-  } else {
-    return tb.slot_f[k].inv_voc;
-  }
-}
-
-template <bool Q>
-inline double entry_power(const DenseTables& tb, std::size_t k, std::size_t m) {
-  const std::size_t idx = k * static_cast<std::size_t>(tb.points) + m;
-  if constexpr (Q) {
-    return 1e-9 * static_cast<double>(tb.qpower[idx]);
-  } else {
-    return tb.power[idx];
-  }
-}
-
-template <bool Q>
-inline Curve curve_from(const DenseTables& tb, const Slot& s) {
-  Curve c;
-  if (s.dark) return c;
-  const double voc0 = entry_voc<Q>(tb, s.k);
-  const double voc1 = entry_voc<Q>(tb, s.k + 1);
-  const double pm0 = entry_pmpp<Q>(tb, s.k);
-  const double pm1 = entry_pmpp<Q>(tb, s.k + 1);
-  c.voc = voc0 + s.f * (voc1 - voc0);
-  c.pmpp = pm0 + s.f * (pm1 - pm0);
-  return c;
-}
-
-/// CurveCache::table_power on one exported row. `rel = v / Voc(row)` via
-/// the precomputed reciprocal — the only difference from the cache's own
-/// arithmetic is mul-by-reciprocal instead of divide, well inside the
-/// engine's 0.1 % contract.
-template <bool Q>
-inline double row_power(const DenseTables& tb, std::size_t k, double v) {
-  const double rel = v * entry_inv_voc<Q>(tb, k);
-  if (rel >= 1.0) return 0.0;
-  const int n = tb.points;
-  const double pos = rel * static_cast<double>(n - 1);
-  const int m = std::min(static_cast<int>(pos), n - 2);
-  const double t = pos - static_cast<double>(m);
-  const double p0 = entry_power<Q>(tb, k, static_cast<std::size_t>(m));
-  const double p1 = entry_power<Q>(tb, k, static_cast<std::size_t>(m) + 1);
-  return p0 + t * (p1 - p0);
-}
-
-/// CurveCache::power_at_lux on an already-resolved slot (the engine
-/// resolves each quadrature point's slot once and reuses it for the
-/// Voc/Pmpp read and every P(V) lookup).
-template <bool Q>
-inline double power_at(const DenseTables& tb, const Slot& s, double v) {
-  if (v <= 0.0 || s.dark) return 0.0;
-  const double p0 = row_power<Q>(tb, s.k, v);
-  const double p1 = row_power<Q>(tb, s.k + 1, v);
-  return p0 + s.f * (p1 - p0);
-}
-
-DenseTables export_tables(node::CurveCache& cache, double lux_min, double lux_max,
-                          TableMode mode) {
-  node::CurveCache::DenseExport e = cache.export_range(lux_min, lux_max);
-  DenseTables tb;
-  tb.grid_lo = e.grid_lo;
-  tb.points = e.points;
-  tb.slots = static_cast<int>(e.voc.size());
-  if (mode == TableMode::kQuantized) {
-    tb.quantized = true;
-    tb.slot_q.resize(e.voc.size());
-    tb.qpower.resize(e.power.size());
-    for (std::size_t i = 0; i < e.voc.size(); ++i) {
-      tb.slot_q[i].voc = static_cast<std::int32_t>(std::lround(e.voc[i] * 1e6));
-      tb.slot_q[i].pmpp = static_cast<std::int32_t>(std::lround(e.pmpp[i] * 1e9));
-      const double voc = 1e-6 * static_cast<double>(tb.slot_q[i].voc);
-      tb.slot_q[i].inv_voc = voc > 0.0 ? 1.0 / voc : kInf;
-    }
-    for (std::size_t i = 0; i < e.power.size(); ++i) {
-      tb.qpower[i] = static_cast<std::int32_t>(std::lround(e.power[i] * 1e9));
-    }
-  } else {
-    tb.slot_f.resize(e.voc.size());
-    for (std::size_t i = 0; i < e.voc.size(); ++i) {
-      tb.slot_f[i].voc = e.voc[i];
-      tb.slot_f[i].pmpp = e.pmpp[i];
-      tb.slot_f[i].inv_voc = e.voc[i] > 0.0 ? 1.0 / e.voc[i] : kInf;
-    }
-    tb.power = std::move(e.power);
-  }
-  return tb;
-}
-
-/// Per-node control/storage state and accumulators. One instance stays
-/// register- and L1-resident for a node's whole day: the node-outer
-/// loop below walks the shared schedule once per node instead of
-/// streaming chunk-wide arrays once per interval, so the hot state is
-/// never reloaded and every axis constant hoists out of the day loop.
-/// `e` carries the supercapacitor ENERGY (the voltage is monotonic in
-/// it, so the usable() gate compares energies and the voltage is only
-/// materialised where a controller senses it).
-struct NodeState {
-  double scale = 0.0, xoff = 0.0, divider = 0.0, oh = 0.0, load_w = 0.0, e = 0.0;
-  double prev_p = 0.0, prev_v = 0.0;
-  double ideal = 0.0, harv = 0.0, deliv = 0.0, over = 0.0, served = 0.0, brown_t = 0.0;
-  double cold_t = -1.0;
-  std::uint32_t brown_steps = 0, flips = 0;
-  std::uint32_t slow = 0;  ///< intervals replayed step-by-step (telemetry only)
-};
 
 template <bool Q>
 void run_env(const SoaPlan& plan, const EnvPlan& env, const FleetSpec& spec,
@@ -190,20 +43,11 @@ void run_env(const SoaPlan& plan, const EnvPlan& env, const FleetSpec& spec,
              const std::vector<std::unique_ptr<mppt::MpptController>>& clones,
              std::vector<node::NodeReport>& reports) {
   const std::size_t m = mem.size();
-  const double* t = env.time->data();
-  const DenseTables& tb = env.tables;
-  const power::BuckBoostConverter& conv = spec.base.converter;
 
-  const double cap = plan.capacitance;
-  const double inv_cap2 = 2.0 / plan.capacitance;
-  const double tau = plan.tau;
-  const double e_max = plan.max_energy;
-  const double e_use = plan.min_useful_energy;
-
-  // Group same-axis nodes contiguously (stable within an axis): the
-  // node loops below then run one specialised pass per axis run with
-  // the axis constants hoisted. A counting sort keeps this O(members)
-  // — a comparison sort here shows up at whole-fleet scale. Per-node
+  // Group same-axis nodes contiguously (stable within an axis): each
+  // kernel then runs one specialised pass per axis run with the axis
+  // constants hoisted. A counting sort keeps this O(members) — a
+  // comparison sort here shows up at whole-fleet scale. Per-node
   // results are independent of iteration order, so the grouping cannot
   // change a single report byte.
   const std::size_t n_axes = plan.axes.size();
@@ -232,9 +76,11 @@ void run_env(const SoaPlan& plan, const EnvPlan& env, const FleetSpec& spec,
   // Within an axis, order nodes by illuminance scale: a node's day
   // touches the table rows around its own log-lux offset, so adjacent
   // scales revisit the same rows while they are still L1-resident
-  // instead of spraying lookups across the whole exported span.
-  // (Deterministic key with an index tie-break; reports are written by
-  // member index, so evaluation order is invisible in the output.)
+  // instead of spraying lookups across the whole exported span — and
+  // the lane kernel's width-W blocks then gather from near-identical
+  // slots. (Deterministic key with an index tie-break; reports are
+  // written by member index, so evaluation order is invisible in the
+  // output.)
   for (const AxisRun& run : runs) {
     std::sort(members.begin() + static_cast<std::ptrdiff_t>(run.lo),
               members.begin() + static_cast<std::ptrdiff_t>(run.hi),
@@ -246,315 +92,63 @@ void run_env(const SoaPlan& plan, const EnvPlan& env, const FleetSpec& spec,
               });
   }
 
+  internal::EnvContext cx;
+  cx.tb = &env.tables;
+  cx.conv = &spec.base.converter;
+  cx.t = env.time->data();
+  cx.ivs = env.schedule.intervals.data();
+  cx.segments = env.schedule.segments.data();
+  cx.n_segments = env.schedule.segments.size();
+  cx.n_intervals = env.schedule.intervals.size();
+  cx.width = env.width.data();
+  cx.span = env.span.data();
+  cx.mean_u = env.mean_u.data();
+  cx.t_start = env.t_start.data();
+  cx.x_lo = env.x_lo.data();
+  cx.x_hi = env.x_hi.data();
+  cx.decay = env.decay.data();
+  cx.nsteps = env.nsteps.data();
+  cx.dark = env.schedule.interval_dark.data();
+  cx.inv_cap2 = 2.0 / plan.capacitance;
+  cx.tau = plan.tau;
+  cx.e_max = plan.max_energy;
+  cx.e_use = plan.min_useful_energy;
+  cx.e_init = 0.5 * plan.capacitance * plan.initial_voltage * plan.initial_voltage;
+  cx.lux_scale = spec.base.lux_scale;
   const power::WsnLoad::Params& lp = spec.base.load;
-  const double burst_j = lp.sense_power * lp.sense_duration + lp.tx_power * lp.tx_duration;
-  const double e_init = 0.5 * cap * plan.initial_voltage * plan.initial_voltage;
-  const auto init_node = [&](const NodeDraw& d, const AxisPlan& ax) {
-    NodeState st;
-    st.scale = spec.base.lux_scale * d.attenuation * d.cell_factor;
-    st.xoff = kGrid * std::log(st.scale);
-    st.divider = d.divider_ratio * ax.div_factor;
-    st.oh = ax.law == mppt::MacroLaw::kSampleHold
-                ? ax.oh_rep + ax.oh_div * (ax.div_rep - st.divider)
-                : ax.oh_const;
-    st.load_w = lp.sleep_power + burst_j / d.report_period;
-    st.e = e_init;
-    return st;
-  };
+  cx.burst_j = lp.sense_power * lp.sense_duration + lp.tx_power * lp.tx_duration;
+  cx.sleep_power = lp.sleep_power;
+  cx.duration = env.duration;
+  cx.events_base = static_cast<std::uint64_t>(env.schedule.segments.size()) +
+                   static_cast<std::uint64_t>(env.schedule.intervals.size());
 
-  // Supercapacitor::advance_constant_power + time_to_energy across
-  // steps [iv.a, iv.b), split at usable() crossings snapped to step
-  // boundaries exactly as MacroStepper::advance_store_span does. The
-  // crossing test is the sign form of time_to_energy's r in (0, 1]
-  // (e_use strictly between e0 and the asymptote e_inf, or e0 exactly
-  // at the gate), so the common no-crossing interval costs one multiply
-  // — no division, no log.
-  const double* width_arr = env.width.data();
-  const double* span_arr = env.span.data();
-  const double* mean_arr = env.mean_u.data();
-  const std::uint32_t* nstep_arr = env.nsteps.data();
-  const sched::BatchInterval* ivs = env.schedule.intervals.data();
-  const double* xlo = env.x_lo.data();
-  const double* xhi = env.x_hi.data();
-  const double* dec_arr = env.decay.data();
-
-  // The rare case: the store crosses usable() inside the interval, so
-  // the advance splits at step boundaries exactly as
-  // MacroStepper::advance_store_span does. Kept out of line — the fast
-  // path below handles virtually every interval.
-  const auto advance_slow = [&](NodeState& st, const sched::BatchInterval& iv, double delivered,
-                                double oh_drain, double dec_full) {
-    ++st.slow;
-    std::uint32_t p = iv.a;
-    double e = st.e;
-    while (p < iv.b) {
-      const bool usable = e >= e_use;
-      const double net = delivered - oh_drain - (usable ? st.load_w : 0.0);
-      const double e_inf = 0.5 * net * tau;
-      std::uint32_t q = iv.b;
-      double flip_dt = kInf;
-      if (e == e_use) {
-        flip_dt = 0.0;
-      } else if ((e - e_use) * (e_inf - e_use) < 0.0) {
-        flip_dt = -0.5 * tau * std::log((e_use - e_inf) / (e - e_inf));
-      }
-      if (t[p] + flip_dt < t[q]) {
-        const double* it = std::upper_bound(t + p, t + q + 1, t[p] + flip_dt);
-        auto qf = static_cast<std::uint32_t>(it - t);
-        if (qf <= p) qf = p + 1;
-        if (qf < q) q = qf;
-        ++st.flips;
-      }
-      const double len = t[q] - t[p];
-      const double dec = (p == iv.a && q == iv.b) ? dec_full : std::exp(-2.0 * len / tau);
-      e = std::clamp(e_inf + (e - e_inf) * dec, 0.0, e_max);
-      if (usable) {
-        st.served += st.load_w * len;
-      } else {
-        st.brown_steps += q - p;
-        st.brown_t += len;
-      }
-      p = q;
-    }
-    st.e = e;
-  };
-
-  // Supercapacitor::advance_constant_power across interval `ii`. The
-  // crossing test is the sign form of time_to_energy's r in (0, 1]
-  // (e_use strictly between e0 and the asymptote e_inf, or e0 exactly
-  // at the gate); the crossing-free common case costs one decay
-  // multiply and never touches the trace time array — span[ii] is
-  // bit-identical to the slow path's t[iv.b] - t[iv.a], so the branch
-  // cannot change a single report byte.
-  const auto advance_span = [&](NodeState& st, std::uint32_t ii, double delivered,
-                                double oh_drain) __attribute__((always_inline)) {
-    const bool usable = st.e >= e_use;
-    const double net = delivered - oh_drain - (usable ? st.load_w : 0.0);
-    const double e_inf = 0.5 * net * tau;
-    if (st.e != e_use && (st.e - e_use) * (e_inf - e_use) >= 0.0) {
-      const double len = span_arr[ii];
-      st.e = std::clamp(e_inf + (st.e - e_inf) * dec_arr[ii], 0.0, e_max);
-      if (usable) {
-        st.served += st.load_w * len;
-      } else {
-        st.brown_steps += nstep_arr[ii];
-        st.brown_t += len;
-      }
-      return;
-    }
-    advance_slow(st, ivs[ii], delivered, oh_drain, dec_arr[ii]);
-  };
-
-  const std::uint64_t events_base = static_cast<std::uint64_t>(env.schedule.segments.size()) +
-                                    static_cast<std::uint64_t>(env.schedule.intervals.size());
-  const auto finalize = [&](const NodeState& st, node::NodeReport& r) {
-    r = node::NodeReport{};
-    r.duration = env.duration;
-    r.harvested_energy = st.harv;
-    r.delivered_energy = st.deliv;
-    r.overhead_energy = st.over;
-    r.load_energy_served = st.served;
-    r.ideal_mpp_energy = st.ideal;
-    r.coldstart_time = st.cold_t;
-    r.brownout_steps = static_cast<int>(st.brown_steps);
-    r.brownout_time = st.brown_t;
-    r.final_store_voltage = std::sqrt(st.e * inv_cap2);
-    r.steps = env.schedule.intervals.size();
-    r.events = events_base + st.flips;
-  };
+  // tables.slots >= 2 guards the degenerate always-dark env, where the
+  // lane kernel's in-bounds gather invariant has no table to stand on
+  // (the scalar kernel's slot_of handles it per lookup).
+  const bool lanes_ok = spec.soa_kernel == SoaKernel::kLanes && env.tables.slots >= 2 &&
+                        internal::lanes_supported();
 
   for (const AxisRun& run : runs) {
     const AxisPlan& ax = plan.axes[run.axis];
-    const double min_lux = ax.min_lux;
-
-    // Telemetry is aggregated in plain locals and flushed once per axis
-    // run, so the per-interval arithmetic below never sees an obs
-    // branch: exports stay byte-identical with telemetry on or off.
     const bool obs_on = obs::enabled();
-    std::uint64_t flips_total = 0;
-    std::uint64_t slow_total = 0;
     std::optional<obs::Tracer::Span> axis_span;
     if (obs_on) axis_span.emplace(obs::tracer(), "soa_axis_run", "fleet");
 
-    if (ax.law == mppt::MacroLaw::kSampleHold) {
-      // Closed-form sample/hold: the held value right after an edge is
-      // (Voc + in_off) * divider + val_const (the acquisition settles to
-      // zero error within the 39 ms window), then droops linearly with
-      // the sample age. The EdgeOverlay supplies each interval's mean
-      // sample age and disconnect duty, shared by every node of this
-      // axis.
-      const sched::EdgeOverlay::Interval* ovs =
-          env.overlays[static_cast<std::size_t>(ax.focv_overlay)].intervals.data();
-      const double inv_alpha = 1.0 / ax.alpha;
-      const bool has_droop = ax.droop > 0.0;
-      const double inv_droop = has_droop ? 1.0 / ax.droop : 0.0;
-      const double inv_period = 1.0 / ax.period;
-      const auto lit_iv = [&](NodeState& st, std::uint32_t ii) __attribute__((always_inline)) {
-        const double w = width_arr[ii];
-        // Constant-light intervals collapse the 2-point quadrature
-        // to one evaluation: with identical points, 0.5 * (x + x)
-        // is exactly x, so the single-eval path is byte-identical.
-        const bool two_pt = xlo[ii] != xhi[ii];
-        const Slot s_lo = slot_of(tb, st.xoff + xlo[ii]);
-        const Curve c_lo = curve_from<Q>(tb, s_lo);
-        Slot s_hi = s_lo;
-        Curve c_hi = c_lo;
-        if (two_pt) {
-          s_hi = slot_of(tb, st.xoff + xhi[ii]);
-          c_hi = curve_from<Q>(tb, s_hi);
-        }
-        st.ideal += 0.5 * (c_lo.pmpp + c_hi.pmpp) * w;
-        const bool running = min_lux <= 0.0 || st.scale * mean_arr[ii] >= min_lux;
-        if (!running) {
-          st.prev_p = 0.0;
-          st.prev_v = 0.0;
-          advance_span(st, ii, 0.0, 0.0);
-          return;
-        }
-        if (st.cold_t < 0.0) st.cold_t = ivs[ii].t0;
-        const sched::EdgeOverlay::Interval& ov = ovs[ii];
-        if (ov.pre_frac >= 1.0) {
-          // Running but no sample held yet: the metrology already
-          // drains overhead while the converter stays off.
-          st.over += st.oh * w;
-          st.prev_p = 0.0;
-          st.prev_v = 0.0;
-          advance_span(st, ii, 0.0, st.oh);
-          return;
-        }
-        const double harvest_scale = 1.0 - ov.disc;
-        const double act_base = 1.0 - ov.pre_frac;
-        struct PointOut {
-          double p = 0.0, d = 0.0, v = 0.0;
-        };
-        const auto eval = [&](const Curve& c, const Slot& s) __attribute__((always_inline)) {
-          PointOut o;
-          const double value0 = (c.voc + ax.in_off) * st.divider + ax.val_const;
-          double frac = 1.0;
-          double lag = 0.0;
-          if (has_droop) {
-            const double lag_star = (value0 - ax.threshold) * inv_droop;
-            if (lag_star <= 0.0) return o;  // never clears ACTIVE
-            if (lag_star >= ax.period) {
-              lag = ov.avg_lag;  // active across the whole sawtooth
-            } else {
-              frac = lag_star * inv_period;  // decays below ACTIVE mid-period
-              lag = 0.5 * lag_star;
-            }
-          } else if (value0 < ax.threshold) {
-            return o;
-          }
-          o.v = (value0 - ax.droop * lag) * inv_alpha;
-          const double act = act_base * frac;
-          const double p_full = power_at<Q>(tb, s, o.v) * harvest_scale;
-          o.p = p_full * act;
-          o.d = conv.output_power(p_full, o.v) * act;
-          return o;
-        };
-        const PointOut lo = eval(c_lo, s_lo);
-        const PointOut hi = two_pt ? eval(c_hi, s_hi) : lo;
-        const double p_bar = 0.5 * (lo.p + hi.p);
-        const double d_bar = 0.5 * (lo.d + hi.d);
-        st.harv += p_bar * w;
-        st.deliv += d_bar * w;
-        st.over += st.oh * w;
-        st.prev_p = p_bar;
-        st.prev_v = 0.5 * (lo.v + hi.v);
-        advance_span(st, ii, d_bar, st.oh);
-      };
-      for (std::size_t i = run.lo; i < run.hi; ++i) {
-        NodeState st = init_node(draws[members[i]], ax);
-        for (const sched::BatchSegment& seg : env.schedule.segments) {
-          const std::uint32_t iv_end = seg.first_interval + seg.interval_count;
-          if (seg.dark) {
-            st.prev_p = st.prev_v = 0.0;
-            for (std::uint32_t ii = seg.first_interval; ii < iv_end; ++ii) {
-              advance_span(st, ii, 0.0, 0.0);
-            }
-            continue;
-          }
-          for (std::uint32_t ii = seg.first_interval; ii < iv_end; ++ii) lit_iv(st, ii);
-        }
-        finalize(st, reports[members[i]]);
-        if (obs_on) {
-          flips_total += st.flips;
-          slow_total += st.slow;
-        }
-      }
+    const sched::EdgeOverlay::Interval* ovs =
+        ax.eval == AxisEval::kSampleHold
+            ? env.overlays[static_cast<std::size_t>(ax.focv_overlay)].intervals.data()
+            : nullptr;
+    const std::uint32_t* run_members = members.data() + run.lo;
+    const std::size_t count = run.hi - run.lo;
+    const bool use_lanes = lanes_ok && ax.eval != AxisEval::kPrototype;
+    internal::KernelTotals totals;
+    if (use_lanes) {
+      totals = internal::run_axis_lanes<Q>(cx, ax, ovs, draws, run_members, count, reports);
     } else {
-      // Memoryless: exactly MacroStepper::process_interval's eval on
-      // the axis' cloned prototype at both quadrature points. step() is
-      // pure for kMemoryless controllers, so one clone serves every
-      // node and any evaluation order.
-      mppt::MpptController& ctl = *clones[run.axis];
-      const auto lit_iv = [&](NodeState& st, std::uint32_t ii) __attribute__((always_inline)) {
-        const double w = width_arr[ii];
-        const bool two_pt = xlo[ii] != xhi[ii];
-        const Slot s_lo = slot_of(tb, st.xoff + xlo[ii]);
-        const Curve c_lo = curve_from<Q>(tb, s_lo);
-        Slot s_hi = s_lo;
-        Curve c_hi = c_lo;
-        if (two_pt) {
-          s_hi = slot_of(tb, st.xoff + xhi[ii]);
-          c_hi = curve_from<Q>(tb, s_hi);
-        }
-        st.ideal += 0.5 * (c_lo.pmpp + c_hi.pmpp) * w;
-        const bool running = min_lux <= 0.0 || st.scale * mean_arr[ii] >= min_lux;
-        if (!running) {
-          st.prev_p = 0.0;
-          st.prev_v = 0.0;
-          advance_span(st, ii, 0.0, 0.0);
-          return;
-        }
-        const sched::BatchInterval& iv = ivs[ii];
-        if (st.cold_t < 0.0) st.cold_t = iv.t0;
-        mppt::SensedInputs sensed;
-        sensed.time = iv.t_mid;
-        sensed.dt = iv.dt_bar;
-        sensed.illuminance_estimate = iv.total_mean_u * st.scale;
-        sensed.prev_power = st.prev_p;
-        sensed.prev_voltage = st.prev_v;
-        sensed.store_voltage = std::sqrt(st.e * inv_cap2);
-        const auto eval = [&](const Curve& c, const Slot& s) __attribute__((always_inline)) {
-          sensed.voc = c.voc;
-          sensed.pilot_voc = c.voc;
-          const mppt::ControlOutput out = ctl.step(sensed);
-          const double p = power_at<Q>(tb, s, out.pv_voltage) *
-                           (1.0 - std::min(1.0, out.disconnect_fraction));
-          return std::pair<double, double>{p, out.pv_voltage};
-        };
-        const auto [pl, vl] = eval(c_lo, s_lo);
-        const auto [ph, vh] = two_pt ? eval(c_hi, s_hi) : std::pair<double, double>{pl, vl};
-        const double dl = conv.output_power(pl, vl);
-        const double dh = two_pt ? conv.output_power(ph, vh) : dl;
-        const double p_bar = 0.5 * (pl + ph);
-        const double d_bar = 0.5 * (dl + dh);
-        st.harv += p_bar * w;
-        st.deliv += d_bar * w;
-        st.over += st.oh * w;
-        st.prev_p = p_bar;
-        st.prev_v = 0.5 * (vl + vh);
-        advance_span(st, ii, d_bar, st.oh);
-      };
-      for (std::size_t i = run.lo; i < run.hi; ++i) {
-        NodeState st = init_node(draws[members[i]], ax);
-        for (const sched::BatchSegment& seg : env.schedule.segments) {
-          const std::uint32_t iv_end = seg.first_interval + seg.interval_count;
-          if (seg.dark) {
-            st.prev_p = st.prev_v = 0.0;
-            for (std::uint32_t ii = seg.first_interval; ii < iv_end; ++ii) {
-              advance_span(st, ii, 0.0, 0.0);
-            }
-            continue;
-          }
-          for (std::uint32_t ii = seg.first_interval; ii < iv_end; ++ii) lit_iv(st, ii);
-        }
-        finalize(st, reports[members[i]]);
-        if (obs_on) {
-          flips_total += st.flips;
-          slow_total += st.slow;
-        }
-      }
+      mppt::MpptController* proto =
+          clones[run.axis] != nullptr ? clones[run.axis].get() : nullptr;
+      totals =
+          internal::run_axis_scalar<Q>(cx, ax, ovs, draws, run_members, count, proto, reports);
     }
 
     if (obs_on) {
@@ -562,160 +156,37 @@ void run_env(const SoaPlan& plan, const EnvPlan& env, const FleetSpec& spec,
       static const obs::CounterId ivs_id = obs::metrics().counter("fleet.soa.intervals_swept");
       static const obs::CounterId slow_id = obs::metrics().counter("fleet.soa.slow_advances");
       static const obs::CounterId flips_id = obs::metrics().counter("fleet.soa.store_flips");
-      const double nodes = static_cast<double>(run.hi - run.lo);
+      const double nodes = static_cast<double>(count);
       const double intervals = static_cast<double>(env.schedule.intervals.size());
       obs::metrics().add(nodes_id, nodes);
       obs::metrics().add(ivs_id, nodes * intervals);
-      obs::metrics().add(slow_id, static_cast<double>(slow_total));
-      obs::metrics().add(flips_id, static_cast<double>(flips_total));
+      obs::metrics().add(slow_id, static_cast<double>(totals.slow));
+      obs::metrics().add(flips_id, static_cast<double>(totals.flips));
       axis_span->arg("axis", static_cast<double>(run.axis));
       axis_span->arg("law", ax.law == mppt::MacroLaw::kSampleHold ? "sample_hold" : "memoryless");
+      axis_span->arg("kernel", use_lanes ? "lanes" : "scalar");
       axis_span->arg("nodes", nodes);
       axis_span->arg("intervals", intervals);
-      axis_span->arg("slow_advances", static_cast<double>(slow_total));
-      axis_span->arg("store_flips", static_cast<double>(flips_total));
+      axis_span->arg("slow_advances", static_cast<double>(totals.slow));
+      axis_span->arg("store_flips", static_cast<double>(totals.flips));
     }
   }
 }
 
 }  // namespace
 
-std::unique_ptr<const SoaPlan> build_plan(
-    const FleetSpec& spec, const std::vector<PolicyAxis>& policies,
-    const std::vector<std::optional<sched::PreparedTrace>>& prepared,
-    node::CurveCache& cache) {
-  const node::NodeConfig& base = spec.base;
-  // Whole-spec disqualifiers: features the batch arithmetic does not
-  // express. The caller falls back to the per-node engine entirely.
-  if (base.power_model != node::PowerModel::kSurrogate) return nullptr;
-  if (base.battery || base.coldstart) return nullptr;
-  if (base.obs_compare_exact) return nullptr;
-  if (base.events.resolve_load_bursts) return nullptr;
-  if (base.storage.self_discharge_resistance <= 0.0) return nullptr;
-
-  auto plan = std::make_unique<SoaPlan>();
-  plan->capacitance = base.storage.capacitance;
-  plan->tau = base.storage.self_discharge_resistance * base.storage.capacitance;
-  plan->max_voltage = base.storage.max_voltage;
-  plan->max_energy = 0.5 * plan->capacitance * plan->max_voltage * plan->max_voltage;
-  plan->min_useful_voltage = base.storage.min_useful_voltage;
-  plan->min_useful_energy =
-      0.5 * plan->capacitance * plan->min_useful_voltage * plan->min_useful_voltage;
-  plan->initial_voltage = base.storage.initial_voltage;
-  plan->base_lux_scale = base.lux_scale;
-
-  int focv_axes = 0;
-  for (const PolicyAxis& axis : policies) {
-    AxisPlan ap;
-    if (axis.prototype == nullptr && axis.resolved.name == "focv") {
-      // The axis' representative controller at the nominal divider: only
-      // the divider ratio varies per node, and both its effects (the
-      // held-value target and the duty-cycled divider drain) are linear
-      // in it, so two coefficients replace per-node construction.
-      const mppt::FocvSampleHoldController rep =
-          core::make_paper_controller_from_spec(axis.resolved, spec.system);
-      ap.batch = true;
-      ap.law = mppt::MacroLaw::kSampleHold;
-      ap.min_lux = rep.minimum_operating_lux();
-      ap.focv_overlay = focv_axes++;
-      ap.period = rep.astable().period();
-      ap.on_s = rep.astable().params().on_period;
-      ap.first_edge = rep.astable().next_rising_edge(0.0);
-      ap.droop = rep.sample_hold().droop_rate();
-      ap.alpha = rep.params().alpha;
-      ap.threshold = rep.params().active_threshold;
-      const analog::SampleHold::Params& sh = rep.sample_hold().params();
-      ap.in_off = sh.input_buffer_offset;
-      ap.val_const = sh.output_buffer_offset - sh.charge_injection / sh.hold_capacitance;
-      ap.div_rep = sh.divider_ratio;
-      ap.oh_rep = rep.overhead_power();
-      ap.oh_div = rep.params().supply_voltage * rep.astable().duty_cycle() * 5.4 /
-                  spec.system.divider_r_top;
-      ap.div_factor = axis.resolved.is_set("k")
-                          ? axis.resolved.value("k") * spec.system.alpha /
-                                spec.system.divider_ratio
-                          : 1.0;
-    } else if (axis.prototype != nullptr &&
-               axis.prototype->macro_law() == mppt::MacroLaw::kMemoryless) {
-      ap.batch = true;
-      ap.law = mppt::MacroLaw::kMemoryless;
-      ap.proto = axis.prototype;
-      ap.oh_const = axis.prototype->overhead_power();
-      ap.min_lux = axis.prototype->minimum_operating_lux();
-    }
-    plan->any_batch = plan->any_batch || ap.batch;
-    plan->axes.push_back(std::move(ap));
-  }
-  if (!plan->any_batch) return nullptr;
-
-  // Illuminance scale bounds over the heterogeneity draws, with a
-  // 6 sigma margin on the log-normal cell factor; rarer nodes clamp to
-  // the table edges (sub-ppm of the fleet, bounded by the band width).
-  const HeterogeneitySpec& h = spec.heterogeneity;
-  const double s_lo =
-      base.lux_scale * h.attenuation_min * std::exp(-6.0 * h.cell_tolerance_sigma);
-  const double s_hi =
-      base.lux_scale * h.attenuation_max * std::exp(6.0 * h.cell_tolerance_sigma);
-
-  plan->envs.resize(spec.environments.size());
-  for (std::size_t e = 0; e < spec.environments.size(); ++e) {
-    require(prepared[e].has_value(), "soa::build_plan: missing PreparedTrace");
-    const env::LightTrace& trace = *spec.environments[e].trace;
-    EnvPlan& ep = plan->envs[e];
-    ep.schedule = sched::build_batch_schedule(trace, *prepared[e], base.events.max_interval_s);
-    ep.time = &trace.time();
-    ep.duration = ep.schedule.duration;
-    ep.x_lo.reserve(ep.schedule.intervals.size());
-    ep.x_hi.reserve(ep.schedule.intervals.size());
-    ep.decay.reserve(ep.schedule.intervals.size());
-    for (const sched::BatchInterval& iv : ep.schedule.intervals) {
-      ep.x_lo.push_back(iv.lo_u > 0.0 ? kGrid * std::log(iv.lo_u) : -kInf);
-      ep.x_hi.push_back(iv.hi_u > 0.0 ? kGrid * std::log(iv.hi_u) : -kInf);
-      ep.decay.push_back(std::exp(-2.0 * iv.w / plan->tau));
-      ep.width.push_back(iv.w);
-      ep.span.push_back(iv.t1 - iv.t0);
-      ep.mean_u.push_back(iv.mean_u);
-      ep.nsteps.push_back(iv.b - iv.a);
-    }
-    for (const AxisPlan& ap : plan->axes) {
-      if (ap.law == mppt::MacroLaw::kSampleHold && ap.batch) {
-        ep.overlays.push_back(
-            sched::build_edge_overlay(ep.schedule, ap.period, ap.on_s, ap.first_edge));
-      }
-    }
-    double lo_u = 0.0;
-    double hi_u = 0.0;
-    for (const sched::BatchSegment& seg : ep.schedule.segments) {
-      if (seg.dark) continue;
-      if (hi_u == 0.0) lo_u = seg.min_u;
-      lo_u = std::min(lo_u, seg.min_u);
-      hi_u = std::max(hi_u, seg.max_u);
-    }
-    if (hi_u > 0.0) {
-      ep.tables = export_tables(cache, lo_u * s_lo, hi_u * s_hi, spec.table_mode);
-    }
-  }
-
-  if (obs::enabled()) {
-    static const obs::CounterId plans_id = obs::metrics().counter("fleet.soa.plans_built");
-    static const obs::GaugeId bytes_id = obs::metrics().gauge("fleet.soa.table_bytes");
-    std::size_t table_bytes = 0;
-    for (const EnvPlan& ep : plan->envs) table_bytes += ep.tables.bytes();
-    obs::metrics().add(plans_id);
-    obs::metrics().set(bytes_id, static_cast<double>(table_bytes));
-  }
-  return plan;
-}
-
 void run_batch(const SoaPlan& plan, const FleetSpec& spec, const std::vector<NodeDraw>& draws,
                const std::vector<std::uint32_t>& members,
                std::vector<node::NodeReport>& reports) {
   if (members.empty()) return;
-  // One clone per memoryless axis per call: kMemoryless step() is pure,
-  // so a single reset instance serves every node deterministically.
+  // One clone per generic-memoryless axis per call: kMemoryless step()
+  // is pure, so a single reset instance serves every node
+  // deterministically. Closed-form axes (sample/hold, affine) never
+  // touch a controller object.
   std::vector<std::unique_ptr<mppt::MpptController>> clones(plan.axes.size());
   for (std::size_t a = 0; a < plan.axes.size(); ++a) {
-    if (plan.axes[a].batch && plan.axes[a].proto != nullptr) {
+    if (plan.axes[a].batch && plan.axes[a].eval == AxisEval::kPrototype &&
+        plan.axes[a].proto != nullptr) {
       clones[a] = plan.axes[a].proto->clone();
       clones[a]->reset();
     }

@@ -33,6 +33,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/aligned.hpp"
 #include "fleet/fleet.hpp"
 #include "node/curve_cache.hpp"
 #include "sched/batch_schedule.hpp"
@@ -73,15 +74,33 @@ struct DenseTables {
   }
 };
 
+/// How a batched axis' controller output is evaluated per interval.
+/// kSampleHold and kAffineVoc are closed forms both kernels implement
+/// (the lane kernel runs them width-W); kPrototype needs a virtual
+/// step() on a cloned controller and always runs on the scalar kernel.
+enum class AxisEval {
+  kPrototype,   ///< generic memoryless controller via its cloned prototype
+  kSampleHold,  ///< the paper's S&H FOCV closed form
+  kAffineVoc,   ///< memoryless law that is affine in Voc (fixed / pilot)
+};
+
 /// Per-policy-axis batch strategy, resolved once per run.
 struct AxisPlan {
   bool batch = false;               ///< false: node falls back to the per-node engine
   mppt::MacroLaw law = mppt::MacroLaw::kPerStepOnly;
+  AxisEval eval = AxisEval::kPrototype;
   double min_lux = 0.0;
   int focv_overlay = -1;            ///< index into EnvPlan::overlays (kSampleHold only)
   // Memoryless controllers: the shared prototype, cloned once per chunk.
   std::shared_ptr<const mppt::MpptController> proto;
   double oh_const = 0.0;            ///< overhead power, memoryless axes [W]
+  // kAffineVoc closed form, extracted from the prototype's parameters:
+  // v = aff_v when aff_const, else aff_k * ((Voc * aff_s1) * aff_s2) —
+  // the exact association step() computes, so the closed form is
+  // bit-identical to the virtual path it replaces. aff_act is the
+  // constant harvest activity 1 - min(1, disconnect_fraction).
+  bool aff_const = false;
+  double aff_v = 0.0, aff_k = 0.0, aff_s1 = 1.0, aff_s2 = 1.0, aff_act = 1.0;
   // focv closed-form parameters (from the axis' representative
   // controller; only the divider ratio varies per node).
   double period = 0.0, on_s = 0.0, first_edge = 0.0;
@@ -99,15 +118,17 @@ struct AxisPlan {
 /// tables, and one astable edge overlay per sample-and-hold axis.
 struct EnvPlan {
   sched::BatchSchedule schedule;
-  std::vector<double> x_lo, x_hi;   ///< 32 ln(quadrature lux), per interval
-  std::vector<double> decay;        ///< exp(-2 w / tau), per interval
+  AlignedBuffer<double> x_lo, x_hi;  ///< 32 ln(quadrature lux), per interval
+  AlignedBuffer<double> decay;       ///< exp(-2 w / tau), per interval
   // Dense copies of the per-interval fields the inner loops touch every
-  // iteration, so the hot path streams a few sequential arrays instead
-  // of striding through the 88-byte BatchInterval records.
-  std::vector<double> width;        ///< iv.w (energy quadrature weight)
-  std::vector<double> span;         ///< iv.t1 - iv.t0 (exact step span)
-  std::vector<double> mean_u;       ///< iv.mean_u (running-gate input)
-  std::vector<std::uint32_t> nsteps;  ///< iv.b - iv.a
+  // iteration, so the hot path streams a few sequential cache-aligned
+  // arrays instead of striding through the 88-byte BatchInterval
+  // records.
+  AlignedBuffer<double> width;       ///< iv.w (energy quadrature weight)
+  AlignedBuffer<double> span;        ///< iv.t1 - iv.t0 (exact step span)
+  AlignedBuffer<double> mean_u;      ///< iv.mean_u (running-gate input)
+  AlignedBuffer<double> t_start;     ///< iv.t0 (cold-start stamp)
+  AlignedBuffer<std::uint32_t> nsteps;  ///< iv.b - iv.a
   std::vector<sched::EdgeOverlay> overlays;
   DenseTables tables;
   const std::vector<double>* time = nullptr;  ///< trace step boundaries

@@ -112,6 +112,7 @@ class PilotCellFocvController : public MpptController {
   [[nodiscard]] double overhead_power() const override { return params_.overhead; }
   [[nodiscard]] double minimum_operating_lux() const override { return params_.min_lux; }
   [[nodiscard]] MacroLaw macro_law() const override { return MacroLaw::kMemoryless; }
+  [[nodiscard]] const Params& params() const { return params_; }
   void reset() override {}
 
  private:
@@ -205,6 +206,7 @@ class FixedVoltageController : public MpptController {
   [[nodiscard]] double overhead_power() const override { return params_.overhead; }
   [[nodiscard]] double minimum_operating_lux() const override { return params_.min_lux; }
   [[nodiscard]] MacroLaw macro_law() const override { return MacroLaw::kMemoryless; }
+  [[nodiscard]] const Params& params() const { return params_; }
   void reset() override {}
 
  private:

@@ -59,6 +59,16 @@ BatchSchedule build_batch_schedule(const env::LightTrace& trace, const PreparedT
     out.segments.push_back(bs);
   }
 
+  out.interval_dark.resize(out.intervals.size(), 0);
+  out.interval_segment.resize(out.intervals.size(), 0);
+  for (std::size_t si = 0; si < out.segments.size(); ++si) {
+    const BatchSegment& bs = out.segments[si];
+    for (std::uint32_t k = 0; k < bs.interval_count; ++k) {
+      out.interval_dark[bs.first_interval + k] = bs.dark ? 1 : 0;
+      out.interval_segment[bs.first_interval + k] = static_cast<std::uint32_t>(si);
+    }
+  }
+
   if (obs::enabled()) {
     static const obs::CounterId builds_id = obs::metrics().counter("sched.batch.builds");
     static const obs::CounterId segs_id = obs::metrics().counter("sched.batch.segments");

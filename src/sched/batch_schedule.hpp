@@ -57,6 +57,14 @@ struct BatchSchedule {
   std::vector<BatchSegment> segments;
   std::vector<BatchInterval> intervals;
   double duration = 0.0;  ///< trace duration [s]
+
+  // Flat interval iteration order for interval-major kernels: intervals
+  // are already stored in time order (segments are contiguous spans), so
+  // a kernel that walks `intervals` front to back only needs the owning
+  // segment's dark flag and bounds without re-deriving the span
+  // structure per node block. Both arrays are parallel to `intervals`.
+  std::vector<std::uint8_t> interval_dark;      ///< owning segment is dark
+  std::vector<std::uint32_t> interval_segment;  ///< index into `segments`
 };
 
 /// Build the shared schedule for one environment. Segment cutting uses

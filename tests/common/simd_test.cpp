@@ -1,0 +1,125 @@
+// The lane primitives' bit-exactness contract (common/simd.hpp): every
+// lane of every op must be the scalar IEEE-754 double op, select must
+// be a pure bit blend, and the derived helpers must mirror their std::
+// counterparts — the fleet kernel byte-identity proof stands on these.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "common/simd.hpp"
+
+namespace focv::simd {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+const double kNan = std::numeric_limits<double>::quiet_NaN();
+
+double lane_bits_equal(double a, double b) {
+  std::uint64_t ba = 0;
+  std::uint64_t bb = 0;
+  std::memcpy(&ba, &a, 8);
+  std::memcpy(&bb, &b, 8);
+  return ba == bb;
+}
+
+/// Awkward lane values: zeros of both signs, denormal, huge, Inf, NaN.
+const double kVals[] = {0.0, -0.0, 1.0, -3.5, 5e-324, 1e300, -kInf, kNan};
+static_assert(sizeof(kVals) / sizeof(kVals[0]) >= static_cast<std::size_t>(kLanes) ||
+                  kLanes > 8,
+              "test vector shorter than a lane block");
+
+DVec awkward() { return load(kVals); }
+
+TEST(Simd, BroadcastLoadStoreRoundtrip) {
+  double out[kLanes];
+  store(out, awkward());
+  for (int l = 0; l < kLanes; ++l) {
+    EXPECT_TRUE(lane_bits_equal(out[l], kVals[l])) << "lane " << l;
+  }
+  store(out, broadcast(-0.0));
+  for (int l = 0; l < kLanes; ++l) EXPECT_TRUE(lane_bits_equal(out[l], -0.0));
+}
+
+TEST(Simd, ArithmeticIsPerLaneScalarIeee) {
+  const DVec a = awkward();
+  const DVec b = broadcast(3.0);
+  for (int l = 0; l < kLanes; ++l) {
+    const double x = kVals[l];
+    EXPECT_TRUE(lane_bits_equal((a + b)[l], x + 3.0)) << l;
+    EXPECT_TRUE(lane_bits_equal((a - b)[l], x - 3.0)) << l;
+    EXPECT_TRUE(lane_bits_equal((a * b)[l], x * 3.0)) << l;
+    EXPECT_TRUE(lane_bits_equal((a / b)[l], x / 3.0)) << l;
+  }
+}
+
+TEST(Simd, ComparisonsMatchScalarIncludingNan) {
+  const DVec a = awkward();
+  const DVec b = broadcast(1.0);
+  for (int l = 0; l < kLanes; ++l) {
+    const double x = kVals[l];
+    EXPECT_EQ((a < b).lane(l), x < 1.0) << l;
+    EXPECT_EQ((a <= b).lane(l), x <= 1.0) << l;
+    EXPECT_EQ((a > b).lane(l), x > 1.0) << l;
+    EXPECT_EQ((a >= b).lane(l), x >= 1.0) << l;
+    EXPECT_EQ((a == b).lane(l), x == 1.0) << l;
+    EXPECT_EQ((a != b).lane(l), x != 1.0) << l;
+  }
+}
+
+TEST(Simd, SelectIsAPureBitBlend) {
+  // Masked-off lanes may hold NaN payloads or Inf; select must pass the
+  // chosen lane's exact bits through untouched.
+  const DVec a = awkward();
+  const DVec b = broadcast(7.0);
+  const MVec odd = [&] {
+    double tmp[kLanes];
+    for (int l = 0; l < kLanes; ++l) tmp[l] = (l % 2 == 1) ? 1.0 : 0.0;
+    return load(tmp) > broadcast(0.5);
+  }();
+  const DVec r = select(odd, a, b);
+  for (int l = 0; l < kLanes; ++l) {
+    EXPECT_TRUE(lane_bits_equal(r[l], (l % 2 == 1) ? kVals[l] : 7.0)) << l;
+  }
+}
+
+TEST(Simd, MaskOpsAndReductions) {
+  const DVec a = awkward();
+  const MVec none = a > broadcast(kInf);
+  const MVec fin = (a >= broadcast(-kInf)) & (a <= broadcast(kInf));
+  EXPECT_FALSE(any(none));
+  EXPECT_TRUE(any(fin));
+  EXPECT_FALSE(all(fin));  // the NaN lane fails both ordered compares
+  EXPECT_TRUE(all(fin | ~fin));
+  EXPECT_FALSE(any(fin & ~fin));
+}
+
+TEST(Simd, ClampMatchesStdClampBitwise) {
+  // Includes the -0.0 / +0.0 edge: std::clamp(-0.0, 0.0, 1.0) keeps
+  // -0.0 because neither comparison fires, and so must the lane form.
+  const DVec lo = broadcast(0.0);
+  const DVec hi = broadcast(1.0);
+  const DVec r = clamp(awkward(), lo, hi);
+  for (int l = 0; l < kLanes; ++l) {
+    if (std::isnan(kVals[l])) continue;  // NaN clamp is caller UB in std too
+    EXPECT_TRUE(lane_bits_equal(r[l], std::clamp(kVals[l], 0.0, 1.0))) << l;
+  }
+  EXPECT_TRUE(lane_bits_equal(clamp(broadcast(-0.0), lo, hi)[0], std::clamp(-0.0, 0.0, 1.0)));
+}
+
+TEST(Simd, FloorMatchesStdFloor) {
+  const DVec r = floor(awkward());
+  for (int l = 0; l < kLanes; ++l) {
+    const double expect = std::floor(kVals[l]);
+    if (std::isnan(expect)) {
+      EXPECT_TRUE(std::isnan(r[l])) << l;
+    } else {
+      EXPECT_TRUE(lane_bits_equal(r[l], expect)) << l;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace focv::simd

@@ -1,0 +1,98 @@
+// Byte-identity contract between the SoA engine's two kernels: the
+// interval-major lane-batched sweep (fleet/soa_lanes.cpp) must produce
+// EXACTLY the bytes of the node-major scalar sweep (soa_scalar.cpp) —
+// same IEEE op sequence per lane, selects in place of branches, shared
+// slow-path routine — in both table modes, at any worker count, and at
+// every lane-tail / fallback edge the blocking can hit.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "env/profiles.hpp"
+#include "fleet/fleet.hpp"
+#include "pv/cell_library.hpp"
+
+namespace focv::fleet {
+namespace {
+
+/// All-batchable roster over the paper's two measured day shapes: every
+/// axis is a closed form the lane kernel runs (focv sample/hold, pilot
+/// and fixed affine laws).
+FleetSpec lanes_spec(std::size_t nodes, TableMode mode) {
+  FleetSpec spec;
+  spec.node_count = nodes;
+  spec.root_seed = 2026;
+  spec.chunk_size = 64;
+  spec.table_mode = mode;
+  spec.engine = FleetEngine::kSoa;
+  spec.use_cell(pv::sanyo_am1815());
+  spec.base.stepper = node::Stepper::kEvent;
+  spec.base.storage.initial_voltage = 2.4;
+  spec.base.load.report_period = 120.0;
+  env::OfficeDayParams office;
+  office.duration = 6.0 * 3600.0;
+  spec.add_environment("office", env::office_desk_mixed(office), 0.6);
+  spec.add_environment("sunday", env::desk_sunday_blinds_closed(7), 0.4);
+  spec.add_policy("focv", 0.6);
+  spec.add_policy("pilot", 0.2);
+  spec.add_policy("fixed", 0.2);
+  return spec;
+}
+
+std::string run_kernel(FleetSpec spec, SoaKernel kernel, int jobs) {
+  spec.soa_kernel = kernel;
+  FleetOptions opt;
+  opt.jobs = jobs;
+  return run_fleet(spec, opt).to_json();
+}
+
+/// The whole contract in one assertion: scalar jobs=1 is the reference;
+/// lanes jobs=1, lanes jobs=4 and scalar jobs=4 must all match it.
+void expect_kernels_identical(const FleetSpec& spec, const std::string& label) {
+  const std::string ref = run_kernel(spec, SoaKernel::kScalar, 1);
+  EXPECT_EQ(ref, run_kernel(spec, SoaKernel::kLanes, 1)) << label << " lanes jobs=1";
+  EXPECT_EQ(ref, run_kernel(spec, SoaKernel::kLanes, 4)) << label << " lanes jobs=4";
+  EXPECT_EQ(ref, run_kernel(spec, SoaKernel::kScalar, 4)) << label << " scalar jobs=4";
+}
+
+TEST(FleetSoaLanes, ByteIdenticalToScalarBothTableModes) {
+  for (const TableMode mode : {TableMode::kFloat, TableMode::kQuantized}) {
+    const FleetSpec spec = lanes_spec(1000, mode);
+    expect_kernels_identical(spec,
+                             mode == TableMode::kQuantized ? "quantized" : "float");
+  }
+}
+
+TEST(FleetSoaLanes, LaneTailSizesByteIdentical) {
+  // Chunk sizes and node counts chosen so axis runs end at every
+  // residue mod the lane width: single-node runs, W-1 / W+1 tails, and
+  // runs that fill whole blocks exactly. Tail blocks pad with replicas
+  // of the last real node; any padding leak would corrupt these bytes.
+  for (const std::size_t nodes : {1u, 3u, 7u, 8u, 9u, 63u, 64u, 65u, 130u}) {
+    FleetSpec spec = lanes_spec(nodes, TableMode::kFloat);
+    spec.chunk_size = 32;
+    expect_kernels_identical(spec, "nodes=" + std::to_string(nodes));
+  }
+}
+
+TEST(FleetSoaLanes, SlowPathCrossingsinsideLanesByteIdentical) {
+  // Start every store exactly at the usable() gate: the first advance of
+  // every lane takes the step-split slow path (e == e_use), and the
+  // brownout/recovery churn afterwards keeps mixing slow and fast lanes
+  // within single blocks. This pins the spill -> shared advance_slow ->
+  // reload path, where a lane kernel would most plausibly diverge.
+  for (const TableMode mode : {TableMode::kFloat, TableMode::kQuantized}) {
+    FleetSpec spec = lanes_spec(200, mode);
+    spec.base.storage.initial_voltage = spec.base.storage.min_useful_voltage;
+    spec.base.load.report_period = 30.0;  // heavier load: more crossings
+    expect_kernels_identical(spec, mode == TableMode::kQuantized ? "quantized" : "float");
+  }
+}
+
+TEST(FleetSoaLanes, LanesKernelIsTheDefault) {
+  FleetSpec spec;
+  EXPECT_EQ(spec.soa_kernel, SoaKernel::kLanes);
+}
+
+}  // namespace
+}  // namespace focv::fleet
